@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one paper artifact (figure or table) at reduced
+scale — short simulated durations and few seeds — and prints the same
+rows/series the paper reports.  Pass ``--paper-scale`` to run the full
+durations (minutes per bench).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption("--paper-scale", action="store_true", default=False,
+                     help="run benches at the paper's full durations")
+
+
+@pytest.fixture
+def scale(request):
+    """(duration multiplier, seeds) for bench runs."""
+    if request.config.getoption("--paper-scale"):
+        return {"duration": 60.0, "seeds": (1, 2, 3, 4, 5), "trials": 20}
+    return {"duration": 8.0, "seeds": (1,), "trials": 4}
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,51 @@
+"""Bench: design-choice ablations DESIGN.md calls out (beyond the
+paper's printed figures): evaluation order, AQM-vs-Libra, and Libra over
+alternative classic CCAs."""
+
+from repro.experiments.ablations import (run_aqm_comparison, run_eval_order,
+                                         run_other_classics)
+
+from conftest import run_once
+
+
+def test_ablation_eval_order(benchmark, scale, capsys):
+    data = run_once(benchmark, run_eval_order, seeds=scale["seeds"][:2] or (1,),
+                    duration=scale["duration"] * 2)
+    with capsys.disabled():
+        print("\nAblation: evaluation order (util / delay / loss):")
+        for label, m in data.items():
+            print(f"  {label:13s} {m['utilization']:.3f} "
+                  f"{m['avg_rtt_ms']:6.1f}ms {m['loss_rate']:.4f}")
+    # Fig. 4's claim: higher-first self-pollutes the measurements; the
+    # paper's order must not perform worse overall.
+    assert data["lower-first"]["utilization"] >= \
+        data["higher-first"]["utilization"] - 0.05
+
+
+def test_ablation_aqm_vs_libra(capsys, benchmark, scale):
+    data = run_once(benchmark, run_aqm_comparison,
+                    seeds=scale["seeds"][:1], duration=scale["duration"] * 2)
+    with capsys.disabled():
+        print("\nAblation: AQM vs end-to-end Libra (util / delay):")
+        for label, m in data.items():
+            print(f"  {label:17s} {m['utilization']:.3f} "
+                  f"{m['avg_rtt_ms']:6.1f}ms")
+    # Sec. 2's point: CUBIC needs CoDel for low delay; Libra gets a
+    # large delay cut without any in-network change.
+    assert data["cubic+codel"]["avg_rtt_ms"] < \
+        data["cubic+droptail"]["avg_rtt_ms"]
+    assert data["c-libra+droptail"]["avg_rtt_ms"] < \
+        data["cubic+droptail"]["avg_rtt_ms"]
+
+
+def test_ablation_other_classics(capsys, benchmark, scale):
+    data = run_once(benchmark, run_other_classics,
+                    seeds=scale["seeds"][:1], duration=scale["duration"] * 2)
+    with capsys.disabled():
+        print("\nAblation: Libra over other classic CCAs (util / delay):")
+        for name, m in data.items():
+            print(f"  {name:9s} {m['utilization']:.3f} "
+                  f"{m['avg_rtt_ms']:6.1f}ms")
+    # Sec. 7: the framework stays functional over Westwood/Illinois.
+    for m in data.values():
+        assert m["utilization"] > 0.6

@@ -1,0 +1,19 @@
+"""Bench: Fig. 1 — adaptability under wired / cellular networks."""
+
+from repro.experiments.adaptability import format_fig1, run_fig1
+
+from conftest import run_once
+
+
+def test_fig1_adaptability(benchmark, scale, capsys):
+    data = run_once(benchmark, run_fig1, ccas=("cubic", "bbr", "orca",
+                                               "proteus", "c-libra"),
+                    seeds=scale["seeds"], duration=scale["duration"])
+    with capsys.disabled():
+        print()
+        print(format_fig1(data))
+    # Shape: Libra keeps delay at or below CUBIC's on every LTE scenario.
+    for scenario, per_cca in data.items():
+        if scenario.startswith("lte"):
+            assert per_cca["c-libra"]["avg_rtt_ms"] <= \
+                per_cca["cubic"]["avg_rtt_ms"] * 1.1

@@ -1,0 +1,20 @@
+"""Bench: Fig. 2(a) — throughput over the step scenario."""
+
+from repro.experiments.practical_issues import (run_fig2a,
+                                                step_tracking_error)
+
+from conftest import run_once
+
+
+def test_fig2a_step_scenario(benchmark, scale, capsys):
+    duration = max(scale["duration"] * 3, 24.0)
+    data = run_once(benchmark, run_fig2a, seed=1, duration=duration)
+    trace = data["levels"]
+    errors = {cca: step_tracking_error(series, trace, duration)
+              for cca, series in data["series"].items()}
+    with capsys.disabled():
+        print("\nFig.2(a) step-scenario mean tracking error |thr-cap|/cap:")
+        for cca, err in errors.items():
+            print(f"  {cca:10s} {err:.3f}")
+    # Shape: Libra follows the steps at least as well as pure learners.
+    assert errors["c-libra"] <= errors["cl-libra"] + 0.1

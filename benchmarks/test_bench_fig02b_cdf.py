@@ -1,0 +1,16 @@
+"""Bench: Fig. 2(b) — CDF of link utilization over repeated LTE runs."""
+
+from repro.experiments.practical_issues import run_fig2b
+
+from conftest import run_once
+
+
+def test_fig2b_utilization_cdf(benchmark, scale, capsys):
+    data = run_once(benchmark, run_fig2b, trials=scale["trials"],
+                    duration=scale["duration"])
+    with capsys.disabled():
+        print("\nFig.2(b) utilization over repeated runs (mean / std):")
+        for cca, stats in data.items():
+            print(f"  {cca:10s} {stats['mean']:.3f} / {stats['std']:.3f}")
+    # Shape: Libra's run-to-run variability stays below Orca's.
+    assert data["c-libra"]["std"] <= data["orca"]["std"] + 0.03

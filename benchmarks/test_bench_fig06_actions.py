@@ -1,0 +1,18 @@
+"""Bench: Fig. 6 — AIAD vs MIMD action spaces across scale factors."""
+
+from repro.experiments.rl_ablation import curve_rise_time, run_fig6
+
+from conftest import run_once
+
+
+def test_fig6_action_spaces(benchmark, scale, capsys):
+    epochs = 30 if scale["duration"] > 30 else 6
+    data = run_once(benchmark, run_fig6, epochs=epochs, seed=1)
+    with capsys.disabled():
+        print("\nFig.6 final smoothed reward / rise time (episodes):")
+        for mode, per_scale in data.items():
+            for s, curve in per_scale.items():
+                print(f"  {mode:5s} scale={s:<4} final={curve[-1]:7.3f} "
+                      f"rise={curve_rise_time(curve)}")
+    assert set(data) == {"aiad", "mimd"}
+    assert set(data["aiad"]) == {1.0, 5.0, 10.0}

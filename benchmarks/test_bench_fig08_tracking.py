@@ -1,0 +1,29 @@
+"""Bench: Fig. 8 — following the changing link capacity in LTE networks."""
+
+import numpy as np
+
+from repro.experiments.adaptability import run_fig8
+
+from conftest import run_once
+
+
+def test_fig8_lte_tracking(benchmark, scale, capsys):
+    duration = max(scale["duration"] * 2, 16.0)
+    data = run_once(benchmark, run_fig8, duration=duration, seed=3)
+    cap_times, cap_rates = data["capacity"]
+
+    def tracking_error(series):
+        times, rates = series
+        cap = np.interp(times, cap_times, cap_rates)
+        mask = cap > 0.5
+        return float(np.mean(np.abs(np.asarray(rates)[mask] - cap[mask])
+                             / cap[mask]))
+
+    errors = {cca: tracking_error(series)
+              for cca, series in data["series"].items()}
+    with capsys.disabled():
+        print("\nFig.8 LTE capacity-tracking error (lower is better):")
+        for cca, err in sorted(errors.items(), key=lambda kv: kv[1]):
+            print(f"  {cca:10s} {err:.3f}")
+    # Shape: Libra variants track the varying capacity competitively.
+    assert errors["c-libra"] < errors["proteus"] + 0.15

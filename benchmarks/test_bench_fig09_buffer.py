@@ -1,0 +1,20 @@
+"""Bench: Fig. 9 — impact of buffer size on utilization and delay."""
+
+from repro.experiments.sweeps import buffer_sensitivity, run_fig9
+
+from conftest import run_once
+
+
+def test_fig9_buffer_sweep(benchmark, scale, capsys):
+    data = run_once(benchmark, run_fig9, seeds=scale["seeds"][:1],
+                    duration=scale["duration"])
+    with capsys.disabled():
+        print("\nFig.9 buffer sweep (cca, buffer KB, util, delay ms):")
+        for cca, per_buffer in data.items():
+            for size, m in sorted(per_buffer.items()):
+                print(f"  {cca:10s} {size // 1000:5d}  "
+                      f"{m['utilization']:.3f}  {m['avg_rtt_ms']:7.1f}")
+    # Shape: CUBIC's delay grows strongly with buffer depth; Libra's
+    # growth is much smaller (low buffer sensitivity, Remark 2).
+    assert buffer_sensitivity(data["c-libra"]) < \
+        buffer_sensitivity(data["cubic"])

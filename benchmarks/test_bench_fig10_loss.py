@@ -1,0 +1,22 @@
+"""Bench: Fig. 10 — impact of stochastic loss on utilization."""
+
+from repro.experiments.sweeps import run_fig10
+
+from conftest import run_once
+
+
+def test_fig10_loss_sweep(benchmark, scale, capsys):
+    data = run_once(benchmark, run_fig10, seeds=scale["seeds"][:1],
+                    duration=scale["duration"])
+    with capsys.disabled():
+        print("\nFig.10 stochastic-loss sweep (cca, loss, util):")
+        for cca, per_loss in data.items():
+            row = "  ".join(f"{m['utilization']:.2f}"
+                            for _, m in sorted(per_loss.items()))
+            print(f"  {cca:10s} {row}")
+    # Shape: at 10% loss B-Libra stays high while CUBIC collapses.
+    assert data["b-libra"][0.10]["utilization"] > \
+        data["cubic"][0.10]["utilization"]
+    # C-Libra recovers better than bare CUBIC at moderate loss.
+    assert data["c-libra"][0.06]["utilization"] > \
+        data["cubic"][0.06]["utilization"] * 0.9

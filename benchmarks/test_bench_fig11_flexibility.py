@@ -1,0 +1,34 @@
+"""Bench: Fig. 11 — flexible preferences through utility presets."""
+
+from repro.experiments.flexibility import (PRESET_NAMES, run_single_flow,
+                                           run_vs_cubic)
+
+from conftest import run_once
+
+
+def test_fig11_flexibility(benchmark, scale, capsys):
+    def both():
+        solo = run_single_flow(variants=("c-libra",),
+                               seeds=scale["seeds"][:1],
+                               duration=scale["duration"] * 2)
+        versus = run_vs_cubic(variants=("c-libra",), seeds=scale["seeds"][:1],
+                              duration=scale["duration"] * 2)
+        return solo, versus
+
+    solo, versus = run_once(benchmark, both)
+    with capsys.disabled():
+        print("\nFig.11(a)/(b) single flow per preset (util, delay ms):")
+        for family, per_variant in solo.items():
+            for key, m in per_variant.items():
+                print(f"  {family:9s} {key:18s} {m['utilization']:.3f} "
+                      f"{m['avg_delay_ms']:7.1f}")
+        print("Fig.11(c)/(d) vs CUBIC (ratio, delay ms):")
+        for key, m in versus.items():
+            print(f"  {key:18s} {m['throughput_ratio']:.3f} "
+                  f"{m['avg_delay_ms']:7.1f}")
+    # Shape: the latency-most preset achieves the (or nearly the) lowest
+    # delay among presets on cellular traces.
+    cellular = solo["cellular"]
+    delays = {p: cellular[f"c-libra-{p}"]["avg_delay_ms"]
+              for p in PRESET_NAMES}
+    assert delays["la-2"] <= min(delays.values()) + 10.0

@@ -1,0 +1,24 @@
+"""Bench: Fig. 12 — CPU utilization vs sending rate."""
+
+from repro.experiments.overhead import (FIG12_CAPACITIES_MBPS,
+                                        libra_reduction, run_fig12)
+
+from conftest import run_once
+
+
+def test_fig12_overhead_vs_rate(benchmark, scale, capsys):
+    caps = FIG12_CAPACITIES_MBPS if scale["duration"] > 30 else (10, 30, 100)
+    data = run_once(benchmark, run_fig12, capacities_mbps=caps,
+                    duration=scale["duration"])
+    with capsys.disabled():
+        print("\nFig.12 CPU utilization vs link capacity:")
+        for cca, per_cap in data.items():
+            row = "  ".join(f"{cpu:.3f}" for _, cpu in sorted(per_cap.items()))
+            print(f"  {cca:10s} {row}")
+        for base in ("orca", "indigo", "copa", "proteus"):
+            print(f"  Libra reduction vs {base}: "
+                  f"{libra_reduction(data, base):.0%}")
+    # Shape: Libra's overhead tracks its kernel classic CCAs and sits
+    # far below every pure learning-based CCA (Remark 5).
+    assert libra_reduction(data, "proteus") > 0.5
+    assert libra_reduction(data, "orca") > 0.2

@@ -1,0 +1,24 @@
+"""Bench: Fig. 16 — live-Internet surrogate (inter/intra-continental)."""
+
+from repro.experiments.internet import run_fig16
+
+from conftest import run_once
+
+
+def test_fig16_internet(benchmark, scale, capsys):
+    data = run_once(benchmark, run_fig16, seeds=scale["seeds"][:2] or (1,),
+                    duration=max(scale["duration"] * 2, 16.0))
+    with capsys.disabled():
+        print("\nFig.16 emulated WAN (normalized thr / normalized delay):")
+        for scenario, per_cca in data.items():
+            print(f"  {scenario}")
+            for cca, m in per_cca.items():
+                print(f"    {cca:10s} {m['normalized_throughput']:.2f} "
+                      f"{m['normalized_delay']:.2f}")
+    # Shape: Libra variants stay competitive on throughput in both
+    # scenarios (paper: top-right of Fig. 16).
+    for scenario in data.values():
+        best = max(m["normalized_throughput"] for m in scenario.values())
+        libra_best = max(scenario["c-libra"]["normalized_throughput"],
+                         scenario["b-libra"]["normalized_throughput"])
+        assert libra_best > 0.55 * best

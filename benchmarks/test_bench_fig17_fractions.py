@@ -1,0 +1,22 @@
+"""Bench: Fig. 17 — fraction of applied times for each candidate rate."""
+
+from repro.experiments.deep_dive import run_fig17
+
+from conftest import run_once
+
+
+def test_fig17_decision_fractions(benchmark, scale, capsys):
+    data = run_once(benchmark, run_fig17, seeds=scale["seeds"][:2] or (1,),
+                    duration=max(scale["duration"] * 2, 14.0))
+    with capsys.disabled():
+        print("\nFig.17 decision fractions (x_prev / x_rl / x_cl):")
+        for variant, per_scenario in data.items():
+            for scenario, fr in per_scenario.items():
+                print(f"  {variant:8s} {scenario:9s} "
+                      f"{fr['prev']:.2f} / {fr['rl']:.2f} / {fr['cl']:.2f}")
+    # Shape: every kind of decision matters somewhere (Remark 9) — each
+    # candidate wins a nonzero fraction in at least one scenario.
+    for variant, per_scenario in data.items():
+        for key in ("prev", "rl", "cl"):
+            assert any(fr[key] > 0.0 for fr in per_scenario.values()), \
+                f"{variant}: candidate {key} never wins"

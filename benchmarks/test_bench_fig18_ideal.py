@@ -1,0 +1,16 @@
+"""Bench: Fig. 18 — Libra vs the offline ideal combination."""
+
+from repro.experiments.deep_dive import run_fig18
+
+from conftest import run_once
+
+
+def test_fig18_vs_ideal(benchmark, scale, capsys):
+    data = run_once(benchmark, run_fig18, seed=2,
+                    duration=max(scale["duration"] * 2, 16.0))
+    with capsys.disabled():
+        print(f"\nFig.18 normalized mean utility: "
+              f"libra={data['libra_mean']:.3f} ideal={data['ideal_mean']:.3f}")
+    # Shape: the online combination approaches the offline ideal
+    # (Remark 10: close most of the time, occasionally above).
+    assert data["libra_mean"] > 0.5 * data["ideal_mean"]

@@ -1,0 +1,31 @@
+"""Bench: Fig. 19 / Tab. 7 — parameter sensitivity of C-Libra."""
+
+from repro.experiments.sensitivity import run_fig19, run_tab7
+
+from conftest import run_once
+
+
+def test_fig19_tab7_sensitivity(benchmark, scale, capsys):
+    def both():
+        fig19 = run_fig19(configs=((1, 0.5, 1), (2, 0.5, 2), (3, 1, 3)),
+                          seeds=scale["seeds"][:1],
+                          duration=scale["duration"])
+        tab7 = run_tab7(seeds=scale["seeds"][:1], duration=scale["duration"])
+        return fig19, tab7
+
+    fig19, tab7 = run_once(benchmark, both)
+    with capsys.disabled():
+        print("\nFig.19 stage-duration sensitivity (util / delay ms):")
+        for label, families in fig19.items():
+            for family, m in families.items():
+                print(f"  {label:10s} {family:9s} {m['utilization']:.3f} "
+                      f"{m['avg_delay_ms']:7.1f}")
+        print("Tab.7 threshold sensitivity:")
+        for label, families in tab7.items():
+            for family, m in families.items():
+                print(f"  {label:6s} {family:9s} {m['utilization']:.3f} "
+                      f"{m['avg_delay_ms']:7.1f}")
+    # Shape: low sensitivity — every configuration stays functional.
+    for families in list(fig19.values()) + list(tab7.values()):
+        for m in families.values():
+            assert m["utilization"] > 0.5

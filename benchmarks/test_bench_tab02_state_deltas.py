@@ -1,0 +1,20 @@
+"""Bench: Tab. 2 — adding/removing states around the Baseline set."""
+
+from repro.experiments.rl_ablation import run_tab2
+
+from conftest import run_once
+
+
+def test_tab2_state_deltas(benchmark, scale, capsys):
+    epochs = 30 if scale["duration"] > 30 else 5
+    data = run_once(benchmark, run_tab2, epochs=epochs, seed=1)
+    with capsys.disabled():
+        print("\nTab.2 deltas vs Baseline (reward%, thr%, lat%, loss pp):")
+        for label, m in data.items():
+            print(f"  {label:20s} {m['reward_delta']:+7.1f}% "
+                  f"{m['throughput_delta']:+6.1f}% {m['latency_delta']:+6.1f}% "
+                  f"{m['loss_delta']:+6.3f}")
+    assert data["Baseline"]["reward_delta"] == 0.0
+    assert set(data) == {"Baseline", "-(vi)", "+(i)(ii)", "+(i)(ii)(iii)",
+                         "+(ii)(iii)(v)-(iv)", "+(iii)", "+(ii)", "+(i)",
+                         "-(ix)"}

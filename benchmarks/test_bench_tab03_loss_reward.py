@@ -1,0 +1,19 @@
+"""Bench: Tab. 3 — reward with vs without the loss-rate term."""
+
+from repro.experiments.rl_ablation import run_tab3
+
+from conftest import run_once
+
+
+def test_tab3_loss_in_reward(benchmark, scale, capsys):
+    epochs = 30 if scale["duration"] > 30 else 8
+    data = run_once(benchmark, run_tab3, epochs=epochs, seed=1)
+    with capsys.disabled():
+        print("\nTab.3 loss-term ablation (thr Mbps / latency ms / loss):")
+        for label, m in data.items():
+            print(f"  {label:15s} {m['throughput_mbps']:6.1f} "
+                  f"{m['latency_ms']:7.1f} {m['loss_rate']:.4f}")
+    # Shape: dropping the loss term must not *reduce* loss (paper: it
+    # explodes to 37.5%).
+    assert data["w/o loss rate"]["loss_rate"] >= \
+        data["with loss rate"]["loss_rate"] - 1e-6

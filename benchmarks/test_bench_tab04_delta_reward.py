@@ -1,0 +1,19 @@
+"""Bench: Tab. 4 — absolute reward r vs difference reward delta-r."""
+
+from repro.experiments.rl_ablation import run_tab4
+
+from conftest import run_once
+
+
+def test_tab4_delta_reward(benchmark, scale, capsys):
+    epochs = 30 if scale["duration"] > 30 else 8
+    data = run_once(benchmark, run_tab4, epochs=epochs, seed=1)
+    with capsys.disabled():
+        print("\nTab.4 r vs delta-r (thr / latency / loss / Jain):")
+        for label, m in data.items():
+            print(f"  {label:8s} {m['throughput_mbps']:6.1f}Mbps "
+                  f"{m['latency_ms']:7.1f}ms {m['loss_rate']:.4f} "
+                  f"jain={m['fairness']:.3f}")
+    assert set(data) == {"r", "delta-r"}
+    for m in data.values():
+        assert 0.0 < m["fairness"] <= 1.0

@@ -1,0 +1,24 @@
+"""Bench: Tab. 6 — safety assurance over repeated trials."""
+
+from repro.experiments.safety import run_tab6
+
+from conftest import run_once
+
+
+def test_tab6_safety(benchmark, scale, capsys):
+    data = run_once(benchmark, run_tab6, trials=scale["trials"],
+                    duration=scale["duration"])
+    with capsys.disabled():
+        print("\nTab.6 utilization over repeated trials "
+              "(mean / range / std):")
+        for net_name, per_cca in data.items():
+            print(f"  {net_name}")
+            for cca, stats in per_cca.items():
+                print(f"    {cca:10s} {stats['mean']:.3f} "
+                      f"{stats['range']:.3f} {stats['std']:.3f}")
+    # Shape: averaged across networks, Libra's spread stays at or below
+    # Orca's (the paper's 0.17-0.52x std ratio).
+    import numpy as np
+    orca_std = np.mean([d["orca"]["std"] for d in data.values()])
+    libra_std = np.mean([d["c-libra"]["std"] for d in data.values()])
+    assert libra_std <= orca_std + 0.02

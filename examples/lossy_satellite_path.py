@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Bulk transfer over a long, lossy path (Sec. 7's satellite discussion).
+
+Satellite-like paths combine a long RTT with a noticeable stochastic
+loss rate — exactly where loss-based CCAs collapse (every random loss
+triggers a rate cut).  The paper argues Libra handles this via x_rl and
+x_prev out-voting CUBIC's spurious reductions (Remark 3).  This example
+sweeps the stochastic loss rate on a 600 ms-RTT path and compares CUBIC,
+BBR and both Libra variants.
+"""
+
+from repro import Dumbbell, make_controller, wired_trace
+
+DURATION = 30.0
+RTT = 0.6            # GEO-satellite-class round trip
+BANDWIDTH_MBPS = 20.0
+BUFFER_BYTES = int(BANDWIDTH_MBPS * 1e6 * RTT / 8)
+
+
+def run_one(cca: str, loss: float) -> float:
+    net = Dumbbell(wired_trace(BANDWIDTH_MBPS), buffer_bytes=BUFFER_BYTES,
+                   rtt=RTT, loss_rate=loss, seed=5)
+    net.add_flow(make_controller(cca, seed=5))
+    return net.run(DURATION).utilization
+
+
+def main() -> None:
+    ccas = ("cubic", "bbr", "c-libra", "b-libra")
+    losses = (0.0, 0.02, 0.06)
+    print(f"== {BANDWIDTH_MBPS:.0f} Mbps, {RTT * 1e3:.0f} ms RTT "
+          f"(satellite-class), link utilization ==\n")
+    print(f"{'loss':>6s}  " + "  ".join(f"{c:>8s}" for c in ccas))
+    for loss in losses:
+        cells = "  ".join(f"{run_one(c, loss):>8.1%}" for c in ccas)
+        print(f"{loss:>6.0%}  {cells}")
+    print("\nCUBIC's utilization collapses as stochastic loss grows.")
+    print("B-Libra keeps the link busy (BBR's model ignores isolated")
+    print("losses); C-Libra inherits some of CUBIC's loss sensitivity at")
+    print("satellite RTTs — exactly the paper's Remark 8: loss resilience")
+    print("depends on the underlying classic CCA, so pick BBR here.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: run C-Libra on an emulated bottleneck and read the results.
+
+Builds a 48 Mbps / 100 ms dumbbell with a 1-BDP droptail buffer, runs one
+C-Libra flow next to plain CUBIC for comparison, and prints throughput,
+delay, loss, and Libra's decision mix.
+"""
+
+from repro import Dumbbell, make_controller, wired_trace
+
+DURATION = 20.0
+BOTTLENECK_MBPS = 48.0
+RTT = 0.1
+BUFFER_BYTES = int(BOTTLENECK_MBPS * 1e6 * RTT / 8)  # 1 BDP
+
+
+def run_one(cca_name: str) -> None:
+    net = Dumbbell(wired_trace(BOTTLENECK_MBPS), buffer_bytes=BUFFER_BYTES,
+                   rtt=RTT, seed=1)
+    controller = make_controller(cca_name, seed=1)
+    net.add_flow(controller)
+    result = net.run(DURATION)
+    flow = result.flows[0]
+    print(f"{cca_name}:")
+    print(f"  throughput   {flow.throughput_mbps:6.2f} Mbps "
+          f"(link utilization {result.utilization:.1%})")
+    print(f"  average RTT  {flow.avg_rtt_ms:6.1f} ms "
+          f"(base RTT {RTT * 1e3:.0f} ms)")
+    print(f"  loss rate    {flow.loss_rate:6.2%}")
+    if hasattr(controller, "applied_fractions"):
+        fractions = controller.applied_fractions()
+        print(f"  decisions    x_prev {fractions['prev']:.0%} / "
+              f"x_rl {fractions['rl']:.0%} / x_cl {fractions['cl']:.0%} "
+              f"over {controller.cycles} control cycles")
+    print()
+
+
+def main() -> None:
+    print(f"== {BOTTLENECK_MBPS:.0f} Mbps bottleneck, {RTT * 1e3:.0f} ms RTT, "
+          f"1 BDP droptail buffer, {DURATION:.0f} s ==\n")
+    run_one("cubic")
+    run_one("c-libra")
+    print("C-Libra should hold throughput close to CUBIC's while keeping the")
+    print("average RTT near the base RTT instead of filling the buffer.")
+
+
+if __name__ == "__main__":
+    main()

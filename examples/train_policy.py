@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Train Libra's DRL component (and the baselines' policies) from scratch.
+
+Usage:
+    python examples/train_policy.py libra            # one policy kind
+    python examples/train_policy.py --all            # everything the
+                                                     # evaluation needs
+    python examples/train_policy.py libra --epochs 200 --out /tmp/w
+
+Policies are PPO Gaussian actor-critics trained in the fluid environment
+with the paper's randomized network ranges (Sec. 5 Implementation).  The
+repository ships pretrained weights in ``src/repro/assets``; this script
+regenerates them.
+"""
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from repro.assets import _ASSET_DIR  # default output location
+from repro.training import TRAIN_SPECS, train_and_save_all, train_policy
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("kind", nargs="?", choices=sorted(TRAIN_SPECS),
+                        help="policy kind to train")
+    parser.add_argument("--all", action="store_true",
+                        help="train every policy kind")
+    parser.add_argument("--epochs", type=int, default=80)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default=_ASSET_DIR,
+                        help="output directory for .npz weights")
+    args = parser.parse_args(argv)
+
+    if args.all:
+        train_and_save_all(args.out, epochs=args.epochs, seed=args.seed)
+        return 0
+    if not args.kind:
+        parser.error("give a policy kind or --all")
+
+    policy, history = train_policy(args.kind, epochs=args.epochs,
+                                   seed=args.seed)
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, f"{args.kind}.npz")
+    policy.save(path)
+    tail = history.episode_rewards[-50:]
+    print(f"trained {args.kind!r}: {len(history.episode_rewards)} episodes, "
+          f"final avg reward {np.mean(tail):.3f}")
+    print(f"saved to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Shim so `python setup.py develop` works on environments without the
+`wheel` package (PEP 660 editable installs need it; this box is offline)."""
+from setuptools import setup
+
+setup()

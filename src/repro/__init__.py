@@ -1,0 +1,32 @@
+"""repro — reproduction of Libra (CoNEXT 2021).
+
+A unified congestion control framework combining a classic CCA and an
+RL-based CCA through a three-stage explore / evaluate / exploit control
+cycle with a utility-based arbiter (Eq. 1).
+
+Quickstart::
+
+    from repro import make_controller, Dumbbell, wired_trace
+
+    net = Dumbbell(wired_trace(48), buffer_bytes=600_000, rtt=0.1)
+    net.add_flow(make_controller("c-libra"))
+    result = net.run(30.0)
+    print(result.flows[0].throughput_mbps, result.flows[0].avg_rtt_ms)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from .core import (LibraConfig, LibraController, UtilityParams, make_b_libra,
+                   make_c_libra, make_clean_slate, utility)
+from .registry import available_ccas, make_controller
+from .simnet import Dumbbell, RunResult, lte_trace, step_trace, wired_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dumbbell", "LibraConfig", "LibraController", "RunResult",
+    "UtilityParams", "available_ccas", "lte_trace", "make_b_libra",
+    "make_c_libra", "make_clean_slate", "make_controller", "step_trace",
+    "utility", "wired_trace", "__version__",
+]

@@ -1,0 +1,107 @@
+"""Command-line entry point: run experiments or quick single flows.
+
+Usage:
+    python -m repro list                       # available CCAs + experiments
+    python -m repro run c-libra --bw 48 --rtt 100 --duration 20
+    python -m repro experiment fig7            # print a paper artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+EXPERIMENT_MODULES = {
+    "fig1": "adaptability", "fig7": "adaptability", "fig8": "adaptability",
+    "fig2a": "practical_issues", "fig2b": "practical_issues",
+    "fig2c": "overhead", "fig12": "overhead",
+    "fig5": "rl_ablation", "fig6": "rl_ablation", "tab2": "rl_ablation",
+    "tab3": "rl_ablation", "tab4": "rl_ablation",
+    "fig9": "sweeps", "fig10": "sweeps",
+    "fig11": "flexibility",
+    "fig13": "fairness", "fig14": "fairness",
+    "fig15": "convergence", "tab5": "convergence",
+    "tab6": "safety",
+    "fig16": "internet",
+    "fig17": "deep_dive", "fig18": "deep_dive",
+    "fig19": "sensitivity", "tab7": "sensitivity",
+    "ablations": "ablations",
+}
+
+
+def cmd_list(_args) -> int:
+    from .registry import available_ccas
+
+    print("CCAs:", ", ".join(available_ccas()))
+    print("Experiments:", ", ".join(sorted(set(EXPERIMENT_MODULES))))
+    return 0
+
+
+def cmd_run(args) -> int:
+    from .registry import make_controller
+    from .simnet.network import Dumbbell
+    from .simnet.trace import lte_trace, wired_trace
+
+    if args.lte:
+        trace = lte_trace(args.lte, seed=args.seed)
+    else:
+        trace = wired_trace(args.bw)
+    rtt = args.rtt / 1000.0
+    buffer_bytes = args.buffer * 1000 if args.buffer else \
+        max(args.bw * 1e6 * rtt / 8.0, 30_000)
+    net = Dumbbell(trace, buffer_bytes=buffer_bytes, rtt=rtt,
+                   loss_rate=args.loss, seed=args.seed, aqm=args.aqm)
+    net.add_flow(make_controller(args.cca, seed=args.seed))
+    result = net.run(args.duration)
+    flow = result.flows[0]
+    print(f"{args.cca}: throughput={flow.throughput_mbps:.2f} Mbps "
+          f"(util {result.utilization:.1%}), avg RTT={flow.avg_rtt_ms:.1f} ms, "
+          f"loss={flow.loss_rate:.2%}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    import importlib
+
+    module_name = EXPERIMENT_MODULES.get(args.name)
+    if module_name is None:
+        print(f"unknown experiment {args.name!r}; "
+              f"try one of {sorted(set(EXPERIMENT_MODULES))}", file=sys.stderr)
+        return 2
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    module.main()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list CCAs and experiments")
+
+    run = sub.add_parser("run", help="run one flow through a bottleneck")
+    run.add_argument("cca")
+    run.add_argument("--bw", type=float, default=48.0, help="Mbps")
+    run.add_argument("--lte", choices=("stationary", "walking", "driving",
+                                       "moving"), help="use an LTE trace")
+    run.add_argument("--rtt", type=float, default=100.0, help="ms")
+    run.add_argument("--buffer", type=float, default=None, help="KB")
+    run.add_argument("--loss", type=float, default=0.0)
+    run.add_argument("--duration", type=float, default=20.0)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--aqm", choices=("droptail", "codel"),
+                     default="droptail")
+
+    exp = sub.add_parser("experiment", help="print one paper artifact")
+    exp.add_argument("name")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list(args)
+    if args.command == "run":
+        return cmd_run(args)
+    return cmd_experiment(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Pretrained policy weights bundled with the package.
+
+The evaluation experiments need trained DRL components; shipping the
+weights keeps every bench deterministic and fast.  Regenerate them with
+``python examples/train_policy.py --all`` (or
+:func:`repro.training.train_and_save_all`).
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..rl.policy import GaussianActorCritic
+
+_ASSET_DIR = os.path.dirname(os.path.abspath(__file__))
+
+#: policies expected to ship with the package
+POLICY_KINDS = ("libra", "aurora", "orca", "modified-rl")
+
+_cache: dict[str, GaussianActorCritic] = {}
+
+
+def asset_path(kind: str) -> str:
+    return os.path.join(_ASSET_DIR, f"{kind}.npz")
+
+
+def load_policy(kind: str, fresh: bool = False) -> GaussianActorCritic:
+    """Load a bundled pretrained policy by kind.
+
+    ``fresh=True`` returns a new instance (callers that mutate state or
+    need independent RNG streams); the default shares a cached copy,
+    which is safe because inference never mutates the weights.
+    """
+    if kind not in POLICY_KINDS:
+        raise KeyError(f"unknown policy kind {kind!r}; "
+                       f"choose from {POLICY_KINDS}")
+    if fresh:
+        return GaussianActorCritic.load(asset_path(kind))
+    if kind not in _cache:
+        path = asset_path(kind)
+        if not os.path.exists(path):
+            raise FileNotFoundError(
+                f"pretrained policy {path} missing — regenerate with "
+                f"`python examples/train_policy.py --all`")
+        _cache[kind] = GaussianActorCritic.load(path)
+    return _cache[kind]

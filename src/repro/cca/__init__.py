@@ -1,0 +1,33 @@
+"""Classic congestion control algorithms.
+
+From-scratch implementations of the kernel/userspace CCAs the paper uses
+as underlying components (CUBIC, BBR) and as baselines (NewReno, Vegas,
+Copa, Westwood+, Illinois, Sprout).
+"""
+
+from .base import Controller, FixedRateController, RateController, WindowController
+from .bbr import Bbr
+from .copa import Copa
+from .cubic import Cubic
+from .illinois import Illinois
+from .reno import NewReno
+from .sprout import Sprout
+from .vegas import Vegas
+from .westwood import Westwood
+
+CLASSIC_CCAS = {
+    "cubic": Cubic,
+    "bbr": Bbr,
+    "reno": NewReno,
+    "vegas": Vegas,
+    "copa": Copa,
+    "westwood": Westwood,
+    "illinois": Illinois,
+    "sprout": Sprout,
+}
+
+__all__ = [
+    "Bbr", "CLASSIC_CCAS", "Controller", "Copa", "Cubic",
+    "FixedRateController", "Illinois", "NewReno", "RateController",
+    "Sprout", "Vegas", "Westwood", "WindowController",
+]

@@ -1,0 +1,174 @@
+"""BBR congestion control (Cardwell et al., 2017), simplified.
+
+Implements the four-state BBR v1 machine — STARTUP, DRAIN, PROBE_BW with
+the 8-phase pacing-gain cycle, and PROBE_RTT — on top of windowed max
+bottleneck-bandwidth and windowed min RTT filters fed by per-ACK delivery
+rate samples.  This is the underlying classic CCA for B-Libra.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..simnet.packet import AckSample, LossSample
+from .base import Controller
+
+STARTUP_GAIN = 2.885
+DRAIN_GAIN = 1.0 / STARTUP_GAIN
+PROBE_BW_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+CWND_GAIN = 2.0
+BTLBW_WINDOW_RTTS = 10
+MIN_RTT_WINDOW = 10.0
+PROBE_RTT_DURATION = 0.2
+FULL_BW_THRESHOLD = 1.25
+FULL_BW_COUNT = 3
+
+
+class Bbr(Controller):
+    """BBR v1 (simplified): model-based rate control."""
+
+    name = "bbr"
+
+    def __init__(self, initial_rate_bps: float = 1_500_000.0):
+        super().__init__()
+        self.state = "STARTUP"
+        self.pacing_gain = STARTUP_GAIN
+        self.cwnd_gain = STARTUP_GAIN
+        self.initial_rate = initial_rate_bps
+        self.btlbw = 0.0
+        self.min_rtt = float("inf")
+        self.min_rtt_stamp = 0.0
+        self._bw_samples: deque[tuple[float, float]] = deque()
+        self._full_bw = 0.0
+        self._full_bw_count = 0
+        self._cycle_index = 0
+        self._cycle_stamp = 0.0
+        self._probe_rtt_done_stamp: float | None = None
+        self._last_full_bw_check = 0.0
+        self._now = 0.0
+        self._srtt = 0.1
+
+    # -- filters ---------------------------------------------------------
+
+    def _update_btlbw(self, now: float, rate: float) -> None:
+        window = BTLBW_WINDOW_RTTS * max(self._srtt, 1e-3)
+        samples = self._bw_samples
+        samples.append((now, rate))
+        while samples and samples[0][0] < now - window:
+            samples.popleft()
+        self.btlbw = max(r for _, r in samples)
+
+    def _update_min_rtt(self, now: float, rtt: float) -> None:
+        # The filter only refreshes on new minima; expiry is handled by
+        # PROBE_RTT (which drains the queue and re-measures), otherwise a
+        # standing queue would keep resetting the stamp and PROBE_RTT
+        # would never trigger.
+        if self.state == "PROBE_RTT":
+            self.min_rtt = rtt  # queue drained: re-measure from scratch
+            self.min_rtt_stamp = now
+        elif rtt < self.min_rtt:
+            self.min_rtt = rtt
+            self.min_rtt_stamp = now
+
+    # -- state machine -----------------------------------------------------
+
+    def _check_full_pipe(self, now: float) -> None:
+        # Evaluate once per round trip (per-ACK checks would see a flat
+        # estimate inside a round and declare the pipe full instantly).
+        if now - self._last_full_bw_check < max(self._srtt, 1e-3):
+            return
+        self._last_full_bw_check = now
+        if self.btlbw >= self._full_bw * FULL_BW_THRESHOLD:
+            self._full_bw = self.btlbw
+            self._full_bw_count = 0
+            return
+        self._full_bw_count += 1
+        if self._full_bw_count >= FULL_BW_COUNT:
+            self._enter_drain()
+
+    def _enter_drain(self) -> None:
+        self.state = "DRAIN"
+        self.pacing_gain = DRAIN_GAIN
+        self.cwnd_gain = STARTUP_GAIN
+
+    def _enter_probe_bw(self, now: float) -> None:
+        self.state = "PROBE_BW"
+        self._cycle_index = 2  # start in a cruise phase like Linux BBR
+        self._cycle_stamp = now
+        self.pacing_gain = PROBE_BW_GAINS[self._cycle_index]
+        self.cwnd_gain = CWND_GAIN
+
+    def _enter_probe_rtt(self, now: float) -> None:
+        self.state = "PROBE_RTT"
+        self.pacing_gain = 1.0
+        self.cwnd_gain = 1.0
+        self._probe_rtt_done_stamp = now + PROBE_RTT_DURATION
+
+    def _advance_cycle(self, now: float) -> None:
+        if now - self._cycle_stamp > max(self.min_rtt, 1e-3):
+            self._cycle_index = (self._cycle_index + 1) % len(PROBE_BW_GAINS)
+            self._cycle_stamp = now
+            self.pacing_gain = PROBE_BW_GAINS[self._cycle_index]
+
+    # -- feedback -------------------------------------------------------
+
+    def on_ack(self, ack: AckSample) -> None:
+        self.meter.count("per_ack")
+        now = ack.now
+        self._now = now
+        self._srtt = ack.srtt
+        self._update_min_rtt(now, ack.rtt)
+        if ack.delivery_rate > 0:
+            self._update_btlbw(now, ack.delivery_rate)
+
+        if self.state == "STARTUP":
+            self._check_full_pipe(now)
+        elif self.state == "DRAIN":
+            if ack.inflight_bytes <= self.bdp_bytes():
+                self._enter_probe_bw(now)
+        elif self.state == "PROBE_BW":
+            self._advance_cycle(now)
+            if now - self.min_rtt_stamp > MIN_RTT_WINDOW:
+                self._enter_probe_rtt(now)
+        elif self.state == "PROBE_RTT":
+            if (self._probe_rtt_done_stamp is not None
+                    and now >= self._probe_rtt_done_stamp):
+                self.min_rtt_stamp = now
+                if self._full_bw_count >= FULL_BW_COUNT:
+                    self._enter_probe_bw(now)
+                else:
+                    self.state = "STARTUP"
+                    self.pacing_gain = STARTUP_GAIN
+                    self.cwnd_gain = STARTUP_GAIN
+
+    def on_loss(self, loss: LossSample) -> None:
+        # BBR v1 largely ignores individual losses (its resilience to
+        # stochastic loss is why B-Libra keeps utilization at 10% loss).
+        self.meter.count("per_ack")
+
+    # -- decisions ---------------------------------------------------------
+
+    def bdp_bytes(self) -> float:
+        if self.btlbw <= 0 or self.min_rtt == float("inf"):
+            return 10 * self.mss
+        return self.btlbw * self.min_rtt / 8.0
+
+    def pacing_rate(self) -> float:
+        base = self.btlbw if self.btlbw > 0 else self.initial_rate
+        return max(self.pacing_gain * base, 64_000.0)
+
+    def cwnd(self) -> float:
+        if self.state == "PROBE_RTT":
+            return 4.0 * self.mss
+        if self.btlbw <= 0:
+            return 10.0 * self.mss
+        return max(self.cwnd_gain * self.bdp_bytes(), 4.0 * self.mss)
+
+    # -- Libra integration -----------------------------------------------
+
+    def adopt_rate(self, rate_bps: float, srtt: float) -> None:
+        """Seed BBR's bandwidth model with Libra's base rate."""
+        self._update_btlbw(self._now, rate_bps)
+
+    def rate_estimate(self, srtt: float) -> float:
+        return self.pacing_rate()

@@ -1,0 +1,105 @@
+"""CUBIC congestion control (Ha, Rhee, Xu 2008).
+
+The paper's default underlying classic CCA for C-Libra.  Implements the
+cubic window growth function with fast convergence and the TCP-friendly
+region, operating in packet (MSS) units internally like the kernel module.
+"""
+
+from __future__ import annotations
+
+
+
+from ..simnet.packet import AckSample, LossSample
+from .base import WindowController
+
+CUBE_C = 0.4
+BETA = 0.7
+
+
+class Cubic(WindowController):
+    """CUBIC: W(t) = C*(t-K)^3 + W_max."""
+
+    name = "cubic"
+
+    def __init__(self, initial_cwnd_packets: int = 10,
+                 fast_convergence: bool = True, tcp_friendly: bool = True):
+        super().__init__(initial_cwnd_packets)
+        self.fast_convergence = fast_convergence
+        self.tcp_friendly = tcp_friendly
+        self._reset_epoch()
+
+    def _reset_epoch(self) -> None:
+        self.w_max = 0.0          # packets
+        self.epoch_start: float | None = None
+        self.k = 0.0
+        self.origin_point = 0.0
+        self.w_tcp = 0.0
+        self.ack_count = 0
+
+    # -- window in packets -------------------------------------------------
+
+    @property
+    def cwnd_packets(self) -> float:
+        return self.cwnd_bytes / self.mss
+
+    @cwnd_packets.setter
+    def cwnd_packets(self, value: float) -> None:
+        self.cwnd_bytes = max(value, 2.0) * self.mss
+
+    # -- feedback ----------------------------------------------------------
+
+    def on_ack(self, ack: AckSample) -> None:
+        super().on_ack(ack)
+        if self.in_slow_start():
+            self.cwnd_bytes += ack.acked_bytes
+            return
+        self._cubic_update(ack.now, ack.srtt)
+
+    def _cubic_update(self, now: float, rtt: float) -> None:
+        cwnd = self.cwnd_packets
+        if self.epoch_start is None:
+            self.epoch_start = now
+            self.ack_count = 1
+            self.w_tcp = cwnd
+            if cwnd < self.w_max:
+                self.k = ((self.w_max - cwnd) / CUBE_C) ** (1.0 / 3.0)
+                self.origin_point = self.w_max
+            else:
+                self.k = 0.0
+                self.origin_point = cwnd
+        t = now - self.epoch_start + rtt
+        target = self.origin_point + CUBE_C * (t - self.k) ** 3
+        if target > cwnd:
+            increment = (target - cwnd) / cwnd
+        else:
+            increment = 0.01 / cwnd  # minimal probing in the concave plateau
+        if self.tcp_friendly:
+            # Standard TCP-friendly region: emulate AIMD(1, beta).
+            self.w_tcp += 3.0 * (1.0 - BETA) / (1.0 + BETA) / cwnd
+            if self.w_tcp > cwnd + increment:
+                increment = self.w_tcp - cwnd
+        self.cwnd_packets = cwnd + increment
+
+    def on_loss(self, loss: LossSample) -> None:
+        if not self.reduction_allowed(loss.now):
+            return
+        self.mark_reduction(loss.now)
+        cwnd = self.cwnd_packets
+        self.epoch_start = None
+        if self.fast_convergence and cwnd < self.w_max:
+            self.w_max = cwnd * (1.0 + BETA) / 2.0
+        else:
+            self.w_max = cwnd
+        self.cwnd_packets = max(cwnd * BETA, 2.0)
+        self.ssthresh = self.cwnd_bytes
+
+    # -- Libra integration -----------------------------------------------
+
+    def adopt_rate(self, rate_bps: float, srtt: float) -> None:
+        """Seed the window so CUBIC explores from Libra's base rate."""
+        self.cwnd_bytes = max(rate_bps * srtt / 8.0, self.min_cwnd_bytes)
+        self.epoch_start = None
+        self.w_max = max(self.w_max, self.cwnd_packets)
+
+    def rate_estimate(self, srtt: float) -> float:
+        return self.cwnd() * 8.0 / max(srtt, 1e-3)

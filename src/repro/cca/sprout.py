@@ -1,0 +1,65 @@
+"""Sprout-like forecast-based controller (Winstein et al., NSDI 2013).
+
+Sprout forecasts cellular link capacity with a stochastic model and sends
+only as much as can drain within a 100 ms delay budget at the 5th
+percentile of the forecast.  We reproduce that control objective with an
+EWMA bandwidth forecast discounted by its observed variability — a
+conservative, delay-bounded rate.  Documented in DESIGN.md as a stand-in
+(the full Sprout inference model needs its packet-pair measurement
+machinery, which the paper uses only as a baseline point).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..simnet.packet import IntervalReport
+from .base import RateController
+
+DELAY_BUDGET = 0.1        # Sprout's 100 ms target
+FORECAST_DISCOUNT = 1.0   # how many stddevs to subtract from the forecast
+TICK = 0.02               # Sprout's 20 ms tick
+
+
+class Sprout(RateController):
+    """Delay-bounded rate control from a discounted bandwidth forecast."""
+
+    name = "sprout"
+    userspace = True
+
+    def __init__(self, initial_rate_bps: float = 1_000_000.0):
+        super().__init__(initial_rate_bps)
+        self.bw_mean = 0.0
+        self.bw_var = 0.0
+        self.queue_delay = 0.0
+        self._min_rtt = float("inf")
+
+    def interval(self) -> float:
+        return TICK
+
+    def on_interval(self, report: IntervalReport) -> None:
+        if not report.has_feedback:
+            # No feedback: drain conservatively.
+            self.set_rate(self.rate_bps * 0.9)
+            return
+        if report.min_rtt > 0:
+            self._min_rtt = min(self._min_rtt, report.min_rtt)
+        sample = report.throughput
+        if self.bw_mean == 0.0:
+            self.bw_mean = sample
+        else:
+            err = sample - self.bw_mean
+            self.bw_mean += 0.25 * err
+            self.bw_var = 0.75 * self.bw_var + 0.25 * err * err
+        if self._min_rtt < float("inf") and report.avg_rtt > 0:
+            self.queue_delay = max(report.avg_rtt - self._min_rtt, 0.0)
+        # Cautious forecast: mean minus a stddev, never negative.
+        forecast = max(self.bw_mean - FORECAST_DISCOUNT * math.sqrt(self.bw_var), 0.0)
+        if self.queue_delay < DELAY_BUDGET / 4.0:
+            # Queue nearly empty: probe above the forecast (Sprout's
+            # forecaster extrapolates spare capacity in this regime).
+            self.set_rate(max(forecast, self.rate_bps) * 1.1)
+        else:
+            # Send what drains within the delay budget.
+            headroom = max(DELAY_BUDGET - self.queue_delay, 0.0) / DELAY_BUDGET
+            self.set_rate(max(forecast * headroom, self.MIN_RATE))

@@ -1,0 +1,21 @@
+"""Libra core: utility function, equilibrium analysis, the three-stage
+controller, and factories for its variants."""
+
+from .clean_slate import CleanSlateLibra
+from .config import LibraConfig, bbr_config, cubic_config
+from .equilibrium import (best_response, droptail_gradient, droptail_loss,
+                          game_utility, is_concave_in_own_rate,
+                          symmetric_equilibrium)
+from .factory import make_b_libra, make_c_libra, make_clean_slate, make_libra
+from .libra import LibraController
+from .utility import (DEFAULT_PARAMS, PRESETS, UtilityParams, utility,
+                      utility_derivative)
+
+__all__ = [
+    "CleanSlateLibra", "DEFAULT_PARAMS", "LibraConfig", "LibraController",
+    "PRESETS", "UtilityParams", "bbr_config", "best_response", "cubic_config",
+    "droptail_gradient", "droptail_loss", "game_utility",
+    "is_concave_in_own_rate", "make_b_libra", "make_c_libra",
+    "make_clean_slate", "make_libra", "symmetric_equilibrium", "utility",
+    "utility_derivative",
+]

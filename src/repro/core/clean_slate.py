@@ -1,0 +1,67 @@
+"""Clean-Slate Libra (CL-Libra): the framework without a classic CCA.
+
+The paper uses CL-Libra as a benchmark "to emphasize the importance of
+combination" (Sec. 5 Setup): it keeps the three-stage utility-driven
+cycle and the RL component, but the classic CCA is replaced by a
+rate-hold, so every cycle evaluates only {x_prev, x_rl}.  Without the
+classic CCA's ramping and loss reaction, CL-Libra adapts more slowly and
+costs more (the RL agent carries all of the exploration burden).
+"""
+
+from __future__ import annotations
+
+from ..cca.base import Controller
+from .config import LibraConfig
+from .libra import LibraController
+
+
+class _HoldRate(Controller):
+    """A degenerate 'classic CCA' that holds the adopted rate.
+
+    Only a PCC-style startup is provided (double per RTT until delay or
+    loss says stop) so CL-Libra can leave its initial rate; after that,
+    all adaptation must come from the RL candidate via the evaluation
+    stage — there is no classic wisdom to fall back on.
+    """
+
+    name = "hold"
+
+    def __init__(self, initial_rate_bps: float = 1_500_000.0):
+        super().__init__()
+        self._rate = initial_rate_bps
+        self._starting = True
+        self._last_double = 0.0
+
+    def adopt_rate(self, rate_bps: float, srtt: float) -> None:
+        self._rate = rate_bps
+
+    def rate_estimate(self, srtt: float) -> float:
+        return self._rate
+
+    def on_ack(self, ack) -> None:
+        if not self._starting:
+            return
+        if ack.rtt > 1.5 * ack.min_rtt:
+            self._starting = False
+            return
+        if ack.now - self._last_double >= ack.srtt:
+            self._last_double = ack.now
+            self._rate *= 2.0
+
+    def on_loss(self, loss) -> None:
+        self._starting = False
+
+    def pacing_rate(self) -> float:
+        return self._rate
+
+    def cwnd(self) -> None:
+        return None
+
+
+class CleanSlateLibra(LibraController):
+    """Libra's cycle with only the RL candidate (no classic wisdom)."""
+
+    name = "cl-libra"
+
+    def __init__(self, policy, config: LibraConfig | None = None, seed: int = 0):
+        super().__init__(_HoldRate(), policy, config, seed)

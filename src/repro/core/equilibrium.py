@@ -1,0 +1,96 @@
+"""Executable form of the paper's convergence/fairness analysis (Appendix A).
+
+Under a droptail queue with ``n`` senders sharing capacity ``C``
+(all rates in Mbps), when the total sending rate S >= C:
+
+- loss rate         L = 1 - C/S,
+- RTT gradient      dRTT/dt = (S - C)/C,
+
+so sender ``i``'s utility becomes a closed-form function of the rate
+vector.  These helpers evaluate that game, verify concavity /
+social-concavity numerically, and locate the symmetric Nash equilibrium
+— the quantities Theorem 4.1 and Lemmas A.1-A.4 reason about.  The
+property-based tests in ``tests/core/test_equilibrium.py`` check the
+lemmas on sampled instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .utility import DEFAULT_PARAMS, UtilityParams
+
+
+def droptail_loss(total_rate: float, capacity: float) -> float:
+    """L = max(0, 1 - C/S) under a droptail queue (Appendix A.1)."""
+    if total_rate <= 0:
+        return 0.0
+    return max(0.0, 1.0 - capacity / total_rate)
+
+
+def droptail_gradient(total_rate: float, capacity: float) -> float:
+    """dRTT/dt = max(0, (S - C)/C) under a droptail queue (Appendix A.1)."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    return max(0.0, (total_rate - capacity) / capacity)
+
+
+def game_utility(rates_mbps, index: int, capacity_mbps: float,
+                 params: UtilityParams = DEFAULT_PARAMS) -> float:
+    """Sender ``index``'s utility given everyone's rates (Appendix A.1)."""
+    rates = np.asarray(rates_mbps, dtype=float)
+    if np.any(rates < 0):
+        raise ValueError("rates must be non-negative")
+    total = float(rates.sum())
+    x = float(rates[index])
+    return (params.alpha * x ** params.t
+            - params.beta * x * droptail_gradient(total, capacity_mbps)
+            - params.gamma * x * droptail_loss(total, capacity_mbps))
+
+
+def best_response(rates_mbps, index: int, capacity_mbps: float,
+                  params: UtilityParams = DEFAULT_PARAMS,
+                  grid: int = 4000, max_rate: float | None = None) -> float:
+    """Numerically maximize sender ``index``'s utility over its own rate."""
+    rates = np.asarray(rates_mbps, dtype=float).copy()
+    hi = max_rate if max_rate is not None else 3.0 * capacity_mbps
+    candidates = np.linspace(1e-3, hi, grid)
+    best_x, best_u = 0.0, -np.inf
+    for x in candidates:
+        rates[index] = x
+        u = game_utility(rates, index, capacity_mbps, params)
+        if u > best_u:
+            best_u, best_x = u, float(x)
+    return best_x
+
+
+def symmetric_equilibrium(n: int, capacity_mbps: float,
+                          params: UtilityParams = DEFAULT_PARAMS,
+                          iterations: int = 60) -> float:
+    """Find the symmetric fixed point x* with best-response dynamics.
+
+    Lemma A.2/A.3: the game has a unique equilibrium and it is the fair
+    share — every sender sends x* with n*x* >= C.
+    """
+    if n < 1:
+        raise ValueError("need at least one sender")
+    x = capacity_mbps / n
+    for _ in range(iterations):
+        rates = np.full(n, x)
+        response = best_response(rates, 0, capacity_mbps, params)
+        x = 0.5 * x + 0.5 * response
+    return float(x)
+
+
+def is_concave_in_own_rate(capacity_mbps: float, others_total: float,
+                           params: UtilityParams = DEFAULT_PARAMS,
+                           grid: int = 300) -> bool:
+    """Numerical check of Lemma A.2 part (1): u_i concave in x_i."""
+    xs = np.linspace(0.5, 2.0 * capacity_mbps, grid)
+    us = []
+    for x in xs:
+        rates = np.array([x, others_total])
+        us.append(game_utility(rates, 0, capacity_mbps, params))
+    us = np.asarray(us)
+    second_diff = us[2:] - 2.0 * us[1:-1] + us[:-2]
+    return bool(np.all(second_diff <= 1e-6 * max(1.0, np.abs(us).max())))

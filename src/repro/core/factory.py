@@ -1,0 +1,87 @@
+"""Factories for Libra variants (C-Libra, B-Libra, CL-Libra)."""
+
+from __future__ import annotations
+
+from ..cca.bbr import Bbr
+from ..cca.cubic import Cubic
+from .clean_slate import CleanSlateLibra
+from .config import LibraConfig, bbr_config, cubic_config
+from .libra import LibraController
+from .utility import PRESETS, UtilityParams
+
+
+def _resolve_policy(policy):
+    """``policy='pretrained'`` loads the bundled Libra policy."""
+    if policy == "pretrained":
+        from ..assets import load_policy
+        return load_policy("libra")
+    return policy
+
+
+def _preset(utility_preset: str | UtilityParams | None) -> UtilityParams | None:
+    if utility_preset is None or isinstance(utility_preset, UtilityParams):
+        return utility_preset
+    key = utility_preset.lower()
+    if key not in PRESETS:
+        raise KeyError(f"unknown utility preset {utility_preset!r}; "
+                       f"choose from {sorted(PRESETS)}")
+    return PRESETS[key]
+
+
+def make_c_libra(policy="pretrained",
+                 utility_preset: str | UtilityParams | None = None,
+                 config: LibraConfig | None = None,
+                 seed: int = 0) -> LibraController:
+    """C-Libra: Libra with CUBIC as the underlying classic CCA."""
+    cfg = config or cubic_config()
+    params = _preset(utility_preset)
+    if params is not None:
+        cfg.utility = params
+    controller = LibraController(Cubic(), _resolve_policy(policy), cfg, seed)
+    controller.name = "c-libra"
+    return controller
+
+
+def make_b_libra(policy="pretrained",
+                 utility_preset: str | UtilityParams | None = None,
+                 config: LibraConfig | None = None,
+                 seed: int = 0) -> LibraController:
+    """B-Libra: Libra with BBR (3-RTT exploration/exploitation stages)."""
+    cfg = config or bbr_config()
+    params = _preset(utility_preset)
+    if params is not None:
+        cfg.utility = params
+    controller = LibraController(Bbr(), _resolve_policy(policy), cfg, seed)
+    controller.name = "b-libra"
+    return controller
+
+
+def make_libra(classic_name: str, policy="pretrained",
+               utility_preset: str | UtilityParams | None = None,
+               config: LibraConfig | None = None,
+               seed: int = 0) -> LibraController:
+    """Libra over any registered classic CCA (Sec. 7: the CUBIC/BBR
+    parameter guidance extends to Westwood, Illinois, ...)."""
+    from ..cca import CLASSIC_CCAS
+
+    key = classic_name.lower()
+    if key not in CLASSIC_CCAS:
+        raise KeyError(f"unknown classic CCA {classic_name!r}; "
+                       f"choose from {sorted(CLASSIC_CCAS)}")
+    cfg = config or (bbr_config() if key == "bbr" else cubic_config())
+    params = _preset(utility_preset)
+    if params is not None:
+        cfg.utility = params
+    controller = LibraController(CLASSIC_CCAS[key](), _resolve_policy(policy),
+                                 cfg, seed)
+    controller.name = f"{key[0]}-libra" if key in ("cubic", "bbr") \
+        else f"libra-{key}"
+    return controller
+
+
+def make_clean_slate(policy="pretrained",
+                     config: LibraConfig | None = None,
+                     seed: int = 0) -> CleanSlateLibra:
+    """CL-Libra: the framework without classic-CCA wisdom."""
+    return CleanSlateLibra(_resolve_policy(policy), config or cubic_config(),
+                           seed)

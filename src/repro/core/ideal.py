@@ -1,0 +1,79 @@
+"""Offline ideal combination (Fig. 18: C-Ideal / B-Ideal).
+
+The paper's C-Ideal is built by running CUBIC and Clean-Slate Libra
+*individually* on the same emulated network, computing the utility of
+each over time, and taking the pointwise maximum — an offline combiner
+with no interaction between the components.  Comparing Libra against it
+shows the online framework loses little and sometimes wins (because the
+two CCAs reset each other through the evaluation stage, Remark 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simnet.endpoint import FlowStats
+from .utility import UtilityParams, utility
+
+
+def utility_series(stats: FlowStats, window: float = 1.0,
+                   params: UtilityParams | None = None,
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-window utility of a finished flow.
+
+    Throughput comes from the receiver-side delivered bins, the RTT
+    gradient from a least-squares slope of the window's RTT samples, and
+    loss from the sender's loss bins.
+    """
+    params = params or UtilityParams()
+    if window <= 0:
+        raise ValueError("window must be positive")
+    duration = stats.duration
+    n = max(int(duration / window), 1)
+    bins_per_window = max(int(round(window / stats.bin_width)), 1)
+
+    rtt = np.asarray(stats.rtt_samples, dtype=float)
+    times, values = [], []
+    for i in range(n):
+        t0 = stats.start_time + i * window
+        t1 = t0 + window
+        b0, b1 = i * bins_per_window, (i + 1) * bins_per_window
+        delivered = sum(stats.delivered_bins[b0:min(b1, len(stats.delivered_bins))])
+        lost = sum(stats.lost_bins[b0:min(b1, len(stats.lost_bins))])
+        throughput_mbps = delivered * 8.0 / window / 1e6
+        sent = delivered + lost
+        loss_rate = lost / sent if sent > 0 else 0.0
+        gradient = 0.0
+        if rtt.size:
+            mask = (rtt[:, 0] >= t0) & (rtt[:, 0] < t1)
+            seg = rtt[mask]
+            if seg.shape[0] >= 2:
+                t = seg[:, 0] - seg[:, 0].mean()
+                r = seg[:, 1] - seg[:, 1].mean()
+                den = float((t ** 2).sum())
+                if den > 0:
+                    gradient = float((t * r).sum() / den)
+        times.append(t0 + window / 2.0)
+        values.append(utility(throughput_mbps, gradient, loss_rate, params))
+    return np.asarray(times), np.asarray(values)
+
+
+def ideal_series(component_stats: list[FlowStats], window: float = 1.0,
+                 params: UtilityParams | None = None,
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Pointwise-max utility over individually-run component flows."""
+    if not component_stats:
+        raise ValueError("need at least one component run")
+    series = [utility_series(s, window, params) for s in component_stats]
+    n = min(len(v) for _, v in series)
+    times = series[0][0][:n]
+    stacked = np.vstack([v[:n] for _, v in series])
+    return times, stacked.max(axis=0)
+
+
+def normalize_utilities(*series: np.ndarray) -> list[np.ndarray]:
+    """Scale several utility series jointly into [0, 1] (Fig. 18's y-axis)."""
+    merged = np.concatenate(series)
+    lo, hi = float(merged.min()), float(merged.max())
+    span = hi - lo if hi > lo else 1.0
+    return [(s - lo) / span for s in series]

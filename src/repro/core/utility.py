@@ -1,0 +1,92 @@
+"""Libra's utility function (paper Eq. 1) and preference presets.
+
+``u(x) = alpha * x^t - beta * x * max(0, dRTT/dt) - gamma * x * L``
+
+with 0 < t < 1 and alpha, beta, gamma > 0.  Rates are expressed in Mbps
+(the convention of the PCC family, from which the default parameters
+t = 0.9, alpha = 1, beta = 900, gamma = 11.35 are taken — Sec. 5 Setup).
+
+Strict concavity in the sender's own rate (guaranteed by 0 < t < 1)
+gives the unique fair Nash equilibrium of Theorem 4.1; see
+:mod:`repro.core.equilibrium` for the executable version of that
+analysis and the property tests that pin it down.
+
+The flexibility experiments (Fig. 11) scale alpha (throughput-oriented
+presets Th-1/Th-2) or beta (latency-oriented presets La-1/La-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class UtilityParams:
+    """Preference parameters of Eq. 1.
+
+    ``gradient_scale`` calibrates the measured RTT slope to the regime
+    beta = 900 was tuned for.  PCC's coefficients assume the small
+    per-ACK RTT slopes of kernel/testbed measurements; this simulator's
+    per-window least-squares slopes on trace-driven links are ~two
+    orders of magnitude larger, which would make the delay term
+    lexicographically dominant and hide the alpha/beta preference
+    trade-off of Fig. 11.  The default rescales slopes so the penalty
+    *competes* with the throughput term exactly as in the paper
+    (substitution documented in DESIGN.md / EXPERIMENTS.md).
+    """
+
+    t: float = 0.9
+    alpha: float = 1.0
+    beta: float = 900.0
+    gamma: float = 11.35
+    gradient_scale: float = 1.0 / 300.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.t < 1.0:
+            raise ValueError("t must be in (0, 1) for strict concavity")
+        if self.alpha <= 0 or self.beta <= 0 or self.gamma <= 0:
+            raise ValueError("alpha, beta, gamma must be positive")
+
+    def scaled(self, alpha_mult: float = 1.0, beta_mult: float = 1.0,
+               gamma_mult: float = 1.0) -> "UtilityParams":
+        return replace(self, alpha=self.alpha * alpha_mult,
+                       beta=self.beta * beta_mult,
+                       gamma=self.gamma * gamma_mult)
+
+
+DEFAULT_PARAMS = UtilityParams()
+
+#: Fig. 11's preference presets
+PRESETS: dict[str, UtilityParams] = {
+    "default": DEFAULT_PARAMS,
+    "th-1": DEFAULT_PARAMS.scaled(alpha_mult=2.0),
+    "th-2": DEFAULT_PARAMS.scaled(alpha_mult=3.0),
+    "la-1": DEFAULT_PARAMS.scaled(beta_mult=2.0),
+    "la-2": DEFAULT_PARAMS.scaled(beta_mult=3.0),
+}
+
+
+def utility(rate_mbps: float, rtt_gradient: float, loss_rate: float,
+            params: UtilityParams = DEFAULT_PARAMS) -> float:
+    """Evaluate Eq. 1 for a measured (rate, RTT gradient, loss) triple.
+
+    ``rtt_gradient`` is d(RTT)/dt in seconds-per-second; only positive
+    gradients (growing queues) are penalized.
+    """
+    if rate_mbps < 0:
+        raise ValueError("rate must be non-negative")
+    x = rate_mbps
+    scaled_gradient = max(0.0, rtt_gradient) * params.gradient_scale
+    return (params.alpha * x ** params.t
+            - params.beta * x * scaled_gradient
+            - params.gamma * x * loss_rate)
+
+
+def utility_derivative(rate_mbps: float, rtt_gradient: float, loss_rate: float,
+                       params: UtilityParams = DEFAULT_PARAMS) -> float:
+    """du/dx at fixed gradient/loss — used by PCC-style gradient ascent."""
+    if rate_mbps <= 0:
+        return float("inf")
+    return (params.alpha * params.t * rate_mbps ** (params.t - 1.0)
+            - params.beta * max(0.0, rtt_gradient) * params.gradient_scale
+            - params.gamma * loss_rate)

@@ -1,0 +1,17 @@
+"""RL training environment: features (Tab. 1), rewards, action spaces,
+and the fluid-model single-bottleneck link."""
+
+from .actions import (ACTION_SPACES, ActionSpace, AiadActions,
+                      MimdAuroraActions, MimdOrcaActions)
+from .features import (CANDIDATES, FeatureSet, Measurement, Normalizer,
+                       STATE_SETS, StateBuilder, TAB2_VARIANTS)
+from .fluidenv import FluidEnvConfig, FluidLinkEnv, evaluate_policy
+from .reward import DEFAULT_WEIGHTS, RewardConfig, RewardFunction
+
+__all__ = [
+    "ACTION_SPACES", "ActionSpace", "AiadActions", "CANDIDATES",
+    "DEFAULT_WEIGHTS", "FeatureSet", "FluidEnvConfig", "FluidLinkEnv",
+    "Measurement", "MimdAuroraActions", "MimdOrcaActions", "Normalizer",
+    "RewardConfig", "RewardFunction", "STATE_SETS", "StateBuilder",
+    "TAB2_VARIANTS", "evaluate_policy",
+]

@@ -1,0 +1,84 @@
+"""Action-space designs for RL-based rate control (paper Sec. 4.2, Fig. 6).
+
+Two families are evaluated in the paper:
+
+- **AIAD** (RL-TCP, DRL-CC): ``x_{t+1} = x_t + a_t``,
+- **MIMD** (Aurora): ``x_{t+1} = x_t * (1 + δ a_t)`` for ``a_t >= 0`` and
+  ``x_t / (1 - δ a_t)`` otherwise, with δ = 0.025,
+- **MIMD** (Orca): ``x_{t+1} = x_t * 2^{a_t}``.
+
+Each supports the scale factors 1 / 5 / 10 studied in Fig. 6.  The paper
+selects MIMD for Libra's RL component because it learns faster and
+converges quickly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MIN_RATE = 64_000.0
+MAX_RATE = 2e9
+
+
+class ActionSpace:
+    """Maps a scalar policy action to the next sending rate."""
+
+    name = "base"
+
+    def __init__(self, scale: float = 1.0):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+
+    def clip_action(self, action: float) -> float:
+        return float(np.clip(action, -self.scale, self.scale))
+
+    def apply(self, rate_bps: float, action: float) -> float:
+        raise NotImplementedError
+
+    def _bound(self, rate_bps: float) -> float:
+        return float(np.clip(rate_bps, MIN_RATE, MAX_RATE))
+
+
+class AiadActions(ActionSpace):
+    """Additive increase / additive decrease; the unit step is 1 Mbps."""
+
+    name = "aiad"
+    UNIT_BPS = 1_000_000.0
+
+    def apply(self, rate_bps: float, action: float) -> float:
+        a = self.clip_action(action)
+        return self._bound(rate_bps + a * self.UNIT_BPS)
+
+
+class MimdAuroraActions(ActionSpace):
+    """Aurora's multiplicative update with damping factor δ = 0.025."""
+
+    name = "mimd-aurora"
+
+    def __init__(self, scale: float = 1.0, delta: float = 0.025):
+        super().__init__(scale)
+        self.delta = delta
+
+    def apply(self, rate_bps: float, action: float) -> float:
+        a = self.clip_action(action)
+        if a >= 0:
+            return self._bound(rate_bps * (1.0 + self.delta * a))
+        return self._bound(rate_bps / (1.0 - self.delta * a))
+
+
+class MimdOrcaActions(ActionSpace):
+    """Orca's exponential update ``x * 2^a`` (a in [-scale, scale])."""
+
+    name = "mimd-orca"
+
+    def apply(self, rate_bps: float, action: float) -> float:
+        a = self.clip_action(action)
+        return self._bound(rate_bps * (2.0 ** a))
+
+
+ACTION_SPACES = {
+    "aiad": AiadActions,
+    "mimd-aurora": MimdAuroraActions,
+    "mimd-orca": MimdOrcaActions,
+}

@@ -1,0 +1,32 @@
+"""Shared plumbing for learning-based controllers.
+
+Bridges the simulator's :class:`~repro.simnet.packet.IntervalReport`
+stream into the :class:`~repro.env.features.Measurement` records the
+feature library understands, so policies trained in the fluid env drop
+straight into the packet simulator.
+"""
+
+from __future__ import annotations
+
+from ..simnet.packet import IntervalReport
+from .features import Measurement
+
+
+def measurement_from_report(report: IntervalReport, rate_bps: float,
+                            min_rtt: float) -> Measurement:
+    """Convert a monitor-interval report into a feature measurement."""
+    acked = max(report.acked_packets, 1)
+    sent = max(report.sent_packets, 1)
+    return Measurement(
+        throughput=report.throughput,
+        send_rate=report.send_rate,
+        avg_rtt=report.avg_rtt if report.avg_rtt > 0 else min_rtt,
+        latest_rtt=report.avg_rtt if report.avg_rtt > 0 else min_rtt,
+        min_rtt=min_rtt,
+        rtt_gradient=report.rtt_gradient,
+        loss_rate=report.loss_rate,
+        ack_gap_ewma=report.duration / acked,
+        send_gap_ewma=report.duration / sent,
+        sent_packets=report.sent_packets,
+        acked_packets=report.acked_packets,
+        rate=rate_bps)

@@ -1,0 +1,195 @@
+"""State-space feature library (paper Tab. 1 and Tab. 2).
+
+Implements the nine state candidates (i)-(ix) collected from prior
+learning-based CCAs, the named state-space combinations used in Fig. 5
+(Aurora, RL-TCP, PCC, Remy, DRL-CC, Orca, Libra, and the paper's
+Baseline), and the add/remove variants of Tab. 2.
+
+Features are computed from per-MI :class:`Measurement` records and
+normalized (rates by the running max, delays by the running min) so the
+policy generalizes across links — the paper calls this out explicitly.
+A :class:`StateBuilder` stacks the last ``h`` feature vectors into the
+state vector S = <f_{t-h+1}, ..., f_t>.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+#: candidate identifiers in paper order
+CANDIDATES = ("i", "ii", "iii", "iv", "v", "vi", "vii", "viii", "ix")
+
+
+@dataclass(slots=True)
+class Measurement:
+    """One monitor interval's worth of network feedback."""
+
+    throughput: float      # delivered bps
+    send_rate: float       # pacing-side bps
+    avg_rtt: float         # seconds
+    latest_rtt: float      # seconds
+    min_rtt: float         # flow-lifetime minimum, seconds
+    rtt_gradient: float    # d(RTT)/dt, s/s
+    loss_rate: float       # fraction
+    ack_gap_ewma: float    # seconds between consecutive ACKs (EWMA)
+    send_gap_ewma: float   # seconds between consecutive sends (EWMA)
+    sent_packets: int
+    acked_packets: int
+    rate: float            # the sender's current rate decision, bps
+
+
+class Normalizer:
+    """Running normalization state: max rate seen and min delay seen."""
+
+    def __init__(self, init_max_rate: float = 1e6, init_min_delay: float = 1.0):
+        self.max_rate = init_max_rate
+        self.min_delay = init_min_delay
+
+    def observe(self, m: Measurement) -> None:
+        # Track the maximum *delivered* rate (the paper's x_max), not the
+        # send rate: normalizing by one's own send rate would penalize
+        # probing above previous peaks.
+        self.max_rate = max(self.max_rate, m.throughput)
+        if m.min_rtt > 0:
+            self.min_delay = min(self.min_delay, m.min_rtt)
+
+    def rate(self, bps: float) -> float:
+        if self.max_rate <= 0:
+            return 0.0
+        return min(bps / self.max_rate, 10.0)
+
+    def delay(self, seconds: float) -> float:
+        return seconds / self.min_delay if self.min_delay > 0 else 0.0
+
+
+def _candidate_values(key: str, m: Measurement, norm: Normalizer) -> tuple[float, ...]:
+    min_rtt = m.min_rtt if m.min_rtt > 0 else 1e-3
+    if key == "i":      # EWMA gap between sequential ACKs
+        return (min(m.ack_gap_ewma / min_rtt, 10.0),)
+    if key == "ii":     # EWMA gap between sequential sent packets
+        return (min(m.send_gap_ewma / min_rtt, 10.0),)
+    if key == "iii":    # latest RTT / min RTT
+        return (min(m.latest_rtt / min_rtt, 10.0),)
+    if key == "iv":     # current sending rate
+        return (norm.rate(m.rate),)
+    if key == "v":      # sent / acked ratio
+        acked = max(m.acked_packets, 1)
+        return (min(m.sent_packets / acked, 10.0),)
+    if key == "vi":     # current RTT and min RTT (two components)
+        return (min(norm.delay(m.avg_rtt), 10.0), min(norm.delay(min_rtt), 10.0))
+    if key == "vii":    # average loss rate
+        return (m.loss_rate,)
+    if key == "viii":   # latency derivative
+        return (float(np.clip(m.rtt_gradient, -5.0, 5.0)),)
+    if key == "ix":     # average delivery rate
+        return (norm.rate(m.throughput),)
+    raise KeyError(f"unknown state candidate {key!r}")
+
+
+class FeatureSet:
+    """An ordered set of Tab. 1 candidates, e.g. ``FeatureSet('iv vii viii ix')``."""
+
+    def __init__(self, keys):
+        if isinstance(keys, str):
+            keys = keys.split()
+        keys = tuple(keys)
+        for key in keys:
+            if key not in CANDIDATES:
+                raise KeyError(f"unknown state candidate {key!r}")
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate state candidates")
+        self.keys = keys
+        self.dim = sum(2 if k == "vi" else 1 for k in keys)
+
+    def extract(self, m: Measurement, norm: Normalizer) -> np.ndarray:
+        values: list[float] = []
+        for key in self.keys:
+            values.extend(_candidate_values(key, m, norm))
+        return np.asarray(values, dtype=float)
+
+    def plus(self, *keys: str) -> "FeatureSet":
+        return FeatureSet([*self.keys, *keys])
+
+    def minus(self, *keys: str) -> "FeatureSet":
+        drop = set(keys)
+        missing = drop - set(self.keys)
+        if missing:
+            raise KeyError(f"cannot remove absent candidates {sorted(missing)}")
+        return FeatureSet([k for k in self.keys if k not in drop])
+
+    def __repr__(self) -> str:
+        return f"FeatureSet({' '.join(self.keys)})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, FeatureSet) and self.keys == other.keys
+
+    def __hash__(self) -> int:
+        return hash(self.keys)
+
+
+#: the state spaces of prior CCAs, per Tab. 1's citations
+STATE_SETS: dict[str, FeatureSet] = {
+    "aurora": FeatureSet("iii v viii"),
+    "rl-tcp": FeatureSet("i ii iii iv"),
+    "remy": FeatureSet("i ii iii"),
+    "pcc": FeatureSet("iv vii viii"),
+    "drl-cc": FeatureSet("iv vi viii ix"),
+    "orca": FeatureSet("ii iv vi vii ix"),
+    # the paper's search baseline: union of PCC and DRL-CC states
+    "baseline": FeatureSet("iv vi vii viii ix"),
+    # the winner of the simulated-annealing search: baseline minus (vi)
+    "libra": FeatureSet("iv vii viii ix"),
+}
+
+#: Tab. 2 rows: label -> FeatureSet (relative to the baseline)
+TAB2_VARIANTS: dict[str, FeatureSet] = {
+    "Baseline": STATE_SETS["baseline"],
+    "-(vi)": STATE_SETS["baseline"].minus("vi"),
+    "+(i)(ii)": STATE_SETS["baseline"].plus("i", "ii"),
+    "+(i)(ii)(iii)": STATE_SETS["baseline"].plus("i", "ii", "iii"),
+    "+(ii)(iii)(v)-(iv)": STATE_SETS["baseline"].plus("ii", "iii", "v").minus("iv"),
+    "+(iii)": STATE_SETS["baseline"].plus("iii"),
+    "+(ii)": STATE_SETS["baseline"].plus("ii"),
+    "+(i)": STATE_SETS["baseline"].plus("i"),
+    "-(ix)": STATE_SETS["baseline"].minus("ix"),
+}
+
+
+class StateBuilder:
+    """Stacks the last ``h`` normalized feature vectors into the RL state.
+
+    The paper constructs S = <f_{t-h+1}, ..., f_t> so the agent can
+    detect network-condition changes from the sequence (Sec. 4.2).
+    """
+
+    def __init__(self, feature_set: FeatureSet, history: int = 8,
+                 normalizer: Normalizer | None = None):
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.feature_set = feature_set
+        self.history = history
+        self.normalizer = normalizer or Normalizer()
+        self._frames: deque[np.ndarray] = deque(maxlen=history)
+
+    @property
+    def dim(self) -> int:
+        return self.feature_set.dim * self.history
+
+    def reset(self) -> None:
+        self._frames.clear()
+
+    def push(self, m: Measurement) -> np.ndarray:
+        self.normalizer.observe(m)
+        self._frames.append(self.feature_set.extract(m, self.normalizer))
+        return self.state()
+
+    def state(self) -> np.ndarray:
+        frames = list(self._frames)
+        pad = self.history - len(frames)
+        if pad > 0:
+            zero = np.zeros(self.feature_set.dim)
+            frames = [zero] * pad + frames
+        return np.concatenate(frames)

@@ -1,0 +1,196 @@
+"""Fast fluid-model training environment.
+
+The paper trains Libra's DRL component in emulated networks whose
+capacity (10-200 Mbps), RTT (10-200 ms), buffer (10 KB-5 MB) and
+stochastic loss (0-10 %) are randomized per episode (Sec. 5
+"Implementation").  Training a packet-level simulator for thousands of
+episodes is wasteful; congestion control RL work (Aurora and its
+successors) trains against exactly this kind of MI-granularity fluid
+model of a single bottleneck: per monitor interval the queue integrates
+``(send rate - capacity)``, delay is ``rtt_min + queue/capacity``, and
+overflow plus Bernoulli loss feed the loss signal.
+
+Policies trained here transfer to :mod:`repro.simnet` because the state
+features are normalized ratios (see :mod:`repro.env.features`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .actions import ActionSpace, MimdOrcaActions
+from .features import FeatureSet, Measurement, Normalizer, STATE_SETS, StateBuilder
+from .reward import RewardConfig, RewardFunction
+
+MSS = 1500.0
+
+
+@dataclass
+class FluidEnvConfig:
+    """Training ranges (paper defaults) and episode shape."""
+
+    capacity_range: tuple[float, float] = (10e6, 200e6)
+    rtt_range: tuple[float, float] = (0.01, 0.2)
+    buffer_range: tuple[float, float] = (10e3, 5e6)
+    loss_range: tuple[float, float] = (0.0, 0.10)
+    episode_steps: int = 64
+    history: int = 8
+    feature_set: FeatureSet = field(default_factory=lambda: STATE_SETS["libra"])
+    reward: RewardConfig = field(default_factory=RewardConfig)
+    seed: int = 0
+    # Fix parameters (e.g. the paper's 100 Mbps / 100 ms / 1 BDP ablation
+    # setup) by setting ranges to a point, or use these overrides:
+    fixed_capacity: float | None = None
+    fixed_rtt: float | None = None
+    fixed_buffer: float | None = None
+    fixed_loss: float | None = None
+
+
+class FluidLinkEnv:
+    """Gym-like single-flow, single-bottleneck fluid environment."""
+
+    def __init__(self, config: FluidEnvConfig | None = None,
+                 action_space: ActionSpace | None = None):
+        self.config = config or FluidEnvConfig()
+        self.action_space = action_space or MimdOrcaActions(scale=1.0)
+        self.rng = np.random.default_rng(self.config.seed)
+        self.builder = StateBuilder(self.config.feature_set,
+                                    self.config.history)
+        self.reward_fn = RewardFunction(self.config.reward)
+        self.obs_dim = self.builder.dim
+        self.act_dim = 1
+        self._episode_stats: dict[str, float] = {}
+        self._reset_state()
+
+    # -- episode management --------------------------------------------------
+
+    def _sample(self, fixed: float | None, lo: float, hi: float) -> float:
+        if fixed is not None:
+            return fixed
+        return float(self.rng.uniform(lo, hi))
+
+    def _reset_state(self) -> None:
+        cfg = self.config
+        self.capacity = self._sample(cfg.fixed_capacity, *cfg.capacity_range)
+        self.rtt_min = self._sample(cfg.fixed_rtt, *cfg.rtt_range)
+        self.buffer = self._sample(cfg.fixed_buffer, *cfg.buffer_range)
+        self.loss_prob = self._sample(cfg.fixed_loss, *cfg.loss_range)
+        self.queue = 0.0
+        self.rate = float(self.capacity * self.rng.uniform(0.3, 1.2))
+        self.prev_rtt = self.rtt_min
+        self.steps = 0
+        self._episode_stats = {"throughput": 0.0, "latency": 0.0,
+                               "loss": 0.0, "count": 0.0}
+
+    def reset(self) -> np.ndarray:
+        self._reset_state()
+        self.builder.reset()
+        self.builder.normalizer = Normalizer(init_max_rate=self.capacity,
+                                             init_min_delay=self.rtt_min)
+        self.reward_fn.reset()
+        # Prime the state with one neutral measurement.
+        m = self._measure(self.rate, self.rate, 0.0, self.rtt_min)
+        return self.builder.push(m)
+
+    # -- dynamics ----------------------------------------------------------
+
+    def _measure(self, send_rate: float, throughput: float, loss_rate: float,
+                 avg_rtt: float) -> Measurement:
+        rtt_grad = (avg_rtt - self.prev_rtt) / max(self.mi_duration(), 1e-6)
+        safe_thr = max(throughput, 1.0)
+        safe_send = max(send_rate, 1.0)
+        return Measurement(
+            throughput=throughput, send_rate=send_rate,
+            avg_rtt=avg_rtt, latest_rtt=avg_rtt, min_rtt=self.rtt_min,
+            rtt_gradient=rtt_grad, loss_rate=loss_rate,
+            ack_gap_ewma=MSS * 8.0 / safe_thr,
+            send_gap_ewma=MSS * 8.0 / safe_send,
+            sent_packets=max(int(send_rate * self.mi_duration() / 8.0 / MSS), 1),
+            acked_packets=max(int(throughput * self.mi_duration() / 8.0 / MSS), 1),
+            rate=self.rate)
+
+    def mi_duration(self) -> float:
+        """One monitor interval = one base RTT (per-MI decisions, Sec. 4.2)."""
+        return self.rtt_min
+
+    def step(self, action) -> tuple[np.ndarray, float, bool, dict]:
+        a = float(np.asarray(action).reshape(-1)[0])
+        self.rate = self.action_space.apply(self.rate, a)
+        dt = self.mi_duration()
+
+        arrived = self.rate * dt / 8.0                       # bytes offered
+        random_lost = arrived * self.loss_prob
+        admitted = arrived - random_lost
+        service = self.capacity * dt / 8.0
+        backlog = self.queue + admitted
+        delivered = min(backlog, service)
+        new_queue = backlog - delivered
+        overflow = max(new_queue - self.buffer, 0.0)
+        new_queue = min(new_queue, self.buffer)
+
+        q_delay0 = self.queue * 8.0 / self.capacity
+        q_delay1 = new_queue * 8.0 / self.capacity
+        avg_rtt = self.rtt_min + 0.5 * (q_delay0 + q_delay1)
+        throughput = delivered * 8.0 / dt
+        loss_rate = (random_lost + overflow) / arrived if arrived > 0 else 0.0
+
+        self.queue = new_queue
+        m = self._measure(self.rate, throughput, loss_rate, avg_rtt)
+        obs = self.builder.push(m)
+        reward = self.reward_fn(m, self.builder.normalizer)
+        self.prev_rtt = avg_rtt
+
+        stats = self._episode_stats
+        stats["throughput"] += throughput
+        stats["latency"] += avg_rtt
+        stats["loss"] += loss_rate
+        stats["count"] += 1
+
+        self.steps += 1
+        done = self.steps >= self.config.episode_steps
+        info = {
+            "throughput": throughput, "avg_rtt": avg_rtt,
+            "loss_rate": loss_rate, "rate": self.rate,
+            "capacity": self.capacity, "utilization": throughput / self.capacity,
+        }
+        return obs, reward, done, info
+
+    # -- reporting --------------------------------------------------------
+
+    def episode_summary(self) -> dict[str, float]:
+        """Average throughput / latency / loss over the episode so far."""
+        stats = self._episode_stats
+        n = max(stats["count"], 1.0)
+        return {
+            "throughput_mbps": stats["throughput"] / n / 1e6,
+            "latency_ms": stats["latency"] / n * 1e3,
+            "loss_rate": stats["loss"] / n,
+            "capacity_mbps": self.capacity / 1e6,
+        }
+
+
+def evaluate_policy(env: FluidLinkEnv, policy, steps: int = 256,
+                    seed: int = 0) -> dict[str, float]:
+    """Run ``policy`` deterministically and return average performance."""
+    rng = np.random.default_rng(seed)
+    obs = env.reset()
+    totals = {"throughput": 0.0, "latency": 0.0, "loss": 0.0, "reward": 0.0}
+    count = 0
+    for _ in range(steps):
+        action, _, _ = policy.act(obs, rng, deterministic=True)
+        obs, reward, done, info = env.step(action)
+        totals["throughput"] += info["throughput"]
+        totals["latency"] += info["avg_rtt"]
+        totals["loss"] += info["loss_rate"]
+        totals["reward"] += reward
+        count += 1
+        if done:
+            obs = env.reset()
+    return {
+        "throughput_mbps": totals["throughput"] / count / 1e6,
+        "latency_ms": totals["latency"] / count * 1e3,
+        "loss_rate": totals["loss"] / count,
+        "avg_reward": totals["reward"] / count,
+    }

@@ -1,0 +1,55 @@
+"""Reward functions for the RL-based CCA (paper Sec. 4.2, Alg. 2).
+
+The paper's reward is ``r_t = w1*x_t/x_max - w2*d_t/d_min - w3*L_t`` with
+the *difference* ``R_t = r_t - r_{t-1}`` fed to PPO.  Two ablations are
+studied: dropping the loss term (Tab. 3) and using the absolute value
+``r`` instead of the difference ``Δr`` (Tab. 4); both are selectable here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .features import Measurement, Normalizer
+
+#: the paper's default reward weights (Sec. 5 Setup)
+DEFAULT_WEIGHTS = (1.0, 0.5, 10.0)
+
+
+@dataclass
+class RewardConfig:
+    w1: float = DEFAULT_WEIGHTS[0]
+    w2: float = DEFAULT_WEIGHTS[1]
+    w3: float = DEFAULT_WEIGHTS[2]
+    include_loss: bool = True
+    use_delta: bool = True
+
+
+class RewardFunction:
+    """Stateful reward (keeps r_{t-1} for the Δr variant)."""
+
+    def __init__(self, config: RewardConfig | None = None):
+        self.config = config or RewardConfig()
+        self._prev_r: float | None = None
+
+    def reset(self) -> None:
+        self._prev_r = None
+
+    def raw(self, m: Measurement, norm: Normalizer) -> float:
+        """The instantaneous reward value r_t."""
+        cfg = self.config
+        x_term = cfg.w1 * norm.rate(m.throughput)
+        d_term = cfg.w2 * min(norm.delay(m.avg_rtt), 10.0) if m.avg_rtt > 0 else 0.0
+        value = x_term - d_term
+        if cfg.include_loss:
+            value -= cfg.w3 * m.loss_rate
+        return value
+
+    def __call__(self, m: Measurement, norm: Normalizer) -> float:
+        r = self.raw(m, norm)
+        if not self.config.use_delta:
+            self._prev_r = r
+            return r
+        delta = r - self._prev_r if self._prev_r is not None else 0.0
+        self._prev_r = r
+        return delta

@@ -1,0 +1,18 @@
+"""Experiment harness: one module per paper figure/table.
+
+See DESIGN.md's per-experiment index for the mapping from paper artifact
+to module and bench target.
+"""
+
+from . import (adaptability, convergence, deep_dive, fairness, flexibility,
+               internet, overhead, practical_issues, rl_ablation, safety,
+               sensitivity, sweeps)
+from .harness import (FlowSummary, format_table, mean_metrics, run_seeds,
+                      run_single)
+
+__all__ = [
+    "FlowSummary", "adaptability", "convergence", "deep_dive", "fairness",
+    "flexibility", "format_table", "internet", "mean_metrics", "overhead",
+    "practical_issues", "rl_ablation", "run_seeds", "run_single", "safety",
+    "sensitivity", "sweeps",
+]

@@ -1,0 +1,105 @@
+"""Design-choice ablations beyond the paper's printed figures.
+
+DESIGN.md calls out three design decisions worth ablating:
+
+- **Evaluation order** (Sec. 4.1 / Fig. 4): "lower rate first" minimizes
+  self-inflicted side effects.  We flip it and measure the damage.
+- **AQM vs Libra** (Sec. 2): CUBIC needs CoDel in the network to get low
+  delay; Libra achieves it end-to-end without touching the devices.
+- **Other classic CCAs** (Sec. 7): the CUBIC/BBR parameter guidance is
+  claimed to extend to Westwood and Illinois.
+"""
+
+from __future__ import annotations
+
+from ..core.config import LibraConfig
+from ..core.factory import make_libra
+from ..registry import make_controller
+from ..scenarios.presets import LTE, WIRED, Scenario
+from .harness import format_table, mean_metrics, run_seeds
+
+
+def run_eval_order(seeds=(1, 2), duration: float = 16.0) -> dict:
+    """Lower-rate-first vs higher-rate-first evaluation (Fig. 4's claim)."""
+    out = {}
+    for order in ("lower-first", "higher-first"):
+        utils, delays, losses = [], [], []
+        for scenario in (WIRED["wired-24"], LTE["lte-walking"]):
+            runs = run_seeds("c-libra", scenario, seeds, duration=duration,
+                             config=LibraConfig(eval_order=order))
+            m = mean_metrics(runs)
+            utils.append(m["utilization"])
+            delays.append(m["avg_rtt_ms"])
+            losses.append(m["loss_rate"])
+        out[order] = {
+            "utilization": sum(utils) / len(utils),
+            "avg_rtt_ms": sum(delays) / len(delays),
+            "loss_rate": sum(losses) / len(losses),
+        }
+    return out
+
+
+def run_aqm_comparison(seeds=(1,), duration: float = 16.0) -> dict:
+    """CUBIC behind CoDel vs Libra end-to-end on a deep buffer (Sec. 2)."""
+    base = WIRED["wired-24"].with_(buffer_bytes=600_000)
+    out = {}
+    for label, cca, aqm in (("cubic+droptail", "cubic", "droptail"),
+                            ("cubic+codel", "cubic", "codel"),
+                            ("c-libra+droptail", "c-libra", "droptail")):
+        utils, delays = [], []
+        for seed in seeds:
+            net = base.build(seed=seed)
+            if aqm == "codel":
+                # rebuild with the AQM queue
+                from ..simnet.network import Dumbbell
+                net = Dumbbell(base.trace(seed), buffer_bytes=base.buffer_bytes,
+                               rtt=base.rtt, seed=seed, aqm="codel")
+            net.add_flow(make_controller(cca, seed=seed))
+            result = net.run(duration)
+            utils.append(result.utilization)
+            delays.append(result.flows[0].avg_rtt_ms)
+        out[label] = {"utilization": sum(utils) / len(utils),
+                      "avg_rtt_ms": sum(delays) / len(delays)}
+    return out
+
+
+def run_other_classics(classics=("cubic", "bbr", "westwood", "illinois"),
+                       seeds=(1,), duration: float = 16.0) -> dict:
+    """Libra over alternative classic CCAs (Sec. 7)."""
+    out = {}
+    for classic in classics:
+        utils, delays = [], []
+        for scenario in (WIRED["wired-24"], LTE["lte-walking"]):
+            for seed in seeds:
+                net = scenario.build(seed=seed)
+                net.add_flow(make_libra(classic, seed=seed))
+                result = net.run(duration)
+                utils.append(result.utilization)
+                delays.append(result.flows[0].avg_rtt_ms)
+        out[classic] = {"utilization": sum(utils) / len(utils),
+                        "avg_rtt_ms": sum(delays) / len(delays)}
+    return out
+
+
+def main() -> None:
+    order = run_eval_order()
+    rows = [[label, m["utilization"], m["avg_rtt_ms"], m["loss_rate"]]
+            for label, m in order.items()]
+    print(format_table(["eval order", "util", "delay_ms", "loss"], rows,
+                       title="Ablation: evaluation order (Sec. 4.1)"))
+    print()
+    aqm = run_aqm_comparison()
+    rows = [[label, m["utilization"], m["avg_rtt_ms"]]
+            for label, m in aqm.items()]
+    print(format_table(["setup", "util", "delay_ms"], rows,
+                       title="Ablation: AQM vs end-to-end Libra (Sec. 2)"))
+    print()
+    classics = run_other_classics()
+    rows = [[name, m["utilization"], m["avg_rtt_ms"]]
+            for name, m in classics.items()]
+    print(format_table(["classic CCA", "util", "delay_ms"], rows,
+                       title="Ablation: Libra over other classic CCAs (Sec. 7)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Adaptability experiments: Fig. 1, Fig. 7, Fig. 8 (Sec. 5.1).
+
+- Fig. 1:  link utilization and average delay per scenario (wired 24/48/96
+  + LTE stationary/walking/driving) for CUBIC, BBR, Orca, Proteus, Libra.
+- Fig. 7:  normalized average throughput vs average delay, aggregated over
+  four wired and four cellular traces, for the full CCA roster.
+- Fig. 8:  throughput time series following a varying LTE link.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scenarios.presets import FIG1_SCENARIOS, FIG7_CELLULAR, FIG7_WIRED, LTE
+from .harness import format_table, mean_metrics, run_seeds, run_single
+
+FIG1_CCAS = ("cubic", "bbr", "orca", "proteus", "c-libra")
+
+FIG7_CCAS = ("cubic", "bbr", "copa", "sprout", "remy", "indigo", "aurora",
+             "vivace", "proteus", "orca", "modified-rl", "cl-libra",
+             "c-libra", "b-libra")
+
+
+def run_fig1(ccas=FIG1_CCAS, seeds=(1, 2), duration: float = 16.0) -> dict:
+    """Per-scenario utilization and delay (Fig. 1's two bar charts)."""
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for scenario in FIG1_SCENARIOS:
+        per_cca = {}
+        for cca in ccas:
+            runs = run_seeds(cca, scenario, seeds, duration=duration)
+            per_cca[cca] = mean_metrics(runs)
+        out[scenario.name] = per_cca
+    return out
+
+
+def run_fig7(ccas=FIG7_CCAS, seeds=(1,), duration: float = 16.0) -> dict:
+    """Normalized throughput / delay scatter over wired and cellular."""
+    out = {}
+    for family, scenarios in (("wired", FIG7_WIRED), ("cellular", FIG7_CELLULAR)):
+        per_cca = {}
+        for cca in ccas:
+            utils, delays = [], []
+            for scenario in scenarios:
+                runs = run_seeds(cca, scenario, seeds, duration=duration)
+                metrics = mean_metrics(runs)
+                utils.append(metrics["utilization"])
+                delays.append(metrics["avg_rtt_ms"])
+            per_cca[cca] = {
+                "normalized_throughput": float(np.mean(utils)),
+                "avg_delay_ms": float(np.mean(delays)),
+            }
+        out[family] = per_cca
+    return out
+
+
+def run_fig8(ccas=("c-libra", "b-libra", "proteus", "cubic", "bbr", "orca"),
+             duration: float = 24.0, seed: int = 3) -> dict:
+    """Throughput time series on the driving LTE trace (user movement)."""
+    scenario = LTE["lte-driving"]
+    out = {"capacity": None, "series": {}}
+    for cca in ccas:
+        summary = run_single(cca, scenario, seed=seed, duration=duration)
+        times, rates = summary.result.flows[0].throughput_series()
+        out["series"][cca] = (times, rates)
+    trace = scenario.trace(seed)
+    grid = np.arange(0.0, duration, 0.25)
+    out["capacity"] = (grid.tolist(),
+                       [trace.rate_at(t) / 1e6 for t in grid])
+    return out
+
+
+def format_fig1(data: dict) -> str:
+    ccas = sorted(next(iter(data.values())).keys())
+    rows = []
+    for scenario, per_cca in data.items():
+        for cca in ccas:
+            m = per_cca[cca]
+            rows.append([scenario, cca, m["utilization"], m["avg_rtt_ms"]])
+    return format_table(["scenario", "cca", "link_util", "avg_delay_ms"], rows,
+                        title="Fig.1 Adaptability under wired/cellular networks")
+
+
+def format_fig7(data: dict) -> str:
+    rows = []
+    for family, per_cca in data.items():
+        for cca, m in per_cca.items():
+            rows.append([family, cca, m["normalized_throughput"],
+                         m["avg_delay_ms"]])
+    return format_table(["traces", "cca", "norm_throughput", "avg_delay_ms"],
+                        rows, title="Fig.7 Throughput/delay over wired and "
+                                    "cellular traces")
+
+
+def main() -> None:
+    print(format_fig1(run_fig1()))
+    print()
+    print(format_fig7(run_fig7()))
+
+
+if __name__ == "__main__":
+    main()

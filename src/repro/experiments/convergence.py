@@ -1,0 +1,71 @@
+"""Convergence experiments: Fig. 15 and Tab. 5 (Sec. 5.3).
+
+Three flows of the same CCA start 5 s apart on a 48 Mbps / 100 ms /
+1 BDP link.  Tab. 5's metrics for the third flow: convergence time
+(stable within ±25 % for 5 s), throughput deviation after convergence,
+and average post-convergence throughput.
+"""
+
+from __future__ import annotations
+
+from ..metrics.convergence import post_convergence_stats
+from ..registry import make_controller
+from ..scenarios.presets import fairness_scenario
+from .harness import format_table
+
+CONVERGENCE_CCAS = ("bbr", "cubic", "modified-rl", "indigo", "proteus",
+                    "orca", "c-libra", "b-libra")
+FLOW_STAGGER = 5.0
+FLOW_COUNT = 3
+
+
+def run_fig15(ccas=CONVERGENCE_CCAS, seed: int = 1,
+              duration: float = 40.0) -> dict:
+    """Per-flow throughput series for each CCA (Fig. 15's panels)."""
+    scenario = fairness_scenario()
+    out = {}
+    for cca in ccas:
+        net = scenario.build(seed=seed)
+        for i in range(FLOW_COUNT):
+            net.add_flow(make_controller(cca, seed=seed + i * 37),
+                         start=i * FLOW_STAGGER)
+        result = net.run(duration)
+        out[cca] = {
+            "series": [f.throughput_series() for f in result.flows],
+            "throughputs": [f.throughput_mbps for f in result.flows],
+            "utilization": result.utilization,
+        }
+    return out
+
+
+def run_tab5(fig15: dict | None = None, seed: int = 1,
+             duration: float = 40.0) -> dict:
+    """Tab. 5: quantitative convergence of the third flow."""
+    data = fig15 or run_fig15(seed=seed, duration=duration)
+    entry = (FLOW_COUNT - 1) * FLOW_STAGGER
+    out = {}
+    for cca, runs in data.items():
+        times, rates = runs["series"][FLOW_COUNT - 1]
+        stats = post_convergence_stats(times, rates, entry)
+        out[cca] = stats
+    return out
+
+
+def main() -> None:
+    fig15 = run_fig15()
+    tab5 = run_tab5(fig15)
+    rows = []
+    for cca, stats in tab5.items():
+        conv = stats["convergence_time"]
+        rows.append([
+            cca,
+            f"{conv:.1f}s" if conv is not None else "-",
+            f"{stats['stability']:.2f}Mbps" if stats["stability"] is not None else "-",
+            f"{stats['avg_throughput']:.1f}Mbps" if stats["avg_throughput"] is not None else "-",
+        ])
+    print(format_table(["cca", "conv_time", "thr_deviation", "avg_thr"],
+                       rows, title="Tab.5 Convergence of the 3rd flow"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Deep dive into the combination mechanism: Fig. 17 and Fig. 18 (Sec. 5.5).
+
+- Fig. 17: how often each candidate rate (x_prev, x_rl, x_cl) wins a
+  control cycle, per scenario family — every kind of decision matters.
+- Fig. 18: Libra's measured utility over time against the offline ideal
+  combination (pointwise-max utility of CUBIC and CL-Libra run alone).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ideal import ideal_series, normalize_utilities, utility_series
+from ..registry import make_controller
+from ..scenarios.presets import LTE, WIRED, step_scenario
+from .harness import format_table, run_single
+
+FIG17_SCENARIOS = {
+    "step": step_scenario(),
+    "cellular": LTE["lte-walking"],
+    "wired": WIRED["wired-48"],
+}
+
+
+def run_fig17(variants=("c-libra", "b-libra"), seeds=(1, 2),
+              duration: float = 20.0) -> dict:
+    """Fraction of control cycles won by each candidate rate."""
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for variant in variants:
+        per_scenario = {}
+        for name, scenario in FIG17_SCENARIOS.items():
+            fractions = []
+            for seed in seeds:
+                summary = run_single(variant, scenario, seed=seed,
+                                     duration=duration)
+                controller = summary.result.controllers[0]
+                fractions.append(controller.applied_fractions())
+            per_scenario[name] = {
+                key: float(np.mean([f[key] for f in fractions]))
+                for key in ("prev", "rl", "cl")
+            }
+        out[variant] = per_scenario
+    return out
+
+
+def run_fig18(variant: str = "c-libra", seed: int = 2,
+              duration: float = 24.0, window: float = 1.0) -> dict:
+    """Libra vs the offline ideal combination on a cellular trace."""
+    scenario = LTE["lte-walking"]
+    libra_run = run_single(variant, scenario, seed=seed, duration=duration)
+    cubic_run = run_single("cubic", scenario, seed=seed, duration=duration)
+    clean_run = run_single("cl-libra", scenario, seed=seed, duration=duration)
+
+    times, libra_u = utility_series(libra_run.result.flows[0], window)
+    ideal_t, ideal_u = ideal_series(
+        [cubic_run.result.flows[0], clean_run.result.flows[0]], window)
+    n = min(len(libra_u), len(ideal_u))
+    libra_n, ideal_n = normalize_utilities(libra_u[:n], ideal_u[:n])
+    return {
+        "times": times[:n].tolist(),
+        "libra": libra_n.tolist(),
+        "ideal": ideal_n.tolist(),
+        "libra_mean": float(np.mean(libra_n)),
+        "ideal_mean": float(np.mean(ideal_n)),
+    }
+
+
+def main() -> None:
+    fig17 = run_fig17()
+    rows = []
+    for variant, per_scenario in fig17.items():
+        for scenario, fr in per_scenario.items():
+            rows.append([variant, scenario, fr["prev"], fr["rl"], fr["cl"]])
+    print(format_table(["variant", "scenario", "x_prev", "x_rl", "x_cl"],
+                       rows, title="Fig.17 Fraction of applied decisions"))
+    print()
+    fig18 = run_fig18()
+    print(f"Fig.18 normalized mean utility: libra={fig18['libra_mean']:.3f} "
+          f"ideal={fig18['ideal_mean']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

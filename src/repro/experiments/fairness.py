@@ -1,0 +1,86 @@
+"""Fairness experiments: Fig. 13 (inter-protocol) and Fig. 14
+(intra-protocol) on a 48 Mbps / 100 ms / 1 BDP link (Sec. 5.3).
+
+Inter-protocol: the CCA under test shares the bottleneck with one CUBIC
+flow; the paper's bar chart is the normalized throughput split.  Libra
+should hold Jain's index above ~98 % while pure learning-based CCAs
+either starve CUBIC (Aurora) or get starved.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.fairness import jain_index
+from ..registry import make_controller
+from ..scenarios.presets import fairness_scenario
+from .harness import format_table
+
+FAIRNESS_CCAS = ("cubic", "bbr", "copa", "aurora", "proteus", "orca",
+                 "modified-rl", "c-libra", "b-libra")
+
+
+def run_inter(ccas=FAIRNESS_CCAS, seeds=(1, 2), duration: float = 30.0) -> dict:
+    """Each CCA vs one CUBIC flow; returns splits and Jain indices."""
+    scenario = fairness_scenario()
+    out = {}
+    for cca in ccas:
+        splits, jains = [], []
+        for seed in seeds:
+            net = scenario.build(seed=seed)
+            net.add_flow(make_controller(cca, seed=seed))
+            net.add_flow(make_controller("cubic", seed=seed + 100))
+            result = net.run(duration)
+            pair = (result.flows[0].throughput_mbps,
+                    result.flows[1].throughput_mbps)
+            total = sum(pair) or 1.0
+            splits.append((pair[0] / total, pair[1] / total))
+            jains.append(jain_index(pair))
+        out[cca] = {
+            "cca_share": float(np.mean([s[0] for s in splits])),
+            "cubic_share": float(np.mean([s[1] for s in splits])),
+            "jain": float(np.mean(jains)),
+        }
+    return out
+
+
+def run_intra(ccas=FAIRNESS_CCAS, seeds=(1, 2), duration: float = 30.0) -> dict:
+    """Two flows of the same CCA; returns splits and Jain indices."""
+    scenario = fairness_scenario()
+    out = {}
+    for cca in ccas:
+        splits, jains = [], []
+        for seed in seeds:
+            net = scenario.build(seed=seed)
+            net.add_flow(make_controller(cca, seed=seed))
+            net.add_flow(make_controller(cca, seed=seed + 1000))
+            result = net.run(duration)
+            pair = (result.flows[0].throughput_mbps,
+                    result.flows[1].throughput_mbps)
+            total = sum(pair) or 1.0
+            splits.append((pair[0] / total, pair[1] / total))
+            jains.append(jain_index(pair))
+        out[cca] = {
+            "flow1_share": float(np.mean([s[0] for s in splits])),
+            "flow2_share": float(np.mean([s[1] for s in splits])),
+            "jain": float(np.mean(jains)),
+        }
+    return out
+
+
+def main() -> None:
+    inter = run_inter()
+    rows = [[cca, m["cca_share"], m["cubic_share"], m["jain"]]
+            for cca, m in inter.items()]
+    print(format_table(["cca", "cca_share", "cubic_share", "jain"], rows,
+                       title="Fig.13 Inter-protocol fairness (vs CUBIC)"))
+    print()
+    intra = run_intra()
+    rows = [[cca, m["flow1_share"], m["flow2_share"], m["jain"]]
+            for cca, m in intra.items()]
+    print(format_table(["cca", "flow1", "flow2", "jain"], rows,
+                       title="Fig.14 Intra-protocol fairness"))
+
+
+if __name__ == "__main__":
+    main()

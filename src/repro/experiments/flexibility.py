@@ -1,0 +1,98 @@
+"""Flexibility experiments: Fig. 11 (Sec. 5.2).
+
+Libra's utility presets (default, Th-1/Th-2 scaling alpha, La-1/La-2
+scaling beta) trade throughput against latency:
+
+- Fig. 11(a)/(b): single flow on wired / cellular networks per preset,
+- Fig. 11(c)/(d): one Libra flow competing with one CUBIC flow — the
+  presets modulate aggressiveness (throughput share vs delay).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.fairness import throughput_ratio
+from ..registry import make_controller
+from ..scenarios.presets import FIG7_CELLULAR, FIG7_WIRED, fairness_scenario
+from .harness import format_table, mean_metrics, run_seeds
+
+PRESET_NAMES = ("th-2", "th-1", "default", "la-1", "la-2")
+LIBRA_VARIANTS = ("c-libra", "b-libra")
+
+
+def run_single_flow(variants=LIBRA_VARIANTS, presets=PRESET_NAMES,
+                    seeds=(1,), duration: float = 16.0) -> dict:
+    """Fig. 11(a)/(b): per-preset solo performance on wired and cellular."""
+    out = {}
+    for family, scenarios in (("wired", FIG7_WIRED[:2]),
+                              ("cellular", FIG7_CELLULAR[:2])):
+        per_variant = {}
+        for variant in variants:
+            for preset in presets:
+                utils, delays = [], []
+                for scenario in scenarios:
+                    runs = run_seeds(variant, scenario, seeds,
+                                     duration=duration,
+                                     utility_preset=preset)
+                    m = mean_metrics(runs)
+                    utils.append(m["utilization"])
+                    delays.append(m["avg_rtt_ms"])
+                per_variant[f"{variant}-{preset}"] = {
+                    "utilization": float(np.mean(utils)),
+                    "avg_delay_ms": float(np.mean(delays)),
+                }
+        out[family] = per_variant
+    return out
+
+
+def run_vs_cubic(variants=LIBRA_VARIANTS, presets=PRESET_NAMES,
+                 seeds=(1, 2), duration: float = 30.0) -> dict:
+    """Fig. 11(c)/(d): Libra's bandwidth share against one CUBIC flow."""
+    scenario = fairness_scenario()
+    out = {}
+    for variant in variants:
+        for preset in presets:
+            ratios, delays = [], []
+            for seed in seeds:
+                net = scenario.build(seed=seed)
+                libra = make_controller(variant, seed=seed,
+                                        utility_preset=preset)
+                net.add_flow(libra)
+                net.add_flow(make_controller("cubic", seed=seed + 100))
+                result = net.run(duration)
+                ratios.append(throughput_ratio(
+                    result.flows[0].throughput_mbps,
+                    result.flows[1].throughput_mbps))
+                delays.append(result.flows[0].avg_rtt_ms)
+            out[f"{variant}-{preset}"] = {
+                "throughput_ratio": float(np.mean(ratios)),
+                "avg_delay_ms": float(np.mean(delays)),
+            }
+    return out
+
+
+def preset_orders_tradeoff(per_variant: dict, variant: str,
+                           metric: str = "utilization") -> list[float]:
+    """Metric sequence in Th-2 -> La-2 order, for monotonicity checks."""
+    return [per_variant[f"{variant}-{p}"][metric] for p in PRESET_NAMES]
+
+
+def main() -> None:
+    solo = run_single_flow()
+    rows = []
+    for family, per_variant in solo.items():
+        for key, m in per_variant.items():
+            rows.append([family, key, m["utilization"], m["avg_delay_ms"]])
+    print(format_table(["traces", "variant", "util", "delay_ms"], rows,
+                       title="Fig.11(a)/(b) single-flow preset trade-off"))
+    print()
+    versus = run_vs_cubic()
+    rows = [[key, m["throughput_ratio"], m["avg_delay_ms"]]
+            for key, m in versus.items()]
+    print(format_table(["variant", "thr_ratio_vs_cubic", "delay_ms"], rows,
+                       title="Fig.11(c)/(d) aggressiveness vs CUBIC"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Generic experiment runner utilities shared by all figure/table modules.
+
+Every experiment module exposes ``run_*`` functions returning plain
+dicts/lists (so benches and tests can assert on them) and a ``main()``
+that prints the paper-shaped table.  This module provides the common
+single-flow runner, multi-seed aggregation, and text-table formatting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..registry import make_controller
+from ..scenarios.presets import Scenario
+from ..simnet.network import RunResult
+
+
+@dataclass
+class FlowSummary:
+    """Headline metrics of one single-flow run."""
+
+    cca: str
+    scenario: str
+    utilization: float
+    throughput_mbps: float
+    avg_rtt_ms: float
+    p95_rtt_ms: float
+    loss_rate: float
+    result: RunResult
+
+    @property
+    def queue_delay_ms(self) -> float:
+        flow = self.result.flows[0]
+        base = flow.min_rtt_ms if flow.rtt_count else 0.0
+        return max(self.avg_rtt_ms - base, 0.0)
+
+
+def run_single(cca: str, scenario: Scenario, seed: int = 0,
+               duration: float | None = None, **cca_kwargs) -> FlowSummary:
+    """Run one flow of ``cca`` through ``scenario`` and summarize it."""
+    net = scenario.build(seed=seed)
+    controller = make_controller(cca, seed=seed, **cca_kwargs)
+    net.add_flow(controller)
+    result = net.run(duration or scenario.default_duration)
+    flow = result.flows[0]
+    return FlowSummary(cca=cca, scenario=scenario.name,
+                       utilization=result.utilization,
+                       throughput_mbps=flow.throughput_mbps,
+                       avg_rtt_ms=flow.avg_rtt_ms,
+                       p95_rtt_ms=flow.p95_rtt_ms(),
+                       loss_rate=flow.loss_rate,
+                       result=result)
+
+
+def run_seeds(cca: str, scenario: Scenario, seeds, duration: float | None = None,
+              **cca_kwargs) -> list[FlowSummary]:
+    """The paper averages 5 runs per point; this runs one per seed."""
+    return [run_single(cca, scenario, seed=s, duration=duration, **cca_kwargs)
+            for s in seeds]
+
+
+def mean_metrics(summaries: list[FlowSummary]) -> dict[str, float]:
+    if not summaries:
+        raise ValueError("no runs to aggregate")
+    return {
+        "utilization": float(np.mean([s.utilization for s in summaries])),
+        "throughput_mbps": float(np.mean([s.throughput_mbps for s in summaries])),
+        "avg_rtt_ms": float(np.mean([s.avg_rtt_ms for s in summaries])),
+        "loss_rate": float(np.mean([s.loss_rate for s in summaries])),
+    }
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width text table, the harness's output format."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append([
+            f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ])
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+              else len(headers[i]) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Live-Internet surrogate: Fig. 16 (Sec. 5.4).
+
+The paper transfers between EC2 instances across continents; we emulate
+inter-continental paths (180 ms RTT, ~1 % stochastic loss, shaped and
+jittery capacity) and intra-continental paths (40 ms RTT, clean), per
+the substitution note in DESIGN.md.  Reported values are normalized to
+the best performer per scenario, matching the paper's axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scenarios.presets import INTERNET
+from .harness import format_table, mean_metrics, run_seeds
+
+INTERNET_CCAS = ("c-libra", "b-libra", "proteus", "bbr", "cubic", "orca")
+
+
+def run_fig16(ccas=INTERNET_CCAS, seeds=(1, 2), duration: float = 20.0) -> dict:
+    out = {}
+    for name, scenario in INTERNET.items():
+        raw = {}
+        for cca in ccas:
+            runs = run_seeds(cca, scenario, seeds, duration=duration)
+            raw[cca] = mean_metrics(runs)
+        best_thr = max(v["throughput_mbps"] for v in raw.values()) or 1.0
+        best_delay = min(v["avg_rtt_ms"] for v in raw.values()) or 1.0
+        out[name] = {
+            cca: {
+                "normalized_throughput": v["throughput_mbps"] / best_thr,
+                "normalized_delay": v["avg_rtt_ms"] / best_delay,
+            }
+            for cca, v in raw.items()
+        }
+    return out
+
+
+def main() -> None:
+    data = run_fig16()
+    rows = []
+    for scenario, per_cca in data.items():
+        for cca, m in per_cca.items():
+            rows.append([scenario, cca, m["normalized_throughput"],
+                         m["normalized_delay"]])
+    print(format_table(["scenario", "cca", "norm_thr", "norm_delay"], rows,
+                       title="Fig.16 Live-Internet (emulated WAN) results"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Overhead experiments: Fig. 2(c) and Fig. 12 (Sec. 5.3).
+
+CPU utilization is the operation-metered proxy of
+:mod:`repro.overhead.costmodel` (see DESIGN.md for the substitution
+rationale); memory is the static footprint model.  Fig. 12 sweeps the
+link capacity from 10 to 200 Mbps and reports Libra's overhead next to
+its underlying classic CCAs and the learning-based baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..overhead.costmodel import cpu_utilization, memory_units
+from ..registry import make_controller
+from ..scenarios.presets import LTE, Scenario
+from ..simnet.trace import wired_trace
+from ..units import KB, mbps, ms
+from .harness import format_table
+
+FIG2C_CCAS = ("cubic", "bbr", "c-libra", "orca", "indigo", "copa", "proteus")
+FIG12_CCAS = ("cubic", "bbr", "c-libra", "b-libra", "orca", "indigo",
+              "copa", "proteus")
+FIG12_CAPACITIES_MBPS = (10, 20, 30, 50, 100, 200)
+
+
+def _measure(cca: str, scenario: Scenario, seed: int, duration: float) -> dict:
+    net = scenario.build(seed=seed)
+    controller = make_controller(cca, seed=seed)
+    net.add_flow(controller)
+    net.run(duration)
+    return {
+        "cpu": cpu_utilization(controller, duration),
+        "memory": memory_units(controller),
+    }
+
+
+def run_fig2c(ccas=FIG2C_CCAS, seed: int = 1, duration: float = 12.0) -> dict:
+    """Normalized CPU and memory on an LTE-class link (Fig. 2(c))."""
+    scenario = LTE["lte-stationary"]
+    raw = {cca: _measure(cca, scenario, seed, duration) for cca in ccas}
+    max_cpu = max(v["cpu"] for v in raw.values()) or 1.0
+    max_mem = max(v["memory"] for v in raw.values()) or 1.0
+    return {cca: {"cpu": v["cpu"], "cpu_normalized": v["cpu"] / max_cpu,
+                  "memory_normalized": v["memory"] / max_mem}
+            for cca, v in raw.items()}
+
+
+def run_fig12(ccas=FIG12_CCAS, capacities_mbps=FIG12_CAPACITIES_MBPS,
+              seed: int = 1, duration: float = 10.0) -> dict:
+    """CPU utilization vs link capacity (Fig. 12)."""
+    out: dict[str, dict[int, float]] = {cca: {} for cca in ccas}
+    for cap in capacities_mbps:
+        scenario = Scenario(name=f"overhead-{cap}",
+                            trace_factory=lambda s, c=cap: wired_trace(c),
+                            rtt=ms(30), buffer_bytes=max(150 * KB,
+                                                         mbps(cap) * ms(30) / 8.0))
+        for cca in ccas:
+            out[cca][cap] = _measure(cca, scenario, seed, duration)["cpu"]
+    return out
+
+
+def libra_reduction(fig12: dict, baseline: str,
+                    libra: str = "c-libra") -> float:
+    """Average relative CPU reduction of Libra vs a baseline (Remark 5)."""
+    reductions = []
+    for cap, cpu in fig12[baseline].items():
+        if cpu > 0:
+            reductions.append(1.0 - fig12[libra][cap] / cpu)
+    return float(np.mean(reductions)) if reductions else 0.0
+
+
+def main() -> None:
+    data = run_fig2c()
+    rows = [[cca, v["cpu"], v["cpu_normalized"], v["memory_normalized"]]
+            for cca, v in data.items()]
+    print(format_table(["cca", "cpu", "cpu_norm", "mem_norm"], rows,
+                       title="Fig.2(c) normalized overhead"))
+    print()
+    fig12 = run_fig12()
+    headers = ["cca"] + [f"{c}Mbps" for c in FIG12_CAPACITIES_MBPS]
+    rows = [[cca] + [fig12[cca][c] for c in FIG12_CAPACITIES_MBPS]
+            for cca in fig12]
+    print(format_table(headers, rows, title="Fig.12 CPU vs sending rate"))
+    for base in ("orca", "cl-libra", "indigo", "copa", "proteus"):
+        if base in fig12:
+            print(f"  Libra CPU reduction vs {base}: "
+                  f"{libra_reduction(fig12, base):.0%}")
+
+
+if __name__ == "__main__":
+    main()

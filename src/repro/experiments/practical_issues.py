@@ -1,0 +1,82 @@
+"""Practicality motivation experiments: Fig. 2(a) and Fig. 2(b) (Sec. 2).
+
+- Fig. 2(a): throughput over the step scenario (capacity changes every
+  10 s, 80 ms RTT, 1 BDP buffer) for Proteus, a clean-slate learner,
+  Libra and Orca — showing who converges to each new capacity level.
+- Fig. 2(b): CDF of link utilization over repeated LTE runs — the
+  safety-assurance motivation (Orca/Proteus highly variable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.stats import cdf_points
+from ..scenarios.presets import LTE, step_scenario
+from .harness import run_single
+
+FIG2A_CCAS = ("proteus", "cl-libra", "c-libra", "orca")
+FIG2B_CCAS = ("proteus", "cubic", "bbr", "c-libra", "orca")
+
+
+def run_fig2a(ccas=FIG2A_CCAS, seed: int = 1,
+              duration: float | None = None) -> dict:
+    """Throughput time series over the step scenario."""
+    scenario = step_scenario()
+    out = {"levels": scenario.trace(seed), "series": {}}
+    for cca in ccas:
+        summary = run_single(cca, scenario, seed=seed, duration=duration)
+        out["series"][cca] = summary.result.flows[0].throughput_series()
+    return out
+
+
+def run_fig2b(ccas=FIG2B_CCAS, trials: int = 12,
+              duration: float = 12.0) -> dict:
+    """CDF of per-run link utilization over repeated cellular runs.
+
+    The paper uses 100 repetitions on a TMobile LTE link; the default
+    here is scaled down (pass ``trials=100`` for paper scale).
+    """
+    scenario = LTE["lte-walking"]
+    out = {}
+    for cca in ccas:
+        utils = [run_single(cca, scenario, seed=s, duration=duration).utilization
+                 for s in range(1, trials + 1)]
+        out[cca] = {
+            "values": utils,
+            "cdf": cdf_points(utils),
+            "mean": float(np.mean(utils)),
+            "std": float(np.std(utils)),
+        }
+    return out
+
+
+def step_tracking_error(series: tuple, trace, duration: float) -> float:
+    """Mean |throughput - capacity| / capacity over the run (lower=better)."""
+    times, rates = series
+    errors = []
+    for t, r in zip(times, rates):
+        if t > duration:
+            break
+        cap = trace.rate_at(t) / 1e6
+        if cap > 0:
+            errors.append(abs(r - cap) / cap)
+    return float(np.mean(errors)) if errors else float("nan")
+
+
+def main() -> None:
+    data = run_fig2a()
+    trace = data["levels"]
+    print("Fig.2(a) step-scenario tracking error (mean |thr-cap|/cap):")
+    for cca, series in data["series"].items():
+        err = step_tracking_error(series, trace, 50.0)
+        print(f"  {cca:10s} {err:.3f}")
+    print()
+    cdf = run_fig2b()
+    print("Fig.2(b) utilization across repeated LTE runs (mean / std):")
+    for cca, stats in cdf.items():
+        print(f"  {cca:10s} {stats['mean']:.3f} / {stats['std']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,202 @@
+"""RL-formulation ablations: Fig. 5, Fig. 6, Tab. 2, Tab. 3, Tab. 4
+(Sec. 4.2).
+
+All ablations train in the fluid environment.  The paper's setups use
+the default network of 100 Mbps / 100 ms RTT / 1 BDP buffer; training
+curves (Fig. 5/6) use randomized episodes.  Defaults are scaled down for
+bench runtime (pass larger ``epochs`` for paper-scale curves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..env.actions import AiadActions, MimdAuroraActions, MimdOrcaActions
+from ..env.features import FeatureSet, STATE_SETS, TAB2_VARIANTS
+from ..env.fluidenv import FluidEnvConfig, FluidLinkEnv, evaluate_policy
+from ..env.reward import RewardConfig
+from ..learning.aurora import Aurora
+from ..metrics.fairness import jain_index
+from ..registry import make_controller
+from ..rl.policy import GaussianActorCritic
+from ..rl.ppo import PPOConfig, PPOTrainer
+from ..scenarios.presets import rl_default_scenario
+from .harness import format_table
+
+#: the paper's RL ablation network (Sec. 4.2)
+DEFAULT_CAPACITY = 100e6
+DEFAULT_RTT = 0.1
+DEFAULT_BUFFER = DEFAULT_CAPACITY * DEFAULT_RTT / 8.0
+
+
+def _train(feature_set: FeatureSet, action_space, reward: RewardConfig,
+           epochs: int, seed: int, randomized: bool = True,
+           ) -> tuple[GaussianActorCritic, list[float]]:
+    config = FluidEnvConfig(
+        seed=seed, episode_steps=64, loss_range=(0.0, 0.05),
+        feature_set=feature_set, reward=reward)
+    if not randomized:
+        config.fixed_capacity = DEFAULT_CAPACITY
+        config.fixed_rtt = DEFAULT_RTT
+        config.fixed_buffer = DEFAULT_BUFFER
+        config.fixed_loss = 0.0
+    env = FluidLinkEnv(config, action_space)
+    policy = GaussianActorCritic(env.obs_dim, hidden=(32, 32), seed=seed)
+    trainer = PPOTrainer(env, policy, PPOConfig(
+        steps_per_epoch=640, max_episode_steps=64, gamma=0.995, lam=0.97,
+        seed=seed))
+    history = trainer.train(epochs)
+    return policy, history.smoothed(window=20)
+
+
+def _evaluate(policy, feature_set: FeatureSet, action_space,
+              steps: int = 256, seed: int = 0) -> dict[str, float]:
+    env = FluidLinkEnv(FluidEnvConfig(
+        seed=seed + 99, episode_steps=64, feature_set=feature_set,
+        fixed_capacity=DEFAULT_CAPACITY, fixed_rtt=DEFAULT_RTT,
+        fixed_buffer=DEFAULT_BUFFER, fixed_loss=0.0), action_space)
+    return evaluate_policy(env, policy, steps=steps, seed=seed)
+
+
+# -- Fig. 5: state-space comparison -----------------------------------------
+
+def run_fig5(state_sets=("aurora", "rl-tcp", "pcc", "remy", "drl-cc",
+                         "orca", "libra"),
+             epochs: int = 10, seed: int = 1) -> dict:
+    """Learning curves per named state space (Fig. 5)."""
+    out = {}
+    for name in state_sets:
+        _, curve = _train(STATE_SETS[name], MimdOrcaActions(1.0),
+                          RewardConfig(), epochs, seed)
+        out[name] = {"curve": curve,
+                     "final_reward": float(np.mean(curve[-10:]))}
+    return out
+
+
+# -- Tab. 2: add/remove states around the baseline ------------------------
+
+def run_tab2(variants=None, epochs: int = 10, seed: int = 1) -> dict:
+    """Reward / throughput / latency / loss deltas vs the Baseline set."""
+    variants = variants or TAB2_VARIANTS
+    raw = {}
+    for label, feature_set in variants.items():
+        policy, curve = _train(feature_set, MimdOrcaActions(1.0),
+                               RewardConfig(), epochs, seed)
+        evaluation = _evaluate(policy, feature_set, MimdOrcaActions(1.0),
+                               seed=seed)
+        raw[label] = {"reward": float(np.mean(curve[-10:])), **evaluation}
+    base = raw["Baseline"]
+    out = {}
+    for label, m in raw.items():
+        out[label] = {
+            "reward_delta": _pct(m["reward"], base["reward"]),
+            "throughput_delta": _pct(m["throughput_mbps"],
+                                     base["throughput_mbps"]),
+            "latency_delta": _pct(m["latency_ms"], base["latency_ms"]),
+            "loss_delta": m["loss_rate"] - base["loss_rate"],
+            "raw": m,
+        }
+    return out
+
+
+def _pct(value: float, base: float) -> float:
+    if abs(base) < 1e-9:
+        return 0.0
+    return (value - base) / abs(base) * 100.0
+
+
+# -- Fig. 6: action-space comparison ----------------------------------------
+
+def run_fig6(scales=(1.0, 5.0, 10.0), epochs: int = 10, seed: int = 1) -> dict:
+    """AIAD vs MIMD learning curves per scale factor (Fig. 6)."""
+    out = {"aiad": {}, "mimd": {}}
+    for scale in scales:
+        _, aiad_curve = _train(STATE_SETS["libra"], AiadActions(scale),
+                               RewardConfig(), epochs, seed)
+        _, mimd_curve = _train(STATE_SETS["libra"], MimdAuroraActions(scale),
+                               RewardConfig(), epochs, seed)
+        out["aiad"][scale] = aiad_curve
+        out["mimd"][scale] = mimd_curve
+    return out
+
+
+def curve_rise_time(curve: list[float], fraction: float = 0.9) -> int:
+    """Episodes needed to reach ``fraction`` of the final plateau."""
+    if not curve:
+        return 0
+    final = np.mean(curve[-max(len(curve) // 10, 1):])
+    lo = curve[0]
+    target = lo + fraction * (final - lo)
+    for i, value in enumerate(curve):
+        if value >= target:
+            return i
+    return len(curve)
+
+
+# -- Tab. 3: loss rate in the reward ----------------------------------------
+
+def run_tab3(epochs: int = 12, seed: int = 1) -> dict:
+    """Training with vs without the loss term (Tab. 3)."""
+    out = {}
+    for label, include_loss in (("with loss rate", True),
+                                ("w/o loss rate", False)):
+        reward = RewardConfig(include_loss=include_loss)
+        policy, _ = _train(STATE_SETS["libra"], MimdOrcaActions(1.0),
+                           reward, epochs, seed)
+        out[label] = _evaluate(policy, STATE_SETS["libra"],
+                               MimdOrcaActions(1.0), seed=seed)
+    return out
+
+
+# -- Tab. 4: r vs delta-r ----------------------------------------------------
+
+def run_tab4(epochs: int = 12, seed: int = 1,
+             fairness_duration: float = 16.0) -> dict:
+    """Absolute vs difference reward, including 2-flow fairness (Tab. 4)."""
+    out = {}
+    for label, use_delta in (("r", False), ("delta-r", True)):
+        reward = RewardConfig(use_delta=use_delta)
+        policy, _ = _train(STATE_SETS["libra"], MimdOrcaActions(1.0),
+                           reward, epochs, seed)
+        metrics = _evaluate(policy, STATE_SETS["libra"], MimdOrcaActions(1.0),
+                            seed=seed)
+        metrics["fairness"] = _two_flow_fairness(policy, seed,
+                                                 fairness_duration)
+        out[label] = metrics
+    return out
+
+
+def _two_flow_fairness(policy, seed: int, duration: float) -> float:
+    """Jain's index of two flows driven by the same trained policy."""
+    scenario = rl_default_scenario()
+    net = scenario.build(seed=seed)
+    for i in range(2):
+        controller = Aurora(policy, action_space=MimdOrcaActions(1.0),
+                            feature_set=STATE_SETS["libra"],
+                            seed=seed + i * 31)
+        net.add_flow(controller)
+    result = net.run(duration)
+    return jain_index([f.throughput_mbps for f in result.flows])
+
+
+def main() -> None:
+    fig5 = run_fig5()
+    rows = [[name, m["final_reward"]] for name, m in fig5.items()]
+    print(format_table(["state space", "final reward"], rows,
+                       title="Fig.5 State-space comparison"))
+    print()
+    tab3 = run_tab3()
+    rows = [[label, m["throughput_mbps"], m["latency_ms"], m["loss_rate"]]
+            for label, m in tab3.items()]
+    print(format_table(["setting", "thr_mbps", "latency_ms", "loss"], rows,
+                       title="Tab.3 Loss rate in the reward"))
+    print()
+    tab4 = run_tab4()
+    rows = [[label, m["throughput_mbps"], m["latency_ms"], m["loss_rate"],
+             m["fairness"]] for label, m in tab4.items()]
+    print(format_table(["setting", "thr_mbps", "latency_ms", "loss", "jain"],
+                       rows, title="Tab.4 r vs delta-r"))
+
+
+if __name__ == "__main__":
+    main()

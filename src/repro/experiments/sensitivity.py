@@ -1,0 +1,84 @@
+"""Parameter sensitivity: Fig. 19 and Tab. 7 (Sec. 7, Appendix B).
+
+- Fig. 19: C-Libra with stage duration configs [explore, EI, exploit] in
+  RTTs from [1, 0.5, 1] up to [3, 1, 3], on wired and cellular traces.
+  Longer stages cost utilization on highly varying cellular links;
+  longer EIs waste time evaluating improper candidates.
+- Tab. 7: the early-exit threshold th1 swept over 0.1x-0.4x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import LibraConfig
+from ..scenarios.presets import LTE, WIRED
+from .harness import format_table, mean_metrics, run_seeds
+
+#: Fig. 19's x axis: (explore RTTs, EI RTTs, exploit RTTs)
+DURATION_CONFIGS = ((1, 0.5, 1), (1, 1, 1), (2, 0.5, 2), (2, 1, 2),
+                    (3, 0.5, 3), (3, 1, 3))
+TH1_SWEEP = (0.1, 0.2, 0.3, 0.4)
+
+_FAMILIES = {
+    "wired": (WIRED["wired-24"], WIRED["wired-48"]),
+    "cellular": (LTE["lte-walking"], LTE["lte-driving"]),
+}
+
+
+def _run_config(config: LibraConfig, seeds, duration: float) -> dict:
+    out = {}
+    for family, scenarios in _FAMILIES.items():
+        utils, delays = [], []
+        for scenario in scenarios:
+            runs = run_seeds("c-libra", scenario, seeds, duration=duration,
+                             config=config)
+            m = mean_metrics(runs)
+            utils.append(m["utilization"])
+            delays.append(m["avg_rtt_ms"])
+        out[family] = {"utilization": float(np.mean(utils)),
+                       "avg_delay_ms": float(np.mean(delays))}
+    return out
+
+
+def run_fig19(configs=DURATION_CONFIGS, seeds=(1,),
+              duration: float = 16.0) -> dict:
+    """Stage-duration sensitivity of C-Libra."""
+    out = {}
+    for explore, ei, exploit in configs:
+        config = LibraConfig(explore_rtts=float(explore), ei_rtts=float(ei),
+                             exploit_rtts=float(exploit))
+        out[f"[{explore},{ei},{exploit}]"] = _run_config(config, seeds,
+                                                         duration)
+    return out
+
+
+def run_tab7(thresholds=TH1_SWEEP, seeds=(1,), duration: float = 16.0) -> dict:
+    """Early-exit-threshold sensitivity of C-Libra."""
+    out = {}
+    for th1 in thresholds:
+        config = LibraConfig(th1_fraction=th1)
+        out[f"{th1:.1f}x"] = _run_config(config, seeds, duration)
+    return out
+
+
+def main() -> None:
+    fig19 = run_fig19()
+    rows = []
+    for label, families in fig19.items():
+        for family, m in families.items():
+            rows.append([label, family, m["utilization"], m["avg_delay_ms"]])
+    print(format_table(["stages[RTT]", "traces", "util", "delay_ms"], rows,
+                       title="Fig.19 Stage-duration sensitivity"))
+    print()
+    tab7 = run_tab7()
+    rows = []
+    for label, families in tab7.items():
+        for family, m in families.items():
+            rows.append([label, family, m["utilization"], m["avg_delay_ms"]])
+    print(format_table(["th1", "traces", "util", "delay_ms"], rows,
+                       title="Tab.7 Switching-threshold sensitivity"))
+
+
+if __name__ == "__main__":
+    main()

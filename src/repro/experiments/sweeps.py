@@ -1,0 +1,68 @@
+"""Buffer-size and stochastic-loss sweeps: Fig. 9 and Fig. 10 (Sec. 5.1).
+
+- Fig. 9:  60 Mbps / 100 ms link, droptail buffer from 10 KB to 1 MB;
+  Libra keeps high utilization at low delay while CUBIC's delay grows
+  with the buffer (bufferbloat) — low buffer sensitivity.
+- Fig. 10: 0-10 % stochastic loss; B-Libra stays high (BBR heritage) and
+  C-Libra recovers from spurious reductions via x_rl / x_prev.
+"""
+
+from __future__ import annotations
+
+from ..scenarios.presets import (BUFFER_SWEEP_BYTES, LOSS_SWEEP,
+                                 buffer_scenario, loss_scenario)
+from .harness import format_table, mean_metrics, run_seeds
+
+SWEEP_CCAS = ("cubic", "bbr", "copa", "proteus", "orca", "c-libra", "b-libra")
+
+
+def run_fig9(ccas=SWEEP_CCAS, buffers=BUFFER_SWEEP_BYTES, seeds=(1,),
+             duration: float = 16.0) -> dict:
+    """Utilization and delay per (CCA, buffer size)."""
+    out: dict[str, dict[int, dict[str, float]]] = {cca: {} for cca in ccas}
+    for buffer_bytes in buffers:
+        scenario = buffer_scenario(buffer_bytes)
+        for cca in ccas:
+            runs = run_seeds(cca, scenario, seeds, duration=duration)
+            out[cca][int(buffer_bytes)] = mean_metrics(runs)
+    return out
+
+
+def run_fig10(ccas=SWEEP_CCAS, losses=LOSS_SWEEP, seeds=(1,),
+              duration: float = 16.0) -> dict:
+    """Utilization per (CCA, stochastic loss rate)."""
+    out: dict[str, dict[float, dict[str, float]]] = {cca: {} for cca in ccas}
+    for loss in losses:
+        scenario = loss_scenario(loss)
+        for cca in ccas:
+            runs = run_seeds(cca, scenario, seeds, duration=duration)
+            out[cca][loss] = mean_metrics(runs)
+    return out
+
+
+def buffer_sensitivity(fig9_cca: dict) -> float:
+    """Delay growth from the smallest to the largest buffer (ms)."""
+    sizes = sorted(fig9_cca)
+    return fig9_cca[sizes[-1]]["avg_rtt_ms"] - fig9_cca[sizes[0]]["avg_rtt_ms"]
+
+
+def main() -> None:
+    fig9 = run_fig9()
+    rows = []
+    for cca, per_buffer in fig9.items():
+        for size, m in sorted(per_buffer.items()):
+            rows.append([cca, size // 1000, m["utilization"], m["avg_rtt_ms"]])
+    print(format_table(["cca", "buffer_kb", "util", "delay_ms"], rows,
+                       title="Fig.9 Impact of buffer size"))
+    print()
+    fig10 = run_fig10()
+    rows = []
+    for cca, per_loss in fig10.items():
+        for loss, m in sorted(per_loss.items()):
+            rows.append([cca, loss, m["utilization"]])
+    print(format_table(["cca", "loss", "util"], rows,
+                       title="Fig.10 Impact of stochastic loss"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Learning-based congestion control baselines.
+
+From-scratch implementations of the published control laws of Aurora,
+Orca, PCC Vivace, PCC Proteus, Indigo, Remy, and the paper's Modified RL
+ablation.  See DESIGN.md for where stand-ins were necessary.
+"""
+
+from .aurora import Aurora
+from .indigo import Indigo
+from .modified_rl import ModifiedRL
+from .orca import Orca
+from .proteus import Proteus
+from .remy import Remy
+from .vivace import Vivace
+
+__all__ = ["Aurora", "Indigo", "ModifiedRL", "Orca", "Proteus", "Remy",
+           "Vivace"]

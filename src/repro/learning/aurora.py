@@ -1,0 +1,83 @@
+"""Aurora (Jay et al., ICML 2019): pure DRL rate control.
+
+A PPO policy observes latency-derived features once per monitor interval
+and adjusts the sending rate multiplicatively with a damped update
+(delta = 0.025).  Aurora runs in userspace and invokes its network every
+MI — both reflected in the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cca.base import RateController
+from ..env.actions import ActionSpace, MimdAuroraActions
+from ..env.features import FeatureSet, STATE_SETS, StateBuilder
+from ..simnet.packet import AckSample, IntervalReport
+from ..env.bridge import measurement_from_report
+
+
+class Aurora(RateController):
+    """Per-MI PPO rate control with Aurora's MIMD action mapping."""
+
+    name = "aurora"
+    userspace = True
+
+    def __init__(self, policy, action_space: ActionSpace | None = None,
+                 feature_set: FeatureSet | None = None, history: int = 8,
+                 deterministic: bool = True, seed: int = 0,
+                 initial_rate_bps: float = 1_500_000.0,
+                 use_startup: bool = True):
+        super().__init__(initial_rate_bps)
+        self.policy = policy
+        self.action_space = action_space or MimdAuroraActions(scale=10.0)
+        self.builder = StateBuilder(feature_set or STATE_SETS["aurora"], history)
+        self.deterministic = deterministic
+        self.rng = np.random.default_rng(seed)
+        self._srtt = 0.1
+        self._min_rtt = float("inf")
+        self._starting = use_startup
+        if policy is not None and policy.obs_dim != self.builder.dim:
+            raise ValueError(
+                f"policy expects obs_dim={policy.obs_dim}, "
+                f"feature set provides {self.builder.dim}")
+
+    def on_ack(self, ack: AckSample) -> None:
+        self._srtt = ack.srtt
+        self._min_rtt = min(self._min_rtt, ack.min_rtt)
+        if self._starting and ack.rtt > 1.4 * ack.min_rtt:
+            self._starting = False
+
+    def on_loss(self, loss) -> None:
+        self._starting = False
+
+    def interval(self) -> float:
+        return max(self._srtt, 0.01)
+
+    def on_interval(self, report: IntervalReport) -> None:
+        min_rtt = self._min_rtt if self._min_rtt < float("inf") else self._srtt
+        measurement = measurement_from_report(report, self.rate_bps, min_rtt)
+        state = self.builder.push(measurement)
+        if self._starting:
+            # Startup: double per MI until delay or loss feedback, like the
+            # reference implementations (Aurora starts near link rate, Orca
+            # inherits slow start).  This also primes the feature
+            # normalizer with a realistic maximum delivery rate.
+            if report.throughput > 0 and self.rate_bps > 2.0 * report.throughput:
+                # Sending far above what comes back: the pipe is full.
+                self._starting = False
+                self.set_rate(report.throughput)
+            else:
+                self.set_rate(self.rate_bps * 2.0)
+                return
+        if self.policy is None or not report.has_feedback:
+            return
+        action, _, _ = self.policy.act(state, self.rng,
+                                       deterministic=self.deterministic)
+        self.meter.count("nn_forward", self.policy.actor.flops_per_forward)
+        self.set_rate(self.action_space.apply(self.rate_bps, float(action[0])))
+
+    def cwnd(self) -> float:
+        # Safety cap like the reference implementation's flow control.
+        return max(2.0 * self.rate_bps * max(self._srtt, 0.01) / 8.0,
+                   4.0 * self.mss)

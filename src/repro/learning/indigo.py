@@ -1,0 +1,73 @@
+"""Indigo-like offline-trained controller (Yan et al., ATC 2018).
+
+Indigo learns a cwnd policy by imitation from an oracle that knows the
+true bandwidth-delay product.  We stand in for the trained LSTM with the
+oracle-tracking behaviour it imitates: the window follows an EWMA
+estimate of ``delivery_rate * min_rtt`` with a conservative gain, and —
+mirroring Indigo's documented weakness outside its training envelope —
+the window is clamped to the emulator ranges Indigo was trained on,
+which reproduces its under-utilization equilibrium in Tab. 5/Fig. 15.
+See DESIGN.md for the substitution note.
+"""
+
+from __future__ import annotations
+
+from ..cca.base import Controller
+from ..simnet.packet import AckSample, IntervalReport
+
+#: conservative fraction of the estimated BDP Indigo holds in flight
+TARGET_GAIN = 0.85
+#: Indigo's training envelope, as reported by the Pantheon paper (Mbps)
+TRAIN_MIN_MBPS = 1.0
+TRAIN_MAX_MBPS = 192.0
+
+
+class Indigo(Controller):
+    """Imitation-learned window control (oracle-tracking stand-in)."""
+
+    name = "indigo"
+    userspace = True
+
+    def __init__(self, initial_cwnd_packets: int = 10):
+        super().__init__()
+        self._initial_cwnd_packets = initial_cwnd_packets
+        self.cwnd_bytes = 10.0 * 1500
+        self.bw_est = 0.0
+        self._min_rtt = float("inf")
+        self._srtt = 0.1
+
+    def start(self, now: float, mss: int) -> None:
+        super().start(now, mss)
+        self.cwnd_bytes = float(self._initial_cwnd_packets * mss)
+
+    def on_ack(self, ack: AckSample) -> None:
+        self.meter.count("per_ack")
+        self._srtt = ack.srtt
+        self._min_rtt = min(self._min_rtt, ack.min_rtt)
+        if ack.delivery_rate > 0:
+            if self.bw_est == 0.0:
+                self.bw_est = ack.delivery_rate
+            else:
+                self.bw_est = 0.95 * self.bw_est + 0.05 * ack.delivery_rate
+
+    def interval(self) -> float:
+        return max(self._srtt / 2.0, 0.01)
+
+    def on_interval(self, report: IntervalReport) -> None:
+        if self.bw_est <= 0 or self._min_rtt == float("inf"):
+            self.cwnd_bytes += 2.0 * self.mss  # initial ramp
+            return
+        if report.avg_rtt <= 1.15 * self._min_rtt:
+            # No standing queue: the oracle would have a larger BDP, so
+            # probe upward (this is how the imitation policy ramps).
+            self.cwnd_bytes += 2.0 * self.mss
+            return
+        # Clamp the bandwidth estimate to the training envelope: outside
+        # it the learned policy extrapolates poorly (paper Sec. 2).
+        bw = min(max(self.bw_est, TRAIN_MIN_MBPS * 1e6), TRAIN_MAX_MBPS * 1e6)
+        target = TARGET_GAIN * bw * self._min_rtt / 8.0
+        self.cwnd_bytes += 0.3 * (target - self.cwnd_bytes)
+        self.cwnd_bytes = max(self.cwnd_bytes, 2.0 * self.mss)
+
+    def cwnd(self) -> float:
+        return self.cwnd_bytes

@@ -1,0 +1,34 @@
+"""Modified RL — the paper's ablation baseline (Sec. 5 Setup).
+
+"Modified RL" applies Libra's utility function (Eq. 1) as the reward of
+a pure RL-based CCA, *without* the combined framework.  The paper uses
+it to show that Eq. 1 alone does not deliver fairness or convergence
+(Fig. 13-15, Remark 6): the RL policy's adjustments carry no equilibrium
+guarantee even when the reward has one.
+
+Structurally it is an Aurora-style per-MI rate controller with Libra's
+state space and action space, trained on the Eq. 1 reward
+(see :func:`repro.training.train_policy` with ``kind='modified-rl'``).
+"""
+
+from __future__ import annotations
+
+from ..env.actions import MimdOrcaActions
+from ..env.features import STATE_SETS
+from .aurora import Aurora
+
+
+class ModifiedRL(Aurora):
+    """Pure RL with Eq. 1 as the reward and no combined framework."""
+
+    name = "modified-rl"
+
+    def __init__(self, policy, history: int = 8, deterministic: bool = True,
+                 seed: int = 0, initial_rate_bps: float = 1_500_000.0):
+        super().__init__(policy,
+                         action_space=MimdOrcaActions(scale=1.0),
+                         feature_set=STATE_SETS["libra"],
+                         history=history,
+                         deterministic=deterministic,
+                         seed=seed,
+                         initial_rate_bps=initial_rate_bps)

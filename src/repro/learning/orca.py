@@ -1,0 +1,81 @@
+"""Orca (Abbasloo et al., SIGCOMM 2020): classic-meets-modern baseline.
+
+Orca runs CUBIC in the kernel and, once per monitor interval, lets a DRL
+agent rescale the congestion window: ``cwnd <- cwnd * 2^a`` with
+``a in [-2, 2]``.  Unlike Libra there is no evaluation stage — the
+agent's decision is applied directly, which is exactly the failure mode
+the paper highlights (Fig. 2(a)/(b)): an occasional bad action degrades
+performance with nothing to catch it.
+
+The agent samples its action from the policy distribution (the reference
+implementation keeps the stochastic policy at inference), which is the
+source of Orca's run-to-run variability in Tab. 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cca.base import Controller
+from ..cca.cubic import Cubic
+from ..env.features import FeatureSet, STATE_SETS, StateBuilder
+from ..simnet.packet import AckSample, IntervalReport, LossSample
+from ..env.bridge import measurement_from_report
+
+ACTION_CLIP = 2.0
+
+
+class Orca(Controller):
+    """CUBIC + per-MI DRL cwnd multiplier (no evaluation safeguard)."""
+
+    name = "orca"
+
+    def __init__(self, policy, feature_set: FeatureSet | None = None,
+                 history: int = 8, deterministic: bool = False, seed: int = 0):
+        super().__init__()
+        self.policy = policy
+        self.cubic = Cubic()
+        self.cubic.meter = self.meter
+        self.builder = StateBuilder(feature_set or STATE_SETS["orca"], history)
+        self.deterministic = deterministic
+        self.rng = np.random.default_rng(seed)
+        self._srtt = 0.1
+        self._min_rtt = float("inf")
+        if policy is not None and policy.obs_dim != self.builder.dim:
+            raise ValueError(
+                f"policy expects obs_dim={policy.obs_dim}, "
+                f"feature set provides {self.builder.dim}")
+
+    def start(self, now: float, mss: int) -> None:
+        super().start(now, mss)
+        self.cubic.start(now, mss)
+
+    def on_ack(self, ack: AckSample) -> None:
+        self._srtt = ack.srtt
+        self._min_rtt = min(self._min_rtt, ack.min_rtt)
+        self.cubic.on_ack(ack)
+
+    def on_loss(self, loss: LossSample) -> None:
+        self.cubic.on_loss(loss)
+
+    def interval(self) -> float:
+        return max(self._srtt, 0.01)
+
+    def on_interval(self, report: IntervalReport) -> None:
+        min_rtt = self._min_rtt if self._min_rtt < float("inf") else self._srtt
+        rate = self.cubic.rate_estimate(max(self._srtt, 1e-3))
+        state = self.builder.push(measurement_from_report(report, rate, min_rtt))
+        if self.policy is None or not report.has_feedback:
+            return
+        action, _, _ = self.policy.act(state, self.rng,
+                                       deterministic=self.deterministic)
+        self.meter.count("nn_forward", self.policy.actor.flops_per_forward)
+        a = float(np.clip(action[0], -ACTION_CLIP, ACTION_CLIP))
+        self.cubic.cwnd_bytes = max(self.cubic.cwnd_bytes * 2.0 ** a,
+                                    self.cubic.min_cwnd_bytes)
+
+    def pacing_rate(self) -> float | None:
+        return None
+
+    def cwnd(self) -> float:
+        return self.cubic.cwnd()

@@ -1,0 +1,25 @@
+"""PCC Proteus (Meng et al., SIGCOMM 2020) — primary-mode flavour.
+
+Proteus extends Vivace with utility functions tailored to application
+roles; its primary mode emphasizes latency stability (penalizing RTT
+deviation more heavily) while remaining a Vivace-style online learner.
+We model Proteus-P as Vivace with a latency-sensitised utility
+(doubled RTT-gradient weight); the scavenger mode is out of the paper's
+evaluation scope.  The paper evaluates "Proteus&Vivace" as online
+learning baselines; both inherit the micro-experiment overhead.
+"""
+
+from __future__ import annotations
+
+from ..core.utility import UtilityParams
+from .vivace import Vivace
+
+
+class Proteus(Vivace):
+    """Vivace with Proteus-P's latency-sensitised utility."""
+
+    name = "proteus"
+
+    def __init__(self, initial_rate_bps: float = 1_500_000.0, seed: int = 0):
+        params = UtilityParams(t=0.9, alpha=1.0, beta=1800.0, gamma=11.35)
+        super().__init__(initial_rate_bps, params=params, seed=seed)

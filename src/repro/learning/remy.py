@@ -1,0 +1,104 @@
+"""Remy-like computer-generated rule table (Winstein & Balakrishnan 2013).
+
+RemyCC maps a three-feature congestion signature — EWMA of ACK
+inter-arrivals, EWMA of send inter-arrivals, and the RTT ratio — to a
+window action (multiplier, increment, minimum send spacing) through a
+table optimized offline for an assumed network model.  We ship a small
+hand-constructed table with the qualitative structure Remy's optimizer
+produces (aggressive growth while signals look uncongested, sharp
+multiplicative backoff as the RTT ratio climbs); outside the assumed
+model Remy degrades, as the paper observes.  Substitution documented in
+DESIGN.md (the Remy optimizer itself is days of CPU time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cca.base import Controller
+from ..simnet.packet import AckSample, LossSample
+
+EWMA_ALPHA = 0.125
+
+
+@dataclass(frozen=True)
+class RemyRule:
+    """One table entry: signature bounds -> window action."""
+
+    rtt_ratio_max: float     # rule applies while rtt_ratio < this bound
+    window_multiple: float
+    window_increment: float  # packets per RTT
+
+
+#: ordered rule table (first matching row wins)
+DEFAULT_TABLE: tuple[RemyRule, ...] = (
+    RemyRule(rtt_ratio_max=1.05, window_multiple=1.0, window_increment=2.0),
+    RemyRule(rtt_ratio_max=1.20, window_multiple=1.0, window_increment=1.0),
+    RemyRule(rtt_ratio_max=1.60, window_multiple=1.0, window_increment=0.25),
+    RemyRule(rtt_ratio_max=2.50, window_multiple=0.98, window_increment=0.0),
+    RemyRule(rtt_ratio_max=float("inf"), window_multiple=0.85, window_increment=0.0),
+)
+
+
+class Remy(Controller):
+    """Rule-table window control on (ack EWMA, send EWMA, RTT ratio)."""
+
+    name = "remy"
+    userspace = True
+
+    def __init__(self, table: tuple[RemyRule, ...] = DEFAULT_TABLE,
+                 initial_cwnd_packets: int = 10):
+        super().__init__()
+        self.table = table
+        self._initial_cwnd_packets = initial_cwnd_packets
+        self.cwnd_bytes = initial_cwnd_packets * 1500.0
+        self.ack_ewma = 0.0
+        self.send_ewma = 0.0
+        self._last_ack_time: float | None = None
+        self._last_send_time: float | None = None
+        self._min_rtt = float("inf")
+        self._last_apply = 0.0
+
+    def start(self, now: float, mss: int) -> None:
+        super().start(now, mss)
+        self.cwnd_bytes = float(self._initial_cwnd_packets * mss)
+
+    def _update_ewmas(self, ack: AckSample) -> None:
+        if self._last_ack_time is not None:
+            gap = ack.now - self._last_ack_time
+            self.ack_ewma = ((1 - EWMA_ALPHA) * self.ack_ewma
+                             + EWMA_ALPHA * gap) if self.ack_ewma else gap
+        self._last_ack_time = ack.now
+        if self._last_send_time is not None:
+            gap = ack.sent_time - self._last_send_time
+            self.send_ewma = ((1 - EWMA_ALPHA) * self.send_ewma
+                              + EWMA_ALPHA * gap) if self.send_ewma else gap
+        self._last_send_time = ack.sent_time
+
+    def on_ack(self, ack: AckSample) -> None:
+        self.meter.count("per_ack")
+        self._min_rtt = min(self._min_rtt, ack.min_rtt)
+        self._update_ewmas(ack)
+        rtt_ratio = ack.rtt / self._min_rtt if self._min_rtt > 0 else 1.0
+        rule = self._match(rtt_ratio)
+        per_ack_increment = rule.window_increment * self.mss * ack.acked_bytes \
+            / max(self.cwnd_bytes, self.mss)
+        self.cwnd_bytes += per_ack_increment
+        # Apply the multiple at most once per RTT (a whole-window action).
+        if ack.now - self._last_apply >= ack.srtt and rule.window_multiple != 1.0:
+            self._last_apply = ack.now
+            self.cwnd_bytes *= rule.window_multiple
+        self.cwnd_bytes = max(self.cwnd_bytes, 2.0 * self.mss)
+
+    def _match(self, rtt_ratio: float) -> RemyRule:
+        for rule in self.table:
+            if rtt_ratio < rule.rtt_ratio_max:
+                return rule
+        return self.table[-1]
+
+    def on_loss(self, loss: LossSample) -> None:
+        # Remy's signature-driven rules dominate; losses only nudge it.
+        self.cwnd_bytes = max(self.cwnd_bytes * 0.95, 2.0 * self.mss)
+
+    def cwnd(self) -> float:
+        return self.cwnd_bytes

@@ -1,0 +1,154 @@
+"""PCC Vivace (Dong et al., NSDI 2018): online-learning rate control.
+
+Vivace runs continuous micro-experiments: from a base rate ``r`` it sends
+one monitor interval at ``r(1+eps)`` and one at ``r(1-eps)``, computes the
+utility of each from the packets *sent during that MI* (feedback arrives
+an RTT later and is attributed by sent-time bucketing), and moves the
+rate along the estimated utility gradient with a confidence amplifier
+(consecutive same-sign moves take bigger steps) and a dynamic step
+boundary.
+
+The utility is the PCC-family function — identical in form to Libra's
+Eq. 1 (the paper credits PCC for it, Sec. 1).  Gradient probing every
+pair of MIs plus userspace packet handling is why Vivace/Proteus sit at
+the top of the overhead charts (Fig. 2(c), Fig. 12).
+"""
+
+from __future__ import annotations
+
+from ..cca.base import RateController
+from ..core.utility import UtilityParams, utility
+from ..simnet.packet import AckSample, IntervalReport, LossSample
+from ..simnet.windows import AckWindow
+
+EPSILON = 0.05
+#: gradient step scale, Mbps moved per unit utility-gradient
+THETA = 0.5
+#: dynamic boundary: max relative rate change per decision, grows with
+#: the confidence amplifier
+OMEGA_BASE = 0.05
+OMEGA_STEP = 0.05
+MAX_AMPLIFIER = 5
+
+_STARTING, _PROBE_UP, _PROBE_DOWN, _MOVING = range(4)
+
+
+class Vivace(RateController):
+    """PCC Vivace with the default latency-aware utility."""
+
+    name = "vivace"
+    userspace = True
+
+    def __init__(self, initial_rate_bps: float = 1_500_000.0,
+                 params: UtilityParams | None = None, seed: int = 0):
+        super().__init__(initial_rate_bps)
+        self.params = params or UtilityParams()
+        self.state = _STARTING
+        self.base_rate = self.rate_bps
+        #: (probe kind, applied rate, ack window), oldest first
+        self._experiments: list[tuple[int, float, AckWindow]] = []
+        self._probe_results: dict[int, float] = {}
+        self._last_utility: float | None = None
+        self._amplifier = 0
+        self._last_direction = 0
+        self._srtt = 0.1
+        self._min_rtt = float("inf")
+        self._current_window: AckWindow | None = None
+
+    # -- feedback plumbing ---------------------------------------------------
+
+    def on_ack(self, ack: AckSample) -> None:
+        self._srtt = ack.srtt
+        self._min_rtt = min(self._min_rtt, ack.min_rtt)
+        for _, _, window in self._experiments:
+            if window.contains(ack.sent_time):
+                window.add_ack(ack)
+                break
+
+    def on_loss(self, loss: LossSample) -> None:
+        for _, _, window in self._experiments:
+            if window.contains(loss.sent_time):
+                window.add_loss(loss)
+                break
+
+    def interval(self) -> float:
+        return max(self._srtt, 0.01)
+
+    # -- control loop ------------------------------------------------------
+
+    def on_interval(self, report: IntervalReport) -> None:
+        self.meter.count("gradient_probe")
+        now = report.now
+        if self._current_window is not None:
+            self._current_window.end = now
+            self._current_window = None
+        self._harvest(now)
+        self._schedule_next(now)
+
+    def _harvest(self, now: float) -> None:
+        """Consume experiments whose feedback has fully arrived."""
+        while self._experiments:
+            kind, rate, window = self._experiments[0]
+            if not window.settled(now, self._srtt):
+                break
+            self._experiments.pop(0)
+            measured = window.measure()
+            if measured is None:
+                continue
+            throughput, gradient, loss_rate = measured
+            value = utility(throughput / 1e6, gradient, loss_rate, self.params)
+            self._consume(kind, rate, value)
+
+    def _consume(self, kind: int, rate: float, value: float) -> None:
+        if kind == _STARTING:
+            if self._last_utility is not None and value < self._last_utility:
+                if self.state == _STARTING:
+                    self.state = _PROBE_UP
+                    self.base_rate = max(rate / 2.0, self.MIN_RATE)
+            self._last_utility = value
+        elif kind in (_PROBE_UP, _PROBE_DOWN):
+            self._probe_results[kind] = value
+            if len(self._probe_results) == 2:
+                self._finish_probe_pair()
+        else:
+            self._last_utility = value
+
+    def _finish_probe_pair(self) -> None:
+        u_up = self._probe_results.pop(_PROBE_UP)
+        u_down = self._probe_results.pop(_PROBE_DOWN)
+        base_mbps = self.base_rate / 1e6
+        gradient = (u_up - u_down) / max(2.0 * EPSILON * base_mbps, 1e-9)
+        direction = 1 if gradient > 0 else -1
+        if direction == self._last_direction:
+            self._amplifier = min(self._amplifier + 1, MAX_AMPLIFIER)
+        else:
+            self._amplifier = 0
+        self._last_direction = direction
+        step_mbps = THETA * (1 + self._amplifier) * gradient
+        boundary = (OMEGA_BASE + self._amplifier * OMEGA_STEP) * base_mbps
+        step_mbps = max(-boundary, min(boundary, step_mbps))
+        self.base_rate = max((base_mbps + step_mbps) * 1e6, self.MIN_RATE)
+
+    def _schedule_next(self, now: float) -> None:
+        if self.state == _STARTING:
+            self.base_rate = min(self.base_rate * 2.0, self.MAX_RATE)
+            kind, rate = _STARTING, self.base_rate
+        elif self.state == _PROBE_UP:
+            kind, rate = _PROBE_UP, self.base_rate * (1.0 + EPSILON)
+            self.state = _PROBE_DOWN
+        elif self.state == _PROBE_DOWN:
+            kind, rate = _PROBE_DOWN, self.base_rate * (1.0 - EPSILON)
+            self.state = _MOVING
+        else:
+            kind, rate = _MOVING, self.base_rate
+            self.state = _PROBE_UP
+        window = AckWindow(now)
+        self._current_window = window
+        self._experiments.append((kind, rate, window))
+        if len(self._experiments) > 32:
+            self._experiments.pop(0)  # stale feedback guard
+        self.set_rate(rate)
+
+    def cwnd(self) -> float:
+        return max(2.0 * self.rate_bps * max(self._srtt, 0.01) / 8.0,
+                   4.0 * self.mss)

@@ -1,0 +1,8 @@
+"""Evaluation metrics: fairness, convergence, summary statistics."""
+
+from .convergence import convergence_time, post_convergence_stats
+from .fairness import jain_index, throughput_ratio
+from .stats import cdf_points, normalize, summary
+
+__all__ = ["cdf_points", "convergence_time", "jain_index", "normalize",
+           "post_convergence_stats", "summary", "throughput_ratio"]

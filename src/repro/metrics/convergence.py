@@ -1,0 +1,60 @@
+"""Convergence metrics (Fig. 15 / Tab. 5).
+
+The paper defines convergence time as the time from a flow's entry to the
+earliest moment after which its throughput stays within ±25 % of a stable
+value for 5 seconds; stability is the post-convergence standard deviation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def convergence_time(times, rates, entry_time: float,
+                     stability_window: float = 5.0,
+                     tolerance: float = 0.25) -> float | None:
+    """Time from ``entry_time`` until the series stays within ±tolerance
+    of its window mean for ``stability_window`` seconds; None if never.
+    """
+    times = np.asarray(list(times), dtype=float)
+    rates = np.asarray(list(rates), dtype=float)
+    if times.size != rates.size:
+        raise ValueError("times and rates must align")
+    mask = times >= entry_time
+    times, rates = times[mask], rates[mask]
+    if times.size < 2:
+        return None
+    for i in range(times.size):
+        window_end = times[i] + stability_window
+        window = (times >= times[i]) & (times <= window_end)
+        if times[-1] < window_end:
+            break  # not enough future data to certify stability
+        segment = rates[window]
+        if segment.size < 2:
+            continue
+        mean = segment.mean()
+        if mean <= 0:
+            continue
+        if np.all(np.abs(segment - mean) <= tolerance * mean):
+            return float(times[i] - entry_time)
+    return None
+
+
+def post_convergence_stats(times, rates, entry_time: float,
+                           stability_window: float = 5.0,
+                           tolerance: float = 0.25) -> dict[str, float | None]:
+    """Tab. 5's row for one flow: conv. time, throughput deviation, mean."""
+    conv = convergence_time(times, rates, entry_time, stability_window,
+                            tolerance)
+    times = np.asarray(list(times), dtype=float)
+    rates = np.asarray(list(rates), dtype=float)
+    if conv is None:
+        return {"convergence_time": None, "stability": None,
+                "avg_throughput": None}
+    mask = times >= entry_time + conv
+    segment = rates[mask]
+    return {
+        "convergence_time": conv,
+        "stability": float(segment.std()),
+        "avg_throughput": float(segment.mean()),
+    }

@@ -1,0 +1,26 @@
+"""Fairness metrics (Fig. 13/14: Jain's index over 98 % for Libra)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def jain_index(allocations) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]."""
+    x = np.asarray(list(allocations), dtype=float)
+    if x.size == 0:
+        raise ValueError("need at least one allocation")
+    if np.any(x < 0):
+        raise ValueError("allocations must be non-negative")
+    denom = x.size * float((x ** 2).sum())
+    if denom == 0:
+        return 1.0
+    return float(x.sum()) ** 2 / denom
+
+
+def throughput_ratio(flow_a: float, flow_b: float) -> float:
+    """Share of flow A in the pair's total (0.5 = perfectly fair)."""
+    total = flow_a + flow_b
+    if total <= 0:
+        return 0.5
+    return flow_a / total

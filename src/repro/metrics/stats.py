@@ -1,0 +1,38 @@
+"""Summary statistics helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cdf_points(values) -> tuple[list[float], list[float]]:
+    """Empirical CDF as (sorted values, cumulative probabilities)."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("need at least one value")
+    n = len(data)
+    probs = [(i + 1) / n for i in range(n)]
+    return data, probs
+
+
+def summary(values) -> dict[str, float]:
+    """mean / range (max-min) / std — Tab. 6's safety-assurance row set."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("need at least one value")
+    return {
+        "mean": float(data.mean()),
+        "range": float(data.max() - data.min()),
+        "std": float(data.std()),
+        "min": float(data.min()),
+        "max": float(data.max()),
+    }
+
+
+def normalize(values, reference: float | None = None) -> list[float]:
+    """Scale values by their max (or an explicit reference)."""
+    data = [float(v) for v in values]
+    ref = reference if reference is not None else max(data)
+    if ref <= 0:
+        return [0.0 for _ in data]
+    return [v / ref for v in data]

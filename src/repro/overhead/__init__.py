@@ -1,0 +1,5 @@
+"""Overhead metering and the pseudo-CPU cost model (Fig. 2(c), Fig. 12)."""
+
+from .meter import CostMeter
+
+__all__ = ["CostMeter"]

@@ -1,0 +1,64 @@
+"""Pseudo-CPU cost model (Fig. 2(c), Fig. 12).
+
+Converts metered operation counts into a CPU-utilization proxy.  The
+weights encode the structural cost differences the paper measures:
+
+- kernel CCAs pay a small per-ACK cost (``per_ack``),
+- userspace CCAs additionally pay a per-packet datapath cost
+  (``userspace_packet``) — this is why Copa/Indigo/Vivace/Proteus sit
+  high even without neural networks,
+- DRL agents pay their network's flops per inference (``nn_forward``),
+- PCC-style online learners pay for gradient micro-experiments.
+
+``CPU_BUDGET`` (cost units one core executes per second) is calibrated
+so PCC Proteus lands near the paper's 88.7 % CPU on a 24 Mbps LTE-class
+link; every other number is then *derived*, not fitted.  EXPERIMENTS.md
+records where the derived ratios deviate from the paper's.
+"""
+
+from __future__ import annotations
+
+from ..cca.base import Controller
+
+WEIGHTS: dict[str, float] = {
+    "per_ack": 10.0,
+    "per_mi": 200.0,
+    "nn_forward": 1.0,        # per flop
+    "nn_backward": 1.0,       # per flop
+    "gradient_probe": 30_000.0,
+    "userspace_packet": 150.0,
+}
+
+#: abstract cost units per second of one saturated core
+CPU_BUDGET = 1.8e6
+
+#: normalized memory-footprint model (Fig. 2(c) right bars): a kernel CCA
+#: holds per-socket state only; userspace stacks buffer packets; DRL
+#: agents additionally hold their model and framework runtime.
+MEMORY_UNITS = {"kernel": 1.0, "userspace": 4.0, "nn_runtime": 6.0}
+
+
+def controller_cost_units(controller: Controller) -> float:
+    """Total metered cost of one controller, in abstract units."""
+    return controller.meter.total(WEIGHTS)
+
+
+def cpu_utilization(controller: Controller, duration: float) -> float:
+    """CPU utilization proxy in [0, 1] for a flow that ran ``duration`` s."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    return min(controller_cost_units(controller) / duration / CPU_BUDGET, 1.0)
+
+
+def memory_units(controller: Controller) -> float:
+    """Relative memory footprint for the Fig. 2(c) memory bars."""
+    units = MEMORY_UNITS["kernel"]
+    if controller.userspace:
+        units += MEMORY_UNITS["userspace"]
+    policy = getattr(controller, "policy", None)
+    if policy is not None:
+        units += MEMORY_UNITS["nn_runtime"]
+        units += sum(p.size for p in policy.params) / 20_000.0
+    # Libra's classic component lives in the kernel; its RL agent is the
+    # only userspace part, which the `policy` term already covers.
+    return units

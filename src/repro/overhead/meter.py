@@ -1,0 +1,51 @@
+"""Operation metering for the overhead cost model.
+
+Real CPU utilization of a Python simulator says nothing about the paper's
+kernel/userspace deployment, so overhead is reproduced *structurally*:
+every controller meters the work it performs (per-ACK updates, per-MI
+updates, neural-network forward/backward passes, gradient
+micro-experiments), and :mod:`repro.overhead.costmodel` converts the
+counters into a pseudo-CPU utilization.  This preserves exactly the effect
+the paper measures in Fig. 2(c)/Fig. 12: Libra runs its DRL agent only in
+the exploration stage, Orca every MI, and PCC-style CCAs burn cycles on
+userspace per-packet processing plus continuous micro-experiments.
+"""
+
+from __future__ import annotations
+
+
+class CostMeter:
+    """Accumulates labelled operation counts for one controller instance."""
+
+    CATEGORIES = (
+        "per_ack",         # classic per-ACK bookkeeping
+        "per_mi",          # monitor-interval bookkeeping
+        "nn_forward",      # flops of NN forward passes
+        "nn_backward",     # flops of NN backward passes
+        "gradient_probe",  # PCC-style utility-gradient micro-experiments
+        "userspace_packet",  # per-packet userspace datapath handling
+    )
+
+    def __init__(self) -> None:
+        self.counts: dict[str, float] = {c: 0.0 for c in self.CATEGORIES}
+
+    def count(self, category: str, amount: float = 1.0) -> None:
+        if category not in self.counts:
+            raise KeyError(f"unknown meter category {category!r}")
+        self.counts[category] += amount
+
+    def merge(self, other: "CostMeter") -> None:
+        for key, value in other.counts.items():
+            self.counts[key] += value
+
+    def total(self, weights: dict[str, float]) -> float:
+        """Weighted total cost (abstract cost units)."""
+        return sum(self.counts[c] * weights.get(c, 0.0) for c in self.CATEGORIES)
+
+    def reset(self) -> None:
+        for key in self.counts:
+            self.counts[key] = 0.0
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:.0f}" for k, v in self.counts.items() if v)
+        return f"CostMeter({inner})"

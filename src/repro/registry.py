@@ -1,0 +1,93 @@
+"""Name-based controller registry used by the experiment harness.
+
+``make_controller("c-libra", seed=3)`` builds a fresh controller for one
+flow.  Learning-based CCAs load their bundled pretrained policies; Libra
+variants accept a ``utility_preset`` (Fig. 11's Th-1/Th-2/La-1/La-2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .cca import (Bbr, Controller, Copa, Cubic, Illinois, NewReno, Sprout,
+                  Vegas, Westwood)
+from .core.factory import make_b_libra, make_c_libra, make_clean_slate
+from .learning import Aurora, Indigo, ModifiedRL, Orca, Proteus, Remy, Vivace
+
+
+def _classic(cls) -> Callable[..., Controller]:
+    def build(seed: int = 0, **_ignored) -> Controller:
+        return cls()
+    return build
+
+
+def _aurora(seed: int = 0, **_ignored) -> Controller:
+    from .assets import load_policy
+    return Aurora(load_policy("aurora"), seed=seed)
+
+
+def _orca(seed: int = 0, **_ignored) -> Controller:
+    from .assets import load_policy
+    return Orca(load_policy("orca"), seed=seed)
+
+
+def _modified_rl(seed: int = 0, **_ignored) -> Controller:
+    from .assets import load_policy
+    return ModifiedRL(load_policy("modified-rl"), seed=seed)
+
+
+def _vivace(seed: int = 0, **_ignored) -> Controller:
+    return Vivace(seed=seed)
+
+
+def _proteus(seed: int = 0, **_ignored) -> Controller:
+    return Proteus(seed=seed)
+
+
+def _c_libra(seed: int = 0, utility_preset=None, config=None, **_ignored) -> Controller:
+    return make_c_libra(utility_preset=utility_preset, config=config, seed=seed)
+
+
+def _b_libra(seed: int = 0, utility_preset=None, config=None, **_ignored) -> Controller:
+    return make_b_libra(utility_preset=utility_preset, config=config, seed=seed)
+
+
+def _cl_libra(seed: int = 0, config=None, **_ignored) -> Controller:
+    return make_clean_slate(config=config, seed=seed)
+
+
+REGISTRY: dict[str, Callable[..., Controller]] = {
+    # classic
+    "cubic": _classic(Cubic),
+    "bbr": _classic(Bbr),
+    "reno": _classic(NewReno),
+    "vegas": _classic(Vegas),
+    "copa": _classic(Copa),
+    "westwood": _classic(Westwood),
+    "illinois": _classic(Illinois),
+    "sprout": _classic(Sprout),
+    "indigo": _classic(Indigo),
+    "remy": _classic(Remy),
+    # learning-based
+    "aurora": _aurora,
+    "orca": _orca,
+    "vivace": _vivace,
+    "proteus": _proteus,
+    "modified-rl": _modified_rl,
+    # Libra family
+    "c-libra": _c_libra,
+    "b-libra": _b_libra,
+    "cl-libra": _cl_libra,
+}
+
+
+def make_controller(name: str, seed: int = 0, **kwargs) -> Controller:
+    """Instantiate a controller by registry name."""
+    key = name.lower()
+    if key not in REGISTRY:
+        raise KeyError(f"unknown CCA {name!r}; choose from {sorted(REGISTRY)}")
+    return REGISTRY[key](seed=seed, **kwargs)
+
+
+def available_ccas() -> list[str]:
+    return sorted(REGISTRY)

@@ -1,0 +1,13 @@
+"""Pure-numpy reinforcement learning substrate (PPO actor-critic).
+
+Replaces the paper's TensorFlow 1.14 + stable-baselines stack; see
+DESIGN.md.
+"""
+
+from .mlp import MLP, Adam
+from .policy import GaussianActorCritic
+from .ppo import PPOConfig, PPOTrainer, TrainHistory
+from .rollout import RolloutBuffer
+
+__all__ = ["Adam", "GaussianActorCritic", "MLP", "PPOConfig", "PPOTrainer",
+           "RolloutBuffer", "TrainHistory"]

@@ -1,0 +1,114 @@
+"""Minimal feed-forward neural network with manual backprop.
+
+Stands in for the paper's TensorFlow 1.14 actor/critic networks (two
+fully-connected hidden layers; the paper uses 512 units each, we default
+to smaller nets for laptop-scale training — see DESIGN.md).  Only what
+PPO needs: tanh hidden layers, linear output, Adam.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam optimizer over a list of parameter arrays."""
+
+    def __init__(self, params: list[np.ndarray], lr: float = 3e-4,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.m = [np.zeros_like(p) for p in params]
+        self.v = [np.zeros_like(p) for p in params]
+        self.t = 0
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        if len(grads) != len(self.params):
+            raise ValueError("gradient count mismatch")
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self.t
+        bias2 = 1.0 - b2 ** self.t
+        for p, g, m, v in zip(self.params, grads, self.m, self.v):
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            p -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+
+def _orthogonal(shape: tuple[int, int], gain: float, rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal initialization (the standard PPO choice)."""
+    a = rng.normal(size=shape)
+    u, _, vt = np.linalg.svd(a, full_matrices=False)
+    q = u if u.shape == shape else vt
+    return gain * q[:shape[0], :shape[1]]
+
+
+class MLP:
+    """Tanh MLP with a linear head; supports forward + backward passes."""
+
+    def __init__(self, in_dim: int, hidden: tuple[int, ...], out_dim: int,
+                 rng: np.random.Generator, out_gain: float = 0.01):
+        sizes = [in_dim, *hidden, out_dim]
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for i, (a, b) in enumerate(zip(sizes, sizes[1:])):
+            last = i == len(sizes) - 2
+            gain = out_gain if last else np.sqrt(2.0)
+            self.weights.append(_orthogonal((a, b), gain, rng))
+            self.biases.append(np.zeros(b))
+        self._cache: list[np.ndarray] | None = None
+        self.flops_per_forward = 2 * sum(a * b for a, b in zip(sizes, sizes[1:]))
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        out: list[np.ndarray] = []
+        for w, b in zip(self.weights, self.biases):
+            out.extend((w, b))
+        return out
+
+    def forward(self, x: np.ndarray, cache: bool = False) -> np.ndarray:
+        """Forward pass; ``x`` is (batch, in_dim)."""
+        h = np.atleast_2d(x)
+        activations = [h]
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            h = h @ w + b
+            if i != last:
+                h = np.tanh(h)
+            activations.append(h)
+        if cache:
+            self._cache = activations
+        return h
+
+    def backward(self, grad_out: np.ndarray) -> list[np.ndarray]:
+        """Backprop ``grad_out`` (batch, out_dim) through the cached forward.
+
+        Returns gradients in the same order as :attr:`params`.
+        """
+        if self._cache is None:
+            raise RuntimeError("backward() requires forward(cache=True) first")
+        activations = self._cache
+        grads_w: list[np.ndarray] = [np.empty(0)] * len(self.weights)
+        grads_b: list[np.ndarray] = [np.empty(0)] * len(self.biases)
+        delta = np.atleast_2d(grad_out)
+        last = len(self.weights) - 1
+        for i in range(last, -1, -1):
+            inp = activations[i]
+            grads_w[i] = inp.T @ delta
+            grads_b[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = delta @ self.weights[i].T
+                # activations[i] is the tanh output of layer i-1
+                delta = delta * (1.0 - activations[i] ** 2)
+        out: list[np.ndarray] = []
+        for gw, gb in zip(grads_w, grads_b):
+            out.extend((gw, gb))
+        return out
+
+    def num_params(self) -> int:
+        return sum(p.size for p in self.params)

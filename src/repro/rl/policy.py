@@ -1,0 +1,104 @@
+"""Gaussian actor-critic policy for continuous rate-control actions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .mlp import MLP
+
+LOG_2PI = math.log(2.0 * math.pi)
+
+
+class GaussianActorCritic:
+    """Diagonal-Gaussian actor + value critic with shared input features.
+
+    The actor outputs the action mean; a state-independent ``log_std``
+    parameter controls exploration noise (standard PPO practice and what
+    stable-baselines — the paper's training stack — does).
+    """
+
+    def __init__(self, obs_dim: int, act_dim: int = 1,
+                 hidden: tuple[int, ...] = (64, 64), seed: int = 0,
+                 init_log_std: float = -0.5):
+        rng = np.random.default_rng(seed)
+        self.obs_dim = obs_dim
+        self.act_dim = act_dim
+        self.actor = MLP(obs_dim, hidden, act_dim, rng, out_gain=0.01)
+        self.critic = MLP(obs_dim, hidden, 1, rng, out_gain=1.0)
+        self.log_std = np.full(act_dim, init_log_std)
+
+    # -- acting ----------------------------------------------------------
+
+    def act(self, obs: np.ndarray, rng: np.random.Generator,
+            deterministic: bool = False) -> tuple[np.ndarray, float, float]:
+        """Sample an action; returns (action, log-prob, value)."""
+        obs2 = np.atleast_2d(np.asarray(obs, dtype=float))
+        mean = self.actor.forward(obs2)[0]
+        value = float(self.critic.forward(obs2)[0, 0])
+        if deterministic:
+            return mean.copy(), 0.0, value
+        std = np.exp(self.log_std)
+        action = mean + std * rng.normal(size=self.act_dim)
+        logp = float(self._logp_terms(action, mean).sum())
+        return action, logp, value
+
+    def value(self, obs: np.ndarray) -> float:
+        return float(self.critic.forward(np.atleast_2d(np.asarray(obs, dtype=float)))[0, 0])
+
+    def _logp_terms(self, action: np.ndarray, mean: np.ndarray) -> np.ndarray:
+        std = np.exp(self.log_std)
+        z = (action - mean) / std
+        return -0.5 * z ** 2 - self.log_std - 0.5 * LOG_2PI
+
+    def logp(self, obs_batch: np.ndarray, act_batch: np.ndarray) -> np.ndarray:
+        means = self.actor.forward(obs_batch)
+        std = np.exp(self.log_std)
+        z = (act_batch - means) / std
+        return (-0.5 * z ** 2 - self.log_std - 0.5 * LOG_2PI).sum(axis=1)
+
+    def entropy(self) -> float:
+        return float((self.log_std + 0.5 * (LOG_2PI + 1.0)).sum())
+
+    # -- parameters --------------------------------------------------------
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [*self.actor.params, self.log_std, *self.critic.params]
+
+    def get_weights(self) -> dict[str, np.ndarray]:
+        """Serialize to a flat dict (for .npz persistence)."""
+        out: dict[str, np.ndarray] = {"log_std": self.log_std}
+        for prefix, net in (("actor", self.actor), ("critic", self.critic)):
+            for i, (w, b) in enumerate(zip(net.weights, net.biases)):
+                out[f"{prefix}_w{i}"] = w
+                out[f"{prefix}_b{i}"] = b
+        return out
+
+    def set_weights(self, weights: dict[str, np.ndarray]) -> None:
+        self.log_std = np.asarray(weights["log_std"], dtype=float).reshape(self.act_dim)
+        for prefix, net in (("actor", self.actor), ("critic", self.critic)):
+            for i in range(len(net.weights)):
+                w = np.asarray(weights[f"{prefix}_w{i}"], dtype=float)
+                b = np.asarray(weights[f"{prefix}_b{i}"], dtype=float)
+                if w.shape != net.weights[i].shape:
+                    raise ValueError(
+                        f"{prefix} layer {i} shape mismatch: "
+                        f"{w.shape} vs {net.weights[i].shape}")
+                net.weights[i] = w
+                net.biases[i] = b
+
+    def save(self, path: str) -> None:
+        np.savez(path, **self.get_weights(),
+                 obs_dim=self.obs_dim, act_dim=self.act_dim,
+                 hidden=np.array([w.shape[1] for w in self.actor.weights[:-1]]))
+
+    @classmethod
+    def load(cls, path: str) -> "GaussianActorCritic":
+        data = np.load(path)
+        hidden = tuple(int(h) for h in data["hidden"])
+        policy = cls(int(data["obs_dim"]), int(data["act_dim"]), hidden)
+        policy.set_weights({k: data[k] for k in data.files
+                            if k not in ("obs_dim", "act_dim", "hidden")})
+        return policy

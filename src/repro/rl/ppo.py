@@ -1,0 +1,155 @@
+"""Proximal Policy Optimization (Schulman et al. 2017) in pure numpy.
+
+PPO-clip with GAE(λ), minibatch Adam updates, entropy bonus, and a value
+loss — the algorithm the paper trains Libra's DRL component with
+(Alg. 2 / Sec. 5 "Implementation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .mlp import Adam
+from .policy import GaussianActorCritic
+from .rollout import RolloutBuffer
+
+
+@dataclass
+class PPOConfig:
+    steps_per_epoch: int = 512
+    train_iters: int = 8
+    minibatch_size: int = 64
+    gamma: float = 0.99
+    lam: float = 0.95
+    clip_ratio: float = 0.2
+    lr: float = 3e-4
+    vf_coef: float = 0.5
+    ent_coef: float = 0.003
+    max_episode_steps: int = 64
+    seed: int = 0
+
+
+@dataclass
+class TrainHistory:
+    """Per-episode reward history — the learning curves of Fig. 5/6."""
+
+    episode_rewards: list = field(default_factory=list)
+
+    def smoothed(self, window: int = 20) -> list[float]:
+        rewards = self.episode_rewards
+        out = []
+        for i in range(len(rewards)):
+            lo = max(0, i - window + 1)
+            out.append(sum(rewards[lo:i + 1]) / (i + 1 - lo))
+        return out
+
+
+class PPOTrainer:
+    """Trains a :class:`GaussianActorCritic` against a gym-like env.
+
+    The environment must implement ``reset() -> obs`` and
+    ``step(action) -> (obs, reward, done, info)`` with a 1-D numpy action.
+    """
+
+    def __init__(self, env, policy: GaussianActorCritic,
+                 config: PPOConfig | None = None):
+        self.env = env
+        self.policy = policy
+        self.config = config or PPOConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.optimizer = Adam(self.policy.params, lr=self.config.lr)
+        self.history = TrainHistory()
+
+    # -- data collection ---------------------------------------------------
+
+    def collect(self) -> dict[str, np.ndarray]:
+        cfg = self.config
+        buf = RolloutBuffer(self.policy.obs_dim, self.policy.act_dim,
+                            cfg.steps_per_epoch, cfg.gamma, cfg.lam)
+        obs = self.env.reset()
+        episode_reward = 0.0
+        episode_len = 0
+        while not buf.full:
+            action, logp, value = self.policy.act(obs, self.rng)
+            next_obs, reward, done, _ = self.env.step(action)
+            buf.store(obs, action, reward, value, logp)
+            episode_reward += reward
+            episode_len += 1
+            obs = next_obs
+            timeout = episode_len >= cfg.max_episode_steps
+            if done or timeout or buf.full:
+                last_value = 0.0 if done else self.policy.value(obs)
+                buf.finish_path(last_value)
+                if done or timeout:
+                    self.history.episode_rewards.append(episode_reward)
+                    obs = self.env.reset()
+                    episode_reward = 0.0
+                    episode_len = 0
+        return buf.get()
+
+    # -- optimization ----------------------------------------------------
+
+    def update(self, data: dict[str, np.ndarray]) -> dict[str, float]:
+        cfg = self.config
+        n = len(data["obs"])
+        stats = {"pi_loss": 0.0, "v_loss": 0.0, "clip_frac": 0.0, "batches": 0}
+        for _ in range(cfg.train_iters):
+            order = self.rng.permutation(n)
+            for start in range(0, n, cfg.minibatch_size):
+                idx = order[start:start + cfg.minibatch_size]
+                batch_stats = self._update_minibatch(
+                    data["obs"][idx], data["actions"][idx], data["logps"][idx],
+                    data["advantages"][idx], data["returns"][idx])
+                for key in ("pi_loss", "v_loss", "clip_frac"):
+                    stats[key] += batch_stats[key]
+                stats["batches"] += 1
+        for key in ("pi_loss", "v_loss", "clip_frac"):
+            stats[key] /= max(stats["batches"], 1)
+        return stats
+
+    def _update_minibatch(self, obs, actions, logp_old, adv, returns) -> dict[str, float]:
+        cfg = self.config
+        policy = self.policy
+        batch = len(obs)
+        std = np.exp(policy.log_std)
+
+        means = policy.actor.forward(obs, cache=True)
+        z = (actions - means) / std
+        logp = (-0.5 * z ** 2 - policy.log_std - 0.5 * np.log(2 * np.pi)).sum(axis=1)
+        ratio = np.exp(logp - logp_old)
+        clipped = np.clip(ratio, 1.0 - cfg.clip_ratio, 1.0 + cfg.clip_ratio)
+        surrogate = np.minimum(ratio * adv, clipped * adv)
+        pi_loss = -surrogate.mean()
+
+        # Gradient of the clipped surrogate wrt logp: active only where the
+        # unclipped branch is selected by the min().
+        unclipped_active = ((adv >= 0) & (ratio <= 1.0 + cfg.clip_ratio)) | \
+                           ((adv < 0) & (ratio >= 1.0 - cfg.clip_ratio))
+        dL_dlogp = np.where(unclipped_active, -adv * ratio, 0.0) / batch
+
+        # logp gradients: d logp / d mean = z/std ; d logp / d log_std = z^2-1
+        dmean = (dL_dlogp[:, None]) * (z / std)
+        dlog_std = (dL_dlogp[:, None] * (z ** 2 - 1.0)).sum(axis=0)
+        dlog_std -= cfg.ent_coef  # entropy bonus: dH/dlog_std = 1 per dim
+
+        actor_grads = policy.actor.backward(dmean)
+
+        values = policy.critic.forward(obs, cache=True)[:, 0]
+        v_err = values - returns
+        v_loss = (v_err ** 2).mean()
+        dvalue = (cfg.vf_coef * 2.0 * v_err / batch)[:, None]
+        critic_grads = policy.critic.backward(dvalue)
+
+        self.optimizer.step([*actor_grads, dlog_std, *critic_grads])
+        return {"pi_loss": float(pi_loss), "v_loss": float(v_loss),
+                "clip_frac": float((ratio != clipped).mean())}
+
+    # -- driver ----------------------------------------------------------
+
+    def train(self, epochs: int) -> TrainHistory:
+        for _ in range(epochs):
+            data = self.collect()
+            self.update(data)
+        return self.history

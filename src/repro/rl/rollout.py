@@ -1,0 +1,73 @@
+"""Rollout storage with Generalized Advantage Estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RolloutBuffer:
+    """Accumulates transitions and finalizes advantages per trajectory."""
+
+    def __init__(self, obs_dim: int, act_dim: int, capacity: int,
+                 gamma: float = 0.99, lam: float = 0.95):
+        self.obs = np.zeros((capacity, obs_dim))
+        self.actions = np.zeros((capacity, act_dim))
+        self.rewards = np.zeros(capacity)
+        self.values = np.zeros(capacity)
+        self.logps = np.zeros(capacity)
+        self.advantages = np.zeros(capacity)
+        self.returns = np.zeros(capacity)
+        self.gamma = gamma
+        self.lam = lam
+        self.capacity = capacity
+        self.ptr = 0
+        self.path_start = 0
+
+    @property
+    def full(self) -> bool:
+        return self.ptr >= self.capacity
+
+    def store(self, obs, action, reward: float, value: float, logp: float) -> None:
+        if self.full:
+            raise RuntimeError("rollout buffer overflow")
+        i = self.ptr
+        self.obs[i] = obs
+        self.actions[i] = action
+        self.rewards[i] = reward
+        self.values[i] = value
+        self.logps[i] = logp
+        self.ptr += 1
+
+    def finish_path(self, last_value: float = 0.0) -> None:
+        """Close the current trajectory and compute GAE-lambda advantages."""
+        sl = slice(self.path_start, self.ptr)
+        rewards = np.append(self.rewards[sl], last_value)
+        values = np.append(self.values[sl], last_value)
+        deltas = rewards[:-1] + self.gamma * values[1:] - values[:-1]
+        adv = np.zeros_like(deltas)
+        acc = 0.0
+        for t in range(len(deltas) - 1, -1, -1):
+            acc = deltas[t] + self.gamma * self.lam * acc
+            adv[t] = acc
+        self.advantages[sl] = adv
+        self.returns[sl] = adv + self.values[sl]
+        self.path_start = self.ptr
+
+    def get(self) -> dict[str, np.ndarray]:
+        """Return the filled buffer with normalized advantages, then reset."""
+        if self.path_start != self.ptr:
+            raise RuntimeError("finish_path() must be called before get()")
+        n = self.ptr
+        adv = self.advantages[:n]
+        std = adv.std()
+        norm_adv = (adv - adv.mean()) / (std + 1e-8)
+        data = {
+            "obs": self.obs[:n].copy(),
+            "actions": self.actions[:n].copy(),
+            "logps": self.logps[:n].copy(),
+            "advantages": norm_adv,
+            "returns": self.returns[:n].copy(),
+        }
+        self.ptr = 0
+        self.path_start = 0
+        return data

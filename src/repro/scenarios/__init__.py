@@ -1,0 +1,15 @@
+"""Scenario library: the paper's evaluation network setups."""
+
+from .presets import (BUFFER_SWEEP_BYTES, FIG1_SCENARIOS, FIG7_CELLULAR,
+                      FIG7_WIRED, INTERNET, LOSS_SWEEP, LTE, LTE_KINDS,
+                      Scenario, STEP_LEVELS_MBPS, WIRED, WIRED_BANDWIDTHS,
+                      buffer_scenario, fairness_scenario, loss_scenario,
+                      rl_default_scenario, step_scenario)
+
+__all__ = [
+    "BUFFER_SWEEP_BYTES", "FIG1_SCENARIOS", "FIG7_CELLULAR", "FIG7_WIRED",
+    "INTERNET", "LOSS_SWEEP", "LTE", "LTE_KINDS", "STEP_LEVELS_MBPS",
+    "Scenario", "WIRED", "WIRED_BANDWIDTHS", "buffer_scenario",
+    "fairness_scenario", "loss_scenario", "rl_default_scenario",
+    "step_scenario",
+]

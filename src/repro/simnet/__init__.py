@@ -1,0 +1,27 @@
+"""Discrete-event, packet-level network simulator.
+
+This package is the substrate standing in for the paper's Linux-kernel
+datapath and the Mahimahi emulation testbed: trace-driven bottleneck
+links, droptail buffers, paced ACK-clocked senders, and per-flow
+monitoring.  See DESIGN.md for the substitution rationale.
+"""
+
+from .endpoint import FlowStats, Receiver, Sender
+from .engine import EventLoop, Timer
+from .codel import CoDelQueue
+from .link import BottleneckLink
+from .mahimahi import load_mahimahi, parse_mahimahi, save_mahimahi, to_mahimahi
+from .network import Dumbbell, RunResult
+from .packet import Ack, AckSample, IntervalReport, LossSample, Packet
+from .queue import DropTailQueue
+from .trace import (ConstantTrace, PiecewiseTrace, Trace, lte_trace,
+                    step_trace, wired_trace)
+
+__all__ = [
+    "Ack", "AckSample", "BottleneckLink", "CoDelQueue", "ConstantTrace",
+    "DropTailQueue", "load_mahimahi", "parse_mahimahi", "save_mahimahi",
+    "to_mahimahi",
+    "Dumbbell", "EventLoop", "FlowStats", "IntervalReport", "LossSample",
+    "Packet", "PiecewiseTrace", "Receiver", "RunResult", "Sender", "Timer",
+    "Trace", "lte_trace", "step_trace", "wired_trace",
+]

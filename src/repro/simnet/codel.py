@@ -1,0 +1,133 @@
+"""CoDel AQM queue (Nichols & Jacobson 2012).
+
+The paper's flexibility discussion (Sec. 2) notes that keeping CUBIC's
+queueing delay low classically requires an AQM such as CoDel in the
+network devices — at extra cost — whereas Libra achieves it end-to-end.
+This implementation lets the repo demonstrate exactly that comparison
+(``examples`` and the AQM ablation bench): CUBIC+CoDel vs plain Libra.
+
+Algorithm: packets are timestamped on enqueue; if the *sojourn time* at
+dequeue stays above ``target`` (5 ms) for longer than ``interval``
+(100 ms), CoDel enters a dropping state and drops packets at times
+spaced by ``interval / sqrt(count)`` until the sojourn falls below
+target.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from .packet import Packet
+
+TARGET = 0.005      # 5 ms sojourn target
+INTERVAL = 0.1      # 100 ms initial interval
+
+
+class CoDelQueue:
+    """Byte-bounded FIFO with CoDel dropping at dequeue.
+
+    Drop-compatible with :class:`~repro.simnet.queue.DropTailQueue` so
+    :class:`~repro.simnet.link.BottleneckLink` can use either; the link
+    passes the current time via ``set_now`` before each operation (kept
+    implicit by reading ``now`` from the attached clock callable).
+    """
+
+    def __init__(self, capacity_bytes: float, clock,
+                 target: float = TARGET, interval: float = INTERVAL):
+        if capacity_bytes <= 0:
+            raise ValueError("buffer capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.clock = clock
+        self.target = target
+        self.interval = interval
+        self._q: deque[tuple[float, Packet]] = deque()
+        self.bytes = 0
+        self.enqueued_packets = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.max_bytes_seen = 0
+        # CoDel state
+        self._sojourn = 0.0
+        self._first_above_time = 0.0
+        self._dropping = False
+        self._drop_next = 0.0
+        self._count = 0
+
+    # -- queue interface ---------------------------------------------------
+
+    def push(self, packet: Packet) -> bool:
+        if self.bytes + packet.size > self.capacity_bytes:
+            self._drop(packet)
+            return False
+        self._q.append((self.clock(), packet))
+        self.bytes += packet.size
+        self.enqueued_packets += 1
+        self.max_bytes_seen = max(self.max_bytes_seen, self.bytes)
+        return True
+
+    def _drop(self, packet: Packet) -> None:
+        self.dropped_packets += 1
+        self.dropped_bytes += packet.size
+
+    def _dequeue_raw(self) -> Packet | None:
+        if not self._q:
+            return None
+        enq_time, packet = self._q.popleft()
+        self.bytes -= packet.size
+        self._sojourn = self.clock() - enq_time
+        return packet
+
+    def pop(self) -> Packet:
+        """Dequeue with CoDel's dropping law applied."""
+        now = self.clock()
+        packet = self._dequeue_raw()
+        if packet is None:
+            raise IndexError("pop from empty queue")
+        ok_to_drop = self._should_drop(now)
+        if self._dropping:
+            if not ok_to_drop:
+                self._dropping = False
+            else:
+                while now >= self._drop_next and self._dropping:
+                    self._drop(packet)
+                    self._count += 1
+                    packet = self._dequeue_raw()
+                    if packet is None:
+                        self._dropping = False
+                        raise IndexError("pop from empty queue")
+                    if not self._should_drop(now):
+                        self._dropping = False
+                    else:
+                        self._drop_next += self.interval / math.sqrt(self._count)
+        elif ok_to_drop and (now - self._drop_next < self.interval
+                             or now - self._first_above_time >= self.interval):
+            self._drop(packet)
+            self._count = max(self._count - 2, 1) if \
+                now - self._drop_next < self.interval else 1
+            replacement = self._dequeue_raw()
+            if replacement is None:
+                raise IndexError("pop from empty queue")
+            packet = replacement
+            self._dropping = True
+            self._drop_next = now + self.interval / math.sqrt(self._count)
+        return packet
+
+    def _should_drop(self, now: float) -> bool:
+        """CoDel's sojourn-time test; updates first_above_time."""
+        if self._sojourn < self.target or self.bytes < 2 * 1500:
+            self._first_above_time = 0.0
+            return False
+        if self._first_above_time == 0.0:
+            self._first_above_time = now + self.interval
+            return False
+        return now >= self._first_above_time
+
+    def peek(self) -> Packet | None:
+        return self._q[0][1] if self._q else None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)

@@ -1,0 +1,417 @@
+"""Sender and receiver endpoints.
+
+The sender is a paced, ACK-clocked transport: it transmits MSS-sized
+segments at the controller's pacing rate (bounded by the congestion
+window when one is exposed), samples RTTs and delivery rates from
+acknowledgements, detects losses with a packet-reordering threshold plus
+a retransmission-timeout fallback, and feeds the controller per-ACK,
+per-loss and per-monitor-interval callbacks.
+
+Retransmissions are not simulated: lost segments are counted (the loss
+rate is what congestion control consumes) and throughput is measured at
+the receiver, which is exactly how Pantheon/Mahimahi-style evaluations
+score a CCA.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..units import DEFAULT_MSS
+
+if TYPE_CHECKING:  # break the runtime import cycle with repro.cca
+    from ..cca.base import Controller
+from .engine import EventLoop
+from .packet import Ack, AckSample, IntervalReport, LossSample, Packet
+
+#: packets acknowledged past a hole before the hole is declared lost
+REORDER_THRESHOLD = 3
+#: lower bound for the retransmission-timeout fallback
+MIN_RTO = 0.2
+#: pacing floor so a flow can always probe a dead-looking link
+MIN_PACING_RATE = 64_000.0
+#: relative pacing jitter; breaks phase locks between paced senders that
+#: would otherwise win/lose droptail slots systematically
+PACING_JITTER = 0.10
+
+
+@dataclass(slots=True)
+class _SentRecord:
+    sent_time: float
+    size: int
+    delivered_at_send: float
+    marker: int
+
+
+@dataclass
+class FlowStats:
+    """Per-flow results assembled after a run."""
+
+    flow_id: int
+    start_time: float
+    end_time: float
+    delivered_bytes: float = 0.0
+    sent_packets: int = 0
+    acked_packets: int = 0
+    lost_packets: int = 0
+    rtt_sum: float = 0.0
+    rtt_count: int = 0
+    min_rtt: float = float("inf")
+    max_rtt: float = 0.0
+    rtt_samples: list = field(default_factory=list)
+    bin_width: float = 0.25
+    delivered_bins: list = field(default_factory=list)
+    lost_bins: list = field(default_factory=list)
+
+    def _bump_bin(self, bins: list, when: float, amount: float) -> None:
+        idx = max(int((when - self.start_time) / self.bin_width), 0)
+        if idx >= len(bins):
+            bins.extend([0.0] * (idx - len(bins) + 1))
+        bins[idx] += amount
+
+    @property
+    def duration(self) -> float:
+        return max(self.end_time - self.start_time, 1e-9)
+
+    @property
+    def throughput_bps(self) -> float:
+        return self.delivered_bytes * 8.0 / self.duration
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput_bps / 1e6
+
+    @property
+    def avg_rtt(self) -> float:
+        return self.rtt_sum / self.rtt_count if self.rtt_count else 0.0
+
+    @property
+    def avg_rtt_ms(self) -> float:
+        return self.avg_rtt * 1e3
+
+    @property
+    def min_rtt_ms(self) -> float:
+        return self.min_rtt * 1e3 if self.rtt_count else 0.0
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost_packets / self.sent_packets if self.sent_packets else 0.0
+
+    def p95_rtt_ms(self) -> float:
+        if not self.rtt_samples:
+            return 0.0
+        values = sorted(r for _, r in self.rtt_samples)
+        return values[min(len(values) - 1, int(0.95 * len(values)))] * 1e3
+
+    def throughput_series(self) -> tuple[list[float], list[float]]:
+        """(bin centre times, Mbps) series of receiver-side throughput."""
+        times = [self.start_time + (i + 0.5) * self.bin_width
+                 for i in range(len(self.delivered_bins))]
+        rates = [b * 8.0 / self.bin_width / 1e6 for b in self.delivered_bins]
+        return times, rates
+
+
+class Receiver:
+    """Per-flow receiver: counts deliveries and emits acknowledgements."""
+
+    def __init__(self, loop: EventLoop, flow_id: int,
+                 ack_path: Callable[[Ack], None], stats: FlowStats):
+        self.loop = loop
+        self.flow_id = flow_id
+        self.ack_path = ack_path
+        self.stats = stats
+        self.delivered_bytes = 0.0
+
+    def on_packet(self, packet: Packet) -> None:
+        if packet.flow_id != self.flow_id:
+            raise ValueError("packet routed to wrong receiver")
+        now = self.loop.now
+        self.delivered_bytes += packet.size
+        stats = self.stats
+        stats.delivered_bytes += packet.size
+        stats._bump_bin(stats.delivered_bins, now, packet.size)
+        self.ack_path(Ack(flow_id=packet.flow_id, seq=packet.seq, size=packet.size,
+                          sent_time=packet.sent_time, recv_time=now,
+                          delivered_bytes=self.delivered_bytes, marker=packet.marker))
+
+
+class Sender:
+    """Paced, ACK-clocked sender driven by a :class:`Controller`."""
+
+    def __init__(self, loop: EventLoop, flow_id: int, controller: Controller,
+                 transmit: Callable[[Packet], None], mss: int = DEFAULT_MSS,
+                 stats: FlowStats | None = None):
+        self.loop = loop
+        self.flow_id = flow_id
+        self.controller = controller
+        self.transmit = transmit
+        self.mss = mss
+        self.stats = stats or FlowStats(flow_id=flow_id, start_time=0.0, end_time=0.0)
+
+        self.next_seq = 0
+        self.inflight_bytes = 0.0
+        self.delivered_bytes = 0.0
+        self.sent_bytes = 0.0
+        self.outstanding: dict[int, _SentRecord] = {}
+        self.send_order: deque[int] = deque()
+
+        self.srtt = 0.0
+        self.rttvar = 0.0
+        self.latest_rtt = 0.0
+        self.min_rtt = float("inf")
+        self.last_ack_time = 0.0
+
+        self._running = False
+        self._blocked = False
+        self._send_timer = None
+        self._interval_timer = None
+        self._window = _WindowStats()
+        self._jitter_rng = np.random.default_rng(10_007 + flow_id)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        now = self.loop.now
+        self._running = True
+        self.stats.start_time = now
+        self.last_ack_time = now
+        self.controller.start(now, self.mss)
+        self._window.reset(now)
+        self._schedule_interval()
+        self._send_loop()
+
+    def stop(self) -> None:
+        self._running = False
+        self.stats.end_time = self.loop.now
+        if self._send_timer is not None:
+            self._send_timer.cancel()
+        if self._interval_timer is not None:
+            self._interval_timer.cancel()
+
+    # -- pacing ----------------------------------------------------------
+
+    def _effective_rate(self) -> float:
+        rate = self.controller.pacing_rate()
+        if rate is None:
+            cwnd = self.controller.cwnd()
+            srtt = self.srtt if self.srtt > 0 else 0.1
+            rate = (cwnd or self.mss * 10) * 8.0 / srtt
+        return max(rate, MIN_PACING_RATE)
+
+    def _window_allows(self) -> bool:
+        cwnd = self.controller.cwnd()
+        return cwnd is None or self.inflight_bytes + self.mss <= cwnd
+
+    def _send_loop(self) -> None:
+        if not self._running:
+            return
+        if not self._window_allows():
+            self._blocked = True
+            return
+        self._blocked = False
+        now = self.loop.now
+        seq = self.next_seq
+        self.next_seq += 1
+        marker = self.controller.marker
+        packet = Packet(flow_id=self.flow_id, seq=seq, size=self.mss,
+                        sent_time=now, marker=marker)
+        self.outstanding[seq] = _SentRecord(now, self.mss, self.delivered_bytes, marker)
+        self.send_order.append(seq)
+        self.inflight_bytes += self.mss
+        self.sent_bytes += self.mss
+        self.stats.sent_packets += 1
+        self._window.sent_packets += 1
+        self._window.sent_bytes += self.mss
+        if self.controller.userspace:
+            self.controller.meter.count("userspace_packet")
+        self.transmit(packet)
+        delay = self.mss * 8.0 / self._effective_rate()
+        delay *= 1.0 + PACING_JITTER * (self._jitter_rng.random() - 0.5)
+        self._send_timer = self.loop.schedule(delay, self._send_loop)
+
+    # -- acknowledgements --------------------------------------------------
+
+    def on_ack_packet(self, ack: Ack) -> None:
+        if not self._running:
+            return
+        record = self.outstanding.pop(ack.seq, None)
+        if record is None:
+            return  # already declared lost
+        now = self.loop.now
+        rtt = now - record.sent_time
+        self._update_rtt(rtt, now)
+        self.inflight_bytes = max(0.0, self.inflight_bytes - record.size)
+        self.delivered_bytes += record.size
+        self.last_ack_time = now
+
+        elapsed = now - record.sent_time
+        delivery_rate = 0.0
+        if elapsed > 0:
+            delivery_rate = (self.delivered_bytes - record.delivered_at_send) * 8.0 / elapsed
+
+        stats = self.stats
+        stats.acked_packets += 1
+        stats.rtt_sum += rtt
+        stats.rtt_count += 1
+        stats.min_rtt = min(stats.min_rtt, rtt)
+        stats.max_rtt = max(stats.max_rtt, rtt)
+        if len(stats.rtt_samples) < 200_000:
+            stats.rtt_samples.append((now, rtt))
+
+        win = self._window
+        win.acked_packets += 1
+        win.delivered_bytes += record.size
+        win.rtt_samples.append((now, rtt))
+
+        sample = AckSample(now=now, seq=ack.seq, rtt=rtt, min_rtt=self.min_rtt,
+                           srtt=self.srtt, acked_bytes=record.size,
+                           delivery_rate=delivery_rate,
+                           inflight_bytes=self.inflight_bytes,
+                           sent_time=record.sent_time, marker=record.marker)
+        self.controller.on_ack(sample)
+        if self.controller.userspace:
+            self.controller.meter.count("userspace_packet")
+
+        self._detect_reorder_losses(ack.seq)
+
+        if self._blocked and self._window_allows():
+            self._send_loop()
+
+    def _update_rtt(self, rtt: float, now: float) -> None:
+        self.latest_rtt = rtt
+        self.min_rtt = min(self.min_rtt, rtt)
+        if self.srtt == 0.0:
+            self.srtt = rtt
+            self.rttvar = rtt / 2
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - rtt)
+            self.srtt = 0.875 * self.srtt + 0.125 * rtt
+
+    # -- loss detection ----------------------------------------------------
+
+    def _detect_reorder_losses(self, acked_seq: int) -> None:
+        threshold = acked_seq - REORDER_THRESHOLD
+        order = self.send_order
+        while order and order[0] <= acked_seq:
+            seq = order[0]
+            if seq not in self.outstanding:
+                order.popleft()
+                continue
+            if seq <= threshold:
+                order.popleft()
+                self._declare_lost(seq)
+            else:
+                break
+
+    def _rto(self) -> float:
+        base = self.srtt + 4 * self.rttvar if self.srtt > 0 else 1.0
+        return max(2.0 * base, MIN_RTO)
+
+    def _check_timeout_losses(self) -> None:
+        """RTO fallback for tail losses (no later ACK to reveal the hole)."""
+        now = self.loop.now
+        if not self.outstanding:
+            return
+        if now - self.last_ack_time < self._rto():
+            return
+        cutoff = now - self._rto()
+        stale = [s for s, r in self.outstanding.items() if r.sent_time <= cutoff]
+        for seq in stale:
+            self._declare_lost(seq)
+
+    def _declare_lost(self, seq: int) -> None:
+        record = self.outstanding.pop(seq, None)
+        if record is None:
+            return
+        self.inflight_bytes = max(0.0, self.inflight_bytes - record.size)
+        self.stats.lost_packets += 1
+        self.stats._bump_bin(self.stats.lost_bins, self.loop.now, record.size)
+        self._window.lost_packets += 1
+        self.controller.on_loss(LossSample(now=self.loop.now, seq=seq,
+                                           lost_bytes=record.size,
+                                           sent_time=record.sent_time,
+                                           inflight_bytes=self.inflight_bytes,
+                                           marker=record.marker))
+        if self._blocked and self._window_allows():
+            self._send_loop()
+
+    # -- monitor intervals ---------------------------------------------------
+
+    def _schedule_interval(self) -> None:
+        duration = self.controller.interval()
+        if duration is None:
+            return
+        duration = max(duration, 1e-3)
+        self._interval_timer = self.loop.schedule(duration, self._fire_interval)
+
+    def _fire_interval(self) -> None:
+        if not self._running:
+            return
+        self._check_timeout_losses()
+        now = self.loop.now
+        report = self._window.report(now, self.min_rtt)
+        self._window.reset(now)
+        self.controller.meter.count("per_mi")
+        self.controller.on_interval(report)
+        if self._blocked and self._window_allows():
+            self._send_loop()
+        self._schedule_interval()
+
+
+class _WindowStats:
+    """Rolling statistics for one monitor interval."""
+
+    __slots__ = ("start", "delivered_bytes", "sent_bytes", "sent_packets",
+                 "acked_packets", "lost_packets", "rtt_samples")
+
+    def __init__(self) -> None:
+        self.reset(0.0)
+
+    def reset(self, now: float) -> None:
+        self.start = now
+        self.delivered_bytes = 0.0
+        self.sent_bytes = 0.0
+        self.sent_packets = 0
+        self.acked_packets = 0
+        self.lost_packets = 0
+        self.rtt_samples: list[tuple[float, float]] = []
+
+    def report(self, now: float, flow_min_rtt: float) -> IntervalReport:
+        duration = max(now - self.start, 1e-9)
+        throughput = self.delivered_bytes * 8.0 / duration
+        send_rate = self.sent_bytes * 8.0 / duration
+        samples = self.rtt_samples
+        if samples:
+            avg_rtt = sum(r for _, r in samples) / len(samples)
+            min_rtt = min(r for _, r in samples)
+            gradient = _slope(samples)
+        else:
+            avg_rtt = 0.0
+            min_rtt = flow_min_rtt if flow_min_rtt < float("inf") else 0.0
+            gradient = 0.0
+        denominator = self.sent_packets if self.sent_packets else 1
+        return IntervalReport(now=now, duration=duration, throughput=throughput,
+                              send_rate=send_rate, avg_rtt=avg_rtt,
+                              min_rtt=min_rtt, rtt_gradient=gradient,
+                              loss_rate=min(1.0, self.lost_packets / denominator),
+                              acked_packets=self.acked_packets,
+                              lost_packets=self.lost_packets,
+                              sent_packets=self.sent_packets)
+
+
+def _slope(samples: list[tuple[float, float]]) -> float:
+    """Least-squares slope of (time, rtt) samples — the RTT gradient."""
+    n = len(samples)
+    if n < 2:
+        return 0.0
+    mean_t = sum(t for t, _ in samples) / n
+    mean_r = sum(r for _, r in samples) / n
+    num = sum((t - mean_t) * (r - mean_r) for t, r in samples)
+    den = sum((t - mean_t) ** 2 for t, _ in samples)
+    if den <= 0:
+        return 0.0
+    return num / den

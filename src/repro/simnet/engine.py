@@ -1,0 +1,87 @@
+"""Discrete-event simulation engine.
+
+A tiny but fast event loop built on :mod:`heapq`.  Events are callbacks
+scheduled at absolute simulation times; ties break in scheduling order so
+runs are fully deterministic.  Timers can be cancelled, which simply marks
+the heap entry dead (lazy deletion).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class Timer:
+    """Handle for a scheduled event; ``cancel()`` prevents it from firing."""
+
+    __slots__ = ("time", "fn", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[[], None]):
+        self.time = time
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventLoop:
+    """Deterministic discrete-event loop.
+
+    >>> loop = EventLoop()
+    >>> out = []
+    >>> _ = loop.schedule(1.0, lambda: out.append(loop.now))
+    >>> loop.run_until(2.0)
+    >>> out
+    [1.0]
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Timer]] = []
+        self._seq = itertools.count()
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Timer:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        return self.schedule_at(self.now + delay, fn)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Timer:
+        """Schedule ``fn`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        timer = Timer(time, fn)
+        heapq.heappush(self._heap, (time, next(self._seq), timer))
+        return timer
+
+    def run_until(self, end_time: float) -> None:
+        """Process events in order until ``end_time`` (inclusive)."""
+        heap = self._heap
+        while heap and heap[0][0] <= end_time:
+            time, _, timer = heapq.heappop(heap)
+            if timer.cancelled:
+                continue
+            self.now = time
+            timer.fn()
+        if self.now < end_time:
+            self.now = end_time
+
+    def run_all(self, max_events: int = 10_000_000) -> None:
+        """Drain the event queue completely (bounded by ``max_events``)."""
+        heap = self._heap
+        for _ in range(max_events):
+            if not heap:
+                return
+            time, _, timer = heapq.heappop(heap)
+            if timer.cancelled:
+                continue
+            self.now = time
+            timer.fn()
+        raise RuntimeError(f"event loop exceeded {max_events} events")
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _, _, t in self._heap if not t.cancelled)

@@ -1,0 +1,119 @@
+"""Trace-driven bottleneck link.
+
+Models a store-and-forward link: arriving packets join a droptail queue,
+a single server transmits them at the trace's instantaneous capacity, and
+served packets are handed to a delivery callback after the propagation
+delay.  Stochastic loss (the paper's 0-10 % sweeps) is applied on ingress.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .engine import EventLoop
+from .packet import Packet
+from .queue import DropTailQueue
+from .trace import Trace
+
+
+class BottleneckLink:
+    """Single shared bottleneck with a droptail buffer.
+
+    Parameters
+    ----------
+    loop:
+        The simulation event loop.
+    trace:
+        Capacity trace governing the service rate.
+    buffer_bytes:
+        Droptail buffer size (the paper varies 10 KB - 5 MB).
+    propagation_delay:
+        One-way delay added after a packet finishes service.
+    loss_rate:
+        Bernoulli stochastic loss probability applied on ingress,
+        independent of buffer overflow.
+    deliver:
+        Callback invoked with each packet that crosses the link.
+    """
+
+    def __init__(self, loop: EventLoop, trace: Trace, buffer_bytes: float,
+                 propagation_delay: float, deliver: Callable[[Packet], None],
+                 loss_rate: float = 0.0, seed: int = 0, aqm: str = "droptail"):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.loop = loop
+        self.trace = trace
+        if aqm == "droptail":
+            self.queue = DropTailQueue(buffer_bytes)
+        elif aqm == "codel":
+            from .codel import CoDelQueue
+            self.queue = CoDelQueue(buffer_bytes, clock=lambda: loop.now)
+        else:
+            raise ValueError(f"unknown AQM {aqm!r}; use 'droptail' or 'codel'")
+        self.propagation_delay = propagation_delay
+        self.loss_rate = loss_rate
+        self.deliver = deliver
+        self._rng = np.random.default_rng(seed)
+        self._busy = False
+        # statistics
+        self.arrived_packets = 0
+        self.random_drops = 0
+        self.served_bytes = 0
+        self.served_packets = 0
+        self._first_arrival: float | None = None
+        self._last_service: float = 0.0
+
+    # -- ingress -------------------------------------------------------------
+
+    def send(self, packet: Packet) -> None:
+        """Offer a packet to the link (may be dropped)."""
+        self.arrived_packets += 1
+        if self._first_arrival is None:
+            self._first_arrival = self.loop.now
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.random_drops += 1
+            return
+        if self.queue.push(packet) and not self._busy:
+            self._start_service()
+
+    # -- service process -----------------------------------------------------
+
+    def _start_service(self) -> None:
+        head = self.queue.peek()
+        if head is None:
+            self._busy = False
+            return
+        self._busy = True
+        duration = self.trace.time_to_send(self.loop.now, head.size)
+        self.loop.schedule(duration, self._finish_service)
+
+    def _finish_service(self) -> None:
+        try:
+            packet = self.queue.pop()
+        except IndexError:
+            # An AQM may have dropped the whole backlog mid-service.
+            self._busy = False
+            return
+        self.served_bytes += packet.size
+        self.served_packets += 1
+        self._last_service = self.loop.now
+        self.loop.schedule(self.propagation_delay, lambda p=packet: self.deliver(p))
+        self._start_service()
+
+    # -- metrics ---------------------------------------------------------
+
+    def queueing_delay(self) -> float:
+        """Instantaneous queueing delay estimate (queue bytes / capacity)."""
+        rate = self.trace.rate_at(self.loop.now)
+        if rate <= 0:
+            return float("inf") if self.queue.bytes else 0.0
+        return self.queue.bytes * 8.0 / rate
+
+    def utilization(self, t0: float, t1: float) -> float:
+        """Fraction of the link's byte capacity used over ``[t0, t1]``."""
+        cap = self.trace.capacity_bytes(t0, t1)
+        if cap <= 0:
+            return 0.0
+        return min(1.0, self.served_bytes / cap)

@@ -1,0 +1,84 @@
+"""Mahimahi trace format import/export.
+
+Mahimahi (the paper's emulator) describes a link as a text file with one
+integer per line: the millisecond timestamps of 1500-byte packet delivery
+opportunities, replayed cyclically.  These helpers convert between that
+format and :class:`~repro.simnet.trace.PiecewiseTrace` so recorded
+cellular traces (e.g. the Pantheon/DeepCC captures, if available) can be
+replayed, and our synthetic traces can be exported for use with the real
+Mahimahi.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .trace import PiecewiseTrace, Trace
+
+MTU_BYTES = 1500
+MS = 1e-3
+
+
+def parse_mahimahi(lines, bin_ms: int = 100) -> PiecewiseTrace:
+    """Build a trace from Mahimahi delivery-opportunity timestamps.
+
+    Opportunities are aggregated into ``bin_ms`` buckets; each bucket's
+    rate is ``opportunities * MTU * 8 / bin duration``.  The trace loops,
+    like Mahimahi's replay.
+    """
+    stamps: list[int] = []
+    for line in lines:
+        text = str(line).strip()
+        if not text or text.startswith("#"):
+            continue
+        value = int(text)
+        if value < 0:
+            raise ValueError(f"negative timestamp {value}")
+        stamps.append(value)
+    if not stamps:
+        raise ValueError("empty mahimahi trace")
+    stamps.sort()
+    horizon_ms = stamps[-1] + 1
+    n_bins = (horizon_ms + bin_ms - 1) // bin_ms
+    counts = Counter(stamp // bin_ms for stamp in stamps)
+    times = [i * bin_ms * MS for i in range(n_bins)]
+    rates = [counts.get(i, 0) * MTU_BYTES * 8.0 / (bin_ms * MS)
+             for i in range(n_bins)]
+    # A zero-rate tail bin would deadlock a looping trace; floor at a
+    # trickle the way mahimahi-like emulators effectively do.
+    rates = [max(r, 1000.0) for r in rates]
+    return PiecewiseTrace(times, rates, loop=True)
+
+
+def load_mahimahi(path: str, bin_ms: int = 100) -> PiecewiseTrace:
+    """Load a Mahimahi trace file from disk."""
+    with open(path) as handle:
+        return parse_mahimahi(handle, bin_ms=bin_ms)
+
+
+def to_mahimahi(trace: Trace, duration: float) -> list[int]:
+    """Export a trace as Mahimahi delivery-opportunity timestamps.
+
+    Walks the trace and emits one timestamp per 1500-byte opportunity
+    over ``duration`` seconds.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    stamps: list[int] = []
+    t = 0.0
+    while t < duration:
+        step = trace.time_to_send(t, MTU_BYTES)
+        if step <= 0:
+            raise RuntimeError("trace emits opportunities infinitely fast")
+        t += step
+        if t < duration:
+            stamps.append(int(t * 1000))
+    return stamps
+
+
+def save_mahimahi(trace: Trace, duration: float, path: str) -> None:
+    """Write a Mahimahi-format trace file."""
+    stamps = to_mahimahi(trace, duration)
+    with open(path, "w") as handle:
+        handle.write("\n".join(str(s) for s in stamps))
+        handle.write("\n")

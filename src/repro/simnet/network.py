@@ -1,0 +1,167 @@
+"""Dumbbell topology: N senders share one trace-driven bottleneck.
+
+This mirrors the paper's Mahimahi/Pantheon setup — every experiment in the
+evaluation runs flows through a single emulated bottleneck with a droptail
+buffer, a minimum RTT, and optional stochastic loss.  Per-flow extra delay
+allows RTT heterogeneity; ACKs travel back over a lossless delay path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..units import DEFAULT_MSS
+
+if TYPE_CHECKING:  # break the runtime import cycle with repro.cca
+    from ..cca.base import Controller
+from .endpoint import FlowStats, Receiver, Sender
+from .engine import EventLoop
+from .link import BottleneckLink
+from .packet import Ack
+from .trace import Trace
+
+
+@dataclass
+class RunResult:
+    """Results of one simulation run."""
+
+    duration: float
+    flows: list[FlowStats]
+    link_served_bytes: float
+    link_capacity_bytes: float
+    link_dropped_packets: int
+    link_random_drops: int
+    queue_samples: list = field(default_factory=list)  # (time, queue_bytes)
+    controllers: list = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Aggregate link utilization (delivered bits / capacity bits)."""
+        if self.link_capacity_bytes <= 0:
+            return 0.0
+        return min(1.0, self.link_served_bytes / self.link_capacity_bytes)
+
+    @property
+    def total_throughput_mbps(self) -> float:
+        return sum(f.throughput_mbps for f in self.flows)
+
+    @property
+    def avg_rtt_ms(self) -> float:
+        counts = sum(f.rtt_count for f in self.flows)
+        if counts == 0:
+            return 0.0
+        return sum(f.rtt_sum for f in self.flows) / counts * 1e3
+
+    @property
+    def avg_loss_rate(self) -> float:
+        sent = sum(f.sent_packets for f in self.flows)
+        if sent == 0:
+            return 0.0
+        return sum(f.lost_packets for f in self.flows) / sent
+
+    def flow(self, index: int) -> FlowStats:
+        return self.flows[index]
+
+
+@dataclass
+class _FlowSpec:
+    controller: Controller
+    start: float
+    stop: float | None
+    extra_rtt: float
+
+
+class Dumbbell:
+    """Single-bottleneck network builder.
+
+    >>> from repro.simnet.trace import wired_trace
+    >>> from repro.cca.cubic import Cubic
+    >>> net = Dumbbell(wired_trace(12), buffer_bytes=150_000, rtt=0.03)
+    >>> net.add_flow(Cubic())
+    0
+    >>> result = net.run(2.0)
+    >>> result.flows[0].throughput_mbps > 1.0
+    True
+    """
+
+    def __init__(self, trace: Trace, buffer_bytes: float, rtt: float,
+                 loss_rate: float = 0.0, seed: int = 0, mss: int = DEFAULT_MSS,
+                 aqm: str = "droptail"):
+        if rtt <= 0:
+            raise ValueError("rtt must be positive")
+        self.loop = EventLoop()
+        self.trace = trace
+        self.rtt = rtt
+        self.mss = mss
+        self._specs: list[_FlowSpec] = []
+        self._senders: list[Sender] = []
+        self._receivers: list[Receiver] = []
+        self.link = BottleneckLink(
+            self.loop, trace, buffer_bytes,
+            propagation_delay=rtt / 2.0,
+            deliver=self._deliver,
+            loss_rate=loss_rate, seed=seed, aqm=aqm)
+        self.queue_samples: list[tuple[float, int]] = []
+        self._queue_sample_interval = 0.05
+
+    # -- construction ------------------------------------------------------
+
+    def add_flow(self, controller: Controller, start: float = 0.0,
+                 stop: float | None = None, extra_rtt: float = 0.0) -> int:
+        """Register a flow; returns its flow id."""
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        self._specs.append(_FlowSpec(controller, start, stop, extra_rtt))
+        return len(self._specs) - 1
+
+    # -- wiring ----------------------------------------------------------
+
+    def _deliver(self, packet) -> None:
+        self._receivers[packet.flow_id].on_packet(packet)
+
+    def _ack_path(self, flow_id: int, extra_rtt: float) -> Callable[[Ack], None]:
+        delay = self.rtt / 2.0 + extra_rtt
+        sender_list = self._senders
+
+        def route(ack: Ack) -> None:
+            self.loop.schedule(delay, lambda: sender_list[flow_id].on_ack_packet(ack))
+
+        return route
+
+    def _sample_queue(self) -> None:
+        self.queue_samples.append((self.loop.now, self.link.queue.bytes))
+        self.loop.schedule(self._queue_sample_interval, self._sample_queue)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, duration: float) -> RunResult:
+        """Simulate ``duration`` seconds and return aggregated results."""
+        if not self._specs:
+            raise ValueError("no flows registered")
+        for flow_id, spec in enumerate(self._specs):
+            stats = FlowStats(flow_id=flow_id, start_time=spec.start,
+                              end_time=duration)
+            receiver = Receiver(self.loop, flow_id,
+                                self._ack_path(flow_id, spec.extra_rtt), stats)
+            sender = Sender(self.loop, flow_id, spec.controller,
+                            self.link.send, mss=self.mss, stats=stats)
+            self._receivers.append(receiver)
+            self._senders.append(sender)
+            self.loop.schedule_at(spec.start, sender.start)
+            stop = spec.stop if spec.stop is not None else duration
+            self.loop.schedule_at(min(stop, duration), sender.stop)
+        self.loop.schedule(0.0, self._sample_queue)
+        self.loop.run_until(duration)
+        for sender in self._senders:
+            if sender.stats.end_time == 0.0 or sender.stats.end_time > duration:
+                sender.stats.end_time = duration
+        return RunResult(
+            duration=duration,
+            flows=[s.stats for s in self._senders],
+            link_served_bytes=self.link.served_bytes,
+            link_capacity_bytes=self.trace.capacity_bytes(0.0, duration),
+            link_dropped_packets=self.link.queue.dropped_packets,
+            link_random_drops=self.link.random_drops,
+            queue_samples=self.queue_samples,
+            controllers=[spec.controller for spec in self._specs])

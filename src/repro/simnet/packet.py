@@ -1,0 +1,90 @@
+"""Packet and feedback records exchanged inside the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class Packet:
+    """A data segment in flight from a sender towards the receiver."""
+
+    flow_id: int
+    seq: int
+    size: int                 # bytes, including headers (MSS granularity)
+    sent_time: float
+    marker: int = 0           # opaque controller tag (Libra stages use it)
+
+
+@dataclass(slots=True)
+class Ack:
+    """Acknowledgement travelling back to the sender.
+
+    Carries everything needed for RTT sampling and BBR-style delivery-rate
+    estimation: the echoed send timestamp plus the receiver's cumulative
+    delivered counter at the moment the data packet arrived.
+    """
+
+    flow_id: int
+    seq: int
+    size: int
+    sent_time: float
+    recv_time: float
+    delivered_bytes: float    # receiver cumulative counter at recv_time
+    marker: int = 0
+
+
+@dataclass(slots=True)
+class AckSample:
+    """Per-ACK feedback handed to a congestion controller."""
+
+    now: float
+    seq: int
+    rtt: float
+    min_rtt: float
+    srtt: float
+    acked_bytes: int
+    delivery_rate: float      # bps estimate from delivered counters (0 early on)
+    inflight_bytes: float
+    sent_time: float
+    marker: int = 0
+
+
+@dataclass(slots=True)
+class LossSample:
+    """Per-loss feedback handed to a congestion controller."""
+
+    now: float
+    seq: int
+    lost_bytes: int
+    sent_time: float
+    inflight_bytes: float
+    marker: int = 0
+
+
+@dataclass(slots=True)
+class IntervalReport:
+    """Aggregated statistics over one monitor interval (MI).
+
+    Learning-based CCAs and Libra's evaluation machinery consume these
+    instead of raw ACKs.  ``rtt_gradient`` is the least-squares slope of
+    RTT samples over the window (s/s); ``loss_rate`` is a fraction of
+    sent packets detected lost in the window.
+    """
+
+    now: float
+    duration: float
+    throughput: float         # delivered bps over the window
+    send_rate: float          # pacing-side bps over the window
+    avg_rtt: float
+    min_rtt: float
+    rtt_gradient: float
+    loss_rate: float
+    acked_packets: int
+    lost_packets: int
+    sent_packets: int
+
+    @property
+    def has_feedback(self) -> bool:
+        """Whether any ACK arrived during the interval (paper Sec. 3)."""
+        return self.acked_packets > 0

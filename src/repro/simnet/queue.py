@@ -1,0 +1,58 @@
+"""Bottleneck buffer implementations.
+
+The paper evaluates exclusively with droptail (tail-drop) queues, which is
+also what its convergence proof (Appendix A) assumes; an unbounded queue
+is provided for diagnostics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .packet import Packet
+
+
+class DropTailQueue:
+    """FIFO byte-bounded droptail queue.
+
+    ``capacity_bytes`` may be ``float('inf')`` for an unbounded buffer.
+    Tracks occupancy and drop statistics for the monitors.
+    """
+
+    def __init__(self, capacity_bytes: float):
+        if capacity_bytes <= 0:
+            raise ValueError("buffer capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._q: deque[Packet] = deque()
+        self.bytes = 0
+        self.enqueued_packets = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.max_bytes_seen = 0
+
+    def push(self, packet: Packet) -> bool:
+        """Enqueue ``packet``; returns False (and counts a drop) if full."""
+        if self.bytes + packet.size > self.capacity_bytes:
+            self.dropped_packets += 1
+            self.dropped_bytes += packet.size
+            return False
+        self._q.append(packet)
+        self.bytes += packet.size
+        self.enqueued_packets += 1
+        if self.bytes > self.max_bytes_seen:
+            self.max_bytes_seen = self.bytes
+        return True
+
+    def pop(self) -> Packet:
+        packet = self._q.popleft()
+        self.bytes -= packet.size
+        return packet
+
+    def peek(self) -> Packet | None:
+        return self._q[0] if self._q else None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)

@@ -1,0 +1,229 @@
+"""Bandwidth traces for the bottleneck link.
+
+A trace answers two questions for the link service process:
+
+- ``rate_at(t)``      — instantaneous capacity in bits/second,
+- ``time_to_send(t, nbytes)`` — how long transmitting ``nbytes`` starting
+  at ``t`` takes, integrating the (piecewise-constant) capacity,
+
+and one for the metrics layer:
+
+- ``capacity_bytes(t0, t1)`` — total bytes the link could have carried.
+
+Trace families mirror the paper's evaluation setups: constant-rate wired
+traces, the step scenario of Fig. 2(a), and synthetic LTE traces standing
+in for the recorded Pantheon/DeepCC cellular traces (see DESIGN.md for the
+substitution rationale).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+import numpy as np
+
+from ..units import mbps
+
+
+class Trace:
+    """Abstract bandwidth trace (piecewise-constant capacity)."""
+
+    def rate_at(self, t: float) -> float:
+        raise NotImplementedError
+
+    def time_to_send(self, t: float, nbytes: float) -> float:
+        raise NotImplementedError
+
+    def capacity_bytes(self, t0: float, t1: float) -> float:
+        raise NotImplementedError
+
+    def mean_rate(self, t0: float, t1: float) -> float:
+        """Average capacity in bps over ``[t0, t1]``."""
+        if t1 <= t0:
+            return self.rate_at(t0)
+        return self.capacity_bytes(t0, t1) * 8.0 / (t1 - t0)
+
+
+class ConstantTrace(Trace):
+    """Fixed-capacity link (the paper's wired traces)."""
+
+    def __init__(self, rate_bps: float):
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_bps = float(rate_bps)
+
+    def rate_at(self, t: float) -> float:
+        return self.rate_bps
+
+    def time_to_send(self, t: float, nbytes: float) -> float:
+        return nbytes * 8.0 / self.rate_bps
+
+    def capacity_bytes(self, t0: float, t1: float) -> float:
+        return self.rate_bps * (t1 - t0) / 8.0
+
+    def __repr__(self) -> str:
+        return f"ConstantTrace({self.rate_bps / 1e6:.1f} Mbps)"
+
+
+class PiecewiseTrace(Trace):
+    """Piecewise-constant trace defined by breakpoints and rates.
+
+    ``times`` are the left edges of the segments (``times[0]`` must be 0)
+    and ``rates[i]`` holds in ``[times[i], times[i + 1])``.  Beyond the
+    last breakpoint the trace either holds the last rate or repeats from
+    the start (``loop=True``), which mirrors how Mahimahi replays traces.
+    """
+
+    def __init__(self, times, rates, loop: bool = True):
+        self.times = [float(t) for t in times]
+        self.rates = [float(r) for r in rates]
+        if len(self.times) != len(self.rates):
+            raise ValueError("times and rates must have equal length")
+        if not self.times or self.times[0] != 0.0:
+            raise ValueError("trace must start at t=0")
+        for a, b in zip(self.times, self.times[1:]):
+            if b <= a:
+                raise ValueError("breakpoints must be strictly increasing")
+        if min(self.rates) < 0:
+            raise ValueError("rates must be non-negative")
+        self.loop = loop
+        self.period = self.times[-1] + (self.times[-1] - self.times[-2] if len(self.times) > 1 else 1.0)
+        # Cumulative bytes at each breakpoint for O(log n) integration.
+        self._cum_bytes = [0.0]
+        for i in range(1, len(self.times)):
+            seg = (self.times[i] - self.times[i - 1]) * self.rates[i - 1] / 8.0
+            self._cum_bytes.append(self._cum_bytes[-1] + seg)
+        self._period_bytes = self._cum_bytes[-1] + (self.period - self.times[-1]) * self.rates[-1] / 8.0
+
+    def _local(self, t: float) -> float:
+        if not self.loop:
+            return t
+        return math.fmod(t, self.period)
+
+    def rate_at(self, t: float) -> float:
+        lt = self._local(max(t, 0.0))
+        if lt >= self.times[-1]:
+            return self.rates[-1]
+        idx = bisect.bisect_right(self.times, lt) - 1
+        return self.rates[idx]
+
+    def _bytes_from_zero(self, t: float) -> float:
+        """Cumulative deliverable bytes in [0, t] (t within one period if looping)."""
+        if self.loop:
+            whole, frac = divmod(t, self.period)
+            return whole * self._period_bytes + self._bytes_within_period(frac)
+        return self._bytes_within_period(t)
+
+    def _bytes_within_period(self, t: float) -> float:
+        if t <= 0:
+            return 0.0
+        if t >= self.times[-1]:
+            return self._cum_bytes[-1] + (t - self.times[-1]) * self.rates[-1] / 8.0
+        idx = bisect.bisect_right(self.times, t) - 1
+        return self._cum_bytes[idx] + (t - self.times[idx]) * self.rates[idx] / 8.0
+
+    def capacity_bytes(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        return self._bytes_from_zero(t1) - self._bytes_from_zero(t0)
+
+    def time_to_send(self, t: float, nbytes: float) -> float:
+        """Duration to push ``nbytes`` starting at ``t`` (inverse of the integral)."""
+        if nbytes <= 0:
+            return 0.0
+        target = self._bytes_from_zero(max(t, 0.0)) + nbytes
+        # Walk segments forward from t until the cumulative budget is met.
+        cur = max(t, 0.0)
+        remaining = nbytes
+        for _ in range(10_000_000):
+            rate = self.rate_at(cur)
+            seg_end = self._segment_end(cur)
+            if rate > 0:
+                seg_bytes = (seg_end - cur) * rate / 8.0
+                if seg_bytes >= remaining or math.isinf(seg_end):
+                    return cur + remaining * 8.0 / rate - max(t, 0.0)
+                remaining -= seg_bytes
+            elif math.isinf(seg_end):
+                raise RuntimeError("trace has zero rate forever; packet never departs")
+            cur = max(seg_end, cur + 1e-9)  # guard against fp stalls
+        raise RuntimeError("time_to_send did not converge")
+
+    def _segment_end(self, t: float) -> float:
+        lt = self._local(t)
+        base = t - lt
+        if lt >= self.times[-1]:
+            end = self.period if self.loop else math.inf
+        else:
+            idx = bisect.bisect_right(self.times, lt) - 1
+            end = self.times[idx + 1]
+        return base + end if not math.isinf(end) else end
+
+    def __repr__(self) -> str:
+        lo, hi = min(self.rates) / 1e6, max(self.rates) / 1e6
+        return f"PiecewiseTrace({len(self.rates)} segments, {lo:.1f}-{hi:.1f} Mbps, loop={self.loop})"
+
+
+def step_trace(levels_mbps, step_duration: float = 10.0) -> PiecewiseTrace:
+    """The paper's step scenario: capacity changes every ``step_duration`` s.
+
+    Fig. 2(a) uses a link whose available capacity changes every 10 s.
+    """
+    times = [i * step_duration for i in range(len(levels_mbps))]
+    rates = [mbps(v) for v in levels_mbps]
+    return PiecewiseTrace(times, rates, loop=True)
+
+
+# -- Synthetic LTE traces ----------------------------------------------------
+#
+# The paper evaluates on LTE traces recorded by Pantheon and DeepCC in
+# stationary / walking / driving conditions (0-40 Mbps, highly variable).
+# We do not have the recordings, so we synthesise regime-switching
+# random-walk traces whose variability grows from "stationary" to
+# "driving".  The generator is fully deterministic given a seed.
+
+_LTE_PROFILES = {
+    # name: (mean Mbps, sigma per step, fade probability, fade depth)
+    "stationary": (24.0, 0.8, 0.00, 1.0),
+    "walking": (20.0, 2.0, 0.01, 0.5),
+    "driving": (18.0, 4.5, 0.04, 0.25),
+    "moving": (16.0, 3.2, 0.02, 0.35),
+}
+
+
+def lte_trace(kind: str = "stationary", duration: float = 120.0,
+              interval: float = 0.2, seed: int = 1,
+              max_mbps: float = 40.0, min_mbps: float = 0.5) -> PiecewiseTrace:
+    """Synthetic LTE capacity trace.
+
+    ``kind`` selects the mobility profile (``stationary``, ``walking``,
+    ``driving`` or ``moving``).  Capacity follows a mean-reverting random
+    walk sampled every ``interval`` seconds, with occasional deep fades for
+    the mobile profiles, clipped to ``[min_mbps, max_mbps]`` — matching
+    the 0-40 Mbps envelope the paper quotes for its TMobile traces.
+    """
+    if kind not in _LTE_PROFILES:
+        raise ValueError(f"unknown LTE profile {kind!r}; choose from {sorted(_LTE_PROFILES)}")
+    mean, sigma, fade_p, fade_depth = _LTE_PROFILES[kind]
+    rng = np.random.default_rng(seed)
+    n = max(2, int(math.ceil(duration / interval)))
+    level = mean
+    rates = []
+    fade_left = 0
+    for _ in range(n):
+        level += 0.15 * (mean - level) + rng.normal(0.0, sigma)
+        level = float(np.clip(level, min_mbps, max_mbps))
+        if fade_left > 0:
+            fade_left -= 1
+            rates.append(max(min_mbps, level * fade_depth))
+            continue
+        if rng.random() < fade_p:
+            fade_left = int(rng.integers(2, 8))
+        rates.append(level)
+    times = [i * interval for i in range(n)]
+    return PiecewiseTrace(times, [mbps(r) for r in rates], loop=True)
+
+
+def wired_trace(bandwidth_mbps: float) -> ConstantTrace:
+    """Constant-capacity wired trace (paper's Wired#1-#4)."""
+    return ConstantTrace(mbps(bandwidth_mbps))

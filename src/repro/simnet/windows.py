@@ -1,0 +1,65 @@
+"""Sent-time ACK bucketing shared by Libra and the PCC family.
+
+Utility for a candidate rate must be computed from the packets that were
+*transmitted while that rate was applied*; their ACKs arrive up to one
+(queue-inflated) RTT later.  An :class:`AckWindow` collects ACK and loss
+feedback for packets sent inside a time interval and produces the
+(throughput, RTT-gradient, loss) triple the utility functions consume.
+"""
+
+from __future__ import annotations
+
+from .packet import AckSample, LossSample
+
+
+def rtt_slope(samples: list[tuple[float, float]]) -> float:
+    """Least-squares slope of (time, rtt) samples — d(RTT)/dt in s/s."""
+    n = len(samples)
+    if n < 2:
+        return 0.0
+    mean_t = sum(t for t, _ in samples) / n
+    mean_r = sum(r for _, r in samples) / n
+    num = sum((t - mean_t) * (r - mean_r) for t, r in samples)
+    den = sum((t - mean_t) ** 2 for t, _ in samples)
+    return num / den if den > 0 else 0.0
+
+
+class AckWindow:
+    """Buckets ACK/loss feedback by the time the data was sent."""
+
+    __slots__ = ("start", "end", "acked_bytes", "acked", "lost", "rtt_samples")
+
+    def __init__(self, start: float, end: float | None = None):
+        self.start = start
+        self.end = end
+        self.acked_bytes = 0.0
+        self.acked = 0
+        self.lost = 0
+        self.rtt_samples: list[tuple[float, float]] = []
+
+    def contains(self, sent_time: float) -> bool:
+        if sent_time < self.start:
+            return False
+        return self.end is None or sent_time < self.end
+
+    def add_ack(self, ack: AckSample) -> None:
+        self.acked_bytes += ack.acked_bytes
+        self.acked += 1
+        self.rtt_samples.append((ack.sent_time, ack.rtt))
+
+    def add_loss(self, loss: LossSample) -> None:
+        self.lost += 1
+
+    def settled(self, now: float, srtt: float) -> bool:
+        """Whether all feedback for this window should have arrived."""
+        return self.end is not None and now >= self.end + 1.5 * srtt
+
+    def measure(self) -> tuple[float, float, float] | None:
+        """(throughput_bps, rtt_gradient, loss_rate), or None without ACKs."""
+        if self.acked == 0 or self.end is None:
+            return None
+        duration = max(self.end - self.start, 1e-6)
+        throughput = self.acked_bytes * 8.0 / duration
+        gradient = rtt_slope(self.rtt_samples)
+        loss_rate = self.lost / max(self.acked + self.lost, 1)
+        return throughput, gradient, loss_rate

@@ -1,0 +1,131 @@
+"""Policy training entry points.
+
+Trains the PPO policies used by Libra and the learning-based baselines
+in the fluid environment, with the paper's randomized training ranges
+(capacity 10-200 Mbps, RTT 10-200 ms, buffer 10 KB-5 MB, stochastic loss;
+Sec. 5 "Implementation").  ``examples/train_policy.py`` is the runnable
+front-end; pretrained weights ship in ``repro/assets`` and are loaded by
+:func:`repro.assets.load_policy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .core.utility import UtilityParams, utility
+from .env.actions import ActionSpace, MimdAuroraActions, MimdOrcaActions
+from .env.features import Measurement, Normalizer, STATE_SETS
+from .env.fluidenv import FluidEnvConfig, FluidLinkEnv
+from .env.reward import RewardConfig, RewardFunction
+from .rl.policy import GaussianActorCritic
+from .rl.ppo import PPOConfig, PPOTrainer, TrainHistory
+
+
+class Eq1Reward(RewardFunction):
+    """Eq. 1 utility as the RL reward (the Modified RL ablation).
+
+    Divided by a fixed scale (the utility of the training range's top
+    capacity) so the reward magnitude is PPO-friendly without coupling
+    it to the agent's own running maximum — a self-referential
+    normalization would make "stay at your own peak" a degenerate
+    optimum.
+    """
+
+    #: u(200 Mbps) — the top of the paper's training capacity range
+    SCALE = utility(200.0, 0.0, 0.0, UtilityParams())
+
+    def raw(self, m: Measurement, norm: Normalizer) -> float:
+        value = utility(m.throughput / 1e6, m.rtt_gradient, m.loss_rate,
+                        UtilityParams())
+        return value / self.SCALE
+
+
+@dataclass(frozen=True)
+class TrainSpec:
+    """What distinguishes one trainable policy kind from another."""
+
+    feature_set_name: str
+    action_space: str          # 'mimd-orca' | 'mimd-aurora' | 'aiad'
+    action_scale: float
+    reward: RewardConfig
+    eq1_reward: bool = False
+
+
+#: the policies the evaluation needs, keyed by their consumer
+TRAIN_SPECS: dict[str, TrainSpec] = {
+    # Libra's DRL component: the searched state space, MIMD, delta-reward
+    "libra": TrainSpec("libra", "mimd-orca", 1.0, RewardConfig()),
+    # Aurora: its own (weaker) state space and damped MIMD actions
+    "aurora": TrainSpec("aurora", "mimd-aurora", 10.0, RewardConfig()),
+    # Orca's agent: Orca state space, 2^a actions with a in [-2, 2]
+    "orca": TrainSpec("orca", "mimd-orca", 2.0, RewardConfig()),
+    # Modified RL: Libra states but Eq. 1 (its delta) as the reward
+    "modified-rl": TrainSpec("libra", "mimd-orca", 1.0,
+                             RewardConfig(use_delta=True), eq1_reward=True),
+}
+
+
+def _make_action_space(spec: TrainSpec) -> ActionSpace:
+    if spec.action_space == "mimd-orca":
+        return MimdOrcaActions(scale=spec.action_scale)
+    if spec.action_space == "mimd-aurora":
+        return MimdAuroraActions(scale=spec.action_scale)
+    raise ValueError(f"unknown action space {spec.action_space!r}")
+
+
+def make_training_env(kind: str, seed: int = 0,
+                      episode_steps: int = 96) -> FluidLinkEnv:
+    """Build the randomized training environment for a policy kind."""
+    spec = TRAIN_SPECS[kind]
+    config = FluidEnvConfig(
+        seed=seed, episode_steps=episode_steps,
+        loss_range=(0.0, 0.05),
+        feature_set=STATE_SETS[spec.feature_set_name],
+        reward=spec.reward)
+    env = FluidLinkEnv(config, _make_action_space(spec))
+    if spec.eq1_reward:
+        env.reward_fn = Eq1Reward(spec.reward)
+    return env
+
+
+def train_policy(kind: str, epochs: int = 60, seed: int = 0,
+                 hidden: tuple[int, ...] = (64, 64),
+                 steps_per_epoch: int = 1920,
+                 ) -> tuple[GaussianActorCritic, TrainHistory]:
+    """Train one policy kind; returns (policy, learning history).
+
+    The paper trains 2x512 networks on TensorFlow; the defaults here are
+    sized so a full training run takes tens of seconds on a laptop while
+    producing the same qualitative behaviour (DESIGN.md).
+    """
+    if kind not in TRAIN_SPECS:
+        raise KeyError(f"unknown policy kind {kind!r}; "
+                       f"choose from {sorted(TRAIN_SPECS)}")
+    env = make_training_env(kind, seed=seed)
+    policy = GaussianActorCritic(env.obs_dim, hidden=hidden, seed=seed)
+    trainer = PPOTrainer(env, policy, PPOConfig(
+        steps_per_epoch=steps_per_epoch, max_episode_steps=96,
+        gamma=0.995, lam=0.97, seed=seed))
+    history = trainer.train(epochs)
+    return policy, history
+
+
+def train_and_save_all(dest_dir: str, epochs: int = 60, seed: int = 0,
+                       verbose: bool = True) -> dict[str, str]:
+    """Train every policy the evaluation needs and save them as .npz."""
+    import os
+
+    paths: dict[str, str] = {}
+    os.makedirs(dest_dir, exist_ok=True)
+    for kind in TRAIN_SPECS:
+        policy, history = train_policy(kind, epochs=epochs, seed=seed)
+        path = os.path.join(dest_dir, f"{kind}.npz")
+        policy.save(path)
+        paths[kind] = path
+        if verbose:
+            tail = history.episode_rewards[-50:]
+            print(f"trained {kind!r}: {len(history.episode_rewards)} episodes, "
+                  f"final avg reward {np.mean(tail):.3f} -> {path}")
+    return paths

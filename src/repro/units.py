@@ -1,0 +1,58 @@
+"""Unit helpers shared across the package.
+
+Internal conventions:
+
+- time is in **seconds** (float),
+- data sizes are in **bytes**,
+- rates are in **bits per second** (bps).
+
+The paper quotes rates in Mbps and delays in milliseconds; the helpers
+here convert between the two worlds so call sites stay readable.
+"""
+
+from __future__ import annotations
+
+MBPS = 1_000_000.0
+KBPS = 1_000.0
+BYTE = 8.0
+
+MS = 1e-3
+KB = 1_000
+MB = 1_000_000
+
+DEFAULT_MSS = 1500
+
+
+def mbps(value: float) -> float:
+    """Convert megabits-per-second to bits-per-second."""
+    return value * MBPS
+
+
+def to_mbps(rate_bps: float) -> float:
+    """Convert bits-per-second to megabits-per-second."""
+    return rate_bps / MBPS
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MS
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MS
+
+
+def bytes_to_bits(nbytes: float) -> float:
+    """Convert bytes to bits."""
+    return nbytes * BYTE
+
+
+def bits_to_bytes(nbits: float) -> float:
+    """Convert bits to bytes."""
+    return nbits / BYTE
+
+
+def bdp_bytes(rate_bps: float, rtt_s: float) -> float:
+    """Bandwidth-delay product in bytes."""
+    return bits_to_bytes(rate_bps * rtt_s)

@@ -1,0 +1,89 @@
+"""Tests for the controller base classes."""
+
+import pytest
+
+from repro.cca.base import (Controller, FixedRateController, RateController,
+                            WindowController)
+from repro.simnet.packet import AckSample
+
+
+def _ack(now=1.0, rtt=0.05, srtt=0.05, acked=1500):
+    return AckSample(now=now, seq=0, rtt=rtt, min_rtt=rtt, srtt=srtt,
+                     acked_bytes=acked, delivery_rate=0.0,
+                     inflight_bytes=0.0, sent_time=now - rtt)
+
+
+class TestController:
+    def test_defaults_are_noops(self):
+        c = Controller()
+        c.start(0.0, 1500)
+        c.on_ack(_ack())
+        assert c.pacing_rate() is None
+        assert c.cwnd() is None
+        assert c.interval() is None
+
+    def test_rate_estimate_requires_some_signal(self):
+        with pytest.raises(NotImplementedError):
+            Controller().rate_estimate(0.1)
+
+    def test_rate_estimate_from_pacing(self):
+        c = FixedRateController(2e6)
+        assert c.rate_estimate(0.1) == 2e6
+
+    def test_rate_estimate_from_cwnd(self):
+        c = WindowController(initial_cwnd_packets=10)
+        c.start(0.0, 1500)
+        # 15000 bytes over 0.1s = 1.2 Mbps
+        assert c.rate_estimate(0.1) == pytest.approx(15000 * 8 / 0.1)
+
+    def test_adopt_rate_default_noop(self):
+        c = FixedRateController(2e6)
+        c.adopt_rate(5e6, 0.1)
+        assert c.rate_estimate(0.1) == 2e6
+
+
+class TestFixedRate:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FixedRateController(0.0)
+
+
+class TestWindowController:
+    def test_start_scales_to_mss(self):
+        c = WindowController(initial_cwnd_packets=10)
+        c.start(0.0, 9000)
+        assert c.cwnd() == 10 * 9000
+
+    def test_one_reduction_per_rtt(self):
+        c = WindowController()
+        c.start(0.0, 1500)
+        c.on_ack(_ack(now=1.0, srtt=0.1))
+        assert c.reduction_allowed(1.0)
+        c.mark_reduction(1.0)
+        assert not c.reduction_allowed(1.05)
+        assert c.reduction_allowed(1.2)
+
+    def test_min_cwnd_floor(self):
+        c = WindowController()
+        c.start(0.0, 1500)
+        c.cwnd_bytes = 1.0
+        assert c.cwnd() == 2 * 1500
+
+
+class TestRateController:
+    def test_set_rate_clamps(self):
+        c = RateController(1e6)
+        c.set_rate(1.0)
+        assert c.rate_bps == RateController.MIN_RATE
+        c.set_rate(1e12)
+        assert c.rate_bps == RateController.MAX_RATE
+
+    def test_pacing_rate_reflects_set_rate(self):
+        c = RateController(1e6)
+        c.set_rate(3e6)
+        assert c.pacing_rate() == 3e6
+
+
+def test_meter_attached():
+    c = Controller()
+    assert c.meter.counts["per_ack"] == 0.0

@@ -1,0 +1,103 @@
+"""Tests for the simplified BBR state machine."""
+
+import pytest
+
+from repro.cca.bbr import (Bbr, FULL_BW_COUNT, PROBE_BW_GAINS, STARTUP_GAIN)
+from repro.simnet.packet import AckSample, LossSample
+
+
+def _ack(now, rtt=0.05, delivery_rate=10e6, inflight=0.0):
+    return AckSample(now=now, seq=0, rtt=rtt, min_rtt=rtt, srtt=rtt,
+                     acked_bytes=1500, delivery_rate=delivery_rate,
+                     inflight_bytes=inflight, sent_time=now - rtt)
+
+
+@pytest.fixture
+def bbr():
+    b = Bbr()
+    b.start(0.0, 1500)
+    return b
+
+
+def _drive_to_probe_bw(b, rate=10e6):
+    t = 0.0
+    # growing delivery rates keep STARTUP alive; then plateau
+    for i in range(100):
+        t += 0.01
+        b.on_ack(_ack(t, delivery_rate=rate, inflight=0.0))
+        if b.state == "PROBE_BW":
+            break
+    return t
+
+
+class TestStartup:
+    def test_initial_state_and_gain(self, bbr):
+        assert bbr.state == "STARTUP"
+        assert bbr.pacing_gain == STARTUP_GAIN
+
+    def test_btlbw_tracks_max_delivery_rate(self, bbr):
+        bbr.on_ack(_ack(0.1, delivery_rate=5e6))
+        bbr.on_ack(_ack(0.2, delivery_rate=9e6))
+        assert bbr.btlbw == 9e6
+
+    def test_plateau_triggers_drain(self, bbr):
+        for i in range(FULL_BW_COUNT + 2):
+            bbr.on_ack(_ack(0.1 * (i + 1), delivery_rate=10e6, inflight=1e9))
+        assert bbr.state in ("DRAIN", "PROBE_BW")
+
+    def test_growth_keeps_startup(self, bbr):
+        rate = 1e6
+        for i in range(10):
+            rate *= 1.5
+            bbr.on_ack(_ack(0.1 * (i + 1), delivery_rate=rate))
+        assert bbr.state == "STARTUP"
+
+
+class TestDrainAndProbeBw:
+    def test_reaches_probe_bw(self, bbr):
+        _drive_to_probe_bw(bbr)
+        assert bbr.state == "PROBE_BW"
+        assert bbr.pacing_gain in PROBE_BW_GAINS
+
+    def test_gain_cycles(self, bbr):
+        t = _drive_to_probe_bw(bbr)
+        seen = set()
+        for i in range(40):
+            t += 0.06  # > min_rtt advances the cycle
+            bbr.on_ack(_ack(t, delivery_rate=10e6))
+            seen.add(bbr.pacing_gain)
+        assert 1.25 in seen and 0.75 in seen and 1.0 in seen
+
+    def test_pacing_rate_uses_btlbw(self, bbr):
+        _drive_to_probe_bw(bbr)
+        assert bbr.pacing_rate() == pytest.approx(
+            bbr.pacing_gain * bbr.btlbw)
+
+
+class TestProbeRtt:
+    def test_stale_min_rtt_enters_probe_rtt(self, bbr):
+        t = _drive_to_probe_bw(bbr)
+        bbr.min_rtt_stamp = t - 11.0  # stale beyond the 10 s window
+        bbr.on_ack(_ack(t + 0.06, delivery_rate=10e6))
+        assert bbr.state == "PROBE_RTT"
+        assert bbr.cwnd() == 4 * 1500
+
+
+class TestLossInsensitivity:
+    def test_loss_does_not_change_rate(self, bbr):
+        _drive_to_probe_bw(bbr)
+        before = bbr.pacing_rate()
+        bbr.on_loss(LossSample(now=10.0, seq=0, lost_bytes=1500,
+                               sent_time=9.9, inflight_bytes=0.0))
+        assert bbr.pacing_rate() == before
+
+
+class TestLibraHooks:
+    def test_adopt_rate_seeds_model(self, bbr):
+        bbr.on_ack(_ack(0.1, delivery_rate=1e6))
+        bbr.adopt_rate(20e6, srtt=0.05)
+        assert bbr.btlbw == 20e6
+
+    def test_rate_estimate_is_pacing_rate(self, bbr):
+        bbr.on_ack(_ack(0.1, delivery_rate=8e6))
+        assert bbr.rate_estimate(0.05) == bbr.pacing_rate()

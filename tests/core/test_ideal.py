@@ -1,0 +1,80 @@
+"""Tests for utility time series and the offline ideal combiner."""
+
+import numpy as np
+import pytest
+
+from repro.core.ideal import ideal_series, normalize_utilities, utility_series
+from repro.simnet.endpoint import FlowStats
+
+
+def _stats(delivered_per_bin, rtt_samples=None, losses_per_bin=None,
+           bin_width=0.25):
+    stats = FlowStats(flow_id=0, start_time=0.0,
+                      end_time=len(delivered_per_bin) * bin_width)
+    stats.bin_width = bin_width
+    stats.delivered_bins = list(delivered_per_bin)
+    stats.lost_bins = list(losses_per_bin or [])
+    stats.rtt_samples = rtt_samples or []
+    stats.delivered_bytes = sum(delivered_per_bin)
+    return stats
+
+
+def test_utility_series_length():
+    stats = _stats([30000] * 16)  # 4 seconds at 0.25s bins
+    times, values = utility_series(stats, window=1.0)
+    assert len(times) == len(values) == 4
+
+
+def test_higher_throughput_higher_utility():
+    low = _stats([10000] * 8)
+    high = _stats([40000] * 8)
+    _, u_low = utility_series(low, window=1.0)
+    _, u_high = utility_series(high, window=1.0)
+    assert np.all(u_high > u_low)
+
+
+def test_loss_lowers_utility():
+    clean = _stats([40000] * 8)
+    lossy = _stats([40000] * 8, losses_per_bin=[20000] * 8)
+    _, u_clean = utility_series(clean, window=1.0)
+    _, u_lossy = utility_series(lossy, window=1.0)
+    assert np.all(u_lossy < u_clean)
+
+
+def test_rising_rtt_lowers_utility():
+    flat = _stats([40000] * 8,
+                  rtt_samples=[(t * 0.1, 0.05) for t in range(20)])
+    rising = _stats([40000] * 8,
+                    rtt_samples=[(t * 0.1, 0.05 + 0.05 * t) for t in range(20)])
+    _, u_flat = utility_series(flat, window=2.0)
+    _, u_rising = utility_series(rising, window=2.0)
+    assert u_rising[0] < u_flat[0]
+
+
+def test_ideal_is_pointwise_max():
+    a = _stats([10000] * 8)
+    b = _stats([40000] * 8)
+    _, u_a = utility_series(a, window=1.0)
+    _, u_b = utility_series(b, window=1.0)
+    _, ideal = ideal_series([a, b], window=1.0)
+    assert np.allclose(ideal, np.maximum(u_a, u_b))
+
+
+def test_ideal_requires_components():
+    with pytest.raises(ValueError):
+        ideal_series([])
+
+
+def test_normalize_utilities_joint_range():
+    a = np.array([0.0, 5.0])
+    b = np.array([10.0, 2.5])
+    na, nb = normalize_utilities(a, b)
+    merged = np.concatenate([na, nb])
+    assert merged.min() == 0.0
+    assert merged.max() == 1.0
+    assert na[1] == pytest.approx(0.5)
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        utility_series(_stats([1000] * 4), window=0.0)

@@ -1,0 +1,193 @@
+"""Tests for the Libra three-stage controller (Alg. 1)."""
+
+import pytest
+
+from repro.cca.cubic import Cubic
+from repro.core.config import LibraConfig, bbr_config, cubic_config
+from repro.core.libra import (EVAL_HIGH, EVAL_LOW, EXPLOIT, EXPLORE,
+                              LibraController, STARTUP)
+from repro.simnet.network import Dumbbell
+from repro.simnet.packet import AckSample, LossSample
+from repro.simnet.trace import wired_trace
+from repro.units import mbps
+
+
+def _ack(now, rtt=0.05, sent_time=None, acked=1500):
+    return AckSample(now=now, seq=0, rtt=rtt, min_rtt=rtt, srtt=rtt,
+                     acked_bytes=acked, delivery_rate=0.0, inflight_bytes=0.0,
+                     sent_time=sent_time if sent_time is not None else now - rtt)
+
+
+def _libra(config=None):
+    controller = LibraController(Cubic(), policy=None,
+                                 config=config or LibraConfig())
+    controller.start(0.0, 1500)
+    return controller
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LibraConfig(explore_rtts=0.0)
+        with pytest.raises(ValueError):
+            LibraConfig(rl_history=0)
+
+    def test_bbr_defaults_longer_stages(self):
+        cfg = bbr_config()
+        assert cfg.explore_rtts == 3.0
+        assert cfg.exploit_rtts == 3.0
+        assert cubic_config().explore_rtts == 1.0
+
+
+class TestStageMachine:
+    def test_starts_in_startup(self):
+        libra = _libra()
+        assert libra.stage == STARTUP
+
+    def test_startup_passes_through_to_classic(self):
+        libra = _libra()
+        before = libra.classic.cwnd()
+        libra.on_ack(_ack(0.05))
+        assert libra.classic.cwnd() > before
+
+    def test_full_cycle_progression(self):
+        cfg = LibraConfig(startup_rtts=2.0)
+        libra = _libra(cfg)
+        seen = []
+        t = 0.0
+        for _ in range(400):
+            t += 0.01
+            libra.on_ack(_ack(t))
+            seen.append(libra.stage)
+        for stage in (EXPLORE, EVAL_LOW, EVAL_HIGH, EXPLOIT):
+            assert stage in seen
+        assert libra.cycles >= 2
+
+    def test_pacing_rate_per_stage(self):
+        cfg = LibraConfig(startup_rtts=1.0)
+        libra = _libra(cfg)
+        t = 0.0
+        checked = set()
+        for _ in range(400):
+            t += 0.01
+            libra.on_ack(_ack(t))
+            if libra.stage == EVAL_LOW:
+                assert libra.pacing_rate() == pytest.approx(libra._eval_lo)
+            elif libra.stage == EVAL_HIGH:
+                assert libra.pacing_rate() == pytest.approx(libra._eval_hi)
+            elif libra.stage == EXPLOIT:
+                assert libra.pacing_rate() == pytest.approx(libra.x_prev)
+            checked.add(libra.stage)
+        assert {EVAL_LOW, EVAL_HIGH, EXPLOIT} <= checked
+
+
+class TestEvaluationOrder:
+    def test_lower_rate_first(self):
+        """Sec. 4.1: the lower candidate is always evaluated first."""
+        libra = _libra(LibraConfig(startup_rtts=1.0))
+        t = 0.0
+        for _ in range(600):
+            t += 0.01
+            libra.on_ack(_ack(t))
+            if libra.stage in (EVAL_LOW, EVAL_HIGH):
+                assert libra._eval_lo <= libra._eval_hi
+
+
+class TestWinnerSelection:
+    def test_winner_has_max_utility(self):
+        libra = _libra(LibraConfig(startup_rtts=1.0))
+        t = 0.0
+        for _ in range(800):
+            t += 0.01
+            libra.on_ack(_ack(t))
+        counts = libra.applied_counts
+        assert sum(counts.values()) == libra.cycles - 1 or \
+               sum(counts.values()) == libra.cycles
+
+    def test_fractions_sum_to_one(self):
+        libra = _libra(LibraConfig(startup_rtts=1.0))
+        t = 0.0
+        for _ in range(800):
+            t += 0.01
+            libra.on_ack(_ack(t))
+        fractions = libra.applied_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+class TestNoAckHandling:
+    def test_silent_cycle_falls_back_to_x_prev(self):
+        """Sec. 3: without feedback the base rate repeats."""
+        libra = _libra(LibraConfig(startup_rtts=1.0))
+        t = 0.0
+        for _ in range(50):
+            t += 0.01
+            libra.on_ack(_ack(t))
+        base = libra.x_prev
+        # Drive stage transitions with empty interval reports only.
+        from repro.simnet.packet import IntervalReport
+        for i in range(40):
+            t += 0.05
+            report = IntervalReport(now=t, duration=0.05, throughput=0.0,
+                                    send_rate=0.0, avg_rtt=0.0, min_rtt=0.05,
+                                    rtt_gradient=0.0, loss_rate=0.0,
+                                    acked_packets=0, lost_packets=0,
+                                    sent_packets=0)
+            libra.on_interval(report)
+        assert libra.x_prev == pytest.approx(base)
+
+
+class TestLossForwarding:
+    def test_losses_reach_classic_in_explore(self):
+        libra = _libra(LibraConfig(startup_rtts=1.0))
+        t = 0.0
+        for _ in range(60):
+            t += 0.01
+            libra.on_ack(_ack(t))
+        libra.classic.cwnd_bytes = 100 * 1500
+        libra.classic.ssthresh = 1.0
+        while libra.stage != EXPLORE:
+            t += 0.01
+            libra.on_ack(_ack(t))
+        before = libra.classic.cwnd_bytes
+        libra.on_loss(LossSample(now=t, seq=1, lost_bytes=1500,
+                                 sent_time=t - 0.05, inflight_bytes=0.0))
+        assert libra.classic.cwnd_bytes < before
+
+
+class TestIntegration:
+    def test_beats_cubic_delay_on_shallow_buffer(self):
+        from repro.core.factory import make_c_libra
+
+        def run(controller):
+            net = Dumbbell(wired_trace(24), buffer_bytes=150_000, rtt=0.03,
+                           seed=1)
+            net.add_flow(controller)
+            return net.run(10.0)
+
+        libra_run = run(make_c_libra(seed=1))
+        cubic_run = run(Cubic())
+        assert libra_run.flows[0].avg_rtt_ms < cubic_run.flows[0].avg_rtt_ms
+        assert libra_run.utilization > 0.8
+
+    def test_without_policy_still_works(self):
+        net = Dumbbell(wired_trace(24), buffer_bytes=150_000, rtt=0.03, seed=1)
+        net.add_flow(LibraController(Cubic(), policy=None))
+        result = net.run(8.0)
+        assert result.utilization > 0.7
+
+    def test_nn_metered_only_with_policy(self):
+        from repro.core.factory import make_c_libra
+        net = Dumbbell(wired_trace(24), buffer_bytes=150_000, rtt=0.03, seed=1)
+        controller = make_c_libra(seed=1)
+        net.add_flow(controller)
+        net.run(6.0)
+        assert controller.meter.counts["nn_forward"] > 0
+
+    def test_decision_log_populates(self):
+        from repro.core.factory import make_c_libra
+        net = Dumbbell(wired_trace(24), buffer_bytes=150_000, rtt=0.03, seed=1)
+        controller = make_c_libra(seed=1)
+        net.add_flow(controller)
+        net.run(4.0)
+        stages = {stage for _, stage, _ in controller.decision_log}
+        assert "explore" in stages and "exploit" in stages

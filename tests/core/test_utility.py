@@ -1,0 +1,82 @@
+"""Tests for Eq. 1's utility function and presets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.utility import (DEFAULT_PARAMS, PRESETS, UtilityParams,
+                                utility, utility_derivative)
+
+
+class TestParams:
+    def test_paper_defaults(self):
+        p = DEFAULT_PARAMS
+        assert (p.t, p.alpha, p.beta, p.gamma) == (0.9, 1.0, 900.0, 11.35)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UtilityParams(t=1.0)
+        with pytest.raises(ValueError):
+            UtilityParams(t=0.0)
+        with pytest.raises(ValueError):
+            UtilityParams(alpha=-1.0)
+
+    def test_presets_scale_correct_knob(self):
+        assert PRESETS["th-1"].alpha == 2.0
+        assert PRESETS["th-2"].alpha == 3.0
+        assert PRESETS["la-1"].beta == 1800.0
+        assert PRESETS["la-2"].beta == 2700.0
+        assert PRESETS["default"] == DEFAULT_PARAMS
+
+
+class TestUtility:
+    def test_monotone_in_rate_when_clean(self):
+        assert utility(20, 0.0, 0.0) > utility(10, 0.0, 0.0)
+
+    def test_gradient_penalty_only_positive(self):
+        clean = utility(10, 0.0, 0.0)
+        assert utility(10, -0.5, 0.0) == clean
+        assert utility(10, 0.5, 0.0) < clean
+
+    def test_loss_penalty(self):
+        assert utility(10, 0.0, 0.1) < utility(10, 0.0, 0.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            utility(-1.0, 0.0, 0.0)
+
+    def test_throughput_preset_favors_rate(self):
+        # A (faster, slightly growing queue) vs (slower, clean) pair that
+        # flips with the preference weights.
+        fast = (30.0, 0.15, 0.0)
+        slow = (20.0, 0.0, 0.0)
+        th = PRESETS["th-2"]
+        la = PRESETS["la-2"]
+        assert utility(*fast, th) - utility(*slow, th) > \
+               utility(*fast, la) - utility(*slow, la)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(0.1, 200.0), st.floats(0.1, 200.0),
+           st.floats(0.0, 2.0), st.floats(0.0, 0.5))
+    def test_concave_in_rate(self, x1, x2, gradient, loss):
+        """u(mid) >= (u(x1)+u(x2))/2 — strict concavity of Eq. 1."""
+        mid = (x1 + x2) / 2
+        lhs = utility(mid, gradient, loss)
+        rhs = (utility(x1, gradient, loss) + utility(x2, gradient, loss)) / 2
+        assert lhs >= rhs - 1e-9
+
+
+class TestDerivative:
+    def test_matches_numeric(self):
+        for x in (1.0, 10.0, 80.0):
+            eps = 1e-6
+            numeric = (utility(x + eps, 0.1, 0.02)
+                       - utility(x - eps, 0.1, 0.02)) / (2 * eps)
+            assert utility_derivative(x, 0.1, 0.02) == pytest.approx(
+                numeric, rel=1e-4)
+
+    def test_infinite_at_zero(self):
+        assert utility_derivative(0.0, 0.0, 0.0) == float("inf")
+
+    def test_decreasing_in_rate(self):
+        assert utility_derivative(1.0, 0.0, 0.0) > \
+               utility_derivative(100.0, 0.0, 0.0)

@@ -1,0 +1,61 @@
+"""Tests for the action-space designs (Sec. 4.2, Fig. 6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.env.actions import (ACTION_SPACES, AiadActions, MAX_RATE, MIN_RATE,
+                               MimdAuroraActions, MimdOrcaActions)
+
+
+class TestAiad:
+    def test_additive_step(self):
+        a = AiadActions(scale=5.0)
+        assert a.apply(10e6, 2.0) == pytest.approx(12e6)
+        assert a.apply(10e6, -2.0) == pytest.approx(8e6)
+
+    def test_clip_to_scale(self):
+        a = AiadActions(scale=1.0)
+        assert a.apply(10e6, 100.0) == pytest.approx(11e6)
+
+
+class TestMimdAurora:
+    def test_asymmetric_update(self):
+        a = MimdAuroraActions(scale=10.0, delta=0.025)
+        up = a.apply(10e6, 4.0)
+        down = a.apply(10e6, -4.0)
+        assert up == pytest.approx(10e6 * 1.1)
+        assert down == pytest.approx(10e6 / 1.1)
+
+    def test_inverse_roundtrip(self):
+        a = MimdAuroraActions(scale=10.0)
+        assert a.apply(a.apply(10e6, 4.0), -4.0) == pytest.approx(10e6)
+
+
+class TestMimdOrca:
+    def test_exponential_update(self):
+        a = MimdOrcaActions(scale=2.0)
+        assert a.apply(10e6, 1.0) == pytest.approx(20e6)
+        assert a.apply(10e6, -1.0) == pytest.approx(5e6)
+
+    def test_clip(self):
+        a = MimdOrcaActions(scale=2.0)
+        assert a.apply(10e6, 50.0) == pytest.approx(40e6)
+
+
+def test_registry_complete():
+    assert set(ACTION_SPACES) == {"aiad", "mimd-aurora", "mimd-orca"}
+
+
+def test_scale_must_be_positive():
+    with pytest.raises(ValueError):
+        MimdOrcaActions(scale=0.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(["aiad", "mimd-aurora", "mimd-orca"]),
+       st.floats(MIN_RATE, MAX_RATE), st.floats(-100.0, 100.0),
+       st.floats(0.5, 10.0))
+def test_rates_stay_bounded(kind, rate, action, scale):
+    space = ACTION_SPACES[kind](scale=scale)
+    out = space.apply(rate, action)
+    assert MIN_RATE <= out <= MAX_RATE

@@ -1,0 +1,120 @@
+"""Tests for the Tab. 1 state-feature library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.env.features import (CANDIDATES, FeatureSet, Measurement,
+                                Normalizer, STATE_SETS, StateBuilder,
+                                TAB2_VARIANTS)
+
+
+def _measurement(throughput=10e6, rate=12e6, avg_rtt=0.06, min_rtt=0.05,
+                 gradient=0.0, loss=0.0, sent=10, acked=10):
+    return Measurement(throughput=throughput, send_rate=rate, avg_rtt=avg_rtt,
+                       latest_rtt=avg_rtt, min_rtt=min_rtt,
+                       rtt_gradient=gradient, loss_rate=loss,
+                       ack_gap_ewma=0.001, send_gap_ewma=0.001,
+                       sent_packets=sent, acked_packets=acked, rate=rate)
+
+
+class TestFeatureSet:
+    def test_all_candidates_extract(self):
+        fs = FeatureSet(CANDIDATES)
+        norm = Normalizer()
+        vec = fs.extract(_measurement(), norm)
+        assert vec.shape == (fs.dim,)
+        assert fs.dim == len(CANDIDATES) + 1  # (vi) contributes two
+
+    def test_unknown_candidate_rejected(self):
+        with pytest.raises(KeyError):
+            FeatureSet("iv x")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSet("iv iv")
+
+    def test_plus_minus(self):
+        base = FeatureSet("iv vii")
+        assert base.plus("ix").keys == ("iv", "vii", "ix")
+        assert base.minus("vii").keys == ("iv",)
+        with pytest.raises(KeyError):
+            base.minus("ix")
+
+    def test_specific_values(self):
+        norm = Normalizer(init_max_rate=20e6)
+        m = _measurement(throughput=10e6, rate=12e6, loss=0.03,
+                         gradient=0.2, sent=12, acked=10)
+        fs = FeatureSet("iv v vii viii ix")
+        vec = fs.extract(m, norm)
+        assert vec[0] == pytest.approx(12e6 / 20e6)   # (iv) rate
+        assert vec[1] == pytest.approx(1.2)           # (v) sent/acked
+        assert vec[2] == pytest.approx(0.03)          # (vii) loss
+        assert vec[3] == pytest.approx(0.2)           # (viii) gradient
+        assert vec[4] == pytest.approx(10e6 / 20e6)   # (ix) delivery
+
+
+class TestNormalizer:
+    def test_max_tracks_throughput_not_send_rate(self):
+        norm = Normalizer(init_max_rate=1e6)
+        norm.observe(_measurement(throughput=5e6, rate=50e6))
+        assert norm.max_rate == 5e6
+
+    def test_min_delay_tracks_min_rtt(self):
+        norm = Normalizer(init_min_delay=1.0)
+        norm.observe(_measurement(min_rtt=0.02))
+        assert norm.min_delay == 0.02
+
+    def test_rate_clipped(self):
+        norm = Normalizer(init_max_rate=1e6)
+        assert norm.rate(100e6) == 10.0
+
+
+class TestStateSets:
+    def test_paper_sets_present(self):
+        for name in ("aurora", "rl-tcp", "pcc", "remy", "drl-cc", "orca",
+                     "baseline", "libra"):
+            assert name in STATE_SETS
+
+    def test_libra_is_baseline_minus_vi(self):
+        assert STATE_SETS["libra"] == STATE_SETS["baseline"].minus("vi")
+
+    def test_tab2_variant_dims(self):
+        base = TAB2_VARIANTS["Baseline"]
+        assert TAB2_VARIANTS["-(vi)"].dim == base.dim - 2
+        assert TAB2_VARIANTS["+(i)(ii)"].dim == base.dim + 2
+        assert TAB2_VARIANTS["-(ix)"].dim == base.dim - 1
+
+
+class TestStateBuilder:
+    def test_zero_padding_before_history_fills(self):
+        builder = StateBuilder(FeatureSet("iv"), history=4)
+        state = builder.push(_measurement())
+        assert state.shape == (4,)
+        assert np.count_nonzero(state[:3]) == 0
+
+    def test_history_shifts(self):
+        builder = StateBuilder(FeatureSet("vii"), history=3)
+        for loss in (0.1, 0.2, 0.3, 0.4):
+            state = builder.push(_measurement(loss=loss))
+        assert state.tolist() == pytest.approx([0.2, 0.3, 0.4])
+
+    def test_reset_clears_frames(self):
+        builder = StateBuilder(FeatureSet("vii"), history=2)
+        builder.push(_measurement(loss=0.5))
+        builder.reset()
+        assert np.all(builder.state() == 0.0)
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(ValueError):
+            StateBuilder(FeatureSet("iv"), history=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=12),
+           st.integers(1, 6))
+    def test_state_dim_invariant(self, losses, history):
+        builder = StateBuilder(FeatureSet("vii viii"), history=history)
+        for loss in losses:
+            state = builder.push(_measurement(loss=loss))
+            assert state.shape == (2 * history,)
+            assert np.all(np.isfinite(state))

@@ -1,0 +1,127 @@
+"""Tests for the fluid-model training environment."""
+
+import numpy as np
+import pytest
+
+from repro.env.actions import MimdOrcaActions
+from repro.env.fluidenv import FluidEnvConfig, FluidLinkEnv, evaluate_policy
+
+
+def _fixed_env(capacity=20e6, rtt=0.05, buffer=125_000, loss=0.0, steps=64,
+               seed=0):
+    return FluidLinkEnv(FluidEnvConfig(
+        seed=seed, episode_steps=steps, fixed_capacity=capacity,
+        fixed_rtt=rtt, fixed_buffer=buffer, fixed_loss=loss),
+        MimdOrcaActions(1.0))
+
+
+class HoldPolicy:
+    """Minimal policy protocol: always outputs the same action."""
+
+    def __init__(self, action=0.0):
+        self.action = action
+
+    def act(self, obs, rng, deterministic=False):
+        return np.array([self.action]), 0.0, 0.0
+
+
+class TestDynamics:
+    def test_underload_no_queue_no_loss(self):
+        env = _fixed_env()
+        env.reset()
+        env.rate = 10e6
+        _, _, _, info = env.step(np.zeros(1))
+        assert info["avg_rtt"] == pytest.approx(0.05)
+        assert info["loss_rate"] == 0.0
+        assert info["throughput"] == pytest.approx(10e6)
+
+    def test_overload_builds_queue_and_delay(self):
+        env = _fixed_env()
+        env.reset()
+        env.rate = 40e6
+        _, _, _, info1 = env.step(np.zeros(1))
+        _, _, _, info2 = env.step(np.zeros(1))
+        assert env.queue > 0
+        assert info2["avg_rtt"] > info1["avg_rtt"] > 0.05
+
+    def test_buffer_overflow_counts_loss(self):
+        env = _fixed_env(buffer=10_000)
+        env.reset()
+        env.rate = 80e6
+        for _ in range(4):
+            _, _, _, info = env.step(np.zeros(1))
+        assert info["loss_rate"] > 0.2
+        assert env.queue <= 10_000
+
+    def test_stochastic_loss_applied(self):
+        env = _fixed_env(loss=0.1)
+        env.reset()
+        env.rate = 10e6
+        _, _, _, info = env.step(np.zeros(1))
+        assert info["loss_rate"] == pytest.approx(0.1)
+
+    def test_throughput_capped_by_capacity(self):
+        env = _fixed_env(capacity=20e6)
+        env.reset()
+        env.rate = 200e6
+        _, _, _, info = env.step(np.zeros(1))
+        assert info["throughput"] <= 20e6 * (1 + 1e-9)
+
+
+class TestEpisodes:
+    def test_done_after_episode_steps(self):
+        env = _fixed_env(steps=5)
+        env.reset()
+        dones = [env.step(np.zeros(1))[2] for _ in range(5)]
+        assert dones == [False] * 4 + [True]
+
+    def test_reset_resamples_random_env(self):
+        env = FluidLinkEnv(FluidEnvConfig(seed=1), MimdOrcaActions(1.0))
+        env.reset()
+        a = env.capacity
+        env.reset()
+        assert env.capacity != a
+
+    def test_deterministic_across_instances(self):
+        def capacities(seed):
+            env = FluidLinkEnv(FluidEnvConfig(seed=seed), MimdOrcaActions(1.0))
+            out = []
+            for _ in range(3):
+                env.reset()
+                out.append(env.capacity)
+            return out
+
+        assert capacities(5) == capacities(5)
+        assert capacities(5) != capacities(6)
+
+    def test_observation_dims(self):
+        env = _fixed_env()
+        obs = env.reset()
+        assert obs.shape == (env.obs_dim,)
+        obs2, _, _, _ = env.step(np.zeros(1))
+        assert obs2.shape == (env.obs_dim,)
+
+    def test_episode_summary_averages(self):
+        env = _fixed_env()
+        env.reset()
+        env.rate = 10e6
+        for _ in range(4):
+            env.step(np.zeros(1))
+        summary = env.episode_summary()
+        assert summary["throughput_mbps"] == pytest.approx(10.0, rel=0.05)
+        assert summary["capacity_mbps"] == pytest.approx(20.0)
+
+
+class TestEvaluatePolicy:
+    def test_hold_policy_keeps_rate(self):
+        env = _fixed_env()
+        result = evaluate_policy(env, HoldPolicy(0.0), steps=32)
+        assert set(result) == {"throughput_mbps", "latency_ms", "loss_rate",
+                               "avg_reward"}
+
+    def test_increase_policy_reaches_capacity(self):
+        env = _fixed_env(capacity=20e6)
+        result = evaluate_policy(env, HoldPolicy(1.0), steps=64)
+        # doubling every MI pins the rate at the clip; throughput ~= capacity
+        assert result["throughput_mbps"] == pytest.approx(20.0, rel=0.1)
+        assert result["loss_rate"] > 0.3

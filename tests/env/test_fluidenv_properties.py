@@ -1,0 +1,68 @@
+"""Property-based invariants of the fluid environment and trace stack."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.env.actions import MimdOrcaActions
+from repro.env.fluidenv import FluidEnvConfig, FluidLinkEnv
+from repro.simnet.trace import PiecewiseTrace
+from repro.units import mbps
+
+
+@settings(max_examples=30, deadline=None)
+@given(capacity=st.floats(5e6, 200e6), rtt=st.floats(0.01, 0.2),
+       buffer=st.floats(10e3, 2e6), rate_mult=st.floats(0.1, 4.0),
+       steps=st.integers(1, 30))
+def test_fluid_env_conservation(capacity, rtt, buffer, rate_mult, steps):
+    """delivered <= offered and delivered <= capacity, queue bounded."""
+    env = FluidLinkEnv(FluidEnvConfig(
+        seed=1, fixed_capacity=capacity, fixed_rtt=rtt, fixed_buffer=buffer,
+        fixed_loss=0.0, episode_steps=1000), MimdOrcaActions(1.0))
+    env.reset()
+    env.rate = capacity * rate_mult
+    for _ in range(steps):
+        _, _, _, info = env.step(np.zeros(1))
+        assert info["throughput"] <= capacity * (1 + 1e-9)
+        assert 0.0 <= env.queue <= buffer + 1e-6
+        assert info["avg_rtt"] >= rtt - 1e-12
+        assert 0.0 <= info["loss_rate"] <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(rates=st.lists(st.floats(1.0, 100.0), min_size=1, max_size=8),
+       t0=st.floats(0.0, 20.0), span=st.floats(0.01, 20.0))
+def test_trace_capacity_additive(rates, t0, span):
+    """capacity(t0,t2) == capacity(t0,t1) + capacity(t1,t2)."""
+    times = [i * 0.5 for i in range(len(rates))]
+    trace = PiecewiseTrace(times, [mbps(r) for r in rates], loop=True)
+    t1 = t0 + span / 2
+    t2 = t0 + span
+    total = trace.capacity_bytes(t0, t2)
+    split = trace.capacity_bytes(t0, t1) + trace.capacity_bytes(t1, t2)
+    assert abs(total - split) <= 1e-6 * max(total, 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rates=st.lists(st.floats(1.0, 100.0), min_size=2, max_size=6),
+       t=st.floats(0.0, 10.0))
+def test_trace_rate_consistent_with_capacity(rates, t):
+    """Instantaneous rate equals the derivative of cumulative capacity."""
+    times = [i * 1.0 for i in range(len(rates))]
+    trace = PiecewiseTrace(times, [mbps(r) for r in rates], loop=True)
+    eps = 1e-4
+    # avoid sampling exactly on a breakpoint
+    if abs((t % 1.0)) < 2 * eps or abs((t % 1.0) - 1.0) < 2 * eps:
+        t += 0.1
+    derivative = trace.capacity_bytes(t, t + eps) * 8.0 / eps
+    assert abs(derivative - trace.rate_at(t)) <= 1e-3 * trace.rate_at(t)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100))
+def test_episode_reset_restores_invariants(seed):
+    env = FluidLinkEnv(FluidEnvConfig(seed=seed), MimdOrcaActions(1.0))
+    for _ in range(3):
+        obs = env.reset()
+        assert env.queue == 0.0
+        assert np.all(np.isfinite(obs))
+        assert env.capacity >= 10e6 - 1e-6

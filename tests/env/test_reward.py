@@ -1,0 +1,65 @@
+"""Tests for the reward-function variants (Sec. 4.2, Tab. 3/4)."""
+
+import pytest
+
+from repro.env.features import Measurement, Normalizer
+from repro.env.reward import RewardConfig, RewardFunction
+
+
+def _m(throughput=50e6, avg_rtt=0.1, loss=0.0):
+    return Measurement(throughput=throughput, send_rate=throughput,
+                       avg_rtt=avg_rtt, latest_rtt=avg_rtt, min_rtt=0.1,
+                       rtt_gradient=0.0, loss_rate=loss, ack_gap_ewma=0.001,
+                       send_gap_ewma=0.001, sent_packets=10, acked_packets=10,
+                       rate=throughput)
+
+
+@pytest.fixture
+def norm():
+    return Normalizer(init_max_rate=100e6, init_min_delay=0.1)
+
+
+class TestRawReward:
+    def test_higher_throughput_higher_reward(self, norm):
+        r = RewardFunction(RewardConfig(use_delta=False))
+        assert r(_m(throughput=80e6), norm) > r(_m(throughput=40e6), norm)
+
+    def test_delay_penalized(self, norm):
+        r = RewardFunction(RewardConfig(use_delta=False))
+        assert r(_m(avg_rtt=0.3), norm) < r(_m(avg_rtt=0.1), norm)
+
+    def test_loss_penalized_when_included(self, norm):
+        r = RewardFunction(RewardConfig(use_delta=False, include_loss=True))
+        assert r(_m(loss=0.1), norm) < r(_m(loss=0.0), norm)
+
+    def test_loss_ignored_when_excluded(self, norm):
+        r = RewardFunction(RewardConfig(use_delta=False, include_loss=False))
+        assert r(_m(loss=0.5), norm) == r(_m(loss=0.0), norm)
+
+    def test_weights_scale_terms(self, norm):
+        heavy = RewardFunction(RewardConfig(w3=100.0, use_delta=False))
+        light = RewardFunction(RewardConfig(w3=1.0, use_delta=False))
+        assert heavy(_m(loss=0.1), norm) < light(_m(loss=0.1), norm)
+
+
+class TestDeltaReward:
+    def test_first_delta_is_zero(self, norm):
+        r = RewardFunction(RewardConfig(use_delta=True))
+        assert r(_m(), norm) == 0.0
+
+    def test_delta_tracks_improvement(self, norm):
+        r = RewardFunction(RewardConfig(use_delta=True))
+        r(_m(throughput=40e6), norm)
+        assert r(_m(throughput=80e6), norm) > 0
+        assert r(_m(throughput=40e6), norm) < 0
+
+    def test_steady_state_gives_zero(self, norm):
+        r = RewardFunction(RewardConfig(use_delta=True))
+        r(_m(), norm)
+        assert r(_m(), norm) == pytest.approx(0.0)
+
+    def test_reset_clears_history(self, norm):
+        r = RewardFunction(RewardConfig(use_delta=True))
+        r(_m(throughput=40e6), norm)
+        r.reset()
+        assert r(_m(throughput=80e6), norm) == 0.0

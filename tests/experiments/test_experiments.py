@@ -1,0 +1,141 @@
+"""Smoke and shape tests for the experiment harness (tiny parameters)."""
+
+import pytest
+
+from repro.experiments import harness
+from repro.experiments.adaptability import run_fig1, run_fig8
+from repro.experiments.deep_dive import run_fig17, run_fig18
+from repro.experiments.fairness import run_inter, run_intra
+from repro.experiments.flexibility import run_vs_cubic
+from repro.experiments.overhead import libra_reduction, run_fig12
+from repro.experiments.practical_issues import run_fig2b, step_tracking_error
+from repro.experiments.rl_ablation import curve_rise_time, run_tab3
+from repro.experiments.safety import run_tab6
+from repro.experiments.sensitivity import run_tab7
+from repro.experiments.sweeps import buffer_sensitivity, run_fig9
+from repro.scenarios import WIRED
+
+
+class TestHarness:
+    def test_run_single_summary(self):
+        s = harness.run_single("cubic", WIRED["wired-24"], seed=1,
+                               duration=4.0)
+        assert s.throughput_mbps > 10
+        assert s.queue_delay_ms >= 0
+
+    def test_mean_metrics(self):
+        runs = harness.run_seeds("cubic", WIRED["wired-24"], (1, 2),
+                                 duration=3.0)
+        metrics = harness.mean_metrics(runs)
+        assert set(metrics) == {"utilization", "throughput_mbps",
+                                "avg_rtt_ms", "loss_rate"}
+
+    def test_mean_metrics_requires_runs(self):
+        with pytest.raises(ValueError):
+            harness.mean_metrics([])
+
+    def test_format_table(self):
+        out = harness.format_table(["a", "b"], [["x", 1.5]], title="T")
+        assert "T" in out and "x" in out and "1.500" in out
+
+
+class TestAdaptability:
+    def test_fig1_shape(self):
+        data = run_fig1(ccas=("cubic", "c-libra"), seeds=(1,), duration=5.0)
+        assert len(data) == 6
+        first = next(iter(data.values()))
+        assert set(first) == {"cubic", "c-libra"}
+
+    def test_fig8_series(self):
+        data = run_fig8(ccas=("cubic",), duration=6.0)
+        times, rates = data["series"]["cubic"]
+        assert len(times) == len(rates) > 10
+
+
+class TestPracticalIssues:
+    def test_fig2b_cdf(self):
+        data = run_fig2b(ccas=("cubic",), trials=3, duration=4.0)
+        values, probs = data["cubic"]["cdf"]
+        assert probs[-1] == 1.0
+        assert all(0 <= v <= 1 for v in values)
+
+    def test_tracking_error_metric(self):
+        from repro.simnet.trace import wired_trace
+
+        trace = wired_trace(10)
+        err = step_tracking_error(([1.0, 2.0], [10.0, 5.0]), trace, 10.0)
+        assert err == pytest.approx(0.25)
+
+
+class TestOverheadExperiment:
+    def test_fig12_and_reduction(self):
+        data = run_fig12(ccas=("cubic", "c-libra", "orca"),
+                         capacities_mbps=(10, 20), duration=4.0)
+        assert set(data) == {"cubic", "c-libra", "orca"}
+        reduction = libra_reduction(data, "orca")
+        assert 0.0 < reduction <= 1.0
+
+
+class TestFairnessExperiment:
+    def test_inter_shares_sum_to_one(self):
+        data = run_inter(ccas=("cubic",), seeds=(1,), duration=8.0)
+        m = data["cubic"]
+        assert m["cca_share"] + m["cubic_share"] == pytest.approx(1.0)
+        assert m["jain"] > 0.8
+
+    def test_intra_libra_fair(self):
+        data = run_intra(ccas=("c-libra",), seeds=(1,), duration=12.0)
+        assert data["c-libra"]["jain"] > 0.8
+
+
+class TestFlexibilityExperiment:
+    def test_vs_cubic_ratio_bounded(self):
+        data = run_vs_cubic(variants=("c-libra",), presets=("default",),
+                            seeds=(1,), duration=10.0)
+        ratio = data["c-libra-default"]["throughput_ratio"]
+        assert 0.1 < ratio < 0.9
+
+
+class TestSweeps:
+    def test_fig9_buffer_sensitivity(self):
+        data = run_fig9(ccas=("cubic",), buffers=(30_000, 300_000),
+                        seeds=(1,), duration=6.0)
+        assert buffer_sensitivity(data["cubic"]) > 0  # delay grows
+
+
+class TestSafety:
+    def test_tab6_stats_fields(self):
+        data = run_tab6(ccas=("c-libra",),
+                        networks={"w24": WIRED["wired-24"]},
+                        trials=2, duration=4.0)
+        stats = data["w24"]["c-libra"]
+        assert {"mean", "range", "std"} <= set(stats)
+
+
+class TestSensitivity:
+    def test_tab7_sweep(self):
+        data = run_tab7(thresholds=(0.3,), seeds=(1,), duration=4.0)
+        assert "0.3x" in data
+        assert {"wired", "cellular"} == set(data["0.3x"])
+
+
+class TestDeepDive:
+    def test_fig17_fractions_sum(self):
+        data = run_fig17(variants=("c-libra",), seeds=(1,), duration=6.0)
+        for per_scenario in data.values():
+            for fractions in per_scenario.values():
+                assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_fig18_normalized(self):
+        data = run_fig18(duration=8.0)
+        assert 0.0 <= data["libra_mean"] <= 1.0
+        assert 0.0 <= data["ideal_mean"] <= 1.0
+
+
+class TestRlAblation:
+    def test_tab3_runs_tiny(self):
+        data = run_tab3(epochs=1, seed=2)
+        assert set(data) == {"with loss rate", "w/o loss rate"}
+
+    def test_curve_rise_time(self):
+        assert curve_rise_time([0.0, 0.5, 0.9, 1.0, 1.0]) <= 3

@@ -1,0 +1,101 @@
+"""Behavioural tests for the learning-based baseline controllers."""
+
+import numpy as np
+import pytest
+
+from repro.assets import load_policy
+from repro.learning import (Aurora, Indigo, ModifiedRL, Orca, Proteus, Remy,
+                            Vivace)
+from repro.simnet.network import Dumbbell
+from repro.simnet.trace import wired_trace
+
+
+def _run(controller, bw=24, rtt=0.03, buffer_bytes=150_000, duration=10.0,
+         seed=1):
+    net = Dumbbell(wired_trace(bw), buffer_bytes=buffer_bytes, rtt=rtt,
+                   seed=seed)
+    net.add_flow(controller)
+    return net.run(duration)
+
+
+class TestAurora:
+    def test_reaches_reasonable_utilization(self):
+        result = _run(Aurora(load_policy("aurora"), seed=1))
+        assert result.utilization > 0.6
+
+    def test_policy_dim_checked(self):
+        with pytest.raises(ValueError):
+            Aurora(load_policy("libra"))  # wrong feature set for Aurora
+
+    def test_meters_nn_forward(self):
+        controller = Aurora(load_policy("aurora"), seed=1)
+        _run(controller, duration=5.0)
+        assert controller.meter.counts["nn_forward"] > 0
+
+    def test_userspace_flag(self):
+        assert Aurora.userspace is True
+
+
+class TestOrca:
+    def test_cubic_plus_agent_works(self):
+        result = _run(Orca(load_policy("orca"), seed=1))
+        assert result.utilization > 0.8
+
+    def test_stochastic_decisions_vary_across_seeds(self):
+        utils = [ _run(Orca(load_policy("orca"), seed=s), duration=6.0,
+                       seed=s).utilization for s in (1, 2, 3, 4) ]
+        assert np.std(utils) > 1e-4
+
+    def test_agent_rescales_cubic_window(self):
+        controller = Orca(load_policy("orca"), seed=1)
+        _run(controller, duration=5.0)
+        assert controller.meter.counts["nn_forward"] > 0
+
+
+class TestVivaceProteus:
+    def test_vivace_converges_near_capacity(self):
+        result = _run(Vivace(seed=1), duration=14.0)
+        assert result.utilization > 0.7
+
+    def test_vivace_probing_metered(self):
+        controller = Vivace(seed=1)
+        _run(controller, duration=5.0)
+        assert controller.meter.counts["gradient_probe"] > 0
+
+    def test_proteus_is_latency_sensitised_vivace(self):
+        assert Proteus(seed=1).params.beta > Vivace(seed=1).params.beta
+
+
+class TestIndigo:
+    def test_tracks_but_underutilizes(self):
+        result = _run(Indigo(), duration=12.0)
+        assert 0.5 < result.utilization <= 1.0
+
+    def test_low_delay(self):
+        result = _run(Indigo(), duration=12.0)
+        flow = result.flows[0]
+        assert flow.avg_rtt_ms < 1.8 * flow.min_rtt_ms
+
+
+class TestRemy:
+    def test_runs_and_utilizes(self):
+        result = _run(Remy(), duration=10.0)
+        assert result.utilization > 0.7
+
+    def test_rule_match_order(self):
+        from repro.learning.remy import DEFAULT_TABLE, Remy
+        remy = Remy()
+        assert remy._match(1.01) is DEFAULT_TABLE[0]
+        assert remy._match(3.0) is DEFAULT_TABLE[-1]
+
+
+class TestModifiedRL:
+    def test_uses_libra_state_space(self):
+        from repro.env.features import STATE_SETS
+        controller = ModifiedRL(load_policy("modified-rl"))
+        assert controller.builder.feature_set == STATE_SETS["libra"]
+
+    def test_runs_without_crashing(self):
+        result = _run(ModifiedRL(load_policy("modified-rl"), seed=1),
+                      duration=8.0)
+        assert result.flows[0].sent_packets > 0

@@ -1,0 +1,104 @@
+"""Tests for fairness, convergence, and summary statistics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (cdf_points, convergence_time, jain_index,
+                           normalize, post_convergence_stats, summary,
+                           throughput_ratio)
+
+
+class TestJain:
+    def test_equal_allocation_is_one(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_total_starvation(self):
+        assert jain_index([10.0, 0.0]) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        # (1+2+3)^2 / (3 * 14)
+        assert jain_index([1.0, 2.0, 3.0]) == pytest.approx(36 / 42)
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([-1.0, 2.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0.001, 1000.0), min_size=1, max_size=10))
+    def test_bounded(self, xs):
+        index = jain_index(xs)
+        assert 1.0 / len(xs) - 1e-9 <= index <= 1.0 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.001, 1000.0), min_size=2, max_size=8),
+           st.floats(0.1, 10.0))
+    def test_scale_invariant(self, xs, scale):
+        assert jain_index(xs) == pytest.approx(
+            jain_index([x * scale for x in xs]))
+
+
+class TestThroughputRatio:
+    def test_fair_is_half(self):
+        assert throughput_ratio(10.0, 10.0) == 0.5
+
+    def test_zero_total_neutral(self):
+        assert throughput_ratio(0.0, 0.0) == 0.5
+
+
+class TestConvergence:
+    def _series(self, values, dt=0.5):
+        times = [i * dt for i in range(len(values))]
+        return times, values
+
+    def test_stable_series_converges_immediately(self):
+        times, rates = self._series([10.0] * 30)
+        assert convergence_time(times, rates, entry_time=0.0) == 0.0
+
+    def test_ramp_then_stable(self):
+        rates = [i for i in range(10)] + [10.0] * 30
+        times, rates = self._series(rates)
+        conv = convergence_time(times, rates, entry_time=0.0)
+        assert conv is not None
+        assert 2.0 <= conv <= 5.0
+
+    def test_oscillating_never_converges(self):
+        rates = [1.0, 30.0] * 20
+        times, rates = self._series(rates)
+        assert convergence_time(times, rates, entry_time=0.0) is None
+
+    def test_post_convergence_stats(self):
+        rates = [0.0] * 6 + [10.0] * 30
+        times, rates = self._series(rates)
+        stats = post_convergence_stats(times, rates, entry_time=0.0)
+        assert stats["avg_throughput"] == pytest.approx(10.0)
+        assert stats["stability"] == pytest.approx(0.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            convergence_time([0.0, 1.0], [1.0], entry_time=0.0)
+
+
+class TestStats:
+    def test_cdf_points(self):
+        values, probs = cdf_points([3.0, 1.0, 2.0])
+        assert values == [1.0, 2.0, 3.0]
+        assert probs == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_requires_data(self):
+        with pytest.raises(ValueError):
+            cdf_points([])
+
+    def test_summary(self):
+        stats = summary([1.0, 2.0, 3.0])
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["range"] == pytest.approx(2.0)
+        assert stats["min"] == 1.0 and stats["max"] == 3.0
+
+    def test_normalize_by_max(self):
+        assert normalize([1.0, 2.0, 4.0]) == pytest.approx([0.25, 0.5, 1.0])
+
+    def test_normalize_with_reference(self):
+        assert normalize([1.0, 2.0], reference=10.0) == pytest.approx(
+            [0.1, 0.2])

@@ -1,0 +1,73 @@
+"""Tests for operation metering and the pseudo-CPU cost model."""
+
+import pytest
+
+from repro.cca.cubic import Cubic
+from repro.learning.vivace import Vivace
+from repro.overhead.costmodel import (CPU_BUDGET, WEIGHTS, controller_cost_units,
+                                      cpu_utilization, memory_units)
+from repro.overhead.meter import CostMeter
+
+
+class TestMeter:
+    def test_count_and_total(self):
+        meter = CostMeter()
+        meter.count("per_ack", 10)
+        meter.count("nn_forward", 100)
+        assert meter.total({"per_ack": 2.0, "nn_forward": 0.5}) == 70.0
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError):
+            CostMeter().count("quantum_ops")
+
+    def test_merge(self):
+        a, b = CostMeter(), CostMeter()
+        a.count("per_ack", 5)
+        b.count("per_ack", 7)
+        a.merge(b)
+        assert a.counts["per_ack"] == 12
+
+    def test_reset(self):
+        meter = CostMeter()
+        meter.count("per_mi", 3)
+        meter.reset()
+        assert meter.counts["per_mi"] == 0.0
+
+
+class TestCostModel:
+    def test_cpu_utilization_bounded(self):
+        c = Cubic()
+        c.meter.count("per_ack", 1e12)
+        assert cpu_utilization(c, 1.0) == 1.0
+
+    def test_cpu_requires_positive_duration(self):
+        with pytest.raises(ValueError):
+            cpu_utilization(Cubic(), 0.0)
+
+    def test_cost_units_use_weights(self):
+        c = Cubic()
+        c.meter.count("per_ack", 100)
+        assert controller_cost_units(c) == 100 * WEIGHTS["per_ack"]
+
+    def test_kernel_cheaper_than_userspace(self):
+        kernel = Cubic()
+        userspace = Vivace()
+        kernel.meter.count("per_ack", 1000)
+        userspace.meter.count("per_ack", 1000)
+        userspace.meter.count("userspace_packet", 2000)
+        assert controller_cost_units(userspace) > controller_cost_units(kernel)
+
+    def test_budget_positive(self):
+        assert CPU_BUDGET > 0
+
+
+class TestMemoryModel:
+    def test_kernel_smallest(self):
+        assert memory_units(Cubic()) < memory_units(Vivace())
+
+    def test_policy_adds_footprint(self):
+        from repro.assets import load_policy
+        from repro.learning.orca import Orca
+
+        orca = Orca(load_policy("orca"))
+        assert memory_units(orca) > memory_units(Cubic())

@@ -1,0 +1,106 @@
+"""Tests for the numpy MLP and Adam, including a numerical grad-check."""
+
+import numpy as np
+import pytest
+
+from repro.rl.mlp import MLP, Adam, _orthogonal
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        net = MLP(4, (8, 8), 2, rng)
+        out = net.forward(np.zeros((5, 4)))
+        assert out.shape == (5, 2)
+
+    def test_single_sample_promoted(self, rng):
+        net = MLP(4, (8,), 1, rng)
+        out = net.forward(np.zeros(4))
+        assert out.shape == (1, 1)
+
+    def test_deterministic(self, rng):
+        net = MLP(4, (8,), 1, rng)
+        x = np.ones((3, 4))
+        assert np.array_equal(net.forward(x), net.forward(x))
+
+
+class TestBackward:
+    def test_requires_cached_forward(self, rng):
+        net = MLP(2, (4,), 1, rng)
+        with pytest.raises(RuntimeError):
+            net.backward(np.zeros((1, 1)))
+
+    def test_gradient_matches_numerical(self, rng):
+        net = MLP(3, (5,), 1, rng)
+        x = rng.normal(size=(7, 3))
+        target = rng.normal(size=(7, 1))
+
+        def loss():
+            return float(((net.forward(x) - target) ** 2).sum())
+
+        out = net.forward(x, cache=True)
+        grads = net.backward(2.0 * (out - target))
+        params = net.params
+        eps = 1e-6
+        for p, g in zip(params, grads):
+            flat = p.reshape(-1)
+            gflat = np.asarray(g).reshape(-1)
+            for idx in range(0, flat.size, max(flat.size // 5, 1)):
+                orig = flat[idx]
+                flat[idx] = orig + eps
+                up = loss()
+                flat[idx] = orig - eps
+                down = loss()
+                flat[idx] = orig
+                numeric = (up - down) / (2 * eps)
+                assert gflat[idx] == pytest.approx(numeric, rel=1e-3, abs=1e-5)
+
+    def test_param_count(self, rng):
+        net = MLP(3, (5, 7), 2, rng)
+        assert net.num_params() == (3 * 5 + 5) + (5 * 7 + 7) + (7 * 2 + 2)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        x = np.array([5.0])
+        opt = Adam([x], lr=0.1)
+        for _ in range(300):
+            opt.step([2.0 * x])
+        assert abs(x[0]) < 0.05
+
+    def test_grad_count_checked(self):
+        x = np.array([1.0])
+        opt = Adam([x])
+        with pytest.raises(ValueError):
+            opt.step([])
+
+    def test_trains_mlp_on_regression(self, rng):
+        net = MLP(2, (16,), 1, rng, out_gain=1.0)
+        opt = Adam(net.params, lr=1e-2)
+        x = rng.normal(size=(64, 2))
+        y = (x[:, :1] + 0.5 * x[:, 1:])
+        first = None
+        for step in range(200):
+            out = net.forward(x, cache=True)
+            err = out - y
+            if step == 0:
+                first = float((err ** 2).mean())
+            opt.step(net.backward(2 * err / len(x)))
+        final = float(((net.forward(x) - y) ** 2).mean())
+        assert final < first * 0.1
+
+
+def test_orthogonal_init_is_orthogonal():
+    rng = np.random.default_rng(1)
+    q = _orthogonal((6, 6), gain=1.0, rng=rng)
+    assert np.allclose(q @ q.T, np.eye(6), atol=1e-8)
+
+
+def test_flops_accounting():
+    rng = np.random.default_rng(0)
+    net = MLP(4, (8,), 2, rng)
+    assert net.flops_per_forward == 2 * (4 * 8 + 8 * 2)

@@ -1,0 +1,64 @@
+"""Tests for the Gaussian actor-critic policy."""
+
+import numpy as np
+import pytest
+
+from repro.rl.policy import GaussianActorCritic
+
+
+@pytest.fixture
+def policy():
+    return GaussianActorCritic(obs_dim=6, hidden=(16, 16), seed=3)
+
+
+class TestActing:
+    def test_action_shape_and_logp(self, policy):
+        rng = np.random.default_rng(0)
+        action, logp, value = policy.act(np.zeros(6), rng)
+        assert action.shape == (1,)
+        assert isinstance(logp, float)
+        assert isinstance(value, float)
+
+    def test_deterministic_returns_mean(self, policy):
+        rng = np.random.default_rng(0)
+        a1, _, _ = policy.act(np.zeros(6), rng, deterministic=True)
+        a2, _, _ = policy.act(np.zeros(6), rng, deterministic=True)
+        assert np.array_equal(a1, a2)
+
+    def test_stochastic_varies(self, policy):
+        rng = np.random.default_rng(0)
+        actions = [policy.act(np.zeros(6), rng)[0][0] for _ in range(10)]
+        assert len(set(actions)) > 1
+
+    def test_logp_consistent_with_batch_eval(self, policy):
+        rng = np.random.default_rng(0)
+        obs = rng.normal(size=6)
+        action, logp, _ = policy.act(obs, rng)
+        batch_logp = policy.logp(obs.reshape(1, -1), action.reshape(1, -1))
+        assert batch_logp[0] == pytest.approx(logp)
+
+    def test_entropy_positive_at_default_std(self, policy):
+        assert policy.entropy() > 0
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, policy, tmp_path):
+        path = str(tmp_path / "weights.npz")
+        policy.save(path)
+        loaded = GaussianActorCritic.load(path)
+        rng = np.random.default_rng(0)
+        obs = np.ones(6)
+        a1, _, v1 = policy.act(obs, rng, deterministic=True)
+        a2, _, v2 = loaded.act(obs, rng, deterministic=True)
+        assert np.allclose(a1, a2)
+        assert v1 == pytest.approx(v2)
+
+    def test_set_weights_rejects_shape_mismatch(self, policy):
+        weights = policy.get_weights()
+        weights["actor_w0"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            policy.set_weights(weights)
+
+
+def test_params_include_log_std(policy):
+    assert any(p is policy.log_std for p in policy.params)

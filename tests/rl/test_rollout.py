@@ -1,0 +1,83 @@
+"""Tests for the rollout buffer and GAE computation."""
+
+import numpy as np
+import pytest
+
+from repro.rl.rollout import RolloutBuffer
+
+
+def test_store_and_capacity():
+    buf = RolloutBuffer(2, 1, capacity=3)
+    for i in range(3):
+        buf.store(np.zeros(2), np.zeros(1), 1.0, 0.0, 0.0)
+    assert buf.full
+    with pytest.raises(RuntimeError):
+        buf.store(np.zeros(2), np.zeros(1), 1.0, 0.0, 0.0)
+
+
+def test_gae_hand_computed():
+    gamma, lam = 0.9, 0.8
+    buf = RolloutBuffer(1, 1, capacity=3, gamma=gamma, lam=lam)
+    rewards = [1.0, 2.0, 3.0]
+    values = [0.5, 0.6, 0.7]
+    for r, v in zip(rewards, values):
+        buf.store(np.zeros(1), np.zeros(1), r, v, 0.0)
+    buf.finish_path(last_value=0.0)
+
+    deltas = [rewards[0] + gamma * values[1] - values[0],
+              rewards[1] + gamma * values[2] - values[1],
+              rewards[2] + gamma * 0.0 - values[2]]
+    adv2 = deltas[2]
+    adv1 = deltas[1] + gamma * lam * adv2
+    adv0 = deltas[0] + gamma * lam * adv1
+    expected = np.array([adv0, adv1, adv2])
+
+    assert np.allclose(buf.advantages[:3], expected)
+    assert np.allclose(buf.returns[:3], expected + np.array(values))
+
+
+def test_get_normalizes_advantages():
+    buf = RolloutBuffer(1, 1, capacity=4)
+    for r in (1.0, 5.0, 2.0, 7.0):
+        buf.store(np.zeros(1), np.zeros(1), r, 0.0, 0.0)
+    buf.finish_path()
+    data = buf.get()
+    assert abs(data["advantages"].mean()) < 1e-9
+    assert data["advantages"].std() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_get_requires_finished_paths():
+    buf = RolloutBuffer(1, 1, capacity=2)
+    buf.store(np.zeros(1), np.zeros(1), 1.0, 0.0, 0.0)
+    with pytest.raises(RuntimeError):
+        buf.get()
+
+
+def test_multiple_paths_do_not_leak():
+    buf = RolloutBuffer(1, 1, capacity=4, gamma=1.0, lam=1.0)
+    buf.store(np.zeros(1), np.zeros(1), 1.0, 0.0, 0.0)
+    buf.finish_path(last_value=0.0)
+    buf.store(np.zeros(1), np.zeros(1), 10.0, 0.0, 0.0)
+    buf.store(np.zeros(1), np.zeros(1), 10.0, 0.0, 0.0)
+    buf.finish_path(last_value=0.0)
+    # first path's return must not include the second path's rewards
+    assert buf.returns[0] == pytest.approx(1.0)
+    assert buf.returns[1] == pytest.approx(20.0)
+
+
+def test_bootstrap_value_used_on_timeout():
+    buf = RolloutBuffer(1, 1, capacity=1, gamma=0.5, lam=1.0)
+    buf.store(np.zeros(1), np.zeros(1), 1.0, 0.0, 0.0)
+    buf.finish_path(last_value=4.0)
+    assert buf.returns[0] == pytest.approx(1.0 + 0.5 * 4.0)
+
+
+def test_reset_after_get():
+    buf = RolloutBuffer(1, 1, capacity=2)
+    for _ in range(2):
+        buf.store(np.zeros(1), np.zeros(1), 1.0, 0.0, 0.0)
+    buf.finish_path()
+    buf.get()
+    assert buf.ptr == 0
+    buf.store(np.ones(1), np.zeros(1), 2.0, 0.0, 0.0)
+    assert buf.obs[0, 0] == 1.0

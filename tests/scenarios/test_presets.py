@@ -1,0 +1,81 @@
+"""Tests for the scenario library."""
+
+import pytest
+
+from repro.scenarios import (BUFFER_SWEEP_BYTES, FIG1_SCENARIOS, FIG7_CELLULAR,
+                             FIG7_WIRED, INTERNET, LOSS_SWEEP, LTE, WIRED,
+                             buffer_scenario, fairness_scenario, loss_scenario,
+                             rl_default_scenario, step_scenario)
+from repro.units import mbps, ms
+
+
+def test_wired_scenarios_match_paper():
+    assert set(WIRED) == {"wired-12", "wired-24", "wired-48", "wired-96"}
+    s = WIRED["wired-48"]
+    assert s.rtt == pytest.approx(ms(30))
+    assert s.buffer_bytes == 150_000
+    assert s.trace(0).rate_at(0.0) == mbps(48)
+
+
+def test_lte_scenarios_present():
+    assert set(LTE) == {"lte-stationary", "lte-walking", "lte-driving",
+                        "lte-moving"}
+
+
+def test_fig1_uses_six_scenarios():
+    assert len(FIG1_SCENARIOS) == 6
+
+
+def test_fig7_uses_four_plus_four():
+    assert len(FIG7_WIRED) == 4 and len(FIG7_CELLULAR) == 4
+
+
+def test_step_scenario_parameters():
+    s = step_scenario()
+    assert s.rtt == pytest.approx(ms(80))
+    trace = s.trace(0)
+    assert trace.rate_at(5.0) == mbps(20)
+    assert trace.rate_at(15.0) == mbps(5)
+
+
+def test_buffer_scenario_sweep():
+    for size in BUFFER_SWEEP_BYTES:
+        s = buffer_scenario(size)
+        assert s.buffer_bytes == size
+        assert s.trace(0).rate_at(0.0) == mbps(60)
+
+
+def test_loss_scenario_sweep():
+    assert LOSS_SWEEP[0] == 0.0 and LOSS_SWEEP[-1] == 0.10
+    s = loss_scenario(0.04)
+    assert s.loss_rate == 0.04
+
+
+def test_fairness_scenario_one_bdp():
+    s = fairness_scenario()
+    assert s.buffer_bytes == pytest.approx(mbps(48) * ms(100) / 8.0)
+
+
+def test_internet_scenarios():
+    inter = INTERNET["inter-continental"]
+    intra = INTERNET["intra-continental"]
+    assert inter.rtt > intra.rtt
+    assert inter.loss_rate > intra.loss_rate
+
+
+def test_scenario_build_is_reproducible():
+    s = LTE["lte-driving"]
+    assert s.trace(3).rate_at(7.0) == s.trace(3).rate_at(7.0)
+    assert s.trace(3).rate_at(7.0) != s.trace(4).rate_at(7.0)
+
+
+def test_with_override():
+    s = WIRED["wired-24"].with_(rtt=0.2)
+    assert s.rtt == 0.2
+    assert WIRED["wired-24"].rtt == pytest.approx(ms(30))
+
+
+def test_rl_default_scenario():
+    s = rl_default_scenario()
+    assert s.trace(0).rate_at(0.0) == mbps(100)
+    assert s.rtt == pytest.approx(ms(100))

@@ -1,0 +1,91 @@
+"""Tests for the CoDel AQM queue."""
+
+import pytest
+
+from repro.simnet.codel import CoDelQueue
+from repro.simnet.network import Dumbbell
+from repro.simnet.packet import Packet
+from repro.simnet.trace import wired_trace
+from repro.cca.cubic import Cubic
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _packet(seq, size=1500):
+    return Packet(flow_id=0, seq=seq, size=size, sent_time=0.0)
+
+
+class TestQueueBasics:
+    def test_fifo_when_uncongested(self):
+        clock = FakeClock()
+        q = CoDelQueue(100_000, clock)
+        for i in range(3):
+            assert q.push(_packet(i))
+        assert [q.pop().seq for _ in range(3)] == [0, 1, 2]
+        assert q.dropped_packets == 0
+
+    def test_capacity_overflow_still_droptail(self):
+        clock = FakeClock()
+        q = CoDelQueue(3000, clock)
+        assert q.push(_packet(0))
+        assert q.push(_packet(1))
+        assert not q.push(_packet(2))
+        assert q.dropped_packets == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            CoDelQueue(0, FakeClock())
+
+    def test_pop_empty_raises(self):
+        q = CoDelQueue(1000, FakeClock())
+        with pytest.raises(IndexError):
+            q.pop()
+
+
+class TestCoDelDropping:
+    def test_persistent_sojourn_triggers_drops(self):
+        clock = FakeClock()
+        q = CoDelQueue(1e9, clock)
+        # Keep a standing queue: sojourn far above target for > interval.
+        drops_before = q.dropped_packets
+        seq = 0
+        for step in range(400):
+            clock.now = step * 0.01
+            q.push(_packet(seq)); seq += 1
+            q.push(_packet(seq)); seq += 1
+            if len(q) > 5:
+                q.pop()  # service slower than arrivals -> sojourn grows
+        assert q.dropped_packets > drops_before
+
+    def test_no_drops_below_target(self):
+        clock = FakeClock()
+        q = CoDelQueue(1e9, clock)
+        for step in range(200):
+            clock.now = step * 0.01
+            q.push(_packet(step))
+            q.pop()  # immediate service: sojourn ~ 0
+        assert q.dropped_packets == 0
+
+
+class TestEndToEnd:
+    def test_codel_cuts_cubic_bufferbloat(self):
+        def run(aqm):
+            net = Dumbbell(wired_trace(24), buffer_bytes=600_000, rtt=0.03,
+                           seed=1, aqm=aqm)
+            net.add_flow(Cubic())
+            return net.run(8.0)
+
+        droptail = run("droptail")
+        codel = run("codel")
+        assert codel.flows[0].avg_rtt_ms < 0.6 * droptail.flows[0].avg_rtt_ms
+        assert codel.utilization > 0.8
+
+    def test_unknown_aqm_rejected(self):
+        with pytest.raises(ValueError):
+            Dumbbell(wired_trace(10), buffer_bytes=1e6, rtt=0.05, aqm="red")

@@ -1,0 +1,153 @@
+"""Tests for sender/receiver endpoints: pacing, RTT, loss detection, MIs."""
+
+import pytest
+
+from repro.cca.base import Controller, FixedRateController
+from repro.simnet.network import Dumbbell
+from repro.simnet.trace import wired_trace
+from repro.units import mbps
+
+
+class RecordingController(FixedRateController):
+    """Fixed-rate controller that records every callback."""
+
+    def __init__(self, rate_bps, interval=None):
+        super().__init__(rate_bps)
+        self.acks = []
+        self.losses = []
+        self.reports = []
+        self._interval = interval
+
+    def on_ack(self, ack):
+        self.acks.append(ack)
+
+    def on_loss(self, loss):
+        self.losses.append(loss)
+
+    def interval(self):
+        return self._interval
+
+    def on_interval(self, report):
+        self.reports.append(report)
+
+
+def _run(controller, bw_mbps=10, rtt=0.04, buffer_bytes=1e9, duration=2.0,
+         loss_rate=0.0, seed=0):
+    net = Dumbbell(wired_trace(bw_mbps), buffer_bytes=buffer_bytes, rtt=rtt,
+                   loss_rate=loss_rate, seed=seed)
+    net.add_flow(controller)
+    return net.run(duration)
+
+
+class TestPacing:
+    def test_send_rate_matches_pacing_rate(self):
+        c = RecordingController(mbps(5))
+        result = _run(c, bw_mbps=50, duration=3.0)
+        sent_rate = result.flows[0].sent_packets * 1500 * 8 / 3.0
+        assert sent_rate == pytest.approx(mbps(5), rel=0.05)
+
+    def test_underload_delivers_everything(self):
+        c = RecordingController(mbps(5))
+        result = _run(c, bw_mbps=50, duration=2.0)
+        flow = result.flows[0]
+        assert flow.lost_packets == 0
+        # everything sent more than an RTT before the end is delivered
+        assert flow.delivered_bytes >= (flow.sent_packets - 10) * 1500
+
+
+class TestRttEstimation:
+    def test_min_rtt_matches_base_rtt(self):
+        c = RecordingController(mbps(5))
+        result = _run(c, rtt=0.04, bw_mbps=50)
+        # min RTT = base RTT + one serialization delay
+        assert result.flows[0].min_rtt_ms == pytest.approx(40.24, abs=0.3)
+
+    def test_queueing_inflates_rtt(self):
+        c = RecordingController(mbps(20))  # 2x the 10 Mbps link
+        result = _run(c, bw_mbps=10, duration=2.0)
+        flow = result.flows[0]
+        assert flow.avg_rtt_ms > 1.5 * flow.min_rtt_ms
+
+    def test_srtt_smoothing_present_on_acks(self):
+        c = RecordingController(mbps(5))
+        _run(c, bw_mbps=50)
+        assert all(a.srtt > 0 for a in c.acks)
+
+
+class TestLossDetection:
+    def test_no_losses_without_congestion(self):
+        c = RecordingController(mbps(5))
+        _run(c, bw_mbps=50)
+        assert c.losses == []
+
+    def test_overflow_losses_detected(self):
+        c = RecordingController(mbps(30))
+        result = _run(c, bw_mbps=10, buffer_bytes=30_000, duration=3.0)
+        assert result.flows[0].lost_packets > 0
+        assert len(c.losses) == result.flows[0].lost_packets
+
+    def test_loss_rate_roughly_matches_overload(self):
+        c = RecordingController(mbps(20))
+        result = _run(c, bw_mbps=10, buffer_bytes=15_000, duration=5.0)
+        # sending 2x capacity: about half the packets must be dropped
+        assert result.flows[0].loss_rate == pytest.approx(0.5, abs=0.1)
+
+    def test_stochastic_losses_reported(self):
+        c = RecordingController(mbps(5))
+        result = _run(c, bw_mbps=50, loss_rate=0.05, duration=5.0, seed=3)
+        assert result.flows[0].loss_rate == pytest.approx(0.05, abs=0.02)
+
+
+class TestMonitorIntervals:
+    def test_interval_cadence(self):
+        c = RecordingController(mbps(5), interval=0.1)
+        _run(c, duration=2.05)
+        assert 18 <= len(c.reports) <= 21
+
+    def test_report_throughput_matches_rate(self):
+        c = RecordingController(mbps(5), interval=0.2)
+        _run(c, bw_mbps=50, duration=3.0)
+        steady = c.reports[3:]
+        mean_thr = sum(r.throughput for r in steady) / len(steady)
+        assert mean_thr == pytest.approx(mbps(5), rel=0.1)
+
+    def test_no_feedback_flag(self):
+        # Rate floor keeps a trickle, but a tiny interval can be empty.
+        c = RecordingController(mbps(0.1), interval=0.001)
+        _run(c, duration=0.5)
+        assert any(not r.has_feedback for r in c.reports)
+
+    def test_rtt_gradient_positive_under_overload(self):
+        c = RecordingController(mbps(30), interval=0.2)
+        _run(c, bw_mbps=10, buffer_bytes=1e9, duration=2.0)
+        grads = [r.rtt_gradient for r in c.reports if r.has_feedback]
+        assert max(grads) > 0
+
+
+class TestFlowStats:
+    def test_throughput_series_sums_to_delivered(self):
+        c = RecordingController(mbps(5))
+        result = _run(c, duration=2.0)
+        flow = result.flows[0]
+        _, rates = flow.throughput_series()
+        total = sum(r * flow.bin_width / 8.0 * 1e6 for r in rates)
+        assert total == pytest.approx(flow.delivered_bytes, rel=1e-6)
+
+    def test_p95_above_min(self):
+        c = RecordingController(mbps(20))
+        result = _run(c, bw_mbps=10, duration=2.0)
+        flow = result.flows[0]
+        assert flow.p95_rtt_ms() >= flow.min_rtt_ms
+
+
+class TestMarkerPropagation:
+    def test_controller_marker_echoed_in_acks(self):
+        class Marked(RecordingController):
+            def on_ack(self, ack):
+                super().on_ack(ack)
+                self.marker = 7
+
+        c = Marked(mbps(5))
+        _run(c, duration=1.0)
+        assert any(a.marker == 7 for a in c.acks)
+        assert c.acks[0].marker == 0  # first packets carried the default

@@ -1,0 +1,109 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.simnet.engine import EventLoop
+
+
+def test_runs_events_in_time_order():
+    loop = EventLoop()
+    order = []
+    loop.schedule(2.0, lambda: order.append("b"))
+    loop.schedule(1.0, lambda: order.append("a"))
+    loop.schedule(3.0, lambda: order.append("c"))
+    loop.run_until(10.0)
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_in_scheduling_order():
+    loop = EventLoop()
+    order = []
+    for name in "abc":
+        loop.schedule(1.0, lambda n=name: order.append(n))
+    loop.run_until(1.0)
+    assert order == ["a", "b", "c"]
+
+
+def test_now_advances_to_event_time():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(1.5, lambda: seen.append(loop.now))
+    loop.run_until(5.0)
+    assert seen == [1.5]
+    assert loop.now == 5.0
+
+
+def test_run_until_is_inclusive():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append(True))
+    loop.run_until(1.0)
+    assert fired == [True]
+
+
+def test_events_beyond_horizon_stay_queued():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(5.0, lambda: fired.append(True))
+    loop.run_until(4.0)
+    assert not fired
+    assert loop.pending() == 1
+    loop.run_until(6.0)
+    assert fired
+
+
+def test_cancelled_timer_does_not_fire():
+    loop = EventLoop()
+    fired = []
+    timer = loop.schedule(1.0, lambda: fired.append(True))
+    timer.cancel()
+    loop.run_until(2.0)
+    assert not fired
+    assert loop.pending() == 0
+
+
+def test_events_can_schedule_more_events():
+    loop = EventLoop()
+    order = []
+
+    def first():
+        order.append("first")
+        loop.schedule(1.0, lambda: order.append("second"))
+
+    loop.schedule(1.0, first)
+    loop.run_until(3.0)
+    assert order == ["first", "second"]
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        loop.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    loop = EventLoop()
+    loop.schedule(1.0, lambda: None)
+    loop.run_until(2.0)
+    with pytest.raises(ValueError):
+        loop.schedule_at(1.0, lambda: None)
+
+
+def test_run_all_drains_queue():
+    loop = EventLoop()
+    count = []
+    for i in range(5):
+        loop.schedule(float(i + 1), lambda: count.append(1))
+    loop.run_all()
+    assert len(count) == 5
+
+
+def test_run_all_guards_against_runaway():
+    loop = EventLoop()
+
+    def rearm():
+        loop.schedule(0.001, rearm)
+
+    loop.schedule(0.001, rearm)
+    with pytest.raises(RuntimeError):
+        loop.run_all(max_events=100)

@@ -1,0 +1,87 @@
+"""Tests for the trace-driven bottleneck link."""
+
+import pytest
+
+from repro.simnet.engine import EventLoop
+from repro.simnet.link import BottleneckLink
+from repro.simnet.packet import Packet
+from repro.simnet.trace import ConstantTrace
+from repro.units import mbps
+
+
+def _send_burst(link, count, size=1500):
+    for i in range(count):
+        link.send(Packet(flow_id=0, seq=i, size=size, sent_time=0.0))
+
+
+def test_serves_at_trace_rate():
+    loop = EventLoop()
+    delivered = []
+    link = BottleneckLink(loop, ConstantTrace(mbps(12)), buffer_bytes=1e9,
+                          propagation_delay=0.0, deliver=delivered.append)
+    _send_burst(link, 10)
+    # 10 * 1500B * 8 / 12Mbps = 10ms
+    loop.run_until(0.01 + 1e-9)
+    assert len(delivered) == 10
+
+
+def test_propagation_delay_added_after_service():
+    loop = EventLoop()
+    times = []
+    link = BottleneckLink(loop, ConstantTrace(mbps(12)), buffer_bytes=1e9,
+                          propagation_delay=0.05,
+                          deliver=lambda p: times.append(loop.now))
+    _send_burst(link, 1)
+    loop.run_until(1.0)
+    assert times[0] == pytest.approx(0.001 + 0.05)
+
+
+def test_droptail_overflow():
+    loop = EventLoop()
+    delivered = []
+    link = BottleneckLink(loop, ConstantTrace(mbps(1)), buffer_bytes=4500,
+                          propagation_delay=0.0, deliver=delivered.append)
+    _send_burst(link, 10)
+    loop.run_until(60.0)
+    # the head packet occupies the buffer while in service, so 3 fit
+    assert link.queue.dropped_packets == 7
+    assert len(delivered) == 3
+
+
+def test_stochastic_loss_rate():
+    loop = EventLoop()
+    delivered = []
+    link = BottleneckLink(loop, ConstantTrace(mbps(100)), buffer_bytes=1e9,
+                          propagation_delay=0.0, deliver=delivered.append,
+                          loss_rate=0.3, seed=7)
+    _send_burst(link, 2000)
+    loop.run_until(10.0)
+    dropped_fraction = link.random_drops / 2000
+    assert 0.25 < dropped_fraction < 0.35
+
+
+def test_loss_rate_validation():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        BottleneckLink(loop, ConstantTrace(mbps(1)), 1e6, 0.0,
+                       deliver=lambda p: None, loss_rate=1.5)
+
+
+def test_served_byte_accounting():
+    loop = EventLoop()
+    link = BottleneckLink(loop, ConstantTrace(mbps(12)), buffer_bytes=1e9,
+                          propagation_delay=0.0, deliver=lambda p: None)
+    _send_burst(link, 5)
+    loop.run_until(1.0)
+    assert link.served_bytes == 5 * 1500
+    assert link.served_packets == 5
+
+
+def test_queueing_delay_estimate():
+    loop = EventLoop()
+    link = BottleneckLink(loop, ConstantTrace(mbps(12)), buffer_bytes=1e9,
+                          propagation_delay=0.0, deliver=lambda p: None)
+    _send_burst(link, 11)
+    # 10 packets of 1500B queued behind the one in service
+    expected = link.queue.bytes * 8.0 / mbps(12)
+    assert link.queueing_delay() == pytest.approx(expected)

@@ -1,0 +1,62 @@
+"""Tests for Mahimahi trace import/export."""
+
+import pytest
+
+from repro.simnet.mahimahi import (parse_mahimahi, save_mahimahi,
+                                   load_mahimahi, to_mahimahi)
+from repro.simnet.trace import wired_trace
+from repro.units import mbps
+
+
+class TestParse:
+    def test_uniform_opportunities_give_constant_rate(self):
+        # one 1500B opportunity per ms = 12 Mbps
+        trace = parse_mahimahi(str(t) for t in range(1000))
+        assert trace.rate_at(0.3) == pytest.approx(mbps(12), rel=0.01)
+
+    def test_burstiness_preserved_across_bins(self):
+        # 100ms of dense opportunities then 100ms silence
+        stamps = [str(t) for t in range(100)] + ["199"]
+        trace = parse_mahimahi(stamps, bin_ms=100)
+        assert trace.rate_at(0.05) > trace.rate_at(0.15)
+
+    def test_comments_and_blanks_skipped(self):
+        trace = parse_mahimahi(["# header", "", "0", "1", "2"])
+        assert trace.rate_at(0.0) > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_mahimahi([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_mahimahi(["-5"])
+
+
+class TestExport:
+    def test_opportunity_count_matches_rate(self):
+        stamps = to_mahimahi(wired_trace(12), duration=1.0)
+        # 12 Mbps / 1500 B = 1000 opportunities per second
+        assert len(stamps) == pytest.approx(1000, abs=2)
+
+    def test_monotone_timestamps(self):
+        stamps = to_mahimahi(wired_trace(24), duration=0.5)
+        assert stamps == sorted(stamps)
+
+    def test_duration_validated(self):
+        with pytest.raises(ValueError):
+            to_mahimahi(wired_trace(12), duration=0.0)
+
+
+class TestRoundtrip:
+    def test_rate_survives_roundtrip(self):
+        original = wired_trace(48)
+        stamps = to_mahimahi(original, duration=2.0)
+        recovered = parse_mahimahi(str(s) for s in stamps)
+        assert recovered.rate_at(0.5) == pytest.approx(mbps(48), rel=0.02)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        save_mahimahi(wired_trace(12), 1.0, path)
+        trace = load_mahimahi(path)
+        assert trace.rate_at(0.2) == pytest.approx(mbps(12), rel=0.02)

@@ -1,0 +1,110 @@
+"""Tests for the dumbbell topology and run results."""
+
+import pytest
+
+from repro.cca.base import FixedRateController
+from repro.cca.cubic import Cubic
+from repro.simnet.network import Dumbbell
+from repro.simnet.trace import wired_trace
+from repro.units import mbps
+
+
+def test_requires_flows():
+    net = Dumbbell(wired_trace(10), buffer_bytes=1e6, rtt=0.05)
+    with pytest.raises(ValueError):
+        net.run(1.0)
+
+
+def test_rejects_bad_rtt():
+    with pytest.raises(ValueError):
+        Dumbbell(wired_trace(10), buffer_bytes=1e6, rtt=0.0)
+
+
+def test_utilization_bounded():
+    net = Dumbbell(wired_trace(10), buffer_bytes=1e6, rtt=0.05)
+    net.add_flow(FixedRateController(mbps(50)))
+    result = net.run(2.0)
+    assert 0.0 <= result.utilization <= 1.0
+    assert result.utilization > 0.9
+
+
+def test_delivered_never_exceeds_capacity():
+    net = Dumbbell(wired_trace(10), buffer_bytes=1e6, rtt=0.05)
+    net.add_flow(FixedRateController(mbps(50)))
+    result = net.run(2.0)
+    assert result.link_served_bytes <= result.link_capacity_bytes * (1 + 1e-9)
+
+
+def test_two_flows_share_link():
+    net = Dumbbell(wired_trace(10), buffer_bytes=150_000, rtt=0.05)
+    net.add_flow(FixedRateController(mbps(8)))
+    net.add_flow(FixedRateController(mbps(8)))
+    result = net.run(4.0)
+    total = result.flows[0].throughput_mbps + result.flows[1].throughput_mbps
+    assert total == pytest.approx(10.0, rel=0.08)
+    # equal offered load -> roughly equal shares
+    ratio = result.flows[0].throughput_mbps / result.flows[1].throughput_mbps
+    assert 0.8 < ratio < 1.25
+
+
+def test_staggered_start():
+    net = Dumbbell(wired_trace(10), buffer_bytes=1e6, rtt=0.05)
+    net.add_flow(FixedRateController(mbps(5)), start=0.0)
+    net.add_flow(FixedRateController(mbps(5)), start=1.0)
+    result = net.run(2.0)
+    assert result.flows[1].delivered_bytes < result.flows[0].delivered_bytes
+    assert result.flows[1].start_time == 1.0
+
+
+def test_flow_stop_time():
+    net = Dumbbell(wired_trace(10), buffer_bytes=1e6, rtt=0.05)
+    net.add_flow(FixedRateController(mbps(5)), stop=1.0)
+    result = net.run(3.0)
+    expected = mbps(5) * 1.0 / 8.0
+    assert result.flows[0].delivered_bytes == pytest.approx(expected, rel=0.1)
+
+
+def test_extra_rtt_per_flow():
+    net = Dumbbell(wired_trace(10), buffer_bytes=1e6, rtt=0.04)
+    net.add_flow(FixedRateController(mbps(1)))
+    net.add_flow(FixedRateController(mbps(1)), extra_rtt=0.05)
+    result = net.run(2.0)
+    assert result.flows[1].min_rtt_ms == pytest.approx(
+        result.flows[0].min_rtt_ms + 50.0, abs=2.5)
+
+
+def test_queue_samples_collected():
+    net = Dumbbell(wired_trace(10), buffer_bytes=1e6, rtt=0.05)
+    net.add_flow(FixedRateController(mbps(20)))
+    result = net.run(1.0)
+    assert len(result.queue_samples) >= 15
+    assert any(q > 0 for _, q in result.queue_samples)
+
+
+def test_controllers_exposed_in_result():
+    net = Dumbbell(wired_trace(10), buffer_bytes=1e6, rtt=0.05)
+    cubic = Cubic()
+    net.add_flow(cubic)
+    result = net.run(0.5)
+    assert result.controllers[0] is cubic
+
+
+def test_avg_metrics_aggregate():
+    net = Dumbbell(wired_trace(10), buffer_bytes=1e6, rtt=0.05)
+    net.add_flow(FixedRateController(mbps(4)))
+    net.add_flow(FixedRateController(mbps(4)))
+    result = net.run(2.0)
+    assert result.total_throughput_mbps == pytest.approx(8.0, rel=0.1)
+    assert result.avg_rtt_ms > 49.0
+    assert result.avg_loss_rate == 0.0
+
+
+def test_deterministic_given_seed():
+    def run(seed):
+        net = Dumbbell(wired_trace(10), buffer_bytes=30_000, rtt=0.05,
+                       loss_rate=0.02, seed=seed)
+        net.add_flow(Cubic())
+        return net.run(2.0).flows[0].delivered_bytes
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)

@@ -1,0 +1,73 @@
+"""Tests for the droptail queue."""
+
+import pytest
+
+from repro.simnet.packet import Packet
+from repro.simnet.queue import DropTailQueue
+
+
+def _packet(seq: int, size: int = 1500) -> Packet:
+    return Packet(flow_id=0, seq=seq, size=size, sent_time=0.0)
+
+
+def test_fifo_order():
+    q = DropTailQueue(10_000)
+    for i in range(3):
+        assert q.push(_packet(i))
+    assert [q.pop().seq for _ in range(3)] == [0, 1, 2]
+
+
+def test_drops_when_full():
+    q = DropTailQueue(3000)
+    assert q.push(_packet(0))
+    assert q.push(_packet(1))
+    assert not q.push(_packet(2))  # 4500 > 3000
+    assert q.dropped_packets == 1
+    assert q.dropped_bytes == 1500
+
+
+def test_byte_accounting():
+    q = DropTailQueue(10_000)
+    q.push(_packet(0))
+    q.push(_packet(1))
+    assert q.bytes == 3000
+    q.pop()
+    assert q.bytes == 1500
+
+
+def test_max_bytes_seen_high_watermark():
+    q = DropTailQueue(10_000)
+    for i in range(4):
+        q.push(_packet(i))
+    q.pop()
+    assert q.max_bytes_seen == 6000
+
+
+def test_drop_frees_no_space():
+    q = DropTailQueue(1500)
+    assert q.push(_packet(0))
+    assert not q.push(_packet(1))
+    q.pop()
+    assert q.push(_packet(2))
+
+
+def test_peek_and_truthiness():
+    q = DropTailQueue(10_000)
+    assert not q
+    assert q.peek() is None
+    q.push(_packet(7))
+    assert q
+    assert q.peek().seq == 7
+    assert len(q) == 1
+
+
+def test_infinite_capacity():
+    q = DropTailQueue(float("inf"))
+    for i in range(1000):
+        assert q.push(_packet(i))
+    assert q.dropped_packets == 0
+
+
+def test_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        DropTailQueue(0)

@@ -1,0 +1,115 @@
+"""Tests for bandwidth traces, including integration/inversion properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.trace import (ConstantTrace, PiecewiseTrace, lte_trace,
+                                step_trace, wired_trace)
+from repro.units import mbps
+
+
+class TestConstantTrace:
+    def test_rate_everywhere(self):
+        trace = ConstantTrace(mbps(10))
+        assert trace.rate_at(0.0) == mbps(10)
+        assert trace.rate_at(1000.0) == mbps(10)
+
+    def test_time_to_send(self):
+        trace = ConstantTrace(mbps(8))  # 1 MB/s
+        assert trace.time_to_send(0.0, 1_000_000) == pytest.approx(1.0)
+
+    def test_capacity_bytes(self):
+        trace = ConstantTrace(mbps(8))
+        assert trace.capacity_bytes(1.0, 3.0) == pytest.approx(2_000_000)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            ConstantTrace(0.0)
+
+
+class TestPiecewiseTrace:
+    def test_segment_lookup(self):
+        trace = PiecewiseTrace([0.0, 1.0, 2.0],
+                               [mbps(10), mbps(20), mbps(30)], loop=False)
+        assert trace.rate_at(0.5) == mbps(10)
+        assert trace.rate_at(1.5) == mbps(20)
+        assert trace.rate_at(100.0) == mbps(30)
+
+    def test_loop_wraps(self):
+        trace = PiecewiseTrace([0.0, 1.0], [mbps(10), mbps(20)], loop=True)
+        assert trace.rate_at(0.5) == trace.rate_at(0.5 + trace.period)
+
+    def test_capacity_spans_segments(self):
+        trace = PiecewiseTrace([0.0, 1.0], [mbps(8), mbps(16)], loop=False)
+        # 1s at 1MB/s + 1s at 2MB/s
+        assert trace.capacity_bytes(0.0, 2.0) == pytest.approx(3_000_000)
+
+    def test_time_to_send_crosses_boundary(self):
+        trace = PiecewiseTrace([0.0, 1.0], [mbps(8), mbps(16)], loop=False)
+        # 1.5 MB: first 1 MB takes 1s, remaining 0.5 MB takes 0.25s
+        assert trace.time_to_send(0.0, 1_500_000) == pytest.approx(1.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseTrace([1.0], [mbps(1)])       # must start at 0
+        with pytest.raises(ValueError):
+            PiecewiseTrace([0.0, 0.0], [mbps(1), mbps(2)])  # increasing
+        with pytest.raises(ValueError):
+            PiecewiseTrace([0.0], [mbps(1), mbps(2)])  # length mismatch
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 1000), st.floats(0.0, 50.0))
+    def test_time_to_send_inverts_capacity(self, kilobytes, start):
+        """capacity_bytes(t, t + time_to_send(t, n)) == n (integration
+        and its inverse agree)."""
+        trace = PiecewiseTrace([0.0, 0.7, 1.3], [mbps(5), mbps(40), mbps(12)])
+        nbytes = kilobytes * 1000
+        duration = trace.time_to_send(start, nbytes)
+        recovered = trace.capacity_bytes(start, start + duration)
+        assert recovered == pytest.approx(nbytes, rel=1e-6)
+
+
+class TestStepTrace:
+    def test_levels_and_period(self):
+        trace = step_trace([10, 20, 30], step_duration=10.0)
+        assert trace.rate_at(5.0) == mbps(10)
+        assert trace.rate_at(15.0) == mbps(20)
+        assert trace.rate_at(25.0) == mbps(30)
+        # loops back to first level
+        assert trace.rate_at(5.0 + trace.period) == mbps(10)
+
+
+class TestLteTrace:
+    def test_deterministic_given_seed(self):
+        a = lte_trace("driving", seed=4)
+        b = lte_trace("driving", seed=4)
+        assert [a.rate_at(t) for t in (0.1, 5.0, 17.3)] == \
+               [b.rate_at(t) for t in (0.1, 5.0, 17.3)]
+
+    def test_seed_changes_trace(self):
+        a = lte_trace("driving", seed=4)
+        b = lte_trace("driving", seed=5)
+        samples = [(a.rate_at(t), b.rate_at(t)) for t in (1.0, 3.0, 9.0)]
+        assert any(x != y for x, y in samples)
+
+    def test_envelope_bounds(self):
+        trace = lte_trace("driving", seed=1, max_mbps=40.0, min_mbps=0.5)
+        rates = [trace.rate_at(t * 0.2) for t in range(500)]
+        assert max(rates) <= mbps(40.0) + 1e-6
+        assert min(rates) >= mbps(0.5) * 0.2  # fades may dip below min level
+
+    def test_mobility_increases_variability(self):
+        import numpy as np
+        stationary = lte_trace("stationary", seed=2)
+        driving = lte_trace("driving", seed=2)
+        s = np.std([stationary.rate_at(i * 0.2) for i in range(400)])
+        d = np.std([driving.rate_at(i * 0.2) for i in range(400)])
+        assert d > s
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            lte_trace("teleporting")
+
+
+def test_wired_trace_helper():
+    assert wired_trace(48).rate_at(0.0) == mbps(48)

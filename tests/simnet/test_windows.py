@@ -1,0 +1,76 @@
+"""Tests for sent-time ACK bucketing."""
+
+import pytest
+
+from repro.simnet.packet import AckSample, LossSample
+from repro.simnet.windows import AckWindow, rtt_slope
+
+
+def _ack(sent_time, rtt=0.05, size=1500, now=None):
+    return AckSample(now=now or sent_time + rtt, seq=0, rtt=rtt, min_rtt=rtt,
+                     srtt=rtt, acked_bytes=size, delivery_rate=0.0,
+                     inflight_bytes=0.0, sent_time=sent_time)
+
+
+def test_contains_respects_bounds():
+    w = AckWindow(1.0, end=2.0)
+    assert not w.contains(0.99)
+    assert w.contains(1.0)
+    assert w.contains(1.99)
+    assert not w.contains(2.0)
+
+
+def test_open_window_contains_future():
+    w = AckWindow(1.0)
+    assert w.contains(100.0)
+
+
+def test_measure_requires_end_and_acks():
+    w = AckWindow(0.0)
+    w.add_ack(_ack(0.5))
+    assert w.measure() is None  # no end
+    w2 = AckWindow(0.0, end=1.0)
+    assert w2.measure() is None  # no acks
+
+
+def test_measure_throughput():
+    w = AckWindow(0.0, end=1.0)
+    for i in range(10):
+        w.add_ack(_ack(i * 0.1))
+    throughput, gradient, loss = w.measure()
+    assert throughput == pytest.approx(10 * 1500 * 8 / 1.0)
+    assert loss == 0.0
+
+
+def test_measure_loss_rate():
+    w = AckWindow(0.0, end=1.0)
+    for i in range(8):
+        w.add_ack(_ack(i * 0.1))
+    w.add_loss(LossSample(now=1.0, seq=99, lost_bytes=1500, sent_time=0.85,
+                          inflight_bytes=0.0))
+    w.add_loss(LossSample(now=1.0, seq=100, lost_bytes=1500, sent_time=0.95,
+                          inflight_bytes=0.0))
+    _, _, loss = w.measure()
+    assert loss == pytest.approx(0.2)
+
+
+def test_gradient_reflects_rising_rtt():
+    w = AckWindow(0.0, end=1.0)
+    for i in range(10):
+        w.add_ack(_ack(i * 0.1, rtt=0.05 + 0.01 * i))
+    _, gradient, _ = w.measure()
+    assert gradient == pytest.approx(0.1, rel=1e-6)
+
+
+def test_settled_waits_for_feedback():
+    w = AckWindow(0.0, end=1.0)
+    assert not w.settled(1.0, srtt=0.1)
+    assert w.settled(1.2, srtt=0.1)
+
+
+def test_rtt_slope_basics():
+    assert rtt_slope([]) == 0.0
+    assert rtt_slope([(0.0, 0.1)]) == 0.0
+    assert rtt_slope([(0.0, 0.1), (1.0, 0.2)]) == pytest.approx(0.1)
+    # constant rtt -> zero slope
+    assert rtt_slope([(0.0, 0.1), (1.0, 0.1), (2.0, 0.1)]) == 0.0

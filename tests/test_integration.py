@@ -1,0 +1,101 @@
+"""End-to-end integration tests tying the paper's headline claims to the
+simulator (scaled-down durations; the benches run the full versions)."""
+
+import pytest
+
+from repro import Dumbbell, lte_trace, make_controller, step_trace, wired_trace
+from repro.metrics import jain_index
+
+
+def _single(cca, trace, rtt=0.03, buffer_bytes=150_000, duration=12.0,
+            seed=1, loss=0.0, **kw):
+    net = Dumbbell(trace, buffer_bytes=buffer_bytes, rtt=rtt,
+                   loss_rate=loss, seed=seed)
+    net.add_flow(make_controller(cca, seed=seed, **kw))
+    return net.run(duration)
+
+
+class TestAdaptabilityClaims:
+    def test_c_libra_keeps_cubic_throughput_with_less_delay(self):
+        """Fig. 7: C-Libra ~0.97x CUBIC throughput at a fraction of the
+        delay on wired links."""
+        cubic = _single("cubic", wired_trace(24))
+        libra = _single("c-libra", wired_trace(24))
+        assert libra.utilization > 0.9 * cubic.utilization
+        assert libra.flows[0].avg_rtt_ms < 0.8 * cubic.flows[0].avg_rtt_ms
+
+    def test_b_libra_cuts_delay_on_cellular(self):
+        """Fig. 7: B-Libra reduces delay vs BBR on cellular links."""
+        bbr = _single("bbr", lte_trace("walking", seed=3), seed=3)
+        blibra = _single("b-libra", lte_trace("walking", seed=3), seed=3)
+        assert blibra.flows[0].avg_rtt_ms <= bbr.flows[0].avg_rtt_ms * 1.1
+
+    def test_libra_tracks_step_capacity(self):
+        """Fig. 2(a): Libra converges to each new capacity level."""
+        result = _single("c-libra", step_trace([20, 5, 15], 6.0), rtt=0.08,
+                         buffer_bytes=150_000, duration=18.0)
+        assert result.utilization > 0.7
+
+
+class TestPracticalityClaims:
+    def test_libra_overhead_below_orca(self):
+        """Remark 5: the DRL agent runs only in exploration."""
+        from repro.overhead.costmodel import cpu_utilization
+
+        libra = _single("c-libra", wired_trace(24))
+        orca = _single("orca", wired_trace(24))
+        libra_cpu = cpu_utilization(libra.controllers[0], 12.0)
+        orca_cpu = cpu_utilization(orca.controllers[0], 12.0)
+        assert libra_cpu < orca_cpu
+
+    def test_intra_protocol_fairness_above_090(self):
+        """Fig. 14: Libra's intra-protocol Jain index stays high."""
+        net = Dumbbell(wired_trace(48), buffer_bytes=600_000, rtt=0.1, seed=2)
+        net.add_flow(make_controller("c-libra", seed=1))
+        net.add_flow(make_controller("c-libra", seed=2))
+        result = net.run(25.0)
+        assert jain_index([f.throughput_mbps for f in result.flows]) > 0.9
+
+    def test_inter_protocol_no_starvation(self):
+        """Fig. 13: Libra neither starves CUBIC nor is starved."""
+        net = Dumbbell(wired_trace(48), buffer_bytes=600_000, rtt=0.1, seed=2)
+        net.add_flow(make_controller("c-libra", seed=1))
+        net.add_flow(make_controller("cubic"))
+        result = net.run(25.0)
+        shares = [f.throughput_mbps for f in result.flows]
+        ratio = shares[0] / sum(shares)
+        assert 0.25 < ratio < 0.75
+
+    def test_b_libra_loss_resilience(self):
+        """Fig. 10: B-Libra keeps utilization high under stochastic loss."""
+        result = _single("b-libra", wired_trace(24), loss=0.06, duration=14.0)
+        assert result.utilization > 0.6
+
+    def test_c_libra_beats_cubic_under_loss(self):
+        """Remark 3: x_rl / x_prev out-vote CUBIC's spurious reductions."""
+        cubic = _single("cubic", wired_trace(24), loss=0.04, duration=14.0)
+        libra = _single("c-libra", wired_trace(24), loss=0.04, duration=14.0)
+        assert libra.utilization > cubic.utilization
+
+
+class TestFlexibilityClaims:
+    def test_la_preset_not_slower_than_th_preset(self):
+        """Fig. 11: latency presets trade throughput for delay."""
+        th = _single("c-libra", lte_trace("walking", seed=3), seed=3,
+                     duration=16.0, utility_preset="th-2")
+        la = _single("c-libra", lte_trace("walking", seed=3), seed=3,
+                     duration=16.0, utility_preset="la-2")
+        assert la.flows[0].avg_rtt_ms <= th.flows[0].avg_rtt_ms + 2.0
+
+
+class TestSafetyClaims:
+    def test_libra_less_variable_than_orca(self):
+        """Tab. 6: Libra's utilization varies less across repeated runs."""
+        import numpy as np
+
+        def spread(cca):
+            utils = [_single(cca, lte_trace("walking", seed=s), seed=s,
+                             duration=8.0).utilization for s in range(1, 5)]
+            return float(np.std(utils))
+
+        assert spread("c-libra") <= spread("orca") + 0.05

@@ -1,0 +1,61 @@
+"""Tests for the controller registry and package API."""
+
+import pytest
+
+import repro
+from repro.registry import available_ccas, make_controller
+
+
+def test_all_paper_ccas_available():
+    names = available_ccas()
+    for expected in ("cubic", "bbr", "copa", "sprout", "remy", "indigo",
+                     "aurora", "vivace", "proteus", "orca", "modified-rl",
+                     "c-libra", "b-libra", "cl-libra"):
+        assert expected in names
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        make_controller("quic-magic")
+
+
+def test_case_insensitive():
+    assert make_controller("CUBIC").name == "cubic"
+
+
+def test_fresh_instances():
+    a = make_controller("cubic")
+    b = make_controller("cubic")
+    assert a is not b
+
+
+def test_libra_preset_kwarg():
+    c = make_controller("c-libra", utility_preset="la-1")
+    assert c.config.utility.beta == 1800.0
+
+
+def test_libra_custom_config_kwarg():
+    from repro.core.config import LibraConfig
+
+    cfg = LibraConfig(th1_fraction=0.2)
+    c = make_controller("c-libra", config=cfg)
+    assert c.config.th1_fraction == 0.2
+
+
+def test_b_libra_uses_bbr():
+    from repro.cca.bbr import Bbr
+
+    c = make_controller("b-libra")
+    assert isinstance(c.classic, Bbr)
+    assert c.config.explore_rtts == 3.0
+
+
+def test_package_exports():
+    assert callable(repro.make_controller)
+    assert repro.__version__
+
+
+def test_every_registered_cca_instantiates():
+    for name in available_ccas():
+        controller = make_controller(name, seed=1)
+        controller.start(0.0, 1500)

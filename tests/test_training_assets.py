@@ -1,0 +1,65 @@
+"""Tests for policy training entry points and bundled assets."""
+
+import numpy as np
+import pytest
+
+from repro.assets import POLICY_KINDS, load_policy
+from repro.env.features import Measurement, Normalizer
+from repro.training import (Eq1Reward, TRAIN_SPECS, make_training_env,
+                            train_policy)
+
+
+class TestAssets:
+    def test_all_policies_load(self):
+        for kind in POLICY_KINDS:
+            policy = load_policy(kind)
+            assert policy.obs_dim > 0
+
+    def test_cache_shares_instance(self):
+        assert load_policy("libra") is load_policy("libra")
+
+    def test_fresh_gives_new_instance(self):
+        assert load_policy("libra", fresh=True) is not load_policy("libra")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            load_policy("gpt-cc")
+
+
+class TestTrainingEnv:
+    def test_specs_cover_policy_kinds(self):
+        assert set(TRAIN_SPECS) == set(POLICY_KINDS)
+
+    def test_env_feature_set_matches_spec(self):
+        env = make_training_env("aurora")
+        from repro.env.features import STATE_SETS
+        assert env.builder.feature_set == STATE_SETS["aurora"]
+
+    def test_eq1_reward_attached_for_modified_rl(self):
+        env = make_training_env("modified-rl")
+        assert isinstance(env.reward_fn, Eq1Reward)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            train_policy("alphago")
+
+
+class TestEq1Reward:
+    def test_raw_uses_utility(self):
+        reward = Eq1Reward()
+        norm = Normalizer(init_max_rate=100e6)
+        m = Measurement(throughput=50e6, send_rate=50e6, avg_rtt=0.1,
+                        latest_rtt=0.1, min_rtt=0.1, rtt_gradient=0.0,
+                        loss_rate=0.0, ack_gap_ewma=0.001,
+                        send_gap_ewma=0.001, sent_packets=10,
+                        acked_packets=10, rate=50e6)
+        value = reward.raw(m, norm)
+        assert 0.0 < value < 1.0
+
+
+def test_quick_training_improves_reward():
+    policy, history = train_policy("libra", epochs=4, seed=11,
+                                   hidden=(16, 16), steps_per_epoch=384)
+    rewards = history.episode_rewards
+    assert len(rewards) > 4
+    assert np.mean(rewards[-4:]) > np.mean(rewards[:4]) - 0.5
