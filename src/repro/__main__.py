@@ -4,6 +4,7 @@ Usage:
     python -m repro list                       # available CCAs + experiments
     python -m repro run c-libra --bw 48 --rtt 100 --duration 20
     python -m repro experiment fig7            # print a paper artifact
+    python -m repro experiment fig9 --jobs 4   # parallel + cached sweep
 """
 
 from __future__ import annotations
@@ -68,6 +69,15 @@ def cmd_experiment(args) -> int:
         print(f"unknown experiment {args.name!r}; "
               f"try one of {sorted(set(EXPERIMENT_MODULES))}", file=sys.stderr)
         return 2
+    if args.jobs < 0:
+        print("--jobs must be >= 0 (1 = serial, 0 = one worker per CPU)",
+              file=sys.stderr)
+        return 2
+    from . import parallel
+
+    parallel.set_execution_config(
+        jobs=args.jobs, cache=not args.no_cache, cache_dir=args.cache_dir,
+        timeout=args.timeout, progress=not args.quiet)
     module = importlib.import_module(f"repro.experiments.{module_name}")
     module.main()
     return 0
@@ -94,6 +104,18 @@ def main(argv=None) -> int:
 
     exp = sub.add_parser("experiment", help="print one paper artifact")
     exp.add_argument("name")
+    exp.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for sweep grids "
+                          "(1 = serial, 0 = one per CPU)")
+    exp.add_argument("--no-cache", action="store_true",
+                     help="bypass the on-disk result cache")
+    exp.add_argument("--cache-dir", default=None,
+                     help="result cache location "
+                          "(default: $REPRO_CACHE_DIR or ~/.cache/repro/sweeps)")
+    exp.add_argument("--timeout", type=float, default=None,
+                     help="per-job wall-time bound in seconds (parallel mode)")
+    exp.add_argument("--quiet", action="store_true",
+                     help="suppress progress output on stderr")
 
     args = parser.parse_args(argv)
     if args.command == "list":

@@ -9,6 +9,7 @@ weights keeps every bench deterministic and fast.  Regenerate them with
 from __future__ import annotations
 
 import os
+import zipfile
 
 from ..rl.policy import GaussianActorCritic
 
@@ -24,6 +25,21 @@ def asset_path(kind: str) -> str:
     return os.path.join(_ASSET_DIR, f"{kind}.npz")
 
 
+def _load(path: str) -> GaussianActorCritic:
+    """Load weights, turning corruption into an actionable error."""
+    if not os.path.exists(path):
+        raise FileNotFoundError(
+            f"pretrained policy {path} missing — regenerate with "
+            f"`python examples/train_policy.py --all`")
+    try:
+        return GaussianActorCritic.load(path)
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError, KeyError) as exc:
+        raise RuntimeError(
+            f"pretrained policy {path} is corrupt or truncated "
+            f"({type(exc).__name__}: {exc}) — regenerate with "
+            f"`python examples/train_policy.py --all`") from exc
+
+
 def load_policy(kind: str, fresh: bool = False) -> GaussianActorCritic:
     """Load a bundled pretrained policy by kind.
 
@@ -35,12 +51,7 @@ def load_policy(kind: str, fresh: bool = False) -> GaussianActorCritic:
         raise KeyError(f"unknown policy kind {kind!r}; "
                        f"choose from {POLICY_KINDS}")
     if fresh:
-        return GaussianActorCritic.load(asset_path(kind))
+        return _load(asset_path(kind))
     if kind not in _cache:
-        path = asset_path(kind)
-        if not os.path.exists(path):
-            raise FileNotFoundError(
-                f"pretrained policy {path} missing — regenerate with "
-                f"`python examples/train_policy.py --all`")
-        _cache[kind] = GaussianActorCritic.load(path)
+        _cache[kind] = _load(asset_path(kind))
     return _cache[kind]

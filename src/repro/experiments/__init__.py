@@ -7,12 +7,12 @@ to module and bench target.
 from . import (adaptability, convergence, deep_dive, fairness, flexibility,
                internet, overhead, practical_issues, rl_ablation, safety,
                sensitivity, sweeps)
-from .harness import (FlowSummary, format_table, mean_metrics, run_seeds,
-                      run_single)
+from .harness import (FlowSummary, format_table, mean_metrics, run_grid,
+                      run_job_grid, run_seeds, run_single, summarize)
 
 __all__ = [
     "FlowSummary", "adaptability", "convergence", "deep_dive", "fairness",
     "flexibility", "format_table", "internet", "mean_metrics", "overhead",
-    "practical_issues", "rl_ablation", "run_seeds", "run_single", "safety",
-    "sensitivity", "sweeps",
+    "practical_issues", "rl_ablation", "run_grid", "run_job_grid",
+    "run_seeds", "run_single", "safety", "sensitivity", "summarize", "sweeps",
 ]

@@ -13,28 +13,32 @@ DESIGN.md calls out three design decisions worth ablating:
 from __future__ import annotations
 
 from ..core.config import LibraConfig
-from ..core.factory import make_libra
-from ..registry import make_controller
-from ..scenarios.presets import LTE, WIRED, Scenario
-from .harness import format_table, mean_metrics, run_seeds
+from ..parallel import single_flow_job
+from ..scenarios.presets import LTE, WIRED
+from .harness import format_table, mean_metrics, run_grid
 
 
 def run_eval_order(seeds=(1, 2), duration: float = 16.0) -> dict:
     """Lower-rate-first vs higher-rate-first evaluation (Fig. 4's claim)."""
+    orders = ("lower-first", "higher-first")
+    scenarios = (WIRED["wired-24"], LTE["lte-walking"])
+    points = [(order, scenario) for order in orders for scenario in scenarios]
+    jobs = [single_flow_job("c-libra", scenario, seed=s, duration=duration,
+                            config=LibraConfig(eval_order=order))
+            for order, scenario in points for s in seeds]
+    summaries = iter(run_grid(jobs, label="eval-order"))
+    metrics = {point: mean_metrics([next(summaries) for _ in seeds])
+               for point in points}
     out = {}
-    for order in ("lower-first", "higher-first"):
-        utils, delays, losses = [], [], []
-        for scenario in (WIRED["wired-24"], LTE["lte-walking"]):
-            runs = run_seeds("c-libra", scenario, seeds, duration=duration,
-                             config=LibraConfig(eval_order=order))
-            m = mean_metrics(runs)
-            utils.append(m["utilization"])
-            delays.append(m["avg_rtt_ms"])
-            losses.append(m["loss_rate"])
+    for order in orders:
+        per_scenario = [metrics[(order, scenario)] for scenario in scenarios]
         out[order] = {
-            "utilization": sum(utils) / len(utils),
-            "avg_rtt_ms": sum(delays) / len(delays),
-            "loss_rate": sum(losses) / len(losses),
+            "utilization": sum(m["utilization"] for m in per_scenario)
+            / len(per_scenario),
+            "avg_rtt_ms": sum(m["avg_rtt_ms"] for m in per_scenario)
+            / len(per_scenario),
+            "loss_rate": sum(m["loss_rate"] for m in per_scenario)
+            / len(per_scenario),
         }
     return out
 
@@ -42,42 +46,38 @@ def run_eval_order(seeds=(1, 2), duration: float = 16.0) -> dict:
 def run_aqm_comparison(seeds=(1,), duration: float = 16.0) -> dict:
     """CUBIC behind CoDel vs Libra end-to-end on a deep buffer (Sec. 2)."""
     base = WIRED["wired-24"].with_(buffer_bytes=600_000)
+    setups = (("cubic+droptail", "cubic", "droptail"),
+              ("cubic+codel", "cubic", "codel"),
+              ("c-libra+droptail", "c-libra", "droptail"))
+    jobs = [single_flow_job(cca, base.with_(aqm=aqm), seed=seed,
+                            duration=duration)
+            for _label, cca, aqm in setups for seed in seeds]
+    summaries = iter(run_grid(jobs, label="aqm"))
     out = {}
-    for label, cca, aqm in (("cubic+droptail", "cubic", "droptail"),
-                            ("cubic+codel", "cubic", "codel"),
-                            ("c-libra+droptail", "c-libra", "droptail")):
-        utils, delays = [], []
-        for seed in seeds:
-            net = base.build(seed=seed)
-            if aqm == "codel":
-                # rebuild with the AQM queue
-                from ..simnet.network import Dumbbell
-                net = Dumbbell(base.trace(seed), buffer_bytes=base.buffer_bytes,
-                               rtt=base.rtt, seed=seed, aqm="codel")
-            net.add_flow(make_controller(cca, seed=seed))
-            result = net.run(duration)
-            utils.append(result.utilization)
-            delays.append(result.flows[0].avg_rtt_ms)
-        out[label] = {"utilization": sum(utils) / len(utils),
-                      "avg_rtt_ms": sum(delays) / len(delays)}
+    for label, _cca, _aqm in setups:
+        runs = [next(summaries) for _ in seeds]
+        out[label] = {
+            "utilization": sum(r.utilization for r in runs) / len(runs),
+            "avg_rtt_ms": sum(r.avg_rtt_ms for r in runs) / len(runs),
+        }
     return out
 
 
 def run_other_classics(classics=("cubic", "bbr", "westwood", "illinois"),
                        seeds=(1,), duration: float = 16.0) -> dict:
     """Libra over alternative classic CCAs (Sec. 7)."""
+    scenarios = (WIRED["wired-24"], LTE["lte-walking"])
+    jobs = [single_flow_job(f"libra:{classic}", scenario, seed=seed,
+                            duration=duration)
+            for classic in classics for scenario in scenarios for seed in seeds]
+    summaries = iter(run_grid(jobs, label="classics"))
     out = {}
     for classic in classics:
-        utils, delays = [], []
-        for scenario in (WIRED["wired-24"], LTE["lte-walking"]):
-            for seed in seeds:
-                net = scenario.build(seed=seed)
-                net.add_flow(make_libra(classic, seed=seed))
-                result = net.run(duration)
-                utils.append(result.utilization)
-                delays.append(result.flows[0].avg_rtt_ms)
-        out[classic] = {"utilization": sum(utils) / len(utils),
-                        "avg_rtt_ms": sum(delays) / len(delays)}
+        runs = [next(summaries) for _ in scenarios for _ in seeds]
+        out[classic] = {
+            "utilization": sum(r.utilization for r in runs) / len(runs),
+            "avg_rtt_ms": sum(r.avg_rtt_ms for r in runs) / len(runs),
+        }
     return out
 
 

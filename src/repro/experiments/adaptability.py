@@ -11,8 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..parallel import single_flow_job
 from ..scenarios.presets import FIG1_SCENARIOS, FIG7_CELLULAR, FIG7_WIRED, LTE
-from .harness import format_table, mean_metrics, run_seeds, run_single
+from .harness import format_table, mean_metrics, run_grid
 
 FIG1_CCAS = ("cubic", "bbr", "orca", "proteus", "c-libra")
 
@@ -23,31 +24,38 @@ FIG7_CCAS = ("cubic", "bbr", "copa", "sprout", "remy", "indigo", "aurora",
 
 def run_fig1(ccas=FIG1_CCAS, seeds=(1, 2), duration: float = 16.0) -> dict:
     """Per-scenario utilization and delay (Fig. 1's two bar charts)."""
+    points = [(scenario, cca) for scenario in FIG1_SCENARIOS for cca in ccas]
+    jobs = [single_flow_job(cca, scenario, seed=s, duration=duration)
+            for scenario, cca in points for s in seeds]
+    summaries = iter(run_grid(jobs, label="fig1"))
     out: dict[str, dict[str, dict[str, float]]] = {}
-    for scenario in FIG1_SCENARIOS:
-        per_cca = {}
-        for cca in ccas:
-            runs = run_seeds(cca, scenario, seeds, duration=duration)
-            per_cca[cca] = mean_metrics(runs)
-        out[scenario.name] = per_cca
+    for scenario, cca in points:
+        runs = [next(summaries) for _ in seeds]
+        out.setdefault(scenario.name, {})[cca] = mean_metrics(runs)
     return out
 
 
 def run_fig7(ccas=FIG7_CCAS, seeds=(1,), duration: float = 16.0) -> dict:
     """Normalized throughput / delay scatter over wired and cellular."""
+    families = (("wired", FIG7_WIRED), ("cellular", FIG7_CELLULAR))
+    points = [(family, cca, scenario) for family, scenarios in families
+              for cca in ccas for scenario in scenarios]
+    jobs = [single_flow_job(cca, scenario, seed=s, duration=duration)
+            for _family, cca, scenario in points for s in seeds]
+    summaries = iter(run_grid(jobs, label="fig7"))
+    metrics = {point: mean_metrics([next(summaries) for _ in seeds])
+               for point in points}
     out = {}
-    for family, scenarios in (("wired", FIG7_WIRED), ("cellular", FIG7_CELLULAR)):
+    for family, scenarios in families:
         per_cca = {}
         for cca in ccas:
-            utils, delays = [], []
-            for scenario in scenarios:
-                runs = run_seeds(cca, scenario, seeds, duration=duration)
-                metrics = mean_metrics(runs)
-                utils.append(metrics["utilization"])
-                delays.append(metrics["avg_rtt_ms"])
+            family_metrics = [metrics[(family, cca, scenario)]
+                              for scenario in scenarios]
             per_cca[cca] = {
-                "normalized_throughput": float(np.mean(utils)),
-                "avg_delay_ms": float(np.mean(delays)),
+                "normalized_throughput": float(np.mean(
+                    [m["utilization"] for m in family_metrics])),
+                "avg_delay_ms": float(np.mean(
+                    [m["avg_rtt_ms"] for m in family_metrics])),
             }
         out[family] = per_cca
     return out
@@ -57,9 +65,10 @@ def run_fig8(ccas=("c-libra", "b-libra", "proteus", "cubic", "bbr", "orca"),
              duration: float = 24.0, seed: int = 3) -> dict:
     """Throughput time series on the driving LTE trace (user movement)."""
     scenario = LTE["lte-driving"]
+    jobs = [single_flow_job(cca, scenario, seed=seed, duration=duration)
+            for cca in ccas]
     out = {"capacity": None, "series": {}}
-    for cca in ccas:
-        summary = run_single(cca, scenario, seed=seed, duration=duration)
+    for cca, summary in zip(ccas, run_grid(jobs, label="fig8")):
         times, rates = summary.result.flows[0].throughput_series()
         out["series"][cca] = (times, rates)
     trace = scenario.trace(seed)

@@ -11,9 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.ideal import ideal_series, normalize_utilities, utility_series
-from ..registry import make_controller
+from ..parallel import single_flow_job
 from ..scenarios.presets import LTE, WIRED, step_scenario
-from .harness import format_table, run_single
+from .harness import format_table, run_grid
 
 FIG17_SCENARIOS = {
     "step": step_scenario(),
@@ -25,21 +25,19 @@ FIG17_SCENARIOS = {
 def run_fig17(variants=("c-libra", "b-libra"), seeds=(1, 2),
               duration: float = 20.0) -> dict:
     """Fraction of control cycles won by each candidate rate."""
+    points = [(variant, name, scenario) for variant in variants
+              for name, scenario in FIG17_SCENARIOS.items()]
+    jobs = [single_flow_job(variant, scenario, seed=seed, duration=duration)
+            for variant, _name, scenario in points for seed in seeds]
+    summaries = iter(run_grid(jobs, label="fig17"))
     out: dict[str, dict[str, dict[str, float]]] = {}
-    for variant in variants:
-        per_scenario = {}
-        for name, scenario in FIG17_SCENARIOS.items():
-            fractions = []
-            for seed in seeds:
-                summary = run_single(variant, scenario, seed=seed,
-                                     duration=duration)
-                controller = summary.result.controllers[0]
-                fractions.append(controller.applied_fractions())
-            per_scenario[name] = {
-                key: float(np.mean([f[key] for f in fractions]))
-                for key in ("prev", "rl", "cl")
-            }
-        out[variant] = per_scenario
+    for variant, name, _scenario in points:
+        fractions = [next(summaries).result.controllers[0].applied_fractions()
+                     for _ in seeds]
+        out.setdefault(variant, {})[name] = {
+            key: float(np.mean([f[key] for f in fractions]))
+            for key in ("prev", "rl", "cl")
+        }
     return out
 
 
@@ -47,9 +45,9 @@ def run_fig18(variant: str = "c-libra", seed: int = 2,
               duration: float = 24.0, window: float = 1.0) -> dict:
     """Libra vs the offline ideal combination on a cellular trace."""
     scenario = LTE["lte-walking"]
-    libra_run = run_single(variant, scenario, seed=seed, duration=duration)
-    cubic_run = run_single("cubic", scenario, seed=seed, duration=duration)
-    clean_run = run_single("cl-libra", scenario, seed=seed, duration=duration)
+    jobs = [single_flow_job(cca, scenario, seed=seed, duration=duration)
+            for cca in (variant, "cubic", "cl-libra")]
+    libra_run, cubic_run, clean_run = run_grid(jobs, label="fig18")
 
     times, libra_u = utility_series(libra_run.result.flows[0], window)
     ideal_t, ideal_u = ideal_series(

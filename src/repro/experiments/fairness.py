@@ -12,60 +12,55 @@ from __future__ import annotations
 import numpy as np
 
 from ..metrics.fairness import jain_index
-from ..registry import make_controller
+from ..parallel import FlowSpec, Job
 from ..scenarios.presets import fairness_scenario
-from .harness import format_table
+from .harness import format_table, run_job_grid
 
 FAIRNESS_CCAS = ("cubic", "bbr", "copa", "aurora", "proteus", "orca",
                  "modified-rl", "c-libra", "b-libra")
 
 
-def run_inter(ccas=FAIRNESS_CCAS, seeds=(1, 2), duration: float = 30.0) -> dict:
-    """Each CCA vs one CUBIC flow; returns splits and Jain indices."""
-    scenario = fairness_scenario()
+def _run_pairs(ccas, partner, seed_offset, seeds, duration, label,
+               share_keys) -> dict:
+    """Two-flow jobs per (CCA, seed): the CCA plus its bottleneck partner.
+
+    ``partner=None`` pits the CCA against itself (intra-protocol); the
+    second flow's controller seed is the run seed plus ``seed_offset``.
+    """
+    jobs = [Job(scenario=fairness_scenario(),
+                flows=(FlowSpec.make(cca, seed=seed),
+                       FlowSpec.make(partner or cca, seed=seed + seed_offset)),
+                seed=seed, duration=duration)
+            for cca in ccas for seed in seeds]
+    results = iter(run_job_grid(jobs, label=label))
     out = {}
     for cca in ccas:
         splits, jains = [], []
-        for seed in seeds:
-            net = scenario.build(seed=seed)
-            net.add_flow(make_controller(cca, seed=seed))
-            net.add_flow(make_controller("cubic", seed=seed + 100))
-            result = net.run(duration)
+        for _seed in seeds:
+            result = next(results).result
             pair = (result.flows[0].throughput_mbps,
                     result.flows[1].throughput_mbps)
             total = sum(pair) or 1.0
             splits.append((pair[0] / total, pair[1] / total))
             jains.append(jain_index(pair))
         out[cca] = {
-            "cca_share": float(np.mean([s[0] for s in splits])),
-            "cubic_share": float(np.mean([s[1] for s in splits])),
+            share_keys[0]: float(np.mean([s[0] for s in splits])),
+            share_keys[1]: float(np.mean([s[1] for s in splits])),
             "jain": float(np.mean(jains)),
         }
     return out
+
+
+def run_inter(ccas=FAIRNESS_CCAS, seeds=(1, 2), duration: float = 30.0) -> dict:
+    """Each CCA vs one CUBIC flow; returns splits and Jain indices."""
+    return _run_pairs(ccas, "cubic", 100, seeds, duration, label="fig13",
+                      share_keys=("cca_share", "cubic_share"))
 
 
 def run_intra(ccas=FAIRNESS_CCAS, seeds=(1, 2), duration: float = 30.0) -> dict:
     """Two flows of the same CCA; returns splits and Jain indices."""
-    scenario = fairness_scenario()
-    out = {}
-    for cca in ccas:
-        splits, jains = [], []
-        for seed in seeds:
-            net = scenario.build(seed=seed)
-            net.add_flow(make_controller(cca, seed=seed))
-            net.add_flow(make_controller(cca, seed=seed + 1000))
-            result = net.run(duration)
-            pair = (result.flows[0].throughput_mbps,
-                    result.flows[1].throughput_mbps)
-            total = sum(pair) or 1.0
-            splits.append((pair[0] / total, pair[1] / total))
-            jains.append(jain_index(pair))
-        out[cca] = {
-            "flow1_share": float(np.mean([s[0] for s in splits])),
-            "flow2_share": float(np.mean([s[1] for s in splits])),
-            "jain": float(np.mean(jains)),
-        }
-    return out
+    return _run_pairs(ccas, None, 1000, seeds, duration, label="fig14",
+                      share_keys=("flow1_share", "flow2_share"))
 
 
 def main() -> None:

@@ -3,7 +3,9 @@
 Every experiment module exposes ``run_*`` functions returning plain
 dicts/lists (so benches and tests can assert on them) and a ``main()``
 that prints the paper-shaped table.  This module provides the common
-single-flow runner, multi-seed aggregation, and text-table formatting.
+single-flow runner, grid execution on top of :mod:`repro.parallel`
+(worker pool + content-addressed result cache), multi-seed aggregation,
+and text-table formatting.
 """
 
 from __future__ import annotations
@@ -12,7 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..registry import make_controller
+from .. import parallel
+from ..parallel import Job, JobResult, ProgressReporter, single_flow_job
 from ..scenarios.presets import Scenario
 from ..simnet.network import RunResult
 
@@ -37,15 +40,11 @@ class FlowSummary:
         return max(self.avg_rtt_ms - base, 0.0)
 
 
-def run_single(cca: str, scenario: Scenario, seed: int = 0,
-               duration: float | None = None, **cca_kwargs) -> FlowSummary:
-    """Run one flow of ``cca`` through ``scenario`` and summarize it."""
-    net = scenario.build(seed=seed)
-    controller = make_controller(cca, seed=seed, **cca_kwargs)
-    net.add_flow(controller)
-    result = net.run(duration or scenario.default_duration)
-    flow = result.flows[0]
-    return FlowSummary(cca=cca, scenario=scenario.name,
+def summarize(cca: str, scenario_name: str, result: RunResult,
+              flow_index: int = 0) -> FlowSummary:
+    """Build the headline summary of one flow from a finished run."""
+    flow = result.flows[flow_index]
+    return FlowSummary(cca=cca, scenario=scenario_name,
                        utilization=result.utilization,
                        throughput_mbps=flow.throughput_mbps,
                        avg_rtt_ms=flow.avg_rtt_ms,
@@ -54,11 +53,61 @@ def run_single(cca: str, scenario: Scenario, seed: int = 0,
                        result=result)
 
 
+def run_single(cca: str, scenario: Scenario, seed: int = 0,
+               duration: float | None = None, **cca_kwargs) -> FlowSummary:
+    """Run one flow of ``cca`` through ``scenario`` and summarize it."""
+    job = single_flow_job(cca, scenario, seed=seed, duration=duration,
+                          **cca_kwargs)
+    return summarize(cca, scenario.name, job.run())
+
+
+def run_job_grid(jobs: list[Job], workers: int | None = None,
+                 cache=None, timeout: float | None = None,
+                 retries: int | None = None, progress=None,
+                 label: str = "grid") -> list[JobResult]:
+    """Execute a batch of jobs, in input order, through the sweep executor.
+
+    Arguments left as ``None`` fall back to the process-wide
+    :class:`repro.parallel.ExecutionConfig` (which the CLI's ``--jobs`` /
+    ``--no-cache`` flags populate); library callers that pass nothing get
+    the conservative serial, uncached defaults.  ``cache`` may be a
+    :class:`~repro.parallel.ResultCache`, ``True``/``False``, or ``None``.
+    ``progress`` may be a :class:`~repro.parallel.ProgressReporter`,
+    ``True``/``False``, or ``None``.
+    """
+    config = parallel.get_execution_config()
+    if workers is None:
+        workers = config.jobs
+    if cache is None:
+        cache = config.cache
+    if isinstance(cache, bool):
+        cache = parallel.ResultCache(root=config.cache_dir) if cache else None
+    if timeout is None:
+        timeout = config.timeout
+    if retries is None:
+        retries = config.retries
+    if progress is None:
+        progress = config.progress
+    if isinstance(progress, bool):
+        progress = ProgressReporter(len(jobs), label=label) if progress \
+            else None
+    return parallel.run_jobs(jobs, workers=workers, cache=cache,
+                             timeout=timeout, retries=retries,
+                             progress=progress)
+
+
+def run_grid(jobs: list[Job], **execution) -> list[FlowSummary]:
+    """``run_job_grid`` for single-flow jobs, summarized per flow 0."""
+    results = run_job_grid(jobs, **execution)
+    return [summarize(job.flows[0].cca, job.scenario.name, jr.result)
+            for job, jr in zip(jobs, results)]
+
+
 def run_seeds(cca: str, scenario: Scenario, seeds, duration: float | None = None,
               **cca_kwargs) -> list[FlowSummary]:
     """The paper averages 5 runs per point; this runs one per seed."""
-    return [run_single(cca, scenario, seed=s, duration=duration, **cca_kwargs)
-            for s in seeds]
+    return run_grid([single_flow_job(cca, scenario, seed=s, duration=duration,
+                                     **cca_kwargs) for s in seeds])
 
 
 def mean_metrics(summaries: list[FlowSummary]) -> dict[str, float]:

@@ -13,8 +13,7 @@ import numpy as np
 
 from ..overhead.costmodel import cpu_utilization, memory_units
 from ..registry import make_controller
-from ..scenarios.presets import LTE, Scenario
-from ..simnet.trace import wired_trace
+from ..scenarios.presets import LTE, ConstTraceFactory, Scenario
 from ..units import KB, mbps, ms
 from .harness import format_table
 
@@ -52,7 +51,7 @@ def run_fig12(ccas=FIG12_CCAS, capacities_mbps=FIG12_CAPACITIES_MBPS,
     out: dict[str, dict[int, float]] = {cca: {} for cca in ccas}
     for cap in capacities_mbps:
         scenario = Scenario(name=f"overhead-{cap}",
-                            trace_factory=lambda s, c=cap: wired_trace(c),
+                            trace_factory=ConstTraceFactory(float(cap)),
                             rtt=ms(30), buffer_bytes=max(150 * KB,
                                                          mbps(cap) * ms(30) / 8.0))
         for cca in ccas:

@@ -12,8 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.config import LibraConfig
+from ..parallel import single_flow_job
 from ..scenarios.presets import LTE, WIRED
-from .harness import format_table, mean_metrics, run_seeds
+from .harness import format_table, mean_metrics, run_grid
 
 #: Fig. 19's x axis: (explore RTTs, EI RTTs, exploit RTTs)
 DURATION_CONFIGS = ((1, 0.5, 1), (1, 1, 1), (2, 0.5, 2), (2, 1, 2),
@@ -26,40 +27,50 @@ _FAMILIES = {
 }
 
 
-def _run_config(config: LibraConfig, seeds, duration: float) -> dict:
-    out = {}
-    for family, scenarios in _FAMILIES.items():
-        utils, delays = [], []
-        for scenario in scenarios:
-            runs = run_seeds("c-libra", scenario, seeds, duration=duration,
-                             config=config)
-            m = mean_metrics(runs)
-            utils.append(m["utilization"])
-            delays.append(m["avg_rtt_ms"])
-        out[family] = {"utilization": float(np.mean(utils)),
-                       "avg_delay_ms": float(np.mean(delays))}
+def _run_configs(configs: dict[str, LibraConfig], seeds, duration: float,
+                 label: str) -> dict:
+    """One batched (config × family scenario × seed) C-Libra grid."""
+    points = [(name, family, scenario) for name in configs
+              for family, scenarios in _FAMILIES.items()
+              for scenario in scenarios]
+    jobs = [single_flow_job("c-libra", scenario, seed=s, duration=duration,
+                            config=configs[name])
+            for name, _family, scenario in points for s in seeds]
+    summaries = iter(run_grid(jobs, label=label))
+    metrics = {point: mean_metrics([next(summaries) for _ in seeds])
+               for point in points}
+    out: dict[str, dict] = {}
+    for name in configs:
+        out[name] = {}
+        for family, scenarios in _FAMILIES.items():
+            family_metrics = [metrics[(name, family, scenario)]
+                              for scenario in scenarios]
+            out[name][family] = {
+                "utilization": float(np.mean(
+                    [m["utilization"] for m in family_metrics])),
+                "avg_delay_ms": float(np.mean(
+                    [m["avg_rtt_ms"] for m in family_metrics])),
+            }
     return out
 
 
 def run_fig19(configs=DURATION_CONFIGS, seeds=(1,),
               duration: float = 16.0) -> dict:
     """Stage-duration sensitivity of C-Libra."""
-    out = {}
-    for explore, ei, exploit in configs:
-        config = LibraConfig(explore_rtts=float(explore), ei_rtts=float(ei),
-                             exploit_rtts=float(exploit))
-        out[f"[{explore},{ei},{exploit}]"] = _run_config(config, seeds,
-                                                         duration)
-    return out
+    grid = {
+        f"[{explore},{ei},{exploit}]": LibraConfig(
+            explore_rtts=float(explore), ei_rtts=float(ei),
+            exploit_rtts=float(exploit))
+        for explore, ei, exploit in configs
+    }
+    return _run_configs(grid, seeds, duration, label="fig19")
 
 
 def run_tab7(thresholds=TH1_SWEEP, seeds=(1,), duration: float = 16.0) -> dict:
     """Early-exit-threshold sensitivity of C-Libra."""
-    out = {}
-    for th1 in thresholds:
-        config = LibraConfig(th1_fraction=th1)
-        out[f"{th1:.1f}x"] = _run_config(config, seeds, duration)
-    return out
+    grid = {f"{th1:.1f}x": LibraConfig(th1_fraction=th1)
+            for th1 in thresholds}
+    return _run_configs(grid, seeds, duration, label="tab7")
 
 
 def main() -> None:

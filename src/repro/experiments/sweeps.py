@@ -9,35 +9,39 @@
 
 from __future__ import annotations
 
+from ..parallel import single_flow_job
 from ..scenarios.presets import (BUFFER_SWEEP_BYTES, LOSS_SWEEP,
                                  buffer_scenario, loss_scenario)
-from .harness import format_table, mean_metrics, run_seeds
+from .harness import format_table, mean_metrics, run_grid
 
 SWEEP_CCAS = ("cubic", "bbr", "copa", "proteus", "orca", "c-libra", "b-libra")
+
+
+def _sweep(ccas, scenarios, seeds, duration, label) -> dict:
+    """One batched (sweep point × CCA × seed) grid, grouped per point."""
+    points = [(point, cca) for point in scenarios for cca in ccas]
+    jobs = [single_flow_job(cca, scenario, seed=s, duration=duration)
+            for (_point, scenario), cca in points for s in seeds]
+    summaries = iter(run_grid(jobs, label=label))
+    out: dict[str, dict] = {cca: {} for cca in ccas}
+    for (point, _scenario), cca in points:
+        runs = [next(summaries) for _ in seeds]
+        out[cca][point] = mean_metrics(runs)
+    return out
 
 
 def run_fig9(ccas=SWEEP_CCAS, buffers=BUFFER_SWEEP_BYTES, seeds=(1,),
              duration: float = 16.0) -> dict:
     """Utilization and delay per (CCA, buffer size)."""
-    out: dict[str, dict[int, dict[str, float]]] = {cca: {} for cca in ccas}
-    for buffer_bytes in buffers:
-        scenario = buffer_scenario(buffer_bytes)
-        for cca in ccas:
-            runs = run_seeds(cca, scenario, seeds, duration=duration)
-            out[cca][int(buffer_bytes)] = mean_metrics(runs)
-    return out
+    scenarios = [(int(b), buffer_scenario(b)) for b in buffers]
+    return _sweep(ccas, scenarios, seeds, duration, label="fig9")
 
 
 def run_fig10(ccas=SWEEP_CCAS, losses=LOSS_SWEEP, seeds=(1,),
               duration: float = 16.0) -> dict:
     """Utilization per (CCA, stochastic loss rate)."""
-    out: dict[str, dict[float, dict[str, float]]] = {cca: {} for cca in ccas}
-    for loss in losses:
-        scenario = loss_scenario(loss)
-        for cca in ccas:
-            runs = run_seeds(cca, scenario, seeds, duration=duration)
-            out[cca][loss] = mean_metrics(runs)
-    return out
+    scenarios = [(loss, loss_scenario(loss)) for loss in losses]
+    return _sweep(ccas, scenarios, seeds, duration, label="fig10")
 
 
 def buffer_sensitivity(fig9_cca: dict) -> float:

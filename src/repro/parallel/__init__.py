@@ -1,0 +1,58 @@
+"""Parallel sweep executor with a content-addressed result cache.
+
+Every paper artifact is a grid of independent (scenario × CCA × seed)
+simulations; this subsystem executes such grids across a process pool
+(:mod:`~repro.parallel.pool`), memoizes finished runs on disk keyed by
+the SHA-256 of the job spec plus a code-version salt
+(:mod:`~repro.parallel.cache`), and reports progress
+(:mod:`~repro.parallel.progress`).
+
+The experiment harness (:func:`repro.experiments.harness.run_grid`)
+builds on these primitives; ``python -m repro experiment NAME --jobs N``
+configures them via :func:`set_execution_config`.  Library defaults are
+deliberately conservative — serial, no cache — so importing or testing
+``repro`` never forks processes or writes outside the repo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .cache import CACHE_DIR_ENV, ResultCache, code_salt, default_cache_dir, job_key
+from .jobs import FlowSpec, Job, JobResult, canonical_spec, execute, single_flow_job
+from .pool import JobFailedError, has_fork, resolve_workers, run_jobs
+from .progress import ProgressReporter
+
+__all__ = [
+    "CACHE_DIR_ENV", "ExecutionConfig", "FlowSpec", "Job", "JobFailedError",
+    "JobResult", "ProgressReporter", "ResultCache", "canonical_spec",
+    "code_salt", "default_cache_dir", "execute", "get_execution_config",
+    "has_fork", "job_key", "resolve_workers", "run_jobs",
+    "set_execution_config", "single_flow_job",
+]
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Process-wide execution defaults consumed by ``run_grid``."""
+
+    jobs: int = 1                  # 1 = serial, 0 = one worker per CPU
+    cache: bool = False
+    cache_dir: str | None = None   # None = env var / default location
+    timeout: float | None = None   # per-attempt wall-time bound (seconds)
+    retries: int = 1
+    progress: bool = False
+
+
+_config = ExecutionConfig()
+
+
+def get_execution_config() -> ExecutionConfig:
+    return _config
+
+
+def set_execution_config(**changes) -> ExecutionConfig:
+    """Update the process-wide defaults; returns the new config."""
+    global _config
+    _config = replace(_config, **changes)
+    return _config

@@ -1,0 +1,152 @@
+"""Content-addressed on-disk cache for completed job results.
+
+The key of a job is the SHA-256 of its canonicalized spec (scenario,
+flows, seed, duration — see :func:`repro.parallel.jobs.canonical_spec`)
+salted with a code-version digest, so re-running a figure after *any*
+change to the simulator, the CCAs, or the bundled policy weights misses
+cleanly instead of serving stale results.
+
+Entries are single pickle files written atomically (tmp + rename), laid
+out ``<root>/<key[:2]>/<key>.pkl`` to keep directories small.  A corrupt
+or unreadable entry is treated as a miss and removed.
+
+The cache directory defaults to ``~/.cache/repro/sweeps`` and can be
+overridden with the ``REPRO_CACHE_DIR`` environment variable or the
+``--cache-dir`` CLI flag.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sys
+import tempfile
+
+from .jobs import Job, JobResult, canonical_spec
+
+#: environment variable overriding the default cache location
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: bump to invalidate every existing cache entry regardless of code state
+CACHE_FORMAT_VERSION = 1
+
+_code_salt_memo: str | None = None
+
+
+def default_cache_dir() -> str:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "sweeps")
+
+
+def code_salt(fresh: bool = False) -> str:
+    """Digest of the installed ``repro`` sources and bundled assets.
+
+    Hashes every ``.py`` and ``.npz`` under the package directory (path
+    + content), plus the python/numpy versions and the cache format
+    version.  Memoized: the package does not change mid-process.
+    """
+    global _code_salt_memo
+    if _code_salt_memo is not None and not fresh:
+        return _code_salt_memo
+
+    import numpy as np
+
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    digest.update(f"format={CACHE_FORMAT_VERSION};".encode())
+    digest.update(f"python={sys.version_info[0]}.{sys.version_info[1]};"
+                  f"numpy={np.__version__};".encode())
+    entries = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith((".py", ".npz")):
+                continue
+            path = os.path.join(dirpath, name)
+            entries.append((os.path.relpath(path, root), path))
+    for rel, path in sorted(entries):
+        digest.update(rel.encode())
+        with open(path, "rb") as fh:
+            digest.update(hashlib.sha256(fh.read()).digest())
+    _code_salt_memo = digest.hexdigest()
+    return _code_salt_memo
+
+
+def job_key(job: Job, salt: str | None = None) -> str:
+    """Content address of a job: SHA-256 of canonical spec + code salt."""
+    spec = canonical_spec(job)
+    doc = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256()
+    digest.update((salt if salt is not None else code_salt()).encode())
+    digest.update(doc.encode())
+    return digest.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of :class:`JobResult` pickles."""
+
+    def __init__(self, root: str | None = None, salt: str | None = None):
+        self.root = root or default_cache_dir()
+        self.salt = salt if salt is not None else code_salt()
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, job: Job) -> str:
+        return job_key(job, salt=self.salt)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.pkl")
+
+    def get(self, job: Job) -> JobResult | None:
+        """Look a job up; corrupt entries count as misses and are removed."""
+        path = self._path(self.key(job))
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # truncated write, unpicklable against current code, ...
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        if not isinstance(result, JobResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        result.cached = True
+        return result
+
+    def put(self, job: Job, result: JobResult) -> str:
+        """Store a result atomically; returns the entry's key."""
+        key = self.key(job)
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
+        return key
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,142 @@
+"""Picklable descriptions of one simulation run.
+
+A :class:`Job` bundles everything needed to execute one dumbbell
+simulation — the scenario, the flows (CCA name + constructor kwargs,
+each with its own seed), the network seed and the duration — in a form
+that (a) pickles across process boundaries (the worker pool forks and
+ships jobs to children) and (b) canonicalizes to a stable JSON document
+(the content-addressed result cache hashes it; see
+:func:`canonical_spec`).
+
+``Job.run()`` is the single execution path used by the serial fallback,
+the worker pool, and the cache-miss path, so parallel results are
+byte-identical to serial ones by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+
+from ..scenarios.presets import Scenario
+from ..simnet.network import RunResult
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow of a job: a registry CCA name plus constructor kwargs.
+
+    ``seed=None`` inherits the job's network seed — the common
+    single-flow case.  ``kwargs`` is stored as a sorted item tuple so
+    the spec stays hashable and canonicalizes deterministically.
+    """
+
+    cca: str
+    seed: int | None = None
+    start: float = 0.0
+    stop: float | None = None
+    extra_rtt: float = 0.0
+    kwargs: tuple = ()
+
+    @classmethod
+    def make(cls, cca: str, seed: int | None = None, start: float = 0.0,
+             stop: float | None = None, extra_rtt: float = 0.0,
+             **kwargs) -> "FlowSpec":
+        return cls(cca=cca, seed=seed, start=start, stop=stop,
+                   extra_rtt=extra_rtt, kwargs=tuple(sorted(kwargs.items())))
+
+    def build(self, default_seed: int):
+        from ..registry import make_controller
+
+        seed = self.seed if self.seed is not None else default_seed
+        return make_controller(self.cca, seed=seed, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class Job:
+    """One simulation run: flows through a scenario at a seed."""
+
+    scenario: Scenario
+    flows: tuple[FlowSpec, ...]
+    seed: int = 0
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.flows:
+            raise ValueError("a job needs at least one flow")
+
+    @property
+    def effective_duration(self) -> float:
+        return self.duration if self.duration is not None \
+            else self.scenario.default_duration
+
+    def run(self) -> RunResult:
+        """Execute the simulation in-process and return its result."""
+        net = self.scenario.build(seed=self.seed)
+        for flow in self.flows:
+            net.add_flow(flow.build(self.seed), start=flow.start,
+                         stop=flow.stop, extra_rtt=flow.extra_rtt)
+        return net.run(self.effective_duration)
+
+
+def single_flow_job(cca: str, scenario: Scenario, seed: int = 0,
+                    duration: float | None = None, **cca_kwargs) -> Job:
+    """The ``run_single``-shaped job: one flow, flow seed = network seed."""
+    return Job(scenario=scenario, flows=(FlowSpec.make(cca, **cca_kwargs),),
+               seed=seed, duration=duration)
+
+
+@dataclass
+class JobResult:
+    """What comes back for one job: the run plus execution metadata."""
+
+    result: RunResult
+    elapsed: float = 0.0          # simulation wall-time in the worker
+    cached: bool = False          # served from the result cache
+    retries: int = 0              # crashed/timed-out attempts before success
+
+
+def execute(job: Job) -> JobResult:
+    """Run a job and wrap the result with its timing."""
+    t0 = time.perf_counter()
+    result = job.run()
+    return JobResult(result=result, elapsed=time.perf_counter() - t0)
+
+
+# -- canonicalization -------------------------------------------------------
+
+def canonical_spec(obj):
+    """Reduce a job (or any of its parts) to a JSON-stable structure.
+
+    Dataclasses become ``[qualified-name, {field: value}]`` so renaming a
+    class or field naturally invalidates old cache entries; floats are
+    kept exact via ``repr``; plain objects fall back to their sorted
+    ``__dict__``.  The output feeds ``json.dumps(..., sort_keys=True)``
+    in :mod:`repro.parallel.cache`.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)
+    if isinstance(obj, (list, tuple)):
+        return [canonical_spec(x) for x in obj]
+    if isinstance(obj, dict):
+        return {str(k): canonical_spec(v) for k, v in sorted(obj.items())}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {f.name: canonical_spec(getattr(obj, f.name))
+                  for f in dataclasses.fields(obj)}
+        return [_qualname(obj), fields]
+    if hasattr(obj, "item") and not hasattr(obj, "__len__"):  # numpy scalar
+        return canonical_spec(obj.item())
+    if callable(obj) and hasattr(obj, "__qualname__"):  # plain function
+        return f"{obj.__module__}.{obj.__qualname__}"
+    if hasattr(obj, "__dict__"):
+        fields = {k: canonical_spec(v) for k, v in sorted(vars(obj).items())}
+        return [_qualname(obj), fields]
+    return repr(obj)
+
+
+def _qualname(obj) -> str:
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"

@@ -1,0 +1,226 @@
+"""Worker pool executing job batches across processes.
+
+Each job runs in its own forked child (simulations take seconds, fork
+takes milliseconds, and one-process-per-job gives clean semantics for
+the two failure modes a long sweep actually hits):
+
+- **per-job timeout** — a wedged simulation is killed and retried;
+- **bounded retry on worker crash** — a child that dies without
+  delivering a result (OOM-killed, segfaulted native code) is retried
+  up to ``retries`` times before the sweep fails.
+
+A Python exception inside a job is *not* retried — it is deterministic
+— and surfaces as :class:`JobFailedError` with the child's traceback.
+
+When ``workers <= 1`` or the platform lacks ``fork`` (Windows, some
+macOS configurations), execution falls back to the in-process serial
+path, which still honors the result cache and progress reporting.
+Results always come back in job order regardless of completion order,
+so parallel aggregation is byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_connections
+
+from .cache import ResultCache
+from .jobs import Job, JobResult, execute
+from .progress import ProgressReporter
+
+#: how long the parent sleeps in one poll cycle at most (seconds)
+_POLL_INTERVAL = 0.25
+
+
+class JobFailedError(RuntimeError):
+    """A job exhausted its retries or raised inside the worker."""
+
+
+@dataclass
+class _ChildError:
+    """A job raised in the child; carries the formatted traceback."""
+
+    message: str
+    traceback: str
+
+
+@dataclass
+class _Running:
+    index: int
+    job: Job
+    attempts: int          # failed attempts so far
+    process: mp.Process
+    deadline: float | None
+
+
+def has_fork() -> bool:
+    return "fork" in mp.get_all_start_methods()
+
+
+def resolve_workers(jobs: int | None) -> int:
+    """``None``/1 → serial; 0 → one worker per CPU; N → N workers."""
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0")
+    return jobs
+
+
+def _child_main(job: Job, conn) -> None:
+    try:
+        payload = execute(job)
+    except BaseException as exc:  # noqa: BLE001 — report, parent decides
+        import traceback
+
+        payload = _ChildError(repr(exc), traceback.format_exc())
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+def _prewarm_assets() -> None:
+    """Load bundled policies before forking so children inherit them."""
+    try:
+        from ..assets import POLICY_KINDS, load_policy
+
+        for kind in POLICY_KINDS:
+            load_policy(kind)
+    except Exception:
+        pass  # missing/corrupt assets fail later with their own message
+
+
+def run_jobs(jobs, workers: int | None = 1, cache: ResultCache | None = None,
+             timeout: float | None = None, retries: int = 1,
+             progress: ProgressReporter | None = None) -> list[JobResult]:
+    """Execute ``jobs`` and return their results in input order.
+
+    ``cache`` short-circuits jobs whose content address already has a
+    stored result and records fresh results on the way out.  ``timeout``
+    bounds one attempt's wall-time (parallel mode only).  ``retries`` is
+    the number of *additional* attempts after a crash or timeout.
+    """
+    jobs = list(jobs)
+    results: list[JobResult | None] = [None] * len(jobs)
+    pending: deque[tuple[int, int]] = deque()  # (job index, failed attempts)
+
+    for index, job in enumerate(jobs):
+        hit = cache.get(job) if cache is not None else None
+        if hit is not None:
+            results[index] = hit
+            if progress is not None:
+                progress.update(cached=True)
+        else:
+            pending.append((index, 0))
+
+    if not pending:
+        return results  # type: ignore[return-value]
+
+    workers = resolve_workers(workers)
+    if workers <= 1 or not has_fork():
+        _run_serial(jobs, pending, results, cache, progress)
+    else:
+        _run_parallel(jobs, pending, results, workers, cache, timeout,
+                      retries, progress)
+    return results  # type: ignore[return-value]
+
+
+def _finish(index: int, job: Job, result: JobResult, results: list,
+            cache: ResultCache | None,
+            progress: ProgressReporter | None) -> None:
+    results[index] = result
+    if cache is not None:
+        cache.put(job, result)
+    if progress is not None:
+        progress.update(cached=False, retries=result.retries)
+
+
+def _run_serial(jobs, pending, results, cache, progress) -> None:
+    for index, _attempts in pending:
+        _finish(index, jobs[index], execute(jobs[index]), results, cache,
+                progress)
+
+
+def _run_parallel(jobs, pending, results, workers, cache, timeout, retries,
+                  progress) -> None:
+    ctx = mp.get_context("fork")
+    _prewarm_assets()
+    running: dict = {}  # parent connection -> _Running
+
+    def spawn(index: int, attempts: int) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(target=_child_main,
+                              args=(jobs[index], child_conn), daemon=True)
+        process.start()
+        child_conn.close()  # the parent only reads
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        running[parent_conn] = _Running(index, jobs[index], attempts, process,
+                                        deadline)
+
+    def reap(conn, slot: _Running) -> None:
+        """Kill a slot's process and release its connection."""
+        del running[conn]
+        conn.close()
+        if slot.process.is_alive():
+            slot.process.terminate()
+            slot.process.join(timeout=2.0)
+            if slot.process.is_alive():
+                slot.process.kill()
+                slot.process.join()
+        else:
+            slot.process.join()
+
+    def fail_or_retry(conn, slot: _Running, reason: str) -> None:
+        reap(conn, slot)
+        if slot.attempts + 1 > retries:
+            raise JobFailedError(
+                f"job {slot.index} ({_describe(slot.job)}) {reason} after "
+                f"{slot.attempts + 1} attempt(s)")
+        pending.append((slot.index, slot.attempts + 1))
+
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                spawn(*pending.popleft())
+            now = time.monotonic()
+            poll = _POLL_INTERVAL
+            for slot in running.values():
+                if slot.deadline is not None:
+                    poll = min(poll, max(slot.deadline - now, 0.0))
+            for conn in _wait_connections(list(running), timeout=poll):
+                slot = running[conn]
+                try:
+                    payload = conn.recv()
+                except (EOFError, OSError):
+                    payload = None  # died before sending a result
+                if isinstance(payload, JobResult):
+                    payload.retries = slot.attempts
+                    reap(conn, slot)
+                    _finish(slot.index, slot.job, payload, results, cache,
+                            progress)
+                elif isinstance(payload, _ChildError):
+                    reap(conn, slot)
+                    raise JobFailedError(
+                        f"job {slot.index} ({_describe(slot.job)}) raised "
+                        f"{payload.message}\n{payload.traceback}")
+                else:
+                    fail_or_retry(conn, slot, "crashed")
+            now = time.monotonic()
+            for conn, slot in list(running.items()):
+                if slot.deadline is not None and now >= slot.deadline:
+                    fail_or_retry(conn, slot,
+                                  f"timed out (> {timeout:.1f}s)")
+    finally:
+        for conn, slot in list(running.items()):
+            reap(conn, slot)
+
+
+def _describe(job: Job) -> str:
+    flows = "+".join(flow.cca for flow in job.flows)
+    return f"{flows} @ {job.scenario.name} seed={job.seed}"

@@ -1,0 +1,74 @@
+"""Progress reporting for sweep execution.
+
+The pool calls :meth:`ProgressReporter.update` once per finished job
+(cache hits included); the reporter rate-limits its own output so large
+sweeps do not flood the terminal.  Output goes to stderr, keeping stdout
+byte-identical between serial, parallel, and cached runs — the tables
+the experiment modules print are the artifact, the progress is not.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+
+class ProgressReporter:
+    """Counts done/total, cache hit-rate, retries, and wall-time."""
+
+    def __init__(self, total: int, label: str = "sweep", enabled: bool = True,
+                 stream=None, interval: float = 1.0):
+        self.total = total
+        self.label = label
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval = interval
+        self.done = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.retries = 0
+        self._start = time.perf_counter()
+        self._last_emit = 0.0
+
+    @property
+    def wall_time(self) -> float:
+        return time.perf_counter() - self._start
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.done if self.done else 0.0
+
+    def update(self, *, cached: bool = False, retries: int = 0) -> None:
+        """Record one finished job and maybe emit a progress line."""
+        self.done += 1
+        if cached:
+            self.cache_hits += 1
+        else:
+            self.executed += 1
+        self.retries += retries
+        now = time.perf_counter()
+        if self.done == self.total or now - self._last_emit >= self.interval:
+            self._last_emit = now
+            self._emit(self.render())
+
+    def render(self) -> str:
+        parts = [f"{self.done}/{self.total} jobs",
+                 f"{self.cache_hits} cached ({self.hit_rate:.0%})",
+                 f"{self.wall_time:.1f}s"]
+        if self.retries:
+            parts.insert(2, f"{self.retries} retries")
+        return f"[{self.label}] " + ", ".join(parts)
+
+    def summary(self) -> str:
+        return (f"[{self.label}] finished {self.done}/{self.total} jobs in "
+                f"{self.wall_time:.1f}s ({self.executed} executed, "
+                f"{self.cache_hits} from cache, {self.hit_rate:.0%} hit rate)")
+
+    def finish(self) -> str:
+        line = self.summary()
+        self._emit(line)
+        return line
+
+    def _emit(self, line: str) -> None:
+        if self.enabled:
+            print(line, file=self.stream, flush=True)

@@ -82,8 +82,16 @@ REGISTRY: dict[str, Callable[..., Controller]] = {
 
 
 def make_controller(name: str, seed: int = 0, **kwargs) -> Controller:
-    """Instantiate a controller by registry name."""
+    """Instantiate a controller by registry name.
+
+    Beyond the fixed roster, ``"libra:<classic>"`` (e.g.
+    ``"libra:westwood"``) builds Libra over any registered classic CCA
+    (Sec. 7: the CUBIC/BBR parameter guidance extends to the others).
+    """
     key = name.lower()
+    if key.startswith("libra:"):
+        from .core.factory import make_libra
+        return make_libra(key.split(":", 1)[1], seed=seed, **kwargs)
     if key not in REGISTRY:
         raise KeyError(f"unknown CCA {name!r}; choose from {sorted(REGISTRY)}")
     return REGISTRY[key](seed=seed, **kwargs)

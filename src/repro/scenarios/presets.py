@@ -26,7 +26,12 @@ from ..units import KB, mbps, ms
 
 @dataclass(frozen=True)
 class Scenario:
-    """A reproducible bottleneck setup."""
+    """A reproducible bottleneck setup.
+
+    Trace factories are dataclass callables (below) rather than lambdas
+    so a Scenario pickles across process boundaries and canonicalizes to
+    a stable cache key (see :mod:`repro.parallel`).
+    """
 
     name: str
     trace_factory: Callable[[int], Trace]
@@ -35,6 +40,7 @@ class Scenario:
     loss_rate: float = 0.0
     default_duration: float = 20.0
     mss: int = 1500
+    aqm: str = "droptail"
 
     def trace(self, seed: int = 0) -> Trace:
         return self.trace_factory(seed)
@@ -43,18 +49,69 @@ class Scenario:
         """Construct the dumbbell network for this scenario."""
         return Dumbbell(self.trace(seed), buffer_bytes=self.buffer_bytes,
                         rtt=self.rtt, loss_rate=self.loss_rate, seed=seed,
-                        mss=self.mss)
+                        mss=self.mss, aqm=self.aqm)
 
     def with_(self, **changes) -> "Scenario":
         return replace(self, **changes)
 
 
+# -- picklable trace factories --------------------------------------------
+
+@dataclass(frozen=True)
+class ConstTraceFactory:
+    """Fixed-rate wired bottleneck."""
+
+    bw_mbps: float
+
+    def __call__(self, seed: int) -> Trace:
+        return wired_trace(self.bw_mbps)
+
+
+@dataclass(frozen=True)
+class LteTraceFactory:
+    """Seeded cellular trace of one mobility kind."""
+
+    kind: str
+
+    def __call__(self, seed: int) -> Trace:
+        return lte_trace(self.kind, seed=seed + 1)
+
+
+@dataclass(frozen=True)
+class StepTraceFactory:
+    """Capacity stepping through ``levels`` every ``step_duration`` s."""
+
+    levels: tuple
+    step_duration: float
+
+    def __call__(self, seed: int) -> Trace:
+        return step_trace(self.levels, self.step_duration)
+
+
+@dataclass(frozen=True)
+class WanTraceFactory:
+    """Mildly varying WAN path capacity (cross-traffic induced)."""
+
+    mean_mbps: float
+    jitter: float
+
+    def __call__(self, seed: int) -> Trace:
+        import numpy as np
+
+        rng = np.random.default_rng(seed + 17)
+        n = 120
+        rates = self.mean_mbps * (
+            1.0 + self.jitter * rng.standard_normal(n)).clip(0.3, 1.7)
+        times = [i * 0.5 for i in range(n)]
+        return PiecewiseTrace(times, [mbps(r) for r in rates], loop=True)
+
+
 def _const(bw_mbps: float) -> Callable[[int], Trace]:
-    return lambda seed: wired_trace(bw_mbps)
+    return ConstTraceFactory(bw_mbps)
 
 
 def _lte(kind: str) -> Callable[[int], Trace]:
-    return lambda seed: lte_trace(kind, seed=seed + 1)
+    return LteTraceFactory(kind)
 
 
 # -- Fig. 1 / Fig. 7: wired and cellular ----------------------------------
@@ -97,7 +154,8 @@ def step_scenario(rtt: float = ms(80), levels=STEP_LEVELS_MBPS,
     mean_rate = mbps(sum(levels) / len(levels))
     bdp = mean_rate * rtt / 8.0
     return Scenario(
-        name="step", trace_factory=lambda seed: step_trace(levels, step_duration),
+        name="step",
+        trace_factory=StepTraceFactory(tuple(levels), step_duration),
         rtt=rtt, buffer_bytes=bdp, default_duration=len(levels) * step_duration)
 
 
@@ -136,16 +194,7 @@ def fairness_scenario() -> Scenario:
 
 def _wan_trace(mean_mbps: float, jitter: float) -> Callable[[int], Trace]:
     """Mildly varying WAN path capacity (cross-traffic induced)."""
-    import numpy as np
-
-    def build(seed: int) -> Trace:
-        rng = np.random.default_rng(seed + 17)
-        n = 120
-        rates = mean_mbps * (1.0 + jitter * rng.standard_normal(n)).clip(0.3, 1.7)
-        times = [i * 0.5 for i in range(n)]
-        return PiecewiseTrace(times, [mbps(r) for r in rates], loop=True)
-
-    return build
+    return WanTraceFactory(mean_mbps, jitter)
 
 
 INTERNET: dict[str, Scenario] = {

@@ -1,0 +1,108 @@
+"""Cache key stability and hit/miss behavior of the result cache."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.parallel import (ResultCache, canonical_spec, execute, job_key,
+                            single_flow_job)
+from repro.parallel.cache import code_salt, default_cache_dir
+from repro.scenarios.presets import WIRED, buffer_scenario
+
+
+def _job(cca="cubic", seed=1, duration=2.0, **kwargs):
+    return single_flow_job(cca, WIRED["wired-24"], seed=seed,
+                           duration=duration, **kwargs)
+
+
+class TestJobKey:
+    def test_same_spec_same_key(self):
+        assert job_key(_job()) == job_key(_job())
+
+    def test_key_is_hex_sha256(self):
+        key = job_key(_job())
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_key_differs_by_cca(self):
+        assert job_key(_job("cubic")) != job_key(_job("bbr"))
+
+    def test_key_differs_by_seed(self):
+        assert job_key(_job(seed=1)) != job_key(_job(seed=2))
+
+    def test_key_differs_by_duration(self):
+        assert job_key(_job(duration=2.0)) != job_key(_job(duration=3.0))
+
+    def test_key_differs_by_scenario(self):
+        a = single_flow_job("cubic", buffer_scenario(10_000), seed=1)
+        b = single_flow_job("cubic", buffer_scenario(30_000), seed=1)
+        assert job_key(a) != job_key(b)
+
+    def test_key_differs_by_cca_kwargs(self):
+        from repro.core.config import LibraConfig
+
+        a = _job("c-libra", config=LibraConfig(th1_fraction=0.1))
+        b = _job("c-libra", config=LibraConfig(th1_fraction=0.2))
+        assert job_key(a) != job_key(b)
+
+    def test_key_differs_by_salt(self):
+        assert job_key(_job(), salt="a") != job_key(_job(), salt="b")
+
+    def test_canonical_spec_is_json_stable(self):
+        import json
+
+        doc = json.dumps(canonical_spec(_job()), sort_keys=True)
+        assert json.dumps(canonical_spec(_job()), sort_keys=True) == doc
+
+
+class TestCodeSalt:
+    def test_deterministic_within_process(self):
+        assert code_salt() == code_salt(fresh=True)
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        job = _job()
+        assert cache.get(job) is None
+        result = execute(job)
+        cache.put(job, result)
+        hit = cache.get(job)
+        assert hit is not None
+        assert hit.cached is True
+        assert hit.result.flows[0].throughput_mbps == \
+            result.result.flows[0].throughput_mbps
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        job = _job()
+        cache.put(job, execute(job))
+        path = cache._path(cache.key(job))
+        with open(path, "wb") as fh:
+            fh.write(pickle.dumps({"not": "a JobResult"})[:10])
+        assert cache.get(job) is None
+        assert not os.path.exists(path)
+
+    def test_wrong_type_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        job = _job()
+        path = cache._path(cache.key(job))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump("not a JobResult", fh)
+        assert cache.get(job) is None
+
+    def test_env_var_overrides_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == str(tmp_path / "custom")
+        assert ResultCache().root == str(tmp_path / "custom")
+
+    def test_different_salt_does_not_hit(self, tmp_path):
+        job = _job()
+        writer = ResultCache(root=str(tmp_path), salt="code-v1")
+        writer.put(job, execute(job))
+        reader = ResultCache(root=str(tmp_path), salt="code-v2")
+        assert reader.get(job) is None

@@ -1,0 +1,82 @@
+"""Serial vs parallel vs cached grids must agree bit-for-bit."""
+
+import pytest
+
+from repro import parallel
+from repro.experiments.harness import mean_metrics, run_grid, run_seeds
+from repro.parallel import ResultCache, has_fork, single_flow_job
+from repro.scenarios.presets import WIRED, buffer_scenario
+
+needs_fork = pytest.mark.skipif(not has_fork(),
+                                reason="platform lacks fork start method")
+
+
+def _grid_jobs():
+    return [single_flow_job(cca, scenario, seed=seed, duration=2.0)
+            for cca in ("cubic", "bbr")
+            for scenario in (WIRED["wired-24"], buffer_scenario(30_000))
+            for seed in (1, 2)]
+
+
+def _fingerprint(summaries):
+    return [(s.cca, s.scenario, s.utilization, s.throughput_mbps,
+             s.avg_rtt_ms, s.p95_rtt_ms, s.loss_rate) for s in summaries]
+
+
+class TestGridDeterminism:
+    def test_serial_matches_run_seeds(self):
+        """run_grid through the executor equals the plain per-seed path."""
+        summaries = run_grid([
+            single_flow_job("cubic", WIRED["wired-24"], seed=s, duration=2.0)
+            for s in (1, 2)])
+        direct = run_seeds("cubic", WIRED["wired-24"], (1, 2), duration=2.0)
+        assert _fingerprint(summaries) == _fingerprint(direct)
+        assert mean_metrics(summaries) == mean_metrics(direct)
+
+    @needs_fork
+    def test_parallel_matches_serial(self):
+        jobs = _grid_jobs()
+        serial = run_grid(jobs, workers=1)
+        parallel_ = run_grid(jobs, workers=2)
+        assert _fingerprint(serial) == _fingerprint(parallel_)
+
+    @needs_fork
+    def test_cached_rerun_matches_and_hits(self, tmp_path):
+        jobs = _grid_jobs()
+        cache = ResultCache(root=str(tmp_path))
+        first = run_grid(jobs, workers=2, cache=cache)
+        assert cache.hits == 0
+        second = run_grid(jobs, workers=1, cache=cache)
+        assert cache.hits == len(jobs)
+        assert _fingerprint(first) == _fingerprint(second)
+
+
+class TestExecutionConfig:
+    def test_defaults_are_conservative(self):
+        config = parallel.ExecutionConfig()
+        assert config.jobs == 1
+        assert config.cache is False
+        assert config.progress is False
+
+    def test_set_and_restore(self):
+        original = parallel.get_execution_config()
+        try:
+            updated = parallel.set_execution_config(jobs=4, cache=True)
+            assert updated.jobs == 4
+            assert parallel.get_execution_config().cache is True
+        finally:
+            parallel.set_execution_config(**vars(original))
+
+    def test_run_grid_reads_global_config(self, tmp_path):
+        original = parallel.get_execution_config()
+        try:
+            parallel.set_execution_config(jobs=1, cache=True,
+                                          cache_dir=str(tmp_path))
+            jobs = [single_flow_job("cubic", WIRED["wired-24"], seed=1,
+                                    duration=1.0)]
+            run_grid(jobs)
+            rerun = run_grid(jobs)
+            assert (tmp_path / next(tmp_path.iterdir()).name).exists()
+            assert rerun[0].utilization >= 0.0
+        finally:
+            parallel.set_execution_config(**vars(original))

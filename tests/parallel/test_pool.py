@@ -1,0 +1,160 @@
+"""Worker-pool behavior: ordering, fallback, timeout, retry, crash."""
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.parallel import (FlowSpec, Job, JobFailedError, ResultCache,
+                            ProgressReporter, has_fork, resolve_workers,
+                            run_jobs, single_flow_job)
+from repro.scenarios.presets import WIRED
+from repro.simnet.network import RunResult
+
+needs_fork = pytest.mark.skipif(not has_fork(),
+                                reason="platform lacks fork start method")
+
+
+def _jobs(n=3, duration=1.0):
+    ccas = ("cubic", "vegas", "bbr", "westwood", "reno")
+    return [single_flow_job(ccas[i % len(ccas)], WIRED["wired-24"],
+                            seed=i + 1, duration=duration) for i in range(n)]
+
+
+def _dummy_result() -> RunResult:
+    return RunResult(duration=1.0, flows=[], link_served_bytes=0.0,
+                     link_capacity_bytes=1.0, link_dropped_packets=0,
+                     link_random_drops=0)
+
+
+@dataclass(frozen=True)
+class _HangingJob(Job):
+    """Never returns; exercises the per-job timeout."""
+
+    def run(self) -> RunResult:
+        time.sleep(60.0)
+        return _dummy_result()  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class _CrashingJob(Job):
+    """Dies without delivering a result; always."""
+
+    def run(self) -> RunResult:
+        os._exit(13)
+
+
+@dataclass(frozen=True)
+class _FlakyJob(Job):
+    """Crashes until ``marker`` exists, then succeeds — retry succeeds."""
+
+    marker: str = ""
+
+    def run(self) -> RunResult:
+        if not os.path.exists(self.marker):
+            with open(self.marker, "w") as fh:
+                fh.write("crashed once")
+            os._exit(13)
+        return _dummy_result()
+
+
+@dataclass(frozen=True)
+class _RaisingJob(Job):
+    """Raises a deterministic Python error — must not be retried."""
+
+    def run(self) -> RunResult:
+        raise ValueError("deterministic failure")
+
+
+def _special(job_cls, **extra) -> Job:
+    return job_cls(scenario=WIRED["wired-24"],
+                   flows=(FlowSpec.make("cubic"),), seed=1, duration=1.0,
+                   **extra)
+
+
+class TestResolveWorkers:
+    def test_none_is_serial(self):
+        assert resolve_workers(None) == 1
+
+    def test_zero_is_cpu_count(self):
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestSerialPath:
+    def test_results_in_input_order(self):
+        jobs = _jobs(3)
+        results = run_jobs(jobs, workers=1)
+        assert len(results) == 3
+        for job, res in zip(jobs, results):
+            assert res.result.flows[0].flow_id == 0
+            assert res.cached is False
+            assert res.elapsed > 0.0
+
+    def test_serial_uses_cache(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        jobs = _jobs(2)
+        first = run_jobs(jobs, workers=1, cache=cache)
+        second = run_jobs(jobs, workers=1, cache=cache)
+        assert all(not r.cached for r in first)
+        assert all(r.cached for r in second)
+        assert second[0].result.flows[0].throughput_mbps == \
+            first[0].result.flows[0].throughput_mbps
+
+    def test_progress_counts(self):
+        progress = ProgressReporter(3, enabled=False)
+        run_jobs(_jobs(3), workers=1, progress=progress)
+        assert progress.done == 3
+        assert progress.executed == 3
+        assert progress.cache_hits == 0
+
+
+@needs_fork
+class TestParallelPath:
+    def test_matches_serial_exactly(self):
+        jobs = _jobs(4)
+        serial = run_jobs(jobs, workers=1)
+        parallel = run_jobs(jobs, workers=2)
+        for a, b in zip(serial, parallel):
+            assert a.result.utilization == b.result.utilization
+            assert a.result.flows[0].throughput_mbps == \
+                b.result.flows[0].throughput_mbps
+            assert a.result.flows[0].rtt_sum == b.result.flows[0].rtt_sum
+
+    def test_timeout_kills_and_fails_after_retries(self):
+        jobs = [_special(_HangingJob)]
+        t0 = time.monotonic()
+        with pytest.raises(JobFailedError, match="timed out"):
+            run_jobs(jobs, workers=2, timeout=1.0, retries=1)
+        assert time.monotonic() - t0 < 20.0  # two 1 s attempts, not 60 s
+
+    def test_crash_exhausts_retries(self):
+        with pytest.raises(JobFailedError, match="crashed"):
+            run_jobs([_special(_CrashingJob)], workers=2, retries=1)
+
+    def test_crash_retry_succeeds(self, tmp_path):
+        marker = str(tmp_path / "crashed-once")
+        jobs = [_special(_FlakyJob, marker=marker)]
+        results = run_jobs(jobs, workers=2, retries=1)
+        assert results[0].retries == 1
+        assert results[0].result.duration == 1.0
+
+    def test_deterministic_exception_not_retried(self, tmp_path):
+        with pytest.raises(JobFailedError, match="deterministic failure"):
+            run_jobs([_special(_RaisingJob)], workers=2, retries=5)
+
+    def test_healthy_jobs_finish_alongside_timeout(self):
+        jobs = _jobs(2) + [_special(_HangingJob)]
+        with pytest.raises(JobFailedError, match="timed out"):
+            run_jobs(jobs, workers=2, timeout=2.0, retries=0)
+
+    def test_parallel_populates_cache_for_serial(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        jobs = _jobs(3)
+        run_jobs(jobs, workers=2, cache=cache)
+        again = run_jobs(jobs, workers=1, cache=cache)
+        assert all(r.cached for r in again)

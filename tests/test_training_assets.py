@@ -1,9 +1,11 @@
 """Tests for policy training entry points and bundled assets."""
 
+import zipfile
+
 import numpy as np
 import pytest
 
-from repro.assets import POLICY_KINDS, load_policy
+from repro.assets import POLICY_KINDS, asset_path, load_policy
 from repro.env.features import Measurement, Normalizer
 from repro.training import (Eq1Reward, TRAIN_SPECS, make_training_env,
                             train_policy)
@@ -24,6 +26,38 @@ class TestAssets:
     def test_unknown_kind_rejected(self):
         with pytest.raises(KeyError):
             load_policy("gpt-cc")
+
+    def test_every_bundled_npz_is_a_valid_archive(self):
+        """Integrity: the shipped files are complete, loadable zips."""
+        for kind in POLICY_KINDS:
+            path = asset_path(kind)
+            assert zipfile.is_zipfile(path), f"{path} is not a zip archive"
+            with np.load(path) as archive:
+                assert len(archive.files) > 0
+                for name in archive.files:
+                    archive[name]  # decompresses; raises if truncated
+
+    def test_truncated_asset_gives_actionable_error(self, tmp_path,
+                                                    monkeypatch):
+        import repro.assets as assets
+
+        broken_dir = tmp_path / "assets"
+        broken_dir.mkdir()
+        with open(asset_path("libra"), "rb") as fh:
+            blob = fh.read()
+        with open(broken_dir / "libra.npz", "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        monkeypatch.setattr(assets, "_ASSET_DIR", str(broken_dir))
+        with pytest.raises(RuntimeError, match="train_policy.py --all"):
+            load_policy("libra", fresh=True)
+
+    def test_missing_asset_gives_actionable_error(self, tmp_path,
+                                                  monkeypatch):
+        import repro.assets as assets
+
+        monkeypatch.setattr(assets, "_ASSET_DIR", str(tmp_path))
+        with pytest.raises(FileNotFoundError, match="train_policy.py --all"):
+            load_policy("orca", fresh=True)
 
 
 class TestTrainingEnv:
