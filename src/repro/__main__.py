@@ -27,6 +27,7 @@ EXPERIMENT_MODULES = {
     "fig17": "deep_dive", "fig18": "deep_dive",
     "fig19": "sensitivity", "tab7": "sensitivity",
     "ablations": "ablations",
+    "stress": "stress",
 }
 
 

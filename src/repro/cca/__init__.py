@@ -5,7 +5,8 @@ as underlying components (CUBIC, BBR) and as baselines (NewReno, Vegas,
 Copa, Westwood+, Illinois, Sprout).
 """
 
-from .base import Controller, FixedRateController, RateController, WindowController
+from .base import (Controller, CrashTestController, FixedRateController,
+                   RateController, WindowController)
 from .bbr import Bbr
 from .copa import Copa
 from .cubic import Cubic
@@ -27,7 +28,7 @@ CLASSIC_CCAS = {
 }
 
 __all__ = [
-    "Bbr", "CLASSIC_CCAS", "Controller", "Copa", "Cubic",
-    "FixedRateController", "Illinois", "NewReno", "RateController",
+    "Bbr", "CLASSIC_CCAS", "Controller", "Copa", "CrashTestController",
+    "Cubic", "FixedRateController", "Illinois", "NewReno", "RateController",
     "Sprout", "Vegas", "Westwood", "WindowController",
 ]

@@ -109,6 +109,28 @@ class FixedRateController(Controller):
         return self._rate
 
 
+class CrashTestController(FixedRateController):
+    """Deliberately raises after ``crash_after`` ACKs.
+
+    Exists to exercise the sweep executor's failure path
+    (``on_error="collect"`` → :class:`~repro.parallel.FailedRun`) in CI
+    and tests without planting bugs in real controllers.
+    """
+
+    name = "crash-test"
+
+    def __init__(self, rate_bps: float = 5_000_000.0, crash_after: int = 10):
+        super().__init__(rate_bps)
+        self.crash_after = int(crash_after)
+        self._acks = 0
+
+    def on_ack(self, ack: AckSample) -> None:
+        self._acks += 1
+        if self._acks >= self.crash_after:
+            raise RuntimeError(
+                f"crash-test controller raised after {self._acks} ACKs")
+
+
 class WindowController(Controller):
     """Helper base for window-based classic CCAs.
 

@@ -37,6 +37,16 @@ class LibraConfig:
     #: evaluation order: "lower-first" (the paper's side-effect-minimizing
     #: choice, Sec. 4.1/Fig. 4) or "higher-first" (the ablation)
     eval_order: str = "lower-first"
+    # -- graceful degradation (extends the Sec. 3 no-ACK handling) --------
+    #: no-ACK watchdog: declare an outage after this many estimated RTTs
+    #: without any acknowledgement (RTO-style, floored at watchdog_min)
+    watchdog_rtts: float = 8.0
+    #: absolute floor of the watchdog timeout, seconds
+    watchdog_min: float = 0.5
+    #: first RL-arm disable period after a policy fault, seconds
+    #: (doubles per consecutive fault up to rl_backoff_max)
+    rl_backoff_initial: float = 1.0
+    rl_backoff_max: float = 30.0
 
     def __post_init__(self) -> None:
         if self.explore_rtts <= 0 or self.exploit_rtts <= 0 or self.ei_rtts <= 0:
@@ -47,6 +57,11 @@ class LibraConfig:
             raise ValueError("rl_history must be >= 1")
         if self.eval_order not in ("lower-first", "higher-first"):
             raise ValueError("eval_order must be 'lower-first' or 'higher-first'")
+        if self.watchdog_rtts <= 0 or self.watchdog_min <= 0:
+            raise ValueError("watchdog parameters must be positive")
+        if self.rl_backoff_initial <= 0 or \
+                self.rl_backoff_max < self.rl_backoff_initial:
+            raise ValueError("invalid RL backoff range")
 
 
 def cubic_config(**overrides) -> LibraConfig:

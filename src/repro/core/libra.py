@@ -19,11 +19,31 @@ Each control cycle:
 No-ACK handling follows Sec. 3: an exploration stage without feedback
 keeps ``x_rl`` unchanged; a candidate window without feedback cannot be
 evaluated, so the cycle falls back to ``x_prev``.
+
+Two graceful-degradation mechanisms extend that baseline for the
+pathological conditions of the stress experiments:
+
+- **Policy-fault guard** — DRL inference is wrapped; a raised exception
+  or a non-finite state/action disables the RL arm (logged once) and
+  re-enables it with exponential backoff
+  (``rl_backoff_initial`` … ``rl_backoff_max``).  While disabled, Libra
+  degrades to the classic-vs-``x_prev`` contest, i.e. behaviour stays
+  near the classic CCA exactly as Remark 7 promises.
+- **No-ACK watchdog** — an RTO-style outage detector: when no ACK
+  arrives for ``watchdog_rtts`` estimated RTTs the controller freezes
+  the stage machine, remembers ``x_prev`` and drops to a conservative
+  probe rate; the first ACK after the outage restores ``x_prev`` and
+  restarts a fresh cycle, so recovery is immediate once capacity
+  returns.
 """
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
+
+log = logging.getLogger(__name__)
 
 from ..cca.base import Controller
 from ..env.features import StateBuilder
@@ -95,6 +115,17 @@ class LibraController(Controller):
         self._last_winner = "cl"
         #: trace of (time, stage, rate) transitions for the deep-dive plots
         self.decision_log: list[tuple[float, str, float]] = []
+        # -- graceful degradation state ---------------------------------
+        self._last_ack_time = 0.0
+        self._outage = False
+        self._saved_x_prev = MIN_RATE
+        #: number of no-ACK outages the watchdog declared
+        self.outage_count = 0
+        self._rl_consecutive_faults = 0
+        self._rl_disabled_until = 0.0
+        self._rl_fault_logged = False
+        #: number of RL inference faults absorbed (exceptions/non-finite)
+        self.rl_fault_count = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -102,6 +133,7 @@ class LibraController(Controller):
         super().start(now, mss)
         self.classic.start(now, mss)
         self._start_time = now
+        self._last_ack_time = now
         self.stage = STARTUP
         self.stage_start = now
 
@@ -137,6 +169,8 @@ class LibraController(Controller):
 
     def _advance(self, now: float) -> None:
         """Run stage transitions due at time ``now``."""
+        if self._outage:
+            return  # stage machine is frozen until feedback returns
         while now - self.stage_start >= self._stage_duration():
             boundary = self.stage_start + self._stage_duration()
             if self.stage == STARTUP:
@@ -249,6 +283,9 @@ class LibraController(Controller):
     def on_ack(self, ack: AckSample) -> None:
         self.srtt = ack.srtt
         self.min_rtt = min(self.min_rtt, ack.min_rtt)
+        self._last_ack_time = ack.now
+        if self._outage:
+            self._recover_from_outage(ack.now)
         self._advance(ack.now)
         for window in self._windows.values():
             if window.contains(ack.sent_time):
@@ -281,6 +318,7 @@ class LibraController(Controller):
         return max(self.config.rl_interval_rtts * self._srtt(), 0.005)
 
     def on_interval(self, report: IntervalReport) -> None:
+        self._check_watchdog(report.now)
         self._advance(report.now)
         min_rtt = self.min_rtt if self.min_rtt < float("inf") else self._srtt()
         measurement = measurement_from_report(report, self.x_rl, min_rtt)
@@ -289,18 +327,89 @@ class LibraController(Controller):
             return
         if not report.has_feedback:
             return  # Sec. 3: no ACKs in exploration -> keep x_rl unchanged
-        action, _, _ = self.policy.act(self.builder.state(), self.rng,
-                                       deterministic=self.config.rl_deterministic)
+        if report.now < self._rl_disabled_until:
+            return  # RL arm disabled after a fault; backoff still running
+        try:
+            state = self.builder.state()
+            if not np.all(np.isfinite(state)):
+                raise FloatingPointError("non-finite policy input")
+            action, _, _ = self.policy.act(
+                state, self.rng, deterministic=self.config.rl_deterministic)
+            a = float(action[0])
+            if not np.isfinite(a):
+                raise FloatingPointError(f"non-finite policy action {a!r}")
+        except Exception as exc:  # noqa: BLE001 — any policy fault degrades
+            self._disable_rl_arm(report.now, exc)
+            return
+        self._rl_consecutive_faults = 0
         self.meter.count("nn_forward", self.policy.actor.flops_per_forward)
-        a = float(np.clip(action[0], -self.config.rl_action_scale,
+        a = float(np.clip(a, -self.config.rl_action_scale,
                           self.config.rl_action_scale))
         self.x_rl = self._clamp(self.x_rl * 2.0 ** a)
         self._rl_updated = True
         self._maybe_exit_explore(report.now)
 
+    # -- graceful degradation ---------------------------------------------
+
+    def rl_arm_disabled(self, now: float) -> bool:
+        """Whether the RL arm is currently benched by the fault backoff."""
+        return now < self._rl_disabled_until
+
+    def _disable_rl_arm(self, now: float, exc: Exception) -> None:
+        """Bench the RL arm; re-enable with exponential backoff."""
+        self.rl_fault_count += 1
+        self._rl_consecutive_faults += 1
+        backoff = min(
+            self.config.rl_backoff_initial
+            * 2.0 ** (self._rl_consecutive_faults - 1),
+            self.config.rl_backoff_max)
+        self._rl_disabled_until = now + backoff
+        if not self._rl_fault_logged:
+            self._rl_fault_logged = True
+            log.warning(
+                "libra: RL inference failed (%s); disabling the RL arm for "
+                "%.2fs (exponential backoff; further faults logged at DEBUG)",
+                exc, backoff)
+        else:
+            log.debug("libra: RL fault #%d (%s); arm disabled for %.2fs",
+                      self.rl_fault_count, exc, backoff)
+
+    def _watchdog_timeout(self) -> float:
+        """RTO-style no-ACK bound: generous multiples of srtt, floored so
+        low-rate flows (one MSS can take >100 ms at the probe floor) do
+        not self-trigger."""
+        packet_time = self.mss * 8.0 / max(self.pacing_rate(), MIN_RATE)
+        return max(self.config.watchdog_rtts * self._srtt(),
+                   self.config.watchdog_min, 4.0 * packet_time)
+
+    def _check_watchdog(self, now: float) -> None:
+        if self._outage or self.stage == STARTUP:
+            return
+        if now - self._last_ack_time < self._watchdog_timeout():
+            return
+        self._outage = True
+        self.outage_count += 1
+        self._saved_x_prev = self.x_prev
+        self._log(now)
+        log.debug("libra: no-ACK watchdog fired at t=%.3f (last ACK %.3f); "
+                  "probing conservatively", now, self._last_ack_time)
+
+    def _recover_from_outage(self, now: float) -> None:
+        """First ACK after an outage: restore the pre-outage base rate."""
+        self._outage = False
+        self.x_prev = self._rate_floor(self._saved_x_prev)
+        # Seed the classic CCA back at the restored rate (regardless of
+        # which candidate won last) and start a fresh cycle.
+        self._last_winner = "prev"
+        self._begin_cycle(now)
+
     # -- decisions ---------------------------------------------------------
 
     def pacing_rate(self) -> float:
+        if self._outage:
+            # Conservative probe during a detected outage: keep a trickle
+            # flowing so the first post-blackout ACK arrives promptly.
+            return MIN_RATE
         if self.stage in (STARTUP, EXPLORE):
             return self._rate_floor(self.classic.rate_estimate(self._srtt()))
         if self.stage == EVAL_LOW:
@@ -310,7 +419,7 @@ class LibraController(Controller):
         return self.x_prev
 
     def cwnd(self) -> float:
-        if self.stage in (STARTUP, EXPLORE):
+        if self.stage in (STARTUP, EXPLORE) and not self._outage:
             classic_cwnd = self.classic.cwnd()
             if classic_cwnd is not None:
                 return classic_cwnd

@@ -22,6 +22,11 @@ import numpy as np
 #: candidate identifiers in paper order
 CANDIDATES = ("i", "ii", "iii", "iv", "v", "vi", "vii", "viii", "ix")
 
+#: absolute bound on any feature component; measurements taken during a
+#: zero-rate interval (blackouts, ``queueing_delay() == inf``) or with no
+#: RTT samples can carry inf/NaN — policy inputs must stay finite
+FEATURE_CLIP = 10.0
+
 
 @dataclass(slots=True)
 class Measurement:
@@ -51,9 +56,11 @@ class Normalizer:
     def observe(self, m: Measurement) -> None:
         # Track the maximum *delivered* rate (the paper's x_max), not the
         # send rate: normalizing by one's own send rate would penalize
-        # probing above previous peaks.
-        self.max_rate = max(self.max_rate, m.throughput)
-        if m.min_rtt > 0:
+        # probing above previous peaks.  Non-finite samples (zero-rate
+        # intervals report inf delays) must not poison the running state.
+        if np.isfinite(m.throughput):
+            self.max_rate = max(self.max_rate, m.throughput)
+        if m.min_rtt > 0 and np.isfinite(m.min_rtt):
             self.min_delay = min(self.min_delay, m.min_rtt)
 
     def rate(self, bps: float) -> float:
@@ -108,7 +115,13 @@ class FeatureSet:
         values: list[float] = []
         for key in self.keys:
             values.extend(_candidate_values(key, m, norm))
-        return np.asarray(values, dtype=float)
+        # Clip to the finite feature range: measurements taken while the
+        # link rate is zero carry inf (and 0/0 gradients carry NaN), and
+        # a policy fed a non-finite state returns non-finite actions.
+        vec = np.asarray(values, dtype=float)
+        vec = np.nan_to_num(vec, nan=0.0, posinf=FEATURE_CLIP,
+                            neginf=-FEATURE_CLIP)
+        return np.clip(vec, -FEATURE_CLIP, FEATURE_CLIP)
 
     def plus(self, *keys: str) -> "FeatureSet":
         return FeatureSet([*self.keys, *keys])

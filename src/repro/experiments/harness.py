@@ -15,7 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import parallel
-from ..parallel import Job, JobResult, ProgressReporter, single_flow_job
+from ..parallel import (FailedRun, Job, JobResult, ProgressReporter, execute,
+                        single_flow_job)
 from ..scenarios.presets import Scenario
 from ..simnet.network import RunResult
 
@@ -32,6 +33,9 @@ class FlowSummary:
     p95_rtt_ms: float
     loss_rate: float
     result: RunResult
+
+    #: mirrored by FailedRun (True there) so mixed lists branch uniformly
+    failed = False
 
     @property
     def queue_delay_ms(self) -> float:
@@ -54,17 +58,27 @@ def summarize(cca: str, scenario_name: str, result: RunResult,
 
 
 def run_single(cca: str, scenario: Scenario, seed: int = 0,
-               duration: float | None = None, **cca_kwargs) -> FlowSummary:
-    """Run one flow of ``cca`` through ``scenario`` and summarize it."""
+               duration: float | None = None, strict: bool = True,
+               **cca_kwargs) -> FlowSummary | FailedRun:
+    """Run one flow of ``cca`` through ``scenario`` and summarize it.
+
+    With ``strict=False`` a controller/simulator exception is converted
+    into a structured :class:`~repro.parallel.FailedRun` instead of
+    propagating, so a sweep loop can note the failure and keep going.
+    """
     job = single_flow_job(cca, scenario, seed=seed, duration=duration,
                           **cca_kwargs)
-    return summarize(cca, scenario.name, job.run())
+    jr = execute(job, capture_errors=not strict)
+    if jr.failure is not None:
+        return jr.failure
+    return summarize(cca, scenario.name, jr.result)
 
 
 def run_job_grid(jobs: list[Job], workers: int | None = None,
                  cache=None, timeout: float | None = None,
                  retries: int | None = None, progress=None,
-                 label: str = "grid") -> list[JobResult]:
+                 label: str = "grid",
+                 on_error: str | None = None) -> list[JobResult]:
     """Execute a batch of jobs, in input order, through the sweep executor.
 
     Arguments left as ``None`` fall back to the process-wide
@@ -91,16 +105,28 @@ def run_job_grid(jobs: list[Job], workers: int | None = None,
     if isinstance(progress, bool):
         progress = ProgressReporter(len(jobs), label=label) if progress \
             else None
+    if on_error is None:
+        on_error = config.on_error
     return parallel.run_jobs(jobs, workers=workers, cache=cache,
                              timeout=timeout, retries=retries,
-                             progress=progress)
+                             progress=progress, on_error=on_error)
 
 
-def run_grid(jobs: list[Job], **execution) -> list[FlowSummary]:
-    """``run_job_grid`` for single-flow jobs, summarized per flow 0."""
+def run_grid(jobs: list[Job], **execution) -> list[FlowSummary | FailedRun]:
+    """``run_job_grid`` for single-flow jobs, summarized per flow 0.
+
+    Under ``on_error="collect"`` a failed job yields its
+    :class:`~repro.parallel.FailedRun` in place of a summary.
+    """
     results = run_job_grid(jobs, **execution)
-    return [summarize(job.flows[0].cca, job.scenario.name, jr.result)
-            for job, jr in zip(jobs, results)]
+    out: list[FlowSummary | FailedRun] = []
+    for job, jr in zip(jobs, results):
+        if jr.failure is not None:
+            out.append(jr.failure)
+        else:
+            out.append(summarize(job.flows[0].cca, job.scenario.name,
+                                 jr.result))
+    return out
 
 
 def run_seeds(cca: str, scenario: Scenario, seeds, duration: float | None = None,

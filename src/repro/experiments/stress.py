@@ -1,0 +1,175 @@
+"""Stress experiment: CCAs under injected network faults.
+
+Sweeps a CCA roster across the canned fault profiles
+(:data:`repro.simnet.faults.FAULT_PROFILES` plus a clean baseline) on
+the 40 Mbps / 60 ms stress link and reports, per (profile, CCA):
+
+- overall link utilization (against the capacity that actually existed —
+  blackout windows are excluded from the denominator),
+- goodput while any fault was active (``impairment_windows``),
+- recovery time after each blackout: how long past capacity restoration
+  until a 0.5 s sliding window of served bytes reaches 80 % of link
+  capacity,
+- failures, collected as structured ``FailedRun`` entries instead of
+  aborting the sweep (``on_error="collect"``).
+
+``main()`` ends with a self-test that runs the deliberately-crashing
+``crash-test`` controller and asserts the failure surfaces as a
+:class:`~repro.parallel.FailedRun` — the degradation path stays
+exercised on every CI run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel import FailedRun, single_flow_job
+from ..scenarios.presets import (STRESS_BW_MBPS, STRESS_DURATION,
+                                 stress_scenario)
+from ..simnet.faults import FAULT_PROFILES
+from .harness import format_table, run_grid, run_single
+
+STRESS_CCAS = ("cubic", "bbr", "c-libra", "b-libra")
+STRESS_PROFILES = ("clean",) + tuple(sorted(FAULT_PROFILES))
+
+#: sliding-window parameters for blackout recovery detection
+RECOVERY_WINDOW = 0.5
+RECOVERY_THRESHOLD = 0.8
+
+
+def recovery_time(result, blackout, capacity_bps: float,
+                  window: float = RECOVERY_WINDOW,
+                  threshold: float = RECOVERY_THRESHOLD) -> float | None:
+    """Seconds past ``blackout.end`` until throughput recovers.
+
+    Recovery = the first ``t >= blackout.end`` where the served bytes in
+    ``[t, t + window]`` reach ``threshold`` of the link capacity for that
+    window.  Returns ``None`` if the run never recovers before the end.
+    """
+    need = threshold * capacity_bps * window / 8.0
+    t = blackout.end
+    step = window / 10.0
+    while t + window <= result.duration + 1e-9:
+        if result.served_bytes_between(t, t + window) >= need:
+            return t - blackout.end
+        t += step
+    return None
+
+
+def _impaired_goodput_mbps(result, schedule) -> float | None:
+    """Mean goodput (Mbps) inside the schedule's impairment windows."""
+    windows = schedule.impairment_windows(result.duration)
+    total_time = sum(end - start for start, end in windows)
+    if total_time <= 0:
+        return None
+    served = sum(result.served_bytes_between(start, end)
+                 for start, end in windows)
+    return served * 8.0 / total_time / 1e6
+
+
+def run_stress(ccas=STRESS_CCAS, profiles=STRESS_PROFILES, seeds=(1, 2),
+               duration: float = STRESS_DURATION) -> dict:
+    """Sweep ``ccas`` × ``profiles`` × ``seeds``; aggregate per cell.
+
+    Returns ``{profile: {cca: row}}`` where ``row`` has ``utilization``,
+    ``impaired_goodput_mbps``, ``recovery_s`` (each ``None`` when not
+    applicable), ``failures`` (list of :class:`FailedRun`), and ``runs``
+    (count of successful runs).
+    """
+    jobs, meta = [], []
+    scenarios = {p: stress_scenario(p) for p in profiles}
+    for profile in profiles:
+        for cca in ccas:
+            for seed in seeds:
+                jobs.append(single_flow_job(cca, scenarios[profile],
+                                            seed=seed, duration=duration))
+                meta.append((profile, cca))
+    summaries = run_grid(jobs, on_error="collect", label="stress")
+
+    cells: dict[tuple[str, str], dict] = {
+        (p, c): {"utils": [], "goodputs": [], "recoveries": [],
+                 "failures": []}
+        for p in profiles for c in ccas}
+    for (profile, cca), summary in zip(meta, summaries):
+        cell = cells[(profile, cca)]
+        if summary.failed:
+            cell["failures"].append(summary)
+            continue
+        result = summary.result
+        cell["utils"].append(summary.utilization)
+        schedule = scenarios[profile].faults
+        if schedule is not None:
+            goodput = _impaired_goodput_mbps(result, schedule)
+            if goodput is not None:
+                cell["goodputs"].append(goodput)
+            for blackout in schedule.blackouts:
+                rec = recovery_time(result, blackout,
+                                    STRESS_BW_MBPS * 1e6)
+                cell["recoveries"].append(
+                    rec if rec is not None else float("inf"))
+
+    out: dict[str, dict[str, dict]] = {}
+    for profile in profiles:
+        per_cca = {}
+        for cca in ccas:
+            cell = cells[(profile, cca)]
+            per_cca[cca] = {
+                "utilization": float(np.mean(cell["utils"]))
+                if cell["utils"] else None,
+                "impaired_goodput_mbps": float(np.mean(cell["goodputs"]))
+                if cell["goodputs"] else None,
+                "recovery_s": float(np.mean(cell["recoveries"]))
+                if cell["recoveries"] else None,
+                "failures": cell["failures"],
+                "runs": len(cell["utils"]),
+            }
+        out[profile] = per_cca
+    return out
+
+
+def run_failure_selftest() -> FailedRun:
+    """Prove the collection path works: run a controller that raises.
+
+    Returns the captured :class:`FailedRun`; raises ``AssertionError``
+    if the failure did not surface structurally.
+    """
+    summary = run_single("crash-test", stress_scenario("clean"), seed=1,
+                         duration=2.0, strict=False, crash_after=5)
+    assert isinstance(summary, FailedRun), \
+        f"expected a FailedRun, got {type(summary).__name__}"
+    assert "crash-test controller raised" in summary.error, summary.error
+    return summary
+
+
+def _fmt(value, suffix: str = "") -> str:
+    if value is None:
+        return "-"
+    if value == float("inf"):
+        return "never"
+    return f"{value:.3f}{suffix}"
+
+
+def main() -> None:
+    data = run_stress()
+    rows = []
+    for profile, per_cca in data.items():
+        for cca, row in per_cca.items():
+            failures = len(row["failures"])
+            rows.append([profile, cca, _fmt(row["utilization"]),
+                         _fmt(row["impaired_goodput_mbps"]),
+                         _fmt(row["recovery_s"]),
+                         str(failures) if failures else "0"])
+    print(format_table(
+        ["profile", "cca", "util", "impaired Mbps", "recovery s", "failed"],
+        rows, title="Stress: CCAs under injected faults "
+                    f"({STRESS_BW_MBPS:.0f} Mbps / 60 ms)"))
+    for profile, per_cca in data.items():
+        for cca, row in per_cca.items():
+            for failure in row["failures"]:
+                print(f"  {failure}")
+    failed = run_failure_selftest()
+    print(f"failure-collection selftest: captured {failed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,16 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from .cache import CACHE_DIR_ENV, ResultCache, code_salt, default_cache_dir, job_key
-from .jobs import FlowSpec, Job, JobResult, canonical_spec, execute, single_flow_job
+from .jobs import (FailedRun, FlowSpec, Job, JobResult, canonical_spec,
+                   execute, single_flow_job)
 from .pool import JobFailedError, has_fork, resolve_workers, run_jobs
 from .progress import ProgressReporter
 
 __all__ = [
-    "CACHE_DIR_ENV", "ExecutionConfig", "FlowSpec", "Job", "JobFailedError",
-    "JobResult", "ProgressReporter", "ResultCache", "canonical_spec",
-    "code_salt", "default_cache_dir", "execute", "get_execution_config",
-    "has_fork", "job_key", "resolve_workers", "run_jobs",
-    "set_execution_config", "single_flow_job",
+    "CACHE_DIR_ENV", "ExecutionConfig", "FailedRun", "FlowSpec", "Job",
+    "JobFailedError", "JobResult", "ProgressReporter", "ResultCache",
+    "canonical_spec", "code_salt", "default_cache_dir", "execute",
+    "get_execution_config", "has_fork", "job_key", "resolve_workers",
+    "run_jobs", "set_execution_config", "single_flow_job",
 ]
 
 
@@ -42,6 +43,7 @@ class ExecutionConfig:
     timeout: float | None = None   # per-attempt wall-time bound (seconds)
     retries: int = 1
     progress: bool = False
+    on_error: str = "raise"        # "raise" aborts, "collect" → FailedRun
 
 
 _config = ExecutionConfig()

@@ -88,19 +88,71 @@ def single_flow_job(cca: str, scenario: Scenario, seed: int = 0,
 
 
 @dataclass
-class JobResult:
-    """What comes back for one job: the run plus execution metadata."""
+class FailedRun:
+    """Structured summary of a job that raised instead of finishing.
 
-    result: RunResult
+    Under ``on_error="collect"`` (the stress experiment's mode) a
+    controller or simulator exception becomes one of these in the result
+    list instead of killing the whole sweep; ``cca``/``scenario``/``seed``
+    identify the run, ``error`` holds ``repr(exc)`` and ``traceback`` the
+    formatted stack from the process that ran it.
+    """
+
+    cca: str
+    scenario: str
+    seed: int
+    error: str
+    traceback: str = ""
+
+    #: sentinel mirrored by FlowSummary so tables can branch uniformly
+    failed = True
+
+    @classmethod
+    def from_job(cls, job: Job, exc: BaseException,
+                 tb: str = "") -> "FailedRun":
+        return cls(cca="+".join(flow.cca for flow in job.flows),
+                   scenario=job.scenario.name, seed=job.seed,
+                   error=repr(exc), traceback=tb)
+
+    def __str__(self) -> str:
+        return (f"FAILED {self.cca} @ {self.scenario} seed={self.seed}: "
+                f"{self.error}")
+
+
+@dataclass
+class JobResult:
+    """What comes back for one job: the run plus execution metadata.
+
+    Exactly one of ``result`` and ``failure`` is set: a job that raised
+    under error collection carries a :class:`FailedRun` instead of a
+    :class:`RunResult`.
+    """
+
+    result: RunResult | None
     elapsed: float = 0.0          # simulation wall-time in the worker
     cached: bool = False          # served from the result cache
     retries: int = 0              # crashed/timed-out attempts before success
+    failure: FailedRun | None = None
 
 
-def execute(job: Job) -> JobResult:
-    """Run a job and wrap the result with its timing."""
+def execute(job: Job, capture_errors: bool = False) -> JobResult:
+    """Run a job and wrap the result with its timing.
+
+    With ``capture_errors`` a raising job yields a :class:`JobResult`
+    whose ``failure`` holds the structured :class:`FailedRun` instead of
+    propagating — sweeps keep going past one bad run.
+    """
     t0 = time.perf_counter()
-    result = job.run()
+    try:
+        result = job.run()
+    except Exception as exc:
+        if not capture_errors:
+            raise
+        import traceback as _traceback
+
+        return JobResult(result=None, elapsed=time.perf_counter() - t0,
+                         failure=FailedRun.from_job(
+                             job, exc, _traceback.format_exc()))
     return JobResult(result=result, elapsed=time.perf_counter() - t0)
 
 

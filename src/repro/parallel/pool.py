@@ -10,7 +10,10 @@ the two failure modes a long sweep actually hits):
   up to ``retries`` times before the sweep fails.
 
 A Python exception inside a job is *not* retried — it is deterministic
-— and surfaces as :class:`JobFailedError` with the child's traceback.
+— and surfaces as :class:`JobFailedError` with the child's traceback,
+or, under ``on_error="collect"``, as a structured
+:class:`~repro.parallel.jobs.FailedRun` in the job's result slot so one
+pathological run cannot kill a whole sweep.
 
 When ``workers <= 1`` or the platform lacks ``fork`` (Windows, some
 macOS configurations), execution falls back to the in-process serial
@@ -74,7 +77,9 @@ def resolve_workers(jobs: int | None) -> int:
 
 def _child_main(job: Job, conn) -> None:
     try:
-        payload = execute(job)
+        # Always capture plain exceptions into the JobResult; the parent
+        # decides whether to raise or collect them.
+        payload = execute(job, capture_errors=True)
     except BaseException as exc:  # noqa: BLE001 — report, parent decides
         import traceback
 
@@ -98,14 +103,21 @@ def _prewarm_assets() -> None:
 
 def run_jobs(jobs, workers: int | None = 1, cache: ResultCache | None = None,
              timeout: float | None = None, retries: int = 1,
-             progress: ProgressReporter | None = None) -> list[JobResult]:
+             progress: ProgressReporter | None = None,
+             on_error: str = "raise") -> list[JobResult]:
     """Execute ``jobs`` and return their results in input order.
 
     ``cache`` short-circuits jobs whose content address already has a
     stored result and records fresh results on the way out.  ``timeout``
     bounds one attempt's wall-time (parallel mode only).  ``retries`` is
     the number of *additional* attempts after a crash or timeout.
+    ``on_error`` selects what a job's Python exception does: ``"raise"``
+    aborts the sweep with :class:`JobFailedError`; ``"collect"`` stores a
+    :class:`~repro.parallel.jobs.FailedRun` in the job's ``failure`` slot
+    and keeps going (failures are never cached).
     """
+    if on_error not in ("raise", "collect"):
+        raise ValueError("on_error must be 'raise' or 'collect'")
     jobs = list(jobs)
     results: list[JobResult | None] = [None] * len(jobs)
     pending: deque[tuple[int, int]] = deque()  # (job index, failed attempts)
@@ -124,10 +136,10 @@ def run_jobs(jobs, workers: int | None = 1, cache: ResultCache | None = None,
 
     workers = resolve_workers(workers)
     if workers <= 1 or not has_fork():
-        _run_serial(jobs, pending, results, cache, progress)
+        _run_serial(jobs, pending, results, cache, progress, on_error)
     else:
         _run_parallel(jobs, pending, results, workers, cache, timeout,
-                      retries, progress)
+                      retries, progress, on_error)
     return results  # type: ignore[return-value]
 
 
@@ -135,20 +147,21 @@ def _finish(index: int, job: Job, result: JobResult, results: list,
             cache: ResultCache | None,
             progress: ProgressReporter | None) -> None:
     results[index] = result
-    if cache is not None:
+    if cache is not None and result.failure is None:
         cache.put(job, result)
     if progress is not None:
-        progress.update(cached=False, retries=result.retries)
+        progress.update(cached=False, retries=result.retries,
+                        failed=result.failure is not None)
 
 
-def _run_serial(jobs, pending, results, cache, progress) -> None:
+def _run_serial(jobs, pending, results, cache, progress, on_error) -> None:
     for index, _attempts in pending:
-        _finish(index, jobs[index], execute(jobs[index]), results, cache,
-                progress)
+        result = execute(jobs[index], capture_errors=(on_error == "collect"))
+        _finish(index, jobs[index], result, results, cache, progress)
 
 
 def _run_parallel(jobs, pending, results, workers, cache, timeout, retries,
-                  progress) -> None:
+                  progress, on_error) -> None:
     ctx = mp.get_context("fork")
     _prewarm_assets()
     running: dict = {}  # parent connection -> _Running
@@ -202,6 +215,11 @@ def _run_parallel(jobs, pending, results, workers, cache, timeout, retries,
                 if isinstance(payload, JobResult):
                     payload.retries = slot.attempts
                     reap(conn, slot)
+                    if payload.failure is not None and on_error == "raise":
+                        raise JobFailedError(
+                            f"job {slot.index} ({_describe(slot.job)}) raised "
+                            f"{payload.failure.error}\n"
+                            f"{payload.failure.traceback}")
                     _finish(slot.index, slot.job, payload, results, cache,
                             progress)
                 elif isinstance(payload, _ChildError):

@@ -27,6 +27,7 @@ class ProgressReporter:
         self.cache_hits = 0
         self.executed = 0
         self.retries = 0
+        self.failures = 0
         self._start = time.perf_counter()
         self._last_emit = 0.0
 
@@ -38,7 +39,8 @@ class ProgressReporter:
     def hit_rate(self) -> float:
         return self.cache_hits / self.done if self.done else 0.0
 
-    def update(self, *, cached: bool = False, retries: int = 0) -> None:
+    def update(self, *, cached: bool = False, retries: int = 0,
+               failed: bool = False) -> None:
         """Record one finished job and maybe emit a progress line."""
         self.done += 1
         if cached:
@@ -46,6 +48,8 @@ class ProgressReporter:
         else:
             self.executed += 1
         self.retries += retries
+        if failed:
+            self.failures += 1
         now = time.perf_counter()
         if self.done == self.total or now - self._last_emit >= self.interval:
             self._last_emit = now
@@ -57,12 +61,16 @@ class ProgressReporter:
                  f"{self.wall_time:.1f}s"]
         if self.retries:
             parts.insert(2, f"{self.retries} retries")
+        if self.failures:
+            parts.insert(2, f"{self.failures} FAILED")
         return f"[{self.label}] " + ", ".join(parts)
 
     def summary(self) -> str:
+        failed = f", {self.failures} FAILED" if self.failures else ""
         return (f"[{self.label}] finished {self.done}/{self.total} jobs in "
                 f"{self.wall_time:.1f}s ({self.executed} executed, "
-                f"{self.cache_hits} from cache, {self.hit_rate:.0%} hit rate)")
+                f"{self.cache_hits} from cache, {self.hit_rate:.0%} hit rate"
+                f"{failed})")
 
     def finish(self) -> str:
         line = self.summary()

@@ -9,8 +9,8 @@ from __future__ import annotations
 
 from typing import Callable
 
-from .cca import (Bbr, Controller, Copa, Cubic, Illinois, NewReno, Sprout,
-                  Vegas, Westwood)
+from .cca import (Bbr, Controller, Copa, CrashTestController, Cubic, Illinois,
+                  NewReno, Sprout, Vegas, Westwood)
 from .core.factory import make_b_libra, make_c_libra, make_clean_slate
 from .learning import Aurora, Indigo, ModifiedRL, Orca, Proteus, Remy, Vivace
 
@@ -74,6 +74,10 @@ REGISTRY: dict[str, Callable[..., Controller]] = {
     "vivace": _vivace,
     "proteus": _proteus,
     "modified-rl": _modified_rl,
+    # fault-path fixture (raises after N ACKs; see CrashTestController)
+    "crash-test": lambda seed=0, **kwargs: CrashTestController(
+        **{k: v for k, v in kwargs.items()
+           if k in ("rate_bps", "crash_after")}),
     # Libra family
     "c-libra": _c_libra,
     "b-libra": _b_libra,

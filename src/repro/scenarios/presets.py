@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
+from ..simnet.faults import FAULT_PROFILES, FaultSchedule
 from ..simnet.network import Dumbbell
 from ..simnet.trace import (ConstantTrace, PiecewiseTrace, Trace, lte_trace,
                             step_trace, wired_trace)
@@ -30,7 +31,10 @@ class Scenario:
 
     Trace factories are dataclass callables (below) rather than lambdas
     so a Scenario pickles across process boundaries and canonicalizes to
-    a stable cache key (see :mod:`repro.parallel`).
+    a stable cache key (see :mod:`repro.parallel`).  ``faults`` attaches
+    a deterministic :class:`~repro.simnet.faults.FaultSchedule`; being a
+    Scenario field, it is part of that cache key, so changing the fault
+    profile invalidates cached results automatically.
     """
 
     name: str
@@ -41,6 +45,7 @@ class Scenario:
     default_duration: float = 20.0
     mss: int = 1500
     aqm: str = "droptail"
+    faults: FaultSchedule | None = None
 
     def trace(self, seed: int = 0) -> Trace:
         return self.trace_factory(seed)
@@ -49,7 +54,7 @@ class Scenario:
         """Construct the dumbbell network for this scenario."""
         return Dumbbell(self.trace(seed), buffer_bytes=self.buffer_bytes,
                         rtt=self.rtt, loss_rate=self.loss_rate, seed=seed,
-                        mss=self.mss, aqm=self.aqm)
+                        mss=self.mss, aqm=self.aqm, faults=self.faults)
 
     def with_(self, **changes) -> "Scenario":
         return replace(self, **changes)
@@ -209,6 +214,40 @@ INTERNET: dict[str, Scenario] = {
         rtt=ms(40), buffer_bytes=mbps(80.0) * ms(40) / 8.0,
         loss_rate=0.001, default_duration=30.0),
 }
+
+
+# -- stress / fault injection ----------------------------------------------
+
+#: base link for the stress experiment: enough headroom that fault effects
+#: dominate, shallow enough that recovery behaviour is visible
+STRESS_BW_MBPS = 40.0
+STRESS_RTT = ms(60)
+STRESS_DURATION = 14.0
+
+
+def stress_scenario(profile: str | FaultSchedule | None) -> Scenario:
+    """A 40 Mbps / 60 ms / 1.5 BDP link under one fault profile.
+
+    ``profile`` is a name from
+    :data:`repro.simnet.faults.FAULT_PROFILES`, an explicit
+    :class:`~repro.simnet.faults.FaultSchedule`, or ``None``/"clean" for
+    the unimpaired baseline.
+    """
+    if isinstance(profile, FaultSchedule):
+        schedule = profile
+    elif profile is None or profile == "clean":
+        schedule = None
+    else:
+        if profile not in FAULT_PROFILES:
+            raise KeyError(f"unknown fault profile {profile!r}; choose from "
+                           f"{sorted(FAULT_PROFILES)} or 'clean'")
+        schedule = FAULT_PROFILES[profile]
+    name = schedule.name if schedule is not None else "clean"
+    bdp = mbps(STRESS_BW_MBPS) * STRESS_RTT / 8.0
+    return Scenario(name=f"stress-{name}",
+                    trace_factory=_const(STRESS_BW_MBPS),
+                    rtt=STRESS_RTT, buffer_bytes=1.5 * bdp,
+                    default_duration=STRESS_DURATION, faults=schedule)
 
 
 def rl_default_scenario() -> Scenario:

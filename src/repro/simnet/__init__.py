@@ -9,6 +9,8 @@ monitoring.  See DESIGN.md for the substitution rationale.
 from .endpoint import FlowStats, Receiver, Sender
 from .engine import EventLoop, Timer
 from .codel import CoDelQueue
+from .faults import (FAULT_PROFILES, AckFault, Blackout, BurstLoss, DelaySpike,
+                     FaultInjector, FaultSchedule, FaultedTrace, Reorder)
 from .link import BottleneckLink
 from .mahimahi import load_mahimahi, parse_mahimahi, save_mahimahi, to_mahimahi
 from .network import Dumbbell, RunResult
@@ -18,9 +20,11 @@ from .trace import (ConstantTrace, PiecewiseTrace, Trace, lte_trace,
                     step_trace, wired_trace)
 
 __all__ = [
-    "Ack", "AckSample", "BottleneckLink", "CoDelQueue", "ConstantTrace",
-    "DropTailQueue", "load_mahimahi", "parse_mahimahi", "save_mahimahi",
-    "to_mahimahi",
+    "Ack", "AckFault", "AckSample", "Blackout", "BottleneckLink", "BurstLoss",
+    "CoDelQueue", "ConstantTrace", "DelaySpike", "DropTailQueue",
+    "FAULT_PROFILES", "FaultInjector", "FaultSchedule", "FaultedTrace",
+    "Reorder",
+    "load_mahimahi", "parse_mahimahi", "save_mahimahi", "to_mahimahi",
     "Dumbbell", "EventLoop", "FlowStats", "IntervalReport", "LossSample",
     "Packet", "PiecewiseTrace", "Receiver", "RunResult", "Sender", "Timer",
     "Trace", "lte_trace", "step_trace", "wired_trace",

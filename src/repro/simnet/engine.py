@@ -16,15 +16,20 @@ from typing import Callable
 class Timer:
     """Handle for a scheduled event; ``cancel()`` prevents it from firing."""
 
-    __slots__ = ("time", "fn", "cancelled")
+    __slots__ = ("time", "fn", "cancelled", "_loop")
 
-    def __init__(self, time: float, fn: Callable[[], None]):
+    def __init__(self, time: float, fn: Callable[[], None],
+                 loop: "EventLoop | None" = None):
         self.time = time
         self.fn = fn
         self.cancelled = False
+        self._loop = loop
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._loop is not None:
+                self._loop._note_cancel()
 
 
 class EventLoop:
@@ -38,10 +43,16 @@ class EventLoop:
     [1.0]
     """
 
+    #: lazy deletion is compacted once this many cancelled entries exist
+    #: AND they outnumber the live ones (long runs with many RTO
+    #: reschedules would otherwise grow the heap unboundedly)
+    COMPACT_THRESHOLD = 64
+
     def __init__(self) -> None:
         self.now = 0.0
         self._heap: list[tuple[float, int, Timer]] = []
         self._seq = itertools.count()
+        self._cancelled = 0
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Timer:
         """Schedule ``fn`` to run ``delay`` seconds from now."""
@@ -53,9 +64,21 @@ class EventLoop:
         """Schedule ``fn`` at absolute simulation time ``time``."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        timer = Timer(time, fn)
+        timer = Timer(time, fn, self)
         heapq.heappush(self._heap, (time, next(self._seq), timer))
         return timer
+
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if self._cancelled >= self.COMPACT_THRESHOLD and \
+                self._cancelled * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify."""
+        self._heap = [e for e in self._heap if not e[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def run_until(self, end_time: float) -> None:
         """Process events in order until ``end_time`` (inclusive)."""
@@ -63,20 +86,23 @@ class EventLoop:
         while heap and heap[0][0] <= end_time:
             time, _, timer = heapq.heappop(heap)
             if timer.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = time
             timer.fn()
+            heap = self._heap  # _compact may have replaced the list
         if self.now < end_time:
             self.now = end_time
 
     def run_all(self, max_events: int = 10_000_000) -> None:
         """Drain the event queue completely (bounded by ``max_events``)."""
-        heap = self._heap
         for _ in range(max_events):
+            heap = self._heap
             if not heap:
                 return
             time, _, timer = heapq.heappop(heap)
             if timer.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = time
             timer.fn()

@@ -1,0 +1,377 @@
+"""Deterministic network fault injection.
+
+Mazilu et al. ("Learning-Based vs Human-Derived Congestion Control")
+show learned CCAs degrade precisely under conditions a clean emulator
+never produces: link outages, bursty loss, delay spikes, packet
+reordering and ACK-path impairment.  This module makes those conditions
+first-class, composable and reproducible:
+
+- :class:`FaultSchedule` is a frozen, picklable description of every
+  fault applied to one run.  It rides inside a
+  :class:`~repro.scenarios.presets.Scenario`, so the content-addressed
+  result cache keys it automatically — the same fault profile hits, a
+  changed one misses.
+- :class:`FaultedTrace` wraps any :class:`~repro.simnet.trace.Trace`
+  with capacity→0 blackout windows; the service-process math
+  (``time_to_send`` / ``capacity_bytes``) integrates around them, so
+  utilization is always measured against the capacity that actually
+  existed.
+- :class:`FaultInjector` holds the per-run mutable state (seeded RNG,
+  Gilbert–Elliott channel state) and exposes the thin hooks
+  :class:`~repro.simnet.link.BottleneckLink` and
+  :class:`~repro.simnet.network.Dumbbell` call on the data and ACK
+  paths.
+
+Two runs with the same schedule and seed are bit-identical; faults are
+a pure function of (schedule, seed, packet sequence).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import Trace
+
+
+def _window_active(now: float, start: float, stop: float | None) -> bool:
+    return now >= start and (stop is None or now < stop)
+
+
+@dataclass(frozen=True)
+class Blackout:
+    """Total link outage: capacity drops to zero in ``[start, start+duration)``."""
+
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("blackout start must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("blackout duration must be positive")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """Extra one-way delay on every delivery inside ``[start, start+duration)``.
+
+    ``extra`` is added deterministically; ``jitter`` adds a uniform
+    ``[0, jitter)`` per-packet component on top (seeded, so still
+    reproducible).
+    """
+
+    start: float
+    duration: float
+    extra: float
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("spike duration must be positive")
+        if self.extra < 0 or self.jitter < 0:
+            raise ValueError("delays must be non-negative")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class BurstLoss:
+    """Gilbert–Elliott two-state burst loss on the data path.
+
+    The channel moves good→bad with probability ``p_enter`` and bad→good
+    with ``p_exit`` per arriving packet; packets are dropped with
+    ``loss_good`` / ``loss_bad`` in the respective state.  Defaults give
+    ~1 burst per 100 packets lasting ~5 packets at 50 % loss.
+    """
+
+    p_enter: float = 0.01
+    p_exit: float = 0.2
+    loss_good: float = 0.0
+    loss_bad: float = 0.5
+    start: float = 0.0
+    stop: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("p_enter", "p_exit", "loss_good", "loss_bad"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p!r}")
+
+
+@dataclass(frozen=True)
+class Reorder:
+    """Packet reordering: hold a packet back so later ones overtake it.
+
+    Each delivered packet is independently selected with ``probability``
+    and delayed by an extra ``extra`` seconds, which makes the sender's
+    reorder-threshold loss detector see transient holes.
+    """
+
+    probability: float
+    extra: float
+    start: float = 0.0
+    stop: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.extra <= 0:
+            raise ValueError("reorder extra delay must be positive")
+
+
+@dataclass(frozen=True)
+class AckFault:
+    """ACK-path impairment: Bernoulli ACK loss and/or ACK compression.
+
+    ``compression`` quantizes ACK arrival times at the sender to
+    multiples of the given quantum, so ACKs inside one quantum arrive
+    back-to-back — the classic ACK-compression pattern that breaks
+    ACK-clocked rate estimators.
+    """
+
+    loss: float = 0.0
+    compression: float = 0.0
+    start: float = 0.0
+    stop: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError("ack loss must be in [0, 1)")
+        if self.compression < 0:
+            raise ValueError("compression quantum must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Composable, seeded description of every fault applied to a run.
+
+    A frozen dataclass tree of plain floats, so it pickles across the
+    worker pool and canonicalizes to a stable cache key via
+    :func:`repro.parallel.jobs.canonical_spec`.  ``seed`` decouples the
+    fault randomness (burst loss, jitter, reordering, ACK loss) from the
+    network seed: sweeping network seeds under one fault realization and
+    vice versa are both expressible.
+    """
+
+    name: str = "custom"
+    blackouts: tuple[Blackout, ...] = ()
+    delay_spikes: tuple[DelaySpike, ...] = ()
+    burst_loss: BurstLoss | None = None
+    reorder: Reorder | None = None
+    ack: AckFault | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Tolerate lists at construction; store canonical tuples.
+        object.__setattr__(self, "blackouts", tuple(self.blackouts))
+        object.__setattr__(self, "delay_spikes", tuple(self.delay_spikes))
+
+    @property
+    def active(self) -> bool:
+        return bool(self.blackouts or self.delay_spikes or self.burst_loss
+                    or self.reorder or self.ack)
+
+    def impairment_windows(self, duration: float) -> list[tuple[float, float]]:
+        """Merged ``[start, end)`` windows in which any fault is active."""
+        spans: list[tuple[float, float]] = []
+        for b in self.blackouts:
+            spans.append((b.start, min(b.end, duration)))
+        for s in self.delay_spikes:
+            spans.append((s.start, min(s.end, duration)))
+        for f in (self.burst_loss, self.reorder, self.ack):
+            if f is not None:
+                spans.append((f.start, duration if f.stop is None
+                              else min(f.stop, duration)))
+        return _merge_spans([s for s in spans if s[1] > s[0]])
+
+
+def _merge_spans(spans: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(spans):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+class FaultedTrace(Trace):
+    """A trace with capacity forced to zero inside blackout windows.
+
+    Delegates to the base trace elsewhere; ``time_to_send`` walks across
+    blackouts (a packet mid-service simply waits them out) and
+    ``capacity_bytes`` excludes them, so utilization denominators only
+    count capacity that was actually available.
+    """
+
+    def __init__(self, base: Trace, blackouts):
+        self.base = base
+        self.blackouts = tuple(_merge_spans([(b.start, b.end)
+                                             for b in blackouts]))
+        self._starts = [s for s, _ in self.blackouts]
+
+    def _blackout_at(self, t: float) -> tuple[float, float] | None:
+        idx = bisect.bisect_right(self._starts, t) - 1
+        if idx >= 0 and t < self.blackouts[idx][1]:
+            return self.blackouts[idx]
+        return None
+
+    def rate_at(self, t: float) -> float:
+        if self._blackout_at(t) is not None:
+            return 0.0
+        return self.base.rate_at(t)
+
+    def capacity_bytes(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        total = self.base.capacity_bytes(t0, t1)
+        for start, end in self.blackouts:
+            lo, hi = max(t0, start), min(t1, end)
+            if hi > lo:
+                total -= self.base.capacity_bytes(lo, hi)
+        return max(total, 0.0)
+
+    def time_to_send(self, t: float, nbytes: float) -> float:
+        if nbytes <= 0:
+            return 0.0
+        t0 = max(t, 0.0)
+        cur = t0
+        remaining = nbytes
+        for start, end in self.blackouts:
+            if end <= cur:
+                continue
+            if cur >= start:          # mid-blackout: wait it out
+                cur = end
+                continue
+            window = self.base.capacity_bytes(cur, start)
+            if window >= remaining:
+                return cur - t0 + self.base.time_to_send(cur, remaining)
+            remaining -= window
+            cur = end
+        return cur - t0 + self.base.time_to_send(cur, remaining)
+
+    def __repr__(self) -> str:
+        return f"FaultedTrace({self.base!r}, {len(self.blackouts)} blackouts)"
+
+
+class FaultInjector:
+    """Per-run mutable fault state consulted by the link and ACK path.
+
+    Deterministic given ``(schedule.seed, seed)``; every decision draws
+    from one private RNG in packet-arrival order, which the event loop
+    makes reproducible.
+    """
+
+    def __init__(self, schedule: FaultSchedule, seed: int = 0):
+        self.schedule = schedule
+        self.rng = np.random.default_rng((0xFA017, schedule.seed, seed))
+        self._ge_bad = False
+        self._spike_starts = [s.start for s in schedule.delay_spikes]
+        # counters surfaced in run results / debugging
+        self.data_drops = 0
+        self.ack_drops = 0
+        self.reordered = 0
+
+    def wrap_trace(self, trace: Trace) -> Trace:
+        if not self.schedule.blackouts:
+            return trace
+        return FaultedTrace(trace, self.schedule.blackouts)
+
+    # -- data path --------------------------------------------------------
+
+    def drop_data(self, now: float) -> bool:
+        """Gilbert–Elliott ingress drop decision for one data packet."""
+        ge = self.schedule.burst_loss
+        if ge is None or not _window_active(now, ge.start, ge.stop):
+            return False
+        if self._ge_bad:
+            if self.rng.random() < ge.p_exit:
+                self._ge_bad = False
+        elif self.rng.random() < ge.p_enter:
+            self._ge_bad = True
+        loss = ge.loss_bad if self._ge_bad else ge.loss_good
+        if loss > 0.0 and self.rng.random() < loss:
+            self.data_drops += 1
+            return True
+        return False
+
+    def delivery_extra_delay(self, now: float) -> float:
+        """Extra one-way delay for a packet leaving the link at ``now``."""
+        extra = 0.0
+        for spike in self.schedule.delay_spikes:
+            if spike.start <= now < spike.end:
+                extra += spike.extra
+                if spike.jitter > 0.0:
+                    extra += spike.jitter * self.rng.random()
+        ro = self.schedule.reorder
+        if ro is not None and _window_active(now, ro.start, ro.stop) \
+                and self.rng.random() < ro.probability:
+            self.reordered += 1
+            extra += ro.extra
+        return extra
+
+    # -- ACK path ---------------------------------------------------------
+
+    def drop_ack(self, now: float) -> bool:
+        ack = self.schedule.ack
+        if ack is None or ack.loss <= 0.0 \
+                or not _window_active(now, ack.start, ack.stop):
+            return False
+        if self.rng.random() < ack.loss:
+            self.ack_drops += 1
+            return True
+        return False
+
+    def ack_release_time(self, arrival: float) -> float:
+        """When an ACK nominally arriving at ``arrival`` is released."""
+        ack = self.schedule.ack
+        if ack is None or ack.compression <= 0.0 \
+                or not _window_active(arrival, ack.start, ack.stop):
+            return arrival
+        quantum = ack.compression
+        return math.ceil(arrival / quantum - 1e-9) * quantum
+
+
+# -- canned profiles ---------------------------------------------------------
+#
+# The stress experiment sweeps these; they are deliberately severe.  All
+# windows assume runs of >= ~12 s.
+
+FAULT_PROFILES: dict[str, FaultSchedule] = {
+    "blackout": FaultSchedule(
+        name="blackout",
+        blackouts=(Blackout(start=5.0, duration=2.0),)),
+    "burst-loss": FaultSchedule(
+        name="burst-loss",
+        burst_loss=BurstLoss(p_enter=0.02, p_exit=0.2, loss_bad=0.5,
+                             start=2.0)),
+    "delay-spike": FaultSchedule(
+        name="delay-spike",
+        delay_spikes=(DelaySpike(start=4.0, duration=1.5, extra=0.15),
+                      DelaySpike(start=8.0, duration=1.0, extra=0.25,
+                                 jitter=0.02))),
+    "reorder": FaultSchedule(
+        name="reorder",
+        reorder=Reorder(probability=0.05, extra=0.04, start=2.0)),
+    "ack-storm": FaultSchedule(
+        name="ack-storm",
+        ack=AckFault(loss=0.2, compression=0.01, start=2.0)),
+    "pathological": FaultSchedule(
+        name="pathological",
+        blackouts=(Blackout(start=5.0, duration=1.5),),
+        delay_spikes=(DelaySpike(start=8.0, duration=1.0, extra=0.1,
+                                 jitter=0.02),),
+        burst_loss=BurstLoss(p_enter=0.01, p_exit=0.25, loss_bad=0.4,
+                             start=2.0),
+        ack=AckFault(loss=0.1, start=2.0)),
+}

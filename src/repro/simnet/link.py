@@ -8,7 +8,8 @@ delay.  Stochastic loss (the paper's 0-10 % sweeps) is applied on ingress.
 
 from __future__ import annotations
 
-from typing import Callable
+import bisect
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -16,6 +17,9 @@ from .engine import EventLoop
 from .packet import Packet
 from .queue import DropTailQueue
 from .trace import Trace
+
+if TYPE_CHECKING:
+    from .faults import FaultInjector
 
 
 class BottleneckLink:
@@ -36,11 +40,15 @@ class BottleneckLink:
         independent of buffer overflow.
     deliver:
         Callback invoked with each packet that crosses the link.
+    injector:
+        Optional :class:`~repro.simnet.faults.FaultInjector` consulted on
+        ingress (burst loss) and egress (delay spikes, reordering).
     """
 
     def __init__(self, loop: EventLoop, trace: Trace, buffer_bytes: float,
                  propagation_delay: float, deliver: Callable[[Packet], None],
-                 loss_rate: float = 0.0, seed: int = 0, aqm: str = "droptail"):
+                 loss_rate: float = 0.0, seed: int = 0, aqm: str = "droptail",
+                 injector: "FaultInjector | None" = None):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         self.loop = loop
@@ -55,15 +63,19 @@ class BottleneckLink:
         self.propagation_delay = propagation_delay
         self.loss_rate = loss_rate
         self.deliver = deliver
+        self.injector = injector
         self._rng = np.random.default_rng(seed)
         self._busy = False
         # statistics
         self.arrived_packets = 0
         self.random_drops = 0
+        self.fault_drops = 0
         self.served_bytes = 0
         self.served_packets = 0
         self._first_arrival: float | None = None
         self._last_service: float = 0.0
+        #: (service time, cumulative served bytes) — windowed utilization
+        self._service_log: list[tuple[float, float]] = []
 
     # -- ingress -------------------------------------------------------------
 
@@ -74,6 +86,9 @@ class BottleneckLink:
             self._first_arrival = self.loop.now
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.random_drops += 1
+            return
+        if self.injector is not None and self.injector.drop_data(self.loop.now):
+            self.fault_drops += 1
             return
         if self.queue.push(packet) and not self._busy:
             self._start_service()
@@ -99,7 +114,11 @@ class BottleneckLink:
         self.served_bytes += packet.size
         self.served_packets += 1
         self._last_service = self.loop.now
-        self.loop.schedule(self.propagation_delay, lambda p=packet: self.deliver(p))
+        self._service_log.append((self.loop.now, float(self.served_bytes)))
+        delay = self.propagation_delay
+        if self.injector is not None:
+            delay += self.injector.delivery_extra_delay(self.loop.now)
+        self.loop.schedule(delay, lambda p=packet: self.deliver(p))
         self._start_service()
 
     # -- metrics ---------------------------------------------------------
@@ -111,9 +130,26 @@ class BottleneckLink:
             return float("inf") if self.queue.bytes else 0.0
         return self.queue.bytes * 8.0 / rate
 
+    def served_bytes_between(self, t0: float, t1: float) -> float:
+        """Bytes the link served inside ``[t0, t1]`` (from the service log)."""
+        return _cumulative_at(self._service_log, t1) - \
+            _cumulative_at(self._service_log, t0)
+
     def utilization(self, t0: float, t1: float) -> float:
-        """Fraction of the link's byte capacity used over ``[t0, t1]``."""
+        """Fraction of the link's byte capacity used over ``[t0, t1]``.
+
+        Both the numerator (bytes served inside the window, from the
+        per-packet service log) and the denominator (trace capacity over
+        the window) are window-local, so a suffix window of an idle-start
+        run no longer over-reports.
+        """
         cap = self.trace.capacity_bytes(t0, t1)
         if cap <= 0:
             return 0.0
-        return min(1.0, self.served_bytes / cap)
+        return min(1.0, self.served_bytes_between(t0, t1) / cap)
+
+
+def _cumulative_at(log: list[tuple[float, float]], t: float) -> float:
+    """Cumulative served bytes at time ``t`` (inclusive) from a service log."""
+    idx = bisect.bisect_right(log, (t, float("inf"))) - 1
+    return log[idx][1] if idx >= 0 else 0.0

@@ -17,7 +17,8 @@ if TYPE_CHECKING:  # break the runtime import cycle with repro.cca
     from ..cca.base import Controller
 from .endpoint import FlowStats, Receiver, Sender
 from .engine import EventLoop
-from .link import BottleneckLink
+from .faults import FaultInjector, FaultSchedule
+from .link import BottleneckLink, _cumulative_at
 from .packet import Ack
 from .trace import Trace
 
@@ -34,6 +35,8 @@ class RunResult:
     link_random_drops: int
     queue_samples: list = field(default_factory=list)  # (time, queue_bytes)
     controllers: list = field(default_factory=list)
+    #: (service time, cumulative served bytes) per packet — windowed metrics
+    service_log: list = field(default_factory=list)
 
     @property
     def utilization(self) -> float:
@@ -41,6 +44,11 @@ class RunResult:
         if self.link_capacity_bytes <= 0:
             return 0.0
         return min(1.0, self.link_served_bytes / self.link_capacity_bytes)
+
+    def served_bytes_between(self, t0: float, t1: float) -> float:
+        """Bytes the bottleneck served inside ``[t0, t1]``."""
+        return _cumulative_at(self.service_log, t1) - \
+            _cumulative_at(self.service_log, t0)
 
     @property
     def total_throughput_mbps(self) -> float:
@@ -87,10 +95,16 @@ class Dumbbell:
 
     def __init__(self, trace: Trace, buffer_bytes: float, rtt: float,
                  loss_rate: float = 0.0, seed: int = 0, mss: int = DEFAULT_MSS,
-                 aqm: str = "droptail"):
+                 aqm: str = "droptail", faults: FaultSchedule | None = None):
         if rtt <= 0:
             raise ValueError("rtt must be positive")
         self.loop = EventLoop()
+        self.injector = FaultInjector(faults, seed=seed) \
+            if faults is not None and faults.active else None
+        if self.injector is not None:
+            # Blackouts live in the trace so service and capacity metrics
+            # both see them; the injector handles the stochastic faults.
+            trace = self.injector.wrap_trace(trace)
         self.trace = trace
         self.rtt = rtt
         self.mss = mss
@@ -101,7 +115,8 @@ class Dumbbell:
             self.loop, trace, buffer_bytes,
             propagation_delay=rtt / 2.0,
             deliver=self._deliver,
-            loss_rate=loss_rate, seed=seed, aqm=aqm)
+            loss_rate=loss_rate, seed=seed, aqm=aqm,
+            injector=self.injector)
         self.queue_samples: list[tuple[float, int]] = []
         self._queue_sample_interval = 0.05
 
@@ -123,9 +138,16 @@ class Dumbbell:
     def _ack_path(self, flow_id: int, extra_rtt: float) -> Callable[[Ack], None]:
         delay = self.rtt / 2.0 + extra_rtt
         sender_list = self._senders
+        injector = self.injector
 
         def route(ack: Ack) -> None:
-            self.loop.schedule(delay, lambda: sender_list[flow_id].on_ack_packet(ack))
+            d = delay
+            if injector is not None:
+                if injector.drop_ack(self.loop.now):
+                    return
+                arrival = self.loop.now + delay
+                d = injector.ack_release_time(arrival) - self.loop.now
+            self.loop.schedule(d, lambda: sender_list[flow_id].on_ack_packet(ack))
 
         return route
 
@@ -164,4 +186,5 @@ class Dumbbell:
             link_dropped_packets=self.link.queue.dropped_packets,
             link_random_drops=self.link.random_drops,
             queue_samples=self.queue_samples,
-            controllers=[spec.controller for spec in self._specs])
+            controllers=[spec.controller for spec in self._specs],
+            service_log=self.link._service_log)

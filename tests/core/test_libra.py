@@ -1,13 +1,14 @@
 """Tests for the Libra three-stage controller (Alg. 1)."""
 
+import numpy as np
 import pytest
 
 from repro.cca.cubic import Cubic
 from repro.core.config import LibraConfig, bbr_config, cubic_config
 from repro.core.libra import (EVAL_HIGH, EVAL_LOW, EXPLOIT, EXPLORE,
-                              LibraController, STARTUP)
+                              MIN_RATE, LibraController, STARTUP)
 from repro.simnet.network import Dumbbell
-from repro.simnet.packet import AckSample, LossSample
+from repro.simnet.packet import AckSample, IntervalReport, LossSample
 from repro.simnet.trace import wired_trace
 from repro.units import mbps
 
@@ -18,11 +19,47 @@ def _ack(now, rtt=0.05, sent_time=None, acked=1500):
                      sent_time=sent_time if sent_time is not None else now - rtt)
 
 
-def _libra(config=None):
-    controller = LibraController(Cubic(), policy=None,
+def _report(now, duration=0.05, throughput=10e6, acked=10):
+    return IntervalReport(now=now, duration=duration, throughput=throughput,
+                          send_rate=throughput, avg_rtt=0.05, min_rtt=0.05,
+                          rtt_gradient=0.0, loss_rate=0.0,
+                          acked_packets=acked, lost_packets=0,
+                          sent_packets=acked)
+
+
+def _libra(config=None, policy=None):
+    controller = LibraController(Cubic(), policy=policy,
                                  config=config or LibraConfig())
     controller.start(0.0, 1500)
     return controller
+
+
+class _StubActor:
+    flops_per_forward = 100
+
+
+class _FaultyPolicy:
+    """Raises on the first ``fail_times`` calls, then acts normally."""
+
+    def __init__(self, fail_times=10**9, action=0.1):
+        self.fail_times = fail_times
+        self.calls = 0
+        self.action = action
+        self.actor = _StubActor()
+
+    def act(self, state, rng, deterministic=False):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise RuntimeError("policy exploded")
+        return np.array([self.action]), None, None
+
+
+class _NanPolicy:
+    def __init__(self):
+        self.actor = _StubActor()
+
+    def act(self, state, rng, deterministic=False):
+        return np.array([float("nan")]), None, None
 
 
 class TestConfig:
@@ -134,6 +171,149 @@ class TestNoAckHandling:
                                     sent_packets=0)
             libra.on_interval(report)
         assert libra.x_prev == pytest.approx(base)
+
+
+class TestNoAckRlHandling:
+    def test_silent_interval_keeps_x_rl_and_skips_policy(self):
+        """Sec. 3: an exploration MI without ACKs must not move x_rl."""
+        policy = _FaultyPolicy(fail_times=0, action=0.5)
+        libra = _libra(LibraConfig(startup_rtts=1.0, explore_rtts=1000.0,
+                                   watchdog_min=1000.0), policy=policy)
+        t = 0.0
+        while libra.stage != EXPLORE:
+            t += 0.01
+            libra.on_ack(_ack(t))
+        before = libra.x_rl
+        libra.on_interval(_report(t + 0.01, acked=0, throughput=0.0))
+        assert libra.x_rl == before
+        assert policy.calls == 0
+        # a fed interval does move it
+        libra.on_interval(_report(t + 0.02))
+        assert policy.calls == 1
+        assert libra.x_rl != before
+
+
+def _rl_config(**overrides):
+    base = dict(startup_rtts=1.0, explore_rtts=1000.0, watchdog_min=1000.0,
+                rl_backoff_initial=1.0, rl_backoff_max=4.0)
+    base.update(overrides)
+    return LibraConfig(**base)
+
+
+def _drive_to_explore(libra):
+    t = 0.0
+    while libra.stage != EXPLORE:
+        t += 0.01
+        libra.on_ack(_ack(t))
+    return t
+
+
+class TestPolicyFaultGuard:
+    def test_exception_disables_rl_arm(self, caplog):
+        policy = _FaultyPolicy()
+        libra = _libra(_rl_config(), policy=policy)
+        t = _drive_to_explore(libra)
+        with caplog.at_level("WARNING", logger="repro.core.libra"):
+            libra.on_interval(_report(t + 0.01))
+        assert libra.rl_fault_count == 1
+        assert libra.rl_arm_disabled(t + 0.02)
+        assert not libra.rl_arm_disabled(t + 5.0)
+        assert any("disabling the RL arm" in r.getMessage()
+                   for r in caplog.records)
+
+    def test_disabled_arm_skips_inference(self):
+        policy = _FaultyPolicy()
+        libra = _libra(_rl_config(), policy=policy)
+        t = _drive_to_explore(libra)
+        libra.on_interval(_report(t + 0.01))
+        for dt in (0.1, 0.3, 0.5):   # all inside the 1 s backoff
+            libra.on_interval(_report(t + 0.01 + dt))
+        assert policy.calls == 1
+        assert libra.rl_fault_count == 1
+
+    def test_backoff_doubles_then_caps(self):
+        policy = _FaultyPolicy()
+        libra = _libra(_rl_config(), policy=policy)
+        t = _drive_to_explore(libra)
+        expected = [1.0, 2.0, 4.0, 4.0]   # initial=1, max=4
+        now = t
+        for backoff in expected:
+            now = max(now + 0.01, libra._rl_disabled_until + 0.01)
+            libra.on_interval(_report(now))
+            assert libra._rl_disabled_until == pytest.approx(now + backoff)
+        assert libra.rl_fault_count == len(expected)
+
+    def test_nan_action_treated_as_fault(self):
+        libra = _libra(_rl_config(), policy=_NanPolicy())
+        t = _drive_to_explore(libra)
+        before = libra.x_rl
+        libra.on_interval(_report(t + 0.01))
+        assert libra.rl_fault_count == 1
+        assert libra.x_rl == before
+
+    def test_transient_fault_recovers_after_backoff(self):
+        policy = _FaultyPolicy(fail_times=1, action=0.5)
+        libra = _libra(_rl_config(), policy=policy)
+        t = _drive_to_explore(libra)
+        before = libra.x_rl
+        libra.on_interval(_report(t + 0.01))
+        assert libra.rl_fault_count == 1
+        # past the backoff the arm re-enables and inference succeeds
+        t2 = libra._rl_disabled_until + 0.01
+        libra.on_interval(_report(t2))
+        assert policy.calls == 2
+        assert libra.x_rl != before
+        assert libra._rl_consecutive_faults == 0
+        assert libra.meter.counts["nn_forward"] > 0
+
+    def test_without_faults_policy_runs_normally(self):
+        policy = _FaultyPolicy(fail_times=0, action=0.25)
+        libra = _libra(_rl_config(), policy=policy)
+        t = _drive_to_explore(libra)
+        libra.on_interval(_report(t + 0.01))
+        assert libra.rl_fault_count == 0
+        assert not libra.rl_arm_disabled(t + 0.02)
+
+
+class TestNoAckWatchdog:
+    def test_outage_detected_and_recovered(self):
+        libra = _libra(LibraConfig(startup_rtts=1.0))
+        t = 0.0
+        for _ in range(100):
+            t += 0.01
+            libra.on_ack(_ack(t))
+        base = libra.x_prev
+        assert not libra._outage
+        # a long silence (>> watchdog timeout) hits the watchdog
+        t_out = t + 2.0
+        libra.on_interval(_report(t_out, acked=0, throughput=0.0))
+        assert libra._outage
+        assert libra.outage_count == 1
+        assert libra.pacing_rate() == MIN_RATE
+        # more silent intervals neither re-fire nor advance the stages
+        stage = libra.stage
+        libra.on_interval(_report(t_out + 1.0, acked=0, throughput=0.0))
+        assert libra.outage_count == 1 and libra.stage == stage
+        # the first ACK after restoration recovers the saved base rate
+        libra.on_ack(_ack(t_out + 2.0))
+        assert not libra._outage
+        assert libra.x_prev == pytest.approx(base)
+        assert libra.stage == EXPLORE
+
+    def test_watchdog_quiet_during_startup(self):
+        libra = _libra()
+        libra.on_interval(_report(5.0, acked=0, throughput=0.0))
+        assert not libra._outage
+        assert libra.outage_count == 0
+
+    def test_watchdog_respects_min_timeout(self):
+        libra = _libra(LibraConfig(startup_rtts=1.0, watchdog_min=10.0))
+        t = 0.0
+        for _ in range(100):
+            t += 0.01
+            libra.on_ack(_ack(t))
+        libra.on_interval(_report(t + 2.0, acked=0, throughput=0.0))
+        assert not libra._outage
 
 
 class TestLossForwarding:

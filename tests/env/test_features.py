@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.env.features import (CANDIDATES, FeatureSet, Measurement,
-                                Normalizer, STATE_SETS, StateBuilder,
-                                TAB2_VARIANTS)
+from repro.env.features import (CANDIDATES, FEATURE_CLIP, FeatureSet,
+                                Measurement, Normalizer, STATE_SETS,
+                                StateBuilder, TAB2_VARIANTS)
 
 
 def _measurement(throughput=10e6, rate=12e6, avg_rtt=0.06, min_rtt=0.05,
@@ -68,6 +68,40 @@ class TestNormalizer:
     def test_rate_clipped(self):
         norm = Normalizer(init_max_rate=1e6)
         assert norm.rate(100e6) == 10.0
+
+
+class TestFiniteGuards:
+    """Pathological measurements (blackouts, zero-ACK intervals) must never
+    leak NaN/inf into the policy input."""
+
+    def test_inf_rtt_measurement_stays_finite(self):
+        fs = FeatureSet(CANDIDATES)
+        norm = Normalizer()
+        m = _measurement(avg_rtt=float("inf"), min_rtt=float("inf"),
+                         gradient=float("nan"))
+        vec = fs.extract(m, norm)
+        assert np.all(np.isfinite(vec))
+        assert np.all(np.abs(vec) <= FEATURE_CLIP)
+
+    def test_inf_throughput_does_not_poison_normalizer(self):
+        norm = Normalizer(init_max_rate=1e6)
+        norm.observe(_measurement(throughput=float("inf"),
+                                  min_rtt=float("nan")))
+        assert np.isfinite(norm.max_rate)
+        assert np.isfinite(norm.min_delay)
+
+    def test_extreme_ratio_clipped(self):
+        fs = FeatureSet("v")   # sent/acked ratio
+        vec = fs.extract(_measurement(sent=10**9, acked=1), Normalizer())
+        assert vec[0] == FEATURE_CLIP
+
+    def test_builder_state_finite_under_faults(self):
+        builder = StateBuilder(FeatureSet(CANDIDATES), history=3)
+        for m in (_measurement(),
+                  _measurement(avg_rtt=float("inf"), throughput=0.0),
+                  _measurement(gradient=float("-inf"), loss=1.0)):
+            state = builder.push(m)
+            assert np.all(np.isfinite(state))
 
 
 class TestStateSets:

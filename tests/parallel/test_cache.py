@@ -8,7 +8,8 @@ import pytest
 from repro.parallel import (ResultCache, canonical_spec, execute, job_key,
                             single_flow_job)
 from repro.parallel.cache import code_salt, default_cache_dir
-from repro.scenarios.presets import WIRED, buffer_scenario
+from repro.scenarios.presets import WIRED, buffer_scenario, stress_scenario
+from repro.simnet.faults import Blackout, FaultSchedule
 
 
 def _job(cca="cubic", seed=1, duration=2.0, **kwargs):
@@ -45,6 +46,33 @@ class TestJobKey:
         a = _job("c-libra", config=LibraConfig(th1_fraction=0.1))
         b = _job("c-libra", config=LibraConfig(th1_fraction=0.2))
         assert job_key(a) != job_key(b)
+
+    def test_same_fault_profile_same_key(self):
+        a = single_flow_job("cubic", stress_scenario("blackout"), seed=1)
+        b = single_flow_job("cubic", stress_scenario("blackout"), seed=1)
+        assert job_key(a) == job_key(b)
+
+    def test_key_differs_by_fault_profile(self):
+        keys = {job_key(single_flow_job("cubic", stress_scenario(p), seed=1))
+                for p in ("clean", "blackout", "burst-loss", "pathological")}
+        assert len(keys) == 4
+
+    def test_key_differs_by_fault_parameters(self):
+        early = FaultSchedule(name="b", blackouts=(Blackout(3.0, 1.0),))
+        late = FaultSchedule(name="b", blackouts=(Blackout(5.0, 1.0),))
+        a = single_flow_job("cubic", stress_scenario(early), seed=1)
+        b = single_flow_job("cubic", stress_scenario(late), seed=1)
+        assert job_key(a) != job_key(b)
+
+    def test_key_differs_by_fault_seed(self):
+        a = stress_scenario(FaultSchedule(name="s",
+                                          blackouts=(Blackout(3.0, 1.0),),
+                                          seed=1))
+        b = stress_scenario(FaultSchedule(name="s",
+                                          blackouts=(Blackout(3.0, 1.0),),
+                                          seed=2))
+        assert job_key(single_flow_job("cubic", a, seed=1)) != \
+            job_key(single_flow_job("cubic", b, seed=1))
 
     def test_key_differs_by_salt(self):
         assert job_key(_job(), salt="a") != job_key(_job(), salt="b")

@@ -6,9 +6,9 @@ from dataclasses import dataclass, field
 
 import pytest
 
-from repro.parallel import (FlowSpec, Job, JobFailedError, ResultCache,
-                            ProgressReporter, has_fork, resolve_workers,
-                            run_jobs, single_flow_job)
+from repro.parallel import (FailedRun, FlowSpec, Job, JobFailedError,
+                            ResultCache, ProgressReporter, has_fork,
+                            resolve_workers, run_jobs, single_flow_job)
 from repro.scenarios.presets import WIRED
 from repro.simnet.network import RunResult
 
@@ -158,3 +158,61 @@ class TestParallelPath:
         run_jobs(jobs, workers=2, cache=cache)
         again = run_jobs(jobs, workers=1, cache=cache)
         assert all(r.cached for r in again)
+
+
+class TestErrorCollection:
+    """``on_error="collect"`` converts exceptions into FailedRun slots."""
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_jobs(_jobs(1), workers=1, on_error="ignore")
+
+    def test_serial_collects_failed_run(self):
+        jobs = [_special(_RaisingJob)] + _jobs(1)
+        results = run_jobs(jobs, workers=1, on_error="collect")
+        assert isinstance(results[0].failure, FailedRun)
+        assert results[0].failure.failed
+        assert results[0].result is None
+        assert "deterministic failure" in results[0].failure.error
+        assert "ValueError" in results[0].failure.traceback
+        assert results[1].failure is None and results[1].result is not None
+
+    def test_serial_raise_is_default(self):
+        with pytest.raises(ValueError, match="deterministic failure"):
+            run_jobs([_special(_RaisingJob)], workers=1)
+
+    def test_failed_run_identifies_the_job(self):
+        results = run_jobs([_special(_RaisingJob)], workers=1,
+                           on_error="collect")
+        failure = results[0].failure
+        assert failure.cca == "cubic"
+        assert failure.scenario == "wired-24"
+        assert failure.seed == 1
+        assert "FAILED" in str(failure)
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path))
+        jobs = [_special(_RaisingJob)]
+        run_jobs(jobs, workers=1, cache=cache, on_error="collect")
+        assert cache.get(jobs[0]) is None
+
+    def test_progress_counts_failures(self):
+        progress = ProgressReporter(2, enabled=False)
+        run_jobs([_special(_RaisingJob)] + _jobs(1), workers=1,
+                 on_error="collect", progress=progress)
+        assert progress.failures == 1
+        assert "FAILED" in progress.render()
+        assert "FAILED" in progress.summary()
+
+    @needs_fork
+    def test_parallel_collects_failed_run(self):
+        jobs = _jobs(2) + [_special(_RaisingJob)]
+        results = run_jobs(jobs, workers=2, on_error="collect")
+        assert results[0].failure is None and results[1].failure is None
+        assert isinstance(results[2].failure, FailedRun)
+        assert "deterministic failure" in results[2].failure.error
+
+    @needs_fork
+    def test_parallel_raise_still_raises(self):
+        with pytest.raises(JobFailedError, match="deterministic failure"):
+            run_jobs([_special(_RaisingJob)], workers=2, on_error="raise")

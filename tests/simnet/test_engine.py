@@ -98,6 +98,47 @@ def test_run_all_drains_queue():
     assert len(count) == 5
 
 
+def test_heap_compaction_bounds_cancelled_timers():
+    """Regression: cancelled timers used to sit in the heap until popped;
+    a sender re-arming its pacing timer per packet grew it without bound."""
+    loop = EventLoop()
+    keeper_fired = []
+    loop.schedule(1e6, lambda: keeper_fired.append(True))
+    for _ in range(10 * EventLoop.COMPACT_THRESHOLD):
+        loop.schedule(1e5, lambda: None).cancel()
+    # compaction keeps the heap near the count of live timers
+    assert len(loop._heap) < 2 * EventLoop.COMPACT_THRESHOLD
+    assert loop.pending() == 1
+    loop.run_until(1e6)
+    assert keeper_fired == [True]
+
+
+def test_compaction_preserves_order_and_callbacks():
+    loop = EventLoop()
+    order = []
+    timers = [loop.schedule(float(i + 1), lambda i=i: order.append(i))
+              for i in range(200)]
+    for t in timers[::2]:   # cancel the even ones
+        t.cancel()
+    loop.run_until(300.0)
+    assert order == list(range(1, 200, 2))
+
+
+def test_cancel_inside_callback_is_safe():
+    loop = EventLoop()
+    fired = []
+    later = [loop.schedule(2.0, lambda i=i: fired.append(i))
+             for i in range(2 * EventLoop.COMPACT_THRESHOLD)]
+
+    def cancel_half():
+        for t in later[::2]:
+            t.cancel()
+
+    loop.schedule(1.0, cancel_half)
+    loop.run_until(3.0)
+    assert fired == list(range(1, 2 * EventLoop.COMPACT_THRESHOLD, 2))
+
+
 def test_run_all_guards_against_runaway():
     loop = EventLoop()
 

@@ -1,0 +1,205 @@
+"""Tests for deterministic network fault injection."""
+
+import pickle
+
+import pytest
+
+from repro.simnet.engine import EventLoop
+from repro.simnet.faults import (FAULT_PROFILES, AckFault, Blackout, BurstLoss,
+                                 DelaySpike, FaultInjector, FaultSchedule,
+                                 FaultedTrace, Reorder)
+from repro.simnet.link import BottleneckLink
+from repro.simnet.network import Dumbbell
+from repro.simnet.packet import Packet
+from repro.simnet.trace import ConstantTrace
+from repro.cca.base import FixedRateController
+from repro.units import mbps
+
+
+def _schedule(**kwargs):
+    return FaultSchedule(name="test", **kwargs)
+
+
+class TestSpecs:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Blackout(start=-1.0, duration=1.0)
+        with pytest.raises(ValueError):
+            Blackout(start=0.0, duration=0.0)
+        with pytest.raises(ValueError):
+            BurstLoss(p_enter=1.5)
+        with pytest.raises(ValueError):
+            Reorder(probability=0.5, extra=0.0)
+        with pytest.raises(ValueError):
+            AckFault(loss=1.0)
+
+    def test_active_flag(self):
+        assert not FaultSchedule().active
+        assert _schedule(blackouts=(Blackout(1.0, 1.0),)).active
+        assert _schedule(ack=AckFault(loss=0.1)).active
+
+    def test_schedules_pickle(self):
+        for schedule in FAULT_PROFILES.values():
+            assert pickle.loads(pickle.dumps(schedule)) == schedule
+
+    def test_impairment_windows_merge_and_clip(self):
+        sched = _schedule(
+            blackouts=(Blackout(2.0, 2.0), Blackout(3.0, 3.0)),
+            delay_spikes=(DelaySpike(start=10.0, duration=5.0, extra=0.1),))
+        assert sched.impairment_windows(12.0) == [(2.0, 6.0), (10.0, 12.0)]
+
+    def test_open_ended_faults_span_duration(self):
+        sched = _schedule(burst_loss=BurstLoss(start=1.0))
+        assert sched.impairment_windows(8.0) == [(1.0, 8.0)]
+
+
+class TestFaultedTrace:
+    def test_rate_zero_in_blackout(self):
+        trace = FaultedTrace(ConstantTrace(mbps(10)), (Blackout(1.0, 1.0),))
+        assert trace.rate_at(0.5) == mbps(10)
+        assert trace.rate_at(1.5) == 0.0
+        assert trace.rate_at(2.0) == mbps(10)
+
+    def test_capacity_excludes_blackouts(self):
+        base = ConstantTrace(mbps(8))  # 1e6 bytes/s
+        trace = FaultedTrace(base, (Blackout(1.0, 2.0),))
+        assert trace.capacity_bytes(0.0, 4.0) == pytest.approx(2e6)
+        assert trace.capacity_bytes(1.2, 1.8) == 0.0
+        assert trace.capacity_bytes(0.0, 4.0) == \
+            base.capacity_bytes(0.0, 4.0) - base.capacity_bytes(1.0, 3.0)
+
+    def test_time_to_send_waits_out_blackout(self):
+        trace = FaultedTrace(ConstantTrace(mbps(8)), (Blackout(1.0, 2.0),))
+        # 1500 bytes at 1e6 B/s = 1.5 ms, entirely before the blackout
+        assert trace.time_to_send(0.0, 1500) == pytest.approx(0.0015)
+        # started mid-blackout: waits until t=3 then serves
+        assert trace.time_to_send(2.0, 1500) == pytest.approx(1.0 + 0.0015)
+        # 0.5 s of capacity before the blackout, the rest after
+        need = 1e6  # one second worth of bytes
+        assert trace.time_to_send(0.5, need) == pytest.approx(0.5 + 2.0 + 0.5)
+
+    def test_consistency_capacity_vs_time_to_send(self):
+        trace = FaultedTrace(ConstantTrace(mbps(8)),
+                             (Blackout(0.5, 0.25), Blackout(1.0, 0.5)))
+        nbytes = 1.2e6
+        dt = trace.time_to_send(0.1, nbytes)
+        assert trace.capacity_bytes(0.1, 0.1 + dt) == pytest.approx(nbytes)
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_decisions(self):
+        sched = _schedule(burst_loss=BurstLoss(p_enter=0.2, p_exit=0.2,
+                                               loss_bad=0.8))
+        a = FaultInjector(sched, seed=3)
+        b = FaultInjector(sched, seed=3)
+        decisions = [(a.drop_data(t), b.drop_data(t))
+                     for t in [i * 0.01 for i in range(500)]]
+        assert all(x == y for x, y in decisions)
+        assert a.data_drops == b.data_drops > 0
+
+    def test_different_seed_differs(self):
+        sched = _schedule(burst_loss=BurstLoss(p_enter=0.2, p_exit=0.2,
+                                               loss_bad=0.8))
+        a = FaultInjector(sched, seed=3)
+        b = FaultInjector(sched, seed=4)
+        da = [a.drop_data(i * 0.01) for i in range(500)]
+        db = [b.drop_data(i * 0.01) for i in range(500)]
+        assert da != db
+
+    def test_schedule_seed_independent_of_network_seed(self):
+        sched_a = _schedule(burst_loss=BurstLoss(loss_bad=0.9), seed=1)
+        sched_b = _schedule(burst_loss=BurstLoss(loss_bad=0.9), seed=2)
+        a = FaultInjector(sched_a, seed=7)
+        b = FaultInjector(sched_b, seed=7)
+        da = [a.drop_data(i * 0.01) for i in range(500)]
+        db = [b.drop_data(i * 0.01) for i in range(500)]
+        assert da != db
+
+
+class TestInjectorHooks:
+    def test_burst_loss_respects_window(self):
+        sched = _schedule(burst_loss=BurstLoss(p_enter=1.0, p_exit=0.0,
+                                               loss_bad=1.0, start=5.0,
+                                               stop=6.0))
+        inj = FaultInjector(sched)
+        assert not inj.drop_data(4.0)
+        assert inj.drop_data(5.5)
+        assert not inj.drop_data(6.5)
+
+    def test_delay_spike_adds_extra(self):
+        sched = _schedule(delay_spikes=(DelaySpike(start=1.0, duration=1.0,
+                                                   extra=0.2),))
+        inj = FaultInjector(sched)
+        assert inj.delivery_extra_delay(0.5) == 0.0
+        assert inj.delivery_extra_delay(1.5) == pytest.approx(0.2)
+
+    def test_jitter_bounded_and_seeded(self):
+        sched = _schedule(delay_spikes=(DelaySpike(start=0.0, duration=10.0,
+                                                   extra=0.1, jitter=0.05),))
+        inj = FaultInjector(sched, seed=1)
+        delays = [inj.delivery_extra_delay(t * 0.1) for t in range(100)]
+        assert all(0.1 <= d < 0.15 for d in delays)
+        inj2 = FaultInjector(sched, seed=1)
+        assert delays == [inj2.delivery_extra_delay(t * 0.1)
+                          for t in range(100)]
+
+    def test_ack_compression_quantizes(self):
+        sched = _schedule(ack=AckFault(compression=0.01))
+        inj = FaultInjector(sched)
+        assert inj.ack_release_time(0.003) == pytest.approx(0.01)
+        assert inj.ack_release_time(0.0999) == pytest.approx(0.10)
+        assert inj.ack_release_time(0.02) == pytest.approx(0.02)
+
+    def test_ack_loss_counts(self):
+        sched = _schedule(ack=AckFault(loss=1.0 - 1e-9))
+        inj = FaultInjector(sched)
+        assert inj.drop_ack(1.0)
+        assert inj.ack_drops == 1
+
+
+class TestLinkIntegration:
+    def test_ge_drops_on_link(self):
+        sched = _schedule(burst_loss=BurstLoss(p_enter=1.0, p_exit=0.0,
+                                               loss_bad=1.0))
+        loop = EventLoop()
+        delivered = []
+        link = BottleneckLink(loop, ConstantTrace(mbps(10)), buffer_bytes=1e9,
+                              propagation_delay=0.0,
+                              deliver=delivered.append,
+                              injector=FaultInjector(sched))
+        for i in range(10):
+            link.send(Packet(flow_id=0, seq=i, size=1500, sent_time=0.0))
+        loop.run_until(1.0)
+        assert delivered == []
+        assert link.fault_drops == 10
+
+    def test_blackout_run_is_deterministic(self):
+        def run_once():
+            net = Dumbbell(ConstantTrace(mbps(10)), buffer_bytes=100_000,
+                           rtt=0.04, seed=2,
+                           faults=FAULT_PROFILES["pathological"])
+            net.add_flow(FixedRateController(mbps(8)))
+            result = net.run(8.0)
+            return (result.link_served_bytes, result.link_capacity_bytes,
+                    net.injector.data_drops, net.injector.ack_drops)
+
+        assert run_once() == run_once()
+
+    def test_blackout_halts_service_and_shrinks_capacity(self):
+        sched = _schedule(blackouts=(Blackout(start=1.0, duration=1.0),))
+        net = Dumbbell(ConstantTrace(mbps(10)), buffer_bytes=200_000,
+                       rtt=0.04, seed=1, faults=sched)
+        net.add_flow(FixedRateController(mbps(8)))
+        result = net.run(3.0)
+        assert result.served_bytes_between(1.05, 1.95) == 0.0
+        # capacity denominator excludes the blackout second
+        clean = ConstantTrace(mbps(10)).capacity_bytes(0.0, 3.0)
+        assert result.link_capacity_bytes == pytest.approx(clean * 2.0 / 3.0)
+
+    def test_reorder_delivers_out_of_order(self):
+        sched = _schedule(reorder=Reorder(probability=0.3, extra=0.05))
+        net = Dumbbell(ConstantTrace(mbps(10)), buffer_bytes=200_000,
+                       rtt=0.02, seed=5, faults=sched)
+        net.add_flow(FixedRateController(mbps(8)))
+        net.run(2.0)
+        assert net.injector.reordered > 0

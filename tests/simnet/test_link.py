@@ -77,6 +77,38 @@ def test_served_byte_accounting():
     assert link.served_packets == 5
 
 
+def test_windowed_utilization_ignores_idle_prefix():
+    """Regression: utilization(t0, t1) once divided *lifetime* served bytes
+    by the window capacity, over-reporting any window after an idle start."""
+    loop = EventLoop()
+    link = BottleneckLink(loop, ConstantTrace(mbps(12)), buffer_bytes=1e9,
+                          propagation_delay=0.0, deliver=lambda p: None)
+    # idle for 1 s, then serve 10 packets (takes 10 ms at 12 Mbps)
+    loop.schedule(1.0, lambda: _send_burst(link, 10))
+    loop.run_until(2.0)
+    # the idle first second has zero utilization, not 10 packets' worth
+    assert link.utilization(0.0, 1.0) == 0.0
+    assert link.served_bytes_between(0.0, 1.0) == 0.0
+    # the active window contains exactly the burst
+    assert link.served_bytes_between(1.0, 2.0) == 10 * 1500
+    expected = 10 * 1500 / ConstantTrace(mbps(12)).capacity_bytes(1.0, 2.0)
+    assert link.utilization(1.0, 2.0) == pytest.approx(expected)
+    # full-lifetime utilization still consistent
+    assert link.utilization(0.0, 2.0) == pytest.approx(expected / 2.0)
+
+
+def test_windowed_utilization_caps_at_one():
+    loop = EventLoop()
+    link = BottleneckLink(loop, ConstantTrace(mbps(12)), buffer_bytes=1e9,
+                          propagation_delay=0.0, deliver=lambda p: None)
+    _send_burst(link, 10)
+    loop.run_until(1.0)
+    # a window covering the burst is (nearly) fully utilized, never > 1
+    assert 0.9 <= link.utilization(0.0, 0.0101) <= 1.0
+    # even if served bytes round past capacity, the cap holds
+    assert link.utilization(1e-9, 0.01) <= 1.0
+
+
 def test_queueing_delay_estimate():
     loop = EventLoop()
     link = BottleneckLink(loop, ConstantTrace(mbps(12)), buffer_bytes=1e9,
