@@ -3,6 +3,7 @@
 Usage:
     python -m repro list                       # available CCAs + experiments
     python -m repro run c-libra --bw 48 --rtt 100 --duration 20
+    python -m repro trace c-libra --lte stationary --out trace.jsonl
     python -m repro experiment fig7            # print a paper artifact
     python -m repro experiment fig9 --jobs 4   # parallel + cached sweep
 """
@@ -39,7 +40,8 @@ def cmd_list(_args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
+def _build_single_flow(args, recorder=None):
+    """Shared ``run``/``trace`` setup: one flow through one bottleneck."""
     from .registry import make_controller
     from .simnet.network import Dumbbell
     from .simnet.trace import lte_trace, wired_trace
@@ -52,13 +54,40 @@ def cmd_run(args) -> int:
     buffer_bytes = args.buffer * 1000 if args.buffer else \
         max(args.bw * 1e6 * rtt / 8.0, 30_000)
     net = Dumbbell(trace, buffer_bytes=buffer_bytes, rtt=rtt,
-                   loss_rate=args.loss, seed=args.seed, aqm=args.aqm)
+                   loss_rate=args.loss, seed=args.seed, aqm=args.aqm,
+                   recorder=recorder)
     net.add_flow(make_controller(args.cca, seed=args.seed))
-    result = net.run(args.duration)
+    return net
+
+
+def _print_headline(args, result) -> None:
     flow = result.flows[0]
     print(f"{args.cca}: throughput={flow.throughput_mbps:.2f} Mbps "
           f"(util {result.utilization:.1%}), avg RTT={flow.avg_rtt_ms:.1f} ms, "
           f"loss={flow.loss_rate:.2%}")
+
+
+def cmd_run(args) -> int:
+    result = _build_single_flow(args).run(args.duration)
+    _print_headline(args, result)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one traced flow, pretty-print the trace, optionally export it."""
+    from .telemetry import (Recorder, format_summary, write_csv, write_jsonl)
+
+    recorder = Recorder()
+    result = _build_single_flow(args, recorder=recorder).run(args.duration)
+    telemetry = result.telemetry
+    _print_headline(args, result)
+    if args.out:
+        if args.format == "csv":
+            records = write_csv(telemetry, args.out)
+        else:
+            records = write_jsonl(telemetry, args.out)
+        print(f"wrote {records} {args.format} records to {args.out}")
+    print(format_summary(telemetry, tail=args.tail))
     return 0
 
 
@@ -90,18 +119,31 @@ def main(argv=None) -> int:
 
     sub.add_parser("list", help="list CCAs and experiments")
 
+    def add_flow_args(p) -> None:
+        p.add_argument("cca")
+        p.add_argument("--bw", type=float, default=48.0, help="Mbps")
+        p.add_argument("--lte", choices=("stationary", "walking", "driving",
+                                         "moving"), help="use an LTE trace")
+        p.add_argument("--rtt", type=float, default=100.0, help="ms")
+        p.add_argument("--buffer", type=float, default=None, help="KB")
+        p.add_argument("--loss", type=float, default=0.0)
+        p.add_argument("--duration", type=float, default=20.0)
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--aqm", choices=("droptail", "codel"),
+                       default="droptail")
+
     run = sub.add_parser("run", help="run one flow through a bottleneck")
-    run.add_argument("cca")
-    run.add_argument("--bw", type=float, default=48.0, help="Mbps")
-    run.add_argument("--lte", choices=("stationary", "walking", "driving",
-                                       "moving"), help="use an LTE trace")
-    run.add_argument("--rtt", type=float, default=100.0, help="ms")
-    run.add_argument("--buffer", type=float, default=None, help="KB")
-    run.add_argument("--loss", type=float, default=0.0)
-    run.add_argument("--duration", type=float, default=20.0)
-    run.add_argument("--seed", type=int, default=1)
-    run.add_argument("--aqm", choices=("droptail", "codel"),
-                     default="droptail")
+    add_flow_args(run)
+
+    trace = sub.add_parser(
+        "trace", help="run one traced flow and inspect/export its telemetry")
+    add_flow_args(trace)
+    trace.add_argument("--out", default=None,
+                       help="write the trace to this file")
+    trace.add_argument("--format", choices=("jsonl", "csv"), default="jsonl",
+                       help="export format for --out (default: jsonl)")
+    trace.add_argument("--tail", type=int, default=10,
+                       help="also print the last N events (0 disables)")
 
     exp = sub.add_parser("experiment", help="print one paper artifact")
     exp.add_argument("name")
@@ -123,6 +165,8 @@ def main(argv=None) -> int:
         return cmd_list(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     return cmd_experiment(args)
 
 

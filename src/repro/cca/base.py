@@ -36,12 +36,28 @@ class Controller:
         self.mss = DEFAULT_MSS
         self.meter = CostMeter()
         self.marker = 0
+        #: run-wide telemetry recorder, or ``None`` (the default) when the
+        #: run is untraced — feedback hot paths guard on this attribute
+        self.telemetry = None
+        #: flow id assigned by :meth:`attach_telemetry` (channel prefix)
+        self.telemetry_flow = 0
 
     # -- lifecycle -------------------------------------------------------
 
     def start(self, now: float, mss: int) -> None:
         """Called once when the flow starts sending."""
         self.mss = mss
+
+    def attach_telemetry(self, recorder, flow_id: int = 0) -> None:
+        """Point the controller at a run-wide telemetry recorder.
+
+        Called by :class:`~repro.simnet.network.Dumbbell` before the
+        flow starts when the run is traced.  Subclasses that keep their
+        own private recorder (Libra's decision log) override this to
+        redirect it into the shared one.
+        """
+        self.telemetry = recorder
+        self.telemetry_flow = flow_id
 
     # -- feedback --------------------------------------------------------
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..env.features import FeatureSet, STATE_SETS
+from ..telemetry import TelemetryConfig
 from .utility import DEFAULT_PARAMS, UtilityParams
 
 
@@ -47,6 +48,12 @@ class LibraConfig:
     #: (doubles per consecutive fault up to rl_backoff_max)
     rl_backoff_initial: float = 1.0
     rl_backoff_max: float = 30.0
+    #: limits of the controller's decision recorder — the stage log that
+    #: backs :attr:`LibraController.decision_log` plus the stage/verdict/
+    #: watchdog event channels.  ``max_events_per_kind`` (default 100 000)
+    #: replaces the old hard-coded ``_log`` cap; events past it are
+    #: counted, not stored.
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if self.explore_rtts <= 0 or self.exploit_rtts <= 0 or self.ei_rtts <= 0:

@@ -50,6 +50,7 @@ from ..env.features import StateBuilder
 from ..env.bridge import measurement_from_report
 from ..simnet.packet import AckSample, IntervalReport, LossSample
 from ..simnet.windows import AckWindow
+from ..telemetry import Recorder
 from .config import LibraConfig
 from .utility import utility
 
@@ -113,8 +114,14 @@ class LibraController(Controller):
         self.cycles = 0
         self._rl_updated = False
         self._last_winner = "cl"
-        #: trace of (time, stage, rate) transitions for the deep-dive plots
-        self.decision_log: list[tuple[float, str, float]] = []
+        #: decision recorder: stage transitions, per-cycle utility
+        #: verdicts, watchdog and RL-arm events.  Always on (events fire
+        #: at cycle frequency, not per packet); its caps come from the
+        #: ``config.telemetry`` knob.  When the run is traced the
+        #: Dumbbell redirects it into the run-wide recorder via
+        #: :meth:`attach_telemetry`, so the events land in the
+        #: :class:`~repro.telemetry.FlowTelemetry` artifact.
+        self._recorder = Recorder(self.config.telemetry)
         # -- graceful degradation state ---------------------------------
         self._last_ack_time = 0.0
         self._outage = False
@@ -136,6 +143,25 @@ class LibraController(Controller):
         self._last_ack_time = now
         self.stage = STARTUP
         self.stage_start = now
+
+    def attach_telemetry(self, recorder, flow_id: int = 0) -> None:
+        """Redirect the decision recorder into the run-wide one."""
+        super().attach_telemetry(recorder, flow_id)
+        self.classic.attach_telemetry(recorder, flow_id)
+        if recorder is not self._recorder:
+            recorder.adopt(self._recorder)
+            self._recorder = recorder
+
+    @property
+    def decision_log(self) -> list[tuple[float, str, float]]:
+        """Read-only ``(time, stage, rate)`` view of the stage events.
+
+        Backward-compatible shape of the pre-telemetry ad-hoc list; the
+        events themselves (with base rate and cycle index) live in the
+        recorder's ``libra.stage`` channel.
+        """
+        return [(e.t, e.fields["stage"], e.fields["rate"])
+                for e in self._recorder.events("libra.stage")]
 
     # -- helpers -----------------------------------------------------------
 
@@ -185,9 +211,10 @@ class LibraController(Controller):
                 self._finish_cycle(boundary)
 
     def _log(self, now: float) -> None:
-        if len(self.decision_log) < 100_000:
-            self.decision_log.append(
-                (now, STAGE_NAMES[self.stage], self.pacing_rate()))
+        self._recorder.event("libra.stage", now,
+                             stage=STAGE_NAMES[self.stage],
+                             rate=self.pacing_rate(), base=self.x_prev,
+                             cycle=self.cycles)
 
     def _finish_startup(self, now: float) -> None:
         self.x_prev = self._rate_floor(self.classic.rate_estimate(self._srtt()))
@@ -255,6 +282,10 @@ class LibraController(Controller):
         else:
             winner = "prev"  # no feedback at all: repeat the base rate
         self.x_prev = self._rate_floor(rates[winner])
+        self._recorder.event("libra.verdict", now, cycle=self.cycles,
+                             winner=winner, rates=dict(rates),
+                             utilities=dict(utilities),
+                             new_base=self.x_prev)
         self.applied_counts[winner] += 1
         self._last_winner = winner
         self._begin_cycle(now)
@@ -341,6 +372,10 @@ class LibraController(Controller):
         except Exception as exc:  # noqa: BLE001 — any policy fault degrades
             self._disable_rl_arm(report.now, exc)
             return
+        if self._rl_consecutive_faults:
+            # First successful inference after a fault bench: recovered.
+            self._recorder.event("libra.rl_unbench", report.now,
+                                 faults_absorbed=self._rl_consecutive_faults)
         self._rl_consecutive_faults = 0
         self.meter.count("nn_forward", self.policy.actor.flops_per_forward)
         a = float(np.clip(a, -self.config.rl_action_scale,
@@ -364,6 +399,10 @@ class LibraController(Controller):
             * 2.0 ** (self._rl_consecutive_faults - 1),
             self.config.rl_backoff_max)
         self._rl_disabled_until = now + backoff
+        self._recorder.event("libra.rl_bench", now,
+                             fault=repr(exc), backoff=backoff,
+                             until=self._rl_disabled_until,
+                             consecutive=self._rl_consecutive_faults)
         if not self._rl_fault_logged:
             self._rl_fault_logged = True
             log.warning(
@@ -390,6 +429,9 @@ class LibraController(Controller):
         self._outage = True
         self.outage_count += 1
         self._saved_x_prev = self.x_prev
+        self._recorder.event("libra.watchdog", now, phase="freeze",
+                             last_ack=self._last_ack_time,
+                             saved_base=self._saved_x_prev)
         self._log(now)
         log.debug("libra: no-ACK watchdog fired at t=%.3f (last ACK %.3f); "
                   "probing conservatively", now, self._last_ack_time)
@@ -398,6 +440,8 @@ class LibraController(Controller):
         """First ACK after an outage: restore the pre-outage base rate."""
         self._outage = False
         self.x_prev = self._rate_floor(self._saved_x_prev)
+        self._recorder.event("libra.watchdog", now, phase="recover",
+                             restored_base=self.x_prev)
         # Seed the classic CCA back at the restored rate (regardless of
         # which candidate won last) and start a fresh cycle.
         self._last_winner = "prev"

@@ -10,6 +10,7 @@ and text-table formatting.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -19,6 +20,8 @@ from ..parallel import (FailedRun, Job, JobResult, ProgressReporter, execute,
                         single_flow_job)
 from ..scenarios.presets import Scenario
 from ..simnet.network import RunResult
+
+log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -43,6 +46,11 @@ class FlowSummary:
         base = flow.min_rtt_ms if flow.rtt_count else 0.0
         return max(self.avg_rtt_ms - base, 0.0)
 
+    @property
+    def telemetry(self):
+        """The run's :class:`~repro.telemetry.FlowTelemetry` (or None)."""
+        return self.result.telemetry
+
 
 def summarize(cca: str, scenario_name: str, result: RunResult,
               flow_index: int = 0) -> FlowSummary:
@@ -59,15 +67,17 @@ def summarize(cca: str, scenario_name: str, result: RunResult,
 
 def run_single(cca: str, scenario: Scenario, seed: int = 0,
                duration: float | None = None, strict: bool = True,
-               **cca_kwargs) -> FlowSummary | FailedRun:
+               telemetry: bool = False, **cca_kwargs) -> FlowSummary | FailedRun:
     """Run one flow of ``cca`` through ``scenario`` and summarize it.
 
     With ``strict=False`` a controller/simulator exception is converted
     into a structured :class:`~repro.parallel.FailedRun` instead of
     propagating, so a sweep loop can note the failure and keep going.
+    With ``telemetry=True`` the summary's :attr:`FlowSummary.telemetry`
+    carries the run's structured trace.
     """
     job = single_flow_job(cca, scenario, seed=seed, duration=duration,
-                          **cca_kwargs)
+                          telemetry=telemetry, **cca_kwargs)
     jr = execute(job, capture_errors=not strict)
     if jr.failure is not None:
         return jr.failure
@@ -131,19 +141,46 @@ def run_grid(jobs: list[Job], **execution) -> list[FlowSummary | FailedRun]:
 
 def run_seeds(cca: str, scenario: Scenario, seeds, duration: float | None = None,
               **cca_kwargs) -> list[FlowSummary]:
-    """The paper averages 5 runs per point; this runs one per seed."""
-    return run_grid([single_flow_job(cca, scenario, seed=s, duration=duration,
-                                     **cca_kwargs) for s in seeds])
+    """The paper averages 5 runs per point; this runs one per seed.
+
+    Under ``on_error="collect"`` the grid may yield
+    :class:`~repro.parallel.FailedRun` entries; those are filtered out
+    here (with a logged count) so callers always get clean summaries —
+    aggregate over the survivors via :func:`mean_metrics`.
+    """
+    results = run_grid([single_flow_job(cca, scenario, seed=s,
+                                        duration=duration, **cca_kwargs)
+                        for s in seeds])
+    summaries = [r for r in results if not r.failed]
+    failures = [r for r in results if r.failed]
+    if failures:
+        log.warning("run_seeds: %d/%d runs failed for %s @ %s (first: %s)",
+                    len(failures), len(results), cca, scenario.name,
+                    failures[0])
+    return summaries
 
 
 def mean_metrics(summaries: list[FlowSummary]) -> dict[str, float]:
-    if not summaries:
-        raise ValueError("no runs to aggregate")
+    """Average the headline metrics, skipping failed runs explicitly.
+
+    A mixed list (``on_error="collect"`` grids interleave
+    :class:`~repro.parallel.FailedRun` entries) is tolerated: failures
+    are excluded from every mean and surfaced in the ``failures`` count
+    rather than crashing with an ``AttributeError``.
+    """
+    ok = [s for s in summaries if not s.failed]
+    failures = len(summaries) - len(ok)
+    if not ok:
+        raise ValueError(
+            f"no successful runs to aggregate ({failures} failures)"
+            if failures else "no runs to aggregate")
     return {
-        "utilization": float(np.mean([s.utilization for s in summaries])),
-        "throughput_mbps": float(np.mean([s.throughput_mbps for s in summaries])),
-        "avg_rtt_ms": float(np.mean([s.avg_rtt_ms for s in summaries])),
-        "loss_rate": float(np.mean([s.loss_rate for s in summaries])),
+        "utilization": float(np.mean([s.utilization for s in ok])),
+        "throughput_mbps": float(np.mean([s.throughput_mbps for s in ok])),
+        "avg_rtt_ms": float(np.mean([s.avg_rtt_ms for s in ok])),
+        "loss_rate": float(np.mean([s.loss_rate for s in ok])),
+        "runs": len(ok),
+        "failures": failures,
     }
 
 

@@ -24,6 +24,8 @@ class CostMeter:
         "nn_backward",     # flops of NN backward passes
         "gradient_probe",  # PCC-style utility-gradient micro-experiments
         "userspace_packet",  # per-packet userspace datapath handling
+        "telemetry",       # trace-recording operations (zero when disabled;
+                           # the overhead guard test asserts exactly that)
     )
 
     def __init__(self) -> None:

@@ -55,25 +55,47 @@ class FlowSpec:
 
 @dataclass(frozen=True)
 class Job:
-    """One simulation run: flows through a scenario at a seed."""
+    """One simulation run: flows through a scenario at a seed.
+
+    ``telemetry`` is 0 for a plain run or the telemetry *schema version*
+    for a traced one.  Because it is a regular job field it participates
+    in :func:`canonical_spec`, so telemetry-bearing results live under a
+    schema-versioned cache key — enabling tracing (or bumping the
+    schema) can never serve a stale scalar-only cache hit.
+    """
 
     scenario: Scenario
     flows: tuple[FlowSpec, ...]
     seed: int = 0
     duration: float | None = None
+    telemetry: int = 0
 
     def __post_init__(self) -> None:
         if not self.flows:
             raise ValueError("a job needs at least one flow")
+        if self.telemetry < 0:
+            raise ValueError("telemetry must be 0 (off) or a schema version")
 
     @property
     def effective_duration(self) -> float:
         return self.duration if self.duration is not None \
             else self.scenario.default_duration
 
+    def with_telemetry(self, enabled: bool = True) -> "Job":
+        """A copy of this job with tracing switched on (or off)."""
+        from ..telemetry import SCHEMA_VERSION
+
+        return dataclasses.replace(
+            self, telemetry=SCHEMA_VERSION if enabled else 0)
+
     def run(self) -> RunResult:
         """Execute the simulation in-process and return its result."""
-        net = self.scenario.build(seed=self.seed)
+        recorder = None
+        if self.telemetry:
+            from ..telemetry import Recorder
+
+            recorder = Recorder()
+        net = self.scenario.build(seed=self.seed, recorder=recorder)
         for flow in self.flows:
             net.add_flow(flow.build(self.seed), start=flow.start,
                          stop=flow.stop, extra_rtt=flow.extra_rtt)
@@ -81,10 +103,12 @@ class Job:
 
 
 def single_flow_job(cca: str, scenario: Scenario, seed: int = 0,
-                    duration: float | None = None, **cca_kwargs) -> Job:
+                    duration: float | None = None, telemetry: bool = False,
+                    **cca_kwargs) -> Job:
     """The ``run_single``-shaped job: one flow, flow seed = network seed."""
-    return Job(scenario=scenario, flows=(FlowSpec.make(cca, **cca_kwargs),),
-               seed=seed, duration=duration)
+    job = Job(scenario=scenario, flows=(FlowSpec.make(cca, **cca_kwargs),),
+              seed=seed, duration=duration)
+    return job.with_telemetry() if telemetry else job
 
 
 @dataclass

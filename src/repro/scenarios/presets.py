@@ -50,11 +50,17 @@ class Scenario:
     def trace(self, seed: int = 0) -> Trace:
         return self.trace_factory(seed)
 
-    def build(self, seed: int = 0) -> Dumbbell:
-        """Construct the dumbbell network for this scenario."""
+    def build(self, seed: int = 0, recorder=None) -> Dumbbell:
+        """Construct the dumbbell network for this scenario.
+
+        ``recorder`` optionally attaches a
+        :class:`~repro.telemetry.Recorder` so the run produces a
+        :class:`~repro.telemetry.FlowTelemetry` artifact.
+        """
         return Dumbbell(self.trace(seed), buffer_bytes=self.buffer_bytes,
                         rtt=self.rtt, loss_rate=self.loss_rate, seed=seed,
-                        mss=self.mss, aqm=self.aqm, faults=self.faults)
+                        mss=self.mss, aqm=self.aqm, faults=self.faults,
+                        recorder=recorder)
 
     def with_(self, **changes) -> "Scenario":
         return replace(self, **changes)

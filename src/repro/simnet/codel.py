@@ -34,11 +34,13 @@ class CoDelQueue:
     """
 
     def __init__(self, capacity_bytes: float, clock,
-                 target: float = TARGET, interval: float = INTERVAL):
+                 target: float = TARGET, interval: float = INTERVAL,
+                 on_drop=None):
         if capacity_bytes <= 0:
             raise ValueError("buffer capacity must be positive")
         self.capacity_bytes = capacity_bytes
         self.clock = clock
+        self.on_drop = on_drop
         self.target = target
         self.interval = interval
         self._q: deque[tuple[float, Packet]] = deque()
@@ -69,6 +71,8 @@ class CoDelQueue:
     def _drop(self, packet: Packet) -> None:
         self.dropped_packets += 1
         self.dropped_bytes += packet.size
+        if self.on_drop is not None:
+            self.on_drop(packet)
 
     def _dequeue_raw(self) -> Packet | None:
         if not self._q:

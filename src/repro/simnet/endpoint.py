@@ -25,6 +25,7 @@ from ..units import DEFAULT_MSS
 
 if TYPE_CHECKING:  # break the runtime import cycle with repro.cca
     from ..cca.base import Controller
+    from ..telemetry import Recorder
 from .engine import EventLoop
 from .packet import Ack, AckSample, IntervalReport, LossSample, Packet
 
@@ -37,6 +38,9 @@ MIN_PACING_RATE = 64_000.0
 #: relative pacing jitter; breaks phase locks between paced senders that
 #: would otherwise win/lose droptail slots systematically
 PACING_JITTER = 0.10
+#: sampling cadence for traced flows whose controller requests no MI
+#: callbacks (window CCAs) — telemetry-only, never observed by the CCA
+TELEMETRY_SAMPLE_INTERVAL = 0.05
 
 
 @dataclass(slots=True)
@@ -144,13 +148,19 @@ class Sender:
 
     def __init__(self, loop: EventLoop, flow_id: int, controller: Controller,
                  transmit: Callable[[Packet], None], mss: int = DEFAULT_MSS,
-                 stats: FlowStats | None = None):
+                 stats: FlowStats | None = None,
+                 recorder: "Recorder | None" = None):
         self.loop = loop
         self.flow_id = flow_id
         self.controller = controller
         self.transmit = transmit
         self.mss = mss
         self.stats = stats or FlowStats(flow_id=flow_id, start_time=0.0, end_time=0.0)
+        # Telemetry: None for untraced runs (hot paths pay one attribute
+        # check); channels are resolved once at start() so the per-MI
+        # recording path never does a dict lookup.
+        self.recorder = recorder
+        self._tel_channels = None
 
         self.next_seq = 0
         self.inflight_bytes = 0.0
@@ -180,6 +190,12 @@ class Sender:
         self.stats.start_time = now
         self.last_ack_time = now
         self.controller.start(now, self.mss)
+        if self.recorder is not None:
+            prefix = f"flow{self.flow_id}."
+            self._tel_channels = tuple(
+                self.recorder.series(prefix + name)
+                for name in ("rate", "srtt", "cwnd", "inflight",
+                             "throughput", "loss_rate"))
         self._window.reset(now)
         self._schedule_interval()
         self._send_loop()
@@ -344,9 +360,37 @@ class Sender:
     def _schedule_interval(self) -> None:
         duration = self.controller.interval()
         if duration is None:
+            if self._tel_channels is not None:
+                # Traced window CCA: sample at a fixed cadence instead.
+                self._interval_timer = self.loop.schedule(
+                    TELEMETRY_SAMPLE_INTERVAL, self._fire_telemetry_sample)
             return
         duration = max(duration, 1e-3)
         self._interval_timer = self.loop.schedule(duration, self._fire_interval)
+
+    def _fire_telemetry_sample(self) -> None:
+        """Telemetry-only tick for controllers without monitor intervals."""
+        if not self._running:
+            return
+        now = self.loop.now
+        report = self._window.report(now, self.min_rtt)
+        self._window.reset(now)
+        self._record_interval(now, report)
+        self._schedule_interval()
+
+    def _record_interval(self, now: float, report: IntervalReport) -> None:
+        """Per-MI telemetry sampling (traced runs only)."""
+        rate_ch, srtt_ch, cwnd_ch, inflight_ch, tput_ch, loss_ch = \
+            self._tel_channels
+        rate_ch.add(now, self._effective_rate())
+        srtt_ch.add(now, self.srtt)
+        cwnd = self.controller.cwnd()
+        if cwnd is not None:
+            cwnd_ch.add(now, cwnd)
+        inflight_ch.add(now, self.inflight_bytes)
+        tput_ch.add(now, report.throughput)
+        loss_ch.add(now, report.loss_rate)
+        self.controller.meter.count("telemetry")
 
     def _fire_interval(self) -> None:
         if not self._running:
@@ -356,6 +400,8 @@ class Sender:
         report = self._window.report(now, self.min_rtt)
         self._window.reset(now)
         self.controller.meter.count("per_mi")
+        if self._tel_channels is not None:
+            self._record_interval(now, report)
         self.controller.on_interval(report)
         if self._blocked and self._window_allows():
             self._send_loop()

@@ -53,6 +53,8 @@ class EventLoop:
         self._heap: list[tuple[float, int, Timer]] = []
         self._seq = itertools.count()
         self._cancelled = 0
+        #: events fired so far — surfaced in telemetry run metadata
+        self.processed = 0
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Timer:
         """Schedule ``fn`` to run ``delay`` seconds from now."""
@@ -89,6 +91,7 @@ class EventLoop:
                 self._cancelled -= 1
                 continue
             self.now = time
+            self.processed += 1
             timer.fn()
             heap = self._heap  # _compact may have replaced the list
         if self.now < end_time:
@@ -105,6 +108,7 @@ class EventLoop:
                 self._cancelled -= 1
                 continue
             self.now = time
+            self.processed += 1
             timer.fn()
         raise RuntimeError(f"event loop exceeded {max_events} events")
 

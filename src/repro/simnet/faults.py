@@ -281,6 +281,10 @@ class FaultInjector:
         self.data_drops = 0
         self.ack_drops = 0
         self.reordered = 0
+        #: optional telemetry recorder (attached by the Dumbbell for
+        #: traced runs); fault *state transitions* become events while
+        #: per-packet decisions stay counter-only to bound volume
+        self.telemetry = None
 
     def wrap_trace(self, trace: Trace) -> Trace:
         if not self.schedule.blackouts:
@@ -297,8 +301,14 @@ class FaultInjector:
         if self._ge_bad:
             if self.rng.random() < ge.p_exit:
                 self._ge_bad = False
+                if self.telemetry is not None:
+                    self.telemetry.event("fault.ge_state", now, bad=False,
+                                         drops=self.data_drops)
         elif self.rng.random() < ge.p_enter:
             self._ge_bad = True
+            if self.telemetry is not None:
+                self.telemetry.event("fault.ge_state", now, bad=True,
+                                     drops=self.data_drops)
         loss = ge.loss_bad if self._ge_bad else ge.loss_good
         if loss > 0.0 and self.rng.random() < loss:
             self.data_drops += 1
@@ -317,6 +327,8 @@ class FaultInjector:
         if ro is not None and _window_active(now, ro.start, ro.stop) \
                 and self.rng.random() < ro.probability:
             self.reordered += 1
+            if self.telemetry is not None:
+                self.telemetry.event("fault.reorder", now, extra=ro.extra)
             extra += ro.extra
         return extra
 

@@ -19,6 +19,7 @@ from .queue import DropTailQueue
 from .trace import Trace
 
 if TYPE_CHECKING:
+    from ..telemetry import Recorder
     from .faults import FaultInjector
 
 
@@ -43,21 +44,30 @@ class BottleneckLink:
     injector:
         Optional :class:`~repro.simnet.faults.FaultInjector` consulted on
         ingress (burst loss) and egress (delay spikes, reordering).
+    recorder:
+        Optional :class:`~repro.telemetry.Recorder`; when attached, the
+        link emits ``link.drop`` events (queue overflow / AQM drops).
+        ``None`` (the default) keeps the data path telemetry-free — each
+        guarded site pays one attribute check.
     """
 
     def __init__(self, loop: EventLoop, trace: Trace, buffer_bytes: float,
                  propagation_delay: float, deliver: Callable[[Packet], None],
                  loss_rate: float = 0.0, seed: int = 0, aqm: str = "droptail",
-                 injector: "FaultInjector | None" = None):
+                 injector: "FaultInjector | None" = None,
+                 recorder: "Recorder | None" = None):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         self.loop = loop
         self.trace = trace
+        self.recorder = recorder
+        on_drop = self._record_drop if recorder is not None else None
         if aqm == "droptail":
-            self.queue = DropTailQueue(buffer_bytes)
+            self.queue = DropTailQueue(buffer_bytes, on_drop=on_drop)
         elif aqm == "codel":
             from .codel import CoDelQueue
-            self.queue = CoDelQueue(buffer_bytes, clock=lambda: loop.now)
+            self.queue = CoDelQueue(buffer_bytes, clock=lambda: loop.now,
+                                    on_drop=on_drop)
         else:
             raise ValueError(f"unknown AQM {aqm!r}; use 'droptail' or 'codel'")
         self.propagation_delay = propagation_delay
@@ -92,6 +102,11 @@ class BottleneckLink:
             return
         if self.queue.push(packet) and not self._busy:
             self._start_service()
+
+    def _record_drop(self, packet: Packet) -> None:
+        """Queue drop hook (only wired for traced runs)."""
+        self.recorder.event("link.drop", self.loop.now, flow=packet.flow_id,
+                            seq=packet.seq, queue_bytes=self.queue.bytes)
 
     # -- service process -----------------------------------------------------
 

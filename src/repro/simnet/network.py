@@ -15,6 +15,7 @@ from ..units import DEFAULT_MSS
 
 if TYPE_CHECKING:  # break the runtime import cycle with repro.cca
     from ..cca.base import Controller
+    from ..telemetry import FlowTelemetry, Recorder
 from .endpoint import FlowStats, Receiver, Sender
 from .engine import EventLoop
 from .faults import FaultInjector, FaultSchedule
@@ -37,6 +38,9 @@ class RunResult:
     controllers: list = field(default_factory=list)
     #: (service time, cumulative served bytes) per packet — windowed metrics
     service_log: list = field(default_factory=list)
+    #: structured trace of the run (``None`` unless telemetry was enabled);
+    #: picklable, so it crosses the fork-pool boundary and the result cache
+    telemetry: "FlowTelemetry | None" = None
 
     @property
     def utilization(self) -> float:
@@ -95,16 +99,19 @@ class Dumbbell:
 
     def __init__(self, trace: Trace, buffer_bytes: float, rtt: float,
                  loss_rate: float = 0.0, seed: int = 0, mss: int = DEFAULT_MSS,
-                 aqm: str = "droptail", faults: FaultSchedule | None = None):
+                 aqm: str = "droptail", faults: FaultSchedule | None = None,
+                 recorder: "Recorder | None" = None):
         if rtt <= 0:
             raise ValueError("rtt must be positive")
         self.loop = EventLoop()
+        self.recorder = recorder
         self.injector = FaultInjector(faults, seed=seed) \
             if faults is not None and faults.active else None
         if self.injector is not None:
             # Blackouts live in the trace so service and capacity metrics
             # both see them; the injector handles the stochastic faults.
             trace = self.injector.wrap_trace(trace)
+            self.injector.telemetry = recorder
         self.trace = trace
         self.rtt = rtt
         self.mss = mss
@@ -116,9 +123,15 @@ class Dumbbell:
             propagation_delay=rtt / 2.0,
             deliver=self._deliver,
             loss_rate=loss_rate, seed=seed, aqm=aqm,
-            injector=self.injector)
+            injector=self.injector, recorder=recorder)
         self.queue_samples: list[tuple[float, int]] = []
         self._queue_sample_interval = 0.05
+        if recorder is not None:
+            self._tel_link = (recorder.series("link.queue_bytes"),
+                              recorder.series("link.served_bytes"),
+                              recorder.series("link.dropped_packets"))
+        else:
+            self._tel_link = None
 
     # -- construction ------------------------------------------------------
 
@@ -152,7 +165,14 @@ class Dumbbell:
         return route
 
     def _sample_queue(self) -> None:
-        self.queue_samples.append((self.loop.now, self.link.queue.bytes))
+        now = self.loop.now
+        self.queue_samples.append((now, self.link.queue.bytes))
+        if self._tel_link is not None:
+            queue_ch, served_ch, dropped_ch = self._tel_link
+            queue_ch.add(now, self.link.queue.bytes)
+            served_ch.add(now, self.link.served_bytes)
+            dropped_ch.add(now, self.link.queue.dropped_packets
+                           + self.link.random_drops + self.link.fault_drops)
         self.loop.schedule(self._queue_sample_interval, self._sample_queue)
 
     # -- execution -----------------------------------------------------------
@@ -161,13 +181,23 @@ class Dumbbell:
         """Simulate ``duration`` seconds and return aggregated results."""
         if not self._specs:
             raise ValueError("no flows registered")
+        recorder = self.recorder
+        if recorder is not None and self.injector is not None:
+            # Blackout windows are static schedule facts; emit them as
+            # events up front so traces are self-describing.
+            for blackout in self.injector.schedule.blackouts:
+                recorder.event("fault.blackout", blackout.start,
+                               duration=blackout.duration, end=blackout.end)
         for flow_id, spec in enumerate(self._specs):
             stats = FlowStats(flow_id=flow_id, start_time=spec.start,
                               end_time=duration)
             receiver = Receiver(self.loop, flow_id,
                                 self._ack_path(flow_id, spec.extra_rtt), stats)
             sender = Sender(self.loop, flow_id, spec.controller,
-                            self.link.send, mss=self.mss, stats=stats)
+                            self.link.send, mss=self.mss, stats=stats,
+                            recorder=recorder)
+            if recorder is not None:
+                spec.controller.attach_telemetry(recorder, flow_id=flow_id)
             self._receivers.append(receiver)
             self._senders.append(sender)
             self.loop.schedule_at(spec.start, sender.start)
@@ -178,6 +208,23 @@ class Dumbbell:
         for sender in self._senders:
             if sender.stats.end_time == 0.0 or sender.stats.end_time > duration:
                 sender.stats.end_time = duration
+        telemetry = None
+        if recorder is not None:
+            meta = {
+                "duration": duration,
+                "flows": len(self._senders),
+                "mss": self.mss,
+                "events_processed": self.loop.processed,
+                "link_served_bytes": float(self.link.served_bytes),
+                "link_dropped_packets": self.link.queue.dropped_packets,
+                "link_random_drops": self.link.random_drops,
+                "link_fault_drops": self.link.fault_drops,
+            }
+            if self.injector is not None:
+                meta.update(fault_data_drops=self.injector.data_drops,
+                            fault_ack_drops=self.injector.ack_drops,
+                            fault_reordered=self.injector.reordered)
+            telemetry = recorder.finish(meta=meta)
         return RunResult(
             duration=duration,
             flows=[s.stats for s in self._senders],
@@ -187,4 +234,5 @@ class Dumbbell:
             link_random_drops=self.link.random_drops,
             queue_samples=self.queue_samples,
             controllers=[spec.controller for spec in self._specs],
-            service_log=self.link._service_log)
+            service_log=self.link._service_log,
+            telemetry=telemetry)

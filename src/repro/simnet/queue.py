@@ -16,13 +16,16 @@ class DropTailQueue:
     """FIFO byte-bounded droptail queue.
 
     ``capacity_bytes`` may be ``float('inf')`` for an unbounded buffer.
-    Tracks occupancy and drop statistics for the monitors.
+    Tracks occupancy and drop statistics for the monitors.  ``on_drop``
+    is an optional callback invoked with each dropped packet — the link
+    wires it to the telemetry recorder for traced runs.
     """
 
-    def __init__(self, capacity_bytes: float):
+    def __init__(self, capacity_bytes: float, on_drop=None):
         if capacity_bytes <= 0:
             raise ValueError("buffer capacity must be positive")
         self.capacity_bytes = capacity_bytes
+        self.on_drop = on_drop
         self._q: deque[Packet] = deque()
         self.bytes = 0
         self.enqueued_packets = 0
@@ -35,6 +38,8 @@ class DropTailQueue:
         if self.bytes + packet.size > self.capacity_bytes:
             self.dropped_packets += 1
             self.dropped_bytes += packet.size
+            if self.on_drop is not None:
+                self.on_drop(packet)
             return False
         self._q.append(packet)
         self.bytes += packet.size

@@ -1,0 +1,29 @@
+"""Structured flow telemetry: typed channels, run artifacts, exporters.
+
+The observability layer for every simulation run: a low-overhead
+:class:`Recorder` with sampled series channels and structured event
+channels, a picklable :class:`FlowTelemetry` artifact that crosses the
+fork-pool boundary and the content-addressed result cache, and
+JSONL/CSV exporters with schema validation.
+
+Enable per run (``Job.with_telemetry()``, ``single_flow_job(...,
+telemetry=True)``, or ``python -m repro trace``); when disabled, hot
+paths pay a single attribute check and no recorder is ever constructed.
+"""
+
+from __future__ import annotations
+
+from .artifact import SUMMARY_PERCENTILES, FlowTelemetry
+from .export import (TelemetrySchemaError, format_summary, validate_jsonl,
+                     write_csv, write_jsonl)
+from .recorder import (DEFAULT_CONFIG, NULL_RECORDER, SCHEMA_VERSION, Event,
+                       EventChannel, NullRecorder, Recorder, SeriesChannel,
+                       TelemetryConfig)
+
+__all__ = [
+    "DEFAULT_CONFIG", "Event", "EventChannel", "FlowTelemetry",
+    "NULL_RECORDER", "NullRecorder", "Recorder", "SCHEMA_VERSION",
+    "SUMMARY_PERCENTILES", "SeriesChannel", "TelemetryConfig",
+    "TelemetrySchemaError", "format_summary", "validate_jsonl", "write_csv",
+    "write_jsonl",
+]

@@ -1,0 +1,120 @@
+"""Picklable run-telemetry artifact and its summary reducers.
+
+A :class:`FlowTelemetry` is what a traced run carries back from the
+worker pool: frozen numpy column arrays per series channel, tuples of
+:class:`~repro.telemetry.recorder.Event` per event kind, and a metadata
+dict.  Everything inside is plain numpy / builtin types, so the artifact
+pickles across the fork-pool boundary and through the content-addressed
+result cache unchanged.
+
+The reducers answer the common diagnostic questions without exporting:
+``summary()`` gives count/mean/min/max and p50/p95/p99 per channel,
+``downsample()`` thins a series for plotting, ``events_of()`` filters
+events by kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .recorder import Event
+
+#: percentiles reported by :meth:`FlowTelemetry.summary`
+SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass
+class FlowTelemetry:
+    """Frozen telemetry of one simulation run."""
+
+    schema_version: int
+    #: channel name -> (times, values) numpy column pair
+    series: dict[str, tuple[np.ndarray, np.ndarray]]
+    #: event kind -> time-ordered tuple of events
+    events: dict[str, tuple[Event, ...]]
+    #: event kind -> number of events discarded past the cap
+    dropped_events: dict[str, int] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    # -- accessors --------------------------------------------------------
+
+    def series_names(self) -> list[str]:
+        return sorted(self.series)
+
+    def event_kinds(self) -> list[str]:
+        return sorted(self.events)
+
+    def samples(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) of one series channel."""
+        return self.series[name]
+
+    def events_of(self, kind: str) -> list[Event]:
+        """Events of one kind (empty list if the kind never fired)."""
+        return list(self.events.get(kind, ()))
+
+    def all_events(self) -> list[Event]:
+        """Every event across kinds, time-ordered."""
+        merged: list[Event] = []
+        for events in self.events.values():
+            merged.extend(events)
+        merged.sort(key=lambda e: e.t)
+        return merged
+
+    @property
+    def sample_count(self) -> int:
+        return sum(len(t) for t, _ in self.series.values())
+
+    @property
+    def event_count(self) -> int:
+        return sum(len(e) for e in self.events.values())
+
+    # -- reducers ---------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Per-channel descriptive statistics.
+
+        ``{"series": {name: {count, mean, min, max, p50, p95, p99}},
+        "events": {kind: count}, "dropped_events": {...}}`` — the shape
+        the ``repro trace`` CLI pretty-prints.
+        """
+        series = {}
+        for name, (times, values) in self.series.items():
+            if len(values) == 0:
+                series[name] = {"count": 0}
+                continue
+            stats = {
+                "count": int(len(values)),
+                "mean": float(np.mean(values)),
+                "min": float(np.min(values)),
+                "max": float(np.max(values)),
+                "t0": float(times[0]),
+                "t1": float(times[-1]),
+            }
+            for pct, value in zip(SUMMARY_PERCENTILES,
+                                  np.percentile(values, SUMMARY_PERCENTILES)):
+                stats[f"p{pct:g}"] = float(value)
+            series[name] = stats
+        return {
+            "schema_version": self.schema_version,
+            "series": series,
+            "events": {kind: len(ev) for kind, ev in sorted(self.events.items())},
+            "dropped_events": dict(self.dropped_events),
+        }
+
+    def downsample(self, name: str, max_points: int) -> tuple[np.ndarray, np.ndarray]:
+        """Thin one series to at most ``max_points`` via strided selection.
+
+        Keeps the first and last sample so plot extents survive; an
+        already-small series is returned unchanged (copies).
+        """
+        if max_points < 2:
+            raise ValueError("max_points must be >= 2")
+        times, values = self.series[name]
+        n = len(times)
+        if n <= max_points:
+            return times.copy(), values.copy()
+        idx = np.linspace(0, n - 1, max_points).round().astype(int)
+        idx = np.unique(idx)
+        return times[idx], values[idx]

@@ -1,0 +1,219 @@
+"""Exporters for :class:`~repro.telemetry.artifact.FlowTelemetry`.
+
+Two formats:
+
+- **JSONL** — one JSON object per line.  The first line is a ``header``
+  record carrying the schema version, metadata and the channel/event
+  inventory; ``sample`` records follow per series point and ``event``
+  records per structured event, each time-ordered within its channel.
+  :func:`validate_jsonl` re-reads a file and checks it against the
+  schema — CI runs it on every traced smoke flow.
+- **CSV** — a long-format table (``t,record,channel,value,fields``)
+  that loads directly into pandas/spreadsheets; events serialize their
+  payload as a JSON string in the ``fields`` column.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from typing import IO
+
+from .artifact import FlowTelemetry
+from .recorder import SCHEMA_VERSION
+
+
+class TelemetrySchemaError(ValueError):
+    """A JSONL trace failed schema validation."""
+
+
+def _json_safe(value):
+    """Coerce a payload value into something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if hasattr(value, "item"):  # numpy scalar
+        return _json_safe(value.item())
+    return repr(value)
+
+
+def _open(path_or_file, mode: str):
+    if hasattr(path_or_file, "write") or hasattr(path_or_file, "read"):
+        return path_or_file, False
+    return open(path_or_file, mode), True
+
+
+# -- JSONL -------------------------------------------------------------------
+
+def write_jsonl(telemetry: FlowTelemetry, path_or_file) -> int:
+    """Write one trace as JSON Lines; returns the number of lines."""
+    fh, owned = _open(path_or_file, "w")
+    try:
+        lines = 0
+        header = {
+            "type": "header",
+            "schema_version": telemetry.schema_version,
+            "series": telemetry.series_names(),
+            "events": telemetry.event_kinds(),
+            "dropped_events": dict(telemetry.dropped_events),
+            "meta": _json_safe(telemetry.meta),
+        }
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        lines += 1
+        for name in telemetry.series_names():
+            times, values = telemetry.samples(name)
+            for t, v in zip(times.tolist(), values.tolist()):
+                fh.write(json.dumps({"type": "sample", "channel": name,
+                                     "t": t, "v": _json_safe(v)}) + "\n")
+                lines += 1
+        for kind in telemetry.event_kinds():
+            for event in telemetry.events_of(kind):
+                fh.write(json.dumps({"type": "event", "kind": kind,
+                                     "t": event.t,
+                                     "fields": _json_safe(event.fields)}) + "\n")
+                lines += 1
+        return lines
+    finally:
+        if owned:
+            fh.close()
+
+
+def validate_jsonl(path_or_file) -> dict:
+    """Validate a JSONL trace; returns ``{"samples": n, "events": n, ...}``.
+
+    Raises :class:`TelemetrySchemaError` on a missing/invalid header,
+    unknown record types, records referencing undeclared channels, or
+    malformed lines.
+    """
+    fh, owned = _open(path_or_file, "r")
+    try:
+        header = None
+        samples = 0
+        events = 0
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetrySchemaError(
+                    f"line {lineno}: invalid JSON ({exc})") from exc
+            if not isinstance(record, dict) or "type" not in record:
+                raise TelemetrySchemaError(
+                    f"line {lineno}: record has no 'type'")
+            kind = record["type"]
+            if lineno == 1:
+                if kind != "header":
+                    raise TelemetrySchemaError("first line must be a header")
+                if record.get("schema_version") != SCHEMA_VERSION:
+                    raise TelemetrySchemaError(
+                        f"schema_version {record.get('schema_version')!r} != "
+                        f"{SCHEMA_VERSION}")
+                for key in ("series", "events", "meta"):
+                    if key not in record:
+                        raise TelemetrySchemaError(f"header lacks {key!r}")
+                header = record
+                continue
+            if header is None:
+                raise TelemetrySchemaError("missing header line")
+            if kind == "sample":
+                if record.get("channel") not in header["series"]:
+                    raise TelemetrySchemaError(
+                        f"line {lineno}: undeclared channel "
+                        f"{record.get('channel')!r}")
+                if not isinstance(record.get("t"), (int, float)):
+                    raise TelemetrySchemaError(f"line {lineno}: bad 't'")
+                samples += 1
+            elif kind == "event":
+                if record.get("kind") not in header["events"]:
+                    raise TelemetrySchemaError(
+                        f"line {lineno}: undeclared event kind "
+                        f"{record.get('kind')!r}")
+                if not isinstance(record.get("fields"), dict):
+                    raise TelemetrySchemaError(f"line {lineno}: bad 'fields'")
+                events += 1
+            else:
+                raise TelemetrySchemaError(
+                    f"line {lineno}: unknown record type {kind!r}")
+        if header is None:
+            raise TelemetrySchemaError("empty trace file")
+        return {"samples": samples, "events": events,
+                "schema_version": header["schema_version"],
+                "series": list(header["series"]),
+                "event_kinds": list(header["events"])}
+    finally:
+        if owned:
+            fh.close()
+
+
+# -- CSV ---------------------------------------------------------------------
+
+def write_csv(telemetry: FlowTelemetry, path_or_file) -> int:
+    """Write a long-format CSV; returns the number of data rows."""
+    fh, owned = _open(path_or_file, "w")
+    try:
+        writer = csv.writer(fh, lineterminator="\n")
+        writer.writerow(["t", "record", "channel", "value", "fields"])
+        rows = 0
+        for name in telemetry.series_names():
+            times, values = telemetry.samples(name)
+            for t, v in zip(times.tolist(), values.tolist()):
+                writer.writerow([repr(t), "sample", name, repr(v), ""])
+                rows += 1
+        for kind in telemetry.event_kinds():
+            for event in telemetry.events_of(kind):
+                writer.writerow([repr(event.t), "event", kind, "",
+                                 json.dumps(_json_safe(event.fields),
+                                            sort_keys=True)])
+                rows += 1
+        return rows
+    finally:
+        if owned:
+            fh.close()
+
+
+# -- pretty-printing ---------------------------------------------------------
+
+def format_summary(telemetry: FlowTelemetry, tail: int = 0) -> str:
+    """Human-readable channel/event summary for the ``trace`` CLI."""
+    info = telemetry.summary()
+    out = io.StringIO()
+    out.write(f"telemetry schema v{info['schema_version']}: "
+              f"{telemetry.sample_count} samples / "
+              f"{telemetry.event_count} events\n")
+    if info["series"]:
+        out.write("\nseries channels:\n")
+        header = (f"  {'channel':32}  {'count':>6}  {'mean':>12}  "
+                  f"{'p50':>12}  {'p95':>12}  {'p99':>12}\n")
+        out.write(header)
+        for name in sorted(info["series"]):
+            stats = info["series"][name]
+            if not stats["count"]:
+                out.write(f"  {name:32}  {0:>6}\n")
+                continue
+            out.write(f"  {name:32}  {stats['count']:>6}  "
+                      f"{stats['mean']:>12.4g}  {stats['p50']:>12.4g}  "
+                      f"{stats['p95']:>12.4g}  {stats['p99']:>12.4g}\n")
+    if info["events"]:
+        out.write("\nevent channels:\n")
+        for kind in sorted(info["events"]):
+            dropped = info["dropped_events"].get(kind, 0)
+            extra = f"  (+{dropped} dropped past cap)" if dropped else ""
+            out.write(f"  {kind:32}  {info['events'][kind]:>6}{extra}\n")
+    if tail > 0:
+        events = telemetry.all_events()[-tail:]
+        if events:
+            out.write(f"\nlast {len(events)} events:\n")
+            for event in events:
+                fields = ", ".join(f"{k}={_json_safe(v)!r}"
+                                   for k, v in event.fields.items())
+                out.write(f"  t={event.t:10.4f}  {event.kind:24} {fields}\n")
+    return out.getvalue().rstrip("\n")

@@ -1,0 +1,300 @@
+"""Low-overhead structured flow telemetry recorder.
+
+Diagnosing a stage machine like Libra's (exploration → evaluation →
+exploitation) requires *time series* — per-MI rates, utility comparisons
+at cycle boundaries, watchdog and backoff transitions — not end-of-run
+scalars.  The :class:`Recorder` collects two kinds of typed channels:
+
+- :class:`SeriesChannel` — sampled numeric time series (rate, srtt,
+  cwnd, queue occupancy, link service/drops) stored in preallocated
+  column buffers that grow by doubling, with optional per-channel
+  decimation (``min_interval``) so per-packet producers cannot flood the
+  buffer.
+- :class:`EventChannel` — structured events (Libra stage transitions,
+  per-cycle utility verdicts, RL-arm bench/unbench, watchdog
+  freeze/recover, fault activations) stored as typed
+  :class:`Event` tuples, capped per kind with an explicit dropped
+  counter so pathological runs degrade gracefully instead of eating
+  memory.
+
+Overhead discipline: telemetry is *opt-in per run*.  Hot paths (per-ACK,
+per-packet) hold a plain attribute that is ``None`` when telemetry is
+disabled and pay exactly one attribute check; the recorder itself is
+only ever constructed for traced runs.  ``tests/telemetry/test_overhead``
+enforces both properties structurally via :mod:`repro.overhead.meter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
+
+#: version of the on-disk/artifact schema; bumped whenever channel
+#: semantics or export layout change.  Participates in the job cache key
+#: (see :class:`repro.parallel.jobs.Job`), so enabling telemetry — or
+#: changing its schema — can never serve stale scalar-only cache hits.
+SCHEMA_VERSION = 1
+
+
+class Event(NamedTuple):
+    """One structured event: a timestamp, a kind, and a payload dict."""
+
+    t: float
+    kind: str
+    fields: dict
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Tunable recorder limits.
+
+    ``max_events_per_kind`` replaces the hard-coded 100 000-entry cap
+    that used to live inside ``LibraController._log``; Libra's decision
+    log is now an :class:`EventChannel` governed by this knob (see
+    ``LibraConfig.telemetry``).
+    """
+
+    #: minimum spacing between accepted samples of one series channel;
+    #: 0 accepts every sample (per-MI producers are already sparse)
+    sample_interval: float = 0.0
+    #: per-kind event cap; further events are counted in ``dropped``
+    max_events_per_kind: int = 100_000
+    #: initial column-buffer capacity of each series channel
+    initial_capacity: int = 256
+
+
+DEFAULT_CONFIG = TelemetryConfig()
+
+
+class SeriesChannel:
+    """Columnar (time, value) buffer with amortized O(1) appends."""
+
+    __slots__ = ("name", "min_interval", "_t", "_v", "_n", "_last_t",
+                 "decimated")
+
+    def __init__(self, name: str, capacity: int = 256,
+                 min_interval: float = 0.0):
+        self.name = name
+        self.min_interval = min_interval
+        self._t = np.empty(max(capacity, 4), dtype=np.float64)
+        self._v = np.empty(max(capacity, 4), dtype=np.float64)
+        self._n = 0
+        self._last_t = -np.inf
+        #: samples skipped by the ``min_interval`` decimator
+        self.decimated = 0
+
+    def add(self, t: float, value: float) -> bool:
+        """Append one sample; returns False if decimated away."""
+        if t - self._last_t < self.min_interval:
+            self.decimated += 1
+            return False
+        n = self._n
+        if n == len(self._t):
+            self._t = np.concatenate([self._t, np.empty_like(self._t)])
+            self._v = np.concatenate([self._v, np.empty_like(self._v)])
+        self._t[n] = t
+        self._v[n] = value
+        self._n = n + 1
+        self._last_t = t
+        return True
+
+    def __len__(self) -> int:
+        return self._n
+
+    def data(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) trimmed to the filled region (copies)."""
+        return self._t[:self._n].copy(), self._v[:self._n].copy()
+
+
+class EventChannel:
+    """Append-only list of :class:`Event` of one kind, with a cap."""
+
+    __slots__ = ("kind", "cap", "events", "dropped")
+
+    def __init__(self, kind: str, cap: int = 100_000):
+        self.kind = kind
+        self.cap = cap
+        self.events: list[Event] = []
+        #: events discarded after the cap was reached
+        self.dropped = 0
+
+    def add(self, t: float, **fields) -> Event | None:
+        if len(self.events) >= self.cap:
+            self.dropped += 1
+            return None
+        event = Event(t, self.kind, fields)
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class Recorder:
+    """Typed-channel telemetry sink for one simulation run.
+
+    Producers obtain their channel once (``series(name)`` /
+    ``channel(kind)`` are memoized) and append through it, so the per
+    sample cost is one bounds check and two array stores.  ``finish()``
+    freezes everything into a picklable
+    :class:`~repro.telemetry.artifact.FlowTelemetry`.
+    """
+
+    #: mirrors the NullRecorder protocol; always True for real recorders
+    enabled = True
+
+    def __init__(self, config: TelemetryConfig | None = None):
+        self.config = config or DEFAULT_CONFIG
+        self._series: dict[str, SeriesChannel] = {}
+        self._events: dict[str, EventChannel] = {}
+        self.meta: dict = {}
+
+    # -- channels ---------------------------------------------------------
+
+    def series(self, name: str, min_interval: float | None = None) -> SeriesChannel:
+        """The (memoized) series channel called ``name``."""
+        channel = self._series.get(name)
+        if channel is None:
+            channel = SeriesChannel(
+                name, capacity=self.config.initial_capacity,
+                min_interval=self.config.sample_interval
+                if min_interval is None else min_interval)
+            self._series[name] = channel
+        return channel
+
+    def channel(self, kind: str) -> EventChannel:
+        """The (memoized) event channel for ``kind``."""
+        channel = self._events.get(kind)
+        if channel is None:
+            channel = EventChannel(kind, cap=self.config.max_events_per_kind)
+            self._events[kind] = channel
+        return channel
+
+    # -- convenience producers -------------------------------------------
+
+    def sample(self, name: str, t: float, value: float) -> None:
+        self.series(name).add(t, value)
+
+    def event(self, kind: str, t: float, **fields) -> None:
+        self.channel(kind).add(t, **fields)
+
+    # -- consumers --------------------------------------------------------
+
+    def events(self, kind: str | None = None) -> list[Event]:
+        """All events of ``kind`` (or every kind, time-ordered)."""
+        if kind is not None:
+            channel = self._events.get(kind)
+            return list(channel.events) if channel is not None else []
+        merged: list[Event] = []
+        for channel in self._events.values():
+            merged.extend(channel.events)
+        merged.sort(key=lambda e: e.t)
+        return merged
+
+    def series_names(self) -> list[str]:
+        return sorted(self._series)
+
+    def event_kinds(self) -> list[str]:
+        return sorted(self._events)
+
+    def adopt(self, other: "Recorder") -> None:
+        """Absorb another recorder's channels (used when a controller's
+        private recorder is redirected to the run-wide one)."""
+        for name, channel in other._series.items():
+            if name not in self._series:
+                self._series[name] = channel
+        for kind, channel in other._events.items():
+            mine = self.channel(kind)
+            for event in channel.events:
+                mine.add(event.t, **event.fields)
+            mine.dropped += channel.dropped
+
+    def finish(self, meta: dict | None = None):
+        """Freeze into a picklable :class:`FlowTelemetry` artifact."""
+        from .artifact import FlowTelemetry
+
+        merged_meta = dict(self.meta)
+        if meta:
+            merged_meta.update(meta)
+        return FlowTelemetry(
+            schema_version=SCHEMA_VERSION,
+            series={name: ch.data() for name, ch in sorted(self._series.items())},
+            events={kind: tuple(ch.events)
+                    for kind, ch in sorted(self._events.items())},
+            dropped_events={kind: ch.dropped
+                            for kind, ch in sorted(self._events.items())
+                            if ch.dropped},
+            meta=merged_meta)
+
+
+class NullRecorder:
+    """Inert stand-in exposing the Recorder protocol as no-ops.
+
+    Hot paths should prefer ``recorder is not None`` guards (one
+    attribute check); the null object exists for code that wants to call
+    unconditionally at non-hot frequency.
+    """
+
+    enabled = False
+
+    def series(self, name: str, min_interval: float | None = None):
+        return _NULL_SERIES
+
+    def channel(self, kind: str):
+        return _NULL_EVENTS
+
+    def sample(self, name: str, t: float, value: float) -> None:
+        pass
+
+    def event(self, kind: str, t: float, **fields) -> None:
+        pass
+
+    def events(self, kind: str | None = None) -> list[Event]:
+        return []
+
+    def series_names(self) -> list[str]:
+        return []
+
+    def event_kinds(self) -> list[str]:
+        return []
+
+    def finish(self, meta: dict | None = None):
+        from .artifact import FlowTelemetry
+
+        return FlowTelemetry(schema_version=SCHEMA_VERSION, series={},
+                             events={}, dropped_events={}, meta=meta or {})
+
+
+class _NullSeries:
+    __slots__ = ()
+    decimated = 0
+
+    def add(self, t: float, value: float) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def data(self):
+        empty = np.empty(0, dtype=np.float64)
+        return empty, empty.copy()
+
+
+class _NullEvents:
+    __slots__ = ()
+    dropped = 0
+
+    def add(self, t: float, **fields):
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+
+_NULL_SERIES = _NullSeries()
+_NULL_EVENTS = _NullEvents()
+
+#: shared inert recorder; safe because it holds no state
+NULL_RECORDER = NullRecorder()

@@ -28,7 +28,8 @@ class TestHarness:
                                  duration=3.0)
         metrics = harness.mean_metrics(runs)
         assert set(metrics) == {"utilization", "throughput_mbps",
-                                "avg_rtt_ms", "loss_rate"}
+                                "avg_rtt_ms", "loss_rate", "runs", "failures"}
+        assert metrics["runs"] == 2 and metrics["failures"] == 0
 
     def test_mean_metrics_requires_runs(self):
         with pytest.raises(ValueError):

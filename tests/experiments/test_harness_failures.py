@@ -1,0 +1,59 @@
+"""Harness behavior when grids interleave FailedRun entries."""
+
+import logging
+
+import pytest
+
+from repro.experiments import harness
+from repro.parallel import FailedRun
+from repro.scenarios.presets import WIRED
+
+
+def _failure(seed=0) -> FailedRun:
+    return FailedRun(cca="crash-test", scenario="wired-24", seed=seed,
+                     error="RuntimeError('boom')")
+
+
+def _summaries(n=2):
+    return harness.run_seeds("cubic", WIRED["wired-24"], range(1, n + 1),
+                             duration=1.0)
+
+
+class TestMeanMetrics:
+    def test_skips_failed_runs(self):
+        ok = _summaries(2)
+        metrics = harness.mean_metrics([*ok, _failure()])
+        assert metrics["runs"] == 2
+        assert metrics["failures"] == 1
+        assert metrics == harness.mean_metrics(ok) | {"failures": 1}
+
+    def test_all_failed_raises_with_count(self):
+        with pytest.raises(ValueError, match="2 failures"):
+            harness.mean_metrics([_failure(0), _failure(1)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no runs"):
+            harness.mean_metrics([])
+
+
+class TestRunSeeds:
+    def test_filters_failures_and_warns(self, caplog, monkeypatch):
+        real_run_grid = harness.run_grid
+
+        def flaky_grid(jobs, **execution):
+            results = real_run_grid(jobs, **execution)
+            results[0] = _failure(seed=jobs[0].seed)
+            return results
+
+        monkeypatch.setattr(harness, "run_grid", flaky_grid)
+        with caplog.at_level(logging.WARNING, logger=harness.log.name):
+            summaries = harness.run_seeds("cubic", WIRED["wired-24"], (1, 2),
+                                          duration=1.0)
+        assert len(summaries) == 1
+        assert all(not s.failed for s in summaries)
+        assert "1/2 runs failed" in caplog.text
+
+    def test_clean_grid_passes_through(self):
+        summaries = _summaries(2)
+        assert len(summaries) == 2
+        assert {s.result.flows[0].flow_id for s in summaries} == {0}

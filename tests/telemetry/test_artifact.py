@@ -1,0 +1,83 @@
+"""FlowTelemetry reducers: summary percentiles, downsampling, pickling."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.telemetry import Event, FlowTelemetry, SCHEMA_VERSION
+
+
+def _artifact(n=101) -> FlowTelemetry:
+    times = np.linspace(0.0, 10.0, n)
+    values = np.arange(float(n))  # 0..n-1: percentiles are exact
+    events = {
+        "k": tuple(Event(float(i), "k", {"n": i}) for i in range(3)),
+        "other": (Event(0.5, "other", {}),),
+    }
+    return FlowTelemetry(schema_version=SCHEMA_VERSION,
+                         series={"s": (times, values)}, events=events,
+                         dropped_events={"k": 7}, meta={"duration": 10.0})
+
+
+class TestSummary:
+    def test_percentiles_on_known_data(self):
+        stats = _artifact(101).summary()["series"]["s"]
+        assert stats["count"] == 101
+        assert stats["mean"] == pytest.approx(50.0)
+        assert stats["min"] == 0.0 and stats["max"] == 100.0
+        assert stats["p50"] == pytest.approx(50.0)
+        assert stats["p95"] == pytest.approx(95.0)
+        assert stats["p99"] == pytest.approx(99.0)
+        assert stats["t0"] == 0.0 and stats["t1"] == 10.0
+
+    def test_event_and_drop_counts(self):
+        info = _artifact().summary()
+        assert info["events"] == {"k": 3, "other": 1}
+        assert info["dropped_events"] == {"k": 7}
+        assert info["schema_version"] == SCHEMA_VERSION
+
+    def test_empty_channel(self):
+        empty = np.empty(0)
+        tel = FlowTelemetry(schema_version=SCHEMA_VERSION,
+                            series={"s": (empty, empty)}, events={})
+        assert tel.summary()["series"]["s"] == {"count": 0}
+
+
+class TestDownsample:
+    def test_keeps_endpoints(self):
+        tel = _artifact(1001)
+        times, values = tel.downsample("s", 50)
+        assert len(times) <= 50
+        assert times[0] == 0.0 and times[-1] == 10.0
+        assert values[0] == 0.0 and values[-1] == 1000.0
+
+    def test_small_series_unchanged(self):
+        tel = _artifact(10)
+        times, values = tel.downsample("s", 50)
+        assert len(times) == 10
+        np.testing.assert_allclose(values, np.arange(10.0))
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(ValueError):
+            _artifact().downsample("s", 1)
+
+
+class TestAccessors:
+    def test_counts_and_filters(self):
+        tel = _artifact()
+        assert tel.sample_count == 101
+        assert tel.event_count == 4
+        assert tel.series_names() == ["s"]
+        assert tel.event_kinds() == ["k", "other"]
+        assert [e.fields["n"] for e in tel.events_of("k")] == [0, 1, 2]
+        assert tel.events_of("missing") == []
+        assert [e.t for e in tel.all_events()] == [0.0, 0.5, 1.0, 2.0]
+
+    def test_pickle_roundtrip(self):
+        tel = _artifact()
+        clone = pickle.loads(pickle.dumps(tel))
+        assert clone.summary() == tel.summary()
+        np.testing.assert_array_equal(clone.samples("s")[1],
+                                      tel.samples("s")[1])
+        assert clone.events_of("k") == tel.events_of("k")

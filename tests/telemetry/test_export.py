@@ -1,0 +1,115 @@
+"""JSONL/CSV exporters and schema validation."""
+
+import csv
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (Event, FlowTelemetry, SCHEMA_VERSION,
+                             TelemetrySchemaError, format_summary,
+                             validate_jsonl, write_csv, write_jsonl)
+
+
+def _artifact() -> FlowTelemetry:
+    times = np.array([0.0, 1.0, 2.0])
+    values = np.array([10.0, 20.0, 30.0])
+    return FlowTelemetry(
+        schema_version=SCHEMA_VERSION, series={"s": (times, values)},
+        events={"k": (Event(0.5, "k", {"n": 1, "label": "x"}),)},
+        meta={"duration": 2.0})
+
+
+class TestJsonl:
+    def test_write_and_validate_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = write_jsonl(_artifact(), path)
+        assert lines == 5  # header + 3 samples + 1 event
+        info = validate_jsonl(path)
+        assert info == {"samples": 3, "events": 1,
+                        "schema_version": SCHEMA_VERSION, "series": ["s"],
+                        "event_kinds": ["k"]}
+
+    def test_header_is_first_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(_artifact(), path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["type"] == "header"
+        assert header["schema_version"] == SCHEMA_VERSION
+        assert header["meta"]["duration"] == 2.0
+
+    def test_file_like_objects(self):
+        buf = io.StringIO()
+        write_jsonl(_artifact(), buf)
+        buf.seek(0)
+        assert validate_jsonl(buf)["samples"] == 3
+
+    def test_rejects_empty_file(self):
+        with pytest.raises(TelemetrySchemaError, match="empty"):
+            validate_jsonl(io.StringIO(""))
+
+    def test_rejects_missing_header(self):
+        line = json.dumps({"type": "sample", "channel": "s", "t": 0.0, "v": 1})
+        with pytest.raises(TelemetrySchemaError, match="header"):
+            validate_jsonl(io.StringIO(line + "\n"))
+
+    def test_rejects_schema_mismatch(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(_artifact(), path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(TelemetrySchemaError, match="schema_version"):
+            validate_jsonl(path)
+
+    def test_rejects_undeclared_channel(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(_artifact(), path)
+        with open(path, "a") as fh:
+            fh.write(json.dumps({"type": "sample", "channel": "ghost",
+                                 "t": 0.0, "v": 1.0}) + "\n")
+        with pytest.raises(TelemetrySchemaError, match="undeclared channel"):
+            validate_jsonl(path)
+
+    def test_rejects_invalid_json(self):
+        header = json.dumps({"type": "header",
+                             "schema_version": SCHEMA_VERSION,
+                             "series": [], "events": [], "meta": {}})
+        with pytest.raises(TelemetrySchemaError, match="invalid JSON"):
+            validate_jsonl(io.StringIO(header + "\nnot json\n"))
+
+    def test_rejects_unknown_record_type(self):
+        header = json.dumps({"type": "header",
+                             "schema_version": SCHEMA_VERSION,
+                             "series": [], "events": [], "meta": {}})
+        bad = json.dumps({"type": "mystery"})
+        with pytest.raises(TelemetrySchemaError, match="unknown record"):
+            validate_jsonl(io.StringIO(header + "\n" + bad + "\n"))
+
+
+class TestCsv:
+    def test_long_format(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        rows = write_csv(_artifact(), path)
+        assert rows == 4
+        with open(path) as fh:
+            parsed = list(csv.reader(fh))
+        assert parsed[0] == ["t", "record", "channel", "value", "fields"]
+        assert len(parsed) == 5
+        sample = parsed[1]
+        assert sample[1] == "sample" and sample[2] == "s"
+        assert float(sample[3]) == 10.0
+        event = parsed[4]
+        assert event[1] == "event" and event[2] == "k"
+        assert json.loads(event[4]) == {"n": 1, "label": "x"}
+
+
+class TestFormatSummary:
+    def test_mentions_channels_and_tail(self):
+        text = format_summary(_artifact(), tail=5)
+        assert "schema v1" in text
+        assert "s" in text and "k" in text
+        assert "3 samples / 1 events" in text
+        assert "last 1 events" in text

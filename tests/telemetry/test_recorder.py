@@ -1,0 +1,130 @@
+"""Recorder primitives: buffer growth, decimation, caps, adoption."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (Event, EventChannel, NullRecorder, Recorder,
+                             SeriesChannel, TelemetryConfig, SCHEMA_VERSION)
+
+
+class TestSeriesChannel:
+    def test_growth_beyond_initial_capacity(self):
+        ch = SeriesChannel("x", capacity=4)
+        for i in range(1000):
+            assert ch.add(float(i), float(i * 2))
+        assert len(ch) == 1000
+        times, values = ch.data()
+        np.testing.assert_allclose(times, np.arange(1000.0))
+        np.testing.assert_allclose(values, np.arange(1000.0) * 2)
+
+    def test_data_returns_trimmed_copies(self):
+        ch = SeriesChannel("x", capacity=8)
+        ch.add(1.0, 10.0)
+        times, values = ch.data()
+        assert len(times) == len(values) == 1
+        times[0] = 99.0  # mutating the copy must not touch the buffer
+        assert ch.data()[0][0] == 1.0
+
+    def test_decimation(self):
+        ch = SeriesChannel("x", min_interval=0.5)
+        assert ch.add(0.0, 1.0)
+        assert not ch.add(0.1, 2.0)   # too close: decimated away
+        assert not ch.add(0.49, 3.0)
+        assert ch.add(0.5, 4.0)
+        assert len(ch) == 2
+        assert ch.decimated == 2
+
+    def test_no_decimation_by_default(self):
+        ch = SeriesChannel("x")
+        for t in (0.0, 0.0, 0.001):
+            ch.add(t, 1.0)
+        assert len(ch) == 3
+        assert ch.decimated == 0
+
+
+class TestEventChannel:
+    def test_cap_and_dropped_counter(self):
+        ch = EventChannel("k", cap=3)
+        for i in range(5):
+            ch.add(float(i), n=i)
+        assert len(ch) == 3
+        assert ch.dropped == 2
+        assert [e.fields["n"] for e in ch.events] == [0, 1, 2]
+
+    def test_events_are_typed_tuples(self):
+        ch = EventChannel("k")
+        event = ch.add(1.5, a=1, b="x")
+        assert isinstance(event, Event)
+        assert event.t == 1.5 and event.kind == "k"
+        assert event.fields == {"a": 1, "b": "x"}
+
+
+class TestRecorder:
+    def test_channels_are_memoized(self):
+        rec = Recorder()
+        assert rec.series("a") is rec.series("a")
+        assert rec.channel("k") is rec.channel("k")
+
+    def test_config_governs_event_cap(self):
+        rec = Recorder(TelemetryConfig(max_events_per_kind=2))
+        for i in range(4):
+            rec.event("k", float(i))
+        assert len(rec.events("k")) == 2
+        assert rec.channel("k").dropped == 2
+
+    def test_events_merged_across_kinds_is_time_ordered(self):
+        rec = Recorder()
+        rec.event("b", 2.0)
+        rec.event("a", 1.0)
+        rec.event("b", 3.0)
+        assert [e.t for e in rec.events()] == [1.0, 2.0, 3.0]
+        assert [e.t for e in rec.events("b")] == [2.0, 3.0]
+        assert rec.events("missing") == []
+
+    def test_adopt_absorbs_channels_and_drop_counts(self):
+        inner = Recorder(TelemetryConfig(max_events_per_kind=2))
+        inner.sample("s", 0.0, 1.0)
+        for i in range(3):
+            inner.event("k", float(i), n=i)
+        outer = Recorder()
+        outer.event("k", 10.0, n=10)
+        outer.adopt(inner)
+        assert "s" in outer.series_names()
+        events = outer.events("k")
+        assert [e.fields["n"] for e in events] == [10, 0, 1]
+        assert outer.channel("k").dropped == 1  # inner's overflow carried over
+
+    def test_finish_produces_picklable_artifact(self):
+        rec = Recorder()
+        rec.sample("s", 0.0, 1.0)
+        rec.event("k", 0.5, x=1)
+        tel = rec.finish(meta={"duration": 1.0})
+        assert tel.schema_version == SCHEMA_VERSION
+        clone = pickle.loads(pickle.dumps(tel))
+        assert clone.sample_count == 1 and clone.event_count == 1
+        assert clone.meta["duration"] == 1.0
+
+
+class TestNullRecorder:
+    def test_everything_is_a_noop(self):
+        rec = NullRecorder()
+        assert not rec.enabled
+        rec.sample("s", 0.0, 1.0)
+        rec.event("k", 0.0, x=1)
+        assert not rec.series("s").add(0.0, 1.0)
+        assert rec.channel("k").add(0.0) is None
+        assert rec.events() == [] and rec.series_names() == []
+        tel = rec.finish()
+        assert tel.sample_count == 0 and tel.event_count == 0
+
+
+class TestTelemetryConfig:
+    def test_rejects_negative_schema_in_job(self):
+        from repro.parallel import Job, FlowSpec
+        from repro.scenarios.presets import WIRED
+
+        with pytest.raises(ValueError):
+            Job(scenario=WIRED["wired-24"], flows=(FlowSpec.make("cubic"),),
+                telemetry=-1)

@@ -1,0 +1,84 @@
+"""CLI smoke tests: list / run / trace through the ``__main__`` entry point."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+from repro.telemetry import validate_jsonl
+
+FLOW_ARGS = ["--bw", "12", "--rtt", "30", "--duration", "2", "--seed", "1"]
+
+
+class TestList:
+    def test_lists_ccas_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cubic" in out and "c-libra" in out
+        assert "fig7" in out and "stress" in out
+
+    def test_python_dash_m_entry_point(self):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run([sys.executable, "-m", "repro", "list"],
+                              capture_output=True, text=True, env=env)
+        assert proc.returncode == 0
+        assert "CCAs:" in proc.stdout
+
+
+class TestRun:
+    def test_headline_line(self, capsys):
+        assert main(["run", "cubic", *FLOW_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "cubic: throughput=" in out and "Mbps" in out
+
+
+class TestTrace:
+    def test_jsonl_export_validates(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        assert main(["trace", "cubic", *FLOW_ARGS,
+                     "--out", str(out_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "telemetry schema v" in printed
+        assert "flow0.rate" in printed
+        info = validate_jsonl(out_path)
+        assert info["samples"] > 0 and info["events"] > 0
+        assert "flow0.rate" in info["series"]
+
+    def test_csv_export(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.csv"
+        assert main(["trace", "cubic", *FLOW_ARGS, "--format", "csv",
+                     "--out", str(out_path)]) == 0
+        header = out_path.read_text().splitlines()[0]
+        assert header == "t,record,channel,value,fields"
+        assert "csv records" in capsys.readouterr().out
+
+    def test_libra_trace_carries_stage_events(self, tmp_path, capsys):
+        out_path = tmp_path / "libra.jsonl"
+        assert main(["trace", "c-libra", "--lte", "stationary", "--duration",
+                     "4", "--seed", "1", "--out", str(out_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "libra.stage" in printed and "libra.verdict" in printed
+        info = validate_jsonl(out_path)
+        assert "libra.stage" in info["event_kinds"]
+
+    def test_trace_without_out_only_prints(self, capsys):
+        assert main(["trace", "cubic", *FLOW_ARGS, "--tail", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" not in out and "series channels:" in out
+
+
+class TestExperiment:
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["experiment", "fig999"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_negative_jobs_rejected(self, capsys):
+        assert main(["experiment", "fig7", "--jobs", "-1"]) == 2
+
+    def test_unknown_cca_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "no-such-cca", *FLOW_ARGS])
