@@ -7,10 +7,15 @@ Usage:
                                                      # evaluation needs
     python examples/train_policy.py libra --epochs 200 --out /tmp/w
 
-Policies are PPO Gaussian actor-critics trained in the fluid environment
-with the paper's randomized network ranges (Sec. 5 Implementation).  The
-repository ships pretrained weights in ``src/repro/assets``; this script
-regenerates them.
+Thin front-end over the :mod:`repro.train` pipeline.  For parallel
+rollout workers, crash-safe checkpoints with ``--resume``, structured
+JSONL logs, and eval-gated asset promotion, use the full CLI instead:
+
+    python -m repro train libra --workers 4 --checkpoint-every 10 --promote
+
+The repository ships pretrained weights in ``src/repro/assets``
+(integrity-tracked by ``MANIFEST.json``); this script regenerates them
+and keeps the manifest in sync.
 """
 
 import argparse
@@ -19,6 +24,7 @@ import sys
 
 import numpy as np
 
+from repro import assets
 from repro.assets import _ASSET_DIR  # default output location
 from repro.training import TRAIN_SPECS, train_and_save_all, train_policy
 
@@ -46,6 +52,7 @@ def main(argv=None) -> int:
     os.makedirs(args.out, exist_ok=True)
     path = os.path.join(args.out, f"{args.kind}.npz")
     policy.save(path)
+    assets.update_manifest_entry(args.kind, asset_dir=args.out)
     tail = history.episode_rewards[-50:]
     print(f"trained {args.kind!r}: {len(history.episode_rewards)} episodes, "
           f"final avg reward {np.mean(tail):.3f}")

@@ -6,6 +6,9 @@ Usage:
     python -m repro trace c-libra --lte stationary --out trace.jsonl
     python -m repro experiment fig7            # print a paper artifact
     python -m repro experiment fig9 --jobs 4   # parallel + cached sweep
+    python -m repro train libra --workers 2 --iterations 30 \\
+        --checkpoint-every 10                  # parallel, resumable training
+    python -m repro train --verify-assets      # bundled-policy integrity
 """
 
 from __future__ import annotations
@@ -113,6 +116,87 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_train(args) -> int:
+    from .assets import POLICY_KINDS
+
+    if args.verify_assets:
+        from .assets import verify_assets
+
+        rows = verify_assets(args.assets_dir)
+        width = max(len(row["kind"]) for row in rows)
+        bad = 0
+        for row in rows:
+            line = f"{row['kind']:<{width}}  {row['status']}"
+            if row["detail"]:
+                line += f"  ({row['detail']})"
+            print(line)
+            bad += row["status"] != "ok"
+        return 1 if bad else 0
+
+    if not args.kind and not args.all:
+        print("specify a policy kind, --all, or --verify-assets "
+              f"(kinds: {', '.join(POLICY_KINDS)})", file=sys.stderr)
+        return 2
+    kinds = list(POLICY_KINDS) if args.all else [args.kind]
+    unknown = [k for k in kinds if k not in POLICY_KINDS]
+    if unknown:
+        print(f"unknown policy kind {unknown[0]!r}; "
+              f"choose from {', '.join(POLICY_KINDS)}", file=sys.stderr)
+        return 2
+    if args.all and (args.resume or args.checkpoint_dir or args.save or
+                     args.log):
+        print("--all cannot be combined with --resume/--checkpoint-dir/"
+              "--save/--log (they name per-run files)", file=sys.stderr)
+        return 2
+
+    import os
+
+    from .train import GateConfig, TrainRunConfig, train_run
+
+    try:
+        hidden = tuple(int(h) for h in args.hidden.split(","))
+        gate_seeds = tuple(int(s) for s in args.gate_seeds.split(","))
+    except ValueError:
+        print("--hidden and --gate-seeds take comma-separated integers",
+              file=sys.stderr)
+        return 2
+
+    status = 0
+    for kind in kinds:
+        checkpoint_dir = args.checkpoint_dir
+        if checkpoint_dir is None and (args.checkpoint_every > 0 or
+                                       args.resume):
+            checkpoint_dir = os.path.join("checkpoints", kind)
+        config = TrainRunConfig(
+            kind=kind, iterations=args.iterations, workers=args.workers,
+            steps_per_iteration=args.steps, seed=args.seed, hidden=hidden,
+            episode_steps=args.episode_steps, backend=args.backend,
+            timeout=args.timeout, checkpoint_dir=checkpoint_dir,
+            checkpoint_every=args.checkpoint_every, resume=args.resume,
+            log_path=args.log, promote=args.promote,
+            assets_dir=args.assets_dir,
+            gate=GateConfig(seeds=gate_seeds, duration=args.gate_duration),
+            verbose=not args.quiet)
+        result = train_run(config)
+        rewards = result.history.episode_rewards
+        tail = rewards[-20:]
+        summary = (f"{kind}: {result.iterations_run} iterations, "
+                   f"{len(rewards)} episodes")
+        if tail:
+            import numpy as np
+
+            summary += f", final avg reward {np.mean(tail):.3f}"
+        print(summary)
+        if args.save:
+            result.policy.save(args.save)
+            print(f"wrote weights to {args.save}")
+        if result.checkpoints:
+            print(f"latest checkpoint: {result.checkpoints[-1]}")
+        if result.promotion is not None and not result.promotion.promoted:
+            status = 1
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -160,6 +244,59 @@ def main(argv=None) -> int:
     exp.add_argument("--quiet", action="store_true",
                      help="suppress progress output on stderr")
 
+    train = sub.add_parser(
+        "train", help="train a policy: parallel rollouts, checkpoints, "
+                      "structured logs, eval-gated promotion")
+    train.add_argument("kind", nargs="?",
+                       help="policy kind (libra, aurora, orca, modified-rl)")
+    train.add_argument("--all", action="store_true",
+                       help="train every policy kind in sequence")
+    train.add_argument("--workers", type=int, default=1,
+                       help="parallel rollout workers (default 1)")
+    train.add_argument("--iterations", type=int, default=30,
+                       help="training iterations (PPO epochs)")
+    train.add_argument("--steps", type=int, default=1920,
+                       help="environment steps collected per iteration")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--hidden", default="64,64",
+                       help="comma-separated hidden layer sizes")
+    train.add_argument("--episode-steps", type=int, default=96)
+    train.add_argument("--backend", choices=("auto", "serial", "fork"),
+                       default="auto",
+                       help="rollout execution backend (default auto: fork "
+                            "when --workers > 1 and the platform supports it)")
+    train.add_argument("--timeout", type=float, default=None,
+                       help="per-rollout-task wall-time bound (fork mode)")
+    train.add_argument("--checkpoint-every", type=int, default=0,
+                       help="checkpoint cadence in iterations "
+                            "(0 = final iteration only)")
+    train.add_argument("--checkpoint-dir", default=None,
+                       help="checkpoint directory "
+                            "(default: checkpoints/<kind> when needed)")
+    train.add_argument("--resume", action="store_true",
+                       help="resume from the latest checkpoint in "
+                            "--checkpoint-dir")
+    train.add_argument("--log", default=None,
+                       help="write a structured JSONL training log here")
+    train.add_argument("--save", default=None,
+                       help="write the final policy weights to this .npz")
+    train.add_argument("--promote", action="store_true",
+                       help="run the evaluation gate and replace the bundled "
+                            "asset only if the candidate beats it "
+                            "(exit 1 when the gate refuses)")
+    train.add_argument("--assets-dir", default=None,
+                       help="asset directory for --promote/--verify-assets "
+                            "(default: the bundled repro/assets)")
+    train.add_argument("--gate-duration", type=float, default=10.0,
+                       help="seconds of simulated time per gate panel run")
+    train.add_argument("--gate-seeds", default="1,2",
+                       help="comma-separated seeds per gate panel scenario")
+    train.add_argument("--verify-assets", action="store_true",
+                       help="check bundled .npz files against MANIFEST.json "
+                            "and exit")
+    train.add_argument("--quiet", action="store_true",
+                       help="suppress per-iteration progress lines")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list(args)
@@ -167,6 +304,8 @@ def main(argv=None) -> int:
         return cmd_run(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "train":
+        return cmd_train(args)
     return cmd_experiment(args)
 
 

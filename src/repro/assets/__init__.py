@@ -2,13 +2,25 @@
 
 The evaluation experiments need trained DRL components; shipping the
 weights keeps every bench deterministic and fast.  Regenerate them with
-``python examples/train_policy.py --all`` (or
-:func:`repro.training.train_and_save_all`).
+``repro train --all`` (or :func:`repro.training.train_and_save_all`);
+a single policy is only replaced through the evaluation gate
+(``repro train <kind> --promote``), which refuses candidates that do
+not beat the shipped incumbent on the simnet panel.
+
+``MANIFEST.json`` records a sha256 digest and schema version for every
+bundled ``.npz``.  :func:`load_policy` checks the digest on every cold
+load, so silent corruption (truncated checkout, bad merge, partial
+copy) surfaces as an actionable error instead of garbage behaviour
+deep inside an experiment.  ``repro train --verify-assets`` prints the
+full integrity report.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import tempfile
 import zipfile
 
 from ..rl.policy import GaussianActorCritic
@@ -18,11 +30,173 @@ _ASSET_DIR = os.path.dirname(os.path.abspath(__file__))
 #: policies expected to ship with the package
 POLICY_KINDS = ("libra", "aurora", "orca", "modified-rl")
 
+MANIFEST_NAME = "MANIFEST.json"
+
+#: bump when the manifest layout changes incompatibly
+MANIFEST_SCHEMA_VERSION = 1
+
+#: schema of the policy ``.npz`` payload (weights + obs/act/hidden header)
+POLICY_NPZ_SCHEMA_VERSION = 1
+
 _cache: dict[str, GaussianActorCritic] = {}
 
 
 def asset_path(kind: str) -> str:
     return os.path.join(_ASSET_DIR, f"{kind}.npz")
+
+
+def manifest_path(asset_dir: str | None = None) -> str:
+    return os.path.join(asset_dir or _ASSET_DIR, MANIFEST_NAME)
+
+
+def _sha256(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def load_manifest(asset_dir: str | None = None) -> dict | None:
+    """The parsed manifest, or ``None`` when no manifest file exists."""
+    path = manifest_path(asset_dir)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as fh:
+            manifest = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RuntimeError(
+            f"asset manifest {path} is unreadable "
+            f"({type(exc).__name__}: {exc}) — regenerate with "
+            f"`repro train --verify-assets` after restoring the assets, "
+            f"or `repro train --all` to rebuild everything") from exc
+    if manifest.get("schema_version") != MANIFEST_SCHEMA_VERSION:
+        raise RuntimeError(
+            f"asset manifest {path} has schema "
+            f"v{manifest.get('schema_version')}, this code reads "
+            f"v{MANIFEST_SCHEMA_VERSION} — regenerate it")
+    return manifest
+
+
+def _write_manifest(manifest: dict, asset_dir: str | None = None) -> str:
+    directory = asset_dir or _ASSET_DIR
+    path = manifest_path(directory)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".manifest-",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def _manifest_entry(path: str) -> dict:
+    return {
+        "sha256": _sha256(path),
+        "schema_version": POLICY_NPZ_SCHEMA_VERSION,
+        "bytes": os.path.getsize(path),
+    }
+
+
+def update_manifest_entry(kind: str, asset_dir: str | None = None) -> str:
+    """Refresh one policy's manifest entry after its ``.npz`` changed.
+
+    Also drops the policy from the in-process cache, so the next
+    :func:`load_policy` call sees the new weights — the promotion path
+    in :mod:`repro.train.gate` relies on both.
+    """
+    directory = asset_dir or _ASSET_DIR
+    path = os.path.join(directory, f"{kind}.npz")
+    manifest = load_manifest(directory) or {
+        "schema_version": MANIFEST_SCHEMA_VERSION, "assets": {}}
+    manifest.setdefault("assets", {})[kind] = _manifest_entry(path)
+    if directory == _ASSET_DIR:
+        _cache.pop(kind, None)
+    return _write_manifest(manifest, directory)
+
+
+def refresh_manifest(asset_dir: str | None = None) -> str:
+    """Rebuild the manifest from every ``<kind>.npz`` present on disk."""
+    directory = asset_dir or _ASSET_DIR
+    manifest = {"schema_version": MANIFEST_SCHEMA_VERSION, "assets": {}}
+    for kind in POLICY_KINDS:
+        path = os.path.join(directory, f"{kind}.npz")
+        if os.path.exists(path):
+            manifest["assets"][kind] = _manifest_entry(path)
+    if directory == _ASSET_DIR:
+        _cache.clear()
+    return _write_manifest(manifest, directory)
+
+
+def verify_assets(asset_dir: str | None = None) -> list[dict]:
+    """Integrity report: one row per policy kind.
+
+    ``status`` is one of ``ok``, ``missing-file``, ``missing-entry``
+    (file exists but is not in the manifest), ``hash-mismatch``,
+    ``corrupt`` (hash matches nothing loadable), or ``no-manifest``.
+    """
+    directory = asset_dir or _ASSET_DIR
+    manifest = load_manifest(directory)
+    rows = []
+    for kind in POLICY_KINDS:
+        path = os.path.join(directory, f"{kind}.npz")
+        row = {"kind": kind, "path": path}
+        if not os.path.exists(path):
+            row.update(status="missing-file",
+                       detail="asset file does not exist")
+        elif manifest is None:
+            row.update(status="no-manifest",
+                       detail=f"{MANIFEST_NAME} missing — run "
+                              f"repro.assets.refresh_manifest()")
+        else:
+            entry = manifest.get("assets", {}).get(kind)
+            if entry is None:
+                row.update(status="missing-entry",
+                           detail=f"no manifest entry for {kind!r}")
+            elif _sha256(path) != entry.get("sha256"):
+                row.update(status="hash-mismatch",
+                           detail="sha256 differs from manifest — the file "
+                                  "changed outside the promotion path")
+            else:
+                try:
+                    _load(path)
+                except (RuntimeError, FileNotFoundError) as exc:
+                    row.update(status="corrupt", detail=str(exc))
+                else:
+                    row.update(status="ok", detail="")
+        rows.append(row)
+    return rows
+
+
+def _check_manifest(kind: str, path: str) -> None:
+    """Raise if ``path`` contradicts its manifest entry (if any exists)."""
+    directory = os.path.dirname(path)
+    manifest = load_manifest(directory)
+    if manifest is None:
+        return  # unmanaged directory (tests, scratch dirs) — nothing to check
+    entry = manifest.get("assets", {}).get(kind)
+    if entry is None:
+        return
+    schema = entry.get("schema_version")
+    if schema != POLICY_NPZ_SCHEMA_VERSION:
+        raise RuntimeError(
+            f"pretrained policy {path} has npz schema v{schema}, this code "
+            f"reads v{POLICY_NPZ_SCHEMA_VERSION} — regenerate with "
+            f"`repro train {kind} --promote`")
+    if _sha256(path) != entry.get("sha256"):
+        raise RuntimeError(
+            f"pretrained policy {path} does not match its manifest sha256 — "
+            f"the file was modified outside the promotion path; regenerate "
+            f"with `repro train {kind} --promote` or restore the original "
+            f"and run `repro train --verify-assets`")
 
 
 def _load(path: str) -> GaussianActorCritic:
@@ -43,15 +217,20 @@ def _load(path: str) -> GaussianActorCritic:
 def load_policy(kind: str, fresh: bool = False) -> GaussianActorCritic:
     """Load a bundled pretrained policy by kind.
 
-    ``fresh=True`` returns a new instance (callers that mutate state or
-    need independent RNG streams); the default shares a cached copy,
-    which is safe because inference never mutates the weights.
+    Cold loads are verified against ``MANIFEST.json`` (sha256 + schema
+    version) when the asset directory carries one.  ``fresh=True``
+    returns a new instance (callers that mutate state or need
+    independent RNG streams); the default shares a cached copy, which
+    is safe because inference never mutates the weights.
     """
     if kind not in POLICY_KINDS:
         raise KeyError(f"unknown policy kind {kind!r}; "
                        f"choose from {POLICY_KINDS}")
+    path = asset_path(kind)
     if fresh:
-        return _load(asset_path(kind))
+        _check_manifest(kind, path)
+        return _load(path)
     if kind not in _cache:
-        _cache[kind] = _load(asset_path(kind))
+        _check_manifest(kind, path)
+        _cache[kind] = _load(path)
     return _cache[kind]

@@ -52,10 +52,15 @@ class FluidLinkEnv:
     """Gym-like single-flow, single-bottleneck fluid environment."""
 
     def __init__(self, config: FluidEnvConfig | None = None,
-                 action_space: ActionSpace | None = None):
+                 action_space: ActionSpace | None = None,
+                 rng: np.random.Generator | None = None):
         self.config = config or FluidEnvConfig()
         self.action_space = action_space or MimdOrcaActions(scale=1.0)
-        self.rng = np.random.default_rng(self.config.seed)
+        # One explicit Generator drives every stochastic draw (episode
+        # parameters, starting rate); passing it in lets the training
+        # pipeline derive per-(iteration, worker) streams deterministically.
+        self.rng = rng if rng is not None \
+            else np.random.default_rng(self.config.seed)
         self.builder = StateBuilder(self.config.feature_set,
                                     self.config.history)
         self.reward_fn = RewardFunction(self.config.reward)

@@ -21,7 +21,8 @@ from dataclasses import dataclass, replace
 from .cache import CACHE_DIR_ENV, ResultCache, code_salt, default_cache_dir, job_key
 from .jobs import (FailedRun, FlowSpec, Job, JobResult, canonical_spec,
                    execute, single_flow_job)
-from .pool import JobFailedError, has_fork, resolve_workers, run_jobs
+from .pool import (JobFailedError, has_fork, resolve_workers, run_jobs,
+                   run_tasks)
 from .progress import ProgressReporter
 
 __all__ = [
@@ -29,7 +30,7 @@ __all__ = [
     "JobFailedError", "JobResult", "ProgressReporter", "ResultCache",
     "canonical_spec", "code_salt", "default_cache_dir", "execute",
     "get_execution_config", "has_fork", "job_key", "resolve_workers",
-    "run_jobs", "set_execution_config", "single_flow_job",
+    "run_jobs", "run_tasks", "set_execution_config", "single_flow_job",
 ]
 
 

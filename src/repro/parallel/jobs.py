@@ -132,10 +132,19 @@ class FailedRun:
     failed = True
 
     @classmethod
-    def from_job(cls, job: Job, exc: BaseException,
+    def from_job(cls, job, exc: BaseException,
                  tb: str = "") -> "FailedRun":
-        return cls(cca="+".join(flow.cca for flow in job.flows),
-                   scenario=job.scenario.name, seed=job.seed,
+        # Generic tasks (pool.run_tasks) lack flows/scenario; identify
+        # them by label/class so error collection still works for them.
+        flows = getattr(job, "flows", None)
+        scenario = getattr(job, "scenario", None)
+        if flows is None or scenario is None:
+            name = getattr(job, "label", None) or type(job).__qualname__
+            return cls(cca=name, scenario="task",
+                       seed=getattr(job, "seed", 0) or 0,
+                       error=repr(exc), traceback=tb)
+        return cls(cca="+".join(flow.cca for flow in flows),
+                   scenario=scenario.name, seed=job.seed,
                    error=repr(exc), traceback=tb)
 
     def __str__(self) -> str:

@@ -239,6 +239,29 @@ def _run_parallel(jobs, pending, results, workers, cache, timeout, retries,
             reap(conn, slot)
 
 
-def _describe(job: Job) -> str:
-    flows = "+".join(flow.cca for flow in job.flows)
-    return f"{flows} @ {job.scenario.name} seed={job.seed}"
+def _describe(job) -> str:
+    flows = getattr(job, "flows", None)
+    scenario = getattr(job, "scenario", None)
+    if flows is None or scenario is None:
+        return getattr(job, "label", None) or type(job).__qualname__
+    names = "+".join(flow.cca for flow in flows)
+    return f"{names} @ {scenario.name} seed={job.seed}"
+
+
+def run_tasks(tasks, workers: int | None = 1, timeout: float | None = None,
+              retries: int = 1, progress: ProgressReporter | None = None):
+    """Execute arbitrary picklable tasks and return their values in order.
+
+    A *task* is any picklable object with a ``run() -> picklable`` method
+    (and optionally a ``label`` attribute for error messages) — the
+    training subsystem's rollout and evaluation work units, for example.
+    Tasks get the same execution machinery as simulation jobs — forked
+    children, per-attempt ``timeout``, bounded crash ``retries``, serial
+    fallback below two workers or without ``fork`` — but no result
+    cache: task payloads (e.g. policy weights) change every call, so
+    content-addressing them would only churn the cache.  A task that
+    raises aborts the batch with :class:`JobFailedError`.
+    """
+    results = run_jobs(tasks, workers=workers, timeout=timeout,
+                       retries=retries, progress=progress)
+    return [r.result for r in results]

@@ -6,8 +6,8 @@ DESIGN.md.
 
 from .mlp import MLP, Adam
 from .policy import GaussianActorCritic
-from .ppo import PPOConfig, PPOTrainer, TrainHistory
+from .ppo import PPOConfig, PPOTrainer, PPOUpdater, TrainHistory
 from .rollout import RolloutBuffer
 
 __all__ = ["Adam", "GaussianActorCritic", "MLP", "PPOConfig", "PPOTrainer",
-           "RolloutBuffer", "TrainHistory"]
+           "PPOUpdater", "RolloutBuffer", "TrainHistory"]

@@ -95,6 +95,25 @@ class GaussianActorCritic:
                  hidden=np.array([w.shape[1] for w in self.actor.weights[:-1]]))
 
     @classmethod
+    def from_weights(cls, weights: dict) -> "GaussianActorCritic":
+        """Rebuild a policy from a ``get_weights()`` dict alone.
+
+        The architecture (obs/act dims, hidden sizes) is recovered from
+        the actor matrices' shapes, so a checkpointed weight dict is
+        self-describing — the training gate and resume path rely on it.
+        """
+        layers = sorted(k for k in weights if k.startswith("actor_w"))
+        if not layers:
+            raise KeyError("weight dict has no actor_w* entries")
+        mats = [np.asarray(weights[k]) for k in layers]
+        obs_dim = mats[0].shape[0]
+        act_dim = mats[-1].shape[1]
+        hidden = tuple(int(m.shape[1]) for m in mats[:-1])
+        policy = cls(obs_dim, act_dim, hidden)
+        policy.set_weights(weights)
+        return policy
+
+    @classmethod
     def load(cls, path: str) -> "GaussianActorCritic":
         data = np.load(path)
         hidden = tuple(int(h) for h in data["hidden"])

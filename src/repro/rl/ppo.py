@@ -3,6 +3,17 @@
 PPO-clip with GAE(λ), minibatch Adam updates, entropy bonus, and a value
 loss — the algorithm the paper trains Libra's DRL component with
 (Alg. 2 / Sec. 5 "Implementation").
+
+Two layers:
+
+- :class:`PPOUpdater` owns the optimization half — policy, optimizer and
+  the minibatch update over a finished rollout batch.  It has no notion
+  of an environment, so the parallel training pipeline
+  (:mod:`repro.train`) can feed it batches merged from many rollout
+  workers.
+- :class:`PPOTrainer` is the classic single-process loop: collect from
+  one env, update, repeat.  It composes a :class:`PPOUpdater` with an
+  in-process collection loop and keeps the original API.
 """
 
 from __future__ import annotations
@@ -46,21 +57,109 @@ class TrainHistory:
         return out
 
 
+class PPOUpdater:
+    """The optimization half of PPO: minibatch Adam updates on a batch.
+
+    Environment-free by design — rollout data can come from the local
+    :class:`PPOTrainer` loop or be merged across forked rollout workers.
+    ``rng`` drives only the minibatch permutations; passing an explicit
+    generator lets callers checkpoint and restore its state exactly.
+    """
+
+    def __init__(self, policy: GaussianActorCritic,
+                 config: PPOConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        self.policy = policy
+        self.config = config or PPOConfig()
+        self.rng = rng if rng is not None \
+            else np.random.default_rng(self.config.seed)
+        self.optimizer = Adam(self.policy.params, lr=self.config.lr)
+
+    def update(self, data: dict[str, np.ndarray]) -> dict[str, float]:
+        cfg = self.config
+        n = len(data["obs"])
+        stats = {"pi_loss": 0.0, "v_loss": 0.0, "clip_frac": 0.0,
+                 "approx_kl": 0.0, "batches": 0}
+        for _ in range(cfg.train_iters):
+            order = self.rng.permutation(n)
+            for start in range(0, n, cfg.minibatch_size):
+                idx = order[start:start + cfg.minibatch_size]
+                batch_stats = self._update_minibatch(
+                    data["obs"][idx], data["actions"][idx], data["logps"][idx],
+                    data["advantages"][idx], data["returns"][idx])
+                for key in ("pi_loss", "v_loss", "clip_frac", "approx_kl"):
+                    stats[key] += batch_stats[key]
+                stats["batches"] += 1
+        for key in ("pi_loss", "v_loss", "clip_frac", "approx_kl"):
+            stats[key] /= max(stats["batches"], 1)
+        stats["entropy"] = self.policy.entropy()
+        return stats
+
+    def _update_minibatch(self, obs, actions, logp_old, adv, returns) -> dict[str, float]:
+        cfg = self.config
+        policy = self.policy
+        batch = len(obs)
+        std = np.exp(policy.log_std)
+
+        means = policy.actor.forward(obs, cache=True)
+        z = (actions - means) / std
+        logp = (-0.5 * z ** 2 - policy.log_std - 0.5 * np.log(2 * np.pi)).sum(axis=1)
+        ratio = np.exp(logp - logp_old)
+        clipped = np.clip(ratio, 1.0 - cfg.clip_ratio, 1.0 + cfg.clip_ratio)
+        surrogate = np.minimum(ratio * adv, clipped * adv)
+        pi_loss = -surrogate.mean()
+        approx_kl = float((logp_old - logp).mean())
+
+        # Gradient of the clipped surrogate wrt logp: active only where the
+        # unclipped branch is selected by the min().
+        unclipped_active = ((adv >= 0) & (ratio <= 1.0 + cfg.clip_ratio)) | \
+                           ((adv < 0) & (ratio >= 1.0 - cfg.clip_ratio))
+        dL_dlogp = np.where(unclipped_active, -adv * ratio, 0.0) / batch
+
+        # logp gradients: d logp / d mean = z/std ; d logp / d log_std = z^2-1
+        dmean = (dL_dlogp[:, None]) * (z / std)
+        dlog_std = (dL_dlogp[:, None] * (z ** 2 - 1.0)).sum(axis=0)
+        dlog_std -= cfg.ent_coef  # entropy bonus: dH/dlog_std = 1 per dim
+
+        actor_grads = policy.actor.backward(dmean)
+
+        values = policy.critic.forward(obs, cache=True)[:, 0]
+        v_err = values - returns
+        v_loss = (v_err ** 2).mean()
+        dvalue = (cfg.vf_coef * 2.0 * v_err / batch)[:, None]
+        critic_grads = policy.critic.backward(dvalue)
+
+        self.optimizer.step([*actor_grads, dlog_std, *critic_grads])
+        return {"pi_loss": float(pi_loss), "v_loss": float(v_loss),
+                "clip_frac": float((ratio != clipped).mean()),
+                "approx_kl": approx_kl}
+
+
 class PPOTrainer:
     """Trains a :class:`GaussianActorCritic` against a gym-like env.
 
     The environment must implement ``reset() -> obs`` and
     ``step(action) -> (obs, reward, done, info)`` with a 1-D numpy action.
+
+    One :class:`numpy.random.Generator` (``rng``, seeded from the config
+    when not given) drives both action sampling and the updater's
+    minibatch permutations, so a seed fully determines a training run.
     """
 
     def __init__(self, env, policy: GaussianActorCritic,
-                 config: PPOConfig | None = None):
+                 config: PPOConfig | None = None,
+                 rng: np.random.Generator | None = None):
         self.env = env
         self.policy = policy
         self.config = config or PPOConfig()
-        self.rng = np.random.default_rng(self.config.seed)
-        self.optimizer = Adam(self.policy.params, lr=self.config.lr)
+        self.rng = rng if rng is not None \
+            else np.random.default_rng(self.config.seed)
+        self.updater = PPOUpdater(policy, self.config, rng=self.rng)
         self.history = TrainHistory()
+
+    @property
+    def optimizer(self) -> Adam:
+        return self.updater.optimizer
 
     # -- data collection ---------------------------------------------------
 
@@ -92,59 +191,7 @@ class PPOTrainer:
     # -- optimization ----------------------------------------------------
 
     def update(self, data: dict[str, np.ndarray]) -> dict[str, float]:
-        cfg = self.config
-        n = len(data["obs"])
-        stats = {"pi_loss": 0.0, "v_loss": 0.0, "clip_frac": 0.0, "batches": 0}
-        for _ in range(cfg.train_iters):
-            order = self.rng.permutation(n)
-            for start in range(0, n, cfg.minibatch_size):
-                idx = order[start:start + cfg.minibatch_size]
-                batch_stats = self._update_minibatch(
-                    data["obs"][idx], data["actions"][idx], data["logps"][idx],
-                    data["advantages"][idx], data["returns"][idx])
-                for key in ("pi_loss", "v_loss", "clip_frac"):
-                    stats[key] += batch_stats[key]
-                stats["batches"] += 1
-        for key in ("pi_loss", "v_loss", "clip_frac"):
-            stats[key] /= max(stats["batches"], 1)
-        return stats
-
-    def _update_minibatch(self, obs, actions, logp_old, adv, returns) -> dict[str, float]:
-        cfg = self.config
-        policy = self.policy
-        batch = len(obs)
-        std = np.exp(policy.log_std)
-
-        means = policy.actor.forward(obs, cache=True)
-        z = (actions - means) / std
-        logp = (-0.5 * z ** 2 - policy.log_std - 0.5 * np.log(2 * np.pi)).sum(axis=1)
-        ratio = np.exp(logp - logp_old)
-        clipped = np.clip(ratio, 1.0 - cfg.clip_ratio, 1.0 + cfg.clip_ratio)
-        surrogate = np.minimum(ratio * adv, clipped * adv)
-        pi_loss = -surrogate.mean()
-
-        # Gradient of the clipped surrogate wrt logp: active only where the
-        # unclipped branch is selected by the min().
-        unclipped_active = ((adv >= 0) & (ratio <= 1.0 + cfg.clip_ratio)) | \
-                           ((adv < 0) & (ratio >= 1.0 - cfg.clip_ratio))
-        dL_dlogp = np.where(unclipped_active, -adv * ratio, 0.0) / batch
-
-        # logp gradients: d logp / d mean = z/std ; d logp / d log_std = z^2-1
-        dmean = (dL_dlogp[:, None]) * (z / std)
-        dlog_std = (dL_dlogp[:, None] * (z ** 2 - 1.0)).sum(axis=0)
-        dlog_std -= cfg.ent_coef  # entropy bonus: dH/dlog_std = 1 per dim
-
-        actor_grads = policy.actor.backward(dmean)
-
-        values = policy.critic.forward(obs, cache=True)[:, 0]
-        v_err = values - returns
-        v_loss = (v_err ** 2).mean()
-        dvalue = (cfg.vf_coef * 2.0 * v_err / batch)[:, None]
-        critic_grads = policy.critic.backward(dvalue)
-
-        self.optimizer.step([*actor_grads, dlog_std, *critic_grads])
-        return {"pi_loss": float(pi_loss), "v_loss": float(v_loss),
-                "clip_frac": float((ratio != clipped).mean())}
+        return self.updater.update(data)
 
     # -- driver ----------------------------------------------------------
 

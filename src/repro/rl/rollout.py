@@ -53,21 +53,32 @@ class RolloutBuffer:
         self.returns[sl] = adv + self.values[sl]
         self.path_start = self.ptr
 
-    def get(self) -> dict[str, np.ndarray]:
-        """Return the filled buffer with normalized advantages, then reset."""
+    def get(self, normalize: bool = True) -> dict[str, np.ndarray]:
+        """Return the filled buffer with normalized advantages, then reset.
+
+        ``normalize=False`` returns the raw GAE advantages instead —
+        parallel rollout workers use this so the merged batch can be
+        normalized once over *all* workers' data, keeping a W-worker
+        update identical whether the workers ran forked or in-process.
+        """
         if self.path_start != self.ptr:
             raise RuntimeError("finish_path() must be called before get()")
         n = self.ptr
-        adv = self.advantages[:n]
-        std = adv.std()
-        norm_adv = (adv - adv.mean()) / (std + 1e-8)
+        adv = self.advantages[:n].copy()
+        if normalize:
+            adv = normalize_advantages(adv)
         data = {
             "obs": self.obs[:n].copy(),
             "actions": self.actions[:n].copy(),
             "logps": self.logps[:n].copy(),
-            "advantages": norm_adv,
+            "advantages": adv,
             "returns": self.returns[:n].copy(),
         }
         self.ptr = 0
         self.path_start = 0
         return data
+
+
+def normalize_advantages(adv: np.ndarray) -> np.ndarray:
+    """Zero-mean / unit-std advantage normalization (PPO standard)."""
+    return (adv - adv.mean()) / (adv.std() + 1e-8)

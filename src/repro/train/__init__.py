@@ -1,0 +1,45 @@
+"""Parallel, checkpointed, eval-gated policy training.
+
+The :mod:`repro.train` package turns the single-process training loop
+of :mod:`repro.training` into a pipeline suitable for longer runs:
+
+- :mod:`~repro.train.workers` — fork-based parallel rollout collection
+  with per-(iteration, worker) derived random streams, bit-identical
+  across serial and forked backends;
+- :mod:`~repro.train.runner` — the iteration loop driving collection,
+  the central PPO update, logging, and checkpointing;
+- :mod:`~repro.train.checkpoint` — schema-versioned, atomically written
+  checkpoints enabling exact ``--resume``;
+- :mod:`~repro.train.gate` — the simnet evaluation panel that decides
+  whether a finished policy replaces the shipped asset;
+- :mod:`~repro.train.log` — structured JSONL training logs in the
+  telemetry export schema.
+
+Entry point: ``repro train <kind>`` (see ``repro train --help``) or
+:func:`train_run` programmatically.
+"""
+
+from .checkpoint import (CHECKPOINT_SCHEMA_VERSION, CheckpointError,
+                         TrainState, checkpoint_path, latest_checkpoint,
+                         load_checkpoint, restore_optimizer,
+                         restore_policy_weights, save_checkpoint)
+from .gate import (PANEL_SCENARIOS, EvalTask, GateConfig, PanelScore,
+                   PromotionDecision, evaluate_panel, gate_and_promote,
+                   panel_scenarios, score_row)
+from .log import TRAIN_EVENTS, TRAIN_SERIES, TrainLogger
+from .runner import TrainRunConfig, TrainRunResult, train_run
+from .workers import (RolloutResult, RolloutTask, build_rollout_tasks,
+                      merge_rollouts, worker_rng)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION", "CheckpointError", "TrainState",
+    "checkpoint_path", "latest_checkpoint", "load_checkpoint",
+    "restore_optimizer", "restore_policy_weights", "save_checkpoint",
+    "PANEL_SCENARIOS", "EvalTask", "GateConfig", "PanelScore",
+    "PromotionDecision", "evaluate_panel", "gate_and_promote",
+    "panel_scenarios", "score_row",
+    "TRAIN_EVENTS", "TRAIN_SERIES", "TrainLogger",
+    "TrainRunConfig", "TrainRunResult", "train_run",
+    "RolloutResult", "RolloutTask", "build_rollout_tasks",
+    "merge_rollouts", "worker_rng",
+]

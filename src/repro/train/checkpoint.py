@@ -1,0 +1,171 @@
+"""Schema-versioned, crash-safe training checkpoints.
+
+A checkpoint is everything needed to continue a training run exactly
+where it stopped: policy weights (including ``log_std``), Adam moment
+estimates and step counter, the central updater's Generator state, the
+full episode-reward history, and a ``meta`` block describing the run
+(spec kind, seed, worker count, step budget, network shape, and the
+observation-normalization configuration).  Rollout randomness needs no
+state here at all — worker streams are *derived* per (seed, iteration,
+worker) (see :mod:`repro.train.workers`), which is what makes resumed
+runs bit-identical to uninterrupted ones.
+
+Files are ``.npz`` archives named ``ckpt-<iteration>.npz`` and written
+atomically (tmp + ``os.replace``), mirroring the result cache's idiom:
+a run killed mid-write leaves the previous checkpoint intact, never a
+truncated archive.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import zipfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: bump when the on-disk layout changes incompatibly
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_CKPT_RE = re.compile(r"^ckpt-(\d+)\.npz$")
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, corrupt, or from another run."""
+
+
+@dataclass
+class TrainState:
+    """In-memory form of one checkpoint."""
+
+    iteration: int
+    weights: dict
+    adam_m: list
+    adam_v: list
+    adam_t: int
+    rng_state: dict
+    episode_rewards: list
+    meta: dict = field(default_factory=dict)
+
+
+def checkpoint_path(directory: str, iteration: int) -> str:
+    return os.path.join(directory, f"ckpt-{iteration:06d}.npz")
+
+
+def latest_checkpoint(directory: str) -> str | None:
+    """Path of the highest-iteration checkpoint in ``directory`` (or None)."""
+    best: tuple[int, str] | None = None
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return None
+    for name in names:
+        match = _CKPT_RE.match(name)
+        if match is None:
+            continue
+        iteration = int(match.group(1))
+        if best is None or iteration > best[0]:
+            best = (iteration, os.path.join(directory, name))
+    return best[1] if best else None
+
+
+def save_checkpoint(directory: str, state: TrainState) -> str:
+    """Atomically persist ``state``; returns the checkpoint's path."""
+    os.makedirs(directory, exist_ok=True)
+    path = checkpoint_path(directory, state.iteration)
+    arrays: dict = {}
+    for name, value in state.weights.items():
+        arrays[f"weights__{name}"] = np.asarray(value)
+    for i, m in enumerate(state.adam_m):
+        arrays[f"adam_m__{i:03d}"] = np.asarray(m)
+    for i, v in enumerate(state.adam_v):
+        arrays[f"adam_v__{i:03d}"] = np.asarray(v)
+    arrays["episode_rewards"] = np.asarray(state.episode_rewards, dtype=float)
+    meta = dict(state.meta)
+    meta["schema_version"] = CHECKPOINT_SCHEMA_VERSION
+    meta["iteration"] = state.iteration
+    meta["adam_t"] = state.adam_t
+    meta["rng_state"] = state.rng_state
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8)
+
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".ckpt-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_checkpoint(path: str) -> TrainState:
+    """Read one checkpoint, validating the schema version."""
+    try:
+        with np.load(path) as archive:
+            data = {name: archive[name] for name in archive.files}
+    except FileNotFoundError:
+        raise CheckpointError(f"checkpoint {path} does not exist") from None
+    except (zipfile.BadZipFile, EOFError, OSError, ValueError, KeyError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt or truncated "
+            f"({type(exc).__name__}: {exc})") from exc
+    if "meta_json" not in data:
+        raise CheckpointError(f"checkpoint {path} lacks its meta block")
+    meta = json.loads(bytes(data["meta_json"].tobytes()).decode())
+    schema = meta.get("schema_version")
+    if schema != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has schema v{schema}, this code reads "
+            f"v{CHECKPOINT_SCHEMA_VERSION} — retrain or convert")
+    weights = {name[len("weights__"):]: value
+               for name, value in data.items() if name.startswith("weights__")}
+    adam_m = [data[name] for name in sorted(data) if name.startswith("adam_m__")]
+    adam_v = [data[name] for name in sorted(data) if name.startswith("adam_v__")]
+    return TrainState(
+        iteration=int(meta["iteration"]), weights=weights,
+        adam_m=adam_m, adam_v=adam_v, adam_t=int(meta["adam_t"]),
+        rng_state=meta["rng_state"],
+        episode_rewards=list(data["episode_rewards"].tolist()),
+        meta=meta)
+
+
+def restore_policy_weights(policy, weights: dict) -> None:
+    """Copy checkpointed weights into ``policy`` *in place*.
+
+    In-place (vs. :meth:`GaussianActorCritic.set_weights`, which rebinds
+    the arrays) so an Adam optimizer constructed over ``policy.params``
+    keeps updating the live parameters after a restore.
+    """
+    policy.log_std[...] = np.asarray(weights["log_std"], dtype=float).reshape(
+        policy.log_std.shape)
+    for prefix, net in (("actor", policy.actor), ("critic", policy.critic)):
+        for i in range(len(net.weights)):
+            w = np.asarray(weights[f"{prefix}_w{i}"], dtype=float)
+            b = np.asarray(weights[f"{prefix}_b{i}"], dtype=float)
+            if w.shape != net.weights[i].shape:
+                raise CheckpointError(
+                    f"{prefix} layer {i} shape mismatch: checkpoint "
+                    f"{w.shape} vs policy {net.weights[i].shape}")
+            net.weights[i][...] = w
+            net.biases[i][...] = b
+
+
+def restore_optimizer(optimizer, state: TrainState) -> None:
+    """Copy Adam moments and step count into ``optimizer`` in place."""
+    if len(optimizer.m) != len(state.adam_m):
+        raise CheckpointError(
+            f"optimizer has {len(optimizer.m)} parameter slots, checkpoint "
+            f"carries {len(state.adam_m)}")
+    for slot, saved in zip(optimizer.m, state.adam_m):
+        slot[...] = saved
+    for slot, saved in zip(optimizer.v, state.adam_v):
+        slot[...] = saved
+    optimizer.t = state.adam_t

@@ -1,0 +1,234 @@
+"""Evaluation gate: score candidate policies on a fixed simnet panel.
+
+Training rewards come from the fluid model; what actually matters is
+how a policy behaves inside its consumer controller on the packet-level
+simulator.  The gate therefore runs each candidate through a fixed
+panel of :mod:`repro.simnet` scenarios — wired, LTE, lossy, and a
+``faults`` profile for robustness (blackout recovery) — mirroring the
+axes of the paper's Sec. 5 evaluation (Fig. 7's wired/cellular traces,
+Fig. 10's lossy links) plus the stress subsystem's pathological link.
+
+Each run is scored with the same shape as the training reward
+(Sec. 4.2): ``utilization − w_delay·queueing − w_loss·loss``, averaged
+over the panel.  :func:`gate_and_promote` compares the candidate
+against the incumbent asset *on the same panel* and only overwrites
+``repro/assets/<kind>.npz`` (refreshing ``MANIFEST.json``) when the
+candidate's panel score is strictly better — a worse retrain can never
+silently degrade the shipped policies.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..parallel.pool import run_tasks
+from ..rl.policy import GaussianActorCritic
+
+#: names accepted in GateConfig.panel
+PANEL_SCENARIOS = ("wired", "lte", "lossy", "faults")
+
+
+@dataclass(frozen=True)
+class GateConfig:
+    """What the panel runs and how runs are scored."""
+
+    panel: tuple = PANEL_SCENARIOS
+    seeds: tuple = (1, 2)
+    duration: float = 10.0
+    #: scoring weights, mirroring the training reward's (w1, w2, w3)
+    w_delay: float = 0.5
+    w_loss: float = 10.0
+
+
+def panel_scenarios(names=PANEL_SCENARIOS) -> list:
+    """Resolve panel names to concrete scenarios (lazy simnet imports)."""
+    from ..scenarios.presets import (LTE, WIRED, loss_scenario,
+                                     stress_scenario)
+
+    table = {
+        "wired": lambda: WIRED["wired-48"],
+        "lte": lambda: LTE["lte-stationary"],
+        "lossy": lambda: loss_scenario(0.04),
+        "faults": lambda: stress_scenario("blackout"),
+    }
+    out = []
+    for name in names:
+        if name not in table:
+            raise KeyError(f"unknown panel scenario {name!r}; choose from "
+                           f"{sorted(table)}")
+        out.append((name, table[name]()))
+    return out
+
+
+def _controller_for(kind: str, policy, seed: int):
+    """Build the consumer controller for a policy kind with ``policy``."""
+    if kind == "libra":
+        from ..core.factory import make_c_libra
+        return make_c_libra(policy=policy, seed=seed)
+    if kind == "aurora":
+        from ..learning import Aurora
+        return Aurora(policy, seed=seed)
+    if kind == "orca":
+        from ..learning import Orca
+        return Orca(policy, seed=seed)
+    if kind == "modified-rl":
+        from ..learning import ModifiedRL
+        return ModifiedRL(policy, seed=seed)
+    raise KeyError(f"no consumer controller for policy kind {kind!r}")
+
+
+@dataclass
+class EvalTask:
+    """One panel cell: run ``kind``'s controller on one scenario/seed."""
+
+    kind: str
+    weights: dict
+    panel_name: str
+    seed: int
+    duration: float
+
+    @property
+    def label(self) -> str:
+        return f"eval {self.kind} @ {self.panel_name} seed={self.seed}"
+
+    def run(self) -> dict:
+        scenario = dict(panel_scenarios((self.panel_name,)))[self.panel_name]
+        policy = GaussianActorCritic.from_weights(self.weights)
+        net = scenario.build(seed=self.seed)
+        net.add_flow(_controller_for(self.kind, policy, self.seed))
+        result = net.run(self.duration)
+        flow = result.flows[0]
+        return {
+            "panel": self.panel_name,
+            "seed": self.seed,
+            "utilization": float(result.utilization),
+            "throughput_mbps": float(flow.throughput_mbps),
+            "avg_rtt_ms": float(flow.avg_rtt_ms),
+            "base_rtt_ms": float(scenario.rtt * 1e3),
+            "loss_rate": float(flow.loss_rate),
+        }
+
+
+def score_row(row: dict, config: GateConfig) -> float:
+    """Score one panel run; higher is better.
+
+    ``utilization − w_delay·(RTT/base − 1)⁺ − w_loss·loss`` — the
+    training reward's shape (throughput share minus queueing-delay and
+    loss penalties) evaluated on end-to-end simulator metrics.
+    """
+    base = max(row["base_rtt_ms"], 1e-9)
+    queueing = max(row["avg_rtt_ms"] / base - 1.0, 0.0)
+    return (row["utilization"] - config.w_delay * queueing
+            - config.w_loss * row["loss_rate"])
+
+
+@dataclass
+class PanelScore:
+    """A policy's panel evaluation: aggregate score + per-run rows."""
+
+    score: float
+    rows: list = field(default_factory=list)
+
+    def by_panel(self) -> dict:
+        out: dict = {}
+        for row in self.rows:
+            out.setdefault(row["panel"], []).append(row["score"])
+        return {name: float(np.mean(vals)) for name, vals in out.items()}
+
+
+def evaluate_panel(kind: str, weights: dict,
+                   config: GateConfig | None = None, workers: int = 1,
+                   timeout: float | None = None) -> PanelScore:
+    """Run the full panel for one policy and aggregate its score."""
+    config = config or GateConfig()
+    tasks = [EvalTask(kind=kind, weights=weights, panel_name=name,
+                      seed=seed, duration=config.duration)
+             for name, _scenario in panel_scenarios(config.panel)
+             for seed in config.seeds]
+    rows = run_tasks(tasks, workers=workers, timeout=timeout)
+    for row in rows:
+        row["score"] = score_row(row, config)
+    return PanelScore(score=float(np.mean([row["score"] for row in rows])),
+                      rows=rows)
+
+
+@dataclass
+class PromotionDecision:
+    """Outcome of gating one candidate against the shipped incumbent."""
+
+    kind: str
+    promoted: bool
+    reason: str
+    asset_path: str
+    candidate: PanelScore
+    incumbent: PanelScore | None = None
+
+
+def _atomic_save_policy(policy, path: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".promote-",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **policy.get_weights(),
+                     obs_dim=policy.obs_dim, act_dim=policy.act_dim,
+                     hidden=np.array([w.shape[1]
+                                      for w in policy.actor.weights[:-1]]))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def gate_and_promote(kind: str, weights: dict, assets_dir: str | None = None,
+                     config: GateConfig | None = None, workers: int = 1,
+                     timeout: float | None = None) -> PromotionDecision:
+    """Evaluate a candidate and promote it only if it beats the incumbent.
+
+    The incumbent is ``<assets_dir>/<kind>.npz`` evaluated on the same
+    panel; a missing or unloadable incumbent concedes.  Promotion writes
+    the weights atomically and refreshes the asset manifest entry.
+    """
+    from .. import assets
+
+    config = config or GateConfig()
+    asset_dir = assets_dir or assets._ASSET_DIR
+    asset_path = os.path.join(asset_dir, f"{kind}.npz")
+
+    candidate = evaluate_panel(kind, weights, config, workers=workers,
+                               timeout=timeout)
+    incumbent = None
+    if os.path.exists(asset_path):
+        try:
+            incumbent_policy = GaussianActorCritic.load(asset_path)
+        except Exception:
+            incumbent_policy = None  # corrupt incumbent concedes
+        if incumbent_policy is not None:
+            incumbent = evaluate_panel(kind, incumbent_policy.get_weights(),
+                                       config, workers=workers,
+                                       timeout=timeout)
+
+    if incumbent is not None and candidate.score <= incumbent.score:
+        return PromotionDecision(
+            kind=kind, promoted=False,
+            reason=(f"candidate panel score {candidate.score:.4f} does not "
+                    f"beat incumbent {incumbent.score:.4f}"),
+            asset_path=asset_path, candidate=candidate, incumbent=incumbent)
+
+    policy = GaussianActorCritic.from_weights(weights)
+    _atomic_save_policy(policy, asset_path)
+    assets.update_manifest_entry(kind, asset_dir=asset_dir)
+    reason = "no loadable incumbent" if incumbent is None else \
+        (f"candidate panel score {candidate.score:.4f} beats incumbent "
+         f"{incumbent.score:.4f}")
+    return PromotionDecision(kind=kind, promoted=True, reason=reason,
+                             asset_path=asset_path, candidate=candidate,
+                             incumbent=incumbent)

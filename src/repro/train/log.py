@@ -1,0 +1,109 @@
+"""Structured JSONL training logs.
+
+Replaces the old freeform ``train_log.txt`` with a machine-readable
+stream in the *telemetry export schema*: the first line is a ``header``
+record declaring the schema version and channel inventory, followed by
+``sample`` records (headline per-iteration series: mean episode reward,
+policy entropy, approximate KL, rollout throughput, worker utilization;
+the time axis ``t`` is the iteration number) and ``event`` records
+(full per-iteration stats, checkpoint writes, resumes, promotion
+verdicts).  Because the layout is exactly what
+:func:`repro.telemetry.export.validate_jsonl` checks, training logs are
+validated by the same machinery as flow traces — CI validates the
+smoke run's log on every push.
+
+Lines are flushed as written, so a killed run leaves a valid,
+truncated-at-a-record-boundary log behind.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from ..telemetry import SCHEMA_VERSION
+from ..telemetry.export import _json_safe
+
+#: per-iteration series channels (sample records, t = iteration)
+TRAIN_SERIES = ("train.reward_mean", "train.entropy", "train.approx_kl",
+                "train.steps_per_sec", "train.worker_util")
+
+#: structured event channels
+TRAIN_EVENTS = ("train.iteration", "train.checkpoint", "train.resume",
+                "train.promotion")
+
+
+class TrainLogger:
+    """Incremental JSONL writer for one training run."""
+
+    def __init__(self, path: str, meta: dict | None = None):
+        self.path = path
+        self._fh = open(path, "w")
+        self._t0 = time.perf_counter()
+        header = {
+            "type": "header",
+            "schema_version": SCHEMA_VERSION,
+            "series": list(TRAIN_SERIES),
+            "events": list(TRAIN_EVENTS),
+            "dropped_events": {},
+            "meta": _json_safe(dict(meta or {}, log="repro.train")),
+        }
+        self._write(header)
+
+    # -- records -----------------------------------------------------------
+
+    def log_iteration(self, iteration: int, stats: dict) -> None:
+        """One training iteration: headline samples + the full event."""
+        t = float(iteration)
+        for channel, key in (("train.reward_mean", "reward_mean"),
+                             ("train.entropy", "entropy"),
+                             ("train.approx_kl", "approx_kl"),
+                             ("train.steps_per_sec", "steps_per_sec"),
+                             ("train.worker_util", "worker_util")):
+            if key in stats and stats[key] is not None:
+                self._write({"type": "sample", "channel": channel, "t": t,
+                             "v": _json_safe(stats[key])})
+        fields = dict(stats, iteration=iteration,
+                      wall_s=time.perf_counter() - self._t0)
+        self._write({"type": "event", "kind": "train.iteration", "t": t,
+                     "fields": _json_safe(fields)})
+
+    def log_checkpoint(self, iteration: int, path: str) -> None:
+        self._write({"type": "event", "kind": "train.checkpoint",
+                     "t": float(iteration),
+                     "fields": {"iteration": iteration, "path": path}})
+
+    def log_resume(self, iteration: int, path: str) -> None:
+        self._write({"type": "event", "kind": "train.resume",
+                     "t": float(iteration),
+                     "fields": {"iteration": iteration, "path": path}})
+
+    def log_promotion(self, iteration: int, decision) -> None:
+        fields = {
+            "iteration": iteration,
+            "kind": decision.kind,
+            "promoted": decision.promoted,
+            "reason": decision.reason,
+            "asset_path": decision.asset_path,
+            "candidate_score": decision.candidate.score,
+            "incumbent_score": (decision.incumbent.score
+                                if decision.incumbent is not None else None),
+        }
+        self._write({"type": "event", "kind": "train.promotion",
+                     "t": float(iteration), "fields": _json_safe(fields)})
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "TrainLogger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

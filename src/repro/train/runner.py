@@ -1,0 +1,284 @@
+"""The training pipeline driver: parallel collect → update → checkpoint.
+
+:func:`train_run` executes one PPO training run described by a
+:class:`TrainRunConfig`:
+
+1. every iteration, the step budget is split across ``workers``
+   :class:`~repro.train.workers.RolloutTask`\\ s executed either
+   in-process (``backend="serial"``) or through the fork pool
+   (``backend="fork"``; ``"auto"`` forks when ``workers > 1`` and the
+   platform has ``fork``) — the two backends are bit-identical by
+   construction (see :mod:`repro.train.workers`);
+2. the merged batch feeds one central
+   :class:`~repro.rl.ppo.PPOUpdater` update;
+3. per-iteration metrics stream to a structured JSONL log
+   (:mod:`repro.train.log`);
+4. on the checkpoint cadence, the full training state is persisted
+   atomically (:mod:`repro.train.checkpoint`) — ``resume=True`` picks
+   up the latest checkpoint and replays the remaining iterations
+   exactly as an uninterrupted run would;
+5. optionally, the finished policy faces the evaluation gate
+   (:mod:`repro.train.gate`) and is promoted to the asset bundle only
+   if it beats the incumbent on the fixed simnet panel.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..parallel.pool import has_fork, run_tasks
+from ..rl.policy import GaussianActorCritic
+from ..rl.ppo import PPOConfig, PPOUpdater, TrainHistory
+from .checkpoint import (TrainState, latest_checkpoint, load_checkpoint,
+                         restore_optimizer, restore_policy_weights,
+                         save_checkpoint)
+from .gate import GateConfig, PromotionDecision, gate_and_promote
+from .log import TrainLogger
+from .workers import build_rollout_tasks, merge_rollouts
+
+#: meta keys that must match between a checkpoint and the resuming config
+_RESUME_KEYS = ("kind", "seed", "workers", "steps_per_iteration", "hidden",
+                "episode_steps", "gamma", "lam", "lr")
+
+
+@dataclass(frozen=True)
+class TrainRunConfig:
+    """Everything one training run depends on."""
+
+    kind: str
+    iterations: int = 30
+    workers: int = 1
+    steps_per_iteration: int = 1920
+    seed: int = 0
+    hidden: tuple = (64, 64)
+    episode_steps: int = 96
+    gamma: float = 0.995
+    lam: float = 0.97
+    lr: float = 3e-4
+    train_iters: int = 8
+    minibatch_size: int = 64
+    clip_ratio: float = 0.2
+    vf_coef: float = 0.5
+    ent_coef: float = 0.003
+    backend: str = "auto"            # auto | serial | fork
+    timeout: float | None = None     # per rollout-task attempt (fork mode)
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 0        # 0 = final iteration only
+    resume: bool = False
+    log_path: str | None = None
+    promote: bool = False
+    assets_dir: str | None = None
+    gate: GateConfig = field(default_factory=GateConfig)
+    verbose: bool = False
+
+    def ppo_config(self) -> PPOConfig:
+        return PPOConfig(
+            steps_per_epoch=self.steps_per_iteration,
+            train_iters=self.train_iters,
+            minibatch_size=self.minibatch_size, gamma=self.gamma,
+            lam=self.lam, clip_ratio=self.clip_ratio, lr=self.lr,
+            vf_coef=self.vf_coef, ent_coef=self.ent_coef,
+            max_episode_steps=self.episode_steps, seed=self.seed)
+
+
+@dataclass
+class TrainRunResult:
+    """What a finished (or resumed-to-completion) run hands back."""
+
+    config: TrainRunConfig
+    policy: GaussianActorCritic
+    history: TrainHistory
+    start_iteration: int
+    iterations_run: int
+    checkpoints: list
+    log_path: str | None = None
+    promotion: PromotionDecision | None = None
+    last_stats: dict = field(default_factory=dict)
+
+
+def _use_fork(config: TrainRunConfig) -> bool:
+    if config.backend == "serial":
+        return False
+    if config.backend == "fork":
+        if not has_fork():
+            raise RuntimeError("backend='fork' requires the fork start "
+                               "method; use backend='serial' here")
+        return True
+    if config.backend == "auto":
+        return config.workers > 1 and has_fork()
+    raise ValueError(f"unknown backend {config.backend!r}; "
+                     f"choose auto, serial, or fork")
+
+
+def _run_meta(config: TrainRunConfig, env) -> dict:
+    """The checkpoint meta block: run identity + normalizer config."""
+    from ..training import TRAIN_SPECS
+
+    spec = TRAIN_SPECS[config.kind]
+    return {
+        "kind": config.kind, "seed": config.seed, "workers": config.workers,
+        "steps_per_iteration": config.steps_per_iteration,
+        "hidden": list(config.hidden), "episode_steps": config.episode_steps,
+        "gamma": config.gamma, "lam": config.lam, "lr": config.lr,
+        "obs_dim": env.obs_dim, "act_dim": env.act_dim,
+        "feature_set": spec.feature_set_name,
+        # the fluid env's Normalizer is episode-scoped (re-seeded from
+        # the episode's capacity/RTT at reset), so only its configuration
+        # is state worth persisting:
+        "normalizer": {"scope": "per-episode",
+                       "history": env.builder.history,
+                       "feature_dim": env.builder.feature_set.dim},
+    }
+
+
+def _validate_resume(meta: dict, expected: dict, path: str) -> None:
+    for key in _RESUME_KEYS:
+        if meta.get(key) != expected.get(key):
+            raise ValueError(
+                f"checkpoint {path} was written by a different run: "
+                f"{key}={meta.get(key)!r} vs configured "
+                f"{expected.get(key)!r}; point --checkpoint-dir at a fresh "
+                f"directory or match the original flags")
+
+
+def train_run(config: TrainRunConfig) -> TrainRunResult:
+    """Execute one training run end to end; see the module docstring."""
+    from ..training import TRAIN_SPECS, make_training_env
+
+    if config.kind not in TRAIN_SPECS:
+        raise KeyError(f"unknown policy kind {config.kind!r}; "
+                       f"choose from {sorted(TRAIN_SPECS)}")
+    if config.iterations < 1:
+        raise ValueError("iterations must be >= 1")
+
+    # A probe env pins the observation dimensionality and normalizer meta.
+    probe = make_training_env(config.kind, seed=config.seed,
+                              episode_steps=config.episode_steps)
+    meta = _run_meta(config, probe)
+
+    policy = GaussianActorCritic(probe.obs_dim, act_dim=probe.act_dim,
+                                 hidden=tuple(config.hidden),
+                                 seed=config.seed)
+    rng = np.random.default_rng(config.seed)
+    updater = PPOUpdater(policy, config.ppo_config(), rng=rng)
+    history = TrainHistory()
+
+    start_iteration = 0
+    resumed_from = None
+    if config.resume:
+        if not config.checkpoint_dir:
+            raise ValueError("resume=True requires checkpoint_dir")
+        path = latest_checkpoint(config.checkpoint_dir)
+        if path is not None:
+            state = load_checkpoint(path)
+            _validate_resume(state.meta, meta, path)
+            restore_policy_weights(policy, state.weights)
+            restore_optimizer(updater.optimizer, state)
+            rng.bit_generator.state = state.rng_state
+            history.episode_rewards.extend(state.episode_rewards)
+            start_iteration = state.iteration
+            resumed_from = path
+
+    logger = None
+    if config.log_path:
+        os.makedirs(os.path.dirname(os.path.abspath(config.log_path)),
+                    exist_ok=True)
+        logger = TrainLogger(config.log_path,
+                             meta=dict(meta, iterations=config.iterations,
+                                       backend=config.backend))
+        if resumed_from is not None:
+            logger.log_resume(start_iteration, resumed_from)
+
+    use_fork = _use_fork(config)
+    checkpoints: list = []
+    last_stats: dict = {}
+    try:
+        for iteration in range(start_iteration + 1, config.iterations + 1):
+            t0 = time.perf_counter()
+            tasks = build_rollout_tasks(
+                config.kind, policy.get_weights(), config.hidden,
+                config.seed, iteration, config.workers,
+                config.steps_per_iteration, config.episode_steps,
+                config.episode_steps, config.gamma, config.lam)
+            if use_fork:
+                # max(2, workers): the pool treats workers<=1 as its
+                # serial fallback, but backend="fork" must genuinely fork
+                # (slots beyond len(tasks) stay idle).
+                results = run_tasks(tasks, workers=max(2, config.workers),
+                                    timeout=config.timeout)
+            else:
+                results = [task.run() for task in tasks]
+            collect_wall = time.perf_counter() - t0
+
+            data, episode_rewards, roll_stats = merge_rollouts(results)
+            history.episode_rewards.extend(episode_rewards)
+            update_stats = updater.update(data)
+
+            last_stats = {
+                "reward_mean": (float(np.mean(episode_rewards))
+                                if episode_rewards else None),
+                "episodes": roll_stats["episodes"],
+                "steps": roll_stats["steps"],
+                "steps_per_sec": roll_stats["steps"] / max(collect_wall, 1e-9),
+                "worker_util": (roll_stats["worker_elapsed"]
+                                / max(collect_wall * config.workers, 1e-9)),
+                "entropy": update_stats["entropy"],
+                "approx_kl": update_stats["approx_kl"],
+                "pi_loss": update_stats["pi_loss"],
+                "v_loss": update_stats["v_loss"],
+                "clip_frac": update_stats["clip_frac"],
+            }
+            if logger is not None:
+                logger.log_iteration(iteration, last_stats)
+            if config.verbose:
+                reward = last_stats["reward_mean"]
+                print(f"[{config.kind}] it {iteration}/{config.iterations} "
+                      f"reward={reward if reward is None else f'{reward:.3f}'} "
+                      f"kl={last_stats['approx_kl']:.4f} "
+                      f"steps/s={last_stats['steps_per_sec']:.0f}")
+
+            if config.checkpoint_dir and _checkpoint_due(config, iteration):
+                state = TrainState(
+                    iteration=iteration, weights=policy.get_weights(),
+                    adam_m=updater.optimizer.m, adam_v=updater.optimizer.v,
+                    adam_t=updater.optimizer.t,
+                    rng_state=rng.bit_generator.state,
+                    episode_rewards=list(history.episode_rewards), meta=meta)
+                path = save_checkpoint(config.checkpoint_dir, state)
+                checkpoints.append(path)
+                if logger is not None:
+                    logger.log_checkpoint(iteration, path)
+
+        promotion = None
+        if config.promote:
+            promotion = gate_and_promote(
+                config.kind, policy.get_weights(),
+                assets_dir=config.assets_dir, config=config.gate,
+                workers=config.workers if use_fork else 1,
+                timeout=config.timeout)
+            if logger is not None:
+                logger.log_promotion(config.iterations, promotion)
+            if config.verbose:
+                verdict = "promoted" if promotion.promoted else "kept incumbent"
+                print(f"[{config.kind}] gate: {verdict} — {promotion.reason}")
+    finally:
+        if logger is not None:
+            logger.close()
+
+    return TrainRunResult(
+        config=config, policy=policy, history=history,
+        start_iteration=start_iteration,
+        iterations_run=max(config.iterations - start_iteration, 0),
+        checkpoints=checkpoints, log_path=config.log_path,
+        promotion=promotion, last_stats=last_stats)
+
+
+def _checkpoint_due(config: TrainRunConfig, iteration: int) -> bool:
+    if iteration == config.iterations:
+        return True
+    return config.checkpoint_every > 0 and \
+        iteration % config.checkpoint_every == 0

@@ -1,0 +1,187 @@
+"""Parallel rollout collection for the PPO training pipeline.
+
+One iteration of training fans out over ``W`` rollout workers.  Each
+worker is a picklable :class:`RolloutTask` executed through the generic
+fork pool (:func:`repro.parallel.pool.run_tasks`): it rebuilds the
+training environment and the policy from shipped weights, collects a
+fixed number of steps, computes GAE advantages per trajectory with the
+shared :class:`~repro.rl.rollout.RolloutBuffer`, and returns raw arrays
+plus completed-episode rewards.
+
+Determinism is the load-bearing property here.  Every stochastic stream
+a worker touches is derived from ``SeedSequence([root_seed, iteration,
+worker, stream])``, so a worker's rollout depends only on *(seed,
+iteration, worker index, policy weights)* — never on execution order,
+process boundaries, or how many iterations ran before.  Consequences:
+
+- running the same tasks forked or in-process is bit-identical
+  (``numpy`` is deterministic within one machine), and
+- training resumed from a checkpoint at iteration ``k`` replays
+  iterations ``k+1..N`` exactly as an uninterrupted run would.
+
+Advantages come back *unnormalized*; the runner merges all workers'
+arrays in worker order and normalizes once over the full batch, so the
+merged update is independent of the execution backend by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..rl.policy import GaussianActorCritic
+from ..rl.rollout import RolloutBuffer, normalize_advantages
+
+#: stream discriminators for SeedSequence derivation
+_ENV_STREAM = 0
+_ACTION_STREAM = 1
+
+
+def worker_rng(root_seed: int, iteration: int, worker: int,
+               stream: int) -> np.random.Generator:
+    """The deterministic Generator for one (iteration, worker, stream)."""
+    return np.random.default_rng(
+        np.random.SeedSequence([root_seed, iteration, worker, stream]))
+
+
+@dataclass
+class RolloutResult:
+    """One worker's contribution to an iteration's batch."""
+
+    obs: np.ndarray
+    actions: np.ndarray
+    logps: np.ndarray
+    advantages: np.ndarray      # raw GAE — normalized after the merge
+    returns: np.ndarray
+    episode_rewards: list
+    steps: int
+    episodes: int
+    elapsed: float              # worker wall-time, for utilization logging
+
+
+@dataclass
+class RolloutTask:
+    """Picklable work unit: collect ``steps`` transitions for one worker.
+
+    ``weights`` is the policy's ``get_weights()`` dict — numpy arrays
+    pickle across the fork boundary, and in-process execution shares
+    them read-only (inference never mutates).
+    """
+
+    kind: str
+    weights: dict
+    hidden: tuple
+    root_seed: int
+    iteration: int
+    worker: int
+    steps: int
+    max_episode_steps: int
+    episode_steps: int
+    gamma: float
+    lam: float
+
+    @property
+    def label(self) -> str:
+        return (f"rollout {self.kind} it={self.iteration} "
+                f"w={self.worker}")
+
+    def run(self) -> RolloutResult:
+        from ..training import make_training_env
+
+        t0 = time.perf_counter()
+        env = make_training_env(
+            self.kind, seed=self.root_seed, episode_steps=self.episode_steps,
+            rng=worker_rng(self.root_seed, self.iteration, self.worker,
+                           _ENV_STREAM))
+        policy = GaussianActorCritic(env.obs_dim, act_dim=env.act_dim,
+                                     hidden=tuple(self.hidden))
+        policy.set_weights(self.weights)
+        action_rng = worker_rng(self.root_seed, self.iteration, self.worker,
+                                _ACTION_STREAM)
+
+        buf = RolloutBuffer(env.obs_dim, env.act_dim, self.steps,
+                            self.gamma, self.lam)
+        episode_rewards: list = []
+        obs = env.reset()
+        episode_reward = 0.0
+        episode_len = 0
+        episodes = 0
+        while not buf.full:
+            action, logp, value = policy.act(obs, action_rng)
+            next_obs, reward, done, _ = env.step(action)
+            buf.store(obs, action, reward, value, logp)
+            episode_reward += reward
+            episode_len += 1
+            obs = next_obs
+            timeout = episode_len >= self.max_episode_steps
+            if done or timeout or buf.full:
+                last_value = 0.0 if done else policy.value(obs)
+                buf.finish_path(last_value)
+                if done or timeout:
+                    episode_rewards.append(episode_reward)
+                    episodes += 1
+                    obs = env.reset()
+                    episode_reward = 0.0
+                    episode_len = 0
+        data = buf.get(normalize=False)
+        return RolloutResult(
+            obs=data["obs"], actions=data["actions"], logps=data["logps"],
+            advantages=data["advantages"], returns=data["returns"],
+            episode_rewards=episode_rewards, steps=self.steps,
+            episodes=episodes, elapsed=time.perf_counter() - t0)
+
+
+def build_rollout_tasks(kind: str, weights: dict, hidden: tuple,
+                        root_seed: int, iteration: int, workers: int,
+                        steps_per_iteration: int, max_episode_steps: int,
+                        episode_steps: int, gamma: float,
+                        lam: float) -> list[RolloutTask]:
+    """Split one iteration's step budget across ``workers`` tasks.
+
+    The split is deterministic (remainder steps go to the lowest worker
+    indices), so a (seed, workers) pair fully determines the batch.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    base, extra = divmod(steps_per_iteration, workers)
+    tasks = []
+    for w in range(workers):
+        steps = base + (1 if w < extra else 0)
+        if steps == 0:
+            continue
+        tasks.append(RolloutTask(
+            kind=kind, weights=weights, hidden=tuple(hidden),
+            root_seed=root_seed, iteration=iteration, worker=w, steps=steps,
+            max_episode_steps=max_episode_steps, episode_steps=episode_steps,
+            gamma=gamma, lam=lam))
+    return tasks
+
+
+def merge_rollouts(results: list[RolloutResult]) -> tuple[dict, list, dict]:
+    """Concatenate worker batches (worker order) into one update batch.
+
+    Returns ``(data, episode_rewards, stats)`` where ``data`` has the
+    advantages normalized over the *full* merged batch — the property
+    that makes a W-worker update backend-independent.
+    """
+    if not results:
+        raise ValueError("no rollout results to merge")
+    data = {
+        "obs": np.concatenate([r.obs for r in results]),
+        "actions": np.concatenate([r.actions for r in results]),
+        "logps": np.concatenate([r.logps for r in results]),
+        "advantages": normalize_advantages(
+            np.concatenate([r.advantages for r in results])),
+        "returns": np.concatenate([r.returns for r in results]),
+    }
+    episode_rewards: list = []
+    for r in results:
+        episode_rewards.extend(r.episode_rewards)
+    stats = {
+        "steps": sum(r.steps for r in results),
+        "episodes": sum(r.episodes for r in results),
+        "worker_elapsed": sum(r.elapsed for r in results),
+    }
+    return data, episode_rewards, stats

@@ -20,7 +20,7 @@ from .env.features import Measurement, Normalizer, STATE_SETS
 from .env.fluidenv import FluidEnvConfig, FluidLinkEnv
 from .env.reward import RewardConfig, RewardFunction
 from .rl.policy import GaussianActorCritic
-from .rl.ppo import PPOConfig, PPOTrainer, TrainHistory
+from .rl.ppo import TrainHistory
 
 
 class Eq1Reward(RewardFunction):
@@ -75,16 +75,21 @@ def _make_action_space(spec: TrainSpec) -> ActionSpace:
     raise ValueError(f"unknown action space {spec.action_space!r}")
 
 
-def make_training_env(kind: str, seed: int = 0,
-                      episode_steps: int = 96) -> FluidLinkEnv:
-    """Build the randomized training environment for a policy kind."""
+def make_training_env(kind: str, seed: int = 0, episode_steps: int = 96,
+                      rng: np.random.Generator | None = None) -> FluidLinkEnv:
+    """Build the randomized training environment for a policy kind.
+
+    ``rng`` overrides the env's Generator (otherwise seeded from
+    ``seed``); the parallel rollout workers pass per-(iteration, worker)
+    streams here so collection is deterministic across backends.
+    """
     spec = TRAIN_SPECS[kind]
     config = FluidEnvConfig(
         seed=seed, episode_steps=episode_steps,
         loss_range=(0.0, 0.05),
         feature_set=STATE_SETS[spec.feature_set_name],
         reward=spec.reward)
-    env = FluidLinkEnv(config, _make_action_space(spec))
+    env = FluidLinkEnv(config, _make_action_space(spec), rng=rng)
     if spec.eq1_reward:
         env.reward_fn = Eq1Reward(spec.reward)
     return env
@@ -96,26 +101,33 @@ def train_policy(kind: str, epochs: int = 60, seed: int = 0,
                  ) -> tuple[GaussianActorCritic, TrainHistory]:
     """Train one policy kind; returns (policy, learning history).
 
-    The paper trains 2x512 networks on TensorFlow; the defaults here are
-    sized so a full training run takes tens of seconds on a laptop while
-    producing the same qualitative behaviour (DESIGN.md).
+    Thin front-end over the :mod:`repro.train` pipeline (serial backend,
+    one worker); ``repro train <kind>`` exposes the full pipeline —
+    parallel rollout workers, checkpoints with ``--resume``, structured
+    logs, and the promotion gate.  The paper trains 2x512 networks on
+    TensorFlow; the defaults here are sized so a full training run takes
+    tens of seconds on a laptop while producing the same qualitative
+    behaviour (DESIGN.md).
     """
-    if kind not in TRAIN_SPECS:
-        raise KeyError(f"unknown policy kind {kind!r}; "
-                       f"choose from {sorted(TRAIN_SPECS)}")
-    env = make_training_env(kind, seed=seed)
-    policy = GaussianActorCritic(env.obs_dim, hidden=hidden, seed=seed)
-    trainer = PPOTrainer(env, policy, PPOConfig(
-        steps_per_epoch=steps_per_epoch, max_episode_steps=96,
-        gamma=0.995, lam=0.97, seed=seed))
-    history = trainer.train(epochs)
-    return policy, history
+    from .train import TrainRunConfig, train_run
+
+    result = train_run(TrainRunConfig(
+        kind=kind, iterations=epochs, workers=1,
+        steps_per_iteration=steps_per_epoch, seed=seed,
+        hidden=tuple(hidden), backend="serial"))
+    return result.policy, result.history
 
 
 def train_and_save_all(dest_dir: str, epochs: int = 60, seed: int = 0,
                        verbose: bool = True) -> dict[str, str]:
-    """Train every policy the evaluation needs and save them as .npz."""
+    """Train every policy the evaluation needs and save them as .npz.
+
+    Writes (or refreshes) ``MANIFEST.json`` in ``dest_dir`` so the new
+    files pass :func:`repro.assets.load_policy`'s integrity check.
+    """
     import os
+
+    from . import assets
 
     paths: dict[str, str] = {}
     os.makedirs(dest_dir, exist_ok=True)
@@ -128,4 +140,5 @@ def train_and_save_all(dest_dir: str, epochs: int = 60, seed: int = 0,
             tail = history.episode_rewards[-50:]
             print(f"trained {kind!r}: {len(history.episode_rewards)} episodes, "
                   f"final avg reward {np.mean(tail):.3f} -> {path}")
+    assets.refresh_manifest(dest_dir)
     return paths

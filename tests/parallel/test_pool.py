@@ -216,3 +216,57 @@ class TestErrorCollection:
     def test_parallel_raise_still_raises(self):
         with pytest.raises(JobFailedError, match="deterministic failure"):
             run_jobs([_special(_RaisingJob)], workers=2, on_error="raise")
+
+
+@dataclass(frozen=True)
+class _SquareTask:
+    """A generic (non-Job) task, as the training pipeline submits them."""
+
+    value: int
+
+    @property
+    def label(self) -> str:
+        return f"square {self.value}"
+
+    def run(self) -> int:
+        return self.value * self.value
+
+
+@dataclass(frozen=True)
+class _FailingTask:
+    value: int = 0
+
+    def run(self) -> int:
+        raise RuntimeError("task failure")
+
+
+class TestRunTasks:
+    """run_tasks: the pool's generic-task front door (no Job fields)."""
+
+    def test_serial_preserves_order(self):
+        from repro.parallel import run_tasks
+
+        tasks = [_SquareTask(v) for v in (3, 1, 2)]
+        assert run_tasks(tasks, workers=1) == [9, 1, 4]
+
+    @needs_fork
+    def test_parallel_matches_serial(self):
+        from repro.parallel import run_tasks
+
+        tasks = [_SquareTask(v) for v in range(5)]
+        assert run_tasks(tasks, workers=2) == \
+            run_tasks(tasks, workers=1)
+
+    def test_serial_failure_propagates_raw(self):
+        from repro.parallel import run_tasks
+
+        with pytest.raises(RuntimeError, match="task failure"):
+            run_tasks([_FailingTask()], workers=1)
+
+    @needs_fork
+    def test_parallel_failure_reports_label_not_flow_fields(self):
+        """FailedRun.from_job must cope with tasks lacking flows/scenario."""
+        from repro.parallel import run_tasks
+
+        with pytest.raises(JobFailedError, match="task failure"):
+            run_tasks([_FailingTask()], workers=2, retries=0)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.rl.rollout import RolloutBuffer
+from repro.rl.rollout import RolloutBuffer, normalize_advantages
 
 
 def test_store_and_capacity():
@@ -34,6 +34,47 @@ def test_gae_hand_computed():
 
     assert np.allclose(buf.advantages[:3], expected)
     assert np.allclose(buf.returns[:3], expected + np.array(values))
+
+
+def test_gae_numeric_fixture():
+    """Fixed numbers worked out by hand, no symbolic recomputation.
+
+    gamma=0.5, lam=0.5, rewards (1,1,1), values (0.5,0.4,0.3),
+    bootstrap 0.2:
+      deltas     = (0.7, 0.75, 0.8)
+      advantages = (0.9375, 0.95, 0.8)   (discount factor 0.25)
+      returns    = advantages + values = (1.4375, 1.35, 1.1)
+    """
+    buf = RolloutBuffer(1, 1, capacity=3, gamma=0.5, lam=0.5)
+    for r, v in zip((1.0, 1.0, 1.0), (0.5, 0.4, 0.3)):
+        buf.store(np.zeros(1), np.zeros(1), r, v, 0.0)
+    buf.finish_path(last_value=0.2)
+    assert np.allclose(buf.advantages[:3], [0.9375, 0.95, 0.8])
+    assert np.allclose(buf.returns[:3], [1.4375, 1.35, 1.1])
+
+
+def test_get_raw_advantages_unnormalized():
+    """normalize=False returns GAE values untouched (the workers path)."""
+    buf = RolloutBuffer(1, 1, capacity=3, gamma=0.5, lam=0.5)
+    for r, v in zip((1.0, 1.0, 1.0), (0.5, 0.4, 0.3)):
+        buf.store(np.zeros(1), np.zeros(1), r, v, 0.0)
+    buf.finish_path(last_value=0.2)
+    data = buf.get(normalize=False)
+    assert np.allclose(data["advantages"], [0.9375, 0.95, 0.8])
+
+
+def test_normalize_advantages_matches_get():
+    buf = RolloutBuffer(1, 1, capacity=4)
+    for r in (1.0, 5.0, 2.0, 7.0):
+        buf.store(np.zeros(1), np.zeros(1), r, 0.0, 0.0)
+    buf.finish_path()
+    raw = buf.get(normalize=False)["advantages"]
+    buf2 = RolloutBuffer(1, 1, capacity=4)
+    for r in (1.0, 5.0, 2.0, 7.0):
+        buf2.store(np.zeros(1), np.zeros(1), r, 0.0, 0.0)
+    buf2.finish_path()
+    assert np.allclose(normalize_advantages(raw),
+                       buf2.get(normalize=True)["advantages"])
 
 
 def test_get_normalizes_advantages():

@@ -90,6 +90,44 @@ class TestEq1Reward:
         value = reward.raw(m, norm)
         assert 0.0 < value < 1.0
 
+    def test_scale_is_positive_and_fixed(self):
+        """SCALE = u(200 Mbps, no gradient, no loss) — the range's top."""
+        from repro.core.utility import UtilityParams, utility
+
+        assert Eq1Reward.SCALE > 0.0
+        assert Eq1Reward.SCALE == pytest.approx(
+            utility(200.0, 0.0, 0.0, UtilityParams()))
+
+    def test_reward_bounded_on_training_ranges(self):
+        """|raw| stays O(1) across the paper's randomized training ranges
+        (capacity 10-200 Mbps, loss 0-5%, RTT-gradient swings)."""
+        reward = Eq1Reward()
+        norm = Normalizer(init_max_rate=200e6)
+        for tput_mbps in (10.0, 50.0, 200.0):
+            for loss in (0.0, 0.02, 0.05):
+                for grad in (-1.0, 0.0, 1.0):
+                    m = Measurement(
+                        throughput=tput_mbps * 1e6, send_rate=tput_mbps * 1e6,
+                        avg_rtt=0.1, latest_rtt=0.1, min_rtt=0.1,
+                        rtt_gradient=grad, loss_rate=loss,
+                        ack_gap_ewma=0.001, send_gap_ewma=0.001,
+                        sent_packets=10, acked_packets=10,
+                        rate=tput_mbps * 1e6)
+                    value = reward.raw(m, norm)
+                    assert np.isfinite(value)
+                    assert -10.0 <= value <= 1.0
+
+    def test_top_of_range_maps_to_one(self):
+        """The best measurable outcome normalizes to exactly 1."""
+        reward = Eq1Reward()
+        norm = Normalizer(init_max_rate=200e6)
+        m = Measurement(throughput=200e6, send_rate=200e6, avg_rtt=0.1,
+                        latest_rtt=0.1, min_rtt=0.1, rtt_gradient=0.0,
+                        loss_rate=0.0, ack_gap_ewma=0.001,
+                        send_gap_ewma=0.001, sent_packets=10,
+                        acked_packets=10, rate=200e6)
+        assert reward.raw(m, norm) == pytest.approx(1.0)
+
 
 def test_quick_training_improves_reward():
     policy, history = train_policy("libra", epochs=4, seed=11,

@@ -1,0 +1,135 @@
+"""Tests for schema-versioned, crash-safe training checkpoints."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.rl.policy import GaussianActorCritic
+from repro.rl.ppo import PPOConfig, PPOUpdater
+from repro.train.checkpoint import (CHECKPOINT_SCHEMA_VERSION,
+                                    CheckpointError, TrainState,
+                                    checkpoint_path, latest_checkpoint,
+                                    load_checkpoint, restore_optimizer,
+                                    restore_policy_weights, save_checkpoint)
+
+
+def _state(iteration=3, seed=0):
+    policy = GaussianActorCritic(4, hidden=(8, 8), seed=seed)
+    updater = PPOUpdater(policy, PPOConfig(seed=seed),
+                         rng=np.random.default_rng(seed))
+    rng = np.random.default_rng(seed)
+    rng.normal(size=17)  # advance so the state is non-trivial
+    return policy, updater, TrainState(
+        iteration=iteration, weights=policy.get_weights(),
+        adam_m=updater.optimizer.m, adam_v=updater.optimizer.v,
+        adam_t=updater.optimizer.t, rng_state=rng.bit_generator.state,
+        episode_rewards=[1.0, -2.5, 3.25],
+        meta={"kind": "libra", "seed": seed})
+
+
+class TestRoundtrip:
+    def test_save_load_roundtrip(self, tmp_path):
+        policy, updater, state = _state()
+        path = save_checkpoint(str(tmp_path), state)
+        assert os.path.basename(path) == "ckpt-000003.npz"
+        loaded = load_checkpoint(path)
+        assert loaded.iteration == 3
+        assert loaded.adam_t == state.adam_t
+        assert loaded.episode_rewards == [1.0, -2.5, 3.25]
+        assert loaded.meta["kind"] == "libra"
+        for name, value in state.weights.items():
+            assert np.array_equal(loaded.weights[name], value)
+        for a, b in zip(loaded.adam_m, state.adam_m):
+            assert np.array_equal(a, b)
+
+    def test_rng_state_roundtrips_exactly(self, tmp_path):
+        _, _, state = _state()
+        loaded = load_checkpoint(save_checkpoint(str(tmp_path), state))
+        rng = np.random.default_rng(0)
+        rng.bit_generator.state = loaded.rng_state
+        reference = np.random.default_rng(0)
+        reference.normal(size=17)
+        assert np.array_equal(rng.normal(size=5), reference.normal(size=5))
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        _, _, state = _state()
+        save_checkpoint(str(tmp_path), state)
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+
+
+class TestLatest:
+    def test_picks_highest_iteration(self, tmp_path):
+        for it in (1, 12, 5):
+            _, _, state = _state(iteration=it)
+            save_checkpoint(str(tmp_path), state)
+        assert latest_checkpoint(str(tmp_path)) == \
+            checkpoint_path(str(tmp_path), 12)
+
+    def test_missing_dir_gives_none(self, tmp_path):
+        assert latest_checkpoint(str(tmp_path / "nope")) is None
+
+    def test_ignores_foreign_files(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("hi")
+        (tmp_path / "ckpt-abc.npz").write_text("hi")
+        assert latest_checkpoint(str(tmp_path)) is None
+
+
+class TestValidation:
+    def test_truncated_file_gives_actionable_error(self, tmp_path):
+        _, _, state = _state()
+        path = save_checkpoint(str(tmp_path), state)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="corrupt or truncated"):
+            load_checkpoint(path)
+
+    def test_missing_file_gives_actionable_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint(str(tmp_path / "ckpt-000001.npz"))
+
+    def test_future_schema_rejected(self, tmp_path):
+        _, _, state = _state()
+        path = save_checkpoint(str(tmp_path), state)
+        with np.load(path) as archive:
+            data = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(data["meta_json"].tobytes()).decode())
+        meta["schema_version"] = CHECKPOINT_SCHEMA_VERSION + 1
+        data["meta_json"] = np.frombuffer(json.dumps(meta).encode(),
+                                          dtype=np.uint8)
+        np.savez(path, **data)
+        with pytest.raises(CheckpointError, match="schema"):
+            load_checkpoint(path)
+
+
+class TestInPlaceRestore:
+    def test_restore_keeps_optimizer_references_live(self, tmp_path):
+        """After a restore, Adam must still update the policy's arrays."""
+        policy, updater, state = _state(seed=1)
+        loaded = load_checkpoint(save_checkpoint(str(tmp_path), state))
+
+        target = GaussianActorCritic(4, hidden=(8, 8), seed=9)
+        opt = PPOUpdater(target, PPOConfig(seed=9),
+                         rng=np.random.default_rng(9)).optimizer
+        params_before = [id(p) for p in target.params]
+        restore_policy_weights(target, loaded.weights)
+        restore_optimizer(opt, loaded)
+        assert [id(p) for p in target.params] == params_before
+        assert opt.t == loaded.adam_t
+        for name, value in state.weights.items():
+            assert np.array_equal(target.get_weights()[name], value)
+        # the optimizer's slots must alias the restored arrays' owners
+        grads = [np.ones_like(p) for p in target.params]
+        before = [p.copy() for p in target.params]
+        opt.step(grads)
+        assert any(not np.array_equal(p, b)
+                   for p, b in zip(target.params, before))
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        _, _, state = _state()
+        loaded = load_checkpoint(save_checkpoint(str(tmp_path), state))
+        other = GaussianActorCritic(4, hidden=(16, 16), seed=0)
+        with pytest.raises(CheckpointError, match="shape mismatch"):
+            restore_policy_weights(other, loaded.weights)

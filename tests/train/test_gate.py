@@ -1,0 +1,107 @@
+"""Tests for the evaluation gate and asset promotion."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.rl.policy import GaussianActorCritic
+from repro.train.gate import (PANEL_SCENARIOS, GateConfig, PanelScore,
+                              gate_and_promote, panel_scenarios, score_row)
+from repro.training import make_training_env
+
+FAST = GateConfig(seeds=(1,), duration=2.0)
+
+
+def _policy(seed=0, sabotage=False):
+    env = make_training_env("libra")
+    policy = GaussianActorCritic(env.obs_dim, hidden=(8, 8), seed=seed)
+    if sabotage:
+        # slam the output layer so the controller collapses its rate
+        policy.actor.biases[-1][...] = -40.0
+    return policy
+
+
+class TestScoring:
+    def test_score_row_rewards_utilization(self):
+        config = GateConfig()
+        row = {"utilization": 0.9, "avg_rtt_ms": 100.0, "base_rtt_ms": 100.0,
+               "loss_rate": 0.0}
+        assert score_row(row, config) == pytest.approx(0.9)
+
+    def test_score_row_penalizes_queueing_and_loss(self):
+        config = GateConfig(w_delay=0.5, w_loss=10.0)
+        row = {"utilization": 0.9, "avg_rtt_ms": 200.0, "base_rtt_ms": 100.0,
+               "loss_rate": 0.01}
+        # 0.9 − 0.5·(2−1) − 10·0.01 = 0.3
+        assert score_row(row, config) == pytest.approx(0.3)
+
+    def test_rtt_below_base_is_not_a_bonus(self):
+        config = GateConfig(w_delay=0.5, w_loss=10.0)
+        row = {"utilization": 0.5, "avg_rtt_ms": 50.0, "base_rtt_ms": 100.0,
+               "loss_rate": 0.0}
+        assert score_row(row, config) == pytest.approx(0.5)
+
+
+class TestPanel:
+    def test_panel_covers_required_axes(self):
+        assert set(PANEL_SCENARIOS) == {"wired", "lte", "lossy", "faults"}
+
+    def test_panel_scenarios_resolve(self):
+        resolved = panel_scenarios()
+        assert [name for name, _ in resolved] == list(PANEL_SCENARIOS)
+        for _name, scenario in resolved:
+            assert scenario.rtt > 0
+
+    def test_unknown_panel_name_rejected(self):
+        with pytest.raises(KeyError):
+            panel_scenarios(("wired", "marshmallow"))
+
+    def test_by_panel_groups_scores(self):
+        score = PanelScore(score=0.5, rows=[
+            {"panel": "wired", "score": 0.4},
+            {"panel": "wired", "score": 0.6},
+            {"panel": "lte", "score": 0.2}])
+        assert score.by_panel() == {"wired": pytest.approx(0.5),
+                                    "lte": pytest.approx(0.2)}
+
+
+class TestPromotion:
+    def test_promotes_into_empty_dir(self, tmp_path):
+        decision = gate_and_promote("libra", _policy().get_weights(),
+                                    assets_dir=str(tmp_path), config=FAST)
+        assert decision.promoted
+        assert "incumbent" in decision.reason
+        assert os.path.exists(tmp_path / "libra.npz")
+        assert os.path.exists(tmp_path / "MANIFEST.json")
+        promoted = GaussianActorCritic.load(str(tmp_path / "libra.npz"))
+        ours = _policy().get_weights()
+        for name, value in promoted.get_weights().items():
+            assert np.array_equal(value, ours[name])
+
+    def test_refuses_worse_candidate(self, tmp_path):
+        gate_and_promote("libra", _policy().get_weights(),
+                         assets_dir=str(tmp_path), config=FAST)
+        before = open(tmp_path / "libra.npz", "rb").read()
+        decision = gate_and_promote("libra",
+                                    _policy(sabotage=True).get_weights(),
+                                    assets_dir=str(tmp_path), config=FAST)
+        assert not decision.promoted
+        assert "does not beat" in decision.reason
+        assert open(tmp_path / "libra.npz", "rb").read() == before
+
+    def test_corrupt_incumbent_concedes(self, tmp_path):
+        (tmp_path / "libra.npz").write_bytes(b"not an archive")
+        decision = gate_and_promote("libra", _policy().get_weights(),
+                                    assets_dir=str(tmp_path), config=FAST)
+        assert decision.promoted
+        assert decision.incumbent is None
+
+    def test_refusal_is_deterministic_with_equal_scores(self, tmp_path):
+        """A candidate identical to the incumbent ties — and ties lose."""
+        weights = _policy().get_weights()
+        gate_and_promote("libra", weights, assets_dir=str(tmp_path),
+                         config=FAST)
+        decision = gate_and_promote("libra", weights,
+                                    assets_dir=str(tmp_path), config=FAST)
+        assert not decision.promoted

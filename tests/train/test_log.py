@@ -1,0 +1,87 @@
+"""Tests for structured JSONL training logs."""
+
+import json
+
+import pytest
+
+from repro.telemetry.export import validate_jsonl
+from repro.train.gate import PanelScore, PromotionDecision
+from repro.train.log import TRAIN_EVENTS, TRAIN_SERIES, TrainLogger
+
+
+def _read(path):
+    with open(path) as fh:
+        return [json.loads(line) for line in fh]
+
+
+STATS = {"reward_mean": 1.5, "entropy": 0.9, "approx_kl": 0.01,
+         "steps_per_sec": 1000.0, "worker_util": 0.8, "episodes": 4,
+         "steps": 128, "pi_loss": -0.1, "v_loss": 2.0, "clip_frac": 0.05}
+
+
+class TestTrainLogger:
+    def test_log_passes_telemetry_validation(self, tmp_path):
+        """Training logs ride the telemetry export schema, so the same
+        validator CI runs on flow traces accepts them unchanged."""
+        path = str(tmp_path / "train.jsonl")
+        with TrainLogger(path, meta={"kind": "libra"}) as logger:
+            logger.log_iteration(1, STATS)
+            logger.log_checkpoint(1, "/tmp/ckpt-000001.npz")
+        validate_jsonl(path)
+
+    def test_header_declares_channels(self, tmp_path):
+        path = str(tmp_path / "train.jsonl")
+        TrainLogger(path, meta={"kind": "libra"}).close()
+        header = _read(path)[0]
+        assert header["type"] == "header"
+        assert header["series"] == list(TRAIN_SERIES)
+        assert header["events"] == list(TRAIN_EVENTS)
+        assert header["meta"]["kind"] == "libra"
+
+    def test_iteration_writes_samples_and_event(self, tmp_path):
+        path = str(tmp_path / "train.jsonl")
+        with TrainLogger(path) as logger:
+            logger.log_iteration(7, STATS)
+        records = _read(path)[1:]
+        samples = [r for r in records if r["type"] == "sample"]
+        assert {s["channel"] for s in samples} == set(TRAIN_SERIES)
+        assert all(s["t"] == 7.0 for s in samples)
+        events = [r for r in records if r["type"] == "event"]
+        assert len(events) == 1
+        assert events[0]["kind"] == "train.iteration"
+        assert events[0]["fields"]["episodes"] == 4
+        assert "wall_s" in events[0]["fields"]
+
+    def test_missing_stats_skip_their_samples(self, tmp_path):
+        path = str(tmp_path / "train.jsonl")
+        with TrainLogger(path) as logger:
+            logger.log_iteration(1, {"entropy": 0.5, "reward_mean": None})
+        samples = [r for r in _read(path) if r["type"] == "sample"]
+        assert [s["channel"] for s in samples] == ["train.entropy"]
+        validate_jsonl(path)
+
+    def test_resume_and_promotion_events(self, tmp_path):
+        path = str(tmp_path / "train.jsonl")
+        decision = PromotionDecision(
+            kind="libra", promoted=False, reason="tie",
+            asset_path="/x/libra.npz",
+            candidate=PanelScore(score=0.5),
+            incumbent=PanelScore(score=0.5))
+        with TrainLogger(path) as logger:
+            logger.log_resume(10, "/tmp/ckpt-000010.npz")
+            logger.log_promotion(30, decision)
+        events = {r["kind"]: r for r in _read(path) if r["type"] == "event"}
+        assert events["train.resume"]["fields"]["iteration"] == 10
+        promo = events["train.promotion"]["fields"]
+        assert promo["promoted"] is False
+        assert promo["candidate_score"] == pytest.approx(0.5)
+        validate_jsonl(path)
+
+    def test_lines_are_flushed_incrementally(self, tmp_path):
+        """A killed run must leave complete records behind."""
+        path = str(tmp_path / "train.jsonl")
+        logger = TrainLogger(path)
+        logger.log_iteration(1, STATS)
+        # file is readable and valid *before* close
+        validate_jsonl(path)
+        logger.close()

@@ -1,0 +1,120 @@
+"""Tests for the bundled-asset manifest and integrity verification."""
+
+import json
+import shutil
+
+import pytest
+
+import repro.assets as assets
+from repro.assets import (MANIFEST_SCHEMA_VERSION, POLICY_KINDS,
+                          load_manifest, load_policy, manifest_path,
+                          refresh_manifest, update_manifest_entry,
+                          verify_assets)
+
+
+@pytest.fixture
+def scratch_assets(tmp_path, monkeypatch):
+    """A private copy of the bundled assets, patched in as _ASSET_DIR."""
+    directory = tmp_path / "assets"
+    directory.mkdir()
+    for kind in POLICY_KINDS:
+        shutil.copy(assets.asset_path(kind), directory / f"{kind}.npz")
+    monkeypatch.setattr(assets, "_ASSET_DIR", str(directory))
+    monkeypatch.setattr(assets, "_cache", {})
+    refresh_manifest()
+    return directory
+
+
+class TestShippedManifest:
+    def test_bundled_assets_verify_clean(self):
+        """The committed MANIFEST.json matches the committed .npz files."""
+        for row in verify_assets():
+            assert row["status"] == "ok", f"{row['kind']}: {row['detail']}"
+
+    def test_manifest_covers_every_policy_kind(self):
+        manifest = load_manifest()
+        assert manifest is not None
+        assert set(manifest["assets"]) == set(POLICY_KINDS)
+        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION
+        for entry in manifest["assets"].values():
+            assert len(entry["sha256"]) == 64
+            assert entry["bytes"] > 0
+
+
+class TestVerification:
+    def test_tampered_asset_detected(self, scratch_assets):
+        with open(scratch_assets / "libra.npz", "ab") as fh:
+            fh.write(b"\0")
+        rows = {row["kind"]: row for row in verify_assets()}
+        assert rows["libra"]["status"] == "hash-mismatch"
+        assert rows["aurora"]["status"] == "ok"
+
+    def test_missing_file_detected(self, scratch_assets):
+        (scratch_assets / "orca.npz").unlink()
+        rows = {row["kind"]: row for row in verify_assets()}
+        assert rows["orca"]["status"] == "missing-file"
+
+    def test_missing_entry_detected(self, scratch_assets):
+        manifest = load_manifest()
+        del manifest["assets"]["aurora"]
+        with open(manifest_path(), "w") as fh:
+            json.dump(manifest, fh)
+        rows = {row["kind"]: row for row in verify_assets()}
+        assert rows["aurora"]["status"] == "missing-entry"
+
+    def test_unmanaged_dir_reports_no_manifest(self, tmp_path, monkeypatch):
+        src = assets.asset_path("libra")
+        monkeypatch.setattr(assets, "_ASSET_DIR", str(tmp_path))
+        shutil.copy(src, tmp_path / "libra.npz")
+        rows = {row["kind"]: row for row in verify_assets()}
+        assert rows["libra"]["status"] == "no-manifest"
+        assert rows["orca"]["status"] == "missing-file"
+
+
+class TestLoadPolicyIntegrity:
+    def test_load_checks_sha(self, scratch_assets):
+        with open(scratch_assets / "libra.npz", "ab") as fh:
+            fh.write(b"\0")
+        with pytest.raises(RuntimeError, match="manifest sha256"):
+            load_policy("libra", fresh=True)
+
+    def test_load_without_manifest_still_works(self, scratch_assets):
+        (scratch_assets / "MANIFEST.json").unlink()
+        assert load_policy("libra", fresh=True).obs_dim > 0
+
+    def test_schema_bump_rejected(self, scratch_assets):
+        manifest = load_manifest()
+        manifest["assets"]["libra"]["schema_version"] += 1
+        with open(manifest_path(), "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(RuntimeError, match="npz schema"):
+            load_policy("libra", fresh=True)
+
+    def test_corrupt_manifest_is_actionable(self, scratch_assets):
+        with open(manifest_path(), "w") as fh:
+            fh.write("{ nope")
+        with pytest.raises(RuntimeError, match="unreadable"):
+            load_policy("libra", fresh=True)
+
+
+class TestUpdateEntry:
+    def test_update_refreshes_sha_and_cache(self, scratch_assets):
+        cached = load_policy("libra")
+        old_sha = load_manifest()["assets"]["libra"]["sha256"]
+        # replace the asset with a different valid policy file
+        shutil.copy(scratch_assets / "aurora.npz",
+                    scratch_assets / "libra.npz")
+        update_manifest_entry("libra")
+        assert load_manifest()["assets"]["libra"]["sha256"] != old_sha
+        fresh = load_policy("libra")
+        assert fresh is not cached  # cache was invalidated
+
+    def test_update_in_foreign_dir_leaves_cache_alone(self, scratch_assets,
+                                                      tmp_path):
+        other = tmp_path / "other"
+        other.mkdir()
+        shutil.copy(scratch_assets / "libra.npz", other / "libra.npz")
+        cached = load_policy("libra")
+        update_manifest_entry("libra", asset_dir=str(other))
+        assert load_policy("libra") is cached
+        assert load_manifest(str(other))["assets"]["libra"]["sha256"]

@@ -1,0 +1,118 @@
+"""End-to-end tests for train_run and the ``repro train`` CLI."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.telemetry.export import validate_jsonl
+from repro.train import TrainRunConfig, train_run
+
+FAST = dict(kind="libra", iterations=2, steps_per_iteration=96,
+            episode_steps=24, seed=5, hidden=(8, 8), backend="serial")
+
+
+class TestTrainRun:
+    def test_basic_run_collects_and_learns(self):
+        result = train_run(TrainRunConfig(**FAST))
+        assert result.iterations_run == 2
+        assert len(result.history.episode_rewards) == 2 * (96 // 24)
+        assert result.last_stats["steps"] == 96
+        assert np.isfinite(result.last_stats["entropy"])
+
+    def test_unknown_kind_raises_keyerror(self):
+        with pytest.raises(KeyError, match="alphago"):
+            train_run(TrainRunConfig(**dict(FAST, kind="alphago")))
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            train_run(TrainRunConfig(**dict(FAST, backend="threads")))
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            train_run(TrainRunConfig(**FAST, resume=True))
+
+    def test_checkpoint_cadence(self, tmp_path):
+        result = train_run(TrainRunConfig(
+            **dict(FAST, iterations=5), checkpoint_dir=str(tmp_path),
+            checkpoint_every=2))
+        names = [os.path.basename(p) for p in result.checkpoints]
+        assert names == ["ckpt-000002.npz", "ckpt-000004.npz",
+                         "ckpt-000005.npz"]
+
+    def test_log_written_and_valid(self, tmp_path):
+        log = str(tmp_path / "train.jsonl")
+        train_run(TrainRunConfig(**FAST, log_path=log))
+        validate_jsonl(log)
+        with open(log) as fh:
+            records = [json.loads(line) for line in fh]
+        iters = [r for r in records
+                 if r["type"] == "event" and r["kind"] == "train.iteration"]
+        assert [r["fields"]["iteration"] for r in iters] == [1, 2]
+
+
+class TestCli:
+    def test_verify_assets_ok(self, capsys):
+        assert main(["train", "--verify-assets"]) == 0
+        out = capsys.readouterr().out
+        assert "libra" in out and "ok" in out
+
+    def test_verify_assets_flags_tampering(self, tmp_path, capsys):
+        import shutil
+
+        import repro.assets as assets
+
+        shutil.copy(assets.asset_path("libra"), tmp_path / "libra.npz")
+        assets.refresh_manifest(str(tmp_path))
+        with open(tmp_path / "libra.npz", "ab") as fh:
+            fh.write(b"\0")
+        assert main(["train", "--verify-assets",
+                     "--assets-dir", str(tmp_path)]) == 1
+        assert "hash-mismatch" in capsys.readouterr().out
+
+    def test_requires_kind_or_all(self, capsys):
+        assert main(["train"]) == 2
+        assert "policy kind" in capsys.readouterr().err
+
+    def test_unknown_kind_rejected(self, capsys):
+        assert main(["train", "alphago"]) == 2
+        assert "unknown policy kind" in capsys.readouterr().err
+
+    def test_small_training_run(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck")
+        log = str(tmp_path / "train.jsonl")
+        code = main(["train", "libra", "--iterations", "2", "--steps", "96",
+                     "--episode-steps", "24", "--hidden", "8,8",
+                     "--backend", "serial", "--checkpoint-every", "1",
+                     "--checkpoint-dir", ck, "--log", log, "--quiet",
+                     "--save", str(tmp_path / "w.npz")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 iterations" in out
+        assert sorted(os.listdir(ck)) == ["ckpt-000001.npz",
+                                          "ckpt-000002.npz"]
+        validate_jsonl(log)
+        assert os.path.exists(tmp_path / "w.npz")
+
+    def test_cli_resume_continues(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck")
+        base = ["--steps", "96", "--episode-steps", "24", "--hidden", "8,8",
+                "--backend", "serial", "--checkpoint-dir", ck, "--quiet"]
+        assert main(["train", "libra", "--iterations", "1",
+                     "--checkpoint-every", "1"] + base) == 0
+        assert main(["train", "libra", "--iterations", "2",
+                     "--resume"] + base) == 0
+        out = capsys.readouterr().out
+        assert "1 iterations" in out.splitlines()[-2] or \
+            "1 iterations" in out
+        assert os.path.exists(os.path.join(ck, "ckpt-000002.npz"))
+
+    def test_all_rejects_per_run_flags(self, capsys):
+        assert main(["train", "--all", "--resume"]) == 2
+        assert "--all cannot" in capsys.readouterr().err
+
+    def test_bad_hidden_rejected(self, capsys):
+        assert main(["train", "libra", "--hidden", "64,banana"]) == 2
+        assert "comma-separated" in capsys.readouterr().err
