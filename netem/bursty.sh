@@ -1,0 +1,9 @@
+#!/bin/sh
+# Correlated (bursty) loss on DEV (default: lo): 20 ms delay plus 5%
+# loss with 25% correlation — netem's approximation of a Gilbert-Elliott
+# channel, the real-interface analogue of FaultSchedule.burst_loss.
+# Needs CAP_NET_ADMIN.
+set -eu
+DEV="${1:-lo}"
+tc qdisc replace dev "$DEV" root netem delay 20ms loss 5% 25%
+echo "netem: $DEV shaped with bursty 5% loss (undo: ./clean.sh $DEV)"

@@ -1,0 +1,6 @@
+#!/bin/sh
+# Remove any netem qdisc from DEV (default: lo). Needs CAP_NET_ADMIN.
+set -eu
+DEV="${1:-lo}"
+tc qdisc del dev "$DEV" root 2>/dev/null || true
+echo "netem: $DEV restored to default qdisc"

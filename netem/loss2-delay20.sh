@@ -1,0 +1,8 @@
+#!/bin/sh
+# 2% random loss + 20 ms delay on DEV (default: lo) — the profile the CI
+# netio smoke job applies in-process, here for a real interface.
+# Needs CAP_NET_ADMIN.
+set -eu
+DEV="${1:-lo}"
+tc qdisc replace dev "$DEV" root netem delay 20ms loss 2%
+echo "netem: $DEV shaped with 20ms delay + 2% loss (undo: ./clean.sh $DEV)"

@@ -1,0 +1,8 @@
+#!/bin/sh
+# LTE-flavoured path on DEV (default: lo): 40 ms +/- 10 ms jittery delay
+# (normal distribution), 0.5% loss, 1% reordering. Needs CAP_NET_ADMIN.
+set -eu
+DEV="${1:-lo}"
+tc qdisc replace dev "$DEV" root netem \
+    delay 40ms 10ms distribution normal loss 0.5% reorder 1% 50%
+echo "netem: $DEV shaped LTE-ish (undo: ./clean.sh $DEV)"

@@ -1,7 +1,7 @@
-"""Command-line entry point: run experiments or quick single flows.
+"""Command-line entry point: run experiments, single flows, or real traffic.
 
 Usage:
-    python -m repro list                       # available CCAs + experiments
+    python -m repro list                       # CCAs, experiments, commands
     python -m repro run c-libra --bw 48 --rtt 100 --duration 20
     python -m repro trace c-libra --lte stationary --out trace.jsonl
     python -m repro experiment fig7            # print a paper artifact
@@ -9,6 +9,9 @@ Usage:
     python -m repro train libra --workers 2 --iterations 30 \\
         --checkpoint-every 10                  # parallel, resumable training
     python -m repro train --verify-assets      # bundled-policy integrity
+    python -m repro serve --port 9000          # reliable-UDP receive endpoint
+    python -m repro send 127.0.0.1:9000 --cca libra:cubic --bytes 1048576 \\
+        --loss 0.02 --delay 20                 # real-socket transfer
 """
 
 from __future__ import annotations
@@ -35,11 +38,26 @@ EXPERIMENT_MODULES = {
 }
 
 
+#: every subcommand with a one-line purpose — ``repro list`` prints this
+#: registry surface so operational tooling can discover the CLI without
+#: parsing argparse help text
+COMMANDS = {
+    "list": "list CCAs, experiments and commands",
+    "run": "run one flow through a simulated bottleneck",
+    "trace": "run one traced flow and inspect/export its telemetry",
+    "experiment": "print one paper artifact",
+    "train": "train a policy (parallel, checkpointed, eval-gated)",
+    "serve": "reliable-UDP receive endpoint (real sockets)",
+    "send": "reliable-UDP transfer driven by a CCA (real sockets)",
+}
+
+
 def cmd_list(_args) -> int:
     from .registry import available_ccas
 
     print("CCAs:", ", ".join(available_ccas()))
     print("Experiments:", ", ".join(sorted(set(EXPERIMENT_MODULES))))
+    print("Commands:", ", ".join(sorted(COMMANDS)))
     return 0
 
 
@@ -197,11 +215,91 @@ def cmd_train(args) -> int:
     return status
 
 
+def cmd_serve(args) -> int:
+    """Run the reliable-UDP receive endpoint until interrupted (or --one)."""
+    import asyncio
+    import json
+
+    from .netio import NetioServer
+
+    async def serve() -> int:
+        server = NetioServer(host=args.host, port=args.port,
+                             verbose=not args.quiet)
+        host, port = await server.start()
+        print(f"netio: listening on {host}:{port}", flush=True)
+        try:
+            while True:
+                stats = await server.serve_one()
+                if args.json:
+                    print(json.dumps(stats.summary(), sort_keys=True),
+                          flush=True)
+                if args.one:
+                    return 0 if stats.complete else 1
+        finally:
+            await server.close()
+
+    try:
+        return asyncio.run(serve())
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_send(args) -> int:
+    """Transfer a payload to a ``repro serve`` endpoint over real sockets."""
+    import asyncio
+    import json
+
+    from .netio import ImpairmentProfile, send_payload
+    from .registry import make_controller
+    from .telemetry import Recorder, format_summary, write_csv, write_jsonl
+
+    host, _, port_text = args.target.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"target must be HOST:PORT, got {args.target!r}",
+              file=sys.stderr)
+        return 2
+    profile = ImpairmentProfile(
+        loss=args.loss, delay=args.delay / 1000.0,
+        jitter=args.jitter / 1000.0, reorder_probability=args.reorder,
+        reorder_extra=args.reorder_extra / 1000.0, ack_loss=args.ack_loss,
+        seed=args.impair_seed)
+    recorder = Recorder() if args.out or args.trace_summary else None
+    controller = make_controller(args.cca, seed=args.seed)
+    payload = bytes(args.bytes)
+    result = asyncio.run(send_payload(
+        host, int(port_text), controller, payload, mss=args.mss,
+        impairment=profile, seed=args.impair_seed, recorder=recorder,
+        timeout=args.timeout, initial_seq=args.isn, cca_name=args.cca))
+    if args.json:
+        print(json.dumps(result.summary(), sort_keys=True))
+    else:
+        print(f"{args.cca}: {result.bytes_total} bytes in "
+              f"{result.duration:.3f}s "
+              f"(throughput {result.throughput_mbps:.2f} Mbps), "
+              f"srtt={result.srtt * 1e3:.1f} ms, "
+              f"loss={result.loss_rate:.2%}, "
+              f"{result.retransmissions} retransmissions")
+    if result.telemetry is not None:
+        if args.out:
+            if args.format == "csv":
+                records = write_csv(result.telemetry, args.out)
+            else:
+                records = write_jsonl(result.telemetry, args.out)
+            print(f"wrote {records} {args.format} records to {args.out}")
+        if args.trace_summary:
+            print(format_summary(result.telemetry, tail=args.tail))
+    return 0 if result.bytes_acked >= result.bytes_total else 1
+
+
 def main(argv=None) -> int:
+    from . import __version__
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list CCAs and experiments")
+    sub.add_parser("list", help=COMMANDS["list"])
 
     def add_flow_args(p) -> None:
         p.add_argument("cca")
@@ -297,6 +395,59 @@ def main(argv=None) -> int:
     train.add_argument("--quiet", action="store_true",
                        help="suppress per-iteration progress lines")
 
+    serve = sub.add_parser("serve", help=COMMANDS["serve"])
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="UDP port (0 = ephemeral; the chosen port is "
+                            "printed on the 'netio: listening' line)")
+    serve.add_argument("--one", action="store_true",
+                       help="exit after the first completed transfer "
+                            "(exit 1 if it was incomplete)")
+    serve.add_argument("--json", action="store_true",
+                       help="print one JSON summary line per transfer")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-transfer progress on stderr")
+
+    send = sub.add_parser("send", help=COMMANDS["send"])
+    send.add_argument("target", help="server address as HOST:PORT")
+    send.add_argument("--cca", default="libra:cubic",
+                      help="controller name (see `repro list`)")
+    send.add_argument("--bytes", type=int, default=1_048_576,
+                      help="payload size in bytes (default 1 MiB)")
+    send.add_argument("--mss", type=int, default=1200,
+                      help="datagram payload size (default 1200)")
+    send.add_argument("--seed", type=int, default=1,
+                      help="controller seed")
+    send.add_argument("--isn", type=int, default=0,
+                      help="initial sequence number (mod 2^16)")
+    send.add_argument("--loss", type=float, default=0.0,
+                      help="loopback impairment: data loss probability")
+    send.add_argument("--delay", type=float, default=0.0,
+                      help="loopback impairment: one-way delay in ms")
+    send.add_argument("--jitter", type=float, default=0.0,
+                      help="loopback impairment: uniform jitter in ms")
+    send.add_argument("--reorder", type=float, default=0.0,
+                      help="loopback impairment: reorder probability")
+    send.add_argument("--reorder-extra", type=float, default=0.0,
+                      help="extra holdback for reordered datagrams in ms")
+    send.add_argument("--ack-loss", type=float, default=0.0,
+                      help="loopback impairment: ACK loss probability")
+    send.add_argument("--impair-seed", type=int, default=0,
+                      help="impairment RNG seed")
+    send.add_argument("--timeout", type=float, default=120.0,
+                      help="abort the transfer after this many seconds")
+    send.add_argument("--json", action="store_true",
+                      help="print a machine-readable JSON summary")
+    send.add_argument("--out", default=None,
+                      help="write the flow telemetry to this file")
+    send.add_argument("--format", choices=("jsonl", "csv"), default="jsonl",
+                      help="export format for --out (default: jsonl)")
+    send.add_argument("--trace-summary", action="store_true",
+                      help="print the telemetry summary after the transfer")
+    send.add_argument("--tail", type=int, default=10,
+                      help="events shown by --trace-summary (0 disables)")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list(args)
@@ -306,6 +457,10 @@ def main(argv=None) -> int:
         return cmd_trace(args)
     if args.command == "train":
         return cmd_train(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "send":
+        return cmd_send(args)
     return cmd_experiment(args)
 
 

@@ -1,0 +1,51 @@
+"""repro.netio — reliable-UDP serving path with pluggable CCAs.
+
+The sim-to-real bridge (ROADMAP item 3): the *unchanged* controllers
+from :mod:`repro.cca` and :mod:`repro.core` drive a real asyncio UDP
+datapath — a selective-repeat ARQ with per-packet SACK feedback and
+adaptive RTO — through :class:`~repro.netio.adapter.CCAAdapter`, which
+feeds them the exact :class:`~repro.simnet.packet.AckSample` /
+:class:`~repro.simnet.packet.LossSample` /
+:class:`~repro.simnet.packet.IntervalReport` stream the simulator
+produces.  Runs are traceable with the same schema-versioned
+:class:`~repro.telemetry.FlowTelemetry` artifacts as simnet runs.
+
+Quickstart (two processes, or one event loop as below)::
+
+    import asyncio
+    from repro import make_controller
+    from repro.netio import ImpairmentProfile, NetioServer, send_payload
+
+    async def main():
+        server = NetioServer()
+        host, port = await server.start()
+        result = await send_payload(
+            host, port, make_controller("libra:cubic"),
+            data=bytes(1_048_576),
+            impairment=ImpairmentProfile(loss=0.02, delay=0.02, seed=1))
+        print(result.summary())
+        await server.close()
+
+    asyncio.run(main())
+
+CLI front-ends: ``python -m repro serve`` / ``python -m repro send``.
+"""
+
+from .adapter import CCAAdapter
+from .arq import REORDER_THRESHOLD, AckOutcome, SRSender, TransferAbort
+from .framing import (FramingError, decode, encode_ack, encode_control,
+                      encode_data, seq_add, seq_dist, seq_in_window)
+from .impairment import ImpairmentProfile, LoopbackImpairment
+from .rxbuf import SRReceiver
+from .transport import (DEFAULT_UDP_MSS, AsyncClock, NetioClient, NetioResult,
+                        NetioServer, TransferStats, TransferTimeout,
+                        send_payload)
+
+__all__ = [
+    "AckOutcome", "AsyncClock", "CCAAdapter", "DEFAULT_UDP_MSS",
+    "FramingError", "ImpairmentProfile", "LoopbackImpairment", "NetioClient",
+    "NetioResult", "NetioServer", "REORDER_THRESHOLD", "SRReceiver",
+    "SRSender", "TransferAbort", "TransferStats", "TransferTimeout", "decode",
+    "encode_ack", "encode_control", "encode_data", "send_payload", "seq_add",
+    "seq_dist", "seq_in_window",
+]

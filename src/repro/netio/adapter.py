@@ -1,0 +1,163 @@
+"""Bridge between the async datapath and the synchronous CCA step API.
+
+The whole point of :mod:`repro.netio` is that the congestion controllers
+under ``repro/cca`` and ``repro/core`` run *unchanged* over a real
+socket.  The adapter guarantees that by speaking their exact dialect:
+
+- per-ACK :class:`~repro.simnet.packet.AckSample` records (RTT, srtt,
+  min-RTT, delivery rate from delivered-counter deltas, inflight),
+- per-loss :class:`~repro.simnet.packet.LossSample` records,
+- per-monitor-interval :class:`~repro.simnet.packet.IntervalReport`
+  aggregates, produced by the same ``_WindowStats`` accumulator the
+  simulator's sender uses — so throughput/loss/RTT-gradient semantics
+  are identical by construction, not by reimplementation.
+
+Rate/window decisions flow the other way through
+:meth:`effective_rate` / :meth:`window_allows`, mirroring
+:class:`repro.simnet.endpoint.Sender`'s pacing semantics (pacing floor
+included).  Telemetry lands in the same ``flow<N>.*`` channels the
+simulator records, so one ``FlowTelemetry`` schema covers both
+datapaths.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..simnet.endpoint import (MIN_PACING_RATE, TELEMETRY_SAMPLE_INTERVAL,
+                               _WindowStats)
+from ..simnet.packet import AckSample, IntervalReport, LossSample
+
+if TYPE_CHECKING:  # import cycle hygiene, same pattern as simnet
+    from ..cca.base import Controller
+    from ..telemetry import Recorder
+
+
+class CCAAdapter:
+    """Drives one :class:`~repro.cca.base.Controller` from ARQ events."""
+
+    def __init__(self, controller: "Controller", mss: int,
+                 recorder: "Recorder | None" = None, flow_id: int = 0):
+        self.controller = controller
+        self.mss = mss
+        self.flow_id = flow_id
+        self.recorder = recorder
+        self._tel_channels = None
+        self._window = _WindowStats()
+        self._started = False
+        self.min_rtt = float("inf")
+        self.srtt = 0.0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self, now: float) -> None:
+        self.controller.start(now, self.mss)
+        if self.recorder is not None:
+            self.controller.attach_telemetry(self.recorder,
+                                             flow_id=self.flow_id)
+            prefix = f"flow{self.flow_id}."
+            self._tel_channels = tuple(
+                self.recorder.series(prefix + name)
+                for name in ("rate", "srtt", "cwnd", "inflight",
+                             "throughput", "loss_rate"))
+        self._window.reset(now)
+        self._started = True
+
+    @property
+    def marker(self) -> int:
+        return self.controller.marker
+
+    # -- MI cadence ------------------------------------------------------
+
+    def interval(self) -> float | None:
+        """The controller's requested MI duration (``None`` = no MI)."""
+        return self.controller.interval()
+
+    def tick_interval(self) -> float:
+        """Housekeeping cadence for the transport's interval loop."""
+        duration = self.controller.interval()
+        if duration is None:
+            return TELEMETRY_SAMPLE_INTERVAL
+        return max(duration, 1e-3)
+
+    # -- feedback from the ARQ layer --------------------------------------
+
+    def on_sent(self, nbytes: int) -> None:
+        self._window.sent_packets += 1
+        self._window.sent_bytes += nbytes
+        if self.controller.userspace:
+            self.controller.meter.count("userspace_packet")
+
+    def on_acked(self, now: float, seq: int, nbytes: int, rtt: float | None,
+                 srtt: float, min_rtt: float, delivery_rate: float,
+                 inflight_bytes: float, sent_time: float, marker: int) -> None:
+        self.srtt = srtt
+        if min_rtt < self.min_rtt:
+            self.min_rtt = min_rtt
+        win = self._window
+        win.acked_packets += 1
+        win.delivered_bytes += nbytes
+        if rtt is not None:
+            win.rtt_samples.append((now, rtt))
+        sample = AckSample(
+            now=now, seq=seq, rtt=rtt if rtt is not None else srtt,
+            min_rtt=self.min_rtt, srtt=srtt, acked_bytes=nbytes,
+            delivery_rate=delivery_rate, inflight_bytes=inflight_bytes,
+            sent_time=sent_time, marker=marker)
+        self.controller.on_ack(sample)
+        if self.controller.userspace:
+            self.controller.meter.count("userspace_packet")
+
+    def on_lost(self, now: float, seq: int, nbytes: int, sent_time: float,
+                inflight_bytes: float, marker: int) -> None:
+        self._window.lost_packets += 1
+        self.controller.on_loss(LossSample(
+            now=now, seq=seq, lost_bytes=nbytes, sent_time=sent_time,
+            inflight_bytes=inflight_bytes, marker=marker))
+
+    def fire_interval(self, now: float,
+                      inflight_bytes: float) -> IntervalReport:
+        """Close the current monitor interval and feed the controller.
+
+        Called by the transport's interval loop at :meth:`tick_interval`
+        cadence.  Controllers that request no MI (window CCAs) still get
+        telemetry sampled here, exactly like the simulator's
+        telemetry-only tick.
+        """
+        report = self._window.report(now, self.min_rtt)
+        self._window.reset(now)
+        if self._tel_channels is not None:
+            self._record_interval(now, report, inflight_bytes)
+        if self.controller.interval() is not None:
+            self.controller.meter.count("per_mi")
+            self.controller.on_interval(report)
+        return report
+
+    def _record_interval(self, now: float, report: IntervalReport,
+                         inflight_bytes: float) -> None:
+        rate_ch, srtt_ch, cwnd_ch, inflight_ch, tput_ch, loss_ch = \
+            self._tel_channels
+        rate_ch.add(now, self.effective_rate())
+        srtt_ch.add(now, self.srtt)
+        cwnd = self.controller.cwnd()
+        if cwnd is not None:
+            cwnd_ch.add(now, cwnd)
+        inflight_ch.add(now, inflight_bytes)
+        tput_ch.add(now, report.throughput)
+        loss_ch.add(now, report.loss_rate)
+        self.controller.meter.count("telemetry")
+
+    # -- decisions towards the datapath ------------------------------------
+
+    def effective_rate(self) -> float:
+        """Pacing rate in bps (same derivation as the simulator's sender)."""
+        rate = self.controller.pacing_rate()
+        if rate is None:
+            cwnd = self.controller.cwnd()
+            srtt = self.srtt if self.srtt > 0 else 0.1
+            rate = (cwnd or self.mss * 10) * 8.0 / srtt
+        return max(rate, MIN_PACING_RATE)
+
+    def window_allows(self, inflight_bytes: float) -> bool:
+        cwnd = self.controller.cwnd()
+        return cwnd is None or inflight_bytes + self.mss <= cwnd

@@ -1,0 +1,277 @@
+"""Selective-repeat ARQ sender state machine.
+
+Pure synchronous logic — no sockets, no event loop — so the transport
+layer stays thin and every corner (sequence wrap, Karn's rule, SACK
+reorder detection, RTO backoff) is unit-testable.  The shape follows the
+``SRSender`` exemplar in SNIPPETS.md snippet 2: a mod-2^16 window of
+outstanding packets, RFC 6298 srtt/rttvar RTO estimation, and explicit
+retransmission bookkeeping.
+
+The sender does not talk to the congestion controller itself; it emits
+:class:`AckOutcome` records (newly acked / newly lost packets plus RTT
+samples) that :class:`repro.netio.adapter.CCAAdapter` translates into
+the exact :class:`~repro.simnet.packet.AckSample` /
+:class:`~repro.simnet.packet.LossSample` stream the simulator produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .framing import MAX_SACK_BLOCKS, SEQ_MOD, AckPacket, seq_add, seq_dist
+
+#: SACKed packets past a hole before the hole is declared lost — the
+#: same reorder threshold the simulator's sender uses
+REORDER_THRESHOLD = 3
+
+#: RFC 6298 constants (per SNIPPETS.md snippet 2's SRSender)
+RTO_ALPHA = 1.0 / 8.0
+RTO_BETA = 1.0 / 4.0
+RTO_K = 4.0
+MIN_RTO = 0.2
+MAX_RTO = 4.0
+INITIAL_RTO = 1.0
+
+
+@dataclass(slots=True)
+class TxRecord:
+    """One outstanding (sent, not yet acked) data packet."""
+
+    seq: int
+    payload: bytes
+    first_send: float
+    last_send: float
+    delivered_at_send: float
+    marker: int = 0
+    retries: int = 0
+    retransmitted: bool = False
+    lost: bool = False            # declared lost, awaiting retransmission
+
+
+@dataclass(slots=True)
+class AckOutcome:
+    """What one inbound ACK did to the sender state."""
+
+    acked: list = field(default_factory=list)       # [(seq, TxRecord, rtt|None)]
+    newly_lost: list = field(default_factory=list)  # [(seq, TxRecord)]
+    duplicate: bool = False
+
+
+class SRSender:
+    """Sliding-window selective-repeat sender with adaptive RTO.
+
+    ``window`` bounds the number of simultaneously outstanding packets;
+    it must stay well below the half-ring (2^15) so window membership is
+    unambiguous under wrap.
+    """
+
+    def __init__(self, window: int = 1024, initial_seq: int = 0,
+                 max_retries: int = 20):
+        if not 0 < window <= SEQ_MOD // 4:
+            raise ValueError(f"window must be in (0, {SEQ_MOD // 4}]")
+        self.window = window
+        self.max_retries = max_retries
+        self.base = initial_seq & (SEQ_MOD - 1)      # oldest unacked
+        self.next_seq = self.base                    # next fresh sequence
+        self.outstanding: dict[int, TxRecord] = {}
+        self.rtx_queue: list[int] = []               # lost seqs awaiting resend
+
+        self.srtt = 0.0
+        self.rttvar = 0.0
+        self.latest_rtt = 0.0
+        self.min_rtt = float("inf")
+        self.rto = INITIAL_RTO
+        self._rto_backoff = 1.0
+
+        self.inflight_bytes = 0.0
+        self.delivered_bytes = 0.0   # sender-side cumulative acked payload
+        self.sent_packets = 0
+        self.acked_packets = 0
+        self.lost_packets = 0
+        self.retransmissions = 0
+        self.last_ack_time = 0.0
+
+    # -- sending ----------------------------------------------------------
+
+    def can_send_new(self) -> bool:
+        """Whether a fresh sequence number fits in the send window."""
+        return seq_dist(self.base, self.next_seq) < self.window
+
+    def register_send(self, payload: bytes, now: float, marker: int = 0) -> int:
+        """Record a fresh packet send; returns its sequence number."""
+        if not self.can_send_new():
+            raise RuntimeError("send window full")
+        seq = self.next_seq
+        self.next_seq = seq_add(self.next_seq)
+        self.outstanding[seq] = TxRecord(
+            seq=seq, payload=payload, first_send=now, last_send=now,
+            delivered_at_send=self.delivered_bytes, marker=marker)
+        self.inflight_bytes += len(payload)
+        self.sent_packets += 1
+        return seq
+
+    def next_retransmit(self, now: float) -> TxRecord | None:
+        """Pop the next lost packet to resend, updating its bookkeeping."""
+        while self.rtx_queue:
+            seq = self.rtx_queue.pop(0)
+            record = self.outstanding.get(seq)
+            if record is None or not record.lost:
+                continue
+            record.lost = False
+            record.last_send = now
+            record.retries += 1
+            record.retransmitted = True
+            self.inflight_bytes += len(record.payload)
+            self.retransmissions += 1
+            if record.retries > self.max_retries:
+                raise TransferAbort(
+                    f"seq {seq} exceeded {self.max_retries} retries")
+            return record
+        return None
+
+    @property
+    def has_retransmits(self) -> bool:
+        return bool(self.rtx_queue)
+
+    def done(self, total_sent: bool) -> bool:
+        """All data acked: nothing outstanding, nothing queued for resend."""
+        return total_sent and not self.outstanding and not self.rtx_queue
+
+    # -- acknowledgements --------------------------------------------------
+
+    def on_ack(self, ack: AckPacket, now: float) -> AckOutcome:
+        """Apply one ACK; returns the newly acked / newly lost packets."""
+        outcome = AckOutcome()
+        self.last_ack_time = now
+
+        # Cumulative part: everything before cum_ack is delivered.  A
+        # cum_ack "behind" base (a reordered old ACK) wraps to a huge
+        # forward distance and is ignored.
+        if seq_dist(self.base, ack.cum_ack) <= self.window:
+            while self.base != ack.cum_ack:
+                self._ack_one(self.base, now, outcome)
+                self.base = seq_add(self.base)
+        # SACK part: individually acknowledged packets past the hole.
+        highest_sacked = None
+        for start, end in ack.sack_blocks:
+            seq = start
+            guard = 0
+            while seq != end and guard < SEQ_MOD:
+                self._ack_one(seq, now, outcome)
+                if highest_sacked is None or \
+                        seq_dist(self.base, seq) > seq_dist(self.base,
+                                                            highest_sacked):
+                    highest_sacked = seq
+                seq = seq_add(seq)
+                guard += 1
+        if not outcome.acked:
+            outcome.duplicate = True
+        else:
+            self._rto_backoff = 1.0
+        if highest_sacked is not None and outcome.acked:
+            newest_send = max(record.last_send
+                              for _, record, _ in outcome.acked)
+            self._detect_reorder_losses(highest_sacked, newest_send, outcome)
+        self._advance_base()
+        return outcome
+
+    def _ack_one(self, seq: int, now: float, outcome: AckOutcome) -> None:
+        record = self.outstanding.pop(seq, None)
+        if record is None:
+            return
+        if not record.lost:
+            self.inflight_bytes = max(0.0,
+                                      self.inflight_bytes - len(record.payload))
+        self.delivered_bytes += len(record.payload)
+        self.acked_packets += 1
+        rtt = None
+        if not record.retransmitted:   # Karn: ambiguous samples are skipped
+            rtt = now - record.last_send
+            self._update_rtt(rtt)
+        outcome.acked.append((seq, record, rtt))
+
+    def _advance_base(self) -> None:
+        """Slide base over holes that were individually SACKed away."""
+        while self.base != self.next_seq and self.base not in self.outstanding:
+            self.base = seq_add(self.base)
+
+    def _update_rtt(self, rtt: float) -> None:
+        self.latest_rtt = rtt
+        self.min_rtt = min(self.min_rtt, rtt)
+        if self.srtt == 0.0:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (1 - RTO_BETA) * self.rttvar \
+                + RTO_BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - RTO_ALPHA) * self.srtt + RTO_ALPHA * rtt
+        self.rto = min(max(self.srtt + RTO_K * self.rttvar, MIN_RTO), MAX_RTO)
+
+    # -- loss detection ----------------------------------------------------
+
+    def _detect_reorder_losses(self, highest_sacked: int, newest_send: float,
+                               outcome: AckOutcome) -> None:
+        """Declare holes ``REORDER_THRESHOLD`` packets behind the highest
+        SACKed sequence lost (the SACK analogue of dupack counting).
+
+        ``newest_send`` guards retransmissions still in flight: a hole
+        only counts as lost if some packet *sent after its last
+        transmission* has already been SACKed — otherwise every ACK
+        arriving while a retransmission travels would re-declare it lost
+        and spray duplicates.
+        """
+        for seq in sorted(self.outstanding,
+                          key=lambda s: seq_dist(self.base, s)):
+            record = self.outstanding[seq]
+            if record.lost or record.last_send >= newest_send:
+                continue
+            if seq_dist(seq, highest_sacked) >= REORDER_THRESHOLD \
+                    and seq_dist(self.base, seq) < seq_dist(self.base,
+                                                            highest_sacked):
+                self._declare_lost(seq, record, outcome)
+
+    def check_timeouts(self, now: float) -> AckOutcome:
+        """RTO fallback for tail losses; backs the timer off once per firing."""
+        outcome = AckOutcome()
+        if not self.outstanding:
+            return outcome
+        timeout = self.rto * self._rto_backoff
+        if now - self.last_ack_time < timeout:
+            return outcome
+        cutoff = now - timeout
+        fired = False
+        for seq, record in list(self.outstanding.items()):
+            if not record.lost and record.last_send <= cutoff:
+                self._declare_lost(seq, record, outcome)
+                fired = True
+        if fired:
+            self._rto_backoff = min(self._rto_backoff * 2.0, 16.0)
+            self.last_ack_time = now   # one backoff step per quiet period
+        return outcome
+
+    def next_timeout_deadline(self) -> float | None:
+        """Absolute time at which :meth:`check_timeouts` could next fire."""
+        if not self.outstanding:
+            return None
+        return self.last_ack_time + self.rto * self._rto_backoff
+
+    def _declare_lost(self, seq: int, record: TxRecord,
+                      outcome: AckOutcome) -> None:
+        record.lost = True
+        self.inflight_bytes = max(0.0, self.inflight_bytes - len(record.payload))
+        self.lost_packets += 1
+        self.rtx_queue.append(seq)
+        outcome.newly_lost.append((seq, record))
+
+
+class TransferAbort(RuntimeError):
+    """A packet exhausted its retransmission budget — the peer is gone."""
+
+
+def sack_coverage(blocks: tuple[tuple[int, int], ...]) -> int:
+    """Total packets covered by a SACK block set (diagnostics)."""
+    return sum(seq_dist(start, end) for start, end in blocks)
+
+
+__all__ = ["AckOutcome", "MAX_SACK_BLOCKS", "REORDER_THRESHOLD", "SRSender",
+           "TransferAbort", "TxRecord", "sack_coverage"]

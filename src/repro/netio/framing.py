@@ -1,0 +1,159 @@
+"""Wire format for the reliable-UDP datapath.
+
+One UDP datagram carries exactly one protocol packet.  Sequence numbers
+live on a mod-2^16 ring (the classic selective-repeat formulation; see
+SNIPPETS.md snippet 2), so the header stays 8 bytes and a transfer of
+any length simply wraps.  The ring helpers here are the single source of
+sequence arithmetic for the sender, the receiver, and the tests.
+
+Packet layouts (all network byte order):
+
+- ``DATA``  — ``!BBHHH`` (type, flags, seq, length, reserved) + payload.
+  Flag bit 0 marks a retransmission (Karn's rule: the receiver echoes it
+  so the sender never RTT-samples an ambiguous ACK).
+- ``ACK``   — ``!BBHHQ`` (type, n_sack, cum_ack, echo_seq, delivered)
+  + ``n_sack`` × ``!HH`` SACK blocks, each ``[start, end)`` on the ring.
+  ``cum_ack`` is the next in-order sequence the receiver expects;
+  ``echo_seq`` is the data packet that triggered this ACK;
+  ``delivered`` is the receiver's cumulative count of novel payload
+  bytes — the counterpart of :class:`repro.simnet.packet.Ack`'s
+  ``delivered_bytes`` used for delivery-rate estimation.
+- ``SYN`` / ``SYNACK`` / ``FIN`` / ``FINACK`` — ``!BBHHH`` control
+  packets; SYN carries a JSON metadata payload (total bytes, mss, CCA
+  name) and FIN carries the final sequence boundary in ``seq``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+
+SEQ_MOD = 1 << 16
+SEQ_MASK = SEQ_MOD - 1
+
+#: packet types
+DATA, ACK, SYN, SYNACK, FIN, FINACK = range(1, 7)
+_CONTROL = {SYN, SYNACK, FIN, FINACK}
+
+#: DATA flag bits
+FLAG_RETRANSMIT = 0x01
+
+#: most SACK blocks one ACK can carry (beyond this the nearest-to-cum
+#: blocks win; farther holes are re-reported by later ACKs)
+MAX_SACK_BLOCKS = 8
+
+_HEADER = struct.Struct("!BBHHH")
+_ACK_HEADER = struct.Struct("!BBHHQ")
+_SACK_BLOCK = struct.Struct("!HH")
+
+
+class FramingError(ValueError):
+    """A datagram failed to parse as a protocol packet."""
+
+
+# -- mod-2^16 ring helpers ---------------------------------------------------
+
+def seq_add(seq: int, inc: int = 1) -> int:
+    return (seq + inc) & SEQ_MASK
+
+
+def seq_dist(start: int, end: int) -> int:
+    """Unsigned ring distance from ``start`` forward to ``end``."""
+    return (end - start) & SEQ_MASK
+
+
+def seq_in_window(seq: int, start: int, size: int) -> bool:
+    """True iff ``seq`` lies in ``[start, start + size)`` on the ring."""
+    return seq_dist(start, seq) < size
+
+
+# -- encode ------------------------------------------------------------------
+
+def encode_data(seq: int, payload: bytes, retransmit: bool = False) -> bytes:
+    flags = FLAG_RETRANSMIT if retransmit else 0
+    return _HEADER.pack(DATA, flags, seq & SEQ_MASK, len(payload), 0) + payload
+
+
+def encode_ack(cum_ack: int, echo_seq: int, delivered_bytes: int,
+               sack_blocks: tuple[tuple[int, int], ...] = ()) -> bytes:
+    blocks = sack_blocks[:MAX_SACK_BLOCKS]
+    out = _ACK_HEADER.pack(ACK, len(blocks), cum_ack & SEQ_MASK,
+                           echo_seq & SEQ_MASK, delivered_bytes)
+    for start, end in blocks:
+        out += _SACK_BLOCK.pack(start & SEQ_MASK, end & SEQ_MASK)
+    return out
+
+
+def encode_control(ptype: int, seq: int = 0, meta: dict | None = None) -> bytes:
+    if ptype not in _CONTROL:
+        raise FramingError(f"not a control packet type: {ptype}")
+    payload = json.dumps(meta, sort_keys=True).encode() if meta else b""
+    return _HEADER.pack(ptype, 0, seq & SEQ_MASK, len(payload), 0) + payload
+
+
+# -- decode ------------------------------------------------------------------
+
+@dataclass(slots=True)
+class DataPacket:
+    seq: int
+    payload: bytes
+    retransmit: bool
+
+
+@dataclass(slots=True)
+class AckPacket:
+    cum_ack: int
+    echo_seq: int
+    delivered_bytes: int
+    sack_blocks: tuple[tuple[int, int], ...]
+
+
+@dataclass(slots=True)
+class ControlPacket:
+    ptype: int
+    seq: int
+    meta: dict
+
+
+def decode(datagram: bytes) -> DataPacket | AckPacket | ControlPacket:
+    """Parse one datagram; raises :class:`FramingError` on malformed input."""
+    if len(datagram) < 2:
+        raise FramingError("datagram shorter than any header")
+    ptype = datagram[0]
+    if ptype == ACK:
+        if len(datagram) < _ACK_HEADER.size:
+            raise FramingError("truncated ACK header")
+        _, n_sack, cum_ack, echo_seq, delivered = \
+            _ACK_HEADER.unpack_from(datagram)
+        if n_sack > MAX_SACK_BLOCKS:
+            raise FramingError(f"ACK claims {n_sack} SACK blocks "
+                               f"(max {MAX_SACK_BLOCKS})")
+        need = _ACK_HEADER.size + n_sack * _SACK_BLOCK.size
+        if len(datagram) < need:
+            raise FramingError("truncated SACK blocks")
+        blocks = tuple(
+            _SACK_BLOCK.unpack_from(datagram,
+                                    _ACK_HEADER.size + i * _SACK_BLOCK.size)
+            for i in range(n_sack))
+        for start, end in blocks:
+            if start == end:
+                raise FramingError("empty SACK block")
+        return AckPacket(cum_ack, echo_seq, delivered, blocks)
+    if len(datagram) < _HEADER.size:
+        raise FramingError("truncated header")
+    ptype, flags, seq, length, _reserved = _HEADER.unpack_from(datagram)
+    body = datagram[_HEADER.size:]
+    if len(body) != length:
+        raise FramingError(f"length field {length} != payload {len(body)}")
+    if ptype == DATA:
+        return DataPacket(seq, body, bool(flags & FLAG_RETRANSMIT))
+    if ptype in _CONTROL:
+        try:
+            meta = json.loads(body.decode()) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FramingError(f"bad control metadata: {exc}") from exc
+        if not isinstance(meta, dict):
+            raise FramingError("control metadata must be a JSON object")
+        return ControlPacket(ptype, seq, meta)
+    raise FramingError(f"unknown packet type {ptype}")

@@ -1,0 +1,136 @@
+"""Seeded socket-layer impairment for loopback runs.
+
+Real-network effects — loss, propagation delay, jitter, reordering,
+bursts — do not exist on ``127.0.0.1``, so loopback tests could never
+exercise congestion behaviour without help.  :class:`LoopbackImpairment`
+injects them at the datagram boundary of the *sender* process, drawing
+every decision from the same seeded sampler primitives the simulator's
+fault injector uses (:mod:`repro.simnet.distributions`), which makes the
+drop pattern a deterministic function of ``(profile, seed, packet
+index)`` even though wall-clock timing is not.
+
+Placement: outbound DATA datagrams pass :meth:`send_data` (loss, delay,
+jitter, reorder, optional Gilbert–Elliott bursts); inbound ACKs pass
+:meth:`deliver_ack` (Bernoulli ACK loss).  Keeping both ends of the
+impairment inside the sender process means one seed controls the whole
+realization — no cross-process RNG coordination.
+
+For *real* impairment, see the ``netem/`` profile scripts, which shape
+an actual interface with ``tc`` instead (root required, not CI-gated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simnet.distributions import (GilbertElliottSampler, bernoulli,
+                                    impairment_rng, uniform_jitter)
+
+
+@dataclass(frozen=True)
+class ImpairmentProfile:
+    """Frozen description of one loopback impairment realization.
+
+    ``delay`` is applied to every data datagram (it plays the role of
+    the one-way propagation delay, so the observed RTT on loopback is
+    ``delay`` + ACK turnaround); ``jitter`` adds a seeded uniform
+    ``[0, jitter)`` component; ``reorder_probability`` holds selected
+    datagrams back an extra ``reorder_extra`` seconds so later ones
+    overtake them, mirroring :class:`repro.simnet.faults.Reorder`.
+    """
+
+    loss: float = 0.0                  # Bernoulli data-datagram loss
+    delay: float = 0.0                 # one-way extra delay, seconds
+    jitter: float = 0.0                # uniform [0, jitter) on top
+    reorder_probability: float = 0.0
+    reorder_extra: float = 0.0
+    ack_loss: float = 0.0              # Bernoulli inbound-ACK loss
+    burst: tuple | None = None         # (p_enter, p_exit, loss_good, loss_bad)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "reorder_probability", "ack_loss"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p!r}")
+        for name in ("delay", "jitter", "reorder_extra"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.reorder_probability > 0 and self.reorder_extra <= 0:
+            raise ValueError("reorder_probability needs reorder_extra > 0")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.loss or self.delay or self.jitter
+                    or self.reorder_probability or self.ack_loss
+                    or self.burst)
+
+
+class LoopbackImpairment:
+    """Per-run mutable impairment state wrapping a datagram send path."""
+
+    def __init__(self, profile: ImpairmentProfile, seed: int = 0):
+        self.profile = profile
+        self.rng = impairment_rng(profile.seed, seed)
+        self._ge = GilbertElliottSampler(*profile.burst) \
+            if profile.burst is not None else None
+        self.data_drops = 0
+        self.ack_drops = 0
+        self.reordered = 0
+        self.delayed = 0
+
+    # -- data path (outbound) ---------------------------------------------
+
+    def data_verdict(self, retransmit: bool = False) -> float | None:
+        """Decide one outbound data datagram's fate.
+
+        Returns ``None`` to drop it, or the extra delay in seconds
+        (possibly ``0.0``) to apply before the socket write.  Decisions
+        consume RNG draws in a fixed per-packet order, so the stream is
+        reproducible regardless of wall-clock timing.
+        """
+        p = self.profile
+        if p.loss > 0.0 and bernoulli(self.rng, p.loss):
+            self.data_drops += 1
+            return None
+        if self._ge is not None:
+            drop, _ = self._ge.step(self.rng)
+            if drop:
+                self.data_drops += 1
+                return None
+        extra = p.delay
+        if p.jitter > 0.0:
+            extra += uniform_jitter(self.rng, p.jitter)
+        if p.reorder_probability > 0.0 \
+                and bernoulli(self.rng, p.reorder_probability):
+            self.reordered += 1
+            extra += p.reorder_extra
+        if extra > 0.0:
+            self.delayed += 1
+        return extra
+
+    def send_data(self, loop, sendto, datagram: bytes,
+                  retransmit: bool = False) -> bool:
+        """Send one data datagram through the impairment; False if dropped."""
+        verdict = self.data_verdict(retransmit)
+        if verdict is None:
+            return False
+        if verdict <= 0.0:
+            sendto(datagram)
+        else:
+            loop.call_later(verdict, sendto, datagram)
+        return True
+
+    # -- ACK path (inbound) -----------------------------------------------
+
+    def deliver_ack(self) -> bool:
+        """Whether one inbound ACK survives the impairment."""
+        p = self.profile
+        if p.ack_loss > 0.0 and bernoulli(self.rng, p.ack_loss):
+            self.ack_drops += 1
+            return False
+        return True
+
+    def counters(self) -> dict:
+        return {"data_drops": self.data_drops, "ack_drops": self.ack_drops,
+                "reordered": self.reordered, "delayed": self.delayed}

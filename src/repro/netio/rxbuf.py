@@ -1,0 +1,92 @@
+"""Selective-repeat ARQ receiver: reorder buffer and SACK generation.
+
+The receiver keeps a cumulative pointer (``rcv_next``) and an
+out-of-order store on the mod-2^16 ring.  Every data packet — novel or
+duplicate — produces an acknowledgement carrying the cumulative pointer,
+up to :data:`~repro.netio.framing.MAX_SACK_BLOCKS` SACK blocks for the
+out-of-order islands, and the receiver's cumulative count of novel
+payload bytes (the delivery-rate counter the sender's congestion
+controller consumes, mirroring :class:`repro.simnet.packet.Ack`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .framing import MAX_SACK_BLOCKS, DataPacket, seq_add, seq_dist
+
+
+@dataclass(slots=True)
+class RxResult:
+    """Effect of one data packet on the receive buffer."""
+
+    delivered: list            # in-order payloads released by this packet
+    duplicate: bool
+    cum_ack: int
+    sack_blocks: tuple
+    delivered_bytes: float
+
+
+class SRReceiver:
+    """Reorder buffer for one inbound flow."""
+
+    def __init__(self, initial_seq: int = 0, window: int = 4096):
+        self.rcv_next = initial_seq & 0xFFFF
+        self.window = window
+        self._held: dict[int, bytes] = {}
+        self.delivered_bytes = 0.0     # novel payload bytes, any order
+        self.released_bytes = 0.0      # payload bytes released in order
+        self.received_packets = 0
+        self.duplicate_packets = 0
+
+    def on_data(self, packet: DataPacket) -> RxResult:
+        self.received_packets += 1
+        seq = packet.seq
+        delivered: list[bytes] = []
+        behind = seq_dist(seq, self.rcv_next)
+        duplicate = (0 < behind <= self.window) or seq in self._held
+        if duplicate:
+            self.duplicate_packets += 1
+        elif seq_dist(self.rcv_next, seq) >= self.window:
+            # Outside the receive window entirely: drop, still ACK state.
+            self.duplicate_packets += 1
+            duplicate = True
+        else:
+            self.delivered_bytes += len(packet.payload)
+            if seq == self.rcv_next:
+                delivered.append(packet.payload)
+                self.released_bytes += len(packet.payload)
+                self.rcv_next = seq_add(self.rcv_next)
+                while self.rcv_next in self._held:
+                    payload = self._held.pop(self.rcv_next)
+                    delivered.append(payload)
+                    self.released_bytes += len(payload)
+                    self.rcv_next = seq_add(self.rcv_next)
+            else:
+                self._held[seq] = packet.payload
+        return RxResult(delivered=delivered, duplicate=duplicate,
+                        cum_ack=self.rcv_next,
+                        sack_blocks=self.sack_blocks(),
+                        delivered_bytes=self.delivered_bytes)
+
+    def sack_blocks(self) -> tuple[tuple[int, int], ...]:
+        """Contiguous out-of-order runs as ``[start, end)`` ring blocks,
+        nearest-to-cumulative first, capped at the wire limit."""
+        if not self._held:
+            return ()
+        seqs = sorted(self._held, key=lambda s: seq_dist(self.rcv_next, s))
+        blocks: list[tuple[int, int]] = []
+        start = prev = seqs[0]
+        for seq in seqs[1:]:
+            if seq == seq_add(prev):
+                prev = seq
+                continue
+            blocks.append((start, seq_add(prev)))
+            start = prev = seq
+        blocks.append((start, seq_add(prev)))
+        return tuple(blocks[:MAX_SACK_BLOCKS])
+
+    @property
+    def holes(self) -> int:
+        """Out-of-order packets currently awaiting the hole in front."""
+        return len(self._held)

@@ -1,0 +1,553 @@
+"""Asyncio UDP transport: the real-socket serving path.
+
+``NetioServer`` is the receive side: it answers a JSON ``SYN``
+handshake, feeds every data datagram through a
+:class:`~repro.netio.rxbuf.SRReceiver`, and acknowledges each one with
+cumulative + SACK feedback and its delivered-bytes counter.
+``NetioClient`` is the send side: an :class:`AsyncClock`-driven pacing
+loop that transmits at whatever rate the (unchanged) congestion
+controller decides, a :class:`~repro.netio.arq.SRSender` for
+reliability, and a :class:`~repro.netio.adapter.CCAAdapter` feeding the
+controller the same signal stream the simulator produces.
+
+The sender deliberately mirrors :class:`repro.simnet.endpoint.Sender`'s
+structure — pacing gate, congestion-window gate, monitor-interval timer,
+RTO fallback — so a controller cannot tell which datapath it is on;
+that is the sim-to-real claim the loopback parity test pins down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from ..units import DEFAULT_MSS
+from .adapter import CCAAdapter
+from .arq import SRSender, TransferAbort
+from .framing import (ACK, DATA, FIN, FINACK, SYN, SYNACK, AckPacket,
+                      ControlPacket, DataPacket, FramingError, decode,
+                      encode_ack, encode_control, encode_data)
+from .impairment import ImpairmentProfile, LoopbackImpairment
+from .rxbuf import SRReceiver
+
+#: default UDP payload size: safely under the 1500-byte ethernet MTU
+#: once UDP/IP headers are added
+DEFAULT_UDP_MSS = 1200
+
+#: handshake / teardown retry policy
+CONTROL_RETRIES = 8
+CONTROL_TIMEOUT = 0.5
+
+#: idle cap on the send loop's wait so RTO checks always run
+MAX_IDLE_WAIT = 0.05
+
+
+class TransferTimeout(RuntimeError):
+    """The transfer did not complete within the wall-clock budget."""
+
+
+class AsyncClock:
+    """Monotonic run-relative clock over the asyncio event loop.
+
+    Centralizing ``now()`` keeps every timestamp the controller observes
+    on one origin-zero axis — the same convention as the simulator's
+    event loop, so telemetry from both datapaths lines up at t=0.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self._loop = loop
+        self.origin = loop.time()
+
+    def now(self) -> float:
+        return self._loop.time() - self.origin
+
+    async def sleep(self, duration: float) -> None:
+        if duration > 0:
+            await asyncio.sleep(duration)
+
+
+# -- server ------------------------------------------------------------------
+
+@dataclass
+class TransferStats:
+    """Receive-side summary of one completed (or aborted) transfer."""
+
+    peer: str
+    started_at: float
+    finished_at: float = 0.0
+    bytes_released: float = 0.0     # in-order payload bytes
+    bytes_delivered: float = 0.0    # novel payload bytes, any order
+    received_packets: int = 0
+    duplicate_packets: int = 0
+    meta: dict = field(default_factory=dict)
+    complete: bool = False
+
+    @property
+    def duration(self) -> float:
+        return max(self.finished_at - self.started_at, 1e-9)
+
+    @property
+    def goodput_bps(self) -> float:
+        return self.bytes_released * 8.0 / self.duration
+
+    def summary(self) -> dict:
+        return {"peer": self.peer, "bytes": self.bytes_released,
+                "duration_s": round(self.duration, 6),
+                "goodput_mbps": round(self.goodput_bps / 1e6, 4),
+                "packets": self.received_packets,
+                "duplicates": self.duplicate_packets,
+                "complete": self.complete, "meta": self.meta}
+
+
+class _Session:
+    __slots__ = ("rx", "stats", "finished")
+
+    def __init__(self, initial_seq: int, peer: str, now: float, meta: dict):
+        self.rx = SRReceiver(initial_seq=initial_seq)
+        self.stats = TransferStats(peer=peer, started_at=now, meta=meta)
+        self.finished = False
+
+
+class _ServerProtocol(asyncio.DatagramProtocol):
+    def __init__(self, server: "NetioServer"):
+        self.server = server
+        self.transport = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.server._on_datagram(data, addr)
+
+    def error_received(self, exc) -> None:  # pragma: no cover — OS-dependent
+        pass
+
+
+class NetioServer:
+    """Reliable-UDP receive endpoint serving any number of transfers."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 verbose: bool = False):
+        self.host = host
+        self.port = port
+        self.verbose = verbose
+        self._transport = None
+        self._sessions: dict = {}
+        self._completed: asyncio.Queue = asyncio.Queue()
+        self._clock: AsyncClock | None = None
+
+    async def start(self) -> tuple[str, int]:
+        loop = asyncio.get_running_loop()
+        self._clock = AsyncClock(loop)
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _ServerProtocol(self), local_addr=(self.host, self.port))
+        sockname = self._transport.get_extra_info("sockname")
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_one(self, timeout: float | None = None) -> TransferStats:
+        """Wait for the next transfer to finish and return its stats."""
+        return await asyncio.wait_for(self._completed.get(), timeout)
+
+    async def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    # -- datagram handling -------------------------------------------------
+
+    def _on_datagram(self, data: bytes, addr) -> None:
+        try:
+            packet = decode(data)
+        except FramingError:
+            return  # garbage on the port: not our problem
+        now = self._clock.now()
+        peer = f"{addr[0]}:{addr[1]}"
+        if isinstance(packet, ControlPacket):
+            self._on_control(packet, addr, peer, now)
+        elif isinstance(packet, DataPacket):
+            session = self._sessions.get(addr)
+            if session is None or session.finished:
+                return  # no handshake (or late duplicate): client retries
+            result = session.rx.on_data(packet)
+            stats = session.stats
+            stats.received_packets += 1
+            if result.duplicate:
+                stats.duplicate_packets += 1
+            stats.bytes_delivered = result.delivered_bytes
+            stats.bytes_released = session.rx.released_bytes
+            self._transport.sendto(
+                encode_ack(result.cum_ack, packet.seq, int(result.delivered_bytes),
+                           result.sack_blocks), addr)
+
+    def _on_control(self, packet: ControlPacket, addr, peer: str,
+                    now: float) -> None:
+        if packet.ptype == SYN:
+            session = self._sessions.get(addr)
+            if session is None or session.finished:
+                isn = int(packet.meta.get("isn", 0))
+                self._sessions[addr] = _Session(isn, peer, now, packet.meta)
+                if self.verbose:
+                    print(f"netio: {peer} connected "
+                          f"({packet.meta.get('bytes', '?')} bytes, "
+                          f"cca={packet.meta.get('cca', '?')})", flush=True)
+            self._transport.sendto(encode_control(SYNACK, packet.seq), addr)
+        elif packet.ptype == FIN:
+            self._transport.sendto(encode_control(FINACK, packet.seq), addr)
+            session = self._sessions.get(addr)
+            if session is not None and not session.finished:
+                session.finished = True
+                stats = session.stats
+                stats.finished_at = now
+                expected = session.stats.meta.get("bytes")
+                stats.complete = expected is None or \
+                    stats.bytes_released >= expected
+                self._completed.put_nowait(stats)
+                if self.verbose:
+                    print(f"netio: {peer} finished "
+                          f"{stats.bytes_released:.0f} bytes in "
+                          f"{stats.duration:.3f}s "
+                          f"({stats.goodput_bps / 1e6:.2f} Mbps)", flush=True)
+
+
+# -- client ------------------------------------------------------------------
+
+@dataclass
+class NetioResult:
+    """Send-side summary of one reliable-UDP transfer."""
+
+    cca: str
+    bytes_total: int
+    bytes_acked: float
+    duration: float
+    sent_packets: int
+    acked_packets: int
+    lost_packets: int
+    retransmissions: int
+    srtt: float
+    min_rtt: float
+    avg_rtt: float
+    mi_reports: int
+    impairment: dict = field(default_factory=dict)
+    telemetry: object = None    # FlowTelemetry when the run was traced
+
+    @property
+    def throughput_bps(self) -> float:
+        return self.bytes_acked * 8.0 / max(self.duration, 1e-9)
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput_bps / 1e6
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost_packets / self.sent_packets if self.sent_packets \
+            else 0.0
+
+    def summary(self) -> dict:
+        return {"cca": self.cca, "bytes": self.bytes_total,
+                "bytes_acked": self.bytes_acked,
+                "duration_s": round(self.duration, 6),
+                "throughput_mbps": round(self.throughput_mbps, 4),
+                "sent_packets": self.sent_packets,
+                "acked_packets": self.acked_packets,
+                "lost_packets": self.lost_packets,
+                "retransmissions": self.retransmissions,
+                "loss_rate": round(self.loss_rate, 6),
+                "srtt_ms": round(self.srtt * 1e3, 3),
+                "min_rtt_ms": round(self.min_rtt * 1e3, 3)
+                if self.min_rtt != float("inf") else None,
+                "avg_rtt_ms": round(self.avg_rtt * 1e3, 3),
+                "mi_reports": self.mi_reports,
+                "impairment": self.impairment}
+
+
+class _ClientProtocol(asyncio.DatagramProtocol):
+    def __init__(self, client: "NetioClient"):
+        self.client = client
+        self.transport = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.client._on_datagram(data)
+
+    def error_received(self, exc) -> None:  # pragma: no cover — OS-dependent
+        pass
+
+
+class NetioClient:
+    """Reliable-UDP send endpoint driven by one congestion controller."""
+
+    def __init__(self, controller, data: bytes, mss: int = DEFAULT_UDP_MSS,
+                 impairment: ImpairmentProfile | None = None, seed: int = 0,
+                 recorder=None, initial_seq: int = 0, window: int = 1024,
+                 cca_name: str | None = None):
+        if mss <= 0 or mss > DEFAULT_MSS * 4:
+            raise ValueError(f"mss must be in (0, {DEFAULT_MSS * 4}]")
+        self.controller = controller
+        self.cca_name = cca_name or getattr(controller, "name", "unknown")
+        self.data = data
+        self.mss = mss
+        self.recorder = recorder
+        self.arq = SRSender(window=window, initial_seq=initial_seq)
+        self.adapter = CCAAdapter(controller, mss, recorder=recorder)
+        self.impairment = LoopbackImpairment(impairment, seed=seed) \
+            if impairment is not None and impairment.active else None
+        self._offset = 0
+        self._running = False
+        self._ack_event: asyncio.Event | None = None
+        self._control_waiters: dict[int, asyncio.Future] = {}
+        self._transport = None
+        self._clock: AsyncClock | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._rtt_sum = 0.0
+        self._rtt_count = 0
+        self._mi_reports = 0
+
+    # -- top-level ---------------------------------------------------------
+
+    async def run(self, host: str, port: int,
+                  timeout: float = 120.0) -> NetioResult:
+        """Transfer the payload; returns a :class:`NetioResult`."""
+        self._loop = asyncio.get_running_loop()
+        self._clock = AsyncClock(self._loop)
+        self._ack_event = asyncio.Event()
+        self._transport, _ = await self._loop.create_datagram_endpoint(
+            lambda: _ClientProtocol(self), remote_addr=(host, port))
+        try:
+            return await asyncio.wait_for(self._run_inner(), timeout)
+        except asyncio.TimeoutError:
+            raise TransferTimeout(
+                f"transfer of {len(self.data)} bytes to {host}:{port} "
+                f"exceeded {timeout}s "
+                f"({self.arq.acked_packets}/{self.arq.sent_packets} acked)") \
+                from None
+        finally:
+            self._running = False
+            self._transport.close()
+
+    async def _run_inner(self) -> NetioResult:
+        await self._handshake()
+        start = self._clock.now()
+        self.adapter.start(start)
+        if self.recorder is not None:
+            self.recorder.event("netio.handshake", start,
+                                bytes=len(self.data), mss=self.mss,
+                                cca=self.cca_name)
+        self._running = True
+        mi_task = asyncio.ensure_future(self._mi_loop())
+        try:
+            await self._send_loop()
+        finally:
+            self._running = False
+            mi_task.cancel()
+        end = self._clock.now()
+        # Close out the final (possibly only) monitor interval so even a
+        # transfer shorter than one telemetry tick produces samples.
+        self.adapter.fire_interval(end, self.arq.inflight_bytes)
+        self._mi_reports += 1
+        await self._teardown(end)
+        return self._result(end - start)
+
+    # -- handshake / teardown ---------------------------------------------
+
+    async def _control_roundtrip(self, ptype: int, reply: int, seq: int,
+                                 meta: dict | None = None) -> None:
+        datagram = encode_control(ptype, seq, meta)
+        for _ in range(CONTROL_RETRIES):
+            future = self._loop.create_future()
+            self._control_waiters[reply] = future
+            self._transport.sendto(datagram)
+            try:
+                await asyncio.wait_for(future, CONTROL_TIMEOUT)
+                return
+            except asyncio.TimeoutError:
+                continue
+            finally:
+                self._control_waiters.pop(reply, None)
+        raise TransferAbort(f"no response to control packet type {ptype} "
+                            f"after {CONTROL_RETRIES} attempts")
+
+    async def _handshake(self) -> None:
+        await self._control_roundtrip(
+            SYN, SYNACK, self.arq.next_seq,
+            meta={"bytes": len(self.data), "mss": self.mss,
+                  "cca": self.cca_name, "isn": self.arq.next_seq})
+
+    async def _teardown(self, now: float) -> None:
+        if self.recorder is not None:
+            self.recorder.event("netio.fin", now,
+                                retransmissions=self.arq.retransmissions)
+        await self._control_roundtrip(FIN, FINACK, self.arq.next_seq)
+
+    # -- send loop ---------------------------------------------------------
+
+    def _all_queued(self) -> bool:
+        return self._offset >= len(self.data)
+
+    async def _send_loop(self) -> None:
+        arq = self.arq
+        adapter = self.adapter
+        clock = self._clock
+        next_send_time = clock.now()
+        while True:
+            now = clock.now()
+            self._apply_outcome(arq.check_timeouts(now), now, timeout=True)
+            if arq.done(self._all_queued()):
+                return
+            sent_bytes = 0
+            if now >= next_send_time and \
+                    adapter.window_allows(arq.inflight_bytes):
+                if arq.has_retransmits:
+                    record = arq.next_retransmit(now)
+                    if record is not None:
+                        self._transmit(record.seq, record.payload, True, now)
+                        sent_bytes = len(record.payload)
+                elif not self._all_queued() and arq.can_send_new():
+                    chunk = self.data[self._offset:self._offset + self.mss]
+                    seq = arq.register_send(chunk, now, marker=adapter.marker)
+                    self._offset += len(chunk)
+                    self._transmit(seq, chunk, False, now)
+                    sent_bytes = len(chunk)
+            if sent_bytes:
+                pace = sent_bytes * 8.0 / adapter.effective_rate()
+                next_send_time = max(next_send_time, now) + pace
+                await asyncio.sleep(0)   # let inbound ACK callbacks run
+                continue
+            await self._idle_wait(now, next_send_time)
+
+    async def _idle_wait(self, now: float, next_send_time: float) -> None:
+        """Block until the pacing gate opens, an RTO could fire, or an
+        ACK arrives — whichever comes first."""
+        wait = MAX_IDLE_WAIT
+        more_to_send = self.arq.has_retransmits or \
+            (not self._all_queued() and self.arq.can_send_new())
+        if more_to_send and next_send_time > now:
+            wait = min(wait, next_send_time - now)
+        deadline = self.arq.next_timeout_deadline()
+        if deadline is not None:
+            wait = min(wait, deadline - now)
+        wait = max(wait, 0.0005)
+        try:
+            await asyncio.wait_for(self._ack_event.wait(), wait)
+        except asyncio.TimeoutError:
+            pass
+        self._ack_event.clear()
+
+    def _transmit(self, seq: int, payload: bytes, retransmit: bool,
+                  now: float) -> None:
+        datagram = encode_data(seq, payload, retransmit)
+        if self.impairment is not None:
+            self.impairment.send_data(self._loop, self._transport.sendto,
+                                      datagram, retransmit)
+        else:
+            self._transport.sendto(datagram)
+        self.adapter.on_sent(len(payload))
+        if retransmit and self.recorder is not None:
+            self.recorder.event("netio.retransmit", now, seq=seq)
+
+    # -- inbound -----------------------------------------------------------
+
+    def _on_datagram(self, data: bytes) -> None:
+        try:
+            packet = decode(data)
+        except FramingError:
+            return
+        now = self._clock.now()
+        if isinstance(packet, AckPacket):
+            if not self._running:
+                return
+            if self.impairment is not None \
+                    and not self.impairment.deliver_ack():
+                return
+            self._apply_outcome(self.arq.on_ack(packet, now), now)
+            self._ack_event.set()
+        elif isinstance(packet, ControlPacket):
+            future = self._control_waiters.get(packet.ptype)
+            if future is not None and not future.done():
+                future.set_result(packet)
+
+    def _apply_outcome(self, outcome, now: float, timeout: bool = False) -> None:
+        arq = self.arq
+        for seq, record, rtt in outcome.acked:
+            if rtt is not None:
+                self._rtt_sum += rtt
+                self._rtt_count += 1
+            elapsed = max(now - record.first_send, 1e-9)
+            delivery_rate = (arq.delivered_bytes - record.delivered_at_send) \
+                * 8.0 / elapsed
+            self.adapter.on_acked(
+                now, seq, len(record.payload), rtt, arq.srtt, arq.min_rtt,
+                delivery_rate, arq.inflight_bytes, record.first_send,
+                record.marker)
+        for seq, record in outcome.newly_lost:
+            self.adapter.on_lost(now, seq, len(record.payload),
+                                 record.first_send, arq.inflight_bytes,
+                                 record.marker)
+        if timeout and outcome.newly_lost and self.recorder is not None:
+            self.recorder.event("netio.rto", now,
+                                lost=len(outcome.newly_lost),
+                                rto=arq.rto)
+        if outcome.newly_lost:
+            self._ack_event.set()
+
+    # -- monitor intervals -------------------------------------------------
+
+    async def _mi_loop(self) -> None:
+        while self._running:
+            await self._clock.sleep(self.adapter.tick_interval())
+            if not self._running:
+                return
+            now = self._clock.now()
+            self._apply_outcome(self.arq.check_timeouts(now), now,
+                                timeout=True)
+            self.adapter.fire_interval(now, self.arq.inflight_bytes)
+            self._mi_reports += 1
+
+    # -- results -----------------------------------------------------------
+
+    def _result(self, duration: float) -> NetioResult:
+        arq = self.arq
+        impairment = self.impairment.counters() if self.impairment else {}
+        telemetry = None
+        if self.recorder is not None:
+            meta = {
+                "transport": "netio-udp",
+                "duration": duration,
+                "flows": 1,
+                "mss": self.mss,
+                "cca": self.cca_name,
+                "bytes_total": len(self.data),
+                "bytes_acked": arq.delivered_bytes,
+                "sent_packets": arq.sent_packets,
+                "acked_packets": arq.acked_packets,
+                "lost_packets": arq.lost_packets,
+                "retransmissions": arq.retransmissions,
+            }
+            meta.update({f"impairment_{k}": v for k, v in impairment.items()})
+            telemetry = self.recorder.finish(meta=meta)
+        return NetioResult(
+            cca=self.cca_name, bytes_total=len(self.data),
+            bytes_acked=arq.delivered_bytes, duration=duration,
+            sent_packets=arq.sent_packets, acked_packets=arq.acked_packets,
+            lost_packets=arq.lost_packets,
+            retransmissions=arq.retransmissions,
+            srtt=arq.srtt, min_rtt=arq.min_rtt,
+            avg_rtt=self._rtt_sum / self._rtt_count if self._rtt_count else 0.0,
+            mi_reports=self._mi_reports, impairment=impairment,
+            telemetry=telemetry)
+
+
+async def send_payload(host: str, port: int, controller, data: bytes,
+                       mss: int = DEFAULT_UDP_MSS,
+                       impairment: ImpairmentProfile | None = None,
+                       seed: int = 0, recorder=None, timeout: float = 120.0,
+                       initial_seq: int = 0,
+                       cca_name: str | None = None) -> NetioResult:
+    """One-call client: transfer ``data`` to a :class:`NetioServer`."""
+    client = NetioClient(controller, data, mss=mss, impairment=impairment,
+                         seed=seed, recorder=recorder,
+                         initial_seq=initial_seq, cca_name=cca_name)
+    return await client.run(host, port, timeout=timeout)

@@ -1,0 +1,89 @@
+"""Seeded impairment samplers shared by simulation and real transports.
+
+:mod:`repro.simnet.faults` and :mod:`repro.netio.impairment` both need
+the same stochastic building blocks — Bernoulli drop gates, uniform
+jitter, and a Gilbert–Elliott two-state burst channel — with the same
+determinism contract: every decision is a pure function of (seed, draw
+order).  Factoring them here means a fault profile exercised in the
+simulator and an impairment profile applied at the socket layer share
+one implementation, so loopback tests reproduce the simulator's loss
+processes exactly.
+
+Draw discipline: each sampler documents how many RNG draws it consumes
+per call, and callers that need bit-identical streams across refactors
+must preserve call order.  :class:`~repro.simnet.faults.FaultInjector`
+has consumed draws in this exact order since PR 2; the tests in
+``tests/simnet/test_distributions.py`` pin it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: domain-separation tag for fault/impairment RNG streams (stable since
+#: PR 2 — changing it would invalidate every cached faulted result)
+FAULT_STREAM_TAG = 0xFA017
+
+#: domain-separation tag for socket-layer impairment streams; distinct
+#: from the fault tag so a netio run and a simnet run with the same seed
+#: do not share a stream by accident
+IMPAIRMENT_STREAM_TAG = 0x1E710
+
+
+def fault_rng(schedule_seed: int, run_seed: int) -> np.random.Generator:
+    """The fault-decision stream used by :class:`~repro.simnet.faults.FaultInjector`."""
+    return np.random.default_rng((FAULT_STREAM_TAG, schedule_seed, run_seed))
+
+
+def impairment_rng(profile_seed: int, run_seed: int) -> np.random.Generator:
+    """The socket-layer impairment stream used by ``LoopbackImpairment``."""
+    return np.random.default_rng((IMPAIRMENT_STREAM_TAG, profile_seed,
+                                  run_seed))
+
+
+def bernoulli(rng: np.random.Generator, probability: float) -> bool:
+    """One Bernoulli trial (consumes exactly one draw)."""
+    return rng.random() < probability
+
+
+def uniform_jitter(rng: np.random.Generator, scale: float) -> float:
+    """One uniform ``[0, scale)`` delay sample (consumes exactly one draw)."""
+    return scale * rng.random()
+
+
+class GilbertElliottSampler:
+    """Two-state burst-loss channel evaluated once per packet.
+
+    Per :meth:`step` call the sampler consumes one draw for the state
+    transition and — only when the active state's loss probability is
+    positive — one draw for the drop decision, matching the historical
+    ``FaultInjector.drop_data`` draw order exactly.
+    """
+
+    __slots__ = ("p_enter", "p_exit", "loss_good", "loss_bad", "bad")
+
+    def __init__(self, p_enter: float, p_exit: float,
+                 loss_good: float = 0.0, loss_bad: float = 0.5):
+        for name, p in (("p_enter", p_enter), ("p_exit", p_exit),
+                        ("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p!r}")
+        self.p_enter = p_enter
+        self.p_exit = p_exit
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+
+    def step(self, rng: np.random.Generator) -> tuple[bool, bool]:
+        """Advance the channel one packet; returns ``(drop, transitioned)``."""
+        transitioned = False
+        if self.bad:
+            if rng.random() < self.p_exit:
+                self.bad = False
+                transitioned = True
+        elif rng.random() < self.p_enter:
+            self.bad = True
+            transitioned = True
+        loss = self.loss_bad if self.bad else self.loss_good
+        drop = loss > 0.0 and rng.random() < loss
+        return drop, transitioned

@@ -32,8 +32,8 @@ import bisect
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
+from .distributions import (GilbertElliottSampler, bernoulli, fault_rng,
+                            uniform_jitter)
 from .trace import Trace
 
 
@@ -274,8 +274,11 @@ class FaultInjector:
 
     def __init__(self, schedule: FaultSchedule, seed: int = 0):
         self.schedule = schedule
-        self.rng = np.random.default_rng((0xFA017, schedule.seed, seed))
-        self._ge_bad = False
+        self.rng = fault_rng(schedule.seed, seed)
+        ge = schedule.burst_loss
+        self._ge = GilbertElliottSampler(
+            ge.p_enter, ge.p_exit, ge.loss_good, ge.loss_bad) \
+            if ge is not None else None
         self._spike_starts = [s.start for s in schedule.delay_spikes]
         # counters surfaced in run results / debugging
         self.data_drops = 0
@@ -298,22 +301,13 @@ class FaultInjector:
         ge = self.schedule.burst_loss
         if ge is None or not _window_active(now, ge.start, ge.stop):
             return False
-        if self._ge_bad:
-            if self.rng.random() < ge.p_exit:
-                self._ge_bad = False
-                if self.telemetry is not None:
-                    self.telemetry.event("fault.ge_state", now, bad=False,
-                                         drops=self.data_drops)
-        elif self.rng.random() < ge.p_enter:
-            self._ge_bad = True
-            if self.telemetry is not None:
-                self.telemetry.event("fault.ge_state", now, bad=True,
-                                     drops=self.data_drops)
-        loss = ge.loss_bad if self._ge_bad else ge.loss_good
-        if loss > 0.0 and self.rng.random() < loss:
+        drop, transitioned = self._ge.step(self.rng)
+        if transitioned and self.telemetry is not None:
+            self.telemetry.event("fault.ge_state", now, bad=self._ge.bad,
+                                 drops=self.data_drops)
+        if drop:
             self.data_drops += 1
-            return True
-        return False
+        return drop
 
     def delivery_extra_delay(self, now: float) -> float:
         """Extra one-way delay for a packet leaving the link at ``now``."""
@@ -322,10 +316,10 @@ class FaultInjector:
             if spike.start <= now < spike.end:
                 extra += spike.extra
                 if spike.jitter > 0.0:
-                    extra += spike.jitter * self.rng.random()
+                    extra += uniform_jitter(self.rng, spike.jitter)
         ro = self.schedule.reorder
         if ro is not None and _window_active(now, ro.start, ro.stop) \
-                and self.rng.random() < ro.probability:
+                and bernoulli(self.rng, ro.probability):
             self.reordered += 1
             if self.telemetry is not None:
                 self.telemetry.event("fault.reorder", now, extra=ro.extra)
@@ -339,7 +333,7 @@ class FaultInjector:
         if ack is None or ack.loss <= 0.0 \
                 or not _window_active(now, ack.start, ack.stop):
             return False
-        if self.rng.random() < ack.loss:
+        if bernoulli(self.rng, ack.loss):
             self.ack_drops += 1
             return True
         return False

@@ -1,0 +1,219 @@
+"""Selective-repeat sender: RTT/RTO estimation, Karn's rule, SACK loss
+detection with the retransmission-in-flight guard, RTO backoff, window
+gating, and sequence-ring wrap."""
+
+import pytest
+
+from repro.netio.arq import (INITIAL_RTO, MAX_RTO, MIN_RTO,
+                             REORDER_THRESHOLD, SRSender, TransferAbort)
+from repro.netio.framing import SEQ_MOD, AckPacket
+
+
+def ack(cum, sacks=(), echo=0, delivered=0):
+    return AckPacket(cum_ack=cum, echo_seq=echo, delivered_bytes=delivered,
+                     sack_blocks=tuple(sacks))
+
+
+def send_n(sender, n, size=100, start_t=0.0, gap=0.01):
+    return [sender.register_send(bytes(size), start_t + i * gap)
+            for i in range(n)]
+
+
+class TestBasicAcking:
+    def test_cumulative_ack_advances_base(self):
+        s = SRSender()
+        send_n(s, 3)
+        outcome = s.on_ack(ack(3), now=0.1)
+        assert [seq for seq, _, _ in outcome.acked] == [0, 1, 2]
+        assert s.base == 3 and not s.outstanding
+        assert s.acked_packets == 3
+        assert s.delivered_bytes == 300
+        assert s.inflight_bytes == 0
+
+    def test_rtt_and_rto_estimation(self):
+        s = SRSender()
+        s.register_send(b"x" * 100, 0.0)
+        outcome = s.on_ack(ack(1), now=0.1)
+        (_, _, rtt), = outcome.acked
+        assert rtt == pytest.approx(0.1)
+        assert s.srtt == pytest.approx(0.1)
+        assert s.rttvar == pytest.approx(0.05)
+        # RFC 6298: rto = srtt + 4 * rttvar, floored at MIN_RTO
+        assert s.rto == pytest.approx(max(0.1 + 4 * 0.05, MIN_RTO))
+        assert s.min_rtt == pytest.approx(0.1)
+
+    def test_rto_stays_bounded(self):
+        s = SRSender()
+        assert s.rto == INITIAL_RTO
+        s.register_send(b"x", 0.0)
+        s.on_ack(ack(1), now=0.001)
+        assert s.rto >= MIN_RTO
+        s.register_send(b"x", 1.0)
+        s.on_ack(ack(2), now=100.0)
+        assert s.rto <= MAX_RTO
+
+    def test_duplicate_ack_flagged(self):
+        s = SRSender()
+        send_n(s, 2)
+        s.on_ack(ack(2), now=0.1)
+        outcome = s.on_ack(ack(2), now=0.2)
+        assert outcome.duplicate and not outcome.acked
+
+    def test_stale_wrapped_cum_ack_ignored(self):
+        s = SRSender()
+        send_n(s, 4)
+        s.on_ack(ack(4), now=0.1)
+        # A reordered old ACK for cum=2 is now "behind" base: ring
+        # distance wraps to ~2^16 and must not touch the window.
+        outcome = s.on_ack(ack(2), now=0.2)
+        assert outcome.duplicate
+        assert s.base == 4
+
+
+class TestSackLossDetection:
+    def test_hole_behind_reorder_threshold_is_lost(self):
+        s = SRSender()
+        send_n(s, 4)
+        # seq 0 lost; SACK covers 1..3 => 3 packets past the hole.
+        outcome = s.on_ack(ack(0, sacks=[(1, 4)]), now=0.1)
+        assert [seq for seq, _ in outcome.newly_lost] == [0]
+        assert s.lost_packets == 1
+        assert 0 in s.rtx_queue
+
+    def test_hole_below_threshold_not_lost(self):
+        s = SRSender()
+        send_n(s, REORDER_THRESHOLD)
+        # Only REORDER_THRESHOLD - 1 packets SACKed past the hole.
+        outcome = s.on_ack(ack(0, sacks=[(1, REORDER_THRESHOLD)]), now=0.1)
+        assert not outcome.newly_lost
+
+    def test_retransmission_in_flight_not_redeclared(self):
+        s = SRSender()
+        send_n(s, 4)
+        s.on_ack(ack(0, sacks=[(1, 4)]), now=0.1)        # declares 0 lost
+        record = s.next_retransmit(1.0)
+        assert record.seq == 0 and record.retransmitted
+        # seq 4 sent before the retransmission; its SACK must NOT
+        # re-declare seq 0, whose retransmission is still in flight.
+        s.register_send(bytes(100), 0.9)
+        outcome = s.on_ack(ack(0, sacks=[(4, 5)]), now=1.1)
+        assert not outcome.newly_lost
+        assert s.lost_packets == 1
+
+    def test_sack_after_retransmission_send_redeclares(self):
+        s = SRSender()
+        send_n(s, 4)
+        s.on_ack(ack(0, sacks=[(1, 4)]), now=0.1)
+        s.next_retransmit(1.0)                            # resend seq 0
+        # Packets sent after the retransmission get SACKed => the
+        # retransmission itself is presumed lost again.
+        for t in (1.1, 1.2, 1.3):
+            s.register_send(bytes(100), t)
+        outcome = s.on_ack(ack(0, sacks=[(4, 7)]), now=1.5)
+        assert [seq for seq, _ in outcome.newly_lost] == [0]
+        assert s.lost_packets == 2
+
+    def test_base_slides_over_sacked_holes(self):
+        s = SRSender()
+        send_n(s, 3)
+        s.on_ack(ack(0, sacks=[(1, 3)]), now=0.1)
+        assert s.base == 0            # seq 0 still outstanding (lost)
+        s.next_retransmit(0.2)
+        s.on_ack(ack(3), now=0.3)
+        assert s.base == 3 and not s.outstanding
+
+
+class TestKarnsRule:
+    def test_retransmitted_packet_yields_no_rtt_sample(self):
+        s = SRSender()
+        send_n(s, 4)
+        s.on_ack(ack(0, sacks=[(1, 4)]), now=0.05)
+        srtt_before = s.srtt
+        s.next_retransmit(0.2)
+        outcome = s.on_ack(ack(4), now=0.4)
+        (_, record, rtt), = outcome.acked
+        assert record.retransmitted and rtt is None
+        assert s.srtt == srtt_before
+
+
+class TestTimeouts:
+    def test_rto_fires_and_backs_off(self):
+        s = SRSender()
+        send_n(s, 2, start_t=0.0)
+        assert not s.check_timeouts(0.5).newly_lost      # rto=1.0 not reached
+        outcome = s.check_timeouts(1.5)
+        assert len(outcome.newly_lost) == 2
+        assert s._rto_backoff == 2.0
+        # Doubled timer: next firing needs rto * 2 of further silence.
+        assert s.next_timeout_deadline() == pytest.approx(1.5 + 2.0)
+
+    def test_ack_resets_backoff(self):
+        s = SRSender()
+        send_n(s, 1)
+        s.check_timeouts(2.0)
+        assert s._rto_backoff == 2.0
+        s.next_retransmit(2.1)
+        s.on_ack(ack(1), now=2.3)
+        assert s._rto_backoff == 1.0
+
+    def test_timeout_decrements_inflight(self):
+        s = SRSender()
+        send_n(s, 2, size=500)
+        assert s.inflight_bytes == 1000
+        s.check_timeouts(2.0)
+        assert s.inflight_bytes == 0
+        s.next_retransmit(2.1)
+        assert s.inflight_bytes == 500
+
+    def test_max_retries_aborts(self):
+        s = SRSender(max_retries=2)
+        s.register_send(b"x", 0.0)
+        t = 0.0
+        with pytest.raises(TransferAbort):
+            for _ in range(5):
+                t += 10.0
+                s.check_timeouts(t)
+                s.next_retransmit(t + 0.1)
+
+
+class TestWindowAndWrap:
+    def test_window_gates_new_sends(self):
+        s = SRSender(window=4)
+        send_n(s, 4)
+        assert not s.can_send_new()
+        with pytest.raises(RuntimeError):
+            s.register_send(b"x", 1.0)
+        s.on_ack(ack(1), now=0.1)
+        assert s.can_send_new()
+
+    def test_window_must_fit_quarter_ring(self):
+        with pytest.raises(ValueError):
+            SRSender(window=SEQ_MOD // 4 + 1)
+        with pytest.raises(ValueError):
+            SRSender(window=0)
+
+    def test_sequence_wrap_cumulative(self):
+        s = SRSender(initial_seq=SEQ_MOD - 6)
+        seqs = send_n(s, 10)
+        assert seqs[:6] == list(range(SEQ_MOD - 6, SEQ_MOD))
+        assert seqs[6:] == [0, 1, 2, 3]
+        outcome = s.on_ack(ack(4), now=0.2)
+        assert len(outcome.acked) == 10
+        assert s.base == 4 and not s.outstanding
+
+    def test_sequence_wrap_sack_loss(self):
+        s = SRSender(initial_seq=SEQ_MOD - 2)
+        send_n(s, 5)             # 65534 65535 0 1 2
+        outcome = s.on_ack(
+            ack(SEQ_MOD - 2, sacks=[(SEQ_MOD - 1, 3)]), now=0.1)
+        assert len(outcome.acked) == 4
+        assert [seq for seq, _ in outcome.newly_lost] == [SEQ_MOD - 2]
+
+    def test_done_semantics(self):
+        s = SRSender()
+        assert s.done(total_sent=True)
+        send_n(s, 1)
+        assert not s.done(total_sent=True)
+        s.on_ack(ack(1), now=0.1)
+        assert s.done(total_sent=True)
+        assert not s.done(total_sent=False)

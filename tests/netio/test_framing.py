@@ -1,0 +1,139 @@
+"""Wire-format round-trips, ring arithmetic, and malformed-datagram cases."""
+
+import pytest
+
+from repro.netio.framing import (ACK, DATA, FIN, MAX_SACK_BLOCKS, SEQ_MOD,
+                                 SYN, SYNACK, AckPacket, ControlPacket,
+                                 DataPacket, FramingError, decode, encode_ack,
+                                 encode_control, encode_data, seq_add,
+                                 seq_dist, seq_in_window)
+
+
+class TestRingHelpers:
+    def test_seq_add_wraps(self):
+        assert seq_add(0) == 1
+        assert seq_add(SEQ_MOD - 1) == 0
+        assert seq_add(SEQ_MOD - 2, 5) == 3
+
+    def test_seq_dist_forward_distance(self):
+        assert seq_dist(10, 15) == 5
+        assert seq_dist(15, 10) == SEQ_MOD - 5
+        assert seq_dist(SEQ_MOD - 3, 2) == 5
+        assert seq_dist(7, 7) == 0
+
+    def test_seq_in_window_across_wrap(self):
+        start = SEQ_MOD - 4
+        assert seq_in_window(SEQ_MOD - 1, start, 8)
+        assert seq_in_window(3, start, 8)
+        assert not seq_in_window(4, start, 8)
+        assert not seq_in_window(start - 1, start, 8)
+
+
+class TestDataRoundTrip:
+    def test_basic(self):
+        pkt = decode(encode_data(42, b"hello"))
+        assert isinstance(pkt, DataPacket)
+        assert pkt.seq == 42 and pkt.payload == b"hello"
+        assert not pkt.retransmit
+
+    def test_retransmit_flag(self):
+        pkt = decode(encode_data(7, b"x", retransmit=True))
+        assert pkt.retransmit
+
+    def test_seq_masked_to_ring(self):
+        pkt = decode(encode_data(SEQ_MOD + 3, b"y"))
+        assert pkt.seq == 3
+
+    def test_empty_payload(self):
+        pkt = decode(encode_data(0, b""))
+        assert pkt.payload == b""
+
+
+class TestAckRoundTrip:
+    def test_basic(self):
+        blocks = ((5, 8), (12, 13))
+        pkt = decode(encode_ack(4, 7, 123456, blocks))
+        assert isinstance(pkt, AckPacket)
+        assert pkt.cum_ack == 4 and pkt.echo_seq == 7
+        assert pkt.delivered_bytes == 123456
+        assert pkt.sack_blocks == blocks
+
+    def test_no_sack_blocks(self):
+        pkt = decode(encode_ack(9, 9, 0))
+        assert pkt.sack_blocks == ()
+
+    def test_block_count_capped_at_wire_limit(self):
+        blocks = tuple((i * 2, i * 2 + 1) for i in range(MAX_SACK_BLOCKS + 4))
+        pkt = decode(encode_ack(0, 0, 0, blocks))
+        assert len(pkt.sack_blocks) == MAX_SACK_BLOCKS
+        assert pkt.sack_blocks == blocks[:MAX_SACK_BLOCKS]
+
+    def test_large_delivered_counter(self):
+        pkt = decode(encode_ack(0, 0, 50 * 1024 ** 3))
+        assert pkt.delivered_bytes == 50 * 1024 ** 3
+
+
+class TestControlRoundTrip:
+    def test_syn_with_meta(self):
+        meta = {"bytes": 1048576, "mss": 1200, "cca": "libra:cubic", "isn": 9}
+        pkt = decode(encode_control(SYN, 9, meta))
+        assert isinstance(pkt, ControlPacket)
+        assert pkt.ptype == SYN and pkt.seq == 9 and pkt.meta == meta
+
+    def test_fin_without_meta(self):
+        pkt = decode(encode_control(FIN, 100))
+        assert pkt.ptype == FIN and pkt.meta == {}
+
+    def test_non_control_type_rejected(self):
+        with pytest.raises(FramingError):
+            encode_control(DATA, 0)
+        with pytest.raises(FramingError):
+            encode_control(ACK, 0)
+
+
+class TestMalformedDatagrams:
+    def test_too_short(self):
+        with pytest.raises(FramingError):
+            decode(b"\x01")
+
+    def test_truncated_ack_header(self):
+        with pytest.raises(FramingError):
+            decode(encode_ack(0, 0, 0)[:-3])
+
+    def test_truncated_sack_blocks(self):
+        with pytest.raises(FramingError):
+            decode(encode_ack(0, 0, 0, ((1, 2),))[:-2])
+
+    def test_empty_sack_block(self):
+        with pytest.raises(FramingError):
+            decode(encode_ack(0, 0, 0, ((5, 5),)))
+
+    def test_overlong_sack_count_claim(self):
+        raw = bytearray(encode_ack(0, 0, 0))
+        raw[1] = MAX_SACK_BLOCKS + 1
+        with pytest.raises(FramingError):
+            decode(bytes(raw))
+
+    def test_data_length_mismatch(self):
+        with pytest.raises(FramingError):
+            decode(encode_data(0, b"abcdef")[:-1])
+
+    def test_unknown_type(self):
+        raw = bytearray(encode_control(SYNACK, 0))
+        raw[0] = 99
+        with pytest.raises(FramingError):
+            decode(bytes(raw))
+
+    def test_bad_control_json(self):
+        good = encode_control(SYN, 0, {"a": 1})
+        raw = good[:8] + b"notjson!"
+        with pytest.raises(FramingError):
+            decode(raw)
+
+    def test_control_meta_must_be_object(self):
+        import json
+        import struct
+        body = json.dumps([1, 2]).encode()
+        raw = struct.pack("!BBHHH", SYN, 0, 0, len(body), 0) + body
+        with pytest.raises(FramingError):
+            decode(raw)

@@ -1,0 +1,105 @@
+"""Loopback impairment: profile validation, seeded determinism, and
+stream identity with the shared distribution samplers."""
+
+import pytest
+
+from repro.netio.impairment import ImpairmentProfile, LoopbackImpairment
+from repro.simnet.distributions import (GilbertElliottSampler, bernoulli,
+                                        impairment_rng, uniform_jitter)
+
+
+class TestProfileValidation:
+    def test_probabilities_bounded(self):
+        with pytest.raises(ValueError):
+            ImpairmentProfile(loss=1.5)
+        with pytest.raises(ValueError):
+            ImpairmentProfile(ack_loss=-0.1)
+
+    def test_delays_non_negative(self):
+        with pytest.raises(ValueError):
+            ImpairmentProfile(delay=-0.01)
+
+    def test_reorder_needs_holdback(self):
+        with pytest.raises(ValueError):
+            ImpairmentProfile(reorder_probability=0.1)
+        ImpairmentProfile(reorder_probability=0.1, reorder_extra=0.02)
+
+    def test_active_flag(self):
+        assert not ImpairmentProfile().active
+        assert ImpairmentProfile(loss=0.01).active
+        assert ImpairmentProfile(delay=0.02).active
+        assert ImpairmentProfile(burst=(0.01, 0.2, 0.0, 0.5)).active
+
+
+class TestDeterminism:
+    def test_same_seed_same_verdict_stream(self):
+        profile = ImpairmentProfile(loss=0.1, delay=0.01, jitter=0.005,
+                                    reorder_probability=0.05,
+                                    reorder_extra=0.02, seed=7)
+        a = LoopbackImpairment(profile, seed=3)
+        b = LoopbackImpairment(profile, seed=3)
+        verdicts_a = [a.data_verdict() for _ in range(500)]
+        verdicts_b = [b.data_verdict() for _ in range(500)]
+        assert verdicts_a == verdicts_b
+        assert a.counters() == b.counters()
+        assert a.data_drops > 0 and a.reordered > 0
+
+    def test_different_run_seed_different_stream(self):
+        profile = ImpairmentProfile(loss=0.1, seed=7)
+        a = LoopbackImpairment(profile, seed=1)
+        b = LoopbackImpairment(profile, seed=2)
+        va = [a.data_verdict() is None for _ in range(300)]
+        vb = [b.data_verdict() is None for _ in range(300)]
+        assert va != vb
+
+    def test_loss_stream_matches_shared_sampler(self):
+        """The drop pattern is exactly ``bernoulli`` over ``impairment_rng``
+        — the same primitives ``FaultInjector`` consumes (satellite:
+        shared distributions)."""
+        profile = ImpairmentProfile(loss=0.08, seed=11)
+        imp = LoopbackImpairment(profile, seed=4)
+        rng = impairment_rng(11, 4)
+        for _ in range(400):
+            expected_drop = bernoulli(rng, 0.08)
+            assert (imp.data_verdict() is None) == expected_drop
+
+    def test_jitter_stream_matches_shared_sampler(self):
+        profile = ImpairmentProfile(delay=0.01, jitter=0.004, seed=5)
+        imp = LoopbackImpairment(profile, seed=2)
+        rng = impairment_rng(5, 2)
+        for _ in range(100):
+            expected = 0.01 + uniform_jitter(rng, 0.004)
+            assert imp.data_verdict() == pytest.approx(expected)
+
+    def test_burst_stream_matches_shared_sampler(self):
+        burst = (0.05, 0.3, 0.0, 0.8)
+        profile = ImpairmentProfile(burst=burst, seed=9)
+        imp = LoopbackImpairment(profile, seed=1)
+        rng = impairment_rng(9, 1)
+        ge = GilbertElliottSampler(*burst)
+        for _ in range(500):
+            drop, _ = ge.step(rng)
+            assert (imp.data_verdict() is None) == drop
+        assert imp.data_drops > 0
+
+
+class TestPaths:
+    def test_pure_delay_never_drops(self):
+        imp = LoopbackImpairment(ImpairmentProfile(delay=0.02))
+        for _ in range(100):
+            assert imp.data_verdict() == pytest.approx(0.02)
+        assert imp.data_drops == 0 and imp.delayed == 100
+
+    def test_ack_loss_only_touches_ack_path(self):
+        imp = LoopbackImpairment(ImpairmentProfile(ack_loss=0.5, seed=3))
+        outcomes = [imp.deliver_ack() for _ in range(200)]
+        assert 0 < imp.ack_drops < 200
+        assert outcomes.count(False) == imp.ack_drops
+        assert imp.data_verdict() == 0.0      # data path untouched
+        assert imp.data_drops == 0
+
+    def test_reorder_adds_holdback(self):
+        imp = LoopbackImpairment(ImpairmentProfile(
+            reorder_probability=1.0, reorder_extra=0.03, seed=1))
+        assert imp.data_verdict() == pytest.approx(0.03)
+        assert imp.reordered == 1

@@ -1,0 +1,179 @@
+"""Signal-stream parity: the netio datapath vs. the simulator.
+
+The sim-to-real claim is that an *unchanged* controller cannot tell
+which datapath it is running on: both feed it the same
+``AckSample`` / ``LossSample`` / ``IntervalReport`` dialect with
+physically sensible values.  This test runs ``libra:cubic`` over (a) the
+asyncio UDP loopback with a seeded 2 % loss / 20 ms delay impairment and
+(b) an equivalent simulated bottleneck, captures everything the
+controller observed through a transparent wrapper, and asserts the two
+signal streams have matching shapes and ranges — and that none of the
+netio-side inputs would trip the policy feature clip.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.env.bridge import measurement_from_report
+from repro.env.features import (FEATURE_CLIP, STATE_SETS, Normalizer,
+                                StateBuilder)
+from repro.netio import ImpairmentProfile, NetioServer, send_payload
+from repro.registry import make_controller
+from repro.simnet.network import Dumbbell
+from repro.simnet.packet import AckSample, IntervalReport
+from repro.simnet.trace import wired_trace
+
+CCA = "libra:cubic"
+SEED = 1
+#: the loopback impairment and the simulated bottleneck describe the
+#: same nominal network: 20 ms RTT floor, 2 % random loss, loss-limited
+#: throughput well below the 48 Mbps pipe
+IMPAIRMENT = ImpairmentProfile(loss=0.02, delay=0.02, seed=SEED)
+SIM_RTT = 0.02
+SIM_LOSS = 0.02
+SIM_BW_MBPS = 48.0
+
+
+class SignalProbe:
+    """Transparent controller wrapper that records the observed stream."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.acks = []
+        self.losses = []
+        self.reports = []
+
+    def __getattr__(self, name):
+        return getattr(self.__dict__["inner"], name)
+
+    def on_ack(self, ack):
+        self.acks.append(ack)
+        self.inner.on_ack(ack)
+
+    def on_loss(self, loss):
+        self.losses.append(loss)
+        self.inner.on_loss(loss)
+
+    def on_interval(self, report):
+        self.reports.append(report)
+        self.inner.on_interval(report)
+
+
+def run_netio(probe):
+    async def run():
+        server = NetioServer()
+        host, port = await server.start()
+        try:
+            result = await send_payload(host, port, probe, bytes(262_144),
+                                        impairment=IMPAIRMENT, seed=SEED,
+                                        timeout=60.0, cca_name=CCA)
+            await server.serve_one(timeout=5.0)
+            return result
+        finally:
+            await server.close()
+
+    return asyncio.run(run())
+
+
+def run_simnet(probe):
+    rtt = SIM_RTT
+    bdp = SIM_BW_MBPS * 1e6 * rtt / 8.0
+    net = Dumbbell(wired_trace(SIM_BW_MBPS), buffer_bytes=bdp, rtt=rtt,
+                   loss_rate=SIM_LOSS, seed=SEED)
+    net.add_flow(probe)
+    return net.run(6.0)
+
+
+@pytest.fixture(scope="module")
+def probes():
+    netio_probe = SignalProbe(make_controller(CCA, seed=SEED))
+    result = run_netio(netio_probe)
+    assert result.bytes_acked == 262_144
+    sim_probe = SignalProbe(make_controller(CCA, seed=SEED))
+    run_simnet(sim_probe)
+    return netio_probe, sim_probe
+
+
+class TestStreamShape:
+    def test_both_datapaths_produce_the_same_record_types(self, probes):
+        netio_probe, sim_probe = probes
+        for probe in probes:
+            assert probe.acks and probe.reports
+            assert all(isinstance(a, AckSample) for a in probe.acks)
+            assert all(isinstance(r, IntervalReport) for r in probe.reports)
+        assert netio_probe.losses and sim_probe.losses
+
+    def test_ack_samples_monotone_time_axis(self, probes):
+        for probe in probes:
+            times = [a.now for a in probe.acks]
+            assert times == sorted(times)
+            assert times[0] >= 0.0
+
+
+class TestSignalRanges:
+    def test_srtt_ranges_match(self, probes):
+        medians = []
+        for probe in probes:
+            srtts = np.array([a.srtt for a in probe.acks if a.srtt > 0])
+            assert srtts.size > 0
+            # Both datapaths sit on a ~20 ms RTT floor with shallow
+            # queueing on top.
+            assert 0.015 <= np.median(srtts) <= 0.08
+            medians.append(np.median(srtts))
+        assert max(medians) / min(medians) < 3.0
+
+    def test_min_rtt_observed_near_the_floor(self, probes):
+        for probe in probes:
+            min_rtt = min(a.min_rtt for a in probe.acks)
+            assert 0.01 <= min_rtt <= 0.05
+
+    def test_delivery_rates_plausible_and_same_scale(self, probes):
+        peaks = []
+        for probe in probes:
+            rates = np.array([a.delivery_rate for a in probe.acks])
+            assert np.all(np.isfinite(rates)) and np.all(rates >= 0)
+            # Loss-limited flows: well above the pacing floor, well
+            # below the 48 Mbps pipe.
+            peak = rates.max()
+            assert 1e5 <= peak <= 6e7
+            peaks.append(peak)
+        assert max(peaks) / min(peaks) < 30.0
+
+    def test_observed_loss_fraction_matches_the_2pct_process(self, probes):
+        for probe in probes:
+            fraction = len(probe.losses) / (len(probe.acks)
+                                            + len(probe.losses))
+            assert 0.001 <= fraction <= 0.1
+
+    def test_interval_reports_aggregate_consistently(self, probes):
+        for probe in probes:
+            fed = [r for r in probe.reports if r.has_feedback]
+            assert fed
+            for report in fed:
+                assert report.duration > 0
+                assert report.throughput >= 0
+                assert 0.0 <= report.loss_rate <= 1.0
+                assert report.acked_packets <= report.sent_packets \
+                    + report.lost_packets + len(probe.acks)
+
+
+class TestFeatureClip:
+    def test_netio_inputs_never_trip_the_policy_clip(self, probes):
+        """Every netio-observed MI, pushed through the exact feature
+        pipeline the learned policies consume, stays strictly inside
+        the finite FEATURE_CLIP guard — real-socket signals are as
+        policy-safe as simulated ones."""
+        netio_probe, _ = probes
+        builder = StateBuilder(STATE_SETS["libra"], history=8,
+                               normalizer=Normalizer())
+        fed = [r for r in netio_probe.reports if r.has_feedback]
+        assert fed
+        for report in fed:
+            min_rtt = report.min_rtt if report.min_rtt > 0 else SIM_RTT
+            m = measurement_from_report(report, rate_bps=report.send_rate,
+                                        min_rtt=min_rtt)
+            state = builder.push(m)
+            assert np.all(np.isfinite(state))
+            assert np.all(np.abs(state) < FEATURE_CLIP)

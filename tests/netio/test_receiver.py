@@ -1,0 +1,98 @@
+"""Receive-side reorder buffer: in-order release, SACK generation,
+duplicate handling, and ring wrap."""
+
+from repro.netio.framing import MAX_SACK_BLOCKS, SEQ_MOD, DataPacket
+from repro.netio.rxbuf import SRReceiver
+
+
+def data(seq, payload=b"0123456789", retransmit=False):
+    return DataPacket(seq=seq, payload=payload, retransmit=retransmit)
+
+
+class TestInOrder:
+    def test_sequential_release(self):
+        rx = SRReceiver()
+        for i in range(3):
+            result = rx.on_data(data(i))
+            assert result.delivered == [b"0123456789"]
+            assert result.cum_ack == i + 1
+            assert result.sack_blocks == ()
+            assert not result.duplicate
+        assert rx.delivered_bytes == 30 and rx.released_bytes == 30
+
+    def test_delivered_counter_tracks_novel_bytes(self):
+        rx = SRReceiver()
+        rx.on_data(data(0))
+        rx.on_data(data(2))              # held, still novel
+        assert rx.delivered_bytes == 20
+        assert rx.released_bytes == 10
+
+
+class TestOutOfOrder:
+    def test_hole_then_fill(self):
+        rx = SRReceiver()
+        rx.on_data(data(0))
+        held = rx.on_data(data(2))
+        assert held.delivered == [] and held.cum_ack == 1
+        assert held.sack_blocks == ((2, 3),)
+        assert rx.holes == 1
+        fill = rx.on_data(data(1))
+        assert fill.delivered == [b"0123456789"] * 2
+        assert fill.cum_ack == 3 and fill.sack_blocks == ()
+        assert rx.holes == 0
+
+    def test_sack_blocks_merge_contiguous_runs(self):
+        rx = SRReceiver()
+        rx.on_data(data(0))
+        for seq in (2, 3, 5):
+            rx.on_data(data(seq))
+        assert rx.sack_blocks() == ((2, 4), (5, 6))
+
+    def test_sack_blocks_capped_at_wire_limit(self):
+        rx = SRReceiver()
+        # MAX_SACK_BLOCKS + 2 isolated islands (every other seq).
+        for i in range(MAX_SACK_BLOCKS + 2):
+            rx.on_data(data(2 + 2 * i))
+        blocks = rx.sack_blocks()
+        assert len(blocks) == MAX_SACK_BLOCKS
+        assert blocks[0] == (2, 3)      # nearest-to-cumulative first
+
+
+class TestDuplicates:
+    def test_already_released_is_duplicate(self):
+        rx = SRReceiver()
+        rx.on_data(data(0))
+        result = rx.on_data(data(0))
+        assert result.duplicate
+        assert rx.duplicate_packets == 1
+        assert rx.delivered_bytes == 10    # not double counted
+
+    def test_held_copy_is_duplicate(self):
+        rx = SRReceiver()
+        rx.on_data(data(2))
+        result = rx.on_data(data(2))
+        assert result.duplicate and rx.holes == 1
+
+    def test_outside_window_dropped_as_duplicate(self):
+        rx = SRReceiver(window=64)
+        result = rx.on_data(data(64))
+        assert result.duplicate
+        assert rx.delivered_bytes == 0
+
+
+class TestWrap:
+    def test_release_across_ring_boundary(self):
+        rx = SRReceiver(initial_seq=SEQ_MOD - 2)
+        rx.on_data(data(SEQ_MOD - 2))
+        rx.on_data(data(SEQ_MOD - 1))
+        result = rx.on_data(data(0))
+        assert result.cum_ack == 1
+        assert rx.released_bytes == 30
+
+    def test_sack_block_spanning_wrap(self):
+        rx = SRReceiver(initial_seq=SEQ_MOD - 2)
+        rx.on_data(data(SEQ_MOD - 1))
+        rx.on_data(data(0))
+        assert rx.sack_blocks() == ((SEQ_MOD - 1, 1),)
+        result = rx.on_data(data(SEQ_MOD - 2))
+        assert result.cum_ack == 1 and len(result.delivered) == 3

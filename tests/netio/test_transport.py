@@ -1,0 +1,130 @@
+"""End-to-end loopback transfers over the asyncio UDP datapath.
+
+Includes the PR's acceptance transfer: >= 1 MiB under seeded 2 % loss
+and 20 ms one-way delay, completed by ``libra:cubic`` AND a classic CCA
+using the unmodified controller classes, with a schema-valid
+``FlowTelemetry`` artifact.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.netio import (ImpairmentProfile, NetioServer, TransferTimeout,
+                         send_payload)
+from repro.registry import make_controller
+from repro.telemetry import Recorder, validate_jsonl, write_jsonl
+
+LOSSY = ImpairmentProfile(loss=0.02, delay=0.02, seed=1)
+
+
+def loopback_transfer(cca, nbytes, impairment=None, recorder=None,
+                      mss=1200, initial_seq=0, seed=1, timeout=60.0):
+    async def run():
+        server = NetioServer()
+        host, port = await server.start()
+        try:
+            result = await send_payload(
+                host, port, make_controller(cca, seed=seed), bytes(nbytes),
+                mss=mss, impairment=impairment, seed=seed, recorder=recorder,
+                timeout=timeout, initial_seq=initial_seq, cca_name=cca)
+            stats = await server.serve_one(timeout=5.0)
+            return result, stats
+        finally:
+            await server.close()
+
+    return asyncio.run(run())
+
+
+class TestCleanLoopback:
+    def test_small_transfer_completes_without_loss(self):
+        result, stats = loopback_transfer("cubic", 100_000)
+        assert result.bytes_acked == 100_000
+        assert result.lost_packets == 0 and result.retransmissions == 0
+        assert stats.complete and stats.bytes_released == 100_000
+        assert stats.duplicate_packets == 0
+
+    def test_server_stats_summary_shape(self):
+        _, stats = loopback_transfer("reno", 50_000)
+        summary = stats.summary()
+        assert summary["complete"] is True
+        assert summary["bytes"] == 50_000
+        assert summary["meta"]["cca"] == "reno"
+        assert summary["goodput_mbps"] > 0
+
+    def test_sequence_wrap_mid_transfer(self):
+        # 200 x 500-byte packets starting 20 short of the ring edge.
+        result, stats = loopback_transfer("cubic", 100_000, mss=500,
+                                          initial_seq=(1 << 16) - 20)
+        assert result.bytes_acked == 100_000
+        assert stats.complete and stats.duplicate_packets == 0
+
+
+class TestImpairedLoopback:
+    def test_acceptance_libra_cubic_1mib_lossy(self):
+        """The PR's acceptance transfer, Libra framework flavour."""
+        recorder = Recorder()
+        result, stats = loopback_transfer("libra:cubic", 1_048_576,
+                                          impairment=LOSSY,
+                                          recorder=recorder)
+        assert stats.complete
+        assert result.bytes_acked == 1_048_576
+        assert result.retransmissions >= 1
+        assert result.lost_packets >= 1
+        assert result.impairment["data_drops"] >= 1
+        # Loss accounting closes: every impairment drop was recovered.
+        assert result.telemetry is not None
+        assert result.telemetry.meta["transport"] == "netio-udp"
+        assert result.telemetry.meta["cca"] == "libra:cubic"
+
+    def test_acceptance_classic_cca_1mib_lossy(self):
+        """Same transfer with an unmodified classic window CCA."""
+        result, stats = loopback_transfer("cubic", 1_048_576,
+                                          impairment=LOSSY)
+        assert stats.complete and result.bytes_acked == 1_048_576
+        assert result.retransmissions >= 1
+        # One-way impairment delay dominates the observed RTT.
+        assert 0.019 <= result.srtt <= 0.2
+
+    def test_telemetry_artifact_validates(self, tmp_path):
+        recorder = Recorder()
+        result, _ = loopback_transfer("libra:cubic", 262_144,
+                                      impairment=LOSSY, recorder=recorder)
+        out = tmp_path / "netio.jsonl"
+        assert write_jsonl(result.telemetry, out) > 0
+        info = validate_jsonl(out)
+        assert info["schema_version"] == 1
+        assert "flow0.rate" in info["series"]
+        assert "flow0.srtt" in info["series"]
+        assert "netio.handshake" in info["event_kinds"]
+        assert "libra.stage" in info["event_kinds"]
+
+    def test_rate_based_cca_over_sockets(self):
+        result, stats = loopback_transfer("bbr", 262_144, impairment=LOSSY)
+        assert stats.complete and result.bytes_acked == 262_144
+        assert result.mi_reports >= 1
+
+    def test_reordering_does_not_corrupt_payload_accounting(self):
+        profile = ImpairmentProfile(delay=0.005, reorder_probability=0.1,
+                                    reorder_extra=0.02, seed=2)
+        result, stats = loopback_transfer("cubic", 200_000, impairment=profile)
+        assert stats.complete
+        assert stats.bytes_released == 200_000
+        assert result.bytes_acked == 200_000
+
+
+class TestFailurePaths:
+    def test_timeout_when_no_server(self):
+        async def run():
+            # Reserved port with no listener: handshake cannot complete.
+            await send_payload("127.0.0.1", 9, make_controller("cubic"),
+                               b"x" * 1000, timeout=1.5)
+
+        with pytest.raises((TransferTimeout, OSError)):
+            asyncio.run(run())
+
+    def test_mss_validated(self):
+        from repro.netio import NetioClient
+
+        with pytest.raises(ValueError):
+            NetioClient(make_controller("cubic"), b"x", mss=0)

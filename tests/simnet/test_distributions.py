@@ -1,0 +1,105 @@
+"""Shared impairment samplers: seed streams, draw discipline, and the
+pinned compatibility contract with the historical fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.distributions import (FAULT_STREAM_TAG,
+                                        IMPAIRMENT_STREAM_TAG,
+                                        GilbertElliottSampler, bernoulli,
+                                        fault_rng, impairment_rng,
+                                        uniform_jitter)
+from repro.simnet.faults import BurstLoss, FaultInjector, FaultSchedule
+
+
+class TestStreamIdentity:
+    def test_fault_tag_pinned(self):
+        # Cache keys of every faulted sweep depend on this value.
+        assert FAULT_STREAM_TAG == 0xFA017
+
+    def test_fault_rng_matches_historical_construction(self):
+        """``FaultInjector`` has seeded its RNG this exact way since the
+        fault subsystem landed; the factored-out helper must not shift
+        the stream (identical samples for identical seeds)."""
+        ours = fault_rng(3, 7)
+        historical = np.random.default_rng((0xFA017, 3, 7))
+        assert ours.random(64).tolist() == historical.random(64).tolist()
+
+    def test_impairment_stream_is_domain_separated(self):
+        assert IMPAIRMENT_STREAM_TAG != FAULT_STREAM_TAG
+        a = fault_rng(1, 1).random(16)
+        b = impairment_rng(1, 1).random(16)
+        assert a.tolist() != b.tolist()
+
+    def test_same_seeds_same_stream(self):
+        assert fault_rng(5, 9).random(32).tolist() == \
+            fault_rng(5, 9).random(32).tolist()
+        assert impairment_rng(5, 9).random(32).tolist() == \
+            impairment_rng(5, 9).random(32).tolist()
+
+
+class TestDrawDiscipline:
+    def test_bernoulli_consumes_one_draw(self):
+        rng = fault_rng(0, 0)
+        shadow = fault_rng(0, 0)
+        bernoulli(rng, 0.5)
+        shadow.random()
+        assert rng.random() == shadow.random()
+
+    def test_uniform_jitter_consumes_one_draw_and_scales(self):
+        rng = fault_rng(0, 1)
+        shadow = fault_rng(0, 1)
+        value = uniform_jitter(rng, 0.25)
+        assert value == pytest.approx(0.25 * shadow.random())
+        assert rng.random() == shadow.random()
+
+    def test_ge_good_state_zero_loss_single_draw(self):
+        """In the good state with ``loss_good == 0`` only the transition
+        draw is consumed — the historical ``drop_data`` order."""
+        ge = GilbertElliottSampler(p_enter=0.0, p_exit=0.5, loss_good=0.0)
+        rng = fault_rng(2, 2)
+        shadow = fault_rng(2, 2)
+        for _ in range(10):
+            drop, transitioned = ge.step(rng)
+            shadow.random()          # transition draw only
+            assert not drop and not transitioned
+        assert rng.random() == shadow.random()
+
+    def test_ge_bad_state_consumes_two_draws(self):
+        ge = GilbertElliottSampler(p_enter=1.0, p_exit=0.0, loss_bad=0.5)
+        rng = fault_rng(3, 3)
+        shadow = fault_rng(3, 3)
+        ge.step(rng)                 # enters bad: transition + loss draw
+        shadow.random(2)
+        assert ge.bad
+        assert rng.random() == shadow.random()
+
+    def test_ge_validates_probabilities(self):
+        with pytest.raises(ValueError):
+            GilbertElliottSampler(p_enter=1.2, p_exit=0.1)
+
+
+class TestFaultInjectorCompatibility:
+    """The refactor onto shared samplers must not change any fault
+    realization: two injectors with the same seeds stay bit-identical,
+    and the injector's decisions equal the raw sampler stream."""
+
+    SCHEDULE = FaultSchedule(
+        name="t", burst_loss=BurstLoss(p_enter=0.05, p_exit=0.3,
+                                       loss_bad=0.6), seed=4)
+
+    def test_injector_reproducible(self):
+        a = FaultInjector(self.SCHEDULE, seed=9)
+        b = FaultInjector(self.SCHEDULE, seed=9)
+        decisions_a = [a.drop_data(t * 0.01) for t in range(400)]
+        decisions_b = [b.drop_data(t * 0.01) for t in range(400)]
+        assert decisions_a == decisions_b
+        assert a.data_drops == b.data_drops > 0
+
+    def test_injector_equals_raw_sampler_stream(self):
+        injector = FaultInjector(self.SCHEDULE, seed=9)
+        ge = GilbertElliottSampler(0.05, 0.3, 0.0, 0.6)
+        rng = fault_rng(4, 9)
+        for t in range(400):
+            expected, _ = ge.step(rng)
+            assert injector.drop_data(t * 0.01) == expected

@@ -71,6 +71,81 @@ class TestTrace:
         assert "wrote" not in out and "series channels:" in out
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+
+class TestServeSend:
+    """Real-socket path: a ``repro serve`` subprocess on an ephemeral
+    port, driven by in-process ``repro send`` invocations."""
+
+    @pytest.fixture()
+    def server(self):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve", "--one", "--json",
+             "--quiet"],
+            stdout=subprocess.PIPE, text=True, env=env)
+        try:
+            line = proc.stdout.readline()
+            assert line.startswith("netio: listening on "), line
+            port = int(line.rsplit(":", 1)[1])
+            yield proc, port
+        finally:
+            if proc.poll() is None:
+                proc.terminate()
+            proc.wait(timeout=10)
+
+    def test_transfer_and_telemetry_roundtrip(self, server, tmp_path,
+                                              capsys):
+        proc, port = server
+        out_path = tmp_path / "netio.jsonl"
+        rc = main(["send", f"127.0.0.1:{port}", "--cca", "cubic",
+                   "--bytes", "65536", "--timeout", "30",
+                   "--out", str(out_path)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "cubic: 65536 bytes" in printed
+        assert "jsonl records" in printed
+        info = validate_jsonl(out_path)
+        assert info["samples"] > 0
+        assert "flow0.rate" in info["series"]
+        assert "netio.handshake" in info["event_kinds"]
+        assert proc.wait(timeout=10) == 0
+        summary = proc.stdout.readline()
+        assert '"complete": true' in summary
+
+    def test_send_json_summary_under_impairment(self, server, capsys):
+        import json
+
+        _, port = server
+        rc = main(["send", f"127.0.0.1:{port}", "--cca", "libra:cubic",
+                   "--bytes", "131072", "--loss", "0.02", "--delay", "10",
+                   "--impair-seed", "1", "--timeout", "30", "--json"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out.splitlines()[0])
+        assert summary["cca"] == "libra:cubic"
+        assert summary["bytes_acked"] == 131072
+        assert summary["retransmissions"] >= 1
+        assert summary["impairment"]["data_drops"] >= 1
+
+    def test_send_rejects_bad_target(self, capsys):
+        assert main(["send", "not-a-target"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_list_advertises_netio_commands(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Commands:" in out
+        assert "serve" in out and "send" in out
+
+
 class TestExperiment:
     def test_unknown_experiment_exits_2(self, capsys):
         assert main(["experiment", "fig999"]) == 2
