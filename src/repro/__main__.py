@@ -12,6 +12,8 @@ Usage:
     python -m repro serve --port 9000          # reliable-UDP receive endpoint
     python -m repro send 127.0.0.1:9000 --cca libra:cubic --bytes 1048576 \\
         --loss 0.02 --delay 20                 # real-socket transfer
+    python -m repro chaos --seed 1             # chaos-test the serving path
+    python -m repro experiment soak            # full chaos suite as a table
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ EXPERIMENT_MODULES = {
     "fig19": "sensitivity", "tab7": "sensitivity",
     "ablations": "ablations",
     "stress": "stress",
+    "soak": "soak",
 }
 
 
@@ -49,6 +52,7 @@ COMMANDS = {
     "train": "train a policy (parallel, checkpointed, eval-gated)",
     "serve": "reliable-UDP receive endpoint (real sockets)",
     "send": "reliable-UDP transfer driven by a CCA (real sockets)",
+    "chaos": "run seeded fault scenarios against a real netio server",
 }
 
 
@@ -216,26 +220,77 @@ def cmd_train(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Run the reliable-UDP receive endpoint until interrupted (or --one)."""
+    """Run the reliable-UDP receive endpoint until signalled (or --one).
+
+    SIGTERM/SIGINT trigger a graceful drain: new SYNs are refused with
+    an RST, in-flight transfers get up to ``--drain-deadline`` seconds
+    to finish, stragglers are force-reset, telemetry is flushed.
+    """
     import asyncio
     import json
+    import signal
 
-    from .netio import NetioServer
+    from .netio import NetioServer, ServerLimits
+    from .telemetry import Recorder, write_jsonl
+
+    try:
+        limits = ServerLimits(max_sessions=args.max_sessions,
+                              idle_timeout=args.idle_timeout,
+                              session_buffer_bytes=args.buffer_cap,
+                              drain_deadline=args.drain_deadline)
+    except ValueError as exc:
+        print(f"bad server limits: {exc}", file=sys.stderr)
+        return 2
+
+    def emit(stats) -> None:
+        if args.json:
+            print(json.dumps(stats.summary(), sort_keys=True), flush=True)
 
     async def serve() -> int:
+        recorder = Recorder() if args.out else None
         server = NetioServer(host=args.host, port=args.port,
-                             verbose=not args.quiet)
+                             verbose=not args.quiet, limits=limits,
+                             recorder=recorder)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:    # non-unix event loop
+                pass
         host, port = await server.start()
+        # The listening line doubles as the "safe to signal" marker for
+        # supervisors, so the handlers above must already be installed.
         print(f"netio: listening on {host}:{port}", flush=True)
+        stop_wait = asyncio.ensure_future(stop.wait())
         try:
             while True:
-                stats = await server.serve_one()
-                if args.json:
-                    print(json.dumps(stats.summary(), sort_keys=True),
-                          flush=True)
-                if args.one:
-                    return 0 if stats.complete else 1
+                next_stats = asyncio.ensure_future(server.serve_one())
+                done, _ = await asyncio.wait(
+                    {next_stats, stop_wait},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if next_stats in done:
+                    stats = next_stats.result()
+                    emit(stats)
+                    if args.one:
+                        return 0 if stats.complete else 1
+                else:
+                    next_stats.cancel()
+                    break
+            report = await server.drain()
+            for stats in server.drain_completed():
+                emit(stats)
+            if not args.quiet:
+                print(f"netio: drained in {report['waited_s']}s "
+                      f"({report['forced']} session(s) force-reset)",
+                      flush=True)
+            if args.out and server.telemetry is not None:
+                records = write_jsonl(server.telemetry, args.out)
+                print(f"wrote {records} telemetry records to {args.out}",
+                      flush=True)
+            return 0
         finally:
+            stop_wait.cancel()
             await server.close()
 
     try:
@@ -249,7 +304,8 @@ def cmd_send(args) -> int:
     import asyncio
     import json
 
-    from .netio import ImpairmentProfile, send_payload
+    from .netio import (ImpairmentProfile, TransferAbort, TransferTimeout,
+                        send_payload)
     from .registry import make_controller
     from .telemetry import Recorder, format_summary, write_csv, write_jsonl
 
@@ -266,10 +322,27 @@ def cmd_send(args) -> int:
     recorder = Recorder() if args.out or args.trace_summary else None
     controller = make_controller(args.cca, seed=args.seed)
     payload = bytes(args.bytes)
-    result = asyncio.run(send_payload(
-        host, int(port_text), controller, payload, mss=args.mss,
-        impairment=profile, seed=args.impair_seed, recorder=recorder,
-        timeout=args.timeout, initial_seq=args.isn, cca_name=args.cca))
+    try:
+        result = asyncio.run(send_payload(
+            host, int(port_text), controller, payload, mss=args.mss,
+            impairment=profile, seed=args.impair_seed, recorder=recorder,
+            timeout=args.timeout, initial_seq=args.isn, cca_name=args.cca,
+            max_consecutive_rtos=args.max_rtos))
+    except TransferAbort as exc:
+        if args.json:
+            print(json.dumps({"aborted": exc.summary()}, sort_keys=True))
+        else:
+            print(f"transfer aborted: {exc} (reason={exc.reason})",
+                  file=sys.stderr)
+        return 3
+    except TransferTimeout as exc:
+        if args.json:
+            print(json.dumps({"aborted": {"reason": "timeout",
+                                          "error": str(exc)}},
+                             sort_keys=True))
+        else:
+            print(f"transfer timed out: {exc}", file=sys.stderr)
+        return 3
     if args.json:
         print(json.dumps(result.summary(), sort_keys=True))
     else:
@@ -289,6 +362,41 @@ def cmd_send(args) -> int:
         if args.trace_summary:
             print(format_summary(result.telemetry, tail=args.tail))
     return 0 if result.bytes_acked >= result.bytes_total else 1
+
+
+def cmd_chaos(args) -> int:
+    """Run seeded chaos scenarios against a real loopback netio server."""
+    import json
+
+    from .netio.chaos import run_chaos
+    from .telemetry import Recorder, write_jsonl
+
+    recorder = Recorder() if args.out else None
+    try:
+        reports = run_chaos(names=args.scenario or None, seed=args.seed,
+                            recorder=recorder)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    status = 0
+    for report in reports:
+        if args.json:
+            print(json.dumps(report.summary(), sort_keys=True), flush=True)
+        else:
+            print(report, flush=True)
+            for check in report.checks:
+                if not check.passed:
+                    print(f"  {check}", flush=True)
+            if report.traceback:
+                print(report.traceback, file=sys.stderr)
+        status |= not report.passed
+    if args.out and recorder is not None:
+        telemetry = recorder.finish(meta={"suite": "chaos",
+                                          "seed": args.seed})
+        records = write_jsonl(telemetry, args.out)
+        if not args.json:
+            print(f"wrote {records} telemetry records to {args.out}")
+    return status
 
 
 def main(argv=None) -> int:
@@ -408,6 +516,20 @@ def main(argv=None) -> int:
                        help="print one JSON summary line per transfer")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-transfer progress on stderr")
+    serve.add_argument("--idle-timeout", type=float, default=30.0,
+                       help="seconds without a datagram before a session "
+                            "is reaped with an RST (default 30)")
+    serve.add_argument("--max-sessions", type=int, default=256,
+                       help="concurrent sessions before SYNs are refused "
+                            "(default 256)")
+    serve.add_argument("--buffer-cap", type=int, default=4 * 1024 * 1024,
+                       help="per-session reorder-buffer byte cap "
+                            "(default 4 MiB)")
+    serve.add_argument("--drain-deadline", type=float, default=15.0,
+                       help="seconds a SIGTERM drain waits for in-flight "
+                            "transfers before force-resetting (default 15)")
+    serve.add_argument("--out", default=None,
+                       help="write server telemetry JSONL here on drain")
 
     send = sub.add_parser("send", help=COMMANDS["send"])
     send.add_argument("target", help="server address as HOST:PORT")
@@ -437,6 +559,9 @@ def main(argv=None) -> int:
                       help="impairment RNG seed")
     send.add_argument("--timeout", type=float, default=120.0,
                       help="abort the transfer after this many seconds")
+    send.add_argument("--max-rtos", type=int, default=6,
+                      help="consecutive RTOs without an ACK before the "
+                           "transfer aborts with rto-exhausted (default 6)")
     send.add_argument("--json", action="store_true",
                       help="print a machine-readable JSON summary")
     send.add_argument("--out", default=None,
@@ -447,6 +572,18 @@ def main(argv=None) -> int:
                       help="print the telemetry summary after the transfer")
     send.add_argument("--tail", type=int, default=10,
                       help="events shown by --trace-summary (0 disables)")
+
+    chaos = sub.add_parser("chaos", help=COMMANDS["chaos"])
+    chaos.add_argument("--scenario", action="append", default=None,
+                       help="scenario to run (repeatable; default: all — "
+                            "kill-client, syn-flood, fuzz, server-restart, "
+                            "drain)")
+    chaos.add_argument("--seed", type=int, default=1,
+                       help="scenario RNG seed (default 1)")
+    chaos.add_argument("--json", action="store_true",
+                       help="print one JSON report line per scenario")
+    chaos.add_argument("--out", default=None,
+                       help="write the combined chaos telemetry JSONL here")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -461,6 +598,8 @@ def main(argv=None) -> int:
         return cmd_serve(args)
     if args.command == "send":
         return cmd_send(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     return cmd_experiment(args)
 
 

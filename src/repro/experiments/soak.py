@@ -1,0 +1,68 @@
+"""Soak experiment: the netio chaos suite as a reportable artifact.
+
+Runs every scenario in :data:`repro.netio.chaos.CHAOS_SCENARIOS` against
+real loopback sockets and prints one row per scenario — the robustness
+analogue of the ``stress`` experiment's fault table.  Pass criteria (the
+chaos checks, verbatim):
+
+- after every scenario the server is back within budget: live sessions
+  and buffered reorder-buffer bytes at zero, counters accounting for
+  every aborted session;
+- a graceful drain completes in-flight transfers without force-resets;
+- a rejected, expired, or orphaned client aborts with a structured
+  ``TransferAbort`` reason in seconds, never by grinding out its 120 s
+  wall-clock timeout.
+
+Environment knobs (the CI ``chaos-smoke`` job uses both):
+
+- ``REPRO_SOAK_SEED`` — scenario seed (default 1).
+- ``REPRO_SOAK_OUT``  — write the combined chaos telemetry (session
+  lifecycle, RST, drain, sock-error events) to this JSONL file.
+
+Exits nonzero when any scenario fails, so the experiment is CI-gateable.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from ..netio.chaos import run_chaos
+from ..telemetry import Recorder, write_jsonl
+from .harness import format_table
+
+
+def main() -> None:
+    seed = int(os.environ.get("REPRO_SOAK_SEED", "1"))
+    out = os.environ.get("REPRO_SOAK_OUT")
+    recorder = Recorder() if out else None
+    reports = run_chaos(seed=seed, recorder=recorder)
+
+    rows = []
+    for report in reports:
+        failed = sum(not check.passed for check in report.checks)
+        rows.append([report.scenario,
+                     "PASS" if report.passed else "FAIL",
+                     f"{len(report.checks) - failed}/{len(report.checks)}",
+                     f"{report.duration:.2f}",
+                     report.error or "-"])
+    print(format_table(["scenario", "status", "checks", "secs", "error"],
+                       rows, title=f"Soak: netio chaos suite (seed {seed})"))
+    for report in reports:
+        for check in report.checks:
+            if not check.passed:
+                print(f"  {report.scenario}: {check}")
+        if report.traceback:
+            print(report.traceback, file=sys.stderr)
+
+    if out and recorder is not None:
+        telemetry = recorder.finish(meta={"suite": "chaos", "seed": seed})
+        records = write_jsonl(telemetry, out)
+        print(f"wrote {records} telemetry records to {out}")
+
+    if not all(report.passed for report in reports):
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -36,16 +36,20 @@ from .arq import REORDER_THRESHOLD, AckOutcome, SRSender, TransferAbort
 from .framing import (FramingError, decode, encode_ack, encode_control,
                       encode_data, seq_add, seq_dist, seq_in_window)
 from .impairment import ImpairmentProfile, LoopbackImpairment
+from .lifecycle import (RST_REASONS, DeadlineWheel, ServerLimits,
+                        validate_syn_meta)
 from .rxbuf import SRReceiver
-from .transport import (DEFAULT_UDP_MSS, AsyncClock, NetioClient, NetioResult,
-                        NetioServer, TransferStats, TransferTimeout,
-                        send_payload)
+from .transport import (DEFAULT_UDP_MSS, MAX_CONSECUTIVE_RTOS, AsyncClock,
+                        NetioClient, NetioResult, NetioServer, TransferStats,
+                        TransferTimeout, send_payload)
 
 __all__ = [
     "AckOutcome", "AsyncClock", "CCAAdapter", "DEFAULT_UDP_MSS",
-    "FramingError", "ImpairmentProfile", "LoopbackImpairment", "NetioClient",
-    "NetioResult", "NetioServer", "REORDER_THRESHOLD", "SRReceiver",
-    "SRSender", "TransferAbort", "TransferStats", "TransferTimeout", "decode",
-    "encode_ack", "encode_control", "encode_data", "send_payload", "seq_add",
-    "seq_dist", "seq_in_window",
+    "DeadlineWheel", "FramingError", "ImpairmentProfile",
+    "LoopbackImpairment", "MAX_CONSECUTIVE_RTOS", "NetioClient",
+    "NetioResult", "NetioServer", "REORDER_THRESHOLD", "RST_REASONS",
+    "SRReceiver", "SRSender", "ServerLimits", "TransferAbort",
+    "TransferStats", "TransferTimeout", "decode", "encode_ack",
+    "encode_control", "encode_data", "send_payload", "seq_add", "seq_dist",
+    "seq_in_window", "validate_syn_meta",
 ]

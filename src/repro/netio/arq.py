@@ -90,6 +90,9 @@ class SRSender:
         self.lost_packets = 0
         self.retransmissions = 0
         self.last_ack_time = 0.0
+        #: RTO firings since the last ACK that acked anything — the
+        #: transport's give-up policy reads this to decide the peer is gone
+        self.consecutive_rtos = 0
 
     # -- sending ----------------------------------------------------------
 
@@ -125,7 +128,8 @@ class SRSender:
             self.retransmissions += 1
             if record.retries > self.max_retries:
                 raise TransferAbort(
-                    f"seq {seq} exceeded {self.max_retries} retries")
+                    f"seq {seq} exceeded {self.max_retries} retries",
+                    reason="max-retries", seq=seq, retries=record.retries)
             return record
         return None
 
@@ -168,6 +172,7 @@ class SRSender:
             outcome.duplicate = True
         else:
             self._rto_backoff = 1.0
+            self.consecutive_rtos = 0
         if highest_sacked is not None and outcome.acked:
             newest_send = max(record.last_send
                               for _, record, _ in outcome.acked)
@@ -247,6 +252,7 @@ class SRSender:
         if fired:
             self._rto_backoff = min(self._rto_backoff * 2.0, 16.0)
             self.last_ack_time = now   # one backoff step per quiet period
+            self.consecutive_rtos += 1
         return outcome
 
     def next_timeout_deadline(self) -> float | None:
@@ -265,7 +271,24 @@ class SRSender:
 
 
 class TransferAbort(RuntimeError):
-    """A packet exhausted its retransmission budget — the peer is gone."""
+    """The transfer cannot continue — a structured give-up.
+
+    ``reason`` is a stable machine-readable code (``max-retries``,
+    ``rto-exhausted``, ``handshake-timeout``, ``teardown-timeout``, or
+    ``rst:<server reason>`` — see :data:`repro.netio.lifecycle.
+    RST_REASONS`); ``details`` carries whatever context the raiser had.
+    The CLI and the chaos harness branch on ``reason``, never on the
+    message text.
+    """
+
+    def __init__(self, message: str, reason: str = "unknown", **details):
+        super().__init__(message)
+        self.reason = reason
+        self.details = details
+
+    def summary(self) -> dict:
+        """Machine-readable form for JSON output and chaos reports."""
+        return {"reason": self.reason, "error": str(self), **self.details}
 
 
 def sack_coverage(blocks: tuple[tuple[int, int], ...]) -> int:

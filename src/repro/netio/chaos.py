@@ -1,0 +1,485 @@
+"""Chaos harness for the netio serving path.
+
+Every hardening claim in :mod:`repro.netio.lifecycle` is an invariant
+("the server returns to budget after X") — this module turns each one
+into a seeded, self-checking scenario against a *real* server on real
+loopback sockets:
+
+- ``kill-client``   — a client dies mid-transfer; the idle reaper must
+  RST the session, flush its stats (``complete=False``,
+  ``aborted="idle-expired"``), and return the server to zero live
+  sessions and zero buffered bytes.
+- ``syn-flood``     — half-open SYNs from many source ports; admission
+  control must pin live sessions at ``max_sessions``, RST the overflow
+  with ``session-cap``, and reap the half-open remainder after the idle
+  timeout.
+- ``fuzz``          — seeded garbage at the server socket (random bytes,
+  truncations, bit-flips of valid frames); the server must count them as
+  malformed and keep serving real transfers.
+- ``server-restart``— the server dies and comes back mid-transfer; the
+  restarted server's ``no-session`` RST must abort the client with a
+  structured reason in seconds, not its 120 s wall-clock timeout.
+- ``drain``         — graceful shutdown with a transfer in flight; the
+  transfer must finish, a SYN arriving during the drain must be refused
+  with ``draining``, and nothing may need force-reset.
+
+Scenarios return :class:`Check` lists; failures (and crashes) are
+collected into FailedRun-style :class:`ChaosReport` records (mirroring
+:class:`repro.parallel.FailedRun`) rather than aborting the suite, so
+one run reports every broken invariant at once.  Entry points:
+:func:`run_chaos` (library), ``python -m repro chaos`` (CLI), and the
+``soak`` experiment (:mod:`repro.experiments.soak`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import traceback as _traceback
+from dataclasses import dataclass, field
+
+from .arq import TransferAbort
+from .framing import (RST, SYN, ControlPacket, FramingError, decode,
+                      encode_control, encode_data)
+from .impairment import ImpairmentProfile
+from .lifecycle import (RST_DRAINING, RST_IDLE_EXPIRED, RST_NO_SESSION,
+                        RST_SESSION_CAP, ServerLimits)
+from .transport import NetioClient, NetioServer
+
+#: default CCA for chaos transfers: deterministic, dependency-free
+CHAOS_CCA = "cubic"
+
+#: per-scenario wall-clock budget; a hung scenario is itself a failure
+SCENARIO_TIMEOUT = 30.0
+
+
+@dataclass(slots=True)
+class Check:
+    """One asserted invariant inside a scenario."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "ok" if self.passed else "FAIL"
+        return f"[{mark}] {self.name}" + (f" ({self.detail})"
+                                          if self.detail else "")
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos scenario (FailedRun-style: never raises)."""
+
+    scenario: str
+    seed: int
+    passed: bool
+    checks: list = field(default_factory=list)
+    duration: float = 0.0
+    error: str | None = None
+    traceback: str | None = None
+
+    def summary(self) -> dict:
+        return {"scenario": self.scenario, "seed": self.seed,
+                "passed": self.passed,
+                "duration_s": round(self.duration, 3),
+                "checks": [{"name": c.name, "passed": c.passed,
+                            "detail": c.detail} for c in self.checks],
+                "error": self.error}
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        line = f"{self.scenario}: {status} ({len(self.checks)} checks, " \
+               f"{self.duration:.2f}s)"
+        if self.error:
+            line += f" — {self.error}"
+        return line
+
+
+# -- scenario plumbing -------------------------------------------------------
+
+class _RawPeer(asyncio.DatagramProtocol):
+    """A hand-rolled UDP peer: sends raw datagrams, queues decoded
+    replies.  Used to speak *wrong* protocol (half-open SYNs, garbage)
+    that :class:`NetioClient` is too well-behaved to produce."""
+
+    def __init__(self):
+        self.transport = None
+        self.inbox: asyncio.Queue = asyncio.Queue()
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        try:
+            self.inbox.put_nowait(decode(data))
+        except FramingError:
+            pass
+
+    def send(self, datagram: bytes) -> None:
+        self.transport.sendto(datagram)
+
+    async def expect_rst(self, timeout: float = 2.0) -> str | None:
+        """Reason of the next inbound RST, or ``None`` on timeout."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                return None
+            try:
+                packet = await asyncio.wait_for(self.inbox.get(), remaining)
+            except asyncio.TimeoutError:
+                return None
+            if isinstance(packet, ControlPacket) and packet.ptype == RST:
+                return packet.meta.get("reason")
+
+    def close(self) -> None:
+        if self.transport is not None:
+            self.transport.close()
+
+
+async def _open_peer(host: str, port: int) -> _RawPeer:
+    loop = asyncio.get_running_loop()
+    _, protocol = await loop.create_datagram_endpoint(
+        _RawPeer, remote_addr=(host, port))
+    return protocol
+
+
+def _controller(seed: int):
+    from ..registry import make_controller
+
+    return make_controller(CHAOS_CCA, seed=seed)
+
+
+async def _wait_until(predicate, timeout: float, poll: float = 0.01) -> bool:
+    """Poll ``predicate`` until true or ``timeout`` elapses."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(poll)
+    return predicate()
+
+
+def _reap_budget(limits: ServerLimits) -> float:
+    """How long a session may legitimately outlive its last datagram:
+    the idle timeout, plus one wheel slot of lateness, plus one reaper
+    cadence, plus scheduling slack."""
+    return limits.idle_timeout + 2 * limits.reap_granularity + 1.0
+
+
+# -- scenarios ---------------------------------------------------------------
+
+async def scenario_kill_client(seed: int, recorder=None) -> list[Check]:
+    """Kill a client mid-transfer; the server must reap and recover."""
+    limits = ServerLimits(max_sessions=8, idle_timeout=0.4,
+                          session_buffer_bytes=256 * 1024,
+                          drain_deadline=2.0)
+    server = NetioServer(limits=limits, recorder=recorder)
+    host, port = await server.start()
+    checks: list[Check] = []
+    try:
+        # Delay stretches the transfer so "mid-transfer" exists.
+        client = NetioClient(
+            _controller(seed), bytes(512 * 1024),
+            impairment=ImpairmentProfile(delay=0.02, seed=seed), seed=seed)
+        task = asyncio.ensure_future(client.run(host, port, timeout=20.0))
+        mid = await _wait_until(
+            lambda: server.live_sessions == 1 and any(
+                s.stats.received_packets > 0
+                for s in server._sessions.values()), 5.0)
+        checks.append(Check("transfer reached the server", mid,
+                            f"live={server.live_sessions}"))
+        task.cancel()           # the client process "dies": no FIN, ever
+        try:
+            await task
+        except (asyncio.CancelledError, TransferAbort):
+            pass
+        reaped = await _wait_until(lambda: server.live_sessions == 0,
+                                   _reap_budget(limits))
+        checks.append(Check("idle reaper cleared the session", reaped,
+                            f"live={server.live_sessions} "
+                            f"reaped={server.sessions_reaped}"))
+        checks.append(Check("reorder buffer returned to zero",
+                            server.buffered_bytes == 0,
+                            f"buffered={server.buffered_bytes}"))
+        stats = server.drain_completed()
+        aborted = [s for s in stats if s.aborted == RST_IDLE_EXPIRED]
+        checks.append(Check("aborted stats flushed with idle-expired reason",
+                            len(aborted) == 1 and not aborted[0].complete,
+                            f"stats={[s.aborted for s in stats]}"))
+        sane = all(s.duration >= 0.0 and s.goodput_bps >= 0.0
+                   and s.finished_at > 0.0 for s in stats)
+        checks.append(Check("aborted stats have sane duration/goodput",
+                            bool(stats) and sane))
+    finally:
+        await server.close()
+    return checks
+
+
+async def scenario_syn_flood(seed: int, recorder=None) -> list[Check]:
+    """Half-open SYN flood: cap admissions, RST overflow, reap the rest."""
+    limits = ServerLimits(max_sessions=6, idle_timeout=0.4,
+                          session_buffer_bytes=64 * 1024,
+                          drain_deadline=2.0)
+    server = NetioServer(limits=limits, recorder=recorder)
+    host, port = await server.start()
+    flood = 3 * limits.max_sessions
+    peers = []
+    checks: list[Check] = []
+    try:
+        for i in range(flood):
+            peer = await _open_peer(host, port)
+            peers.append(peer)
+            peer.send(encode_control(SYN, 0, {"bytes": 1000, "isn": 0,
+                                              "cca": "flood", "mss": 1200}))
+        await _wait_until(
+            lambda: server.sessions_opened + server.sessions_rejected
+            >= flood, 5.0)
+        checks.append(Check(
+            "live sessions pinned at the cap",
+            server.live_sessions == limits.max_sessions,
+            f"live={server.live_sessions} cap={limits.max_sessions}"))
+        checks.append(Check(
+            "overflow SYNs refused",
+            server.sessions_rejected == flood - limits.max_sessions,
+            f"rejected={server.sessions_rejected}"))
+        reason = await peers[-1].expect_rst()
+        checks.append(Check("rejected peer got an explicit session-cap RST",
+                            reason == RST_SESSION_CAP, f"reason={reason!r}"))
+        reaped = await _wait_until(lambda: server.live_sessions == 0,
+                                   _reap_budget(limits))
+        checks.append(Check(
+            "half-open sessions reaped after the idle timeout", reaped,
+            f"live={server.live_sessions} reaped={server.sessions_reaped}"))
+        checks.append(Check("every half-open session flushed as aborted",
+                            server.sessions_reaped == limits.max_sessions,
+                            f"reaped={server.sessions_reaped}"))
+    finally:
+        for peer in peers:
+            peer.close()
+        await server.close()
+    return checks
+
+
+def fuzz_corpus(seed: int, count: int = 400) -> list[bytes]:
+    """Seeded hostile datagrams: random bytes, truncations of valid
+    frames, and bit-flipped valid frames.  Shared with the framing fuzz
+    test so the wire-level corpus and the socket-level corpus agree."""
+    rng = random.Random(seed)
+    valid = [
+        encode_data(rng.randrange(1 << 16), bytes(rng.randrange(1, 64))),
+        encode_control(SYN, 1, {"bytes": 4096, "isn": 3, "cca": "x"}),
+        encode_control(RST, 0, {"reason": "fuzz"}),
+    ]
+    corpus: list[bytes] = []
+    for _ in range(count):
+        kind = rng.randrange(3)
+        if kind == 0:                      # pure noise
+            corpus.append(rng.randbytes(rng.randrange(0, 96)))
+        elif kind == 1:                    # truncation of a valid frame
+            frame = rng.choice(valid)
+            corpus.append(frame[:rng.randrange(0, len(frame))])
+        else:                              # single bit flip in a valid frame
+            frame = bytearray(rng.choice(valid))
+            pos = rng.randrange(len(frame))
+            frame[pos] ^= 1 << rng.randrange(8)
+            corpus.append(bytes(frame))
+    # the adversarial deep-nesting payload that used to blow the JSON
+    # parser's stack (now refused by MAX_CONTROL_BYTES)
+    corpus.append(b"\x03\x00\x00\x00\x0f\xa0\x00\x00" + b"[" * 4000)
+    return corpus
+
+
+async def scenario_fuzz(seed: int, recorder=None) -> list[Check]:
+    """Garbage at the socket must not take the server down."""
+    limits = ServerLimits(max_sessions=8, idle_timeout=0.5,
+                          session_buffer_bytes=256 * 1024,
+                          drain_deadline=2.0)
+    server = NetioServer(limits=limits, recorder=recorder)
+    host, port = await server.start()
+    checks: list[Check] = []
+    peer = await _open_peer(host, port)
+    try:
+        for datagram in fuzz_corpus(seed):
+            peer.send(datagram)
+        await _wait_until(lambda: server.malformed_datagrams > 50, 5.0)
+        checks.append(Check("garbage counted, not crashed on",
+                            server.malformed_datagrams > 50,
+                            f"malformed={server.malformed_datagrams}"))
+        # The proof of life: a real transfer still completes.
+        result = await NetioClient(_controller(seed), bytes(64 * 1024),
+                                   seed=seed).run(host, port, timeout=15.0)
+        checks.append(Check("real transfer completes after the fuzz",
+                            result.bytes_acked >= result.bytes_total,
+                            f"acked={result.bytes_acked}"))
+        checks.append(Check("session budget held during the fuzz",
+                            server.live_sessions <= limits.max_sessions,
+                            f"live={server.live_sessions}"))
+        # Bit-flipped SYNs may have opened junk sessions; they must age out.
+        recovered = await _wait_until(lambda: server.live_sessions == 0,
+                                      _reap_budget(limits))
+        checks.append(Check("server back to zero sessions after the fuzz",
+                            recovered and server.buffered_bytes == 0,
+                            f"live={server.live_sessions} "
+                            f"buffered={server.buffered_bytes}"))
+    finally:
+        peer.close()
+        await server.close()
+    return checks
+
+
+async def scenario_server_restart(seed: int, recorder=None) -> list[Check]:
+    """Server dies and returns mid-transfer; the client must fail fast."""
+    limits = ServerLimits(max_sessions=8, idle_timeout=1.0,
+                          session_buffer_bytes=256 * 1024,
+                          drain_deadline=2.0)
+    loop = asyncio.get_running_loop()
+    server = NetioServer(limits=limits, recorder=recorder)
+    host, port = await server.start()
+    replacement = None
+    checks: list[Check] = []
+    try:
+        client = NetioClient(
+            _controller(seed), bytes(512 * 1024),
+            impairment=ImpairmentProfile(delay=0.02, seed=seed), seed=seed)
+        task = asyncio.ensure_future(client.run(host, port, timeout=60.0))
+        await _wait_until(
+            lambda: server.live_sessions == 1 and any(
+                s.stats.received_packets > 10
+                for s in server._sessions.values()), 5.0)
+        await server.close()    # the "crash": state gone, port released
+        restart_at = loop.time()
+        replacement = NetioServer(host=host, port=port, limits=limits,
+                                  recorder=recorder)
+        # asyncio releases the UDP socket a beat after close() returns;
+        # rebinding the same port needs a short retry, like a real
+        # restarting daemon.
+        for _ in range(100):
+            try:
+                await replacement.start()
+                break
+            except OSError:
+                await asyncio.sleep(0.02)
+        else:
+            raise RuntimeError(f"could not rebind {host}:{port}")
+        abort: TransferAbort | None = None
+        try:
+            await task
+        except TransferAbort as exc:
+            abort = exc
+        elapsed = loop.time() - restart_at
+        checks.append(Check(
+            "client aborted with the server's no-session RST",
+            abort is not None and abort.reason == f"rst:{RST_NO_SESSION}",
+            f"reason={getattr(abort, 'reason', None)!r}"))
+        checks.append(Check(
+            "abort was fast, not a 120s timeout grind", elapsed < 5.0,
+            f"elapsed={elapsed:.2f}s"))
+        checks.append(Check(
+            "restarted server carried no ghost sessions",
+            replacement.live_sessions == 0 and replacement.rst_sent >= 1,
+            f"live={replacement.live_sessions} "
+            f"rst_sent={replacement.rst_sent}"))
+        # And the replacement actually serves:
+        result = await NetioClient(_controller(seed + 1), bytes(64 * 1024),
+                                   seed=seed + 1).run(host, port,
+                                                      timeout=15.0)
+        checks.append(Check("replacement server serves a fresh transfer",
+                            result.bytes_acked >= result.bytes_total))
+    finally:
+        await server.close()
+        if replacement is not None:
+            await replacement.close()
+    return checks
+
+
+async def scenario_drain(seed: int, recorder=None) -> list[Check]:
+    """Graceful drain: in-flight finishes, new SYNs bounce, nothing forced."""
+    limits = ServerLimits(max_sessions=8, idle_timeout=2.0,
+                          session_buffer_bytes=256 * 1024,
+                          drain_deadline=10.0)
+    server = NetioServer(limits=limits, recorder=recorder)
+    host, port = await server.start()
+    checks: list[Check] = []
+    peer = None
+    try:
+        client = NetioClient(
+            _controller(seed), bytes(256 * 1024),
+            impairment=ImpairmentProfile(delay=0.02, seed=seed), seed=seed)
+        task = asyncio.ensure_future(client.run(host, port, timeout=20.0))
+        await _wait_until(lambda: server.live_sessions == 1, 5.0)
+        drain_task = asyncio.ensure_future(server.drain())
+        await _wait_until(lambda: server.draining, 1.0)
+        peer = await _open_peer(host, port)
+        peer.send(encode_control(SYN, 0, {"bytes": 10, "isn": 0}))
+        reason = await peer.expect_rst()
+        checks.append(Check("SYN during drain refused with draining RST",
+                            reason == RST_DRAINING, f"reason={reason!r}"))
+        result = await task
+        checks.append(Check("in-flight transfer completed during drain",
+                            result.bytes_acked >= result.bytes_total,
+                            f"acked={result.bytes_acked}"))
+        report = await drain_task
+        checks.append(Check("drain finished without force-resets",
+                            report["forced"] == 0, f"report={report}"))
+        stats = server.drain_completed()
+        checks.append(Check(
+            "drained transfer's stats are complete",
+            len(stats) == 1 and stats[0].complete and stats[0].aborted is None,
+            f"stats={[(s.complete, s.aborted) for s in stats]}"))
+    finally:
+        if peer is not None:
+            peer.close()
+        await server.close()
+    return checks
+
+
+CHAOS_SCENARIOS = {
+    "kill-client": scenario_kill_client,
+    "syn-flood": scenario_syn_flood,
+    "fuzz": scenario_fuzz,
+    "server-restart": scenario_server_restart,
+    "drain": scenario_drain,
+}
+
+
+# -- runner ------------------------------------------------------------------
+
+async def _run_one(name: str, seed: int, recorder=None) -> ChaosReport:
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    report = ChaosReport(scenario=name, seed=seed, passed=False)
+    try:
+        checks = await asyncio.wait_for(
+            CHAOS_SCENARIOS[name](seed, recorder=recorder), SCENARIO_TIMEOUT)
+        report.checks = checks
+        report.passed = all(check.passed for check in checks)
+        if not report.passed:
+            failed = [check.name for check in checks if not check.passed]
+            report.error = f"failed checks: {', '.join(failed)}"
+    except asyncio.TimeoutError:
+        report.error = f"scenario exceeded {SCENARIO_TIMEOUT}s"
+    except Exception as exc:    # FailedRun-style: collect, never abort
+        report.error = f"{type(exc).__name__}: {exc}"
+        report.traceback = _traceback.format_exc()
+    report.duration = loop.time() - start
+    return report
+
+
+def run_chaos(names=None, seed: int = 1, recorder=None) -> list[ChaosReport]:
+    """Run the named scenarios (default: all), each in a fresh event
+    loop so a scenario that leaks tasks cannot poison the next one."""
+    if names is None:
+        names = list(CHAOS_SCENARIOS)
+    unknown = [n for n in names if n not in CHAOS_SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown chaos scenario(s) {unknown}; "
+                         f"choose from {sorted(CHAOS_SCENARIOS)}")
+    return [asyncio.run(_run_one(name, seed, recorder=recorder))
+            for name in names]
+
+
+__all__ = ["CHAOS_SCENARIOS", "ChaosReport", "Check", "fuzz_corpus",
+           "run_chaos"]

@@ -18,9 +18,13 @@ Packet layouts (all network byte order):
   ``delivered`` is the receiver's cumulative count of novel payload
   bytes — the counterpart of :class:`repro.simnet.packet.Ack`'s
   ``delivered_bytes`` used for delivery-rate estimation.
-- ``SYN`` / ``SYNACK`` / ``FIN`` / ``FINACK`` — ``!BBHHH`` control
-  packets; SYN carries a JSON metadata payload (total bytes, mss, CCA
-  name) and FIN carries the final sequence boundary in ``seq``.
+- ``SYN`` / ``SYNACK`` / ``FIN`` / ``FINACK`` / ``RST`` — ``!BBHHH``
+  control packets; SYN carries a JSON metadata payload (total bytes,
+  mss, CCA name), FIN carries the final sequence boundary in ``seq``,
+  and RST carries a ``reason`` code (see
+  :mod:`repro.netio.lifecycle`) so a rejected or expired client can
+  abort with a structured explanation instead of retrying into its RTO
+  backoff.
 """
 
 from __future__ import annotations
@@ -33,8 +37,13 @@ SEQ_MOD = 1 << 16
 SEQ_MASK = SEQ_MOD - 1
 
 #: packet types
-DATA, ACK, SYN, SYNACK, FIN, FINACK = range(1, 7)
-_CONTROL = {SYN, SYNACK, FIN, FINACK}
+DATA, ACK, SYN, SYNACK, FIN, FINACK, RST = range(1, 8)
+_CONTROL = {SYN, SYNACK, FIN, FINACK, RST}
+
+#: byte cap on a control packet's JSON payload — far above any honest
+#: SYN/RST metadata, low enough that a hostile frame cannot make
+#: ``json.loads`` chew on megabytes (or recurse on kilobytes of "[")
+MAX_CONTROL_BYTES = 4096
 
 #: DATA flag bits
 FLAG_RETRANSMIT = 0x01
@@ -89,6 +98,9 @@ def encode_control(ptype: int, seq: int = 0, meta: dict | None = None) -> bytes:
     if ptype not in _CONTROL:
         raise FramingError(f"not a control packet type: {ptype}")
     payload = json.dumps(meta, sort_keys=True).encode() if meta else b""
+    if len(payload) > MAX_CONTROL_BYTES:
+        raise FramingError(f"control metadata too large: {len(payload)} "
+                           f"> {MAX_CONTROL_BYTES} bytes")
     return _HEADER.pack(ptype, 0, seq & SEQ_MASK, len(payload), 0) + payload
 
 
@@ -149,10 +161,18 @@ def decode(datagram: bytes) -> DataPacket | AckPacket | ControlPacket:
     if ptype == DATA:
         return DataPacket(seq, body, bool(flags & FLAG_RETRANSMIT))
     if ptype in _CONTROL:
+        if length > MAX_CONTROL_BYTES:
+            raise FramingError(f"control metadata too large: {length} "
+                               f"> {MAX_CONTROL_BYTES} bytes")
         try:
             meta = json.loads(body.decode()) if body else {}
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise FramingError(f"bad control metadata: {exc}") from exc
+        except (UnicodeDecodeError, json.JSONDecodeError,
+                RecursionError) as exc:
+            # RecursionError: kilobytes of "[[[[..." blow the parser's
+            # stack well inside MAX_CONTROL_BYTES; that is a framing
+            # problem, not a server crash.
+            raise FramingError(f"bad control metadata: "
+                               f"{type(exc).__name__}") from exc
         if not isinstance(meta, dict):
             raise FramingError("control metadata must be a JSON object")
         return ControlPacket(ptype, seq, meta)

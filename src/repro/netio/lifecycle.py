@@ -1,0 +1,208 @@
+"""Session lifecycle and overload protection for the netio server.
+
+PR 6's server was happy-path only: a session, once created, lived
+forever — a dead peer leaked its reorder buffer, a SYN flood grew the
+session table without bound, and shutdown dropped in-flight transfers
+on the floor.  This module holds the pure-logic half of the fix; the
+asyncio wiring lives in :class:`~repro.netio.transport.NetioServer`:
+
+- :class:`ServerLimits` — the operational budget of one server: session
+  cap, idle timeout, per-session receive-buffer byte cap, drain
+  deadline, SYN metadata size cap.  Frozen so a server's budget cannot
+  drift at runtime and chaos assertions can cite it verbatim.
+- :class:`DeadlineWheel` — a hashed timing wheel over the server's
+  monotonic clock.  Idle reaping must stay O(expired), not O(sessions),
+  to survive exactly the regime it protects against (thousands of
+  half-open sessions); a naive per-tick scan over the session table
+  would make the flood it guards against more expensive to survive.
+  Rescheduling is lazy: ``schedule`` simply overwrites the deadline and
+  drops the key into its new bucket; stale bucket entries are skipped
+  (deadline moved or cancelled) or re-bucketed at sweep time.
+- :func:`validate_syn_meta` — admission-time validation of the JSON SYN
+  metadata, so a malformed or hostile handshake is refused with an RST
+  instead of creating a poisoned session that crashes the datagram
+  handler later (``int("abc")`` on ``isn``, ``float >= str`` on
+  ``bytes``...).
+
+RST reason codes are defined here because both sides speak them: the
+server stamps one into the RST's metadata, the client surfaces it as
+the structured :class:`~repro.netio.arq.TransferAbort` reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .framing import SEQ_MOD
+
+#: RST reason codes (server -> client, in the RST meta's ``reason``)
+RST_SESSION_CAP = "session-cap"      # global max-sessions limit hit
+RST_BAD_SYN = "bad-syn"              # SYN metadata failed validation
+RST_DRAINING = "draining"            # server is draining, no new sessions
+RST_IDLE_EXPIRED = "idle-expired"    # session reaped by the idle deadline
+RST_NO_SESSION = "no-session"        # data for an unknown/reaped session
+RST_DRAIN_DEADLINE = "drain-deadline"  # drain gave up waiting on the session
+
+#: every reason the server can emit, for CLI/docs enumeration
+RST_REASONS = (RST_SESSION_CAP, RST_BAD_SYN, RST_DRAINING, RST_IDLE_EXPIRED,
+               RST_NO_SESSION, RST_DRAIN_DEADLINE)
+
+
+@dataclass(frozen=True)
+class ServerLimits:
+    """Operational budget of one :class:`~repro.netio.transport.NetioServer`.
+
+    The chaos harness asserts against exactly these numbers: after any
+    scenario the live-session count must be <= ``max_sessions`` and the
+    summed reorder-buffer bytes <= ``max_sessions *
+    session_buffer_bytes`` (and both return to their idle values once
+    the scenario's sessions are reaped).
+    """
+
+    #: concurrent sessions before new SYNs are refused with an RST
+    max_sessions: int = 256
+    #: seconds without any datagram from a peer before its session is
+    #: reaped (RST + stats flushed with ``complete=False``)
+    idle_timeout: float = 30.0
+    #: byte cap on one session's out-of-order reorder buffer; packets
+    #: that would exceed it are dropped unacked (the sender retransmits
+    #: once the hole is repaired — flow control by silence)
+    session_buffer_bytes: int = 4 * 1024 * 1024
+    #: seconds a graceful drain waits for in-flight transfers before
+    #: force-resetting the stragglers
+    drain_deadline: float = 15.0
+    #: serialized-JSON size cap on SYN metadata
+    max_meta_bytes: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_sessions <= 0:
+            raise ValueError("max_sessions must be positive")
+        for name in ("idle_timeout", "session_buffer_bytes",
+                     "drain_deadline", "max_meta_bytes"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def reap_granularity(self) -> float:
+        """Wheel slot width / reaper cadence: fine enough that a session
+        expires within ~1/8 of the idle timeout of its deadline, coarse
+        enough that an idle server wakes at most twice a second."""
+        return min(max(self.idle_timeout / 8.0, 0.02), 0.5)
+
+
+class DeadlineWheel:
+    """Hashed timing wheel: O(1) schedule/cancel, O(expired) sweep.
+
+    Keys are opaque (the server uses peer addresses).  Time is whatever
+    monotonic axis the caller sweeps with — the server passes its
+    :class:`~repro.netio.transport.AsyncClock` values.  ``expire`` must
+    be called with non-decreasing ``now``; the cursor only moves
+    forward (deadlines are origin-zero and non-negative).
+    """
+
+    __slots__ = ("granularity", "_deadlines", "_buckets", "_cursor")
+
+    def __init__(self, granularity: float = 0.1):
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        self.granularity = granularity
+        self._deadlines: dict = {}          # key -> current deadline
+        self._buckets: dict[int, set] = {}  # slot index -> keys
+        self._cursor = 0                    # next slot to sweep
+
+    def _slot(self, deadline: float) -> int:
+        # +1 so a deadline is swept by the first tick strictly after it:
+        # never early, at most one granularity late.
+        return int(deadline / self.granularity) + 1
+
+    def schedule(self, key, deadline: float) -> None:
+        """(Re)arm ``key`` to expire at ``deadline``.  Later-moving
+        reschedules are lazy: the old bucket entry is skipped or
+        re-bucketed when its slot is swept."""
+        self._deadlines[key] = deadline
+        self._buckets.setdefault(max(self._slot(deadline), self._cursor),
+                                 set()).add(key)
+
+    def touch(self, key, deadline: float) -> None:
+        """Per-activity reschedule on the hot path: when ``key`` is
+        already tracked, only the deadline moves (its bucket entry is
+        fixed up at sweep time), so touching a busy session is one dict
+        write instead of a bucket insert per datagram."""
+        if key in self._deadlines:
+            self._deadlines[key] = deadline
+        else:
+            self.schedule(key, deadline)
+
+    def cancel(self, key) -> None:
+        self._deadlines.pop(key, None)
+
+    def expire(self, now: float) -> list:
+        """Sweep every slot up to ``now``; returns the expired keys."""
+        expired = []
+        target = int(now / self.granularity)
+        while self._cursor <= target:
+            bucket = self._buckets.pop(self._cursor, None)
+            self._cursor += 1
+            if not bucket:
+                continue
+            for key in bucket:
+                deadline = self._deadlines.get(key)
+                if deadline is None:
+                    continue                      # cancelled: drop lazily
+                if deadline <= now:
+                    del self._deadlines[key]
+                    expired.append(key)
+                else:                             # rescheduled later
+                    self._buckets.setdefault(
+                        max(self._slot(deadline), self._cursor),
+                        set()).add(key)
+        return expired
+
+    def __len__(self) -> int:
+        return len(self._deadlines)
+
+    def __contains__(self, key) -> bool:
+        return key in self._deadlines
+
+
+def validate_syn_meta(meta: dict, limits: ServerLimits) -> str | None:
+    """Admission check for SYN metadata; returns a reason string when the
+    handshake must be refused, ``None`` when it is acceptable.
+
+    Everything the server later *computes with* is type- and
+    range-checked here, so the datagram handler can use the metadata
+    without defensive casts: ``isn`` seeds the reorder buffer, ``bytes``
+    is compared against the released-byte counter at FIN, ``mss`` and
+    ``cca`` only flow into logs/stats.
+    """
+    import json
+
+    try:
+        encoded = len(json.dumps(meta, sort_keys=True))
+    except (TypeError, ValueError):       # non-serializable: decode() never
+        return "meta not serializable"    # produces this, but be safe
+    if encoded > limits.max_meta_bytes:
+        return f"meta too large ({encoded} > {limits.max_meta_bytes} bytes)"
+
+    def _is_int(value) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    expected = meta.get("bytes")
+    if expected is not None and (not _is_int(expected) or expected < 0):
+        return f"bad bytes field: {expected!r}"
+    isn = meta.get("isn", 0)
+    if not _is_int(isn) or not 0 <= isn < SEQ_MOD:
+        return f"bad isn field: {isn!r}"
+    mss = meta.get("mss")
+    if mss is not None and (not _is_int(mss) or not 0 < mss <= 65_535):
+        return f"bad mss field: {mss!r}"
+    cca = meta.get("cca")
+    if cca is not None and not isinstance(cca, str):
+        return f"bad cca field: {cca!r}"
+    return None
+
+
+__all__ = ["DeadlineWheel", "RST_BAD_SYN", "RST_DRAINING",
+           "RST_DRAIN_DEADLINE", "RST_IDLE_EXPIRED", "RST_NO_SESSION",
+           "RST_REASONS", "RST_SESSION_CAP", "ServerLimits",
+           "validate_syn_meta"]

@@ -25,15 +25,29 @@ class RxResult:
     cum_ack: int
     sack_blocks: tuple
     delivered_bytes: float
+    #: packet refused because holding it would breach the buffer cap;
+    #: it is *not* covered by cum_ack/SACK, so the sender retransmits
+    dropped: bool = False
 
 
 class SRReceiver:
-    """Reorder buffer for one inbound flow."""
+    """Reorder buffer for one inbound flow.
 
-    def __init__(self, initial_seq: int = 0, window: int = 4096):
+    ``max_buffer_bytes`` caps the out-of-order store: an out-of-order
+    payload that would push the held bytes past the cap is dropped
+    *unacked* (counted in ``buffer_drops``), so the sender's ARQ
+    retransmits it once the hole in front is repaired.  In-order
+    packets always pass — they release immediately and hold nothing.
+    """
+
+    def __init__(self, initial_seq: int = 0, window: int = 4096,
+                 max_buffer_bytes: int | None = None):
         self.rcv_next = initial_seq & 0xFFFF
         self.window = window
+        self.max_buffer_bytes = max_buffer_bytes
         self._held: dict[int, bytes] = {}
+        self.buffered_bytes = 0        # payload bytes currently held
+        self.buffer_drops = 0          # packets refused by the cap
         self.delivered_bytes = 0.0     # novel payload bytes, any order
         self.released_bytes = 0.0      # payload bytes released in order
         self.received_packets = 0
@@ -43,6 +57,7 @@ class SRReceiver:
         self.received_packets += 1
         seq = packet.seq
         delivered: list[bytes] = []
+        dropped = False
         behind = seq_dist(seq, self.rcv_next)
         duplicate = (0 < behind <= self.window) or seq in self._held
         if duplicate:
@@ -51,23 +66,31 @@ class SRReceiver:
             # Outside the receive window entirely: drop, still ACK state.
             self.duplicate_packets += 1
             duplicate = True
+        elif seq == self.rcv_next:
+            self.delivered_bytes += len(packet.payload)
+            delivered.append(packet.payload)
+            self.released_bytes += len(packet.payload)
+            self.rcv_next = seq_add(self.rcv_next)
+            while self.rcv_next in self._held:
+                payload = self._held.pop(self.rcv_next)
+                self.buffered_bytes -= len(payload)
+                delivered.append(payload)
+                self.released_bytes += len(payload)
+                self.rcv_next = seq_add(self.rcv_next)
+        elif self.max_buffer_bytes is not None and \
+                self.buffered_bytes + len(packet.payload) \
+                > self.max_buffer_bytes:
+            self.buffer_drops += 1
+            dropped = True
         else:
             self.delivered_bytes += len(packet.payload)
-            if seq == self.rcv_next:
-                delivered.append(packet.payload)
-                self.released_bytes += len(packet.payload)
-                self.rcv_next = seq_add(self.rcv_next)
-                while self.rcv_next in self._held:
-                    payload = self._held.pop(self.rcv_next)
-                    delivered.append(payload)
-                    self.released_bytes += len(payload)
-                    self.rcv_next = seq_add(self.rcv_next)
-            else:
-                self._held[seq] = packet.payload
+            self._held[seq] = packet.payload
+            self.buffered_bytes += len(packet.payload)
         return RxResult(delivered=delivered, duplicate=duplicate,
                         cum_ack=self.rcv_next,
                         sack_blocks=self.sack_blocks(),
-                        delivered_bytes=self.delivered_bytes)
+                        delivered_bytes=self.delivered_bytes,
+                        dropped=dropped)
 
     def sack_blocks(self) -> tuple[tuple[int, int], ...]:
         """Contiguous out-of-order runs as ``[start, end)`` ring blocks,

@@ -3,12 +3,24 @@
 ``NetioServer`` is the receive side: it answers a JSON ``SYN``
 handshake, feeds every data datagram through a
 :class:`~repro.netio.rxbuf.SRReceiver`, and acknowledges each one with
-cumulative + SACK feedback and its delivered-bytes counter.
+cumulative + SACK feedback and its delivered-bytes counter.  Unlike the
+happy-path-only first cut, the server is *supervised*: admission
+control refuses SYNs past :class:`~repro.netio.lifecycle.ServerLimits`
+(session cap, metadata validation, draining) with an explicit ``RST``,
+a :class:`~repro.netio.lifecycle.DeadlineWheel`-driven reaper expires
+idle sessions so a dead peer cannot leak its reorder buffer, and
+:meth:`NetioServer.drain` performs a graceful shutdown — stop accepting
+SYNs, finish in-flight transfers up to a deadline, flush telemetry.
+
 ``NetioClient`` is the send side: an :class:`AsyncClock`-driven pacing
 loop that transmits at whatever rate the (unchanged) congestion
 controller decides, a :class:`~repro.netio.arq.SRSender` for
 reliability, and a :class:`~repro.netio.adapter.CCAAdapter` feeding the
-controller the same signal stream the simulator produces.
+controller the same signal stream the simulator produces.  It fails
+fast instead of grinding into its wall-clock timeout: a server ``RST``
+or a run of consecutive RTOs aborts the transfer with a structured
+:class:`~repro.netio.arq.TransferAbort` reason, and handshake retries
+back off exponentially with seeded jitter.
 
 The sender deliberately mirrors :class:`repro.simnet.endpoint.Sender`'s
 structure — pacing gate, congestion-window gate, monitor-interval timer,
@@ -19,27 +31,44 @@ that is the sim-to-real claim the loopback parity test pins down.
 from __future__ import annotations
 
 import asyncio
+import random
 from dataclasses import dataclass, field
 
 from ..units import DEFAULT_MSS
 from .adapter import CCAAdapter
 from .arq import SRSender, TransferAbort
-from .framing import (ACK, DATA, FIN, FINACK, SYN, SYNACK, AckPacket,
+from .framing import (ACK, DATA, FIN, FINACK, RST, SYN, SYNACK, AckPacket,
                       ControlPacket, DataPacket, FramingError, decode,
                       encode_ack, encode_control, encode_data)
 from .impairment import ImpairmentProfile, LoopbackImpairment
+from .lifecycle import (RST_BAD_SYN, RST_DRAIN_DEADLINE, RST_DRAINING,
+                        RST_IDLE_EXPIRED, RST_NO_SESSION, RST_SESSION_CAP,
+                        DeadlineWheel, ServerLimits, validate_syn_meta)
 from .rxbuf import SRReceiver
 
 #: default UDP payload size: safely under the 1500-byte ethernet MTU
 #: once UDP/IP headers are added
 DEFAULT_UDP_MSS = 1200
 
-#: handshake / teardown retry policy
+#: handshake / teardown retry policy: per-attempt timeout doubles from
+#: CONTROL_TIMEOUT up to CONTROL_TIMEOUT_CAP, with a seeded uniform
+#: [0, CONTROL_JITTER) pause between attempts so concurrent clients
+#: retrying a busy server desynchronize instead of thundering
 CONTROL_RETRIES = 8
 CONTROL_TIMEOUT = 0.5
+CONTROL_TIMEOUT_CAP = 2.0
+CONTROL_JITTER = 0.1
+
+#: consecutive RTO firings without a single acked packet before the
+#: client declares the peer gone (backstop for a lost RST)
+MAX_CONSECUTIVE_RTOS = 6
 
 #: idle cap on the send loop's wait so RTO checks always run
 MAX_IDLE_WAIT = 0.05
+
+#: finished-transfer stats queued before the oldest are dropped (a
+#: server nobody calls serve_one() on must not grow without bound)
+COMPLETED_BACKLOG = 4096
 
 
 class TransferTimeout(RuntimeError):
@@ -79,16 +108,24 @@ class TransferStats:
     bytes_delivered: float = 0.0    # novel payload bytes, any order
     received_packets: int = 0
     duplicate_packets: int = 0
+    buffer_drops: int = 0           # packets refused by the buffer cap
+    sock_errors: int = 0            # socket-level errors during the session
     meta: dict = field(default_factory=dict)
     complete: bool = False
+    aborted: str | None = None      # RST reason when the server closed it
 
     @property
     def duration(self) -> float:
-        return max(self.finished_at - self.started_at, 1e-9)
+        """Wall-clock lifetime; 0.0 while the session is still open, so
+        an aborted session can never report absurd goodput."""
+        if self.finished_at <= self.started_at:
+            return 0.0
+        return self.finished_at - self.started_at
 
     @property
     def goodput_bps(self) -> float:
-        return self.bytes_released * 8.0 / self.duration
+        duration = self.duration
+        return self.bytes_released * 8.0 / duration if duration > 0 else 0.0
 
     def summary(self) -> dict:
         return {"peer": self.peer, "bytes": self.bytes_released,
@@ -96,16 +133,22 @@ class TransferStats:
                 "goodput_mbps": round(self.goodput_bps / 1e6, 4),
                 "packets": self.received_packets,
                 "duplicates": self.duplicate_packets,
-                "complete": self.complete, "meta": self.meta}
+                "buffer_drops": self.buffer_drops,
+                "sock_errors": self.sock_errors,
+                "complete": self.complete, "aborted": self.aborted,
+                "meta": self.meta}
 
 
 class _Session:
-    __slots__ = ("rx", "stats", "finished")
+    __slots__ = ("rx", "stats", "last_activity", "sock_errors_at_open")
 
-    def __init__(self, initial_seq: int, peer: str, now: float, meta: dict):
-        self.rx = SRReceiver(initial_seq=initial_seq)
+    def __init__(self, initial_seq: int, peer: str, now: float, meta: dict,
+                 max_buffer_bytes: int, sock_errors_at_open: int):
+        self.rx = SRReceiver(initial_seq=initial_seq,
+                             max_buffer_bytes=max_buffer_bytes)
         self.stats = TransferStats(peer=peer, started_at=now, meta=meta)
-        self.finished = False
+        self.last_activity = now
+        self.sock_errors_at_open = sock_errors_at_open
 
 
 class _ServerProtocol(asyncio.DatagramProtocol):
@@ -119,22 +162,46 @@ class _ServerProtocol(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr) -> None:
         self.server._on_datagram(data, addr)
 
-    def error_received(self, exc) -> None:  # pragma: no cover — OS-dependent
-        pass
+    def error_received(self, exc) -> None:
+        self.server._on_sock_error(exc)
 
 
 class NetioServer:
-    """Reliable-UDP receive endpoint serving any number of transfers."""
+    """Reliable-UDP receive endpoint serving any number of transfers.
+
+    ``limits`` is the server's operational budget (see
+    :class:`~repro.netio.lifecycle.ServerLimits`); the health counters
+    (``sessions_opened`` / ``sessions_reaped`` / ``sessions_rejected`` /
+    ``rst_sent`` / ``sock_errors`` / ``malformed_datagrams``) and the
+    ``live_sessions`` / ``buffered_bytes`` properties are what the chaos
+    harness asserts its budgets against.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 verbose: bool = False):
+                 verbose: bool = False, limits: ServerLimits | None = None,
+                 recorder=None):
         self.host = host
         self.port = port
         self.verbose = verbose
+        self.limits = limits or ServerLimits()
+        self.recorder = recorder
         self._transport = None
         self._sessions: dict = {}
-        self._completed: asyncio.Queue = asyncio.Queue()
+        self._completed: asyncio.Queue = asyncio.Queue(
+            maxsize=COMPLETED_BACKLOG)
         self._clock: AsyncClock | None = None
+        self._wheel = DeadlineWheel(granularity=self.limits.reap_granularity)
+        self._reaper: asyncio.Task | None = None
+        self._draining = False
+        #: frozen FlowTelemetry after a drain (when a recorder was given)
+        self.telemetry = None
+        self.sessions_opened = 0
+        self.sessions_reaped = 0
+        self.sessions_rejected = 0
+        self.rst_sent = 0
+        self.sock_errors = 0
+        self.malformed_datagrams = 0
+        self.completed_dropped = 0
 
     async def start(self) -> tuple[str, int]:
         loop = asyncio.get_running_loop()
@@ -143,16 +210,157 @@ class NetioServer:
             lambda: _ServerProtocol(self), local_addr=(self.host, self.port))
         sockname = self._transport.get_extra_info("sockname")
         self.host, self.port = sockname[0], sockname[1]
+        self._reaper = loop.create_task(self._reap_loop())
         return self.host, self.port
 
     async def serve_one(self, timeout: float | None = None) -> TransferStats:
         """Wait for the next transfer to finish and return its stats."""
         return await asyncio.wait_for(self._completed.get(), timeout)
 
+    def drain_completed(self) -> list[TransferStats]:
+        """Every finished-transfer stats currently queued, non-blocking."""
+        out = []
+        while True:
+            try:
+                out.append(self._completed.get_nowait())
+            except asyncio.QueueEmpty:
+                return out
+
+    @property
+    def live_sessions(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Out-of-order bytes currently held across all live sessions."""
+        return sum(s.rx.buffered_bytes for s in self._sessions.values())
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self, deadline: float | None = None) -> dict:
+        """Graceful shutdown: refuse new SYNs, wait up to ``deadline``
+        (default ``limits.drain_deadline``) for in-flight transfers to
+        finish, force-RST the stragglers, and flush telemetry.
+
+        Returns a report dict; the frozen telemetry artifact (when the
+        server was constructed with a recorder) lands on
+        ``self.telemetry``.  The socket stays open so the final FINs and
+        RSTs are deliverable — call :meth:`close` afterwards.
+        """
+        if deadline is None:
+            deadline = self.limits.drain_deadline
+        self._draining = True
+        if self._clock is None:         # never started: nothing to wait on
+            return {"waited_s": 0.0, "forced": 0, "completed_pending": 0}
+        start = self._clock.now()
+        self._record("netio.drain", start, phase="start",
+                     sessions=len(self._sessions))
+        poll = min(self.limits.reap_granularity, 0.05)
+        while self._sessions and self._clock.now() - start < deadline:
+            await asyncio.sleep(poll)
+        now = self._clock.now()
+        forced = len(self._sessions)
+        for addr in list(self._sessions):
+            self._abort_session(addr, RST_DRAIN_DEADLINE, now)
+        self._record("netio.drain", now, phase="done", forced=forced)
+        if self.verbose:
+            print(f"netio: drain complete in {now - start:.3f}s "
+                  f"({forced} session(s) force-reset)", flush=True)
+        if self.recorder is not None:
+            self.telemetry = self.recorder.finish(meta={
+                "transport": "netio-udp", "role": "server",
+                "sessions_opened": self.sessions_opened,
+                "sessions_reaped": self.sessions_reaped,
+                "sessions_rejected": self.sessions_rejected,
+                "rst_sent": self.rst_sent,
+                "sock_errors": self.sock_errors,
+                "malformed_datagrams": self.malformed_datagrams,
+                "drain_forced": forced})
+        return {"waited_s": round(now - start, 6), "forced": forced,
+                "completed_pending": self._completed.qsize()}
+
     async def close(self) -> None:
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+            self._reaper = None
         if self._transport is not None:
             self._transport.close()
             self._transport = None
+
+    # -- supervision -------------------------------------------------------
+
+    async def _reap_loop(self) -> None:
+        """Expire idle sessions at wheel granularity, O(expired) per tick."""
+        while True:
+            await asyncio.sleep(self.limits.reap_granularity)
+            now = self._clock.now()
+            for addr in self._wheel.expire(now):
+                session = self._sessions.get(addr)
+                if session is None:
+                    continue
+                self.sessions_reaped += 1
+                self._record("netio.session_expired", now,
+                             peer=session.stats.peer,
+                             idle=round(now - session.last_activity, 6))
+                self._abort_session(addr, RST_IDLE_EXPIRED, now)
+
+    def _abort_session(self, addr, reason: str, now: float) -> None:
+        session = self._sessions.pop(addr, None)
+        if session is None:
+            return
+        self._wheel.cancel(addr)
+        self._send_rst(addr, reason, now)
+        self._finalize(session, now, complete=False, aborted=reason)
+
+    def _finalize(self, session: _Session, now: float, complete: bool,
+                  aborted: str | None = None) -> None:
+        stats = session.stats
+        stats.finished_at = now
+        stats.complete = complete
+        stats.aborted = aborted
+        stats.buffer_drops = session.rx.buffer_drops
+        stats.sock_errors = self.sock_errors - session.sock_errors_at_open
+        self._record("netio.session_close", now, peer=stats.peer,
+                     complete=complete, bytes=stats.bytes_released,
+                     aborted=aborted or "")
+        try:
+            self._completed.put_nowait(stats)
+        except asyncio.QueueFull:
+            self.completed_dropped += 1
+        if self.verbose:
+            if complete:
+                print(f"netio: {stats.peer} finished "
+                      f"{stats.bytes_released:.0f} bytes in "
+                      f"{stats.duration:.3f}s "
+                      f"({stats.goodput_bps / 1e6:.2f} Mbps)", flush=True)
+            else:
+                print(f"netio: {stats.peer} aborted ({aborted}) after "
+                      f"{stats.bytes_released:.0f} bytes", flush=True)
+
+    def _send_rst(self, addr, reason: str, now: float,
+                  detail: str | None = None) -> None:
+        meta = {"reason": reason}
+        if detail:
+            meta["detail"] = detail
+        self._transport.sendto(encode_control(RST, 0, meta), addr)
+        self.rst_sent += 1
+        self._record("netio.rst", now, peer=f"{addr[0]}:{addr[1]}",
+                     reason=reason)
+
+    def _record(self, kind: str, t: float, **fields) -> None:
+        if self.recorder is not None:
+            self.recorder.event(kind, t, **fields)
+
+    def _on_sock_error(self, exc) -> None:
+        self.sock_errors += 1
+        now = self._clock.now() if self._clock is not None else 0.0
+        self._record("netio.sock_error", now, error=type(exc).__name__)
 
     # -- datagram handling -------------------------------------------------
 
@@ -160,20 +368,27 @@ class NetioServer:
         try:
             packet = decode(data)
         except FramingError:
-            return  # garbage on the port: not our problem
+            self.malformed_datagrams += 1
+            return
         now = self._clock.now()
-        peer = f"{addr[0]}:{addr[1]}"
         if isinstance(packet, ControlPacket):
-            self._on_control(packet, addr, peer, now)
+            self._on_control(packet, addr, f"{addr[0]}:{addr[1]}", now)
         elif isinstance(packet, DataPacket):
             session = self._sessions.get(addr)
-            if session is None or session.finished:
-                return  # no handshake (or late duplicate): client retries
+            if session is None:
+                # No handshake, or the session was reaped: tell the peer
+                # explicitly so it aborts instead of retrying into RTO.
+                self._send_rst(addr, RST_NO_SESSION, now)
+                return
+            session.last_activity = now
+            self._wheel.touch(addr, now + self.limits.idle_timeout)
             result = session.rx.on_data(packet)
             stats = session.stats
             stats.received_packets += 1
             if result.duplicate:
                 stats.duplicate_packets += 1
+            if result.dropped:
+                return  # over the buffer cap: no ACK, the sender retries
             stats.bytes_delivered = result.delivered_bytes
             stats.bytes_released = session.rx.released_bytes
             self._transport.sendto(
@@ -183,31 +398,55 @@ class NetioServer:
     def _on_control(self, packet: ControlPacket, addr, peer: str,
                     now: float) -> None:
         if packet.ptype == SYN:
-            session = self._sessions.get(addr)
-            if session is None or session.finished:
-                isn = int(packet.meta.get("isn", 0))
-                self._sessions[addr] = _Session(isn, peer, now, packet.meta)
-                if self.verbose:
-                    print(f"netio: {peer} connected "
-                          f"({packet.meta.get('bytes', '?')} bytes, "
-                          f"cca={packet.meta.get('cca', '?')})", flush=True)
-            self._transport.sendto(encode_control(SYNACK, packet.seq), addr)
+            self._on_syn(packet, addr, peer, now)
         elif packet.ptype == FIN:
+            # FINACK is idempotent so a retransmitted FIN (session already
+            # finalized and removed) still completes the teardown.
             self._transport.sendto(encode_control(FINACK, packet.seq), addr)
-            session = self._sessions.get(addr)
-            if session is not None and not session.finished:
-                session.finished = True
+            session = self._sessions.pop(addr, None)
+            if session is not None:
+                self._wheel.cancel(addr)
                 stats = session.stats
-                stats.finished_at = now
-                expected = session.stats.meta.get("bytes")
-                stats.complete = expected is None or \
+                expected = stats.meta.get("bytes")
+                complete = expected is None or \
                     stats.bytes_released >= expected
-                self._completed.put_nowait(stats)
-                if self.verbose:
-                    print(f"netio: {peer} finished "
-                          f"{stats.bytes_released:.0f} bytes in "
-                          f"{stats.duration:.3f}s "
-                          f"({stats.goodput_bps / 1e6:.2f} Mbps)", flush=True)
+                self._finalize(session, now, complete=complete)
+
+    def _on_syn(self, packet: ControlPacket, addr, peer: str,
+                now: float) -> None:
+        session = self._sessions.get(addr)
+        if session is not None:
+            # Duplicate SYN (lost SYNACK): refresh and re-ack the handshake.
+            session.last_activity = now
+            self._wheel.touch(addr, now + self.limits.idle_timeout)
+            self._transport.sendto(encode_control(SYNACK, packet.seq), addr)
+            return
+        if self._draining:
+            self.sessions_rejected += 1
+            self._send_rst(addr, RST_DRAINING, now)
+            return
+        if len(self._sessions) >= self.limits.max_sessions:
+            self.sessions_rejected += 1
+            self._send_rst(addr, RST_SESSION_CAP, now)
+            return
+        problem = validate_syn_meta(packet.meta, self.limits)
+        if problem is not None:
+            self.sessions_rejected += 1
+            self._send_rst(addr, RST_BAD_SYN, now, detail=problem)
+            return
+        self._sessions[addr] = _Session(
+            packet.meta.get("isn", 0), peer, now, packet.meta,
+            self.limits.session_buffer_bytes, self.sock_errors)
+        self._wheel.schedule(addr, now + self.limits.idle_timeout)
+        self.sessions_opened += 1
+        self._record("netio.session_open", now, peer=peer,
+                     bytes=packet.meta.get("bytes", -1),
+                     cca=str(packet.meta.get("cca", "?")))
+        if self.verbose:
+            print(f"netio: {peer} connected "
+                  f"({packet.meta.get('bytes', '?')} bytes, "
+                  f"cca={packet.meta.get('cca', '?')})", flush=True)
+        self._transport.sendto(encode_control(SYNACK, packet.seq), addr)
 
 
 # -- client ------------------------------------------------------------------
@@ -228,6 +467,7 @@ class NetioResult:
     min_rtt: float
     avg_rtt: float
     mi_reports: int
+    sock_errors: int = 0
     impairment: dict = field(default_factory=dict)
     telemetry: object = None    # FlowTelemetry when the run was traced
 
@@ -259,6 +499,7 @@ class NetioResult:
                 if self.min_rtt != float("inf") else None,
                 "avg_rtt_ms": round(self.avg_rtt * 1e3, 3),
                 "mi_reports": self.mi_reports,
+                "sock_errors": self.sock_errors,
                 "impairment": self.impairment}
 
 
@@ -273,8 +514,8 @@ class _ClientProtocol(asyncio.DatagramProtocol):
     def datagram_received(self, data: bytes, addr) -> None:
         self.client._on_datagram(data)
 
-    def error_received(self, exc) -> None:  # pragma: no cover — OS-dependent
-        pass
+    def error_received(self, exc) -> None:
+        self.client._on_sock_error(exc)
 
 
 class NetioClient:
@@ -283,20 +524,27 @@ class NetioClient:
     def __init__(self, controller, data: bytes, mss: int = DEFAULT_UDP_MSS,
                  impairment: ImpairmentProfile | None = None, seed: int = 0,
                  recorder=None, initial_seq: int = 0, window: int = 1024,
-                 cca_name: str | None = None):
+                 cca_name: str | None = None,
+                 max_consecutive_rtos: int = MAX_CONSECUTIVE_RTOS):
         if mss <= 0 or mss > DEFAULT_MSS * 4:
             raise ValueError(f"mss must be in (0, {DEFAULT_MSS * 4}]")
+        if max_consecutive_rtos <= 0:
+            raise ValueError("max_consecutive_rtos must be positive")
         self.controller = controller
         self.cca_name = cca_name or getattr(controller, "name", "unknown")
         self.data = data
         self.mss = mss
         self.recorder = recorder
+        self.max_consecutive_rtos = max_consecutive_rtos
         self.arq = SRSender(window=window, initial_seq=initial_seq)
         self.adapter = CCAAdapter(controller, mss, recorder=recorder)
         self.impairment = LoopbackImpairment(impairment, seed=seed) \
             if impairment is not None and impairment.active else None
+        self.sock_errors = 0
+        self._ctrl_rng = random.Random(seed ^ 0x5EED)
         self._offset = 0
         self._running = False
+        self._abort: TransferAbort | None = None
         self._ack_event: asyncio.Event | None = None
         self._control_waiters: dict[int, asyncio.Future] = {}
         self._transport = None
@@ -310,7 +558,15 @@ class NetioClient:
 
     async def run(self, host: str, port: int,
                   timeout: float = 120.0) -> NetioResult:
-        """Transfer the payload; returns a :class:`NetioResult`."""
+        """Transfer the payload; returns a :class:`NetioResult`.
+
+        Raises :class:`TransferTimeout` when the wall-clock budget runs
+        out, :class:`~repro.netio.arq.TransferAbort` (with a structured
+        ``reason``) when the transfer cannot continue: the server reset
+        it (``rst:*``), the peer stopped acking (``rto-exhausted``,
+        ``max-retries``), or a control exchange never completed
+        (``handshake-timeout`` / ``teardown-timeout``).
+        """
         self._loop = asyncio.get_running_loop()
         self._clock = AsyncClock(self._loop)
         self._ack_event = asyncio.Event()
@@ -318,6 +574,11 @@ class NetioClient:
             lambda: _ClientProtocol(self), remote_addr=(host, port))
         try:
             return await asyncio.wait_for(self._run_inner(), timeout)
+        except TransferAbort as exc:
+            if self.recorder is not None:
+                self.recorder.event("netio.abort", self._clock.now(),
+                                    reason=exc.reason, error=str(exc))
+            raise
         except asyncio.TimeoutError:
             raise TransferTimeout(
                 f"transfer of {len(self.data)} bytes to {host}:{port} "
@@ -326,7 +587,8 @@ class NetioClient:
                 from None
         finally:
             self._running = False
-            self._transport.close()
+            if self._transport is not None:
+                self._transport.close()
 
     async def _run_inner(self) -> NetioResult:
         await self._handshake()
@@ -354,33 +616,43 @@ class NetioClient:
     # -- handshake / teardown ---------------------------------------------
 
     async def _control_roundtrip(self, ptype: int, reply: int, seq: int,
-                                 meta: dict | None = None) -> None:
+                                 meta: dict | None = None,
+                                 label: str = "control") -> None:
         datagram = encode_control(ptype, seq, meta)
+        timeout = CONTROL_TIMEOUT
         for _ in range(CONTROL_RETRIES):
+            if self._abort is not None:
+                raise self._abort
             future = self._loop.create_future()
             self._control_waiters[reply] = future
             self._transport.sendto(datagram)
             try:
-                await asyncio.wait_for(future, CONTROL_TIMEOUT)
+                await asyncio.wait_for(future, timeout)
                 return
             except asyncio.TimeoutError:
-                continue
+                pass
             finally:
                 self._control_waiters.pop(reply, None)
-        raise TransferAbort(f"no response to control packet type {ptype} "
-                            f"after {CONTROL_RETRIES} attempts")
+            timeout = min(timeout * 2.0, CONTROL_TIMEOUT_CAP)
+            await asyncio.sleep(self._ctrl_rng.uniform(0.0, CONTROL_JITTER))
+        raise TransferAbort(
+            f"no response to control packet type {ptype} "
+            f"after {CONTROL_RETRIES} attempts",
+            reason=f"{label}-timeout", attempts=CONTROL_RETRIES)
 
     async def _handshake(self) -> None:
         await self._control_roundtrip(
             SYN, SYNACK, self.arq.next_seq,
             meta={"bytes": len(self.data), "mss": self.mss,
-                  "cca": self.cca_name, "isn": self.arq.next_seq})
+                  "cca": self.cca_name, "isn": self.arq.next_seq},
+            label="handshake")
 
     async def _teardown(self, now: float) -> None:
         if self.recorder is not None:
             self.recorder.event("netio.fin", now,
                                 retransmissions=self.arq.retransmissions)
-        await self._control_roundtrip(FIN, FINACK, self.arq.next_seq)
+        await self._control_roundtrip(FIN, FINACK, self.arq.next_seq,
+                                      label="teardown")
 
     # -- send loop ---------------------------------------------------------
 
@@ -393,6 +665,8 @@ class NetioClient:
         clock = self._clock
         next_send_time = clock.now()
         while True:
+            if self._abort is not None:
+                raise self._abort
             now = clock.now()
             self._apply_outcome(arq.check_timeouts(now), now, timeout=True)
             if arq.done(self._all_queued()):
@@ -436,14 +710,20 @@ class NetioClient:
             pass
         self._ack_event.clear()
 
+    def _sendto(self, datagram: bytes) -> None:
+        """Datagram send that tolerates a just-closed transport — delayed
+        impairment sends can fire after an abort tore the socket down."""
+        if self._transport is not None and not self._transport.is_closing():
+            self._transport.sendto(datagram)
+
     def _transmit(self, seq: int, payload: bytes, retransmit: bool,
                   now: float) -> None:
         datagram = encode_data(seq, payload, retransmit)
         if self.impairment is not None:
-            self.impairment.send_data(self._loop, self._transport.sendto,
-                                      datagram, retransmit)
+            self.impairment.send_data(self._loop, self._sendto, datagram,
+                                      retransmit)
         else:
-            self._transport.sendto(datagram)
+            self._sendto(datagram)
         self.adapter.on_sent(len(payload))
         if retransmit and self.recorder is not None:
             self.recorder.event("netio.retransmit", now, seq=seq)
@@ -465,9 +745,37 @@ class NetioClient:
             self._apply_outcome(self.arq.on_ack(packet, now), now)
             self._ack_event.set()
         elif isinstance(packet, ControlPacket):
+            if packet.ptype == RST:
+                self._on_rst(packet)
+                return
             future = self._control_waiters.get(packet.ptype)
             if future is not None and not future.done():
                 future.set_result(packet)
+
+    def _on_rst(self, packet: ControlPacket) -> None:
+        """The server refused or tore down the session: fail fast with
+        its structured reason instead of retrying into RTO backoff."""
+        reason = packet.meta.get("reason")
+        if not isinstance(reason, str) or not reason:
+            reason = "unspecified"
+        details = {}
+        if isinstance(packet.meta.get("detail"), str):
+            details["detail"] = packet.meta["detail"]
+        abort = TransferAbort(f"server reset the transfer: {reason}",
+                              reason=f"rst:{reason}", **details)
+        if self._abort is None:
+            self._abort = abort
+        for future in list(self._control_waiters.values()):
+            if not future.done():
+                future.set_exception(abort)
+        if self._ack_event is not None:
+            self._ack_event.set()
+
+    def _on_sock_error(self, exc) -> None:
+        self.sock_errors += 1
+        if self.recorder is not None and self._clock is not None:
+            self.recorder.event("netio.sock_error", self._clock.now(),
+                                error=type(exc).__name__)
 
     def _apply_outcome(self, outcome, now: float, timeout: bool = False) -> None:
         arq = self.arq
@@ -490,7 +798,14 @@ class NetioClient:
             self.recorder.event("netio.rto", now,
                                 lost=len(outcome.newly_lost),
                                 rto=arq.rto)
-        if outcome.newly_lost:
+        if timeout and self._abort is None and \
+                arq.consecutive_rtos >= self.max_consecutive_rtos:
+            self._abort = TransferAbort(
+                f"{arq.consecutive_rtos} consecutive RTOs without progress "
+                f"— giving up on the peer",
+                reason="rto-exhausted",
+                consecutive_rtos=arq.consecutive_rtos, rto=arq.rto)
+        if outcome.newly_lost or self._abort is not None:
             self._ack_event.set()
 
     # -- monitor intervals -------------------------------------------------
@@ -525,6 +840,7 @@ class NetioClient:
                 "acked_packets": arq.acked_packets,
                 "lost_packets": arq.lost_packets,
                 "retransmissions": arq.retransmissions,
+                "sock_errors": self.sock_errors,
             }
             meta.update({f"impairment_{k}": v for k, v in impairment.items()})
             telemetry = self.recorder.finish(meta=meta)
@@ -536,8 +852,8 @@ class NetioClient:
             retransmissions=arq.retransmissions,
             srtt=arq.srtt, min_rtt=arq.min_rtt,
             avg_rtt=self._rtt_sum / self._rtt_count if self._rtt_count else 0.0,
-            mi_reports=self._mi_reports, impairment=impairment,
-            telemetry=telemetry)
+            mi_reports=self._mi_reports, sock_errors=self.sock_errors,
+            impairment=impairment, telemetry=telemetry)
 
 
 async def send_payload(host: str, port: int, controller, data: bytes,
@@ -545,9 +861,12 @@ async def send_payload(host: str, port: int, controller, data: bytes,
                        impairment: ImpairmentProfile | None = None,
                        seed: int = 0, recorder=None, timeout: float = 120.0,
                        initial_seq: int = 0,
-                       cca_name: str | None = None) -> NetioResult:
+                       cca_name: str | None = None,
+                       max_consecutive_rtos: int = MAX_CONSECUTIVE_RTOS) \
+        -> NetioResult:
     """One-call client: transfer ``data`` to a :class:`NetioServer`."""
     client = NetioClient(controller, data, mss=mss, impairment=impairment,
                          seed=seed, recorder=recorder,
-                         initial_seq=initial_seq, cca_name=cca_name)
+                         initial_seq=initial_seq, cca_name=cca_name,
+                         max_consecutive_rtos=max_consecutive_rtos)
     return await client.run(host, port, timeout=timeout)

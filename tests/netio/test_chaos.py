@@ -1,0 +1,53 @@
+"""The chaos harness's own contract: every scenario passes against the
+hardened server, failures are collected FailedRun-style, and the corpus
+generator is deterministic per seed."""
+
+import pytest
+
+from repro.netio.chaos import (CHAOS_SCENARIOS, ChaosReport, fuzz_corpus,
+                               run_chaos)
+
+
+class TestFuzzCorpus:
+    def test_deterministic_per_seed(self):
+        assert fuzz_corpus(7) == fuzz_corpus(7)
+        assert fuzz_corpus(7) != fuzz_corpus(8)
+
+    def test_includes_the_deep_nesting_vector(self):
+        corpus = fuzz_corpus(1, count=10)
+        assert any(b"[" * 100 in frame for frame in corpus)
+
+
+class TestRunner:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            run_chaos(names=["nope"])
+
+    def test_crash_collected_not_raised(self, monkeypatch):
+        async def boom(seed, recorder=None):
+            raise RuntimeError("scenario blew up")
+
+        monkeypatch.setitem(CHAOS_SCENARIOS, "kill-client", boom)
+        report, = run_chaos(names=["kill-client"], seed=1)
+        assert isinstance(report, ChaosReport)
+        assert not report.passed
+        assert "scenario blew up" in report.error
+        assert report.traceback is not None
+
+    def test_report_summary_shape(self):
+        report, = run_chaos(names=["server-restart"], seed=3)
+        summary = report.summary()
+        assert summary["scenario"] == "server-restart"
+        assert isinstance(summary["checks"], list)
+        assert all({"name", "passed", "detail"} <= set(c)
+                   for c in summary["checks"])
+
+
+@pytest.mark.parametrize("name", sorted(CHAOS_SCENARIOS))
+def test_scenario_passes(name):
+    """Each chaos scenario holds against the hardened serving path."""
+    report, = run_chaos(names=[name], seed=1)
+    detail = "; ".join(str(check) for check in report.checks
+                       if not check.passed)
+    assert report.passed, f"{report}: {detail or report.error}" + \
+        (f"\n{report.traceback}" if report.traceback else "")

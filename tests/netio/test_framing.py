@@ -137,3 +137,79 @@ class TestMalformedDatagrams:
         raw = struct.pack("!BBHHH", SYN, 0, 0, len(body), 0) + body
         with pytest.raises(FramingError):
             decode(raw)
+
+    def test_oversized_control_meta_rejected_on_encode(self):
+        from repro.netio.framing import MAX_CONTROL_BYTES
+        with pytest.raises(FramingError):
+            encode_control(SYN, 0, {"pad": "x" * MAX_CONTROL_BYTES})
+
+    def test_oversized_control_meta_rejected_on_decode(self):
+        import struct
+        from repro.netio.framing import MAX_CONTROL_BYTES
+        body = b"{" + b" " * (MAX_CONTROL_BYTES + 10)
+        raw = struct.pack("!BBHHH", SYN, 0, 0, len(body), 0) + body
+        with pytest.raises(FramingError):
+            decode(raw)
+
+    def test_deeply_nested_control_meta_is_framing_error(self):
+        # Kilobytes of "[" used to escape as RecursionError and kill the
+        # datagram handler; it must surface as FramingError like any
+        # other malformed frame.
+        import struct
+        body = b"[" * 4000
+        raw = struct.pack("!BBHHH", SYN, 0, 0, len(body), 0) + body
+        with pytest.raises(FramingError):
+            decode(raw)
+
+
+class TestDecodeFuzz:
+    """Seeded fuzz: whatever bytes arrive, ``decode`` either returns a
+    packet or raises :class:`FramingError` — never anything else."""
+
+    @staticmethod
+    def _assert_decodes_or_frames(datagram: bytes) -> None:
+        try:
+            pkt = decode(datagram)
+        except FramingError:
+            return
+        assert isinstance(pkt, (DataPacket, AckPacket, ControlPacket))
+
+    def test_random_bytes(self):
+        import random
+        rng = random.Random(0xF022)
+        for _ in range(2000):
+            self._assert_decodes_or_frames(
+                rng.randbytes(rng.randrange(0, 128)))
+
+    def test_truncations_of_valid_frames(self):
+        frames = [
+            encode_data(7, b"payload" * 10, retransmit=True),
+            encode_ack(3, 9, 12345, ((4, 6), (9, 12))),
+            encode_control(SYN, 1, {"bytes": 1024, "isn": 1, "cca": "x"}),
+            encode_control(FIN, 200),
+        ]
+        for frame in frames:
+            for cut in range(len(frame)):
+                self._assert_decodes_or_frames(frame[:cut])
+
+    def test_bit_flips_of_valid_frames(self):
+        import random
+        rng = random.Random(0xB17)
+        frames = [
+            encode_data(1000, bytes(range(48))),
+            encode_ack(0, 0, 999, ((1, 2),)),
+            encode_control(SYNACK, 5),
+            encode_control(SYN, 0, {"bytes": 10, "mss": 1200}),
+        ]
+        for frame in frames:
+            for _ in range(400):
+                flipped = bytearray(frame)
+                pos = rng.randrange(len(flipped))
+                flipped[pos] ^= 1 << rng.randrange(8)
+                self._assert_decodes_or_frames(bytes(flipped))
+
+    def test_shared_chaos_corpus(self):
+        # The socket-level chaos corpus holds at the decode layer too.
+        from repro.netio.chaos import fuzz_corpus
+        for datagram in fuzz_corpus(seed=99, count=500):
+            self._assert_decodes_or_frames(datagram)

@@ -1,0 +1,557 @@
+"""Session lifecycle and overload protection: the deadline wheel, SYN
+admission, idle reaping, drain, and the client's structured fail-fast
+paths (RST handling, RTO give-up, handshake retry budget)."""
+
+import asyncio
+
+import pytest
+
+from repro.netio import (DeadlineWheel, NetioClient, NetioServer,
+                         ServerLimits, TransferAbort, validate_syn_meta)
+from repro.netio.framing import (RST, SYN, SYNACK, AckPacket, ControlPacket,
+                                 DataPacket, decode, encode_ack,
+                                 encode_control, seq_add)
+from repro.netio.lifecycle import (RST_BAD_SYN, RST_DRAIN_DEADLINE,
+                                   RST_DRAINING, RST_IDLE_EXPIRED,
+                                   RST_NO_SESSION, RST_SESSION_CAP)
+from repro.netio.impairment import ImpairmentProfile
+from repro.registry import make_controller
+
+TINY = ServerLimits(max_sessions=4, idle_timeout=0.3,
+                    session_buffer_bytes=64 * 1024, drain_deadline=2.0)
+
+#: generous wall budget for "the reaper fired": idle timeout + wheel
+#: slack + scheduler slack
+REAP_WAIT = TINY.idle_timeout + 2 * TINY.reap_granularity + 1.0
+
+
+class TestServerLimits:
+    def test_defaults_valid(self):
+        limits = ServerLimits()
+        assert limits.max_sessions > 0 and limits.idle_timeout > 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_sessions": 0}, {"idle_timeout": 0.0},
+        {"session_buffer_bytes": -1}, {"drain_deadline": 0},
+        {"max_meta_bytes": 0},
+    ])
+    def test_non_positive_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServerLimits(**kwargs)
+
+    def test_reap_granularity_bounds(self):
+        assert ServerLimits(idle_timeout=0.05).reap_granularity == \
+            pytest.approx(0.02)
+        assert ServerLimits(idle_timeout=100.0).reap_granularity == \
+            pytest.approx(0.5)
+        assert ServerLimits(idle_timeout=1.6).reap_granularity == \
+            pytest.approx(0.2)
+
+
+class TestDeadlineWheel:
+    def test_expires_only_after_deadline(self):
+        wheel = DeadlineWheel(granularity=0.1)
+        wheel.schedule("a", 1.0)
+        assert wheel.expire(0.99) == []
+        assert "a" in wheel
+        # One slot of lateness is allowed; 1.2 is past slot(1.0)+1.
+        assert wheel.expire(1.2) == ["a"]
+        assert "a" not in wheel and len(wheel) == 0
+
+    def test_cancel_prevents_expiry(self):
+        wheel = DeadlineWheel(granularity=0.1)
+        wheel.schedule("a", 0.5)
+        wheel.cancel("a")
+        assert wheel.expire(2.0) == []
+
+    def test_reschedule_later_is_lazy_but_honored(self):
+        wheel = DeadlineWheel(granularity=0.1)
+        wheel.schedule("a", 0.5)
+        wheel.schedule("a", 5.0)           # stale bucket entry remains
+        assert wheel.expire(1.0) == []     # old slot swept, key re-bucketed
+        assert "a" in wheel
+        assert wheel.expire(5.2) == ["a"]
+
+    def test_touch_moves_deadline_without_new_bucket(self):
+        wheel = DeadlineWheel(granularity=0.1)
+        wheel.schedule("a", 0.5)
+        for t in range(1, 50):             # activity keeps pushing it out
+            wheel.touch("a", 0.5 + t * 0.1)
+        assert wheel.expire(4.0) == []
+        assert wheel.expire(6.0) == ["a"]
+
+    def test_touch_on_untracked_key_schedules(self):
+        wheel = DeadlineWheel(granularity=0.1)
+        wheel.touch("a", 0.3)
+        assert wheel.expire(0.6) == ["a"]
+
+    def test_many_keys_expire_in_one_sweep(self):
+        wheel = DeadlineWheel(granularity=0.1)
+        for i in range(100):
+            wheel.schedule(i, 1.0 + (i % 7) * 0.01)
+        assert sorted(wheel.expire(2.0)) == list(range(100))
+
+    def test_bad_granularity(self):
+        with pytest.raises(ValueError):
+            DeadlineWheel(granularity=0.0)
+
+
+class TestValidateSynMeta:
+    LIMITS = ServerLimits()
+
+    def test_honest_handshake_passes(self):
+        meta = {"bytes": 1_048_576, "mss": 1200, "cca": "libra:cubic",
+                "isn": 77}
+        assert validate_syn_meta(meta, self.LIMITS) is None
+
+    def test_empty_meta_passes(self):
+        assert validate_syn_meta({}, self.LIMITS) is None
+
+    @pytest.mark.parametrize("meta", [
+        {"bytes": "1048576"},          # the str >= float crash vector
+        {"bytes": -1},
+        {"bytes": True},
+        {"isn": "abc"},                # the int("abc") crash vector
+        {"isn": -5},
+        {"isn": 1 << 16},
+        {"mss": 0},
+        {"mss": 70_000},
+        {"mss": "big"},
+        {"cca": 7},
+    ])
+    def test_hostile_fields_refused(self, meta):
+        assert validate_syn_meta(meta, self.LIMITS) is not None
+
+    def test_oversized_meta_refused(self):
+        meta = {"pad": "x" * (self.LIMITS.max_meta_bytes + 1)}
+        assert validate_syn_meta(meta, self.LIMITS) is not None
+
+
+# -- integration helpers -----------------------------------------------------
+
+class RawPeer(asyncio.DatagramProtocol):
+    """Sends arbitrary frames at a server; queues decoded replies."""
+
+    def __init__(self):
+        self.transport = None
+        self.inbox = asyncio.Queue()
+
+    def connection_made(self, transport):
+        self.transport = transport
+
+    def datagram_received(self, data, addr):
+        self.inbox.put_nowait(decode(data))
+
+    async def reply(self, timeout=2.0):
+        return await asyncio.wait_for(self.inbox.get(), timeout)
+
+    async def rst_reason(self, timeout=2.0):
+        while True:
+            packet = await self.reply(timeout)
+            if isinstance(packet, ControlPacket) and packet.ptype == RST:
+                return packet.meta.get("reason")
+
+
+async def open_peer(host, port):
+    loop = asyncio.get_running_loop()
+    _, peer = await loop.create_datagram_endpoint(
+        RawPeer, remote_addr=(host, port))
+    return peer
+
+
+class ScriptedServer(asyncio.DatagramProtocol):
+    """Failure-injection 'server': completes the handshake, then ACKs
+    the first ``ack_first`` data packets and afterwards either goes
+    silent or answers data with an RST."""
+
+    def __init__(self, ack_first=0, rst_reason=None):
+        self.ack_first = ack_first
+        self.rst_reason = rst_reason
+        self.transport = None
+        self.data_seen = 0
+
+    def connection_made(self, transport):
+        self.transport = transport
+
+    def datagram_received(self, data, addr):
+        packet = decode(data)
+        if isinstance(packet, ControlPacket) and packet.ptype == SYN:
+            self.transport.sendto(encode_control(SYNACK, packet.seq), addr)
+        elif isinstance(packet, DataPacket):
+            self.data_seen += 1
+            if self.data_seen <= self.ack_first:
+                self.transport.sendto(
+                    encode_ack(seq_add(packet.seq), packet.seq,
+                               len(packet.payload)), addr)
+            elif self.rst_reason is not None:
+                self.transport.sendto(
+                    encode_control(RST, 0, {"reason": self.rst_reason}),
+                    addr)
+
+
+async def start_scripted(**kwargs):
+    loop = asyncio.get_running_loop()
+    transport, proto = await loop.create_datagram_endpoint(
+        lambda: ScriptedServer(**kwargs), local_addr=("127.0.0.1", 0))
+    host, port = transport.get_extra_info("sockname")[:2]
+    return transport, proto, host, port
+
+
+async def wait_until(predicate, timeout, poll=0.01):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(poll)
+    return predicate()
+
+
+def syn(meta=None, seq=0):
+    return encode_control(SYN, seq, meta if meta is not None
+                          else {"bytes": 1000, "isn": seq})
+
+
+# -- server-side lifecycle ---------------------------------------------------
+
+class TestIdleReaping:
+    def test_half_open_session_reaped_with_stats(self):
+        async def run():
+            server = NetioServer(limits=TINY)
+            host, port = await server.start()
+            peer = await open_peer(host, port)
+            try:
+                peer.send = peer.transport.sendto
+                peer.send(syn())
+                assert isinstance(await peer.reply(), ControlPacket)
+                assert server.live_sessions == 1
+                assert await wait_until(
+                    lambda: server.live_sessions == 0, REAP_WAIT)
+                assert await peer.rst_reason() == RST_IDLE_EXPIRED
+                stats = await server.serve_one(timeout=1.0)
+                assert not stats.complete
+                assert stats.aborted == RST_IDLE_EXPIRED
+                # Satellite 1: aborted sessions have sane timing numbers.
+                assert stats.finished_at > stats.started_at
+                assert 0.0 < stats.duration < REAP_WAIT
+                assert stats.goodput_bps == 0.0
+                assert server.sessions_reaped == 1
+            finally:
+                peer.transport.close()
+                await server.close()
+
+        asyncio.run(run())
+
+    def test_activity_defers_the_reaper(self):
+        async def run():
+            server = NetioServer(limits=TINY)
+            host, port = await server.start()
+            peer = await open_peer(host, port)
+            try:
+                peer.transport.sendto(syn())
+                await peer.reply()
+                # Keep the session warm past 2x the idle timeout.
+                for _ in range(10):
+                    await asyncio.sleep(TINY.idle_timeout / 4)
+                    peer.transport.sendto(syn())   # dup SYN = activity
+                assert server.live_sessions == 1
+                assert server.sessions_reaped == 0
+            finally:
+                peer.transport.close()
+                await server.close()
+
+        asyncio.run(run())
+
+
+class TestAdmissionControl:
+    def test_session_cap_refused_with_rst(self):
+        async def run():
+            limits = ServerLimits(max_sessions=2, idle_timeout=5.0)
+            server = NetioServer(limits=limits)
+            host, port = await server.start()
+            peers = [await open_peer(host, port) for _ in range(3)]
+            try:
+                for peer in peers:
+                    peer.transport.sendto(syn())
+                await wait_until(lambda: server.sessions_rejected >= 1, 2.0)
+                assert server.live_sessions == 2
+                assert server.sessions_rejected == 1
+                assert await peers[2].rst_reason() == RST_SESSION_CAP
+            finally:
+                for peer in peers:
+                    peer.transport.close()
+                await server.close()
+
+        asyncio.run(run())
+
+    @pytest.mark.parametrize("meta", [
+        {"bytes": "1048576"},
+        {"isn": "abc"},
+        {"pad": "x" * 2000},
+    ])
+    def test_hostile_syn_refused_with_bad_syn_rst(self, meta):
+        async def run():
+            server = NetioServer(limits=TINY)
+            host, port = await server.start()
+            peer = await open_peer(host, port)
+            try:
+                peer.transport.sendto(syn(meta))
+                assert await peer.rst_reason() == RST_BAD_SYN
+                assert server.live_sessions == 0
+                assert server.sessions_rejected == 1
+            finally:
+                peer.transport.close()
+                await server.close()
+
+        asyncio.run(run())
+
+    def test_duplicate_syn_refreshes_not_duplicates(self):
+        async def run():
+            server = NetioServer(limits=TINY)
+            host, port = await server.start()
+            peer = await open_peer(host, port)
+            try:
+                peer.transport.sendto(syn())
+                first = await peer.reply()
+                peer.transport.sendto(syn())
+                second = await peer.reply()
+                assert first.ptype == second.ptype == SYNACK
+                assert server.sessions_opened == 1
+                assert server.live_sessions == 1
+            finally:
+                peer.transport.close()
+                await server.close()
+
+        asyncio.run(run())
+
+    def test_data_without_session_gets_no_session_rst(self):
+        async def run():
+            server = NetioServer(limits=TINY)
+            host, port = await server.start()
+            peer = await open_peer(host, port)
+            try:
+                from repro.netio.framing import encode_data
+
+                peer.transport.sendto(encode_data(0, b"orphan"))
+                assert await peer.rst_reason() == RST_NO_SESSION
+            finally:
+                peer.transport.close()
+                await server.close()
+
+        asyncio.run(run())
+
+
+class TestDrain:
+    def test_drain_refuses_new_syns(self):
+        async def run():
+            server = NetioServer(limits=TINY)
+            host, port = await server.start()
+            try:
+                report = await server.drain()
+                assert report["forced"] == 0
+                peer = await open_peer(host, port)
+                peer.transport.sendto(syn())
+                assert await peer.rst_reason() == RST_DRAINING
+                peer.transport.close()
+            finally:
+                await server.close()
+
+        asyncio.run(run())
+
+    def test_drain_deadline_force_resets_straggler(self):
+        async def run():
+            server = NetioServer(limits=TINY)
+            host, port = await server.start()
+            try:
+                client = NetioClient(
+                    make_controller("cubic", seed=1), bytes(1 << 20),
+                    impairment=ImpairmentProfile(delay=0.03, seed=1), seed=1)
+                task = asyncio.ensure_future(client.run(host, port,
+                                                        timeout=30.0))
+                assert await wait_until(
+                    lambda: server.live_sessions == 1, 5.0)
+                report = await server.drain(deadline=0.05)
+                assert report["forced"] == 1
+                with pytest.raises(TransferAbort) as info:
+                    await task
+                assert info.value.reason == f"rst:{RST_DRAIN_DEADLINE}"
+                stats = await server.serve_one(timeout=1.0)
+                assert stats.aborted == RST_DRAIN_DEADLINE
+                assert not stats.complete
+                assert stats.finished_at > stats.started_at
+            finally:
+                await server.close()
+
+        asyncio.run(run())
+
+
+# -- client-side fail-fast ---------------------------------------------------
+
+class TestClientAborts:
+    def test_rst_aborts_within_two_rtos(self):
+        async def run():
+            transport, _, host, port = await start_scripted(
+                rst_reason="no-session")
+            loop = asyncio.get_running_loop()
+            try:
+                client = NetioClient(make_controller("cubic", seed=1),
+                                     bytes(100_000), seed=1)
+                start = loop.time()
+                with pytest.raises(TransferAbort) as info:
+                    await client.run(host, port, timeout=30.0)
+                elapsed = loop.time() - start
+                assert info.value.reason == f"rst:{RST_NO_SESSION}"
+                # Fail-fast budget: well under 2x the (1 s initial) RTO,
+                # nowhere near the 30 s wall clock.
+                assert elapsed < 2.0
+            finally:
+                transport.close()
+
+        asyncio.run(run())
+
+    def test_consecutive_rto_give_up(self):
+        async def run():
+            # ACK exactly one packet (establishing a tiny RTO), then
+            # vanish: the client must abort, not grind the wall clock.
+            transport, _, host, port = await start_scripted(ack_first=1)
+            try:
+                client = NetioClient(make_controller("cubic", seed=1),
+                                     bytes(200_000), seed=1,
+                                     max_consecutive_rtos=3)
+                with pytest.raises(TransferAbort) as info:
+                    await client.run(host, port, timeout=30.0)
+                assert info.value.reason == "rto-exhausted"
+                assert info.value.details["consecutive_rtos"] >= 3
+            finally:
+                transport.close()
+
+        asyncio.run(run())
+
+    def test_handshake_retry_budget(self, monkeypatch):
+        from repro.netio import transport as transport_mod
+
+        monkeypatch.setattr(transport_mod, "CONTROL_RETRIES", 2)
+        monkeypatch.setattr(transport_mod, "CONTROL_TIMEOUT", 0.05)
+
+        async def run():
+            # A bound socket that never answers: the handshake must stop
+            # after its retry budget with a structured reason.
+            loop = asyncio.get_running_loop()
+            sink, _ = await loop.create_datagram_endpoint(
+                asyncio.DatagramProtocol, local_addr=("127.0.0.1", 0))
+            host, port = sink.get_extra_info("sockname")[:2]
+            try:
+                client = NetioClient(make_controller("cubic", seed=1),
+                                     b"x" * 1000, seed=1)
+                with pytest.raises(TransferAbort) as info:
+                    await client.run(host, port, timeout=30.0)
+                assert info.value.reason == "handshake-timeout"
+            finally:
+                sink.close()
+
+        asyncio.run(run())
+
+    def test_abort_recorded_in_telemetry(self):
+        from repro.telemetry import Recorder
+
+        async def run():
+            transport, _, host, port = await start_scripted(
+                rst_reason="draining")
+            recorder = Recorder()
+            try:
+                client = NetioClient(make_controller("cubic", seed=1),
+                                     bytes(50_000), seed=1,
+                                     recorder=recorder)
+                with pytest.raises(TransferAbort):
+                    await client.run(host, port, timeout=30.0)
+            finally:
+                transport.close()
+            events = recorder.events("netio.abort")
+            assert len(events) == 1
+            assert events[0].fields["reason"] == f"rst:{RST_DRAINING}"
+
+        asyncio.run(run())
+
+    def test_abort_summary_is_json_ready(self):
+        abort = TransferAbort("boom", reason="rto-exhausted",
+                              consecutive_rtos=4)
+        summary = abort.summary()
+        assert summary["reason"] == "rto-exhausted"
+        assert summary["consecutive_rtos"] == 4
+        import json
+
+        json.dumps(summary)   # must serialize cleanly for the CLI
+
+    def test_bad_max_rtos_rejected(self):
+        with pytest.raises(ValueError):
+            NetioClient(make_controller("cubic"), b"x",
+                        max_consecutive_rtos=0)
+
+
+class TestSockErrors:
+    def test_counted_and_recorded_not_swallowed(self):
+        from repro.telemetry import Recorder
+
+        async def run():
+            recorder = Recorder()
+            server = NetioServer(limits=TINY, recorder=recorder)
+            host, port = await server.start()
+            peer = await open_peer(host, port)
+            try:
+                # What the datagram endpoint delivers on ICMP errors.
+                server._on_sock_error(ConnectionRefusedError("unreachable"))
+                peer.transport.sendto(syn())
+                await peer.reply()
+                server._on_sock_error(ConnectionRefusedError("unreachable"))
+                await wait_until(lambda: server.live_sessions == 0,
+                                 REAP_WAIT)
+                assert server.sock_errors == 2
+                events = recorder.events("netio.sock_error")
+                assert len(events) == 2
+                assert events[0].fields["error"] == "ConnectionRefusedError"
+                stats = await server.serve_one(timeout=1.0)
+                # Only the error during the session is attributed to it.
+                assert stats.sock_errors == 1
+                assert stats.summary()["sock_errors"] == 1
+            finally:
+                peer.transport.close()
+                await server.close()
+
+        asyncio.run(run())
+
+    def test_client_counter_in_result_summary(self):
+        from repro.netio import NetioResult
+
+        result = NetioResult(cca="cubic", bytes_total=10, bytes_acked=10.0,
+                             duration=1.0, sent_packets=1, acked_packets=1,
+                             lost_packets=0, retransmissions=0, srtt=0.1,
+                             min_rtt=0.1, avg_rtt=0.1, mi_reports=1,
+                             sock_errors=3)
+        assert result.summary()["sock_errors"] == 3
+
+
+class TestServerTelemetry:
+    def test_session_lifecycle_events_recorded(self):
+        from repro.telemetry import Recorder
+
+        async def run():
+            recorder = Recorder()
+            server = NetioServer(limits=TINY, recorder=recorder)
+            host, port = await server.start()
+            peer = await open_peer(host, port)
+            try:
+                peer.transport.sendto(syn())
+                await peer.reply()
+                await wait_until(lambda: server.live_sessions == 0,
+                                 REAP_WAIT)
+            finally:
+                peer.transport.close()
+                await server.close()
+            assert len(recorder.events("netio.session_open")) == 1
+            assert len(recorder.events("netio.session_expired")) == 1
+            assert len(recorder.events("netio.rst")) == 1
+            closes = recorder.events("netio.session_close")
+            assert len(closes) == 1
+            assert closes[0].fields["aborted"] == RST_IDLE_EXPIRED
+
+        asyncio.run(run())

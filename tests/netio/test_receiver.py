@@ -80,6 +80,44 @@ class TestDuplicates:
         assert rx.delivered_bytes == 0
 
 
+class TestBufferCap:
+    def test_out_of_order_drop_at_cap(self):
+        rx = SRReceiver(max_buffer_bytes=25)
+        rx.on_data(data(2))
+        rx.on_data(data(3))              # 20 bytes held
+        result = rx.on_data(data(4))     # +10 would breach the 25-byte cap
+        assert result.dropped and not result.duplicate
+        assert result.delivered == []
+        assert rx.buffer_drops == 1
+        assert rx.buffered_bytes == 20
+        # The dropped packet was not acked in any form: no SACK coverage.
+        assert result.sack_blocks == ((2, 4),)
+
+    def test_in_order_always_passes(self):
+        rx = SRReceiver(max_buffer_bytes=5)   # cap below one payload
+        result = rx.on_data(data(0))
+        assert not result.dropped
+        assert result.delivered == [b"0123456789"]
+
+    def test_buffered_bytes_released_on_fill(self):
+        rx = SRReceiver(max_buffer_bytes=100)
+        rx.on_data(data(1))
+        rx.on_data(data(2))
+        assert rx.buffered_bytes == 20
+        rx.on_data(data(0))              # repairs the hole, releases all
+        assert rx.buffered_bytes == 0
+
+    def test_dropped_packet_accepted_after_release(self):
+        rx = SRReceiver(max_buffer_bytes=10)
+        rx.on_data(data(1))              # held, at cap
+        dropped = rx.on_data(data(2))    # refused
+        assert dropped.dropped
+        rx.on_data(data(0))              # release 0..1, buffer empties
+        retry = rx.on_data(data(2))      # the ARQ's retransmission lands
+        assert not retry.dropped
+        assert rx.released_bytes == 30
+
+
 class TestWrap:
     def test_release_across_ring_boundary(self):
         rx = SRReceiver(initial_seq=SEQ_MOD - 2)

@@ -10,8 +10,8 @@ import asyncio
 
 import pytest
 
-from repro.netio import (ImpairmentProfile, NetioServer, TransferTimeout,
-                         send_payload)
+from repro.netio import (ImpairmentProfile, NetioServer, TransferAbort,
+                         TransferTimeout, send_payload)
 from repro.registry import make_controller
 from repro.telemetry import Recorder, validate_jsonl, write_jsonl
 
@@ -117,10 +117,12 @@ class TestFailurePaths:
     def test_timeout_when_no_server(self):
         async def run():
             # Reserved port with no listener: handshake cannot complete.
+            # Either the wall clock (TransferTimeout) or the handshake
+            # retry budget (TransferAbort) gives up first.
             await send_payload("127.0.0.1", 9, make_controller("cubic"),
                                b"x" * 1000, timeout=1.5)
 
-        with pytest.raises((TransferTimeout, OSError)):
+        with pytest.raises((TransferTimeout, TransferAbort, OSError)):
             asyncio.run(run())
 
     def test_mss_validated(self):

@@ -144,6 +144,37 @@ class TestServeSend:
         out = capsys.readouterr().out
         assert "Commands:" in out
         assert "serve" in out and "send" in out
+        assert "chaos" in out and "soak" in out
+
+    def test_serve_drains_gracefully_on_sigterm(self):
+        import signal
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve"],
+            stdout=subprocess.PIPE, text=True, env=env)
+        try:
+            line = proc.stdout.readline()
+            assert line.startswith("netio: listening on "), line
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=10) == 0
+            assert "netio: drained" in proc.stdout.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+    def test_serve_rejects_bad_limits(self, capsys):
+        assert main(["serve", "--max-sessions", "0"]) == 2
+        assert "bad server limits" in capsys.readouterr().err
+
+
+class TestChaosCLI:
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["chaos", "--scenario", "nope"]) == 2
+        assert "unknown chaos scenario" in capsys.readouterr().err
 
 
 class TestExperiment:
