@@ -14,6 +14,9 @@ Usage:
         --loss 0.02 --delay 20                 # real-socket transfer
     python -m repro chaos --seed 1             # chaos-test the serving path
     python -m repro experiment soak            # full chaos suite as a table
+    python -m repro run c-libra --sanitize     # run with invariant checks on
+    python -m repro replay failure-….json      # re-execute a captured failure
+    python -m repro diff --cca c-libra --scenario wired-48 # differential oracle
 """
 
 from __future__ import annotations
@@ -53,14 +56,19 @@ COMMANDS = {
     "serve": "reliable-UDP receive endpoint (real sockets)",
     "send": "reliable-UDP transfer driven by a CCA (real sockets)",
     "chaos": "run seeded fault scenarios against a real netio server",
+    "replay": "re-execute a captured failure bundle with sanitizers on",
+    "diff": "run one job under two configurations and diff the metrics",
 }
 
 
 def cmd_list(_args) -> int:
     from .registry import available_ccas
 
+    from .scenarios.presets import named_presets
+
     print("CCAs:", ", ".join(available_ccas()))
     print("Experiments:", ", ".join(sorted(set(EXPERIMENT_MODULES))))
+    print("Scenarios:", ", ".join(sorted(named_presets())))
     print("Commands:", ", ".join(sorted(COMMANDS)))
     return 0
 
@@ -92,18 +100,41 @@ def _print_headline(args, result) -> None:
           f"loss={flow.loss_rate:.2%}")
 
 
+def _make_sanitizer(args):
+    """``--sanitize`` support: a fresh sanitizer, or ``None`` when off."""
+    from .sanitize import SimSanitizer
+
+    return SimSanitizer() if getattr(args, "sanitize", False) else None
+
+
+def _print_sanitizer(sanitizer) -> None:
+    if sanitizer is not None:
+        print(f"sanitize: {sanitizer.audits} audits, "
+              f"{sanitizer.checks} checks, "
+              f"{sanitizer.violations} violations")
+
+
 def cmd_run(args) -> int:
-    result = _build_single_flow(args).run(args.duration)
+    from .sanitize import activate
+
+    sanitizer = _make_sanitizer(args)
+    with activate(sanitizer):
+        result = _build_single_flow(args).run(args.duration)
     _print_headline(args, result)
+    _print_sanitizer(sanitizer)
     return 0
 
 
 def cmd_trace(args) -> int:
     """Run one traced flow, pretty-print the trace, optionally export it."""
+    from .sanitize import activate
     from .telemetry import (Recorder, format_summary, write_csv, write_jsonl)
 
     recorder = Recorder()
-    result = _build_single_flow(args, recorder=recorder).run(args.duration)
+    sanitizer = _make_sanitizer(args)
+    with activate(sanitizer):
+        result = _build_single_flow(args, recorder=recorder).run(args.duration)
+    _print_sanitizer(sanitizer)
     telemetry = result.telemetry
     _print_headline(args, result)
     if args.out:
@@ -293,8 +324,11 @@ def cmd_serve(args) -> int:
             stop_wait.cancel()
             await server.close()
 
+    from .sanitize import activate
+
     try:
-        return asyncio.run(serve())
+        with activate(_make_sanitizer(args)):
+            return asyncio.run(serve())
     except KeyboardInterrupt:
         return 0
 
@@ -319,15 +353,19 @@ def cmd_send(args) -> int:
         jitter=args.jitter / 1000.0, reorder_probability=args.reorder,
         reorder_extra=args.reorder_extra / 1000.0, ack_loss=args.ack_loss,
         seed=args.impair_seed)
+    from .sanitize import activate
+
     recorder = Recorder() if args.out or args.trace_summary else None
     controller = make_controller(args.cca, seed=args.seed)
     payload = bytes(args.bytes)
+    sanitizer = _make_sanitizer(args)
     try:
-        result = asyncio.run(send_payload(
-            host, int(port_text), controller, payload, mss=args.mss,
-            impairment=profile, seed=args.impair_seed, recorder=recorder,
-            timeout=args.timeout, initial_seq=args.isn, cca_name=args.cca,
-            max_consecutive_rtos=args.max_rtos))
+        with activate(sanitizer):
+            result = asyncio.run(send_payload(
+                host, int(port_text), controller, payload, mss=args.mss,
+                impairment=profile, seed=args.impair_seed, recorder=recorder,
+                timeout=args.timeout, initial_seq=args.isn, cca_name=args.cca,
+                max_consecutive_rtos=args.max_rtos))
     except TransferAbort as exc:
         if args.json:
             print(json.dumps({"aborted": exc.summary()}, sort_keys=True))
@@ -343,6 +381,7 @@ def cmd_send(args) -> int:
         else:
             print(f"transfer timed out: {exc}", file=sys.stderr)
         return 3
+    _print_sanitizer(sanitizer)
     if args.json:
         print(json.dumps(result.summary(), sort_keys=True))
     else:
@@ -399,6 +438,79 @@ def cmd_chaos(args) -> int:
     return status
 
 
+def cmd_replay(args) -> int:
+    """Re-execute a captured failure bundle and report the verdict.
+
+    Exit status: 0 = the recorded exception was reproduced exactly,
+    2 = the replay raised a *different* exception (under forced
+    sanitizers, often an earlier invariant violation on the same root
+    cause), 1 = the replay completed without error.
+    """
+    import json
+
+    from .sanitize.replay import replay
+
+    try:
+        report = replay(args.bundle, sanitize=not args.no_sanitize)
+    except (OSError, ValueError) as exc:
+        print(f"cannot replay {args.bundle!r}: {exc}", file=sys.stderr)
+        return 3
+    if args.json:
+        print(json.dumps(report.to_json(), sort_keys=True))
+    else:
+        for warning in report.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        print(f"recorded:  {report.original_type}: "
+              f"{report.original_message}")
+        if report.replayed_type:
+            print(f"replayed:  {report.replayed_type}: "
+                  f"{report.replayed_message}")
+        else:
+            print("replayed:  (completed without error)")
+        print(f"verdict:   {report.verdict}"
+              + (f"  [{report.audits} sanitizer audits]"
+                 if report.sanitize else ""))
+        if report.verdict == "different-error" and report.replayed_traceback:
+            print(report.replayed_traceback, file=sys.stderr)
+    return {"reproduced": 0, "no-error": 1}.get(report.verdict, 2)
+
+
+def cmd_diff(args) -> int:
+    """Differential oracle: same job, two configurations, equal metrics."""
+    import json
+
+    from .parallel.jobs import single_flow_job
+    from .sanitize.diff import run_diff
+    from .scenarios.presets import named_presets
+
+    presets = named_presets()
+    if args.scenario not in presets:
+        print(f"unknown scenario {args.scenario!r}; choose from "
+              f"{', '.join(sorted(presets))}", file=sys.stderr)
+        return 2
+    job = single_flow_job(args.cca, presets[args.scenario], seed=args.seed,
+                          duration=args.duration)
+    modes = ("fork", "telemetry", "sanitize") if args.mode == "all" \
+        else (args.mode,)
+    status = 0
+    for mode in modes:
+        report = run_diff(job, mode=mode, tolerance=args.tolerance)
+        if args.json:
+            print(json.dumps(report.to_json(), sort_keys=True), flush=True)
+        else:
+            verdict = "EQUAL" if report.equal else \
+                f"DIVERGED on {len(report.discrepancies)} metric(s)"
+            print(f"{mode}: {report.label_a} vs {report.label_b} — "
+                  f"{verdict} ({len(report.fingerprint_a)} metrics, "
+                  f"tolerance {report.tolerance})", flush=True)
+            for note in report.notes:
+                print(f"  note: {note}")
+            for disc in report.discrepancies[:10]:
+                print(f"  {disc}")
+        status |= not report.equal
+    return status
+
+
 def main(argv=None) -> int:
     from . import __version__
 
@@ -421,6 +533,8 @@ def main(argv=None) -> int:
         p.add_argument("--seed", type=int, default=1)
         p.add_argument("--aqm", choices=("droptail", "codel"),
                        default="droptail")
+        p.add_argument("--sanitize", action="store_true",
+                       help="run with the runtime invariant layer on")
 
     run = sub.add_parser("run", help="run one flow through a bottleneck")
     add_flow_args(run)
@@ -530,6 +644,8 @@ def main(argv=None) -> int:
                             "transfers before force-resetting (default 15)")
     serve.add_argument("--out", default=None,
                        help="write server telemetry JSONL here on drain")
+    serve.add_argument("--sanitize", action="store_true",
+                       help="check rx-buffer invariants on every session")
 
     send = sub.add_parser("send", help=COMMANDS["send"])
     send.add_argument("target", help="server address as HOST:PORT")
@@ -572,6 +688,9 @@ def main(argv=None) -> int:
                       help="print the telemetry summary after the transfer")
     send.add_argument("--tail", type=int, default=10,
                       help="events shown by --trace-summary (0 disables)")
+    send.add_argument("--sanitize", action="store_true",
+                      help="check ARQ seq-ring invariants during the "
+                           "transfer")
 
     chaos = sub.add_parser("chaos", help=COMMANDS["chaos"])
     chaos.add_argument("--scenario", action="append", default=None,
@@ -584,6 +703,33 @@ def main(argv=None) -> int:
                        help="print one JSON report line per scenario")
     chaos.add_argument("--out", default=None,
                        help="write the combined chaos telemetry JSONL here")
+
+    replay = sub.add_parser("replay", help=COMMANDS["replay"])
+    replay.add_argument("bundle",
+                        help="repro bundle captured under $REPRO_FAILURES_DIR")
+    replay.add_argument("--no-sanitize", action="store_true",
+                        help="replay in the pristine configuration instead "
+                             "of forcing the invariant layer on")
+    replay.add_argument("--json", action="store_true",
+                        help="print a machine-readable verdict")
+
+    diff = sub.add_parser("diff", help=COMMANDS["diff"])
+    diff.add_argument("--cca", default="c-libra",
+                      help="controller name (default c-libra)")
+    diff.add_argument("--scenario", default="wired-48",
+                      help="scenario preset (default wired-48; see "
+                           "`repro list` scenarios)")
+    diff.add_argument("--seed", type=int, default=1)
+    diff.add_argument("--duration", type=float, default=None,
+                      help="simulated seconds (default: scenario default)")
+    diff.add_argument("--mode", default="all",
+                      choices=("all", "fork", "telemetry", "sanitize"),
+                      help="which configuration pair to compare "
+                           "(default: all)")
+    diff.add_argument("--tolerance", type=float, default=0.0,
+                      help="relative metric tolerance (default 0.0 = exact)")
+    diff.add_argument("--json", action="store_true",
+                      help="print one JSON report line per mode")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -600,6 +746,10 @@ def main(argv=None) -> int:
         return cmd_send(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "replay":
+        return cmd_replay(args)
+    if args.command == "diff":
+        return cmd_diff(args)
     return cmd_experiment(args)
 
 

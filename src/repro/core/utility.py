@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..sanitize import invariants as _sanitize
+
 
 @dataclass(frozen=True)
 class UtilityParams:
@@ -77,9 +79,13 @@ def utility(rate_mbps: float, rtt_gradient: float, loss_rate: float,
         raise ValueError("rate must be non-negative")
     x = rate_mbps
     scaled_gradient = max(0.0, rtt_gradient) * params.gradient_scale
-    return (params.alpha * x ** params.t
-            - params.beta * x * scaled_gradient
-            - params.gamma * x * loss_rate)
+    value = (params.alpha * x ** params.t
+             - params.beta * x * scaled_gradient
+             - params.gamma * x * loss_rate)
+    if _sanitize.ACTIVE is not None:
+        _sanitize.ACTIVE.check_utility(value, rate_mbps, rtt_gradient,
+                                       loss_rate)
+    return value
 
 
 def utility_derivative(rate_mbps: float, rtt_gradient: float, loss_rate: float,

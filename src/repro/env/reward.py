@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..sanitize import invariants as _sanitize
 from .features import Measurement, Normalizer
 
 #: the paper's default reward weights (Sec. 5 Setup)
@@ -47,6 +48,8 @@ class RewardFunction:
 
     def __call__(self, m: Measurement, norm: Normalizer) -> float:
         r = self.raw(m, norm)
+        if _sanitize.ACTIVE is not None:
+            _sanitize.ACTIVE.check_reward(r)
         if not self.config.use_delta:
             self._prev_r = r
             return r

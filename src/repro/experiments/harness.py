@@ -67,17 +67,22 @@ def summarize(cca: str, scenario_name: str, result: RunResult,
 
 def run_single(cca: str, scenario: Scenario, seed: int = 0,
                duration: float | None = None, strict: bool = True,
-               telemetry: bool = False, **cca_kwargs) -> FlowSummary | FailedRun:
+               telemetry: bool = False, sanitize: bool = False,
+               **cca_kwargs) -> FlowSummary | FailedRun:
     """Run one flow of ``cca`` through ``scenario`` and summarize it.
 
     With ``strict=False`` a controller/simulator exception is converted
     into a structured :class:`~repro.parallel.FailedRun` instead of
     propagating, so a sweep loop can note the failure and keep going.
     With ``telemetry=True`` the summary's :attr:`FlowSummary.telemetry`
-    carries the run's structured trace.
+    carries the run's structured trace.  With ``sanitize=True`` the run
+    executes under the :mod:`repro.sanitize` invariant layer — any
+    conservation or signal-sanity breach raises (or, under
+    ``strict=False``, becomes the run's failure).
     """
     job = single_flow_job(cca, scenario, seed=seed, duration=duration,
-                          telemetry=telemetry, **cca_kwargs)
+                          telemetry=telemetry, sanitize=sanitize,
+                          **cca_kwargs)
     jr = execute(job, capture_errors=not strict)
     if jr.failure is not None:
         return jr.failure

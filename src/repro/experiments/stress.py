@@ -13,10 +13,11 @@ the 40 Mbps / 60 ms stress link and reports, per (profile, CCA):
 - failures, collected as structured ``FailedRun`` entries instead of
   aborting the sweep (``on_error="collect"``).
 
-``main()`` ends with a self-test that runs the deliberately-crashing
-``crash-test`` controller and asserts the failure surfaces as a
-:class:`~repro.parallel.FailedRun` — the degradation path stays
-exercised on every CI run.
+``main()`` ends with two self-tests: the deliberately-crashing
+``crash-test`` controller must surface as a structured
+:class:`~repro.parallel.FailedRun`, and the differential oracle must
+report sanitize-off vs. sanitize-on metric equality on a faulted run —
+both degradation paths stay exercised on every CI run.
 """
 
 from __future__ import annotations
@@ -68,13 +69,17 @@ def _impaired_goodput_mbps(result, schedule) -> float | None:
 
 
 def run_stress(ccas=STRESS_CCAS, profiles=STRESS_PROFILES, seeds=(1, 2),
-               duration: float = STRESS_DURATION) -> dict:
+               duration: float = STRESS_DURATION,
+               sanitize: bool = False) -> dict:
     """Sweep ``ccas`` × ``profiles`` × ``seeds``; aggregate per cell.
 
     Returns ``{profile: {cca: row}}`` where ``row`` has ``utilization``,
     ``impaired_goodput_mbps``, ``recovery_s`` (each ``None`` when not
     applicable), ``failures`` (list of :class:`FailedRun`), and ``runs``
-    (count of successful runs).
+    (count of successful runs).  With ``sanitize=True`` every run
+    executes under the :mod:`repro.sanitize` invariant layer, so a fault
+    profile that breaks packet conservation surfaces as a failure rather
+    than a silently wrong row.
     """
     jobs, meta = [], []
     scenarios = {p: stress_scenario(p) for p in profiles}
@@ -82,7 +87,8 @@ def run_stress(ccas=STRESS_CCAS, profiles=STRESS_PROFILES, seeds=(1, 2),
         for cca in ccas:
             for seed in seeds:
                 jobs.append(single_flow_job(cca, scenarios[profile],
-                                            seed=seed, duration=duration))
+                                            seed=seed, duration=duration,
+                                            sanitize=sanitize))
                 meta.append((profile, cca))
     summaries = run_grid(jobs, on_error="collect", label="stress")
 
@@ -141,6 +147,21 @@ def run_failure_selftest() -> FailedRun:
     return summary
 
 
+def run_diff_selftest():
+    """Differential oracle spot-check on the stress link.
+
+    Runs one faulted stress job under sanitizers off vs. on and demands
+    exact metric equality — the invariant layer must observe, never
+    perturb.  Returns the :class:`~repro.sanitize.diff.DiffReport`;
+    raises :class:`~repro.sanitize.diff.DifferentialMismatch` on drift.
+    """
+    from ..sanitize.diff import run_diff
+
+    job = single_flow_job("c-libra", stress_scenario("burst-loss"),
+                          seed=1, duration=4.0)
+    return run_diff(job, mode="sanitize").raise_if_unequal()
+
+
 def _fmt(value, suffix: str = "") -> str:
     if value is None:
         return "-"
@@ -169,6 +190,9 @@ def main() -> None:
                 print(f"  {failure}")
     failed = run_failure_selftest()
     print(f"failure-collection selftest: captured {failed}")
+    diff = run_diff_selftest()
+    print(f"diff-oracle selftest: sanitize-off vs sanitize-on EQUAL "
+          f"({len(diff.fingerprint_a)} metrics)")
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..sanitize import invariants as _sanitize
 from .framing import MAX_SACK_BLOCKS, SEQ_MOD, AckPacket, seq_add, seq_dist
 
 #: SACKed packets past a hole before the hole is declared lost — the
@@ -93,6 +94,11 @@ class SRSender:
         #: RTO firings since the last ACK that acked anything — the
         #: transport's give-up policy reads this to decide the peer is gone
         self.consecutive_rtos = 0
+        # Invariant layer: captured once at construction (same pattern
+        # as the simulator's endpoints); ``None`` keeps the ACK path at
+        # one attribute check.
+        self.sanitizer = _sanitize.ACTIVE
+        self._acks_since_audit = 0
 
     # -- sending ----------------------------------------------------------
 
@@ -147,6 +153,12 @@ class SRSender:
         """Apply one ACK; returns the newly acked / newly lost packets."""
         outcome = AckOutcome()
         self.last_ack_time = now
+        if self.sanitizer is not None:
+            self.sanitizer.check_ack_window(self, ack)
+            self._acks_since_audit += 1
+            if self._acks_since_audit >= self.sanitizer.AUDIT_EVERY:
+                self._acks_since_audit = 0
+                self.sanitizer.audit_tx(self)
 
         # Cumulative part: everything before cum_ack is delivered.  A
         # cum_ack "behind" base (a reordered old ACK) wraps to a huge

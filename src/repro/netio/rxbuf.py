@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..sanitize import invariants as _sanitize
 from .framing import MAX_SACK_BLOCKS, DataPacket, seq_add, seq_dist
 
 
@@ -52,9 +53,17 @@ class SRReceiver:
         self.released_bytes = 0.0      # payload bytes released in order
         self.received_packets = 0
         self.duplicate_packets = 0
+        # Invariant layer: captured at construction, None = disabled.
+        self.sanitizer = _sanitize.ACTIVE
+        self._packets_since_audit = 0
 
     def on_data(self, packet: DataPacket) -> RxResult:
         self.received_packets += 1
+        if self.sanitizer is not None:
+            self._packets_since_audit += 1
+            if self._packets_since_audit >= self.sanitizer.AUDIT_EVERY:
+                self._packets_since_audit = 0
+                self.sanitizer.audit_rx(self)
         seq = packet.seq
         delivered: list[bytes] = []
         dropped = False

@@ -406,6 +406,10 @@ class NetioServer:
             session = self._sessions.pop(addr, None)
             if session is not None:
                 self._wheel.cancel(addr)
+                if session.rx.sanitizer is not None:
+                    # Teardown audit: the reorder buffer must balance
+                    # before the session's accounting is frozen.
+                    session.rx.sanitizer.audit_rx(session.rx)
                 stats = session.stats
                 expected = stats.meta.get("bytes")
                 complete = expected is None or \
@@ -670,6 +674,9 @@ class NetioClient:
             now = clock.now()
             self._apply_outcome(arq.check_timeouts(now), now, timeout=True)
             if arq.done(self._all_queued()):
+                if arq.sanitizer is not None:
+                    # Completion audit: the whole transfer must balance.
+                    arq.sanitizer.audit_tx(arq)
                 return
             sent_bytes = 0
             if now >= next_send_time and \

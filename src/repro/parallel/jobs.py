@@ -62,6 +62,13 @@ class Job:
     in :func:`canonical_spec`, so telemetry-bearing results live under a
     schema-versioned cache key — enabling tracing (or bumping the
     schema) can never serve a stale scalar-only cache hit.
+
+    ``sanitize`` switches the :mod:`repro.sanitize` invariant layer on
+    for the run (1) or leaves it off (0, the default).  Like telemetry
+    it is a regular field, so sanitized results live under their own
+    cache key.  The ``REPRO_SANITIZE`` environment variable forces the
+    layer on regardless of the field — it is read inside :meth:`run`,
+    so fork-pool children inherit the override.
     """
 
     scenario: Scenario
@@ -69,12 +76,15 @@ class Job:
     seed: int = 0
     duration: float | None = None
     telemetry: int = 0
+    sanitize: int = 0
 
     def __post_init__(self) -> None:
         if not self.flows:
             raise ValueError("a job needs at least one flow")
         if self.telemetry < 0:
             raise ValueError("telemetry must be 0 (off) or a schema version")
+        if self.sanitize not in (0, 1):
+            raise ValueError("sanitize must be 0 (off) or 1 (on)")
 
     @property
     def effective_duration(self) -> float:
@@ -88,8 +98,20 @@ class Job:
         return dataclasses.replace(
             self, telemetry=SCHEMA_VERSION if enabled else 0)
 
+    def with_sanitize(self, enabled: bool = True) -> "Job":
+        """A copy of this job with the invariant layer on (or off)."""
+        return dataclasses.replace(self, sanitize=1 if enabled else 0)
+
     def run(self) -> RunResult:
         """Execute the simulation in-process and return its result."""
+        from ..sanitize import invariants as _sanitize
+
+        if self.sanitize or _sanitize.env_forced():
+            with _sanitize.activate(_sanitize.SimSanitizer()):
+                return self._run()
+        return self._run()
+
+    def _run(self) -> RunResult:
         recorder = None
         if self.telemetry:
             from ..telemetry import Recorder
@@ -104,10 +126,10 @@ class Job:
 
 def single_flow_job(cca: str, scenario: Scenario, seed: int = 0,
                     duration: float | None = None, telemetry: bool = False,
-                    **cca_kwargs) -> Job:
+                    sanitize: bool = False, **cca_kwargs) -> Job:
     """The ``run_single``-shaped job: one flow, flow seed = network seed."""
     job = Job(scenario=scenario, flows=(FlowSpec.make(cca, **cca_kwargs),),
-              seed=seed, duration=duration)
+              seed=seed, duration=duration, sanitize=1 if sanitize else 0)
     return job.with_telemetry() if telemetry else job
 
 
@@ -127,6 +149,9 @@ class FailedRun:
     seed: int
     error: str
     traceback: str = ""
+    #: path of the on-disk repro bundle (``repro replay <bundle>``);
+    #: empty when ``$REPRO_FAILURES_DIR`` capture is off
+    bundle: str = ""
 
     #: sentinel mirrored by FlowSummary so tables can branch uniformly
     failed = True
@@ -148,8 +173,11 @@ class FailedRun:
                    error=repr(exc), traceback=tb)
 
     def __str__(self) -> str:
-        return (f"FAILED {self.cca} @ {self.scenario} seed={self.seed}: "
+        text = (f"FAILED {self.cca} @ {self.scenario} seed={self.seed}: "
                 f"{self.error}")
+        if self.bundle:
+            text += f"\n  repro bundle: {self.bundle}"
+        return text
 
 
 @dataclass
@@ -179,13 +207,20 @@ def execute(job: Job, capture_errors: bool = False) -> JobResult:
     try:
         result = job.run()
     except Exception as exc:
-        if not capture_errors:
-            raise
         import traceback as _traceback
 
+        from ..sanitize.replay import maybe_write_bundle
+
+        tb = _traceback.format_exc()
+        # Capture the repro bundle on both paths: a raising sweep should
+        # still leave its evidence behind when $REPRO_FAILURES_DIR is set.
+        bundle = maybe_write_bundle(job, exc, tb)
+        if not capture_errors:
+            raise
+        failure = FailedRun.from_job(job, exc, tb)
+        failure.bundle = bundle
         return JobResult(result=None, elapsed=time.perf_counter() - t0,
-                         failure=FailedRun.from_job(
-                             job, exc, _traceback.format_exc()))
+                         failure=failure)
     return JobResult(result=result, elapsed=time.perf_counter() - t0)
 
 

@@ -216,10 +216,12 @@ def _run_parallel(jobs, pending, results, workers, cache, timeout, retries,
                     payload.retries = slot.attempts
                     reap(conn, slot)
                     if payload.failure is not None and on_error == "raise":
+                        bundle = payload.failure.bundle
                         raise JobFailedError(
                             f"job {slot.index} ({_describe(slot.job)}) raised "
                             f"{payload.failure.error}\n"
-                            f"{payload.failure.traceback}")
+                            + (f"repro bundle: {bundle}\n" if bundle else "")
+                            + f"{payload.failure.traceback}")
                     _finish(slot.index, slot.job, payload, results, cache,
                             progress)
                 elif isinstance(payload, _ChildError):

@@ -1,0 +1,25 @@
+"""Runtime sanitizers, deterministic failure replay, differential oracle.
+
+Three tools, one goal: make silent corruption loud so the perf refactors
+on the roadmap can land without changing results.
+
+- :mod:`repro.sanitize.invariants` — opt-in invariant layer (packet and
+  byte conservation, queue occupancy, time monotonicity, finite-signal
+  checks, seq-ring safety) with zero overhead when disabled;
+- :mod:`repro.sanitize.replay` — on-disk repro bundles for failed jobs
+  and the ``repro replay`` CLI that re-executes them;
+- :mod:`repro.sanitize.diff` — the differential oracle behind
+  ``repro diff`` (serial vs. fork, telemetry on vs. off, engine A/B).
+"""
+
+from .errors import EventBudgetExceeded, InvariantViolation
+from .invariants import ACTIVE, SimSanitizer, activate, current
+
+__all__ = [
+    "ACTIVE",
+    "EventBudgetExceeded",
+    "InvariantViolation",
+    "SimSanitizer",
+    "activate",
+    "current",
+]

@@ -1,0 +1,215 @@
+"""Differential oracle: one job, two configurations, identical metrics.
+
+The repo's execution guarantees are strong — fork-pool results are
+byte-identical to serial ones, and telemetry must never perturb the run
+it observes.  This module makes those guarantees *checkable*: it runs
+the same :class:`~repro.parallel.jobs.Job` under two configurations,
+reduces each :class:`~repro.simnet.network.RunResult` to a metric
+fingerprint, and asserts the fingerprints agree within a tolerance
+(default ``0.0`` — exact, because the guarantees are exact).
+
+Built-in modes (``repro diff --mode ...``):
+
+- ``fork`` — in-process serial execution vs. one fork-pool child;
+- ``telemetry`` — telemetry off vs. on (same seeds, recorder attached);
+- ``sanitize`` — sanitizers off vs. on (checks must observe, not perturb).
+
+:func:`diff_jobs` compares two arbitrary jobs, which is the
+forward-looking hook for engine A vs. engine B equivalence once the
+vectorized core (ROADMAP item 1) lands: build the same scenario against
+both engines and demand equal fingerprints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: fingerprint fields whose disagreement we report per flow
+_FLOW_FIELDS = ("delivered_bytes", "sent_packets", "acked_packets",
+                "lost_packets", "rtt_sum", "rtt_count", "min_rtt", "max_rtt")
+
+#: run-level fingerprint fields
+_RUN_FIELDS = ("duration", "link_served_bytes", "link_capacity_bytes",
+               "link_dropped_packets", "link_random_drops")
+
+
+def metric_fingerprint(result) -> dict:
+    """Reduce a :class:`RunResult` to a flat {metric: number} dict.
+
+    Only run-semantics metrics participate — telemetry artifacts,
+    controller objects and service logs are observability payloads, not
+    results, so the ``telemetry`` mode compares what must be invariant.
+    """
+    fp = {}
+    for name in _RUN_FIELDS:
+        fp[name] = float(getattr(result, name))
+    for stats in result.flows:
+        prefix = f"flow{stats.flow_id}."
+        for name in _FLOW_FIELDS:
+            fp[prefix + name] = float(getattr(stats, name))
+    fp["queue_samples"] = float(len(result.queue_samples))
+    if result.queue_samples:
+        fp["queue_bytes_sum"] = float(sum(b for _, b in result.queue_samples))
+    return fp
+
+
+@dataclass
+class Discrepancy:
+    """One fingerprint metric on which the two runs disagree."""
+
+    metric: str
+    value_a: float
+    value_b: float
+
+    def __str__(self) -> str:
+        return f"{self.metric}: {self.value_a!r} != {self.value_b!r}"
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one differential comparison."""
+
+    mode: str
+    label_a: str
+    label_b: str
+    tolerance: float
+    discrepancies: list = field(default_factory=list)
+    fingerprint_a: dict = field(default_factory=dict)
+    fingerprint_b: dict = field(default_factory=dict)
+    notes: list = field(default_factory=list)
+
+    @property
+    def equal(self) -> bool:
+        return not self.discrepancies
+
+    def to_json(self) -> dict:
+        return {"mode": self.mode, "a": self.label_a, "b": self.label_b,
+                "tolerance": self.tolerance, "equal": self.equal,
+                "metrics_compared": len(self.fingerprint_a),
+                "discrepancies": [{"metric": d.metric, "a": d.value_a,
+                                   "b": d.value_b}
+                                  for d in self.discrepancies],
+                "notes": self.notes}
+
+    def raise_if_unequal(self) -> "DiffReport":
+        if not self.equal:
+            head = ", ".join(str(d) for d in self.discrepancies[:4])
+            raise DifferentialMismatch(
+                f"{self.label_a} vs {self.label_b} diverged on "
+                f"{len(self.discrepancies)} metric(s) "
+                f"(tolerance {self.tolerance}): {head}", report=self)
+        return self
+
+
+class DifferentialMismatch(AssertionError):
+    """Two configurations of the same job produced different metrics."""
+
+    def __init__(self, message: str, report: DiffReport | None = None):
+        super().__init__(message)
+        self.report = report
+
+
+def compare_fingerprints(fp_a: dict, fp_b: dict,
+                         tolerance: float = 0.0) -> list:
+    """All metrics where the fingerprints disagree beyond ``tolerance``.
+
+    ``tolerance`` is relative (``|a-b| <= tol * max(|a|, |b|, 1)``);
+    ``0.0`` demands exact equality, which is the contract for both
+    built-in modes.  A metric present in only one fingerprint is always
+    a discrepancy.
+    """
+    discrepancies = []
+    for metric in sorted(set(fp_a) | set(fp_b)):
+        if metric not in fp_a or metric not in fp_b:
+            discrepancies.append(Discrepancy(
+                metric, fp_a.get(metric, float("nan")),
+                fp_b.get(metric, float("nan"))))
+            continue
+        a, b = fp_a[metric], fp_b[metric]
+        if a == b:  # covers inf == inf; NaN falls through to the check
+            continue
+        if math.isnan(a) or math.isnan(b):
+            if not (math.isnan(a) and math.isnan(b)):
+                discrepancies.append(Discrepancy(metric, a, b))
+            continue
+        if abs(a - b) > tolerance * max(abs(a), abs(b), 1.0):
+            discrepancies.append(Discrepancy(metric, a, b))
+    return discrepancies
+
+
+def diff_results(result_a, result_b, mode: str, label_a: str, label_b: str,
+                 tolerance: float = 0.0) -> DiffReport:
+    """Compare two already-executed runs."""
+    fp_a = metric_fingerprint(result_a)
+    fp_b = metric_fingerprint(result_b)
+    return DiffReport(mode=mode, label_a=label_a, label_b=label_b,
+                      tolerance=tolerance,
+                      discrepancies=compare_fingerprints(fp_a, fp_b,
+                                                         tolerance),
+                      fingerprint_a=fp_a, fingerprint_b=fp_b)
+
+
+def diff_jobs(job_a, job_b, mode: str = "custom", label_a: str = "A",
+              label_b: str = "B", tolerance: float = 0.0) -> DiffReport:
+    """Run two jobs in-process and compare their fingerprints.
+
+    The engine-A-vs-engine-B hook: once an alternative simulation core
+    exists, point two otherwise-identical jobs at the two engines and
+    demand equality.
+    """
+    return diff_results(job_a.run(), job_b.run(), mode=mode,
+                        label_a=label_a, label_b=label_b,
+                        tolerance=tolerance)
+
+
+def run_diff(job, mode: str = "fork", tolerance: float = 0.0) -> DiffReport:
+    """Execute ``job`` under two configurations selected by ``mode``."""
+    if mode == "fork":
+        return _diff_fork(job, tolerance)
+    if mode == "telemetry":
+        return _diff_telemetry(job, tolerance)
+    if mode == "sanitize":
+        return _diff_sanitize(job, tolerance)
+    raise ValueError(f"unknown diff mode {mode!r}; "
+                     f"use 'fork', 'telemetry' or 'sanitize'")
+
+
+def _diff_fork(job, tolerance: float) -> DiffReport:
+    """Serial in-process execution vs. one fork-pool child."""
+    from ..parallel.jobs import execute
+    from ..parallel.pool import has_fork, run_jobs
+
+    serial = execute(job).result
+    forked = run_jobs([job], workers=2)[0].result
+    report = diff_results(serial, forked, mode="fork",
+                          label_a="serial", label_b="fork",
+                          tolerance=tolerance)
+    if not has_fork():
+        report.notes.append("fork unavailable on this platform — the "
+                            "'fork' leg ran serially too")
+    return report
+
+
+def _diff_telemetry(job, tolerance: float) -> DiffReport:
+    """Telemetry must observe the run, never perturb it."""
+    from ..parallel.jobs import execute
+
+    plain = execute(job.with_telemetry(False)).result
+    traced = execute(job.with_telemetry(True)).result
+    if traced.telemetry is None:
+        raise RuntimeError("traced leg produced no telemetry artifact")
+    return diff_results(plain, traced, mode="telemetry",
+                        label_a="telemetry-off", label_b="telemetry-on",
+                        tolerance=tolerance)
+
+
+def _diff_sanitize(job, tolerance: float) -> DiffReport:
+    """The invariant layer must observe the run, never perturb it."""
+    from ..parallel.jobs import execute
+
+    plain = execute(job.with_sanitize(False)).result
+    checked = execute(job.with_sanitize(True)).result
+    return diff_results(plain, checked, mode="sanitize",
+                        label_a="sanitize-off", label_b="sanitize-on",
+                        tolerance=tolerance)

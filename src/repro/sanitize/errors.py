@@ -1,0 +1,69 @@
+"""Structured invariant-violation errors.
+
+This module is import-light on purpose: it pulls in nothing from the
+rest of the package, so hot subsystems (:mod:`repro.simnet.engine`,
+:mod:`repro.netio.arq`) can raise structured errors without creating an
+import cycle with the sanitizer machinery that normally detects them.
+"""
+
+from __future__ import annotations
+
+
+class InvariantViolation(RuntimeError):
+    """A runtime invariant of the simulator or datapath was broken.
+
+    ``invariant`` is a stable machine-readable code (dotted, e.g.
+    ``simnet.conservation`` or ``netio.ack_beyond_sent``); tooling —
+    the replay CLI, the chaos harness, CI assertions — branches on it,
+    never on the message text.  ``context`` carries whatever state the
+    checking site had (counters, sequence numbers, simulation time), so
+    a violation is diagnosable from the exception alone.
+    """
+
+    def __init__(self, invariant: str, message: str, **context):
+        super().__init__(f"[{invariant}] {message}")
+        self.invariant = invariant
+        self.context = context
+
+    def summary(self) -> dict:
+        """Machine-readable form for JSON output and failure bundles."""
+        return {"invariant": self.invariant, "error": str(self),
+                "context": {k: repr(v) for k, v in self.context.items()}}
+
+
+class EventBudgetExceeded(InvariantViolation):
+    """The event loop processed more events than one call may consume.
+
+    Raised by :meth:`repro.simnet.engine.EventLoop.run_until` /
+    ``run_all`` when a run burns through its per-call event budget —
+    the signature of a zero-delay self-rescheduling timer.  ``callback``
+    names the event handler that was executing when the budget tripped
+    (for a runaway timer, that is the offender), ``events`` the number
+    of events the call processed and ``time`` the simulation clock at
+    the point of the overrun.  Subclasses :class:`RuntimeError` via
+    :class:`InvariantViolation`, so pre-existing ``except RuntimeError``
+    handling of runaway loops keeps working.
+    """
+
+    def __init__(self, events: int, time: float, callback: str):
+        super().__init__(
+            "engine.event_budget",
+            f"event loop exceeded {events} events at t={time:.6f} "
+            f"(last callback: {callback}) — suspect a zero-delay "
+            f"self-rescheduling timer",
+            events=events, time=time, callback=callback)
+        self.events = events
+        self.time = time
+        self.callback = callback
+
+
+def describe_callback(fn) -> str:
+    """Human-readable name of an event callback for error messages."""
+    qualname = getattr(fn, "__qualname__", None)
+    if qualname is None:
+        return repr(fn)
+    module = getattr(fn, "__module__", None)
+    owner = getattr(fn, "__self__", None)
+    if owner is not None:
+        return f"{type(owner).__name__}.{fn.__name__}"
+    return f"{module}.{qualname}" if module else qualname

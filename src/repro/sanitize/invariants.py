@@ -1,0 +1,384 @@
+"""Opt-in runtime invariant layer for the simulator and the datapath.
+
+A :class:`SimSanitizer` holds the per-run checking state.  It is wired
+the same way telemetry's recorder is: every instrumented component keeps
+a ``sanitizer`` attribute that is ``None`` by default, and each guarded
+hot-path site pays exactly one ``is not None`` attribute check when the
+layer is disabled (the structural tests in ``tests/sanitize`` assert
+that no sanitizer method — or even constructor — runs on an
+unsanitized run).  Pure-function sites that have no object to hang an
+attribute on (Eq. 1 utility, the RL reward) consult the module-level
+:data:`ACTIVE` slot instead, which costs one module-attribute load.
+
+Checks come in two flavours:
+
+- **per-event checks** — O(1) validations on the hot path (RTT/srtt
+  finiteness, event-time monotonicity, ack-window membership);
+- **audits** — O(state) conservation sweeps run at a bounded cadence
+  (the dumbbell's queue-sampling tick, every ``AUDIT_EVERY``-th netio
+  ACK) and once at the end of a run, re-deriving every cached counter
+  from first principles.
+
+A failed check raises :class:`~repro.sanitize.errors.InvariantViolation`
+with the full context; nothing is ever logged-and-ignored.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+
+from .errors import InvariantViolation
+
+#: the process-wide active sanitizer (``None`` = disabled); hot pure
+#: functions check this slot, components capture it at construction
+ACTIVE = None
+
+#: set (to anything but ``""``/``"0"``) to force sanitizers on for every
+#: job — honored inside ``Job.run`` so fork-pool children inherit it
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+
+def env_forced() -> bool:
+    """Whether :data:`SANITIZE_ENV` forces the layer on process-wide."""
+    return os.environ.get(SANITIZE_ENV, "") not in ("", "0")
+
+#: relative slack for floating-point byte accounting (bytes are sums of
+#: integer packet sizes stored in floats, so drift means a real bug;
+#: the epsilon only forgives representation noise)
+FLOAT_SLACK = 1e-6
+
+#: mod-2^16 ring distance, imported lazily on first use — importing
+#: :mod:`repro.netio.framing` at module load would cycle (netio imports
+#: this module), and a per-call import is measurable on the ACK path
+_seq_dist = None
+
+
+def _ring_dist():
+    global _seq_dist
+    if _seq_dist is None:
+        from ..netio.framing import seq_dist
+        _seq_dist = seq_dist
+    return _seq_dist
+
+
+def current():
+    """The active sanitizer, or ``None`` when the layer is disabled."""
+    return ACTIVE
+
+
+@contextmanager
+def activate(sanitizer: "SimSanitizer | None"):
+    """Install ``sanitizer`` as the process-wide active one for a block.
+
+    Components built inside the block capture it; pure-function check
+    sites see it immediately.  Passing ``None`` disables the layer for
+    the block (useful to replay a run in its pristine configuration).
+    """
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = sanitizer
+    try:
+        yield sanitizer
+    finally:
+        ACTIVE = previous
+
+
+class SimSanitizer:
+    """Runtime invariant checker for one simulation run or transfer.
+
+    One instance covers one logical run; counters (``audits``,
+    ``checks``) make a clean run's verdict reportable ("N audits, zero
+    violations") and let tests assert the layer actually executed.
+    """
+
+    #: netio ACK-path audits run every this many acknowledged packets
+    AUDIT_EVERY = 64
+
+    def __init__(self) -> None:
+        self.audits = 0
+        self.checks = 0
+        self.violations = 0
+
+    def fail(self, invariant: str, message: str, **context) -> None:
+        """Record and raise a structured violation."""
+        self.violations += 1
+        raise InvariantViolation(invariant, message, **context)
+
+    # -- scalar checks (hot path, O(1)) ---------------------------------
+
+    def check_finite(self, invariant: str, value: float,
+                     positive: bool = False, **context) -> None:
+        """``value`` must be finite (and ``> 0`` when ``positive``)."""
+        if not math.isfinite(value):
+            self.fail(invariant, f"non-finite value {value!r}",
+                      value=value, **context)
+        if positive and value <= 0:
+            self.fail(invariant, f"non-positive value {value!r}",
+                      value=value, **context)
+
+    def check_fraction(self, invariant: str, value: float, **context) -> None:
+        """``value`` must be a finite fraction in ``[0, 1]``."""
+        if not (math.isfinite(value) and 0.0 <= value <= 1.0):
+            self.fail(invariant, f"value {value!r} outside [0, 1]",
+                      value=value, **context)
+
+    def check_event_time(self, event_time: float, now: float, fn) -> None:
+        """Event-loop time must never run backwards."""
+        if event_time < now:
+            from .errors import describe_callback
+
+            self.fail("engine.time_monotonicity",
+                      f"event scheduled at t={event_time!r} fired after the "
+                      f"clock already reached t={now!r}",
+                      event_time=event_time, now=now,
+                      callback=describe_callback(fn))
+
+    def check_ack_sample(self, flow_id: int, rtt: float, srtt: float,
+                         inflight_bytes: float, delivery_rate: float,
+                         now: float) -> None:
+        """Per-ACK signal sanity: the values every controller consumes."""
+        if not (math.isfinite(rtt) and rtt > 0.0):
+            self.fail("simnet.rtt_sample", f"non-positive/non-finite RTT "
+                      f"sample {rtt!r}", flow=flow_id, rtt=rtt, now=now)
+        if not (math.isfinite(srtt) and srtt > 0.0):
+            self.fail("simnet.srtt", f"non-positive/non-finite srtt "
+                      f"{srtt!r}", flow=flow_id, srtt=srtt, now=now)
+        if not (math.isfinite(inflight_bytes) and inflight_bytes >= 0.0):
+            self.fail("simnet.inflight", f"negative/non-finite inflight "
+                      f"{inflight_bytes!r}", flow=flow_id,
+                      inflight_bytes=inflight_bytes, now=now)
+        if not (math.isfinite(delivery_rate) and delivery_rate >= 0.0):
+            self.fail("simnet.delivery_rate", f"negative/non-finite delivery "
+                      f"rate {delivery_rate!r}", flow=flow_id,
+                      delivery_rate=delivery_rate, now=now)
+
+    def check_rate(self, invariant: str, rate: float, **context) -> None:
+        """Pacing/sending rates must be finite and positive."""
+        if not (math.isfinite(rate) and rate > 0.0):
+            self.fail(invariant, f"non-positive/non-finite rate {rate!r}",
+                      rate=rate, **context)
+
+    def check_interval_report(self, flow_id: int, report) -> None:
+        """Monitor-interval report sanity (what Eq. 1 consumes)."""
+        if not (math.isfinite(report.throughput) and report.throughput >= 0):
+            self.fail("simnet.mi_throughput",
+                      f"bad MI throughput {report.throughput!r}",
+                      flow=flow_id, throughput=report.throughput,
+                      now=report.now)
+        self.check_fraction("simnet.mi_loss_rate", report.loss_rate,
+                            flow=flow_id, now=report.now)
+        if not math.isfinite(report.rtt_gradient):
+            self.fail("simnet.mi_gradient",
+                      f"non-finite RTT gradient {report.rtt_gradient!r}",
+                      flow=flow_id, now=report.now)
+
+    def check_utility(self, value: float, rate_mbps: float,
+                      rtt_gradient: float, loss_rate: float) -> None:
+        """Eq. 1 terms and output must be finite."""
+        if not math.isfinite(value):
+            self.fail("core.utility", f"non-finite utility {value!r}",
+                      utility=value, rate_mbps=rate_mbps,
+                      rtt_gradient=rtt_gradient, loss_rate=loss_rate)
+
+    def check_reward(self, value: float) -> None:
+        """RL reward values must be finite."""
+        if not math.isfinite(value):
+            self.fail("env.reward", f"non-finite reward {value!r}",
+                      reward=value)
+
+    # -- simnet audits (bounded cadence, O(state)) ----------------------
+
+    def audit_queue(self, queue, now: float = 0.0) -> None:
+        """Occupancy counter must match the packets actually held and
+        never exceed the configured capacity."""
+        self.audits += 1
+        held = sum(p.size for p in queue.iter_packets())
+        if abs(queue.bytes - held) > FLOAT_SLACK * max(held, 1.0):
+            self.fail("simnet.queue_accounting",
+                      f"queue.bytes={queue.bytes!r} but held packets sum to "
+                      f"{held!r}", bytes=queue.bytes, held=held, now=now)
+        if queue.bytes > queue.capacity_bytes:
+            self.fail("simnet.queue_capacity",
+                      f"queue occupancy {queue.bytes!r} exceeds capacity "
+                      f"{queue.capacity_bytes!r}", bytes=queue.bytes,
+                      capacity=queue.capacity_bytes, now=now)
+        self.checks += 2
+
+    def audit_link(self, link) -> None:
+        """Per-link packet conservation: every packet offered to the link
+        is accounted for exactly once —
+
+        ``arrived == random drops + fault drops + queue drops
+        + served + in queue``.
+        """
+        self.audits += 1
+        queued = len(link.queue)
+        accounted = (link.random_drops + link.fault_drops
+                     + link.queue.dropped_packets + link.served_packets
+                     + queued)
+        if link.arrived_packets != accounted:
+            self.fail("simnet.conservation",
+                      f"link saw {link.arrived_packets} packets but accounts "
+                      f"for {accounted} (random={link.random_drops}, "
+                      f"fault={link.fault_drops}, "
+                      f"dropped={link.queue.dropped_packets}, "
+                      f"served={link.served_packets}, queued={queued})",
+                      arrived=link.arrived_packets,
+                      random_drops=link.random_drops,
+                      fault_drops=link.fault_drops,
+                      queue_drops=link.queue.dropped_packets,
+                      served=link.served_packets, queued=queued,
+                      now=link.loop.now)
+        self.checks += 1
+
+    def audit_flow(self, sender) -> None:
+        """Per-flow packet and byte conservation.
+
+        Every sent packet is outstanding, acked, or lost — exactly one
+        of the three — and the cached ``inflight_bytes`` must equal the
+        bytes of the packets actually outstanding.
+        """
+        self.audits += 1
+        stats = sender.stats
+        outstanding = len(sender.outstanding)
+        accounted = stats.acked_packets + stats.lost_packets + outstanding
+        if stats.sent_packets != accounted:
+            self.fail("simnet.flow_conservation",
+                      f"flow {sender.flow_id} sent {stats.sent_packets} "
+                      f"packets but accounts for {accounted} "
+                      f"(acked={stats.acked_packets}, "
+                      f"lost={stats.lost_packets}, "
+                      f"outstanding={outstanding})",
+                      flow=sender.flow_id, sent=stats.sent_packets,
+                      acked=stats.acked_packets, lost=stats.lost_packets,
+                      outstanding=outstanding, now=sender.loop.now)
+        inflight = float(sum(r.size for r in sender.outstanding.values()))
+        if abs(sender.inflight_bytes - inflight) > \
+                FLOAT_SLACK * max(inflight, 1.0):
+            self.fail("simnet.inflight_accounting",
+                      f"flow {sender.flow_id} caches inflight_bytes="
+                      f"{sender.inflight_bytes!r} but outstanding packets "
+                      f"sum to {inflight!r}", flow=sender.flow_id,
+                      cached=sender.inflight_bytes, actual=inflight,
+                      now=sender.loop.now)
+        self.checks += 2
+
+    def audit_network(self, net) -> None:
+        """Whole-dumbbell conservation sweep (periodic + end of run).
+
+        On top of the per-component audits: every packet a sender
+        transmitted reached the link's ingress, and receivers can never
+        have taken delivery of more bytes than the link served —
+
+        ``injected == delivered + drops + in-queue + in-flight``
+        restated at the boundaries where each term is observable.
+        """
+        now = net.loop.now
+        self.audit_queue(net.link.queue, now=now)
+        self.audit_link(net.link)
+        sent = 0
+        delivered = 0.0
+        for sender in net._senders:
+            self.audit_flow(sender)
+            sent += sender.stats.sent_packets
+            delivered += sender.stats.delivered_bytes
+        if sent != net.link.arrived_packets:
+            self.fail("simnet.injection",
+                      f"flows sent {sent} packets but the link ingress saw "
+                      f"{net.link.arrived_packets}", sent=sent,
+                      arrived=net.link.arrived_packets, now=now)
+        served = float(net.link.served_bytes)
+        if delivered > served * (1.0 + FLOAT_SLACK) + FLOAT_SLACK:
+            self.fail("simnet.delivery",
+                      f"receivers took delivery of {delivered!r} bytes but "
+                      f"the link only served {served!r}",
+                      delivered=delivered, served=served, now=now)
+        self.checks += 2
+
+    # -- netio (seq-ring) audits ----------------------------------------
+
+    def check_ack_window(self, sender, ack) -> None:
+        """An ACK may never acknowledge data that was not sent.
+
+        The sent range on the mod-2^16 ring is ``[base, next_seq)``; a
+        cumulative ACK or SACK block landing inside the send window but
+        past ``next_seq`` acknowledges unsent data and would silently
+        corrupt the window (``base`` sliding past ``next_seq`` stalls
+        the transfer forever).
+        """
+        seq_dist = _seq_dist or _ring_dist()
+        sent = seq_dist(sender.base, sender.next_seq)
+        cum = seq_dist(sender.base, ack.cum_ack)
+        if cum <= sender.window and cum > sent:
+            self.fail("netio.ack_beyond_sent",
+                      f"cumulative ack {ack.cum_ack} is {cum} past base "
+                      f"{sender.base} but only {sent} packets are unacked-"
+                      f"sent (next_seq={sender.next_seq})",
+                      base=sender.base, next_seq=sender.next_seq,
+                      cum_ack=ack.cum_ack)
+        for start, end in ack.sack_blocks:
+            lo = seq_dist(sender.base, start)
+            hi = seq_dist(sender.base, end)
+            if (lo <= sender.window and lo > sent) or \
+                    (hi <= sender.window and hi > sent):
+                self.fail("netio.sack_beyond_sent",
+                          f"SACK block [{start}, {end}) covers unsent "
+                          f"sequence space (base={sender.base}, "
+                          f"next_seq={sender.next_seq})",
+                          base=sender.base, next_seq=sender.next_seq,
+                          sack_start=start, sack_end=end)
+        self.checks += 1
+
+    def audit_tx(self, sender) -> None:
+        """ARQ sender byte accounting, re-derived from the record set.
+
+        ``inflight_bytes`` counts exactly the payload of outstanding
+        records not currently declared lost; the window never holds more
+        than ``window`` packets.
+        """
+        seq_dist = _seq_dist or _ring_dist()
+        self.audits += 1
+        inflight = float(sum(len(r.payload)
+                             for r in sender.outstanding.values()
+                             if not r.lost))
+        if abs(sender.inflight_bytes - inflight) > \
+                FLOAT_SLACK * max(inflight, 1.0):
+            self.fail("netio.tx_accounting",
+                      f"ARQ sender caches inflight_bytes="
+                      f"{sender.inflight_bytes!r} but live outstanding "
+                      f"payloads sum to {inflight!r}",
+                      cached=sender.inflight_bytes, actual=inflight,
+                      outstanding=len(sender.outstanding))
+        span = seq_dist(sender.base, sender.next_seq)
+        if span > sender.window:
+            self.fail("netio.tx_window",
+                      f"send window spans {span} packets, cap is "
+                      f"{sender.window}", base=sender.base,
+                      next_seq=sender.next_seq, window=sender.window)
+        self.checks += 2
+
+    def audit_rx(self, receiver) -> None:
+        """Reorder-buffer byte accounting vs. the configured cap.
+
+        ``buffered_bytes`` counts exactly the held out-of-order
+        payloads, and the :class:`~repro.netio.lifecycle.ServerLimits`
+        per-session cap is never breached.
+        """
+        self.audits += 1
+        held = float(sum(len(p) for p in receiver._held.values()))
+        if abs(receiver.buffered_bytes - held) > \
+                FLOAT_SLACK * max(held, 1.0):
+            self.fail("netio.rx_accounting",
+                      f"reorder buffer caches buffered_bytes="
+                      f"{receiver.buffered_bytes!r} but held payloads sum "
+                      f"to {held!r}", cached=receiver.buffered_bytes,
+                      actual=held, holes=len(receiver._held))
+        cap = receiver.max_buffer_bytes
+        if cap is not None and receiver.buffered_bytes > cap:
+            self.fail("netio.rx_cap",
+                      f"reorder buffer holds {receiver.buffered_bytes!r} "
+                      f"bytes, cap is {cap}",
+                      buffered=receiver.buffered_bytes, cap=cap)
+        self.checks += 2

@@ -1,0 +1,204 @@
+"""Deterministic failure replay: on-disk repro bundles for failed jobs.
+
+When ``$REPRO_FAILURES_DIR`` is set, every job that raises under error
+capture — in the serial path or inside a fork-pool child, which inherits
+the environment — leaves a JSON *repro bundle* behind: the canonical job
+spec (human-readable), the pickled :class:`~repro.parallel.jobs.Job`
+(the execution path — jobs are picklable by construction, it is how they
+cross the pool boundary), the seed, a source/asset digest
+(:func:`~repro.parallel.cache.code_salt`), and the exception that was
+raised.  ``repro replay <bundle>`` re-executes the job in-process with
+sanitizers forced on and compares the outcome against the recorded
+exception.
+
+Bundles are plain files meant for the machine (and team) that captured
+them; like the result cache they use pickle, so only replay bundles you
+produced yourself.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+import traceback
+from dataclasses import dataclass, field
+
+from .invariants import SimSanitizer, activate
+
+#: directory that captures repro bundles; unset = capture disabled
+FAILURES_DIR_ENV = "REPRO_FAILURES_DIR"
+
+#: bundle schema version (bump on incompatible layout changes)
+BUNDLE_FORMAT = 1
+
+
+def failures_dir() -> str | None:
+    """The bundle capture directory, or ``None`` when capture is off."""
+    return os.environ.get(FAILURES_DIR_ENV) or None
+
+
+def write_bundle(job, exc: BaseException, tb: str = "",
+                 directory: str | None = None) -> str:
+    """Write a repro bundle for ``job`` failing with ``exc``; returns its path.
+
+    The filename is derived from the job's canonical spec, so the same
+    job failing twice overwrites its own bundle (deterministic failures
+    produce identical content) instead of accumulating duplicates.
+    """
+    from ..parallel.cache import code_salt
+    from ..parallel.jobs import canonical_spec
+
+    directory = directory or failures_dir()
+    if directory is None:
+        raise ValueError(f"no bundle directory (set ${FAILURES_DIR_ENV})")
+    os.makedirs(directory, exist_ok=True)
+    spec = canonical_spec(job)
+    spec_json = json.dumps(spec, sort_keys=True)
+    digest = hashlib.sha256(spec_json.encode()).hexdigest()[:12]
+    bundle = {
+        "format": BUNDLE_FORMAT,
+        "spec": spec,
+        "seed": getattr(job, "seed", None),
+        "code_salt": code_salt(),
+        "error_type": _type_name(exc),
+        "error_message": str(exc),
+        "traceback": tb,
+        "job_pickle": base64.b64encode(pickle.dumps(job)).decode("ascii"),
+    }
+    path = os.path.join(directory, f"failure-{_label(job)}-{digest}.json")
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(bundle, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def maybe_write_bundle(job, exc: BaseException, tb: str = "") -> str:
+    """Best-effort :func:`write_bundle` gated on :data:`FAILURES_DIR_ENV`.
+
+    Returns the bundle path, or ``""`` when capture is disabled or the
+    write itself fails — a failing job must surface its own error, never
+    a bundling error.
+    """
+    if failures_dir() is None:
+        return ""
+    try:
+        return write_bundle(job, exc, tb)
+    except Exception:
+        return ""
+
+
+def load_bundle(path: str) -> dict:
+    """Read and validate a repro bundle."""
+    with open(path) as fh:
+        bundle = json.load(fh)
+    if bundle.get("format") != BUNDLE_FORMAT:
+        raise ValueError(f"unsupported bundle format "
+                         f"{bundle.get('format')!r} in {path}")
+    return bundle
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of re-executing a captured failure.
+
+    ``verdict`` is one of ``reproduced`` (same exception type and
+    message), ``different-error`` (it raised, but not the recorded
+    exception — under forced sanitizers this can be an *earlier*
+    invariant violation on the same root cause) and ``no-error`` (the
+    run completed; the failure was environmental or has been fixed).
+    """
+
+    verdict: str
+    original_type: str
+    original_message: str
+    replayed_type: str = ""
+    replayed_message: str = ""
+    replayed_traceback: str = ""
+    sanitize: bool = True
+    audits: int = 0
+    salt_mismatch: bool = False
+    warnings: list = field(default_factory=list)
+
+    @property
+    def reproduced(self) -> bool:
+        return self.verdict == "reproduced"
+
+    def to_json(self) -> dict:
+        return {"verdict": self.verdict, "sanitize": self.sanitize,
+                "original": {"type": self.original_type,
+                             "message": self.original_message},
+                "replayed": {"type": self.replayed_type,
+                             "message": self.replayed_message},
+                "audits": self.audits, "salt_mismatch": self.salt_mismatch,
+                "warnings": self.warnings}
+
+
+def replay(path: str, sanitize: bool = True) -> ReplayReport:
+    """Re-execute the job captured in ``path`` in-process.
+
+    With ``sanitize`` (the default) the run executes under a fresh
+    :class:`~repro.sanitize.invariants.SimSanitizer`, so state corruption
+    upstream of the recorded crash surfaces as a structured
+    :class:`~repro.sanitize.errors.InvariantViolation` instead of the
+    (possibly obscure) original exception.  Pass ``sanitize=False`` to
+    reproduce the run bit-for-bit in its pristine configuration.
+    """
+    from ..parallel.cache import code_salt
+
+    bundle = load_bundle(path)
+    job = pickle.loads(base64.b64decode(bundle["job_pickle"]))
+    report = ReplayReport(verdict="no-error",
+                          original_type=bundle["error_type"],
+                          original_message=bundle["error_message"],
+                          sanitize=sanitize)
+    if bundle.get("code_salt") and bundle["code_salt"] != code_salt():
+        report.salt_mismatch = True
+        report.warnings.append(
+            "source/asset digest changed since capture — the replay runs "
+            "against different code and may legitimately diverge")
+    sanitizer = SimSanitizer() if sanitize else None
+    try:
+        with activate(sanitizer):
+            job.run()
+    except Exception as exc:
+        report.replayed_type = _type_name(exc)
+        report.replayed_message = str(exc)
+        report.replayed_traceback = traceback.format_exc()
+        same = (report.replayed_type == report.original_type
+                and report.replayed_message == report.original_message)
+        report.verdict = "reproduced" if same else "different-error"
+    if sanitizer is not None:
+        report.audits = sanitizer.audits
+    return report
+
+
+def _type_name(exc: BaseException) -> str:
+    cls = type(exc)
+    module = cls.__module__
+    if module in ("builtins", "__main__"):
+        return cls.__qualname__
+    return f"{module}.{cls.__qualname__}"
+
+
+def _label(job) -> str:
+    flows = getattr(job, "flows", None)
+    scenario = getattr(job, "scenario", None)
+    if flows is None or scenario is None:
+        name = getattr(job, "label", None) or type(job).__qualname__
+    else:
+        name = "+".join(flow.cca for flow in flows) + "-" + scenario.name
+    safe = "".join(c if c.isalnum() or c in "-_." else "-" for c in name)
+    seed = getattr(job, "seed", None)
+    return f"{safe}-seed{seed}" if seed is not None else safe

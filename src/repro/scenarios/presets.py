@@ -261,3 +261,22 @@ def rl_default_scenario() -> Scenario:
     bdp = mbps(100.0) * ms(100) / 8.0
     return Scenario(name="rl-default", trace_factory=_const(100.0),
                     rtt=ms(100), buffer_bytes=bdp)
+
+
+def named_presets() -> dict[str, Scenario]:
+    """Every scenario addressable by name — the CLI lookup table.
+
+    Covers the wired/LTE/Internet preset dicts plus the parameterless
+    factory scenarios (step, fairness, rl-default, stress-<profile>).
+    """
+    presets: dict[str, Scenario] = {}
+    presets.update(WIRED)
+    presets.update(LTE)
+    presets.update(INTERNET)
+    presets["step"] = step_scenario()
+    presets["fairness"] = fairness_scenario()
+    presets["rl-default"] = rl_default_scenario()
+    presets["stress-clean"] = stress_scenario("clean")
+    for profile in sorted(FAULT_PROFILES):
+        presets[f"stress-{profile}"] = stress_scenario(profile)
+    return presets

@@ -130,6 +130,10 @@ class CoDelQueue:
     def peek(self) -> Packet | None:
         return self._q[0][1] if self._q else None
 
+    def iter_packets(self):
+        """Iterate the queued packets in FIFO order (sanitizer audits)."""
+        return (packet for _, packet in self._q)
+
     def __len__(self) -> int:
         return len(self._q)
 

@@ -149,7 +149,8 @@ class Sender:
     def __init__(self, loop: EventLoop, flow_id: int, controller: Controller,
                  transmit: Callable[[Packet], None], mss: int = DEFAULT_MSS,
                  stats: FlowStats | None = None,
-                 recorder: "Recorder | None" = None):
+                 recorder: "Recorder | None" = None,
+                 sanitizer=None):
         self.loop = loop
         self.flow_id = flow_id
         self.controller = controller
@@ -161,6 +162,9 @@ class Sender:
         # recording path never does a dict lookup.
         self.recorder = recorder
         self._tel_channels = None
+        # Sanitizer follows the same pattern: None keeps every guarded
+        # site at a single attribute check.
+        self.sanitizer = sanitizer
 
         self.next_seq = 0
         self.inflight_bytes = 0.0
@@ -283,6 +287,10 @@ class Sender:
         win.delivered_bytes += record.size
         win.rtt_samples.append((now, rtt))
 
+        if self.sanitizer is not None:
+            self.sanitizer.check_ack_sample(self.flow_id, rtt, self.srtt,
+                                            self.inflight_bytes,
+                                            delivery_rate, now)
         sample = AckSample(now=now, seq=ack.seq, rtt=rtt, min_rtt=self.min_rtt,
                            srtt=self.srtt, acked_bytes=record.size,
                            delivery_rate=delivery_rate,
@@ -402,6 +410,11 @@ class Sender:
         self.controller.meter.count("per_mi")
         if self._tel_channels is not None:
             self._record_interval(now, report)
+        if self.sanitizer is not None:
+            self.sanitizer.check_interval_report(self.flow_id, report)
+            self.sanitizer.check_rate("simnet.pacing_rate",
+                                      self._effective_rate(),
+                                      flow=self.flow_id, now=now)
         self.controller.on_interval(report)
         if self._blocked and self._window_allows():
             self._send_loop()

@@ -12,6 +12,8 @@ import heapq
 import itertools
 from typing import Callable
 
+from ..sanitize.errors import EventBudgetExceeded, describe_callback
+
 
 class Timer:
     """Handle for a scheduled event; ``cancel()`` prevents it from firing."""
@@ -48,6 +50,10 @@ class EventLoop:
     #: reschedules would otherwise grow the heap unboundedly)
     COMPACT_THRESHOLD = 64
 
+    #: default per-call event budget for ``run_until`` / ``run_all``; a
+    #: zero-delay self-rescheduling timer would otherwise spin forever
+    MAX_EVENTS = 10_000_000
+
     def __init__(self) -> None:
         self.now = 0.0
         self._heap: list[tuple[float, int, Timer]] = []
@@ -55,6 +61,9 @@ class EventLoop:
         self._cancelled = 0
         #: events fired so far — surfaced in telemetry run metadata
         self.processed = 0
+        #: optional :class:`repro.sanitize.SimSanitizer`; ``None`` keeps
+        #: the hot loop at a single attribute check per event
+        self.sanitizer = None
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Timer:
         """Schedule ``fn`` to run ``delay`` seconds from now."""
@@ -82,24 +91,42 @@ class EventLoop:
         heapq.heapify(self._heap)
         self._cancelled = 0
 
-    def run_until(self, end_time: float) -> None:
-        """Process events in order until ``end_time`` (inclusive)."""
+    def run_until(self, end_time: float,
+                  max_events: int | None = None) -> None:
+        """Process events in order until ``end_time`` (inclusive).
+
+        Each call may process at most ``max_events`` events (default
+        :data:`MAX_EVENTS`); exceeding the budget raises
+        :class:`~repro.sanitize.errors.EventBudgetExceeded` naming the
+        callback that was running when the budget tripped.
+        """
+        budget = self.MAX_EVENTS if max_events is None else max_events
         heap = self._heap
+        timer = None
         while heap and heap[0][0] <= end_time:
             time, _, timer = heapq.heappop(heap)
             if timer.cancelled:
                 self._cancelled -= 1
                 continue
+            if self.sanitizer is not None:
+                self.sanitizer.check_event_time(time, self.now, timer.fn)
             self.now = time
             self.processed += 1
+            budget -= 1
+            if budget < 0:
+                raise EventBudgetExceeded(
+                    self.MAX_EVENTS if max_events is None else max_events,
+                    self.now, describe_callback(timer.fn))
             timer.fn()
             heap = self._heap  # _compact may have replaced the list
         if self.now < end_time:
             self.now = end_time
 
-    def run_all(self, max_events: int = 10_000_000) -> None:
+    def run_all(self, max_events: int | None = None) -> None:
         """Drain the event queue completely (bounded by ``max_events``)."""
-        for _ in range(max_events):
+        budget = self.MAX_EVENTS if max_events is None else max_events
+        timer = None
+        for _ in range(budget):
             heap = self._heap
             if not heap:
                 return
@@ -107,10 +134,15 @@ class EventLoop:
             if timer.cancelled:
                 self._cancelled -= 1
                 continue
+            if self.sanitizer is not None:
+                self.sanitizer.check_event_time(time, self.now, timer.fn)
             self.now = time
             self.processed += 1
             timer.fn()
-        raise RuntimeError(f"event loop exceeded {max_events} events")
+        if self._heap:
+            raise EventBudgetExceeded(
+                budget, self.now,
+                describe_callback(timer.fn) if timer is not None else "<none>")
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""

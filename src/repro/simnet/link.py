@@ -49,13 +49,25 @@ class BottleneckLink:
         link emits ``link.drop`` events (queue overflow / AQM drops).
         ``None`` (the default) keeps the data path telemetry-free — each
         guarded site pays one attribute check.
+    service_log_horizon:
+        When set, service-log entries older than this many seconds are
+        periodically compacted away (one boundary entry is kept so
+        :meth:`served_bytes_between` stays exact for any window that
+        starts inside the horizon).  ``None`` (the default) keeps the
+        full log — post-run consumers such as the stress experiment
+        query arbitrary whole-run windows from ``RunResult``.
     """
+
+    #: compaction cadence (appends between prefix trims) — keeps the
+    #: amortized cost of bounding the log at O(1) per served packet
+    LOG_COMPACT_EVERY = 4096
 
     def __init__(self, loop: EventLoop, trace: Trace, buffer_bytes: float,
                  propagation_delay: float, deliver: Callable[[Packet], None],
                  loss_rate: float = 0.0, seed: int = 0, aqm: str = "droptail",
                  injector: "FaultInjector | None" = None,
-                 recorder: "Recorder | None" = None):
+                 recorder: "Recorder | None" = None,
+                 service_log_horizon: float | None = None):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         self.loop = loop
@@ -86,6 +98,10 @@ class BottleneckLink:
         self._last_service: float = 0.0
         #: (service time, cumulative served bytes) — windowed utilization
         self._service_log: list[tuple[float, float]] = []
+        if service_log_horizon is not None and service_log_horizon <= 0:
+            raise ValueError("service_log_horizon must be positive")
+        self.service_log_horizon = service_log_horizon
+        self._log_appends = 0
 
     # -- ingress -------------------------------------------------------------
 
@@ -130,11 +146,30 @@ class BottleneckLink:
         self.served_packets += 1
         self._last_service = self.loop.now
         self._service_log.append((self.loop.now, float(self.served_bytes)))
+        if self.service_log_horizon is not None:
+            self._log_appends += 1
+            if self._log_appends >= self.LOG_COMPACT_EVERY:
+                self._log_appends = 0
+                self._compact_service_log()
         delay = self.propagation_delay
         if self.injector is not None:
             delay += self.injector.delivery_extra_delay(self.loop.now)
         self.loop.schedule(delay, lambda p=packet: self.deliver(p))
         self._start_service()
+
+    def _compact_service_log(self) -> None:
+        """Trim entries older than the horizon, keeping one boundary entry.
+
+        The retained boundary entry (the last one at or before the
+        cutoff) carries the cumulative byte count, so
+        :meth:`served_bytes_between` stays exact for every window whose
+        start lies at or after the cutoff.
+        """
+        log = self._service_log
+        cutoff = self.loop.now - self.service_log_horizon
+        idx = bisect.bisect_right(log, (cutoff, float("inf"))) - 1
+        if idx > 0:
+            del log[:idx]
 
     # -- metrics ---------------------------------------------------------
 

@@ -16,6 +16,7 @@ from ..units import DEFAULT_MSS
 if TYPE_CHECKING:  # break the runtime import cycle with repro.cca
     from ..cca.base import Controller
     from ..telemetry import FlowTelemetry, Recorder
+from ..sanitize import invariants as _sanitize
 from .endpoint import FlowStats, Receiver, Sender
 from .engine import EventLoop
 from .faults import FaultInjector, FaultSchedule
@@ -100,11 +101,19 @@ class Dumbbell:
     def __init__(self, trace: Trace, buffer_bytes: float, rtt: float,
                  loss_rate: float = 0.0, seed: int = 0, mss: int = DEFAULT_MSS,
                  aqm: str = "droptail", faults: FaultSchedule | None = None,
-                 recorder: "Recorder | None" = None):
+                 recorder: "Recorder | None" = None,
+                 sanitizer: "_sanitize.SimSanitizer | None" = None,
+                 service_log_horizon: float | None = None):
         if rtt <= 0:
             raise ValueError("rtt must be positive")
         self.loop = EventLoop()
         self.recorder = recorder
+        # Invariant layer: explicit argument wins, else the process-wide
+        # active sanitizer (installed by ``repro.sanitize.activate``).
+        # ``None`` keeps every guarded site at one attribute check.
+        self.sanitizer = sanitizer if sanitizer is not None \
+            else _sanitize.ACTIVE
+        self.loop.sanitizer = self.sanitizer
         self.injector = FaultInjector(faults, seed=seed) \
             if faults is not None and faults.active else None
         if self.injector is not None:
@@ -123,7 +132,8 @@ class Dumbbell:
             propagation_delay=rtt / 2.0,
             deliver=self._deliver,
             loss_rate=loss_rate, seed=seed, aqm=aqm,
-            injector=self.injector, recorder=recorder)
+            injector=self.injector, recorder=recorder,
+            service_log_horizon=service_log_horizon)
         self.queue_samples: list[tuple[float, int]] = []
         self._queue_sample_interval = 0.05
         if recorder is not None:
@@ -167,6 +177,10 @@ class Dumbbell:
     def _sample_queue(self) -> None:
         now = self.loop.now
         self.queue_samples.append((now, self.link.queue.bytes))
+        if self.sanitizer is not None:
+            # Conservation sweep piggybacks on the sampling tick so the
+            # audit cadence is bounded (not per-packet).
+            self.sanitizer.audit_network(self)
         if self._tel_link is not None:
             queue_ch, served_ch, dropped_ch = self._tel_link
             queue_ch.add(now, self.link.queue.bytes)
@@ -195,7 +209,7 @@ class Dumbbell:
                                 self._ack_path(flow_id, spec.extra_rtt), stats)
             sender = Sender(self.loop, flow_id, spec.controller,
                             self.link.send, mss=self.mss, stats=stats,
-                            recorder=recorder)
+                            recorder=recorder, sanitizer=self.sanitizer)
             if recorder is not None:
                 spec.controller.attach_telemetry(recorder, flow_id=flow_id)
             self._receivers.append(receiver)
@@ -205,6 +219,10 @@ class Dumbbell:
             self.loop.schedule_at(min(stop, duration), sender.stop)
         self.loop.schedule(0.0, self._sample_queue)
         self.loop.run_until(duration)
+        if self.sanitizer is not None:
+            # Final sweep: the whole run must balance, not just the
+            # sampled instants.
+            self.sanitizer.audit_network(self)
         for sender in self._senders:
             if sender.stats.end_time == 0.0 or sender.stats.end_time > duration:
                 sender.stats.end_time = duration

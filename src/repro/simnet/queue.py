@@ -56,6 +56,10 @@ class DropTailQueue:
     def peek(self) -> Packet | None:
         return self._q[0] if self._q else None
 
+    def iter_packets(self):
+        """Iterate the queued packets in FIFO order (sanitizer audits)."""
+        return iter(self._q)
+
     def __len__(self) -> int:
         return len(self._q)
 

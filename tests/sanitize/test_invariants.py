@@ -1,0 +1,185 @@
+"""Invariant-layer behaviour: clean runs stay clean, corruption trips.
+
+The fuzz section is the PR's property test: across every canned fault
+profile and a handful of seeds, injected faults (blackouts, burst loss,
+delay spikes, reordering, ACK mangling) must never trip a conservation
+invariant — faults drop and delay packets through the accounted paths,
+they do not teleport them.  The directed section then corrupts state by
+hand and asserts each audit actually fires.
+"""
+
+import pytest
+
+from repro.parallel import execute, single_flow_job
+from repro.registry import make_controller
+from repro.sanitize import InvariantViolation, SimSanitizer, activate, current
+from repro.sanitize import invariants as invariants_mod
+from repro.scenarios.presets import WIRED, stress_scenario
+from repro.simnet.faults import FAULT_PROFILES
+from repro.simnet.network import Dumbbell
+from repro.simnet.trace import wired_trace
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert invariants_mod.ACTIVE is None
+        assert current() is None
+
+    def test_activate_restores_previous(self):
+        outer = SimSanitizer()
+        inner = SimSanitizer()
+        with activate(outer):
+            assert current() is outer
+            with activate(inner):
+                assert current() is inner
+            assert current() is outer
+        assert current() is None
+
+    def test_activate_none_disables(self):
+        with activate(SimSanitizer()):
+            with activate(None):
+                assert current() is None
+
+    def test_env_forced(self, monkeypatch):
+        monkeypatch.delenv(invariants_mod.SANITIZE_ENV, raising=False)
+        assert not invariants_mod.env_forced()
+        monkeypatch.setenv(invariants_mod.SANITIZE_ENV, "0")
+        assert not invariants_mod.env_forced()
+        monkeypatch.setenv(invariants_mod.SANITIZE_ENV, "1")
+        assert invariants_mod.env_forced()
+
+
+class TestScalarChecks:
+    def test_check_finite(self):
+        s = SimSanitizer()
+        s.check_finite("x", 1.0)
+        with pytest.raises(InvariantViolation) as ei:
+            s.check_finite("x", float("nan"))
+        assert ei.value.invariant == "x"
+        with pytest.raises(InvariantViolation):
+            s.check_finite("x", 0.0, positive=True)
+        assert s.violations == 2
+
+    def test_check_fraction(self):
+        s = SimSanitizer()
+        s.check_fraction("f", 0.5)
+        with pytest.raises(InvariantViolation):
+            s.check_fraction("f", 1.5)
+
+    def test_violation_carries_context(self):
+        s = SimSanitizer()
+        with pytest.raises(InvariantViolation) as ei:
+            s.check_rate("simnet.pacing_rate", float("inf"), flow=3)
+        exc = ei.value
+        assert exc.invariant == "simnet.pacing_rate"
+        assert exc.context["flow"] == 3
+        assert exc.summary()["invariant"] == "simnet.pacing_rate"
+
+    def test_utility_check_fires_through_module_slot(self):
+        from repro.core.utility import utility
+
+        with activate(SimSanitizer()) as s:
+            utility(10.0, 0.0, 0.0)  # sane inputs pass
+            with pytest.raises(InvariantViolation) as ei:
+                utility(float("nan"), 0.0, 0.0)
+        assert ei.value.invariant == "core.utility"
+        assert s.violations == 1
+
+
+def _run_sanitized(cca: str, scenario, seed: int, duration: float):
+    """Execute one sanitized job; returns its RunResult."""
+    job = single_flow_job(cca, scenario, seed=seed, duration=duration,
+                          sanitize=True)
+    return execute(job).result
+
+
+class TestFaultFuzz:
+    """Property: injected faults never break conservation."""
+
+    @pytest.mark.parametrize("profile",
+                             ["clean"] + sorted(FAULT_PROFILES))
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_faulted_runs_never_trip_invariants(self, profile, seed):
+        result = _run_sanitized("c-libra", stress_scenario(profile),
+                                seed=seed, duration=4.0)
+        assert result.flows[0].sent_packets > 0
+
+    @pytest.mark.parametrize("cca", ["cubic", "bbr", "b-libra"])
+    def test_cca_roster_under_pathological_profile(self, cca):
+        result = _run_sanitized(cca, stress_scenario("pathological"),
+                                seed=1, duration=4.0)
+        assert result.duration == pytest.approx(4.0)
+
+    def test_sanitized_run_actually_audits(self):
+        with activate(SimSanitizer()) as sanitizer:
+            net = Dumbbell(wired_trace(24.0), buffer_bytes=150_000,
+                           rtt=0.03, seed=1)
+            net.add_flow(make_controller("cubic", seed=1))
+            net.run(2.0)
+        assert sanitizer.audits > 0
+        assert sanitizer.checks > sanitizer.audits
+        assert sanitizer.violations == 0
+
+    def test_codel_runs_clean_under_sanitizers(self):
+        result = _run_sanitized(
+            "cubic", WIRED["wired-24"].with_(aqm="codel"), seed=1,
+            duration=2.0)
+        assert result.flows[0].delivered_bytes > 0
+
+
+class TestDirectedCorruption:
+    """Each audit must fire when its invariant is actually broken."""
+
+    def _net(self, sanitizer):
+        with activate(sanitizer):
+            net = Dumbbell(wired_trace(24.0), buffer_bytes=150_000,
+                           rtt=0.03, seed=1)
+            net.add_flow(make_controller("cubic", seed=1))
+            net.run(1.0)
+        return net
+
+    def test_link_conservation_trips_on_lost_packet(self):
+        sanitizer = SimSanitizer()
+        net = self._net(sanitizer)
+        net.link.arrived_packets += 1  # a packet the link never accounts
+        with pytest.raises(InvariantViolation) as ei:
+            sanitizer.audit_link(net.link)
+        assert ei.value.invariant == "simnet.conservation"
+
+    def test_queue_accounting_trips_on_byte_drift(self):
+        sanitizer = SimSanitizer()
+        net = self._net(sanitizer)
+        net.link.queue.bytes += 7777.0
+        with pytest.raises(InvariantViolation) as ei:
+            sanitizer.audit_queue(net.link.queue)
+        assert ei.value.invariant in ("simnet.queue_accounting",
+                                      "simnet.queue_capacity")
+
+    def test_flow_conservation_trips_on_phantom_send(self):
+        sanitizer = SimSanitizer()
+        net = self._net(sanitizer)
+        sender = net._senders[0]
+        sender.stats.sent_packets += 1
+        with pytest.raises(InvariantViolation) as ei:
+            sanitizer.audit_flow(sender)
+        assert ei.value.invariant == "simnet.flow_conservation"
+
+    def test_inflight_accounting_trips_on_cache_drift(self):
+        sanitizer = SimSanitizer()
+        net = self._net(sanitizer)
+        sender = net._senders[0]
+        sender.inflight_bytes += 1500.0
+        with pytest.raises(InvariantViolation) as ei:
+            sanitizer.audit_flow(sender)
+        assert ei.value.invariant == "simnet.inflight_accounting"
+
+    def test_injection_trips_on_link_counter_rollback(self):
+        sanitizer = SimSanitizer()
+        net = self._net(sanitizer)
+        # Keep the link internally consistent but out of step with the
+        # flows: pretend one served packet never arrived.
+        net.link.arrived_packets -= 1
+        net.link.served_packets -= 1
+        with pytest.raises(InvariantViolation) as ei:
+            sanitizer.audit_network(net)
+        assert ei.value.invariant == "simnet.injection"

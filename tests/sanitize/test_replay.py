@@ -1,0 +1,121 @@
+"""Deterministic failure replay: capture a crash, re-run it, same crash.
+
+Uses the registry's deliberately-crashing ``crash-test`` controller so
+the captured exception is deterministic by construction, then asserts
+the whole loop: bundle written under ``$REPRO_FAILURES_DIR`` → bundle
+loads → in-process replay under forced sanitizers raises the identical
+exception type and message.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.parallel import FailedRun, execute, single_flow_job
+from repro.sanitize.replay import (FAILURES_DIR_ENV, failures_dir,
+                                   load_bundle, maybe_write_bundle, replay,
+                                   write_bundle)
+from repro.scenarios.presets import stress_scenario
+
+
+def _crashing_job(seed=1):
+    return single_flow_job("crash-test", stress_scenario("clean"), seed=seed,
+                           duration=2.0, crash_after=5)
+
+
+@pytest.fixture
+def bundle_dir(tmp_path, monkeypatch):
+    directory = tmp_path / "failures"
+    monkeypatch.setenv(FAILURES_DIR_ENV, str(directory))
+    return directory
+
+
+class TestBundleCapture:
+    def test_capture_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv(FAILURES_DIR_ENV, raising=False)
+        assert failures_dir() is None
+        assert maybe_write_bundle(_crashing_job(), RuntimeError("x")) == ""
+        failure = execute(_crashing_job(), capture_errors=True).failure
+        assert isinstance(failure, FailedRun)
+        assert failure.bundle == ""
+
+    def test_execute_writes_bundle_when_enabled(self, bundle_dir):
+        failure = execute(_crashing_job(), capture_errors=True).failure
+        assert isinstance(failure, FailedRun)
+        assert failure.bundle
+        assert os.path.isfile(failure.bundle)
+        assert str(failure.bundle) in str(failure)
+
+    def test_bundle_contents(self, bundle_dir):
+        failure = execute(_crashing_job(), capture_errors=True).failure
+        bundle = load_bundle(failure.bundle)
+        assert bundle["error_type"] == "RuntimeError"
+        assert "crash-test controller raised" in bundle["error_message"]
+        assert bundle["seed"] == 1
+        assert bundle["spec"]  # canonical human-readable job spec
+        assert bundle["code_salt"]
+        assert bundle["job_pickle"]
+
+    def test_same_failure_overwrites_same_bundle(self, bundle_dir):
+        first = execute(_crashing_job(), capture_errors=True).failure
+        second = execute(_crashing_job(), capture_errors=True).failure
+        assert first.bundle == second.bundle
+        assert len(list(bundle_dir.iterdir())) == 1
+
+    def test_uncaptured_raise_still_writes_bundle(self, bundle_dir):
+        with pytest.raises(RuntimeError):
+            execute(_crashing_job(), capture_errors=False)
+        assert len(list(bundle_dir.iterdir())) == 1
+
+    def test_unsupported_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 99}))
+        with pytest.raises(ValueError):
+            load_bundle(str(path))
+
+
+class TestReplay:
+    def test_replay_reproduces_identical_exception(self, bundle_dir):
+        failure = execute(_crashing_job(), capture_errors=True).failure
+        report = replay(failure.bundle)
+        assert report.reproduced, report.to_json()
+        assert report.verdict == "reproduced"
+        assert report.replayed_type == report.original_type == "RuntimeError"
+        assert report.replayed_message == report.original_message
+        # sanitizers were forced on for the replay and actually ran
+        assert report.sanitize and report.audits > 0
+
+    def test_replay_without_sanitizers(self, bundle_dir):
+        failure = execute(_crashing_job(), capture_errors=True).failure
+        report = replay(failure.bundle, sanitize=False)
+        assert report.reproduced
+        assert not report.sanitize and report.audits == 0
+
+    def test_replay_is_deterministic(self, bundle_dir):
+        failure = execute(_crashing_job(), capture_errors=True).failure
+        first = replay(failure.bundle)
+        second = replay(failure.bundle)
+        assert first.replayed_message == second.replayed_message
+        assert first.verdict == second.verdict == "reproduced"
+
+    def test_fixed_failure_reports_no_error(self, tmp_path):
+        # capture a bundle for a job that does NOT fail: the "bug" is
+        # gone, so the replay verdict must be no-error, not a crash
+        job = single_flow_job("cubic", stress_scenario("clean"), seed=1,
+                              duration=2.0)
+        path = write_bundle(job, RuntimeError("flaky env"),
+                            directory=str(tmp_path))
+        report = replay(path)
+        assert report.verdict == "no-error"
+        assert not report.reproduced
+
+    def test_salt_mismatch_warns_but_replays(self, bundle_dir):
+        failure = execute(_crashing_job(), capture_errors=True).failure
+        bundle = load_bundle(failure.bundle)
+        bundle["code_salt"] = "different"
+        with open(failure.bundle, "w") as fh:
+            json.dump(bundle, fh)
+        report = replay(failure.bundle)
+        assert report.salt_mismatch and report.warnings
+        assert report.reproduced

@@ -148,3 +148,52 @@ def test_run_all_guards_against_runaway():
     loop.schedule(0.001, rearm)
     with pytest.raises(RuntimeError):
         loop.run_all(max_events=100)
+
+
+def test_run_until_event_budget_names_offender():
+    from repro.sanitize.errors import EventBudgetExceeded
+
+    loop = EventLoop()
+
+    def runaway_rearm():
+        loop.schedule(0.0, runaway_rearm)
+
+    loop.schedule(0.001, runaway_rearm)
+    with pytest.raises(EventBudgetExceeded) as ei:
+        loop.run_until(10.0, max_events=50)
+    exc = ei.value
+    assert exc.invariant == "engine.event_budget"
+    assert exc.events == 50
+    assert "runaway_rearm" in exc.callback
+    assert "runaway_rearm" in str(exc)
+    # structured error is still a RuntimeError for legacy handlers
+    assert isinstance(exc, RuntimeError)
+
+
+def test_run_until_budget_not_tripped_by_exact_count():
+    loop = EventLoop()
+    fired = []
+    for i in range(10):
+        loop.schedule(0.1 * (i + 1), lambda i=i: fired.append(i))
+    loop.run_until(5.0, max_events=10)
+    assert fired == list(range(10))
+
+
+def test_run_all_budget_error_is_structured():
+    from repro.sanitize.errors import EventBudgetExceeded
+
+    loop = EventLoop()
+
+    def rearm():
+        loop.schedule(0.001, rearm)
+
+    loop.schedule(0.001, rearm)
+    with pytest.raises(EventBudgetExceeded) as ei:
+        loop.run_all(max_events=7)
+    assert "rearm" in ei.value.callback
+
+
+def test_default_budget_is_generous():
+    # the default exists to catch zero-delay spins, not to throttle
+    # legitimate long runs
+    assert EventLoop.MAX_EVENTS >= 1_000_000

@@ -109,6 +109,66 @@ def test_windowed_utilization_caps_at_one():
     assert link.utilization(1e-9, 0.01) <= 1.0
 
 
+def test_service_log_horizon_validation():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        BottleneckLink(loop, ConstantTrace(mbps(1)), 1e6, 0.0,
+                       deliver=lambda p: None, service_log_horizon=0.0)
+
+
+def test_unbounded_service_log_by_default():
+    loop = EventLoop()
+    link = BottleneckLink(loop, ConstantTrace(mbps(12)), buffer_bytes=1e9,
+                          propagation_delay=0.0, deliver=lambda p: None)
+    assert link.service_log_horizon is None
+    _send_burst(link, 20)
+    loop.run_until(1.0)
+    assert len(link._service_log) == 20
+
+
+def test_service_log_compaction_bounds_memory():
+    """With a horizon set, the log stops growing with run length while
+    windowed queries inside the horizon stay exact."""
+    loop = EventLoop()
+    link = BottleneckLink(loop, ConstantTrace(mbps(120)), buffer_bytes=1e9,
+                          propagation_delay=0.0, deliver=lambda p: None,
+                          service_log_horizon=0.05)
+    # 3 compaction cadences of packets, arriving over ~1.25 s
+    total = 3 * BottleneckLink.LOG_COMPACT_EVERY
+    for i in range(total):
+        loop.schedule(i * 1e-4, lambda: _send_burst(link, 1))
+    loop.run_until(total * 1e-4 + 1.0)
+    assert link.served_packets == total
+    # bounded: horizon (0.05 s / 0.1 ms per packet = 500 entries) plus at
+    # most one uncompacted cadence — far below the total appended
+    assert len(link._service_log) < BottleneckLink.LOG_COMPACT_EVERY + 600
+    # queries inside the horizon remain exact
+    now = link._last_service
+    expected = 0.02 / 1e-4 * 1500
+    assert link.served_bytes_between(now - 0.02, now) == \
+        pytest.approx(expected, abs=1500)
+
+
+def test_compaction_keeps_boundary_entry_exact():
+    """served_bytes_between for a window starting at the cutoff must see
+    the cumulative count carried by the retained boundary entry."""
+    loop = EventLoop()
+    link = BottleneckLink(loop, ConstantTrace(mbps(12)), buffer_bytes=1e9,
+                          propagation_delay=0.0, deliver=lambda p: None,
+                          service_log_horizon=0.5)
+    _send_burst(link, 100)
+    loop.run_until(10.0)
+    reference = link.served_bytes_between(0.05, 0.1)
+    link._compact_service_log()  # cutoff = 10.0 - 0.5 → trims everything
+    assert len(link._service_log) == 1  # one boundary entry retained
+    # windows after the cutoff still answer exactly: zero bytes served
+    assert link.served_bytes_between(9.6, 10.0) == 0.0
+    # lifetime totals keep working through the boundary entry
+    assert link.served_bytes_between(9.6, 10.0) + link._service_log[0][1] \
+        == link.served_bytes
+    assert reference > 0  # the pre-compaction window really had traffic
+
+
 def test_queueing_delay_estimate():
     loop = EventLoop()
     link = BottleneckLink(loop, ConstantTrace(mbps(12)), buffer_bytes=1e9,
