@@ -1,0 +1,155 @@
+"""repro.bench — standing performance-benchmark subsystem.
+
+Performance only counts once it is measured the same way twice.  This
+package runs a registry of representative workloads (simulated dumbbell
+single- and many-flow, faulted traces, the real-socket netio loopback)
+under a warmed-up, seeded timing meter and writes one schema-versioned
+``BENCH_<workload>.json`` artifact per workload.  ``repro bench
+--compare`` turns a committed baseline directory into a regression
+gate; ``repro diff --mode engine`` (the differential oracle) keeps the
+batched fast path these numbers advertise bit-exact against the
+reference engine.
+
+Quick start::
+
+    repro bench                                  # default workloads
+    repro bench --workloads wired-single --profile
+    repro bench --compare benchmarks/baselines --tolerance 0.2
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from pathlib import Path
+
+from .compare import (FAILING_VERDICTS, Verdict, compare_reports,
+                      has_failures, load_baselines)
+from .meter import BenchDeterminismError, BenchMeter, Measurement
+from .report import (BENCH_SCHEMA_VERSION, artifact_name, build_report,
+                     failed_report, load_report, validate_report,
+                     write_report)
+from .workloads import DEFAULT_WORKLOADS, NetioWorkload, SimWorkload, registry
+
+#: how much shorter the per-CCA overhead panel runs are than the
+#: workload proper — the panel ranks controllers, it does not need the
+#: tentpole's statistical weight
+PANEL_SCALE = 0.25
+
+#: cProfile rows kept in a ``--profile`` dump
+PROFILE_TOP = 25
+
+
+def run_workload(workload, meter: BenchMeter, seed: int = 1,
+                 scale: float = 1.0) -> dict:
+    """Execute one workload under the meter and build its artifact doc.
+
+    A raising workload yields a ``status="failed"`` document — the
+    artifact set always has one entry per requested workload.
+    """
+    config = {"warmup": meter.warmup, "repeats": meter.repeats,
+              "seed": seed, "scale": scale}
+    try:
+        reference = None
+        if workload.compare_reference:
+            # Interleaved repeats — a sequential pair of legs would
+            # hand the second one a warmer machine (see meter docs).
+            measurement, reference = meter.measure_pair(
+                lambda: workload.run_once(seed, scale=scale),
+                lambda: workload.run_once(seed, scale=scale,
+                                          engine="reference"),
+                deterministic=workload.deterministic,
+                label=workload.name)
+        else:
+            measurement = meter.measure(
+                lambda: workload.run_once(seed, scale=scale),
+                deterministic=workload.deterministic, label=workload.name)
+        engine = measurement.counters.get("engine", "batched")
+
+        per_cca = None
+        if workload.cca_panel:
+            per_cca = {}
+            for cca in workload.cca_panel:
+                m = meter.measure(
+                    lambda c=cca: workload.run_once(
+                        seed, scale=scale * PANEL_SCALE, cca=c),
+                    deterministic=workload.deterministic,
+                    label=f"{workload.name}:{cca}")
+                packets = max(m.counters.get("packets", 0), 1)
+                per_cca[cca] = {
+                    "packets_per_sec": round(m.packets_per_sec, 2),
+                    "wall_us_per_packet":
+                        round(m.wall_s * 1e6 / packets, 4),
+                }
+        return build_report(workload.name, engine, config, measurement,
+                            reference=reference, per_cca=per_cca)
+    except Exception as exc:
+        return failed_report(workload.name, config, exc)
+
+
+def profile_workload(workload, seed: int = 1, scale: float = 1.0) -> str:
+    """One profiled run, rendered as a top-N cumulative-time table."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        workload.run_once(seed, scale=scale)
+    finally:
+        profiler.disable()
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("cumulative") \
+        .print_stats(PROFILE_TOP)
+    return buf.getvalue()
+
+
+def run_bench(workload_names=None, outdir: str | Path = "bench-artifacts",
+              warmup: int = 1, repeats: int = 3, seed: int = 1,
+              scale: float = 1.0, profile: bool = False,
+              echo=None) -> list:
+    """Run the named workloads and write one artifact each.
+
+    Returns the list of artifact documents (in run order).  ``echo`` is
+    an optional ``print``-like callable for progress lines.
+    """
+    names = list(workload_names) if workload_names else \
+        list(DEFAULT_WORKLOADS)
+    known = registry()
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise KeyError(f"unknown workload(s) {unknown}; registered: "
+                       f"{', '.join(sorted(known))}")
+    meter = BenchMeter(warmup=warmup, repeats=repeats)
+    outdir = Path(outdir)
+    docs = []
+    for name in names:
+        workload = known[name]
+        doc = run_workload(workload, meter, seed=seed, scale=scale)
+        path = write_report(doc, outdir)
+        docs.append(doc)
+        if echo is not None:
+            if doc["status"] == "ok":
+                line = (f"{name}: {doc['metrics']['packets_per_sec']:,.0f} "
+                        f"pkts/s, {doc['metrics']['wall_s']:.3f}s wall")
+                if doc["speedup_vs_reference"] is not None:
+                    line += (f", {doc['speedup_vs_reference']:.2f}x vs "
+                             f"reference")
+            else:
+                line = f"{name}: FAILED ({doc['error']})"
+            echo(f"{line}  -> {path}")
+        if profile and doc["status"] == "ok":
+            text = profile_workload(workload, seed=seed, scale=scale)
+            ppath = outdir / f"PROFILE_{name}.txt"
+            ppath.write_text(text)
+            if echo is not None:
+                echo(f"{name}: profile -> {ppath}")
+    return docs
+
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION", "BenchDeterminismError", "BenchMeter",
+    "DEFAULT_WORKLOADS", "FAILING_VERDICTS", "Measurement",
+    "NetioWorkload", "SimWorkload", "Verdict", "artifact_name",
+    "build_report", "compare_reports", "failed_report", "has_failures",
+    "load_baselines", "load_report", "profile_workload", "registry",
+    "run_bench", "run_workload", "validate_report", "write_report",
+]

@@ -1,0 +1,104 @@
+"""Baseline comparison: regression verdicts with configurable tolerance.
+
+``repro bench --compare <baseline>`` loads a committed baseline (one
+``BENCH_*.json`` file or a directory of them), matches artifacts by
+workload name, and judges each on its primary metric, packets per
+second::
+
+    current >= baseline * (1 - tolerance)   -> "ok"
+    current >  baseline * (1 + tolerance)   -> "improved"
+    otherwise                               -> "regression"
+
+Workloads whose artifact is ``"failed"``, missing from the baseline, or
+recorded under a different schema version get their own verdicts so CI
+output names the problem instead of crashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from .report import BENCH_SCHEMA_VERSION, load_report
+
+#: verdicts that make the comparison (and CI) fail
+FAILING_VERDICTS = ("regression", "failed", "schema-mismatch")
+
+
+@dataclass
+class Verdict:
+    """One workload's comparison outcome."""
+
+    workload: str
+    verdict: str                    # ok | improved | regression | failed |
+    #                                 no-baseline | schema-mismatch
+    current_pps: float = 0.0
+    baseline_pps: float = 0.0
+    detail: str = ""
+
+    @property
+    def ratio(self) -> float:
+        return self.current_pps / self.baseline_pps if self.baseline_pps \
+            else float("inf")
+
+    def __str__(self) -> str:
+        core = f"{self.workload}: {self.verdict.upper()}"
+        if self.baseline_pps:
+            core += (f"  {self.current_pps:,.0f} vs baseline "
+                     f"{self.baseline_pps:,.0f} pkts/s "
+                     f"({self.ratio:.2f}x)")
+        if self.detail:
+            core += f"  [{self.detail}]"
+        return core
+
+
+def load_baselines(path: str | Path) -> dict:
+    """Workload name -> baseline doc from a file or a directory."""
+    path = Path(path)
+    if path.is_dir():
+        docs = [load_report(p) for p in sorted(path.glob("BENCH_*.json"))]
+    else:
+        docs = [load_report(path)]
+    return {doc["workload"]: doc for doc in docs}
+
+
+def judge(current: dict, baseline: dict | None,
+          tolerance: float = 0.2) -> Verdict:
+    """Verdict for one current artifact against its baseline (or None)."""
+    name = current["workload"]
+    if current["status"] != "ok":
+        return Verdict(name, "failed",
+                       detail=current.get("error", "run failed"))
+    cur_pps = float(current["metrics"]["packets_per_sec"])
+    if baseline is None:
+        return Verdict(name, "no-baseline", current_pps=cur_pps,
+                       detail="no committed baseline for this workload")
+    if baseline.get("schema_version") != BENCH_SCHEMA_VERSION:
+        return Verdict(name, "schema-mismatch", current_pps=cur_pps,
+                       detail=f"baseline schema "
+                              f"{baseline.get('schema_version')!r}")
+    if baseline["status"] != "ok":
+        return Verdict(name, "no-baseline", current_pps=cur_pps,
+                       detail="baseline artifact is itself failed")
+    base_pps = float(baseline["metrics"]["packets_per_sec"])
+    if cur_pps < base_pps * (1.0 - tolerance):
+        verdict = "regression"
+    elif cur_pps > base_pps * (1.0 + tolerance):
+        verdict = "improved"
+    else:
+        verdict = "ok"
+    return Verdict(name, verdict, current_pps=cur_pps,
+                   baseline_pps=base_pps)
+
+
+def compare_reports(reports: list, baselines: dict,
+                    tolerance: float = 0.2) -> list:
+    """Judge every current report against the baseline set."""
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError("tolerance must be in [0, 1)")
+    return [judge(doc, baselines.get(doc["workload"]), tolerance)
+            for doc in reports]
+
+
+def has_failures(verdicts: list) -> bool:
+    return any(v.verdict in FAILING_VERDICTS for v in verdicts)

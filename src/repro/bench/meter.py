@@ -1,0 +1,157 @@
+"""Warmed-up, seeded timing meter.
+
+Benchmark timing on a shared machine is noisy; the meter controls what
+it can:
+
+- **warmup** runs absorb import costs, allocator growth and branch
+  predictor state before anything is timed;
+- **repeats** are timed individually and the *minimum* wall time is the
+  reported one — the floor is the least-noise estimate of the true cost
+  (every slower repeat measured the machine, not the code);
+- **determinism** is asserted, not hoped for: deterministic workloads
+  must return identical counters on every repeat at the fixed seed, so
+  a benchmark can never silently time two different computations;
+- **peak RSS** comes from ``getrusage`` (kilobytes on Linux).  It is a
+  process-lifetime high-water mark: within one ``repro bench``
+  invocation it is monotone across workloads, so compare it between
+  invocations, not between workloads of one run.
+
+GC stays *on* during timing — the production configuration is what
+users run, and the two engines allocate at very different rates, so
+disabling collection would skew exactly the comparison the bench
+exists to make.  A full ``gc.collect()`` runs *before* each timed
+repeat so every repeat starts from a drained heap instead of paying
+for the previous repeat's garbage.
+
+Speedup claims use :meth:`BenchMeter.measure_pair`, which interleaves
+the two legs (A, B, A, B, ...) instead of timing all of A then all of
+B.  Sequential legs are biased on real machines — whichever leg runs
+second sees a warmer CPU and allocator, and the bias easily reaches
+10-15% — while interleaving exposes both legs to the same drift.
+"""
+
+from __future__ import annotations
+
+import gc
+import resource
+import time
+from dataclasses import dataclass, field
+
+from .workloads import DETERMINISM_KEYS
+
+
+class BenchDeterminismError(AssertionError):
+    """Two seeded repeats of a deterministic workload disagreed."""
+
+
+@dataclass
+class Measurement:
+    """Timing of one workload under the meter."""
+
+    wall_s: float                   # min over repeats
+    walls: list = field(default_factory=list)
+    counters: dict = field(default_factory=dict)
+    peak_rss_kb: float = 0.0
+
+    @property
+    def packets_per_sec(self) -> float:
+        return self.counters.get("packets", 0) / max(self.wall_s, 1e-9)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.counters.get("events", 0) / max(self.wall_s, 1e-9)
+
+    @property
+    def sim_seconds_per_wall_second(self) -> float:
+        return self.counters.get("sim_seconds", 0.0) / max(self.wall_s, 1e-9)
+
+    def metrics(self) -> dict:
+        return {
+            "wall_s": self.wall_s,
+            "walls_s": [round(w, 6) for w in self.walls],
+            "packets_per_sec": round(self.packets_per_sec, 2),
+            "events_per_sec": round(self.events_per_sec, 2),
+            "sim_seconds_per_wall_second":
+                round(self.sim_seconds_per_wall_second, 4),
+            "peak_rss_kb": self.peak_rss_kb,
+        }
+
+
+@dataclass
+class BenchMeter:
+    """Runs a workload callable under the warmup/repeat/verify policy."""
+
+    warmup: int = 1
+    repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+
+    def measure(self, fn, deterministic: bool = True,
+                label: str = "workload") -> Measurement:
+        """Time ``fn`` (a no-arg callable returning a counter dict)."""
+        for _ in range(self.warmup):
+            fn()
+        walls: list[float] = []
+        counters: dict | None = None
+        for i in range(self.repeats):
+            gc.collect()
+            t0 = time.perf_counter()
+            c = fn()
+            walls.append(time.perf_counter() - t0)
+            counters = self._check(c, counters, deterministic, label, i)
+        return self._finish(walls, counters)
+
+    def measure_pair(self, fn_a, fn_b, deterministic: bool = True,
+                     label: str = "workload") -> "tuple[Measurement, Measurement]":
+        """Time two callables with interleaved repeats (A, B, A, B, ...).
+
+        This is the honest way to measure a speedup: both legs see the
+        same machine drift instead of the second leg getting the warmer
+        CPU.  Returns ``(measurement_a, measurement_b)``.
+        """
+        for _ in range(self.warmup):
+            fn_a()
+            fn_b()
+        walls_a: list[float] = []
+        walls_b: list[float] = []
+        counters_a: dict | None = None
+        counters_b: dict | None = None
+        for i in range(self.repeats):
+            gc.collect()
+            t0 = time.perf_counter()
+            ca = fn_a()
+            walls_a.append(time.perf_counter() - t0)
+            gc.collect()
+            t0 = time.perf_counter()
+            cb = fn_b()
+            walls_b.append(time.perf_counter() - t0)
+            counters_a = self._check(ca, counters_a, deterministic,
+                                     label, i)
+            counters_b = self._check(cb, counters_b, deterministic,
+                                     f"{label}:pair", i)
+        return self._finish(walls_a, counters_a), \
+            self._finish(walls_b, counters_b)
+
+    def _check(self, c: dict, counters: dict | None, deterministic: bool,
+               label: str, i: int) -> dict:
+        if counters is None:
+            return c
+        if deterministic:
+            for key in DETERMINISM_KEYS:
+                if c.get(key) != counters.get(key):
+                    raise BenchDeterminismError(
+                        f"{label}: repeat {i} produced "
+                        f"{key}={c.get(key)!r} but repeat 0 produced "
+                        f"{counters.get(key)!r} — a seeded workload "
+                        f"must be bit-deterministic")
+        return counters
+
+    @staticmethod
+    def _finish(walls: list, counters: dict | None) -> Measurement:
+        peak_rss = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        return Measurement(wall_s=min(walls), walls=walls,
+                           counters=counters or {}, peak_rss_kb=peak_rss)

@@ -1,0 +1,137 @@
+"""Schema-versioned ``BENCH_<workload>.json`` artifacts.
+
+One JSON document per workload per bench invocation.  The schema is
+versioned so baselines stay comparable across repo growth — bump
+:data:`BENCH_SCHEMA_VERSION` whenever a field changes meaning, and the
+compare layer will refuse to diff across versions instead of producing
+a quietly wrong verdict.
+
+Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "workload": "wired-single",
+      "status": "ok" | "failed",
+      "engine": "batched" | "reference" | "netio",
+      "config": {"warmup": .., "repeats": .., "seed": .., "scale": ..},
+      "counters": {"packets": .., "events": .., "sim_seconds": ..},
+      "metrics": {"wall_s": .., "packets_per_sec": ..,
+                  "events_per_sec": .., "sim_seconds_per_wall_second": ..,
+                  "peak_rss_kb": ..},
+      "reference": {.. same metric keys ..} | null,
+      "speedup_vs_reference": 3.2 | null,
+      "per_cca": {"cubic": {"packets_per_sec": .., "wall_us_per_packet": ..},
+                  ...} | null,
+      "error": "..."            # failed artifacts only
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+BENCH_SCHEMA_VERSION = 1
+
+#: keys every "ok" artifact's metrics block must carry
+_METRIC_KEYS = ("wall_s", "packets_per_sec", "events_per_sec",
+                "sim_seconds_per_wall_second", "peak_rss_kb")
+
+
+def build_report(workload: str, engine: str, config: dict,
+                 measurement, reference=None, per_cca: dict | None = None) \
+        -> dict:
+    """Assemble the artifact document for a successful workload run."""
+    doc = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "workload": workload,
+        "status": "ok",
+        "engine": engine,
+        "config": dict(config),
+        "counters": dict(measurement.counters),
+        "metrics": measurement.metrics(),
+        "reference": reference.metrics() if reference is not None else None,
+        "speedup_vs_reference": (
+            round(reference.wall_s / measurement.wall_s, 3)
+            if reference is not None else None),
+        "per_cca": per_cca,
+    }
+    return doc
+
+
+def failed_report(workload: str, config: dict, error: BaseException) -> dict:
+    """Artifact for a workload whose run raised (explicit, not absent).
+
+    A crashed workload must still leave a schema-valid ``BENCH_*.json``
+    behind — CI reads the directory, and a missing file is
+    indistinguishable from a workload nobody ran.
+    """
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "workload": workload,
+        "status": "failed",
+        "engine": None,
+        "config": dict(config),
+        "counters": {},
+        "metrics": {},
+        "reference": None,
+        "speedup_vs_reference": None,
+        "per_cca": None,
+        "error": f"{type(error).__name__}: {error}",
+    }
+
+
+def artifact_name(workload: str) -> str:
+    return f"BENCH_{workload}.json"
+
+
+def write_report(doc: dict, outdir: str | Path) -> Path:
+    """Write one artifact to ``outdir`` and return its path."""
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    path = outdir / artifact_name(doc["workload"])
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def validate_report(doc: dict) -> list[str]:
+    """Schema check used by tests and the compare layer.
+
+    Returns a list of problems (empty == valid).
+    """
+    problems = []
+    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+        problems.append(f"schema_version {doc.get('schema_version')!r} != "
+                        f"{BENCH_SCHEMA_VERSION}")
+    if not isinstance(doc.get("workload"), str) or not doc.get("workload"):
+        problems.append("workload must be a non-empty string")
+    status = doc.get("status")
+    if status not in ("ok", "failed"):
+        problems.append(f"status {status!r} must be 'ok' or 'failed'")
+    if not isinstance(doc.get("config"), dict):
+        problems.append("config must be a dict")
+    if status == "ok":
+        metrics = doc.get("metrics")
+        if not isinstance(metrics, dict):
+            problems.append("metrics must be a dict")
+        else:
+            for key in _METRIC_KEYS:
+                if not isinstance(metrics.get(key), (int, float)):
+                    problems.append(f"metrics.{key} must be a number")
+        counters = doc.get("counters")
+        if not isinstance(counters, dict) or \
+                not isinstance(counters.get("packets"), (int, float)):
+            problems.append("counters.packets must be a number")
+    if status == "failed" and not doc.get("error"):
+        problems.append("failed artifacts must carry an error string")
+    return problems
+
+
+def load_report(path: str | Path) -> dict:
+    """Read and schema-check one artifact."""
+    doc = json.loads(Path(path).read_text())
+    problems = validate_report(doc)
+    if problems:
+        raise ValueError(f"{path}: invalid BENCH artifact: "
+                         + "; ".join(problems))
+    return doc

@@ -1,0 +1,184 @@
+"""Benchmark workload registry.
+
+Each workload is a frozen, picklable description of one representative
+load on the stack, with a ``run_once(seed, scale)`` method that executes
+it and returns a flat counter dict.  The meter (:mod:`repro.bench.meter`)
+wraps ``run_once`` with warmup, repeats and timing; the report layer
+(:mod:`repro.bench.report`) turns measurements into ``BENCH_*.json``
+artifacts.
+
+Default registry:
+
+- ``wired-single`` — one CUBIC flow through the wired-48 preset, the
+  tentpole workload: the batched engine must beat the reference engine
+  by >= 3x here (the committed baseline records the measured ratio);
+- ``manyflow-16/64/256`` — staggered-start CUBIC flows sharing one
+  bottleneck, stressing scheduler fan-out and per-flow state;
+- ``faulted-burst`` — the stress-burst-loss preset (Gilbert-Elliott
+  burst loss), the faulted trace the batched engine still covers;
+- ``netio-loopback`` — a real reliable-UDP loopback transfer through
+  :mod:`repro.netio` (sockets, asyncio, ARQ), the serving-path number.
+
+``crash-selftest`` is registered but not in :data:`DEFAULT_WORKLOADS`:
+its controller raises mid-run by design, exercising the ``"failed"``
+artifact path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: counter keys that must agree across repeated seeded runs for a
+#: deterministic workload — the meter enforces this
+DETERMINISM_KEYS = ("packets", "events")
+
+
+@dataclass(frozen=True)
+class SimWorkload:
+    """One simulated-dumbbell benchmark load."""
+
+    name: str
+    description: str
+    scenario: str                   # named preset
+    cca: str = "cubic"
+    flows: int = 1
+    duration: float = 20.0
+    stagger: float = 0.0            # flow i starts at i * stagger
+    engine: str = "batched"
+    #: measure a reference-engine leg too and record the speedup
+    compare_reference: bool = False
+    #: extra per-CCA overhead panel (short runs, batched engine)
+    cca_panel: tuple = ()
+    #: simulated runs are bit-deterministic at a fixed seed
+    deterministic: bool = True
+
+    def build_job(self, seed: int, scale: float = 1.0,
+                  engine: str | None = None, cca: str | None = None,
+                  duration: float | None = None):
+        from ..parallel.jobs import FlowSpec, Job, single_flow_job
+        from ..scenarios.presets import named_presets
+
+        sc = named_presets()[self.scenario].with_(
+            engine=engine if engine is not None else self.engine)
+        d = (duration if duration is not None else self.duration) * scale
+        use_cca = cca if cca is not None else self.cca
+        if self.flows == 1:
+            return single_flow_job(use_cca, sc, seed=seed, duration=d)
+        flow_specs = tuple(
+            FlowSpec.make(use_cca, seed=seed + i, start=i * self.stagger)
+            for i in range(self.flows))
+        return Job(scenario=sc, flows=flow_specs, seed=seed, duration=d)
+
+    def run_once(self, seed: int, scale: float = 1.0,
+                 engine: str | None = None, cca: str | None = None,
+                 duration: float | None = None) -> dict:
+        result = self.build_job(seed, scale=scale, engine=engine,
+                                cca=cca, duration=duration).run()
+        return {
+            "packets": sum(f.sent_packets for f in result.flows),
+            "events": result.events_processed,
+            "sim_seconds": result.duration,
+            "engine": result.engine_used,
+        }
+
+
+@dataclass(frozen=True)
+class NetioWorkload:
+    """One real-socket loopback transfer through the netio stack.
+
+    Wall time here includes asyncio scheduling and kernel UDP, so the
+    numbers are throughput of the serving path, not of the simulator.
+    Real sockets under load are not perfectly repeatable (an RTO can
+    fire on a slow CI runner), so the meter skips the determinism check.
+    """
+
+    name: str
+    description: str
+    nbytes: int = 2_097_152
+    cca: str = "cubic"
+    mss: int = 1200
+    compare_reference: bool = False
+    cca_panel: tuple = ()
+    deterministic: bool = False
+
+    def run_once(self, seed: int, scale: float = 1.0,
+                 engine: str | None = None, cca: str | None = None,
+                 duration: float | None = None) -> dict:
+        import asyncio
+
+        from ..netio import NetioServer, send_payload
+        from ..registry import make_controller
+
+        nbytes = max(int(self.nbytes * scale), 64 * self.mss)
+        use_cca = cca if cca is not None else self.cca
+
+        async def transfer():
+            server = NetioServer()
+            host, port = await server.start()
+            try:
+                result = await send_payload(
+                    host, port, make_controller(use_cca, seed=seed),
+                    bytes(nbytes), mss=self.mss, seed=seed,
+                    timeout=120.0, cca_name=use_cca)
+                await server.serve_one(timeout=5.0)
+                return result
+            finally:
+                await server.close()
+
+        result = asyncio.run(transfer())
+        return {
+            "packets": result.sent_packets,
+            "events": result.sent_packets + result.acked_packets,
+            "sim_seconds": result.duration,
+            "engine": "netio",
+        }
+
+
+#: per-CCA overhead panel for the tentpole workload — one classic
+#: window CCA, one rate CCA, and the paper's framework flavour
+_CCA_PANEL = ("cubic", "reno", "bbr", "c-libra")
+
+
+def registry() -> dict:
+    """Name -> workload for every registered benchmark."""
+    workloads = [
+        SimWorkload(
+            name="wired-single",
+            description="single CUBIC flow, wired-48 preset (tentpole: "
+                        "batched engine vs reference, >=3x)",
+            scenario="wired-48", duration=20.0,
+            compare_reference=True, cca_panel=_CCA_PANEL),
+        SimWorkload(
+            name="manyflow-16",
+            description="16 staggered CUBIC flows sharing wired-48",
+            scenario="wired-48", flows=16, duration=8.0, stagger=0.05),
+        SimWorkload(
+            name="manyflow-64",
+            description="64 staggered CUBIC flows sharing wired-48",
+            scenario="wired-48", flows=64, duration=4.0, stagger=0.02),
+        SimWorkload(
+            name="manyflow-256",
+            description="256 staggered CUBIC flows sharing wired-48",
+            scenario="wired-48", flows=256, duration=2.0, stagger=0.005),
+        SimWorkload(
+            name="faulted-burst",
+            description="CUBIC through stress-burst-loss (Gilbert-"
+                        "Elliott bursts, batched engine engaged)",
+            scenario="stress-burst-loss", duration=14.0,
+            compare_reference=True),
+        NetioWorkload(
+            name="netio-loopback",
+            description="2 MiB reliable-UDP loopback transfer (real "
+                        "sockets, CUBIC)"),
+        SimWorkload(
+            name="crash-selftest",
+            description="controller that raises mid-run — exercises the "
+                        "failed-artifact path (not in the default set)",
+            scenario="wired-24", cca="crash-test", duration=10.0),
+    ]
+    return {w.name: w for w in workloads}
+
+
+#: what ``repro bench`` runs when no ``--workloads`` is given
+DEFAULT_WORKLOADS = ("wired-single", "manyflow-16", "manyflow-64",
+                     "manyflow-256", "faulted-burst", "netio-loopback")

@@ -25,6 +25,12 @@ from ..units import DEFAULT_MSS
 class Controller:
     """Base congestion controller (no-op; sends at a fixed rate)."""
 
+    # Slotted: controller attribute reads sit on the per-ACK hot path of
+    # both simulator engines.  Subclasses that declare no __slots__ of
+    # their own still get a __dict__ for their private state — only the
+    # base attributes here are descriptor-backed.
+    __slots__ = ("mss", "meter", "marker", "telemetry", "telemetry_flow")
+
     #: whether the paper's implementation of this CCA runs in userspace
     #: (kernel CCAs are far cheaper per packet — see Fig. 2(c))
     userspace = False
@@ -113,6 +119,8 @@ class Controller:
 class FixedRateController(Controller):
     """Sends at a constant rate forever — useful for tests and cross traffic."""
 
+    __slots__ = ("_rate",)
+
     name = "fixed"
 
     def __init__(self, rate_bps: float):
@@ -132,6 +140,8 @@ class CrashTestController(FixedRateController):
     (``on_error="collect"`` → :class:`~repro.parallel.FailedRun`) in CI
     and tests without planting bugs in real controllers.
     """
+
+    __slots__ = ("crash_after", "_acks")
 
     name = "crash-test"
 
@@ -153,6 +163,9 @@ class WindowController(Controller):
     Maintains ``cwnd`` in bytes, a slow-start threshold, and the common
     loss-validity bookkeeping (one window reduction per RTT).
     """
+
+    __slots__ = ("_initial_cwnd_packets", "cwnd_bytes", "ssthresh",
+                 "min_cwnd_bytes", "_last_reduction_time", "_srtt")
 
     def __init__(self, initial_cwnd_packets: int = 10):
         super().__init__()
@@ -188,6 +201,8 @@ class WindowController(Controller):
 
 class RateController(Controller):
     """Helper base for rate-based CCAs; keeps a bounded pacing rate."""
+
+    __slots__ = ("rate_bps",)
 
     #: absolute floor so flows never stall completely
     MIN_RATE = 64_000.0  # 64 kbps

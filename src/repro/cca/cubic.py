@@ -19,6 +19,12 @@ BETA = 0.7
 class Cubic(WindowController):
     """CUBIC: W(t) = C*(t-K)^3 + W_max."""
 
+    # Fully slotted (the whole base chain declares __slots__): CUBIC is
+    # the default classic CCA, so its per-ACK attribute traffic is hot in
+    # both engines.
+    __slots__ = ("fast_convergence", "tcp_friendly", "w_max", "epoch_start",
+                 "k", "origin_point", "w_tcp", "ack_count")
+
     name = "cubic"
 
     def __init__(self, initial_cwnd_packets: int = 10,
@@ -49,25 +55,32 @@ class Cubic(WindowController):
     # -- feedback ----------------------------------------------------------
 
     def on_ack(self, ack: AckSample) -> None:
-        super().on_ack(ack)
-        if self.in_slow_start():
+        # WindowController.on_ack and in_slow_start(), inlined — this is
+        # the hottest per-ACK path in the simulator (CUBIC is the default
+        # classic CCA), worth flattening the two helper calls.
+        self.meter.counts["per_ack"] += 1.0
+        self._srtt = ack.srtt
+        if self.cwnd_bytes < self.ssthresh:
             self.cwnd_bytes += ack.acked_bytes
             return
         self._cubic_update(ack.now, ack.srtt)
 
     def _cubic_update(self, now: float, rtt: float) -> None:
-        cwnd = self.cwnd_packets
-        if self.epoch_start is None:
-            self.epoch_start = now
+        mss = self.mss
+        cwnd = self.cwnd_bytes / mss  # cwnd_packets, inlined
+        epoch = self.epoch_start
+        if epoch is None:
+            self.epoch_start = epoch = now
             self.ack_count = 1
             self.w_tcp = cwnd
-            if cwnd < self.w_max:
-                self.k = ((self.w_max - cwnd) / CUBE_C) ** (1.0 / 3.0)
-                self.origin_point = self.w_max
+            w_max = self.w_max
+            if cwnd < w_max:
+                self.k = ((w_max - cwnd) / CUBE_C) ** (1.0 / 3.0)
+                self.origin_point = w_max
             else:
                 self.k = 0.0
                 self.origin_point = cwnd
-        t = now - self.epoch_start + rtt
+        t = now - epoch + rtt
         target = self.origin_point + CUBE_C * (t - self.k) ** 3
         if target > cwnd:
             increment = (target - cwnd) / cwnd
@@ -78,7 +91,9 @@ class Cubic(WindowController):
             self.w_tcp += 3.0 * (1.0 - BETA) / (1.0 + BETA) / cwnd
             if self.w_tcp > cwnd + increment:
                 increment = self.w_tcp - cwnd
-        self.cwnd_packets = cwnd + increment
+        # cwnd_packets setter, inlined (max() as a branch: same float)
+        value = cwnd + increment
+        self.cwnd_bytes = (value if value > 2.0 else 2.0) * mss
 
     def on_loss(self, loss: LossSample) -> None:
         if not self.reduction_allowed(loss.now):

@@ -98,7 +98,7 @@ class CCAAdapter:
         win.acked_packets += 1
         win.delivered_bytes += nbytes
         if rtt is not None:
-            win.rtt_samples.append((now, rtt))
+            win.add_rtt(now, rtt)
         sample = AckSample(
             now=now, seq=seq, rtt=rtt if rtt is not None else srtt,
             min_rtt=self.min_rtt, srtt=srtt, acked_bytes=nbytes,

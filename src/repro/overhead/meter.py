@@ -17,6 +17,8 @@ from __future__ import annotations
 class CostMeter:
     """Accumulates labelled operation counts for one controller instance."""
 
+    __slots__ = ("counts",)
+
     CATEGORIES = (
         "per_ack",         # classic per-ACK bookkeeping
         "per_mi",          # monitor-interval bookkeeping

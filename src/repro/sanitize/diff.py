@@ -12,12 +12,14 @@ Built-in modes (``repro diff --mode ...``):
 
 - ``fork`` — in-process serial execution vs. one fork-pool child;
 - ``telemetry`` — telemetry off vs. on (same seeds, recorder attached);
-- ``sanitize`` — sanitizers off vs. on (checks must observe, not perturb).
+- ``sanitize`` — sanitizers off vs. on (checks must observe, not perturb);
+- ``engine`` — reference event-per-hop core vs. the batched fast path
+  (:mod:`repro.simnet.batched`), at exact tolerance: the batched engine
+  claims bit-identical results, and this is the oracle that holds it to
+  that claim.
 
-:func:`diff_jobs` compares two arbitrary jobs, which is the
-forward-looking hook for engine A vs. engine B equivalence once the
-vectorized core (ROADMAP item 1) lands: build the same scenario against
-both engines and demand equal fingerprints.
+:func:`diff_jobs` compares two arbitrary jobs — the general hook the
+``engine`` mode is built on.
 """
 
 from __future__ import annotations
@@ -171,8 +173,10 @@ def run_diff(job, mode: str = "fork", tolerance: float = 0.0) -> DiffReport:
         return _diff_telemetry(job, tolerance)
     if mode == "sanitize":
         return _diff_sanitize(job, tolerance)
+    if mode == "engine":
+        return _diff_engine(job, tolerance)
     raise ValueError(f"unknown diff mode {mode!r}; "
-                     f"use 'fork', 'telemetry' or 'sanitize'")
+                     f"use 'fork', 'telemetry', 'sanitize' or 'engine'")
 
 
 def _diff_fork(job, tolerance: float) -> DiffReport:
@@ -213,3 +217,30 @@ def _diff_sanitize(job, tolerance: float) -> DiffReport:
     return diff_results(plain, checked, mode="sanitize",
                         label_a="sanitize-off", label_b="sanitize-on",
                         tolerance=tolerance)
+
+
+def _diff_engine(job, tolerance: float) -> DiffReport:
+    """Reference core vs. the batched fast path, exact by default.
+
+    Both legs run in-process from the same job with only
+    ``Scenario.engine`` flipped.  Scenarios where the batched engine
+    falls back (CoDel, reorder/delay-spike/ACK faults) still compare —
+    the fallback leg must behave exactly like the reference — and the
+    report notes which engine actually ran.
+    """
+    import dataclasses as _dc
+
+    scenario = job.scenario
+    job_ref = _dc.replace(job, scenario=scenario.with_(engine="reference"))
+    job_bat = _dc.replace(job, scenario=scenario.with_(engine="batched"))
+    result_ref = job_ref.run()
+    result_bat = job_bat.run()
+    report = diff_results(result_ref, result_bat, mode="engine",
+                          label_a="reference", label_b="batched",
+                          tolerance=tolerance)
+    report.notes.append(f"batched leg ran engine={result_bat.engine_used}")
+    if result_bat.engine_used != "batched":
+        report.notes.append("scenario is outside the batched envelope "
+                            "(AQM or fault schedule); the fallback must "
+                            "still match the reference exactly")
+    return report

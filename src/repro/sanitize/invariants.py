@@ -254,7 +254,8 @@ class SimSanitizer:
                       flow=sender.flow_id, sent=stats.sent_packets,
                       acked=stats.acked_packets, lost=stats.lost_packets,
                       outstanding=outstanding, now=sender.loop.now)
-        inflight = float(sum(r.size for r in sender.outstanding.values()))
+        # records are (sent_time, size, delivered_at_send, marker) tuples
+        inflight = float(sum(r[1] for r in sender.outstanding.values()))
         if abs(sender.inflight_bytes - inflight) > \
                 FLOAT_SLACK * max(inflight, 1.0):
             self.fail("simnet.inflight_accounting",

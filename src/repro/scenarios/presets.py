@@ -46,6 +46,11 @@ class Scenario:
     mss: int = 1500
     aqm: str = "droptail"
     faults: FaultSchedule | None = None
+    #: simulation core: "reference" (one event per packet stage) or
+    #: "batched" (fused events; falls back to reference components when
+    #: the AQM or fault schedule requires per-event structure).  Part of
+    #: the frozen spec, hence of the parallel-cache key.
+    engine: str = "reference"
 
     def trace(self, seed: int = 0) -> Trace:
         return self.trace_factory(seed)
@@ -60,7 +65,7 @@ class Scenario:
         return Dumbbell(self.trace(seed), buffer_bytes=self.buffer_bytes,
                         rtt=self.rtt, loss_rate=self.loss_rate, seed=seed,
                         mss=self.mss, aqm=self.aqm, faults=self.faults,
-                        recorder=recorder)
+                        recorder=recorder, engine=self.engine)
 
     def with_(self, **changes) -> "Scenario":
         return replace(self, **changes)

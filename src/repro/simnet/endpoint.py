@@ -15,6 +15,7 @@ score a CCA.
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
@@ -43,15 +44,14 @@ PACING_JITTER = 0.10
 TELEMETRY_SAMPLE_INTERVAL = 0.05
 
 
+#: Sent-packet records are plain tuples ``(sent_time, size,
+#: delivered_at_send, marker)`` — one is allocated per packet on the
+#: hottest path in the simulator, and a tuple literal is markedly
+#: cheaper than any class construction.  Index layout:
+REC_SENT_TIME, REC_SIZE, REC_DELIVERED, REC_MARKER = range(4)
+
+
 @dataclass(slots=True)
-class _SentRecord:
-    sent_time: float
-    size: int
-    delivered_at_send: float
-    marker: int
-
-
-@dataclass
 class FlowStats:
     """Per-flow results assembled after a run."""
 
@@ -122,6 +122,8 @@ class FlowStats:
 class Receiver:
     """Per-flow receiver: counts deliveries and emits acknowledgements."""
 
+    __slots__ = ("loop", "flow_id", "ack_path", "stats", "delivered_bytes")
+
     def __init__(self, loop: EventLoop, flow_id: int,
                  ack_path: Callable[[Ack], None], stats: FlowStats):
         self.loop = loop
@@ -130,14 +132,33 @@ class Receiver:
         self.stats = stats
         self.delivered_bytes = 0.0
 
+    def take(self, packet: Packet, now: float) -> None:
+        """Delivery bookkeeping at time ``now`` without emitting an ACK.
+
+        The batched engine delivers and acknowledges in one fused event
+        that fires at ACK-arrival time; it calls this with the earlier
+        delivery time so receiver counters and bins land where the
+        reference engine put them.  Routing is the caller's problem —
+        no flow-id check here.
+        """
+        size = packet.size
+        self.delivered_bytes += size
+        stats = self.stats
+        stats.delivered_bytes += size
+        # _bump_bin, inlined: this runs once per delivered packet.
+        idx = int((now - stats.start_time) / stats.bin_width)
+        if idx < 0:
+            idx = 0
+        bins = stats.delivered_bins
+        if idx >= len(bins):
+            bins.extend([0.0] * (idx - len(bins) + 1))
+        bins[idx] += size
+
     def on_packet(self, packet: Packet) -> None:
         if packet.flow_id != self.flow_id:
             raise ValueError("packet routed to wrong receiver")
         now = self.loop.now
-        self.delivered_bytes += packet.size
-        stats = self.stats
-        stats.delivered_bytes += packet.size
-        stats._bump_bin(stats.delivered_bins, now, packet.size)
+        self.take(packet, now)
         self.ack_path(Ack(flow_id=packet.flow_id, seq=packet.seq, size=packet.size,
                           sent_time=packet.sent_time, recv_time=now,
                           delivered_bytes=self.delivered_bytes, marker=packet.marker))
@@ -145,6 +166,13 @@ class Receiver:
 
 class Sender:
     """Paced, ACK-clocked sender driven by a :class:`Controller`."""
+
+    __slots__ = ("loop", "flow_id", "controller", "transmit", "mss", "stats",
+                 "recorder", "_tel_channels", "sanitizer", "next_seq",
+                 "inflight_bytes", "delivered_bytes", "sent_bytes",
+                 "outstanding", "send_order", "srtt", "rttvar", "latest_rtt",
+                 "min_rtt", "last_ack_time", "_running", "_blocked",
+                 "_send_timer", "_interval_timer", "_window", "_jitter_rng")
 
     def __init__(self, loop: EventLoop, flow_id: int, controller: Controller,
                  transmit: Callable[[Packet], None], mss: int = DEFAULT_MSS,
@@ -170,7 +198,7 @@ class Sender:
         self.inflight_bytes = 0.0
         self.delivered_bytes = 0.0
         self.sent_bytes = 0.0
-        self.outstanding: dict[int, _SentRecord] = {}
+        self.outstanding: dict[int, tuple] = {}
         self.send_order: deque[int] = deque()
 
         self.srtt = 0.0
@@ -239,7 +267,7 @@ class Sender:
         marker = self.controller.marker
         packet = Packet(flow_id=self.flow_id, seq=seq, size=self.mss,
                         sent_time=now, marker=marker)
-        self.outstanding[seq] = _SentRecord(now, self.mss, self.delivered_bytes, marker)
+        self.outstanding[seq] = (now, self.mss, self.delivered_bytes, marker)
         self.send_order.append(seq)
         self.inflight_bytes += self.mss
         self.sent_bytes += self.mss
@@ -256,22 +284,34 @@ class Sender:
     # -- acknowledgements --------------------------------------------------
 
     def on_ack_packet(self, ack: Ack) -> None:
+        self.process_ack(ack.seq)
+
+    def process_ack(self, seq: int) -> None:
+        """Handle the acknowledgement of ``seq`` at the current sim time.
+
+        Only the sequence number matters — every other signal (RTT,
+        delivery rate, inflight) is derived from the sender's own sent
+        record — so the batched engine calls this directly and skips
+        constructing an :class:`Ack` per packet.
+        """
         if not self._running:
             return
-        record = self.outstanding.pop(ack.seq, None)
+        record = self.outstanding.pop(seq, None)
         if record is None:
             return  # already declared lost
         now = self.loop.now
-        rtt = now - record.sent_time
+        sent_time = record[0]
+        size = record[1]
+        rtt = now - sent_time
         self._update_rtt(rtt, now)
-        self.inflight_bytes = max(0.0, self.inflight_bytes - record.size)
-        self.delivered_bytes += record.size
+        self.inflight_bytes = max(0.0, self.inflight_bytes - size)
+        self.delivered_bytes += size
         self.last_ack_time = now
 
-        elapsed = now - record.sent_time
+        elapsed = now - sent_time
         delivery_rate = 0.0
         if elapsed > 0:
-            delivery_rate = (self.delivered_bytes - record.delivered_at_send) * 8.0 / elapsed
+            delivery_rate = (self.delivered_bytes - record[2]) * 8.0 / elapsed
 
         stats = self.stats
         stats.acked_packets += 1
@@ -284,23 +324,23 @@ class Sender:
 
         win = self._window
         win.acked_packets += 1
-        win.delivered_bytes += record.size
-        win.rtt_samples.append((now, rtt))
+        win.delivered_bytes += size
+        win.add_rtt(now, rtt)
 
         if self.sanitizer is not None:
             self.sanitizer.check_ack_sample(self.flow_id, rtt, self.srtt,
                                             self.inflight_bytes,
                                             delivery_rate, now)
-        sample = AckSample(now=now, seq=ack.seq, rtt=rtt, min_rtt=self.min_rtt,
-                           srtt=self.srtt, acked_bytes=record.size,
+        sample = AckSample(now=now, seq=seq, rtt=rtt, min_rtt=self.min_rtt,
+                           srtt=self.srtt, acked_bytes=size,
                            delivery_rate=delivery_rate,
                            inflight_bytes=self.inflight_bytes,
-                           sent_time=record.sent_time, marker=record.marker)
+                           sent_time=sent_time, marker=record[3])
         self.controller.on_ack(sample)
         if self.controller.userspace:
             self.controller.meter.count("userspace_packet")
 
-        self._detect_reorder_losses(ack.seq)
+        self._detect_reorder_losses(seq)
 
         if self._blocked and self._window_allows():
             self._send_loop()
@@ -343,7 +383,7 @@ class Sender:
         if now - self.last_ack_time < self._rto():
             return
         cutoff = now - self._rto()
-        stale = [s for s, r in self.outstanding.items() if r.sent_time <= cutoff]
+        stale = [s for s, r in self.outstanding.items() if r[0] <= cutoff]
         for seq in stale:
             self._declare_lost(seq)
 
@@ -351,15 +391,16 @@ class Sender:
         record = self.outstanding.pop(seq, None)
         if record is None:
             return
-        self.inflight_bytes = max(0.0, self.inflight_bytes - record.size)
+        size = record[1]
+        self.inflight_bytes = max(0.0, self.inflight_bytes - size)
         self.stats.lost_packets += 1
-        self.stats._bump_bin(self.stats.lost_bins, self.loop.now, record.size)
+        self.stats._bump_bin(self.stats.lost_bins, self.loop.now, size)
         self._window.lost_packets += 1
         self.controller.on_loss(LossSample(now=self.loop.now, seq=seq,
-                                           lost_bytes=record.size,
-                                           sent_time=record.sent_time,
+                                           lost_bytes=size,
+                                           sent_time=record[0],
                                            inflight_bytes=self.inflight_bytes,
-                                           marker=record.marker))
+                                           marker=record[3]))
         if self._blocked and self._window_allows():
             self._send_loop()
 
@@ -422,10 +463,17 @@ class Sender:
 
 
 class _WindowStats:
-    """Rolling statistics for one monitor interval."""
+    """Rolling statistics for one monitor interval.
+
+    RTT samples live in two parallel ``array('d')`` columns rather than a
+    list of tuples: one compact buffer append per ACK instead of a tuple
+    allocation, and the column layout is what a vectorized reducer wants.
+    The reductions in :meth:`report` iterate in the same order as the old
+    tuple list, so derived floats are bit-identical.
+    """
 
     __slots__ = ("start", "delivered_bytes", "sent_bytes", "sent_packets",
-                 "acked_packets", "lost_packets", "rtt_samples")
+                 "acked_packets", "lost_packets", "rtt_t", "rtt_r")
 
     def __init__(self) -> None:
         self.reset(0.0)
@@ -437,17 +485,22 @@ class _WindowStats:
         self.sent_packets = 0
         self.acked_packets = 0
         self.lost_packets = 0
-        self.rtt_samples: list[tuple[float, float]] = []
+        self.rtt_t = array("d")
+        self.rtt_r = array("d")
+
+    def add_rtt(self, now: float, rtt: float) -> None:
+        self.rtt_t.append(now)
+        self.rtt_r.append(rtt)
 
     def report(self, now: float, flow_min_rtt: float) -> IntervalReport:
         duration = max(now - self.start, 1e-9)
         throughput = self.delivered_bytes * 8.0 / duration
         send_rate = self.sent_bytes * 8.0 / duration
-        samples = self.rtt_samples
-        if samples:
-            avg_rtt = sum(r for _, r in samples) / len(samples)
-            min_rtt = min(r for _, r in samples)
-            gradient = _slope(samples)
+        rtts = self.rtt_r
+        if rtts:
+            avg_rtt = sum(rtts) / len(rtts)
+            min_rtt = min(rtts)
+            gradient = _slope(self.rtt_t, rtts)
         else:
             avg_rtt = 0.0
             min_rtt = flow_min_rtt if flow_min_rtt < float("inf") else 0.0
@@ -462,15 +515,15 @@ class _WindowStats:
                               sent_packets=self.sent_packets)
 
 
-def _slope(samples: list[tuple[float, float]]) -> float:
-    """Least-squares slope of (time, rtt) samples — the RTT gradient."""
-    n = len(samples)
+def _slope(times, rtts) -> float:
+    """Least-squares slope of (time, rtt) columns — the RTT gradient."""
+    n = len(rtts)
     if n < 2:
         return 0.0
-    mean_t = sum(t for t, _ in samples) / n
-    mean_r = sum(r for _, r in samples) / n
-    num = sum((t - mean_t) * (r - mean_r) for t, r in samples)
-    den = sum((t - mean_t) ** 2 for t, _ in samples)
+    mean_t = sum(times) / n
+    mean_r = sum(rtts) / n
+    num = sum((t - mean_t) * (r - mean_r) for t, r in zip(times, rtts))
+    den = sum((t - mean_t) ** 2 for t in times)
     if den <= 0:
         return 0.0
     return num / den

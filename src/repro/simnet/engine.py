@@ -9,7 +9,6 @@ the heap entry dead (lazy deletion).
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable
 
 from ..sanitize.errors import EventBudgetExceeded, describe_callback
@@ -54,10 +53,16 @@ class EventLoop:
     #: zero-delay self-rescheduling timer would otherwise spin forever
     MAX_EVENTS = 10_000_000
 
+    __slots__ = ("now", "_heap", "_seq", "_cancelled", "processed",
+                 "sanitizer")
+
     def __init__(self) -> None:
         self.now = 0.0
         self._heap: list[tuple[float, int, Timer]] = []
-        self._seq = itertools.count()
+        # Tie-break counter.  A plain int (not itertools.count) so the
+        # hot scheduling paths — including the batched engine's inlined
+        # pushes — bump it without a call.
+        self._seq = 0
         self._cancelled = 0
         #: events fired so far — surfaced in telemetry run metadata
         self.processed = 0
@@ -76,8 +81,25 @@ class EventLoop:
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         timer = Timer(time, fn, self)
-        heapq.heappush(self._heap, (time, next(self._seq), timer))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, timer))
         return timer
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule a bare, uncancellable callback at absolute time ``time``.
+
+        The batched-engine fast path: no :class:`Timer` handle is
+        allocated, so callers that never cancel (the vast majority of
+        per-packet events) skip one object construction per event.  Ties
+        with ``schedule``/``schedule_at`` entries still break in global
+        scheduling order — both paths draw from the same sequence counter.
+        """
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, fn))
 
     def _note_cancel(self) -> None:
         self._cancelled += 1
@@ -87,7 +109,8 @@ class EventLoop:
 
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify."""
-        self._heap = [e for e in self._heap if not e[2].cancelled]
+        self._heap = [e for e in self._heap
+                      if not (e[2].__class__ is Timer and e[2].cancelled)]
         heapq.heapify(self._heap)
         self._cancelled = 0
 
@@ -102,48 +125,83 @@ class EventLoop:
         """
         budget = self.MAX_EVENTS if max_events is None else max_events
         heap = self._heap
-        timer = None
-        while heap and heap[0][0] <= end_time:
-            time, _, timer = heapq.heappop(heap)
-            if timer.cancelled:
-                self._cancelled -= 1
-                continue
-            if self.sanitizer is not None:
-                self.sanitizer.check_event_time(time, self.now, timer.fn)
-            self.now = time
-            self.processed += 1
-            budget -= 1
-            if budget < 0:
-                raise EventBudgetExceeded(
-                    self.MAX_EVENTS if max_events is None else max_events,
-                    self.now, describe_callback(timer.fn))
-            timer.fn()
-            heap = self._heap  # _compact may have replaced the list
+        heappop = heapq.heappop
+        # Hoisted once per call: attaching a sanitizer mid-run (nothing
+        # does) would take effect on the next run_until call.  The loop
+        # is duplicated so the common unsanitized case pays no per-event
+        # check at all.
+        sanitizer = self.sanitizer
+        fired = 0
+        fn = None
+        try:
+            if sanitizer is None:
+                while heap and heap[0][0] <= end_time:
+                    time, _, entry = heappop(heap)
+                    # ``call_at`` pushes bare callables; only Timers cancel.
+                    if entry.__class__ is Timer:
+                        if entry.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        fn = entry.fn
+                    else:
+                        fn = entry
+                    self.now = time
+                    fired += 1
+                    if fired > budget:
+                        raise EventBudgetExceeded(
+                            budget, self.now, describe_callback(fn))
+                    fn()
+                    heap = self._heap  # _compact may have replaced the list
+            else:
+                while heap and heap[0][0] <= end_time:
+                    time, _, entry = heappop(heap)
+                    if entry.__class__ is Timer:
+                        if entry.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        fn = entry.fn
+                    else:
+                        fn = entry
+                    sanitizer.check_event_time(time, self.now, fn)
+                    self.now = time
+                    fired += 1
+                    if fired > budget:
+                        raise EventBudgetExceeded(
+                            budget, self.now, describe_callback(fn))
+                    fn()
+                    heap = self._heap
+        finally:
+            self.processed += fired
         if self.now < end_time:
             self.now = end_time
 
     def run_all(self, max_events: int | None = None) -> None:
         """Drain the event queue completely (bounded by ``max_events``)."""
         budget = self.MAX_EVENTS if max_events is None else max_events
-        timer = None
+        fn = None
         for _ in range(budget):
             heap = self._heap
             if not heap:
                 return
-            time, _, timer = heapq.heappop(heap)
-            if timer.cancelled:
-                self._cancelled -= 1
-                continue
+            time, _, entry = heapq.heappop(heap)
+            if entry.__class__ is Timer:
+                if entry.cancelled:
+                    self._cancelled -= 1
+                    continue
+                fn = entry.fn
+            else:
+                fn = entry
             if self.sanitizer is not None:
-                self.sanitizer.check_event_time(time, self.now, timer.fn)
+                self.sanitizer.check_event_time(time, self.now, fn)
             self.now = time
             self.processed += 1
-            timer.fn()
+            fn()
         if self._heap:
             raise EventBudgetExceeded(
                 budget, self.now,
-                describe_callback(timer.fn) if timer is not None else "<none>")
+                describe_callback(fn) if fn is not None else "<none>")
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _, _, t in self._heap if not t.cancelled)
+        return sum(1 for _, _, t in self._heap
+                   if not (t.__class__ is Timer and t.cancelled))

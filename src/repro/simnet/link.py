@@ -62,6 +62,13 @@ class BottleneckLink:
     #: amortized cost of bounding the log at O(1) per served packet
     LOG_COMPACT_EVERY = 4096
 
+    __slots__ = ("loop", "trace", "recorder", "queue", "propagation_delay",
+                 "loss_rate", "deliver", "injector", "_rng", "_busy",
+                 "arrived_packets", "random_drops", "fault_drops",
+                 "served_bytes", "served_packets", "_first_arrival",
+                 "_last_service", "_service_log", "service_log_horizon",
+                 "_log_appends")
+
     def __init__(self, loop: EventLoop, trace: Trace, buffer_bytes: float,
                  propagation_delay: float, deliver: Callable[[Packet], None],
                  loss_rate: float = 0.0, seed: int = 0, aqm: str = "droptail",

@@ -17,6 +17,8 @@ if TYPE_CHECKING:  # break the runtime import cycle with repro.cca
     from ..cca.base import Controller
     from ..telemetry import FlowTelemetry, Recorder
 from ..sanitize import invariants as _sanitize
+from .batched import (BatchedBottleneckLink, BatchedSender, FlowPipe,
+                      batch_safe)
 from .endpoint import FlowStats, Receiver, Sender
 from .engine import EventLoop
 from .faults import FaultInjector, FaultSchedule
@@ -42,6 +44,12 @@ class RunResult:
     #: structured trace of the run (``None`` unless telemetry was enabled);
     #: picklable, so it crosses the fork-pool boundary and the result cache
     telemetry: "FlowTelemetry | None" = None
+    #: events the loop fired — the benchmark meter's events/sec numerator;
+    #: engine-dependent by design, so never part of a metric fingerprint
+    events_processed: int = 0
+    #: which engine actually ran ("batched" may fall back to "reference"
+    #: when the scenario's AQM or fault schedule needs per-event structure)
+    engine_used: str = "reference"
 
     @property
     def utilization(self) -> float:
@@ -103,9 +111,13 @@ class Dumbbell:
                  aqm: str = "droptail", faults: FaultSchedule | None = None,
                  recorder: "Recorder | None" = None,
                  sanitizer: "_sanitize.SimSanitizer | None" = None,
-                 service_log_horizon: float | None = None):
+                 service_log_horizon: float | None = None,
+                 engine: str = "reference"):
         if rtt <= 0:
             raise ValueError("rtt must be positive")
+        if engine not in ("reference", "batched"):
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"use 'reference' or 'batched'")
         self.loop = EventLoop()
         self.recorder = recorder
         # Invariant layer: explicit argument wins, else the process-wide
@@ -127,15 +139,36 @@ class Dumbbell:
         self._specs: list[_FlowSpec] = []
         self._senders: list[Sender] = []
         self._receivers: list[Receiver] = []
-        self.link = BottleneckLink(
-            self.loop, trace, buffer_bytes,
-            propagation_delay=rtt / 2.0,
-            deliver=self._deliver,
-            loss_rate=loss_rate, seed=seed, aqm=aqm,
-            injector=self.injector, recorder=recorder,
-            service_log_horizon=service_log_horizon)
+        self._pipes: list[FlowPipe] = []
+        # The batched fast path is only exact for droptail + batch-safe
+        # faults; anything else silently runs the reference components
+        # (``engine_used`` records the outcome, ``repro diff --mode
+        # engine`` verifies the equivalence either way).
+        self._batched = (engine == "batched" and aqm == "droptail"
+                         and batch_safe(faults))
+        self.engine = engine
+        self.engine_used = "batched" if self._batched else "reference"
+        if self._batched:
+            self.link = BatchedBottleneckLink(
+                self.loop, trace, buffer_bytes,
+                propagation_delay=rtt / 2.0,
+                loss_rate=loss_rate, seed=seed,
+                injector=self.injector, recorder=recorder,
+                service_log_horizon=service_log_horizon)
+        else:
+            self.link = BottleneckLink(
+                self.loop, trace, buffer_bytes,
+                propagation_delay=rtt / 2.0,
+                deliver=self._deliver,
+                loss_rate=loss_rate, seed=seed, aqm=aqm,
+                injector=self.injector, recorder=recorder,
+                service_log_horizon=service_log_horizon)
         self.queue_samples: list[tuple[float, int]] = []
         self._queue_sample_interval = 0.05
+        # Scheduling time of the pending queue-sampling tick: the first
+        # one is pushed during run() setup at loop time 0.0, each later
+        # one during the preceding tick.
+        self._sample_sched = 0.0
         if recorder is not None:
             self._tel_link = (recorder.series("link.queue_bytes"),
                               recorder.series("link.served_bytes"),
@@ -176,6 +209,13 @@ class Dumbbell:
 
     def _sample_queue(self) -> None:
         now = self.loop.now
+        if self._batched:
+            # Settle lazily-realized link state so the sample (and the
+            # audit below) observes exactly what the reference engine
+            # would have at this instant.  The tick's own scheduling
+            # time orders it against completions landing exactly on it.
+            self.link.sync(now, self._sample_sched)
+        self._sample_sched = now
         self.queue_samples.append((now, self.link.queue.bytes))
         if self.sanitizer is not None:
             # Conservation sweep piggybacks on the sampling tick so the
@@ -205,11 +245,21 @@ class Dumbbell:
         for flow_id, spec in enumerate(self._specs):
             stats = FlowStats(flow_id=flow_id, start_time=spec.start,
                               end_time=duration)
-            receiver = Receiver(self.loop, flow_id,
-                                self._ack_path(flow_id, spec.extra_rtt), stats)
-            sender = Sender(self.loop, flow_id, spec.controller,
-                            self.link.send, mss=self.mss, stats=stats,
-                            recorder=recorder, sanitizer=self.sanitizer)
+            if self._batched:
+                receiver = Receiver(self.loop, flow_id, None, stats)
+                sender = BatchedSender(self.loop, flow_id, spec.controller,
+                                       self.link.send, mss=self.mss,
+                                       stats=stats, recorder=recorder,
+                                       sanitizer=self.sanitizer)
+                self._pipes.append(FlowPipe(
+                    receiver, sender, self.rtt / 2.0 + spec.extra_rtt))
+            else:
+                receiver = Receiver(self.loop, flow_id,
+                                    self._ack_path(flow_id, spec.extra_rtt),
+                                    stats)
+                sender = Sender(self.loop, flow_id, spec.controller,
+                                self.link.send, mss=self.mss, stats=stats,
+                                recorder=recorder, sanitizer=self.sanitizer)
             if recorder is not None:
                 spec.controller.attach_telemetry(recorder, flow_id=flow_id)
             self._receivers.append(receiver)
@@ -217,8 +267,30 @@ class Dumbbell:
             self.loop.schedule_at(spec.start, sender.start)
             stop = spec.stop if spec.stop is not None else duration
             self.loop.schedule_at(min(stop, duration), sender.stop)
+        if self._batched:
+            self.link.connect(self._pipes)
+            # Every batched sender gets its link and pipe handles (the
+            # tie-break plumbing and MI two-stage flag need them in
+            # both modes); only ``_fast_link`` switches on scalar mode.
+            for sender, pipe in zip(self._senders, self._pipes):
+                sender._blink = self.link
+                sender._pipe = pipe
+            if recorder is None and self.sanitizer is None:
+                # Nothing can look inside the queue or at drop events,
+                # so the datapath runs scalar: sizes in the queue, seqs
+                # in the pipes, zero Packet constructions per run.
+                self.link._scalar = True
+                for sender in self._senders:
+                    sender._fast_link = self.link
         self.loop.schedule(0.0, self._sample_queue)
         self.loop.run_until(duration)
+        if self._batched:
+            # Settle the lazy link state, then apply the end-of-run cut
+            # the reference engine gets for free: deliveries due by the
+            # horizon count, ACKs beyond it never fire.
+            self.link.sync(duration)
+            for pipe in self._pipes:
+                pipe.flush(duration)
         if self.sanitizer is not None:
             # Final sweep: the whole run must balance, not just the
             # sampled instants.
@@ -233,6 +305,7 @@ class Dumbbell:
                 "flows": len(self._senders),
                 "mss": self.mss,
                 "events_processed": self.loop.processed,
+                "engine": self.engine_used,
                 "link_served_bytes": float(self.link.served_bytes),
                 "link_dropped_packets": self.link.queue.dropped_packets,
                 "link_random_drops": self.link.random_drops,
@@ -253,4 +326,6 @@ class Dumbbell:
             queue_samples=self.queue_samples,
             controllers=[spec.controller for spec in self._specs],
             service_log=self.link._service_log,
-            telemetry=telemetry)
+            telemetry=telemetry,
+            events_processed=self.loop.processed,
+            engine_used=self.engine_used)

@@ -21,6 +21,10 @@ class DropTailQueue:
     wires it to the telemetry recorder for traced runs.
     """
 
+    __slots__ = ("capacity_bytes", "on_drop", "_q", "bytes",
+                 "enqueued_packets", "dropped_packets", "dropped_bytes",
+                 "max_bytes_seen")
+
     def __init__(self, capacity_bytes: float, on_drop=None):
         if capacity_bytes <= 0:
             raise ValueError("buffer capacity must be positive")

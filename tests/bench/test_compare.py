@@ -1,0 +1,80 @@
+"""Baseline comparison verdicts (the CI regression gate)."""
+
+import pytest
+
+from repro.bench import (Measurement, build_report, compare_reports,
+                         failed_report, has_failures, load_baselines,
+                         write_report)
+from repro.bench.compare import judge
+
+
+def _doc(workload="w", pps=1000.0):
+    m = Measurement(wall_s=1.0, walls=[1.0],
+                    counters={"packets": pps, "events": pps * 2,
+                              "sim_seconds": 10.0})
+    return build_report(workload, "batched", {}, m)
+
+
+class TestJudge:
+    def test_within_tolerance_is_ok(self):
+        v = judge(_doc(pps=950), _doc(pps=1000), tolerance=0.2)
+        assert v.verdict == "ok"
+        assert v.ratio == pytest.approx(0.95)
+
+    def test_regression_below_tolerance(self):
+        v = judge(_doc(pps=700), _doc(pps=1000), tolerance=0.2)
+        assert v.verdict == "regression"
+        assert "REGRESSION" in str(v)
+
+    def test_improvement_above_tolerance(self):
+        v = judge(_doc(pps=1300), _doc(pps=1000), tolerance=0.2)
+        assert v.verdict == "improved"
+
+    def test_failed_current_artifact(self):
+        v = judge(failed_report("w", {}, RuntimeError("boom")),
+                  _doc(pps=1000))
+        assert v.verdict == "failed"
+        assert "boom" in v.detail
+
+    def test_missing_baseline(self):
+        assert judge(_doc(), None).verdict == "no-baseline"
+
+    def test_schema_mismatch(self):
+        base = _doc(pps=1000)
+        base["schema_version"] = 0
+        assert judge(_doc(), base).verdict == "schema-mismatch"
+
+    def test_failed_baseline_counts_as_missing(self):
+        assert judge(_doc(),
+                     failed_report("w", {}, RuntimeError("x"))).verdict \
+            == "no-baseline"
+
+
+class TestCompareReports:
+    def test_matches_by_workload_name(self):
+        current = [_doc("a", 1000), _doc("b", 500)]
+        baselines = {"a": _doc("a", 1000)}
+        verdicts = compare_reports(current, baselines, tolerance=0.2)
+        assert [v.verdict for v in verdicts] == ["ok", "no-baseline"]
+        assert not has_failures(verdicts)
+
+    def test_has_failures_on_regression(self):
+        verdicts = compare_reports([_doc("a", 100)], {"a": _doc("a", 1000)})
+        assert has_failures(verdicts)
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError):
+            compare_reports([], {}, tolerance=1.5)
+
+
+class TestLoadBaselines:
+    def test_loads_a_directory_of_artifacts(self, tmp_path):
+        write_report(_doc("a", 100), tmp_path)
+        write_report(_doc("b", 200), tmp_path)
+        (tmp_path / "not-a-bench.json").write_text("{}")
+        docs = load_baselines(tmp_path)
+        assert sorted(docs) == ["a", "b"]
+
+    def test_loads_a_single_file(self, tmp_path):
+        path = write_report(_doc("a", 100), tmp_path)
+        assert list(load_baselines(path)) == ["a"]

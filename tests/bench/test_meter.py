@@ -1,0 +1,84 @@
+"""Meter policy: warmup, repeats, min-wall, determinism enforcement."""
+
+import pytest
+
+from repro.bench import BenchDeterminismError, BenchMeter, registry
+from repro.bench.meter import Measurement
+
+
+class TestMeterPolicy:
+    def test_warmup_runs_are_not_timed(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return {"packets": 10, "events": 20}
+
+        m = BenchMeter(warmup=2, repeats=3).measure(fn)
+        assert len(calls) == 5
+        assert len(m.walls) == 3
+        assert m.wall_s == min(m.walls)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            BenchMeter(warmup=-1)
+        with pytest.raises(ValueError):
+            BenchMeter(repeats=0)
+
+    def test_peak_rss_is_positive_on_linux(self):
+        m = BenchMeter(warmup=0, repeats=1).measure(
+            lambda: {"packets": 1, "events": 1})
+        assert m.peak_rss_kb > 0
+
+
+class TestDeterminism:
+    def test_nondeterministic_counters_raise(self):
+        seq = iter([{"packets": 10, "events": 20},
+                    {"packets": 11, "events": 20}])
+        with pytest.raises(BenchDeterminismError, match="packets"):
+            BenchMeter(warmup=0, repeats=2).measure(lambda: next(seq))
+
+    def test_nondeterministic_flag_skips_the_check(self):
+        seq = iter([{"packets": 10, "events": 20},
+                    {"packets": 11, "events": 20}])
+        m = BenchMeter(warmup=0, repeats=2).measure(lambda: next(seq),
+                                                    deterministic=False)
+        assert m.counters["packets"] == 10  # first repeat's counters
+
+    def test_seeded_sim_workload_is_deterministic(self):
+        # Two independent meter passes over the same seeded workload
+        # must agree on every determinism key — this is the guarantee
+        # that a benchmark never times two different computations.
+        w = registry()["manyflow-16"]
+        a = BenchMeter(warmup=0, repeats=2).measure(
+            lambda: w.run_once(seed=7, scale=0.1))
+        b = BenchMeter(warmup=0, repeats=1).measure(
+            lambda: w.run_once(seed=7, scale=0.1))
+        assert a.counters["packets"] == b.counters["packets"]
+        assert a.counters["events"] == b.counters["events"]
+
+
+class TestMeasurePair:
+    def test_interleaves_and_returns_both_legs(self):
+        order = []
+
+        def fa():
+            order.append("a")
+            return {"packets": 5, "events": 9}
+
+        def fb():
+            order.append("b")
+            return {"packets": 5, "events": 9}
+
+        ma, mb = BenchMeter(warmup=1, repeats=2).measure_pair(fa, fb)
+        # warmup pair + two interleaved timed pairs
+        assert order == ["a", "b", "a", "b", "a", "b"]
+        assert isinstance(ma, Measurement) and isinstance(mb, Measurement)
+        assert len(ma.walls) == len(mb.walls) == 2
+
+    def test_pair_enforces_determinism_per_leg(self):
+        seq = iter([{"packets": 1, "events": 1},
+                    {"packets": 2, "events": 1}])
+        with pytest.raises(BenchDeterminismError):
+            BenchMeter(warmup=0, repeats=2).measure_pair(
+                lambda: next(seq), lambda: {"packets": 3, "events": 3})

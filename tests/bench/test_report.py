@@ -1,0 +1,91 @@
+"""BENCH artifact schema: build, validate, write, reload."""
+
+import json
+
+import pytest
+
+from repro.bench import (BENCH_SCHEMA_VERSION, Measurement, artifact_name,
+                         build_report, failed_report, load_report,
+                         validate_report, write_report)
+
+
+def _measurement(packets=1000, wall=0.5):
+    return Measurement(wall_s=wall, walls=[wall, wall * 1.1],
+                       counters={"packets": packets, "events": packets * 2,
+                                 "sim_seconds": 10.0},
+                       peak_rss_kb=50_000.0)
+
+
+class TestBuildReport:
+    def test_ok_report_is_schema_valid(self):
+        doc = build_report("wired-single", "batched",
+                           {"warmup": 1, "repeats": 3, "seed": 1,
+                            "scale": 1.0},
+                           _measurement())
+        assert validate_report(doc) == []
+        assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+        assert doc["status"] == "ok"
+        assert doc["speedup_vs_reference"] is None
+
+    def test_reference_leg_records_speedup(self):
+        doc = build_report("wired-single", "batched", {},
+                           _measurement(wall=0.5),
+                           reference=_measurement(wall=1.6))
+        assert doc["speedup_vs_reference"] == pytest.approx(3.2)
+        assert doc["reference"]["wall_s"] == 1.6
+        assert validate_report(doc) == []
+
+    def test_metrics_are_derived_from_counters(self):
+        doc = build_report("w", "batched", {}, _measurement(packets=1000,
+                                                            wall=0.5))
+        assert doc["metrics"]["packets_per_sec"] == pytest.approx(2000.0)
+        assert doc["metrics"]["events_per_sec"] == pytest.approx(4000.0)
+        assert doc["metrics"]["sim_seconds_per_wall_second"] == \
+            pytest.approx(20.0)
+
+
+class TestFailedReport:
+    def test_failed_report_is_schema_valid(self):
+        doc = failed_report("crash-selftest", {"seed": 1},
+                            RuntimeError("controller raised"))
+        assert validate_report(doc) == []
+        assert doc["status"] == "failed"
+        assert "RuntimeError" in doc["error"]
+
+    def test_failed_report_without_error_is_invalid(self):
+        doc = failed_report("w", {}, RuntimeError("x"))
+        doc["error"] = ""
+        assert validate_report(doc) != []
+
+
+class TestValidation:
+    def test_wrong_schema_version_is_flagged(self):
+        doc = build_report("w", "batched", {}, _measurement())
+        doc["schema_version"] = 999
+        assert any("schema_version" in p for p in validate_report(doc))
+
+    def test_missing_metric_key_is_flagged(self):
+        doc = build_report("w", "batched", {}, _measurement())
+        del doc["metrics"]["packets_per_sec"]
+        assert any("packets_per_sec" in p for p in validate_report(doc))
+
+    def test_bad_status_is_flagged(self):
+        doc = build_report("w", "batched", {}, _measurement())
+        doc["status"] = "maybe"
+        assert any("status" in p for p in validate_report(doc))
+
+
+class TestRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        doc = build_report("wired-single", "batched", {"seed": 1},
+                           _measurement())
+        path = write_report(doc, tmp_path)
+        assert path.name == artifact_name("wired-single") == \
+            "BENCH_wired-single.json"
+        assert load_report(path) == doc
+
+    def test_load_rejects_invalid_artifact(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"workload": "bad"}))
+        with pytest.raises(ValueError, match="invalid BENCH artifact"):
+            load_report(path)

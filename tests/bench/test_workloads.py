@@ -1,0 +1,59 @@
+"""Workload registry and the end-to-end run_bench path."""
+
+import pytest
+
+from repro.bench import (DEFAULT_WORKLOADS, BenchMeter, load_report,
+                         registry, run_bench, run_workload, validate_report)
+
+
+class TestRegistry:
+    def test_default_workloads_are_registered(self):
+        known = registry()
+        for name in DEFAULT_WORKLOADS:
+            assert name in known
+
+    def test_crash_selftest_registered_but_not_default(self):
+        assert "crash-selftest" in registry()
+        assert "crash-selftest" not in DEFAULT_WORKLOADS
+
+    def test_unknown_workload_raises(self, tmp_path):
+        with pytest.raises(KeyError, match="no-such-bench"):
+            run_bench(["no-such-bench"], outdir=tmp_path)
+
+
+class TestRunWorkload:
+    def test_sim_workload_produces_valid_artifact(self):
+        w = registry()["manyflow-16"]
+        doc = run_workload(w, BenchMeter(warmup=0, repeats=1), seed=3,
+                           scale=0.1)
+        assert doc["status"] == "ok"
+        assert doc["engine"] == "batched"
+        assert validate_report(doc) == []
+        assert doc["counters"]["packets"] > 0
+
+    def test_crashing_workload_yields_failed_artifact(self):
+        w = registry()["crash-selftest"]
+        doc = run_workload(w, BenchMeter(warmup=0, repeats=1), scale=0.2)
+        assert doc["status"] == "failed"
+        assert "crash-test" in doc["error"]
+        assert validate_report(doc) == []
+
+
+class TestRunBench:
+    def test_writes_one_artifact_per_workload(self, tmp_path):
+        lines = []
+        docs = run_bench(["manyflow-16", "crash-selftest"],
+                         outdir=tmp_path, warmup=0, repeats=1, scale=0.1,
+                         echo=lines.append)
+        assert len(docs) == 2
+        ok = load_report(tmp_path / "BENCH_manyflow-16.json")
+        failed = load_report(tmp_path / "BENCH_crash-selftest.json")
+        assert ok["status"] == "ok"
+        assert failed["status"] == "failed"
+        assert len(lines) == 2 and "FAILED" in lines[1]
+
+    def test_profile_dump(self, tmp_path):
+        run_bench(["manyflow-16"], outdir=tmp_path, warmup=0, repeats=1,
+                  scale=0.1, profile=True)
+        text = (tmp_path / "PROFILE_manyflow-16.txt").read_text()
+        assert "cumulative" in text
