@@ -41,6 +41,7 @@ EXPERIMENT_MODULES = {
     "ablations": "ablations",
     "stress": "stress",
     "soak": "soak",
+    "scale": "scale",
 }
 
 
@@ -489,8 +490,19 @@ def cmd_diff(args) -> int:
         print(f"unknown scenario {args.scenario!r}; choose from "
               f"{', '.join(sorted(presets))}", file=sys.stderr)
         return 2
-    job = single_flow_job(args.cca, presets[args.scenario], seed=args.seed,
-                          duration=args.duration)
+    if args.churn:
+        from .scale import churn_job, churn_preset
+
+        try:
+            spec = churn_preset(args.churn)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        job = churn_job(spec, args.cca, presets[args.scenario],
+                        seed=args.seed, duration=args.duration)
+    else:
+        job = single_flow_job(args.cca, presets[args.scenario],
+                              seed=args.seed, duration=args.duration)
     modes = ("fork", "telemetry", "sanitize", "engine") if args.mode == "all" \
         else (args.mode,)
     status = 0
@@ -751,6 +763,9 @@ def main(argv=None) -> int:
                       help="scenario preset (default wired-48; see "
                            "`repro list` scenarios)")
     diff.add_argument("--seed", type=int, default=1)
+    diff.add_argument("--churn", default=None,
+                      help="run a named churn workload (e.g. churn-smoke) "
+                           "instead of one long-lived flow")
     diff.add_argument("--duration", type=float, default=None,
                       help="simulated seconds (default: scenario default)")
     diff.add_argument("--mode", default="all",

@@ -16,6 +16,8 @@ Default registry:
   bottleneck, stressing scheduler fan-out and per-flow state;
 - ``faulted-burst`` — the stress-burst-loss preset (Gilbert-Elliott
   burst loss), the faulted trace the batched engine still covers;
+- ``churn-256`` — the 256-session flow-churn workload on the scale-96
+  preset (finite flows, Poisson arrivals — the attach/detach path);
 - ``netio-loopback`` — a real reliable-UDP loopback transfer through
   :mod:`repro.netio` (sockets, asyncio, ARQ), the serving-path number.
 
@@ -68,6 +70,59 @@ class SimWorkload:
             FlowSpec.make(use_cca, seed=seed + i, start=i * self.stagger)
             for i in range(self.flows))
         return Job(scenario=sc, flows=flow_specs, seed=seed, duration=d)
+
+    def run_once(self, seed: int, scale: float = 1.0,
+                 engine: str | None = None, cca: str | None = None,
+                 duration: float | None = None) -> dict:
+        result = self.build_job(seed, scale=scale, engine=engine,
+                                cca=cca, duration=duration).run()
+        return {
+            "packets": sum(f.sent_packets for f in result.flows),
+            "events": result.events_processed,
+            "sim_seconds": result.duration,
+            "engine": result.engine_used,
+        }
+
+
+@dataclass(frozen=True)
+class ChurnWorkload:
+    """One flow-churn benchmark load (finite flows, Poisson arrivals).
+
+    Exercises the attach/detach path the steady-state workloads never
+    touch: budget gates, FIN teardown, fin watchdogs, and a flow
+    population that turns over while the run is hot.  ``scale``
+    shrinks the population, arrival window and horizon together, so a
+    scaled-down run keeps the full run's churn shape (and its
+    packets-per-second profile — the baseline-compare invariant).
+    """
+
+    name: str
+    description: str
+    workload: str                   # named churn preset
+    scenario: str = "scale-96"
+    cca: str = "cubic"
+    engine: str = "batched"
+    compare_reference: bool = False
+    cca_panel: tuple = ()
+    deterministic: bool = True
+
+    def build_job(self, seed: int, scale: float = 1.0,
+                  engine: str | None = None, cca: str | None = None,
+                  duration: float | None = None):
+        from ..scale import churn_job, churn_preset
+        from ..scenarios.presets import named_presets
+
+        sc = named_presets()[self.scenario].with_(
+            engine=engine if engine is not None else self.engine)
+        spec = churn_preset(self.workload)
+        if scale != 1.0:
+            spec = spec.with_(n_flows=max(int(spec.n_flows * scale), 4),
+                              arrival_window=spec.arrival_window * scale,
+                              duration=spec.duration * scale,
+                              name=f"{spec.name}@s{scale:g}")
+        d = duration if duration is not None else spec.duration
+        return churn_job(spec, cca if cca is not None else self.cca, sc,
+                         seed=seed, duration=d)
 
     def run_once(self, seed: int, scale: float = 1.0,
                  engine: str | None = None, cca: str | None = None,
@@ -166,6 +221,11 @@ def registry() -> dict:
                         "Elliott bursts, batched engine engaged)",
             scenario="stress-burst-loss", duration=14.0,
             compare_reference=True),
+        ChurnWorkload(
+            name="churn-256",
+            description="256-session churn workload on scale-96 (finite "
+                        "flows, Poisson arrivals, attach/detach hot)",
+            workload="churn-256"),
         NetioWorkload(
             name="netio-loopback",
             description="2 MiB reliable-UDP loopback transfer (real "
@@ -181,4 +241,5 @@ def registry() -> dict:
 
 #: what ``repro bench`` runs when no ``--workloads`` is given
 DEFAULT_WORKLOADS = ("wired-single", "manyflow-16", "manyflow-64",
-                     "manyflow-256", "faulted-burst", "netio-loopback")
+                     "manyflow-256", "faulted-burst", "churn-256",
+                     "netio-loopback")

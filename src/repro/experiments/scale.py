@@ -1,0 +1,187 @@
+"""Scale experiment: CCAs under datacenter-style flow churn.
+
+Sweeps offered load × flow count × CCA over the named churn workloads
+(:data:`repro.scale.churn.CHURN_PRESETS`) on the 96 Mbps / 40 ms scale
+link and reports, per cell:
+
+- tail flow-completion time (p50/p99) by size class (mouse/elephant),
+- windowed Jain fairness over the flows active in each 1 s window
+  (partial-lifetime flows weighted by their active fraction),
+- aggregate utilization and peak concurrency,
+- completion rate inside the horizon, with failures collected as
+  structured :class:`~repro.parallel.FailedRun` entries.
+
+The load axis stretches each preset's arrival window: ``load=0.5``
+doubles the window (half the offered rate), ``load=1.0`` runs the
+preset as published.  Every row is backed by a schema-validated
+:func:`repro.scale.summary.build_summary` document — the same artifact
+CI's scale-smoke job uploads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel import FailedRun
+from ..scale import build_summary, churn_job, churn_preset, validate_summary
+from ..scenarios.presets import scale_scenario
+from .harness import format_table, run_job_grid
+
+SCALE_CCAS = ("cubic", "bbr", "c-libra")
+SCALE_WORKLOADS = ("churn-128", "churn-256", "churn-512")
+#: multipliers on each preset's offered rate (via the arrival window)
+SCALE_LOADS = (0.5, 1.0)
+
+
+def load_spec(workload: str, load: float):
+    """The churn spec for ``workload`` at a load multiplier.
+
+    ``load`` scales the offered rate by shrinking/stretching the arrival
+    window, leaving sizes (hence FCT size classes) untouched; the name
+    records the multiplier so cells stay distinguishable downstream.
+    """
+    if load <= 0:
+        raise ValueError("load multiplier must be positive")
+    spec = churn_preset(workload)
+    if load == 1.0:
+        return spec
+    return spec.with_(arrival_window=spec.arrival_window / load,
+                      name=f"{spec.name}@x{load:g}")
+
+
+def run_scale(ccas=SCALE_CCAS, workloads=SCALE_WORKLOADS, loads=SCALE_LOADS,
+              seeds=(1,), duration: float | None = None,
+              sanitize: bool = False) -> dict:
+    """Sweep ``workloads`` × ``loads`` × ``ccas`` × ``seeds``.
+
+    Returns ``{workload: {load: {cca: row}}}`` where ``row`` aggregates
+    the per-run summary documents over seeds: ``completion_rate``,
+    ``jain_mean``, ``utilization``, ``concurrency_peak``, per-class
+    ``fct`` (p50/p99 means), plus ``failures`` and ``runs``.  With
+    ``sanitize=True`` every run executes under the invariant layer —
+    attach/detach conservation breaches fail the cell instead of
+    skewing it.
+    """
+    scenario = scale_scenario()
+    jobs, meta = [], []
+    specs = {}
+    for workload in workloads:
+        for load in loads:
+            specs[(workload, load)] = load_spec(workload, load)
+            for cca in ccas:
+                for seed in seeds:
+                    jobs.append(churn_job(specs[(workload, load)], cca,
+                                          scenario, seed=seed,
+                                          duration=duration,
+                                          sanitize=sanitize))
+                    meta.append((workload, load, cca, seed))
+    results = run_job_grid(jobs, on_error="collect", label="scale")
+
+    cells: dict[tuple, dict] = {
+        (w, lo, c): {"docs": [], "failures": []}
+        for w in workloads for lo in loads for c in ccas}
+    for (workload, load, cca, seed), jr in zip(meta, results):
+        cell = cells[(workload, load, cca)]
+        if jr.failure is not None:
+            cell["failures"].append(jr.failure)
+            continue
+        doc = build_summary(jr.result, specs[(workload, load)], cca)
+        doc["scenario"] = scenario.name
+        doc["seed"] = seed
+        cell["docs"].append(validate_summary(doc))
+
+    def _mean(values):
+        values = [v for v in values if v is not None]
+        return float(np.mean(values)) if values else None
+
+    out: dict = {}
+    for workload in workloads:
+        out[workload] = {}
+        for load in loads:
+            per_cca = {}
+            for cca in ccas:
+                cell = cells[(workload, load, cca)]
+                docs = cell["docs"]
+                fct: dict[str, dict] = {}
+                for name in ("mouse", "medium", "elephant"):
+                    klass = [d["fct"]["classes"].get(name) for d in docs]
+                    klass = [k for k in klass if k]
+                    if klass:
+                        fct[name] = {
+                            "p50": _mean([k.get("p50") for k in klass]),
+                            "p99": _mean([k.get("p99") for k in klass]),
+                            "completion_rate": _mean(
+                                [k["completion_rate"] for k in klass]),
+                        }
+                per_cca[cca] = {
+                    "offered_load": _mean([d["offered_load"] for d in docs]),
+                    "flows": int(docs[0]["flows"]) if docs else 0,
+                    "completion_rate": _mean([d["completion_rate"]
+                                              for d in docs]),
+                    "jain_mean": _mean([d["fairness"]["jain_mean"]
+                                        for d in docs]),
+                    "utilization": _mean([d["utilization"]["mean"]
+                                          for d in docs]),
+                    "concurrency_peak": _mean([d["concurrency"]["peak"]
+                                               for d in docs]),
+                    "fct": fct,
+                    "failures": cell["failures"],
+                    "runs": len(docs),
+                }
+            out[workload][load] = per_cca
+    return out
+
+
+def run_engine_selftest():
+    """Differential oracle spot-check on a churn workload.
+
+    Runs the smoke churn population once per engine and demands exact
+    fingerprint equality (FIN stamps included) — attach/detach must not
+    open daylight between the reference and batched cores.  Returns the
+    :class:`~repro.sanitize.diff.DiffReport`; raises on drift.
+    """
+    from ..sanitize.diff import run_diff
+
+    job = churn_job(churn_preset("churn-smoke"), "cubic", scale_scenario(),
+                    seed=1)
+    return run_diff(job, mode="engine").raise_if_unequal()
+
+
+def _fmt(value, digits: int = 3) -> str:
+    return "-" if value is None else f"{value:.{digits}f}"
+
+
+def main() -> None:
+    data = run_scale()
+    rows = []
+    for workload, per_load in data.items():
+        for load, per_cca in per_load.items():
+            for cca, row in per_cca.items():
+                mouse = row["fct"].get("mouse", {})
+                elephant = row["fct"].get("elephant", {})
+                rows.append([
+                    workload, f"x{load:g}", cca, row["flows"],
+                    _fmt(row["completion_rate"]),
+                    _fmt(row["concurrency_peak"], 1),
+                    _fmt(row["utilization"]),
+                    _fmt(row["jain_mean"]),
+                    _fmt(mouse.get("p99")),
+                    _fmt(elephant.get("p99"), 1),
+                    str(len(row["failures"])),
+                ])
+    print(format_table(
+        ["workload", "load", "cca", "flows", "done", "conc", "util",
+         "jain", "mouse p99", "eleph p99", "failed"],
+        rows, title="Scale: CCAs under flow churn (96 Mbps / 40 ms)"))
+    for per_load in data.values():
+        for per_cca in per_load.values():
+            for row in per_cca.values():
+                for failure in row["failures"]:
+                    print(f"  {failure}")
+    diff = run_engine_selftest()
+    print(f"engine-diff selftest: reference vs batched EQUAL on churn "
+          f"({len(diff.fingerprint_a)} metrics)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,17 @@
-"""Evaluation metrics: fairness, convergence, summary statistics."""
+"""Evaluation metrics: fairness, convergence, FCT, windowed statistics."""
 
 from .convergence import convergence_time, post_convergence_stats
 from .fairness import jain_index, throughput_ratio
+from .fct import (convergence_after_arrival, fct_summary,
+                  percentile_nearest_rank, size_class)
 from .stats import cdf_points, normalize, summary
+from .windows import (active_overlap, bytes_in_window, concurrency,
+                      utilization_vs_concurrency, window_series,
+                      windowed_jain, windowed_rates)
 
-__all__ = ["cdf_points", "convergence_time", "jain_index", "normalize",
-           "post_convergence_stats", "summary", "throughput_ratio"]
+__all__ = ["active_overlap", "bytes_in_window", "cdf_points", "concurrency",
+           "convergence_after_arrival", "convergence_time", "fct_summary",
+           "jain_index", "normalize", "percentile_nearest_rank",
+           "post_convergence_stats", "size_class", "summary",
+           "throughput_ratio", "utilization_vs_concurrency", "window_series",
+           "windowed_jain", "windowed_rates"]

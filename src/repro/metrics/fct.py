@@ -1,0 +1,104 @@
+"""Flow-completion-time distributions for finite-flow workloads.
+
+Under churn the interesting number is not steady-state throughput but
+how long each transfer took — and because FCT is dominated by queueing
+for short flows and by bandwidth share for long ones, the distribution
+is reported *per size class* (the datacenter-workload convention):
+
+- ``mouse``    — under 100 KB (latency-bound: a handful of RTTs);
+- ``medium``   — 100 KB to 1 MB (slow-start-bound);
+- ``elephant`` — 1 MB and up (bandwidth-bound).
+
+Percentiles are nearest-rank so two runs with identical FCT multisets
+report bit-identical tails regardless of interpolation conventions.
+"""
+
+from __future__ import annotations
+
+from .convergence import convergence_time
+
+#: upper byte bounds of the named size classes, checked in order; sizes
+#: at or past the last bound fall into the final class
+SIZE_CLASSES: tuple[tuple[str, float], ...] = (
+    ("mouse", 100_000.0),
+    ("medium", 1_000_000.0),
+    ("elephant", float("inf")),
+)
+
+#: the FCT percentiles every summary reports
+FCT_PERCENTILES = (50, 95, 99)
+
+
+def size_class(flow_bytes: float) -> str:
+    """The size-class label for a flow of ``flow_bytes`` bytes."""
+    if flow_bytes <= 0:
+        raise ValueError("flow_bytes must be positive")
+    for name, bound in SIZE_CLASSES:
+        if flow_bytes < bound:
+            return name
+    return SIZE_CLASSES[-1][0]
+
+
+def percentile_nearest_rank(values, pct: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("need at least one value")
+    if not 0 < pct <= 100:
+        raise ValueError("pct must be in (0, 100]")
+    rank = max(int(-(-pct * len(ordered) // 100)), 1)  # ceil without float
+    return float(ordered[rank - 1])
+
+
+def fct_summary(flows) -> dict:
+    """FCT distribution by size class for one run's finite flows.
+
+    Returns ``{"classes": {name: {...}}, "overall": {...}}`` where each
+    per-class dict carries the population (``count``), how many FINned
+    inside the horizon (``completed``, ``completion_rate``), and the
+    nearest-rank ``p50``/``p95``/``p99`` plus mean FCT in seconds over
+    the completed flows (percentile keys absent when nothing completed).
+    Unbounded flows (``flow_bytes is None``) are not part of an FCT
+    population and are skipped.
+    """
+    buckets: dict[str, list] = {name: [] for name, _ in SIZE_CLASSES}
+    for stats in flows:
+        if stats.flow_bytes is None:
+            continue
+        buckets[size_class(stats.flow_bytes)].append(stats)
+
+    def _cell(population) -> dict:
+        fcts = [s.fct for s in population if s.fct is not None]
+        cell = {
+            "count": len(population),
+            "completed": len(fcts),
+            "completion_rate": len(fcts) / len(population)
+            if population else 0.0,
+        }
+        if fcts:
+            for pct in FCT_PERCENTILES:
+                cell[f"p{pct}"] = percentile_nearest_rank(fcts, pct)
+            cell["mean"] = sum(fcts) / len(fcts)
+        return cell
+
+    classes = {name: _cell(population)
+               for name, population in buckets.items() if population}
+    everyone = [s for population in buckets.values() for s in population]
+    return {"classes": classes, "overall": _cell(everyone)}
+
+
+def convergence_after_arrival(stats, stability_window: float = 2.0,
+                              tolerance: float = 0.25) -> float | None:
+    """Seconds from a flow's arrival until its throughput stabilizes.
+
+    The churn analogue of the paper's convergence time: the entry point
+    is the flow's own ``start_time`` (its arrival into a running
+    system), and the default stability window is shorter than the
+    steady-state experiment's 5 s because churned flows may only live a
+    few seconds.  ``None`` when the flow never stabilized (or did not
+    live long enough to certify it).
+    """
+    times, rates = stats.throughput_series()
+    return convergence_time(times, rates, entry_time=stats.start_time,
+                            stability_window=stability_window,
+                            tolerance=tolerance)

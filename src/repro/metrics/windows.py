@@ -1,0 +1,137 @@
+"""Windowed fairness/utilization metrics for churning flow populations.
+
+Whole-run throughput shares are meaningless under flow churn: a flow
+that lived for 2 % of the run would drag a naive Jain index toward zero
+even if it received exactly its fair share *while it was alive*.  Every
+metric here therefore weights a flow by the fraction of the window it
+was actually active — a flow's windowed rate is
+
+    bytes delivered inside the window / seconds active inside the window
+
+(not ``/ window length``), so partial-lifetime flows compare on equal
+footing with full-lifetime ones.  Delivered bytes come from the
+``FlowStats.delivered_bins`` histogram with edge bins pro-rated by
+overlap, matching how the bins themselves spread bytes uniformly.
+"""
+
+from __future__ import annotations
+
+from .fairness import jain_index
+
+#: ignore flows active for less than this fraction of a window — their
+#: rate estimate divides by a sliver of time and is pure noise
+MIN_ACTIVE_FRACTION = 0.05
+
+
+def active_overlap(stats, t0: float, t1: float) -> float:
+    """Seconds of ``[t0, t1)`` during which the flow was active.
+
+    A flow is active from ``start_time`` to ``end_time`` (its FIN for a
+    completed finite flow, the run horizon otherwise).
+    """
+    lo = max(stats.start_time, t0)
+    hi = min(stats.end_time, t1)
+    return max(hi - lo, 0.0)
+
+
+def bytes_in_window(stats, t0: float, t1: float) -> float:
+    """Receiver-side bytes the flow delivered inside ``[t0, t1)``.
+
+    Summed from ``delivered_bins``; the bins at the window edges are
+    pro-rated by their overlap with the window, consistent with the
+    bins' own uniform-spread approximation.
+    """
+    width = stats.bin_width
+    total = 0.0
+    for i, amount in enumerate(stats.delivered_bins):
+        if not amount:
+            continue
+        lo = stats.start_time + i * width
+        hi = lo + width
+        overlap = min(hi, t1) - max(lo, t0)
+        if overlap <= 0.0:
+            continue
+        total += amount * min(overlap / width, 1.0)
+    return total
+
+
+def windowed_rates(flows, t0: float, t1: float) -> dict[int, float]:
+    """Active-time-normalized delivery rate (bps) per flow in a window.
+
+    Only flows active for at least :data:`MIN_ACTIVE_FRACTION` of the
+    window participate; each rate divides by the flow's *active* seconds
+    so arriving/departing flows are not penalized for partial presence.
+    """
+    window = max(t1 - t0, 1e-9)
+    rates = {}
+    for stats in flows:
+        active = active_overlap(stats, t0, t1)
+        if active < MIN_ACTIVE_FRACTION * window:
+            continue
+        rates[stats.flow_id] = bytes_in_window(stats, t0, t1) * 8.0 / active
+    return rates
+
+
+def windowed_jain(flows, t0: float, t1: float) -> float | None:
+    """Jain's index over the flows active in ``[t0, t1)``.
+
+    ``None`` when fewer than two flows were active — fairness over an
+    empty or singleton population carries no information.
+    """
+    rates = windowed_rates(flows, t0, t1)
+    if len(rates) < 2:
+        return None
+    return jain_index(rates.values())
+
+
+def concurrency(flows, t0: float, t1: float) -> float:
+    """Time-averaged number of active flows over ``[t0, t1)``."""
+    window = max(t1 - t0, 1e-9)
+    return sum(active_overlap(s, t0, t1) for s in flows) / window
+
+
+def window_series(flows, duration: float, width: float = 1.0,
+                  capacity_bps: float | None = None) -> list[dict]:
+    """Per-window fairness/load/utilization series for one run.
+
+    Each entry covers ``[t0, t0 + width)`` and carries the windowed Jain
+    index, the time-averaged concurrency, the aggregate delivery rate in
+    bps and — when the bottleneck ``capacity_bps`` is known — the
+    aggregate utilization fraction.  This is the series the scale
+    experiment aggregates into its utilization-vs-concurrency curve.
+    """
+    if width <= 0:
+        raise ValueError("window width must be positive")
+    flows = list(flows)
+    series = []
+    t0 = 0.0
+    while t0 < duration - 1e-9:
+        t1 = min(t0 + width, duration)
+        window = t1 - t0
+        total = sum(bytes_in_window(s, t0, t1) for s in flows)
+        entry = {
+            "t0": t0,
+            "t1": t1,
+            "jain": windowed_jain(flows, t0, t1),
+            "concurrency": concurrency(flows, t0, t1),
+            "rate_bps": total * 8.0 / window,
+        }
+        if capacity_bps:
+            entry["utilization"] = min(entry["rate_bps"] / capacity_bps, 1.0)
+        series.append(entry)
+        t0 = t1
+    return series
+
+
+def utilization_vs_concurrency(flows, duration: float, capacity_bps: float,
+                               width: float = 1.0) -> list[tuple[float, float]]:
+    """(concurrency, utilization) samples, one per window, sorted by load.
+
+    The scale experiment's headline curve: does aggregate utilization
+    hold up as the number of simultaneously active flows grows?
+    """
+    series = window_series(flows, duration, width, capacity_bps)
+    pairs = [(entry["concurrency"], entry["utilization"])
+             for entry in series]
+    pairs.sort(key=lambda p: p[0])
+    return pairs

@@ -30,6 +30,12 @@ class FlowSpec:
     ``seed=None`` inherits the job's network seed — the common
     single-flow case.  ``kwargs`` is stored as a sorted item tuple so
     the spec stays hashable and canonicalizes deterministically.
+
+    ``bytes`` makes the flow finite (FIN once that many bytes are
+    acknowledged; ``None`` = long-lived) and ``traced`` gates the dense
+    per-flow telemetry channels on recorded runs — both are regular
+    fields, so churn workloads (generated flow lists with sizes and
+    sampled tracing) land under their own cache keys automatically.
     """
 
     cca: str
@@ -38,13 +44,17 @@ class FlowSpec:
     stop: float | None = None
     extra_rtt: float = 0.0
     kwargs: tuple = ()
+    bytes: float | None = None
+    traced: int = 1
 
     @classmethod
     def make(cls, cca: str, seed: int | None = None, start: float = 0.0,
              stop: float | None = None, extra_rtt: float = 0.0,
+             bytes: float | None = None, traced: bool = True,
              **kwargs) -> "FlowSpec":
         return cls(cca=cca, seed=seed, start=start, stop=stop,
-                   extra_rtt=extra_rtt, kwargs=tuple(sorted(kwargs.items())))
+                   extra_rtt=extra_rtt, kwargs=tuple(sorted(kwargs.items())),
+                   bytes=bytes, traced=1 if traced else 0)
 
     def build(self, default_seed: int):
         from ..registry import make_controller
@@ -120,7 +130,8 @@ class Job:
         net = self.scenario.build(seed=self.seed, recorder=recorder)
         for flow in self.flows:
             net.add_flow(flow.build(self.seed), start=flow.start,
-                         stop=flow.stop, extra_rtt=flow.extra_rtt)
+                         stop=flow.stop, extra_rtt=flow.extra_rtt,
+                         flow_bytes=flow.bytes, traced=bool(flow.traced))
         return net.run(self.effective_duration)
 
 

@@ -50,6 +50,11 @@ def metric_fingerprint(result) -> dict:
         prefix = f"flow{stats.flow_id}."
         for name in _FLOW_FIELDS:
             fp[prefix + name] = float(getattr(stats, name))
+        # Finite flows: the FIN stamp is run semantics (it is the FCT).
+        # None maps to nan, which compare_fingerprints treats as equal
+        # to nan — long-lived flows agree trivially.
+        fin = stats.fin_time
+        fp[prefix + "fin_time"] = float("nan") if fin is None else float(fin)
     fp["queue_samples"] = float(len(result.queue_samples))
     if result.queue_samples:
         fp["queue_bytes_sum"] = float(sum(b for _, b in result.queue_samples))

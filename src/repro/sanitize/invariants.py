@@ -265,6 +265,41 @@ class SimSanitizer:
                       cached=sender.inflight_bytes, actual=inflight,
                       now=sender.loop.now)
         self.checks += 2
+        limit = sender.flow_bytes
+        if limit is not None:
+            # Finite flows: the budget gate admits at most one packet of
+            # overshoot (the gate is checked before each send, so the
+            # last admitted packet may straddle the limit).  The gate's
+            # accounting is sender-side: ``sender.delivered_bytes`` is
+            # acked bytes, so acked + inflight == sent - lost — bytes
+            # the sender has committed and not written off.
+            ceiling = limit + sender.mss + FLOAT_SLACK * max(limit, 1.0)
+            committed = sender.delivered_bytes + sender.inflight_bytes
+            if committed > ceiling:
+                self.fail("simnet.flow_budget",
+                          f"flow {sender.flow_id} has acked "
+                          f"{sender.delivered_bytes!r} + inflight "
+                          f"{sender.inflight_bytes!r} bytes against a "
+                          f"budget of {limit!r} (+1 mss allowance)",
+                          flow=sender.flow_id,
+                          acked=sender.delivered_bytes,
+                          inflight=sender.inflight_bytes, budget=limit,
+                          now=sender.loop.now)
+            if sender._finished:
+                if sender.delivered_bytes < limit:
+                    self.fail("simnet.flow_fin",
+                              f"flow {sender.flow_id} FINned with only "
+                              f"{sender.delivered_bytes!r} of {limit!r} "
+                              f"budgeted bytes acknowledged",
+                              flow=sender.flow_id,
+                              acked=sender.delivered_bytes,
+                              budget=limit, now=sender.loop.now)
+                if sender._running:
+                    self.fail("simnet.flow_fin",
+                              f"flow {sender.flow_id} is finished but "
+                              f"still marked running",
+                              flow=sender.flow_id, now=sender.loop.now)
+            self.checks += 2
 
     def audit_network(self, net) -> None:
         """Whole-dumbbell conservation sweep (periodic + end of run).

@@ -1,0 +1,19 @@
+"""Flow-churn workloads: dynamic multi-flow populations at scale.
+
+:mod:`repro.scale.churn` generates seeded workloads — Poisson arrivals,
+heavy-tailed flow sizes, on/off application sessions, per-class RTT
+heterogeneity — as plain :class:`~repro.parallel.jobs.FlowSpec` tuples,
+so churn jobs ride the existing parallel/cache/sanitize machinery
+unchanged.  :mod:`repro.scale.summary` reduces a churn run to the
+schema-versioned FCT/fairness summary document the scale experiment and
+CI publish.
+"""
+
+from .churn import (CHURN_PRESETS, ChurnSpec, churn_flows, churn_job,
+                    churn_preset)
+from .summary import (SUMMARY_SCHEMA_VERSION, build_summary,
+                      validate_summary)
+
+__all__ = ["CHURN_PRESETS", "ChurnSpec", "SUMMARY_SCHEMA_VERSION",
+           "build_summary", "churn_flows", "churn_job", "churn_preset",
+           "validate_summary"]

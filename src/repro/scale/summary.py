@@ -1,0 +1,130 @@
+"""Schema-versioned summary documents for churn runs.
+
+One churn run reduces to a small JSON-serializable document — tail FCT
+by size class, windowed fairness, utilization vs. concurrency — that the
+scale experiment aggregates and the CI smoke job publishes as an
+artifact.  :func:`validate_summary` is the dependency-free schema check
+(the container has no ``jsonschema``): required keys, types and ranges,
+raising ``ValueError`` with the offending path.
+"""
+
+from __future__ import annotations
+
+from ..metrics import fct_summary, window_series
+
+SUMMARY_SCHEMA_VERSION = 1
+
+#: windowed metrics use this window width (seconds)
+WINDOW_S = 1.0
+
+
+def build_summary(result, spec, cca: str) -> dict:
+    """Reduce one churn :class:`~repro.simnet.network.RunResult`.
+
+    ``spec`` is the :class:`~repro.scale.churn.ChurnSpec` that generated
+    the run's flow population; the document carries everything the scale
+    tables and the CI artifact need, and nothing per-packet.
+    """
+    duration = result.duration
+    capacity_bps = result.link_capacity_bytes * 8.0 / max(duration, 1e-9)
+    windows = window_series(result.flows, duration, WINDOW_S, capacity_bps)
+    jains = [w["jain"] for w in windows if w["jain"] is not None]
+    utils = [w["utilization"] for w in windows]
+    concs = [w["concurrency"] for w in windows]
+    completed = sum(1 for s in result.flows if s.fin_time is not None)
+    doc = {
+        "schema_version": SUMMARY_SCHEMA_VERSION,
+        "workload": spec.name,
+        "cca": cca,
+        "scenario": "",          # filled by the caller (experiment/CI)
+        "seed": 0,               # filled by the caller
+        "engine": result.engine_used,
+        "duration": float(duration),
+        "offered_load": spec.offered_load(capacity_bps),
+        "flows": len(result.flows),
+        "completed": completed,
+        "completion_rate": completed / len(result.flows)
+        if result.flows else 0.0,
+        "fct": fct_summary(result.flows),
+        "fairness": {
+            "windows": len(jains),
+            "jain_mean": sum(jains) / len(jains) if jains else None,
+            "jain_min": min(jains) if jains else None,
+        },
+        "utilization": {
+            "mean": sum(utils) / len(utils) if utils else 0.0,
+            "peak": max(utils) if utils else 0.0,
+        },
+        "concurrency": {
+            "mean": sum(concs) / len(concs) if concs else 0.0,
+            "peak": max(concs) if concs else 0.0,
+        },
+    }
+    return doc
+
+
+def _expect(doc: dict, key: str, kinds, where: str) -> None:
+    if key not in doc:
+        raise ValueError(f"summary missing {where}{key}")
+    if not isinstance(doc[key], kinds):
+        raise ValueError(f"summary field {where}{key} has type "
+                         f"{type(doc[key]).__name__}, expected "
+                         f"{'/'.join(k.__name__ for k in kinds)}")
+
+
+def validate_summary(doc: dict) -> dict:
+    """Structural schema check; returns ``doc`` so calls compose."""
+    if not isinstance(doc, dict):
+        raise ValueError("summary must be a dict")
+    _expect(doc, "schema_version", (int,), "")
+    if doc["schema_version"] != SUMMARY_SCHEMA_VERSION:
+        raise ValueError(f"summary schema_version {doc['schema_version']} "
+                         f"!= {SUMMARY_SCHEMA_VERSION}")
+    for key in ("workload", "cca", "scenario", "engine"):
+        _expect(doc, key, (str,), "")
+    _expect(doc, "seed", (int,), "")
+    for key in ("duration", "offered_load", "completion_rate"):
+        _expect(doc, key, (int, float), "")
+    for key in ("flows", "completed"):
+        _expect(doc, key, (int,), "")
+        if doc[key] < 0:
+            raise ValueError(f"summary field {key} is negative")
+    if doc["completed"] > doc["flows"]:
+        raise ValueError("summary reports more completions than flows")
+    if not 0.0 <= doc["completion_rate"] <= 1.0:
+        raise ValueError("completion_rate outside [0, 1]")
+
+    _expect(doc, "fct", (dict,), "")
+    fct = doc["fct"]
+    _expect(fct, "classes", (dict,), "fct.")
+    _expect(fct, "overall", (dict,), "fct.")
+    for name, cell in list(fct["classes"].items()) + [("overall",
+                                                       fct["overall"])]:
+        where = f"fct.{name}."
+        for key in ("count", "completed"):
+            _expect(cell, key, (int,), where)
+        _expect(cell, "completion_rate", (int, float), where)
+        for key in ("p50", "p95", "p99", "mean"):
+            if key in cell and not isinstance(cell[key], (int, float)):
+                raise ValueError(f"summary field {where}{key} must be "
+                                 f"numeric")
+        if cell["completed"] and "p99" not in cell:
+            raise ValueError(f"summary field {where}p99 missing despite "
+                             f"completed flows")
+
+    _expect(doc, "fairness", (dict,), "")
+    _expect(doc["fairness"], "windows", (int,), "fairness.")
+    for key in ("jain_mean", "jain_min"):
+        value = doc["fairness"].get(key)
+        if value is not None and not 0.0 <= value <= 1.0 + 1e-9:
+            raise ValueError(f"summary field fairness.{key}={value!r} "
+                             f"outside [0, 1]")
+    for group in ("utilization", "concurrency"):
+        _expect(doc, group, (dict,), "")
+        for key in ("mean", "peak"):
+            _expect(doc[group], key, (int, float), f"{group}.")
+            if doc[group][key] < 0:
+                raise ValueError(f"summary field {group}.{key} is negative")
+    if doc["utilization"]["peak"] > 1.0 + 1e-9:
+        raise ValueError("utilization.peak exceeds 1")
+    return doc

@@ -261,6 +261,27 @@ def stress_scenario(profile: str | FaultSchedule | None) -> Scenario:
                     default_duration=STRESS_DURATION, faults=schedule)
 
 
+# -- scale / flow churn ------------------------------------------------------
+
+SCALE_BW_MBPS = 96.0
+SCALE_RTT = ms(40)
+
+
+def scale_scenario() -> Scenario:
+    """The flow-churn bottleneck: 96 Mbps / 40 ms / 1.5 BDP, batched.
+
+    Sized so hundreds of finite flows genuinely contend (per-flow fair
+    share well under slow-start rates) while a full churn sweep still
+    runs in CI; the batched engine is the default because scale runs are
+    packet-count-bound and the scenario stays inside its envelope (no
+    AQM, no faults).
+    """
+    bdp = mbps(SCALE_BW_MBPS) * SCALE_RTT / 8.0
+    return Scenario(name="scale-96", trace_factory=_const(SCALE_BW_MBPS),
+                    rtt=SCALE_RTT, buffer_bytes=1.5 * bdp,
+                    default_duration=30.0, engine="batched")
+
+
 def rl_default_scenario() -> Scenario:
     """The RL ablation setup: 100 Mbps, 100 ms RTT, 1 BDP (Sec. 4.2)."""
     bdp = mbps(100.0) * ms(100) / 8.0
@@ -281,6 +302,7 @@ def named_presets() -> dict[str, Scenario]:
     presets["step"] = step_scenario()
     presets["fairness"] = fairness_scenario()
     presets["rl-default"] = rl_default_scenario()
+    presets["scale-96"] = scale_scenario()
     presets["stress-clean"] = stress_scenario("clean")
     for profile in sorted(FAULT_PROFILES):
         presets[f"stress-{profile}"] = stress_scenario(profile)

@@ -429,6 +429,15 @@ class BatchedSender(Sender):
         # finish time.
         if not self._running:
             return
+        limit = self.flow_bytes
+        if limit is not None and \
+                self.delivered_bytes + self.inflight_bytes >= limit:
+            # Budget gate, same position as the reference _send_loop:
+            # before the cwnd check and before any jitter draw, so the
+            # pacing RNG streams stay aligned.
+            self._blocked = True
+            self._arm_fin_watchdog()
+            return
         controller = self.controller
         mss = self.mss
         if self._cwnd_simple:
@@ -441,6 +450,10 @@ class BatchedSender(Sender):
             cwnd = controller.cwnd()
         if cwnd is not None and self.inflight_bytes + mss > cwnd:
             self._blocked = True
+            if limit is not None:
+                # Same cwnd-block watchdog as the reference _send_loop:
+                # a finite flow's tail losses must still time out.
+                self._arm_fin_watchdog()
             return
         self._blocked = False
         loop = self.loop
@@ -692,6 +705,9 @@ class FlowPipe:
                 # the reference pushed at the acked packet's delivery
                 # time — the link's tie-break needs exactly that instant.
                 s._send_loop(delivery_time)
+        if s.flow_bytes is not None and not s._finished and \
+                s.delivered_bytes >= s.flow_bytes:
+            s._finish(now)
 
     def flush(self, until: float) -> None:
         """Settle deliveries due by ``until`` whose ACKs never arrived.

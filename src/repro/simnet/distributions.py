@@ -29,6 +29,11 @@ FAULT_STREAM_TAG = 0xFA017
 #: do not share a stream by accident
 IMPAIRMENT_STREAM_TAG = 0x1E710
 
+#: domain-separation tag for flow-churn workload streams (arrivals, flow
+#: sizes, on/off phases, RTT classes, telemetry reservoir) — stable since
+#: PR 10; changing it would invalidate every cached churn result
+CHURN_STREAM_TAG = 0xC40124
+
 
 def fault_rng(schedule_seed: int, run_seed: int) -> np.random.Generator:
     """The fault-decision stream used by :class:`~repro.simnet.faults.FaultInjector`."""
@@ -39,6 +44,96 @@ def impairment_rng(profile_seed: int, run_seed: int) -> np.random.Generator:
     """The socket-layer impairment stream used by ``LoopbackImpairment``."""
     return np.random.default_rng((IMPAIRMENT_STREAM_TAG, profile_seed,
                                   run_seed))
+
+
+def churn_rng(spec_seed: int, run_seed: int) -> np.random.Generator:
+    """The workload-churn stream used by :mod:`repro.scale.churn`.
+
+    Keyed on the churn spec's own seed *and* the run seed so two sweeps
+    over the same spec at different seeds see independent arrival
+    realizations, while (spec, seed) pins the stream bit-for-bit.
+    """
+    return np.random.default_rng((CHURN_STREAM_TAG, spec_seed, run_seed))
+
+
+def poisson_arrivals(rng: np.random.Generator, n: int,
+                     window: float) -> np.ndarray:
+    """``n`` Poisson-process arrival times over ``[0, window)``.
+
+    Conditioned on the count, Poisson arrivals are i.i.d. uniform order
+    statistics, so this consumes exactly one block of ``n`` uniform
+    draws (``rng.random(n)``) and sorts them — no rejection, no
+    data-dependent draw count.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    return np.sort(rng.random(n)) * window
+
+
+def bounded_pareto(rng: np.random.Generator, n: int, alpha: float,
+                   lower: float, upper: float) -> np.ndarray:
+    """``n`` bounded-Pareto(``alpha``) samples in ``[lower, upper]``.
+
+    Inverse-CDF transform of exactly one block of ``n`` uniform draws;
+    the heavy-tailed flow-size staple of datacenter workload studies.
+    """
+    if not (alpha > 0):
+        raise ValueError("alpha must be positive")
+    if not (0 < lower < upper):
+        raise ValueError("need 0 < lower < upper")
+    u = rng.random(n)
+    ratio = (lower / upper) ** alpha
+    return lower / (1.0 - u * (1.0 - ratio)) ** (1.0 / alpha)
+
+
+def lognormal_sizes(rng: np.random.Generator, n: int, median: float,
+                    sigma: float) -> np.ndarray:
+    """``n`` lognormal samples with the given median and log-std.
+
+    Consumes one block of ``n`` standard-normal draws
+    (``rng.standard_normal(n)``).
+    """
+    if median <= 0:
+        raise ValueError("median must be positive")
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    return median * np.exp(sigma * rng.standard_normal(n))
+
+
+def weighted_classes(rng: np.random.Generator, n: int,
+                     weights) -> np.ndarray:
+    """``n`` class indices drawn by weight (one uniform block).
+
+    ``weights`` need not be normalized.  One ``rng.random(n)`` block is
+    mapped through the cumulative weight vector with ``searchsorted`` —
+    the same indices a per-sample loop over cumulative thresholds would
+    produce.
+    """
+    w = np.asarray(list(weights), dtype=float)
+    if w.size == 0 or np.any(w < 0) or w.sum() <= 0:
+        raise ValueError("weights must be non-negative with a positive sum")
+    cum = np.cumsum(w) / w.sum()
+    return np.searchsorted(cum, rng.random(n), side="right")
+
+
+def reservoir_indices(rng: np.random.Generator, n: int, cap: int) -> list[int]:
+    """Algorithm-R reservoir sample of ``cap`` indices out of ``range(n)``.
+
+    Consumes one uniform draw per index past the first ``cap`` (zero
+    draws when ``n <= cap``).  Used to bound the number of
+    densely-traced flows per churn run; returned in ascending order so
+    the selection is stable to iterate.
+    """
+    if cap < 0:
+        raise ValueError("cap must be non-negative")
+    reservoir = list(range(min(cap, n)))
+    for i in range(cap, n):
+        j = int(rng.random() * (i + 1))
+        if j < cap:
+            reservoir[j] = i
+    return sorted(reservoir)
 
 
 def bernoulli(rng: np.random.Generator, probability: float) -> bool:

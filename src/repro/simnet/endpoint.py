@@ -58,6 +58,11 @@ class FlowStats:
     flow_id: int
     start_time: float
     end_time: float
+    #: byte budget for a finite flow (``None`` = long-lived / unbounded)
+    flow_bytes: float | None = None
+    #: instant the sender saw its full byte budget acknowledged (FIN);
+    #: ``None`` for unbounded flows and for flows cut off by the horizon
+    fin_time: float | None = None
     delivered_bytes: float = 0.0
     sent_packets: int = 0
     acked_packets: int = 0
@@ -76,6 +81,18 @@ class FlowStats:
         if idx >= len(bins):
             bins.extend([0.0] * (idx - len(bins) + 1))
         bins[idx] += amount
+
+    @property
+    def completed(self) -> bool:
+        """Whether a finite flow acknowledged its full byte budget."""
+        return self.fin_time is not None
+
+    @property
+    def fct(self) -> float | None:
+        """Flow completion time (FIN minus start); ``None`` if no FIN."""
+        if self.fin_time is None:
+            return None
+        return self.fin_time - self.start_time
 
     @property
     def duration(self) -> float:
@@ -172,13 +189,14 @@ class Sender:
                  "inflight_bytes", "delivered_bytes", "sent_bytes",
                  "outstanding", "send_order", "srtt", "rttvar", "latest_rtt",
                  "min_rtt", "last_ack_time", "_running", "_blocked",
-                 "_send_timer", "_interval_timer", "_window", "_jitter_rng")
+                 "_send_timer", "_interval_timer", "_window", "_jitter_rng",
+                 "flow_bytes", "_finished", "_fin_timer")
 
     def __init__(self, loop: EventLoop, flow_id: int, controller: Controller,
                  transmit: Callable[[Packet], None], mss: int = DEFAULT_MSS,
                  stats: FlowStats | None = None,
                  recorder: "Recorder | None" = None,
-                 sanitizer=None):
+                 sanitizer=None, flow_bytes: float | None = None):
         self.loop = loop
         self.flow_id = flow_id
         self.controller = controller
@@ -213,6 +231,15 @@ class Sender:
         self._interval_timer = None
         self._window = _WindowStats()
         self._jitter_rng = np.random.default_rng(10_007 + flow_id)
+        # Finite-size flows: stop injecting new data once the budget is
+        # delivered-or-inflight, FIN when every budgeted byte is acked.
+        # ``None`` (long-lived flows) keeps the hot paths at a single
+        # attribute check.
+        if flow_bytes is not None and flow_bytes <= 0:
+            raise ValueError("flow_bytes must be positive (or None)")
+        self.flow_bytes = flow_bytes
+        self._finished = False
+        self._fin_timer = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -233,12 +260,59 @@ class Sender:
         self._send_loop()
 
     def stop(self) -> None:
+        if self._finished:
+            return  # FIN already closed the flow; keep its completion stamp
         self._running = False
         self.stats.end_time = self.loop.now
         if self._send_timer is not None:
             self._send_timer.cancel()
         if self._interval_timer is not None:
             self._interval_timer.cancel()
+        if self._fin_timer is not None:
+            self._fin_timer.cancel()
+            self._fin_timer = None
+
+    def _finish(self, now: float) -> None:
+        """FIN: the whole byte budget is acknowledged — close the flow.
+
+        Lost segments are replaced by fresh sends (the budget gate in
+        :meth:`_send_loop` frees their bytes when the loss is declared),
+        so completion means ``flow_bytes`` of *delivered* data, the FCT
+        a retransmitting transport would report.
+        """
+        self._finished = True
+        self._running = False
+        stats = self.stats
+        stats.fin_time = now
+        stats.end_time = now
+        if self._send_timer is not None:
+            self._send_timer.cancel()
+        if self._interval_timer is not None:
+            self._interval_timer.cancel()
+        if self._fin_timer is not None:
+            self._fin_timer.cancel()
+            self._fin_timer = None
+
+    def _arm_fin_watchdog(self) -> None:
+        """RTO-cadence probe while budget-paused with data still in flight.
+
+        A window CCA schedules no monitor-interval timer, so a tail loss
+        on the last budgeted segments would otherwise never be declared
+        (reorder detection needs later ACKs that will never come) and
+        the flow would hang short of its FIN until the horizon.
+        """
+        if self._fin_timer is None and self.outstanding:
+            self._fin_timer = self.loop.schedule(self._rto(), self._fin_probe)
+
+    def _fin_probe(self) -> None:
+        self._fin_timer = None
+        if not self._running:
+            return
+        self._check_timeout_losses()
+        if self._running and self._blocked and self._window_allows():
+            self._send_loop()
+        if self._running and self._fin_timer is None and self.outstanding:
+            self._fin_timer = self.loop.schedule(self._rto(), self._fin_probe)
 
     # -- pacing ----------------------------------------------------------
 
@@ -257,8 +331,23 @@ class Sender:
     def _send_loop(self) -> None:
         if not self._running:
             return
+        limit = self.flow_bytes
+        if limit is not None and \
+                self.delivered_bytes + self.inflight_bytes >= limit:
+            # Budget gate: every remaining byte is already in flight (a
+            # declared loss frees its bytes and re-enters here), so pause
+            # like a cwnd block — ACK/loss unblocks re-probe this path.
+            self._blocked = True
+            self._arm_fin_watchdog()
+            return
         if not self._window_allows():
             self._blocked = True
+            if limit is not None:
+                # A finite flow blocked on cwnd with its tail in flight
+                # can deadlock if those ACKs never come (window CCAs
+                # have no MI timer to run the RTO sweep) — keep the fin
+                # watchdog armed until the budget resolves.
+                self._arm_fin_watchdog()
             return
         self._blocked = False
         now = self.loop.now
@@ -344,6 +433,9 @@ class Sender:
 
         if self._blocked and self._window_allows():
             self._send_loop()
+        if self.flow_bytes is not None and not self._finished and \
+                self.delivered_bytes >= self.flow_bytes:
+            self._finish(now)
 
     def _update_rtt(self, rtt: float, now: float) -> None:
         self.latest_rtt = rtt

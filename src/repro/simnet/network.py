@@ -91,6 +91,12 @@ class _FlowSpec:
     start: float
     stop: float | None
     extra_rtt: float
+    #: byte budget for a finite flow (``None`` = runs until stop/horizon)
+    flow_bytes: float | None = None
+    #: whether this flow gets dense per-flow telemetry channels when the
+    #: run is traced — churn runs cap the traced set reservoir-style so
+    #: artifacts stay bounded at hundreds of concurrent flows
+    traced: bool = True
 
 
 class Dumbbell:
@@ -172,18 +178,31 @@ class Dumbbell:
         if recorder is not None:
             self._tel_link = (recorder.series("link.queue_bytes"),
                               recorder.series("link.served_bytes"),
-                              recorder.series("link.dropped_packets"))
+                              recorder.series("link.dropped_packets"),
+                              recorder.series("link.active_flows"))
         else:
             self._tel_link = None
 
     # -- construction ------------------------------------------------------
 
     def add_flow(self, controller: Controller, start: float = 0.0,
-                 stop: float | None = None, extra_rtt: float = 0.0) -> int:
-        """Register a flow; returns its flow id."""
+                 stop: float | None = None, extra_rtt: float = 0.0,
+                 flow_bytes: float | None = None, traced: bool = True) -> int:
+        """Register a flow; returns its flow id.
+
+        ``flow_bytes`` makes the flow finite: it stops injecting new
+        data once the budget is delivered-or-inflight and FINs when the
+        last budgeted byte is acknowledged (``FlowStats.fin_time`` /
+        ``.fct``).  ``start`` schedules a mid-run attach; together they
+        are the churn workload primitive.  ``traced=False`` keeps a flow
+        out of the dense per-flow telemetry set on recorded runs.
+        """
         if start < 0:
             raise ValueError("start must be non-negative")
-        self._specs.append(_FlowSpec(controller, start, stop, extra_rtt))
+        if flow_bytes is not None and flow_bytes <= 0:
+            raise ValueError("flow_bytes must be positive (or None)")
+        self._specs.append(_FlowSpec(controller, start, stop, extra_rtt,
+                                     flow_bytes, traced))
         return len(self._specs) - 1
 
     # -- wiring ----------------------------------------------------------
@@ -222,11 +241,12 @@ class Dumbbell:
             # audit cadence is bounded (not per-packet).
             self.sanitizer.audit_network(self)
         if self._tel_link is not None:
-            queue_ch, served_ch, dropped_ch = self._tel_link
+            queue_ch, served_ch, dropped_ch, active_ch = self._tel_link
             queue_ch.add(now, self.link.queue.bytes)
             served_ch.add(now, self.link.served_bytes)
             dropped_ch.add(now, self.link.queue.dropped_packets
                            + self.link.random_drops + self.link.fault_drops)
+            active_ch.add(now, sum(1 for s in self._senders if s._running))
         self.loop.schedule(self._queue_sample_interval, self._sample_queue)
 
     # -- execution -----------------------------------------------------------
@@ -244,13 +264,20 @@ class Dumbbell:
                                duration=blackout.duration, end=blackout.end)
         for flow_id, spec in enumerate(self._specs):
             stats = FlowStats(flow_id=flow_id, start_time=spec.start,
-                              end_time=duration)
+                              end_time=duration, flow_bytes=spec.flow_bytes)
+            # Sampled telemetry: flows outside the traced set see no
+            # recorder at all, so neither the per-MI channels nor the
+            # controller's telemetry hooks materialize for them.  The
+            # run-level recorder (link channels, events, meta) is
+            # unaffected.
+            flow_recorder = recorder if spec.traced else None
             if self._batched:
                 receiver = Receiver(self.loop, flow_id, None, stats)
                 sender = BatchedSender(self.loop, flow_id, spec.controller,
                                        self.link.send, mss=self.mss,
-                                       stats=stats, recorder=recorder,
-                                       sanitizer=self.sanitizer)
+                                       stats=stats, recorder=flow_recorder,
+                                       sanitizer=self.sanitizer,
+                                       flow_bytes=spec.flow_bytes)
                 self._pipes.append(FlowPipe(
                     receiver, sender, self.rtt / 2.0 + spec.extra_rtt))
             else:
@@ -259,9 +286,12 @@ class Dumbbell:
                                     stats)
                 sender = Sender(self.loop, flow_id, spec.controller,
                                 self.link.send, mss=self.mss, stats=stats,
-                                recorder=recorder, sanitizer=self.sanitizer)
-            if recorder is not None:
-                spec.controller.attach_telemetry(recorder, flow_id=flow_id)
+                                recorder=flow_recorder,
+                                sanitizer=self.sanitizer,
+                                flow_bytes=spec.flow_bytes)
+            if flow_recorder is not None:
+                spec.controller.attach_telemetry(flow_recorder,
+                                                 flow_id=flow_id)
             self._receivers.append(receiver)
             self._senders.append(sender)
             self.loop.schedule_at(spec.start, sender.start)
@@ -303,6 +333,9 @@ class Dumbbell:
             meta = {
                 "duration": duration,
                 "flows": len(self._senders),
+                "flows_traced": sum(1 for spec in self._specs if spec.traced),
+                "flows_completed": sum(
+                    1 for s in self._senders if s.stats.fin_time is not None),
                 "mss": self.mss,
                 "events_processed": self.loop.processed,
                 "engine": self.engine_used,

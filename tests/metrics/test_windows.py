@@ -1,0 +1,162 @@
+"""Windowed fairness/FCT metrics: partial-lifetime weighting."""
+
+import math
+
+import pytest
+
+from repro.metrics import (active_overlap, bytes_in_window, concurrency,
+                           fct_summary, percentile_nearest_rank, size_class,
+                           utilization_vs_concurrency, window_series,
+                           windowed_jain, windowed_rates)
+from repro.simnet.endpoint import FlowStats
+
+
+def flow(flow_id, start, end, rate_bps, fin=None, flow_bytes=None,
+         bin_width=0.25):
+    """A synthetic FlowStats delivering at a constant rate while alive."""
+    stats = FlowStats(flow_id=flow_id, start_time=start, end_time=end,
+                      flow_bytes=flow_bytes, fin_time=fin,
+                      bin_width=bin_width)
+    t = start
+    while t < end - 1e-12:
+        step = min(bin_width, end - t)
+        stats._bump_bin(stats.delivered_bins, t, rate_bps / 8.0 * step)
+        stats.delivered_bytes += rate_bps / 8.0 * step
+        t += step
+    return stats
+
+
+class TestOverlapAndBytes:
+    def test_active_overlap_clamps(self):
+        s = flow(0, 2.0, 6.0, 8e6)
+        assert active_overlap(s, 0.0, 10.0) == pytest.approx(4.0)
+        assert active_overlap(s, 3.0, 4.0) == pytest.approx(1.0)
+        assert active_overlap(s, 7.0, 9.0) == 0.0
+
+    def test_bytes_in_window_prorates_edges(self):
+        s = flow(0, 0.0, 4.0, 8e6)  # 1 MB/s
+        # window [0.5, 1.5) catches half of two edge bins + full middles
+        assert bytes_in_window(s, 0.5, 1.5) == pytest.approx(1e6, rel=1e-6)
+        assert bytes_in_window(s, 0.0, 4.0) == pytest.approx(4e6, rel=1e-6)
+
+
+class TestPartialLifetimeWeighting:
+    def test_late_arrival_not_penalized(self):
+        """A flow active for half the window at the same rate as a
+        full-window flow must report the SAME windowed rate — this is
+        the partial-lifetime fix."""
+        full = flow(0, 0.0, 10.0, 8e6)
+        half = flow(1, 5.0, 10.0, 8e6)  # arrives mid-window
+        rates = windowed_rates([full, half], 0.0, 10.0)
+        assert rates[0] == pytest.approx(8e6, rel=1e-3)
+        assert rates[1] == pytest.approx(8e6, rel=1e-3)
+
+    def test_jain_fair_despite_churn(self):
+        """Equal-rate flows with staggered lifetimes → Jain ≈ 1."""
+        flows = [flow(i, i * 1.0, i * 1.0 + 4.0, 8e6) for i in range(4)]
+        jain = windowed_jain(flows, 0.0, 7.0)
+        assert jain == pytest.approx(1.0, abs=1e-3)
+
+    def test_naive_jain_would_have_failed(self):
+        """Sanity: window-length normalization would punish the short
+        flow; active-time normalization must not."""
+        full = flow(0, 0.0, 10.0, 8e6)
+        sliver = flow(1, 9.0, 10.0, 8e6)
+        jain = windowed_jain([full, sliver], 0.0, 10.0)
+        assert jain == pytest.approx(1.0, abs=1e-3)
+        naive = (2.0 ** 2) / (2 * (1.0 + (0.1) ** 2)) / \
+            ((1.0 + 0.1) ** 2 / (2 * (1.0 + 0.01)))  # ≠ 1 by construction
+        assert naive != pytest.approx(1.0, abs=1e-3)
+
+    def test_sliver_flows_excluded(self):
+        """Flows alive under MIN_ACTIVE_FRACTION of the window carry no
+        rate information and are dropped from the population."""
+        full = flow(0, 0.0, 10.0, 8e6)
+        blink = flow(1, 5.0, 5.2, 8e6)  # 2% of the window
+        rates = windowed_rates([full, blink], 0.0, 10.0)
+        assert 1 not in rates
+        assert windowed_jain([full, blink], 0.0, 10.0) is None
+
+    def test_jain_none_for_singleton(self):
+        assert windowed_jain([flow(0, 0.0, 4.0, 8e6)], 0.0, 4.0) is None
+
+
+class TestSeries:
+    def test_concurrency_time_average(self):
+        flows = [flow(0, 0.0, 10.0, 8e6), flow(1, 0.0, 5.0, 8e6)]
+        assert concurrency(flows, 0.0, 10.0) == pytest.approx(1.5)
+
+    def test_window_series_shape(self):
+        flows = [flow(0, 0.0, 10.0, 8e6), flow(1, 2.0, 8.0, 8e6)]
+        series = window_series(flows, 10.0, 1.0, capacity_bps=20e6)
+        assert len(series) == 10
+        assert all(0.0 <= w["utilization"] <= 1.0 for w in series)
+        assert series[3]["concurrency"] == pytest.approx(2.0)
+
+    def test_utilization_vs_concurrency_sorted(self):
+        flows = [flow(i, i * 2.0, i * 2.0 + 6.0, 8e6) for i in range(3)]
+        pairs = utilization_vs_concurrency(flows, 12.0, 48e6, width=1.0)
+        assert len(pairs) == 12
+        assert pairs == sorted(pairs, key=lambda p: p[0])
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            window_series([], 10.0, 0.0)
+
+
+class TestFct:
+    def test_size_classes(self):
+        assert size_class(50_000) == "mouse"
+        assert size_class(500_000) == "medium"
+        assert size_class(5_000_000) == "elephant"
+        with pytest.raises(ValueError):
+            size_class(0)
+
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile_nearest_rank(values, 50) == 5.0
+        assert percentile_nearest_rank(values, 95) == 10.0
+        assert percentile_nearest_rank(values, 99) == 10.0
+        assert percentile_nearest_rank([3.0], 99) == 3.0
+        with pytest.raises(ValueError):
+            percentile_nearest_rank([], 50)
+
+    def test_fct_summary_by_class(self):
+        flows = [
+            flow(0, 0.0, 0.5, 8e6, fin=0.5, flow_bytes=50_000.0),
+            flow(1, 1.0, 1.4, 8e6, fin=1.4, flow_bytes=80_000.0),
+            flow(2, 0.0, 10.0, 8e6, fin=None, flow_bytes=5e6),  # cut off
+            flow(3, 0.0, 10.0, 8e6, fin=None, flow_bytes=None),  # unbounded
+        ]
+        doc = fct_summary(flows)
+        mouse = doc["classes"]["mouse"]
+        assert mouse["count"] == 2
+        assert mouse["completed"] == 2
+        assert mouse["p50"] == pytest.approx(0.4)
+        assert mouse["p99"] == pytest.approx(0.5)
+        elephant = doc["classes"]["elephant"]
+        assert elephant["completed"] == 0
+        assert "p99" not in elephant
+        assert doc["overall"]["count"] == 3  # unbounded flow excluded
+        assert doc["overall"]["completion_rate"] == pytest.approx(2 / 3)
+
+    def test_fct_summary_empty(self):
+        doc = fct_summary([])
+        assert doc["classes"] == {}
+        assert doc["overall"]["count"] == 0
+
+
+class TestConvergenceAfterArrival:
+    def test_stable_flow_converges(self):
+        from repro.metrics import convergence_after_arrival
+
+        s = flow(0, 2.0, 12.0, 8e6)
+        conv = convergence_after_arrival(s)
+        assert conv is not None
+        assert conv >= 0.0
+
+    def test_truncated_flow_returns_none(self):
+        from repro.metrics import convergence_after_arrival
+
+        s = flow(0, 0.0, 0.5, 8e6)
+        assert convergence_after_arrival(s) is None

@@ -1,0 +1,112 @@
+"""Churn workload generator: determinism, cache keys, presets."""
+
+import pytest
+
+from repro.parallel.cache import job_key
+from repro.parallel.jobs import FlowSpec
+from repro.scale import (CHURN_PRESETS, ChurnSpec, churn_flows, churn_job,
+                         churn_preset)
+from repro.scenarios.presets import scale_scenario
+
+SPEC = ChurnSpec(name="t", n_flows=40, arrival_window=5.0, duration=12.0,
+                 onoff_fraction=0.3, trace_cap=6,
+                 rtt_classes=((0.0, 0.6), (0.03, 0.4)), seed=7)
+
+
+class TestDeterminism:
+    def test_identical_seed_bit_identical(self):
+        assert churn_flows(SPEC, "cubic", 3) == churn_flows(SPEC, "cubic", 3)
+
+    def test_run_seed_varies_realization(self):
+        assert churn_flows(SPEC, "cubic", 3) != churn_flows(SPEC, "cubic", 4)
+
+    def test_spec_seed_varies_realization(self):
+        assert churn_flows(SPEC, "cubic", 3) != \
+            churn_flows(SPEC.with_(seed=8), "cubic", 3)
+
+    def test_serial_vs_fork_identical(self):
+        """The generator must be pure data — a fork-pool child running
+        the same churn job reproduces the serial run bit-for-bit."""
+        from repro.sanitize.diff import run_diff
+
+        job = churn_job(churn_preset("churn-smoke"), "cubic",
+                        scale_scenario(), seed=2)
+        run_diff(job, mode="fork").raise_if_unequal()
+
+    def test_flows_are_plain_flowspecs(self):
+        flows = churn_flows(SPEC, "cubic", 1)
+        assert all(isinstance(f, FlowSpec) for f in flows)
+        assert all(f.bytes is not None and f.bytes >= 1500.0 for f in flows)
+        assert all(f.seed == i for i, f in enumerate(flows))
+
+
+class TestStructure:
+    def test_arrivals_inside_window(self):
+        flows = churn_flows(SPEC.with_(onoff_fraction=0.0), "cubic", 1)
+        assert len(flows) == SPEC.n_flows
+        assert all(0.0 <= f.start < SPEC.arrival_window for f in flows)
+
+    def test_onoff_sessions_emit_phases(self):
+        flows = churn_flows(SPEC, "cubic", 1)
+        # 30% of 40 sessions split into 3 phases each → more flows than
+        # sessions, and phase think-gaps can push starts past the window
+        assert len(flows) > SPEC.n_flows
+
+    def test_trace_cap_bounds_traced_flows(self):
+        flows = churn_flows(SPEC, "cubic", 1)
+        assert sum(f.traced for f in flows) == SPEC.trace_cap
+
+    def test_rtt_classes_applied(self):
+        flows = churn_flows(SPEC, "cubic", 1)
+        extras = {f.extra_rtt for f in flows}
+        assert extras == {0.0, 0.03}
+
+    def test_offered_load_positive(self):
+        assert SPEC.offered_load(96e6) > 0.0
+        log = SPEC.with_(size_dist="lognormal")
+        assert log.offered_load(96e6) > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnSpec(name="bad", n_flows=0, arrival_window=1.0,
+                      duration=1.0)
+        with pytest.raises(ValueError):
+            ChurnSpec(name="bad", n_flows=1, arrival_window=1.0,
+                      duration=1.0, size_dist="uniform")
+        with pytest.raises(ValueError):
+            ChurnSpec(name="bad", n_flows=1, arrival_window=1.0,
+                      duration=1.0, onoff_fraction=1.5)
+
+    def test_presets_wellformed(self):
+        for name, spec in CHURN_PRESETS.items():
+            assert spec.name == name
+            assert churn_preset(name) is spec
+        with pytest.raises(KeyError, match="churn-smoke"):
+            churn_preset("nope")
+
+
+class TestCacheKeys:
+    def test_key_stable_for_same_spec(self):
+        scen = scale_scenario()
+        a = churn_job(SPEC, "cubic", scen, seed=1)
+        b = churn_job(SPEC, "cubic", scen, seed=1)
+        assert job_key(a) == job_key(b)
+
+    def test_key_tracks_churn_parameters(self):
+        """Any spec change must reach the cache key via the flow tuple."""
+        scen = scale_scenario()
+        base = job_key(churn_job(SPEC, "cubic", scen, seed=1))
+        assert job_key(churn_job(SPEC.with_(seed=9), "cubic",
+                                 scen, seed=1)) != base
+        assert job_key(churn_job(SPEC.with_(n_flows=41), "cubic",
+                                 scen, seed=1)) != base
+        assert job_key(churn_job(SPEC.with_(max_kb=9000.0), "cubic",
+                                 scen, seed=1)) != base
+        assert job_key(churn_job(SPEC, "bbr", scen, seed=1)) != base
+        assert job_key(churn_job(SPEC, "cubic", scen, seed=2)) != base
+
+    def test_key_tracks_trace_cap(self):
+        scen = scale_scenario()
+        base = job_key(churn_job(SPEC, "cubic", scen, seed=1))
+        assert job_key(churn_job(SPEC.with_(trace_cap=7), "cubic",
+                                 scen, seed=1)) != base

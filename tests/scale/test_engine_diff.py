@@ -1,0 +1,52 @@
+"""Differential oracle coverage for churn workloads.
+
+Attach/detach (mid-run flow starts, FIN teardown) must not open
+daylight between any execution configuration pair: serial vs fork,
+telemetry off/on (with reservoir-sampled tracing), sanitize off/on,
+reference vs batched — including the CoDel fallback where the batched
+envelope cannot hold.
+"""
+
+import pytest
+
+from repro.sanitize.diff import run_diff
+from repro.scale import churn_job, churn_preset
+from repro.scenarios.presets import scale_scenario
+
+SPEC = churn_preset("churn-smoke")
+
+
+@pytest.fixture(scope="module")
+def job():
+    return churn_job(SPEC, "cubic", scale_scenario(), seed=1)
+
+
+class TestChurnDiffs:
+    def test_engine_exact(self, job):
+        report = run_diff(job, mode="engine").raise_if_unequal()
+        assert "engine=batched" in report.notes[0]
+
+    def test_telemetry_does_not_perturb(self, job):
+        run_diff(job, mode="telemetry").raise_if_unequal()
+
+    def test_sanitize_does_not_perturb(self, job):
+        run_diff(job, mode="sanitize").raise_if_unequal()
+
+    def test_engine_exact_on_codel_fallback(self):
+        """CoDel pushes the batched leg onto the reference components —
+        the fallback must still match the reference bit-for-bit."""
+        scen = scale_scenario().with_(aqm="codel", name="scale-codel")
+        report = run_diff(churn_job(SPEC, "cubic", scen, seed=1),
+                          mode="engine").raise_if_unequal()
+        assert any("outside the batched envelope" in n
+                   for n in report.notes)
+
+    def test_engine_exact_rate_cca(self):
+        """MI controllers exercise the two-stage pipe with churn."""
+        run_diff(churn_job(SPEC, "vivace", scale_scenario(), seed=2),
+                 mode="engine").raise_if_unequal()
+
+    def test_fingerprints_cover_fin_times(self, job):
+        report = run_diff(job, mode="engine")
+        fins = [k for k in report.fingerprint_a if k.endswith(".fin_time")]
+        assert len(fins) == len(job.flows)

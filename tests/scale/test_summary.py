@@ -1,0 +1,94 @@
+"""Scale summary documents and the scale experiment surface."""
+
+import json
+
+import pytest
+
+from repro.scale import (SUMMARY_SCHEMA_VERSION, build_summary, churn_job,
+                         churn_preset, validate_summary)
+from repro.scenarios.presets import scale_scenario
+
+
+@pytest.fixture(scope="module")
+def doc():
+    spec = churn_preset("churn-smoke")
+    result = churn_job(spec, "cubic", scale_scenario(), seed=1).run()
+    doc = build_summary(result, spec, "cubic")
+    doc["scenario"] = "scale-96"
+    doc["seed"] = 1
+    return doc
+
+
+class TestSummary:
+    def test_roundtrips_json_and_validates(self, doc):
+        validate_summary(doc)
+        validate_summary(json.loads(json.dumps(doc)))
+        assert doc["schema_version"] == SUMMARY_SCHEMA_VERSION
+        assert doc["flows"] == 32
+        assert doc["engine"] == "batched"
+
+    def test_fct_tail_present(self, doc):
+        overall = doc["fct"]["overall"]
+        assert overall["completed"] > 0
+        assert overall["p99"] >= overall["p95"] >= overall["p50"] > 0.0
+
+    def test_rejects_missing_key(self, doc):
+        broken = dict(doc)
+        del broken["fct"]
+        with pytest.raises(ValueError, match="fct"):
+            validate_summary(broken)
+
+    def test_rejects_bad_schema_version(self, doc):
+        broken = dict(doc)
+        broken["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_summary(broken)
+
+    def test_rejects_impossible_counts(self, doc):
+        broken = dict(doc)
+        broken["completed"] = broken["flows"] + 1
+        with pytest.raises(ValueError, match="completions"):
+            validate_summary(broken)
+
+    def test_rejects_out_of_range_jain(self, doc):
+        broken = json.loads(json.dumps(doc))
+        broken["fairness"]["jain_mean"] = 1.5
+        with pytest.raises(ValueError, match="jain_mean"):
+            validate_summary(broken)
+
+
+class TestExperiment:
+    def test_registered_in_cli(self):
+        from repro.__main__ import EXPERIMENT_MODULES
+
+        assert EXPERIMENT_MODULES["scale"] == "scale"
+
+    def test_run_scale_small(self):
+        from repro.experiments.scale import run_scale
+
+        data = run_scale(ccas=("cubic",), workloads=("churn-smoke",),
+                         loads=(1.0,), seeds=(1,))
+        row = data["churn-smoke"][1.0]["cubic"]
+        assert row["runs"] == 1
+        assert row["failures"] == []
+        assert row["completion_rate"] == pytest.approx(1.0)
+        assert row["flows"] == 32
+        assert row["fct"]  # at least one size class populated
+
+    def test_load_spec_scales_window(self):
+        from repro.experiments.scale import load_spec
+
+        base = load_spec("churn-128", 1.0)
+        half = load_spec("churn-128", 0.5)
+        assert half.arrival_window == pytest.approx(2 * base.arrival_window)
+        assert half.name == "churn-128@x0.5"
+        assert base.offered_load(96e6) == pytest.approx(
+            2 * half.offered_load(96e6))
+        with pytest.raises(ValueError):
+            load_spec("churn-128", 0.0)
+
+    def test_engine_selftest(self):
+        from repro.experiments.scale import run_engine_selftest
+
+        report = run_engine_selftest()
+        assert report.equal
